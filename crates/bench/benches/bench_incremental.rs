@@ -1,0 +1,86 @@
+//! Ablation: incremental violation maintenance vs. from-scratch
+//! re-evaluation inside a cleaning loop.
+//!
+//! The progress-indication scenario of §1 re-reads `I_MI` after every
+//! repairing operation. The from-scratch baseline pays the full violation
+//! self-join per step; [`inconsist::incremental::IncrementalIndex`] pays
+//! one pinned probe (insert/update) or an index removal (delete). This
+//! bench drives both through an identical operation trace and reads
+//! `I_MI` after each step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inconsist::incremental::IncrementalIndex;
+use inconsist::measures::{InconsistencyMeasure, MeasureOptions, MinimalInconsistentSubsets};
+use inconsist::repair::RepairOp;
+use inconsist::relational::Database;
+use inconsist_data::{generate, Dataset, DatasetId, RNoise};
+
+/// A pre-generated trace of valid cell-update operations: RNoise steps
+/// recorded on a scratch copy, replayed identically by both strategies.
+fn operation_trace(ds: &Dataset, steps: usize, seed: u64) -> Vec<RepairOp> {
+    let mut scratch = ds.db.clone();
+    let mut noise = RNoise::new(seed, 0.0);
+    let mut trace = Vec::with_capacity(steps);
+    while trace.len() < steps {
+        if let Some(edit) = noise.step(&mut scratch, &ds.constraints) {
+            trace.push(RepairOp::Update(edit.tuple, edit.attr, edit.new));
+        }
+    }
+    trace
+}
+
+fn noisy_dataset(n: usize) -> Dataset {
+    let mut ds = generate(DatasetId::Hospital, n, 11);
+    let mut noise = RNoise::new(11, 0.0);
+    let steps = RNoise::iterations_for(0.01, &ds.db);
+    noise.run(&mut ds.db, &ds.constraints, steps);
+    ds
+}
+
+fn scratch_loop(db: &Database, ds: &Dataset, trace: &[RepairOp]) -> f64 {
+    let measure = MinimalInconsistentSubsets {
+        options: MeasureOptions::default(),
+    };
+    let mut db = db.clone();
+    let mut acc = 0.0;
+    for op in trace {
+        op.apply(&mut db);
+        acc += measure.eval(&ds.constraints, &db).unwrap_or(f64::NAN);
+    }
+    acc
+}
+
+fn incremental_loop(db: &Database, ds: &Dataset, trace: &[RepairOp]) -> f64 {
+    let mut idx = IncrementalIndex::build(db.clone(), ds.constraints.clone()).expect("build");
+    let mut acc = 0.0;
+    for op in trace {
+        idx.apply(op);
+        acc += idx.i_mi();
+    }
+    acc
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_vs_scratch");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        let ds = noisy_dataset(n);
+        let trace = operation_trace(&ds, 20, 3);
+        // Sanity: both strategies must report identical series.
+        assert_eq!(
+            scratch_loop(&ds.db, &ds, &trace),
+            incremental_loop(&ds.db, &ds, &trace),
+            "incremental drifted from scratch at n={n}"
+        );
+        group.bench_with_input(BenchmarkId::new("scratch", n), &ds, |b, ds| {
+            b.iter(|| scratch_loop(&ds.db, ds, &trace))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &ds, |b, ds| {
+            b.iter(|| incremental_loop(&ds.db, ds, &trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Per-measure evaluation cost on noisy dataset samples — the
+//! micro-benchmark behind Table 3's "running times are dominated by
+//! violation detection" observation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inconsist::measures::{
+    Drastic, InconsistencyMeasure, LinearMinimumRepair, MeasureOptions,
+    MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
+};
+use inconsist_data::{generate, CoNoise, Dataset, DatasetId};
+
+fn noisy(id: DatasetId, n: usize, iters: usize) -> Dataset {
+    let mut ds = generate(id, n, 7);
+    let mut noise = CoNoise::new(7);
+    for _ in 0..iters {
+        noise.step(&mut ds.db, &ds.constraints);
+    }
+    ds
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let opts = MeasureOptions::default();
+    let measures: Vec<Box<dyn InconsistencyMeasure>> = vec![
+        Box::new(Drastic),
+        Box::new(MinimalInconsistentSubsets { options: opts }),
+        Box::new(ProblematicFacts { options: opts }),
+        Box::new(MinimumRepair { options: opts }),
+        Box::new(LinearMinimumRepair { options: opts }),
+    ];
+    let mut group = c.benchmark_group("measures");
+    group.sample_size(10);
+    for id in [DatasetId::Stock, DatasetId::Hospital, DatasetId::Tax] {
+        let ds = noisy(id, 1_000, 20);
+        for m in &measures {
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), id.name()),
+                &ds,
+                |b, ds| b.iter(|| m.eval(&ds.constraints, &ds.db)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! DC-miner cost profile: evidence-set construction is `O(pairs ×
+//! predicates)` and dominates; the minimal-cover DFS and the full-data
+//! verification pass ride on top. Sweeping the pair-sample cap shows the
+//! linear trade-off between mining cost and candidate confidence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inconsist::constraints::{mine_dcs, MinerConfig};
+use inconsist::relational::RelId;
+use inconsist_data::{generate, DatasetId};
+
+fn bench_mine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine");
+    group.sample_size(10);
+    let ds = generate(DatasetId::Stock, 600, 23);
+    for &max_pairs in &[5_000usize, 20_000] {
+        let cfg = MinerConfig {
+            max_pairs,
+            max_dcs: 8,
+            ..Default::default()
+        };
+        // Sanity: the Fig. 3 Stock constraint family is found at either cap.
+        let mined = mine_dcs(&ds.db, RelId(0), &cfg);
+        assert!(
+            mined.iter().any(|m| m.dc.arity() == 1),
+            "unary order DCs expected at max_pairs={max_pairs}"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stock600", max_pairs),
+            &cfg,
+            |b, cfg| b.iter(|| mine_dcs(&ds.db, RelId(0), cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mine);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Noise-generator throughput: CONoise and RNoise step costs, and dataset
+//! generation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inconsist_data::{generate, CoNoise, DatasetId, RNoise};
+
+fn bench_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise");
+    group.sample_size(10);
+    for id in [DatasetId::Hospital, DatasetId::Tax] {
+        group.bench_with_input(BenchmarkId::new("conoise_step", id.name()), &id, |b, &id| {
+            let ds = generate(id, 2_000, 1);
+            b.iter_batched(
+                || (ds.db.clone(), CoNoise::new(9)),
+                |(mut db, mut noise)| {
+                    for _ in 0..10 {
+                        noise.step(&mut db, &ds.constraints);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rnoise_step", id.name()), &id, |b, &id| {
+            let ds = generate(id, 2_000, 1);
+            b.iter_batched(
+                || (ds.db.clone(), RNoise::new(9, 1.0)),
+                |(mut db, mut noise)| {
+                    for _ in 0..10 {
+                        noise.step(&mut db, &ds.constraints);
+                    }
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    for id in [DatasetId::Stock, DatasetId::Flight, DatasetId::Tax] {
+        group.bench_with_input(BenchmarkId::new("generate_5k", id.name()), &id, |b, &id| {
+            b.iter(|| generate(id, 5_000, 42))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise, bench_generation);
+criterion_main!(benches);

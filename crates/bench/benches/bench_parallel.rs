@@ -1,0 +1,44 @@
+//! Ablation: sequential vs. parallel violation detection.
+//!
+//! Constraints are the unit of parallelism (dynamic stealing over the DC
+//! list), so speedup tracks the number and balance of constraints: a
+//! dataset with many similarly-priced DCs (Hospital: 7) scales, while one
+//! dominant self-join caps the win (Amdahl).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inconsist::constraints::{minimal_inconsistent_subsets_par, ConstraintSet};
+use inconsist::relational::Database;
+use inconsist_data::{generate, DatasetId, RNoise};
+
+fn noisy(id: DatasetId, n: usize) -> (ConstraintSet, Database) {
+    let mut ds = generate(id, n, 5);
+    let mut noise = RNoise::new(5, 0.0);
+    let steps = RNoise::iterations_for(0.01, &ds.db);
+    noise.run(&mut ds.db, &ds.constraints, steps);
+    (ds.constraints, ds.db)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violations_parallel");
+    group.sample_size(10);
+    for id in [DatasetId::Hospital, DatasetId::Tax] {
+        let (cs, db) = noisy(id, 4_000);
+        // Sanity: identical MI sets regardless of thread count.
+        let seq = minimal_inconsistent_subsets_par(&db, &cs, None, 1);
+        let par = minimal_inconsistent_subsets_par(&db, &cs, None, 4);
+        assert_eq!(seq.count(), par.count(), "{}", id.name());
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(id.name(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| minimal_inconsistent_subsets_par(&db, &cs, None, threads))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

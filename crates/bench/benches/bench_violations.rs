@@ -1,0 +1,69 @@
+//! Violation-engine benchmarks, including ablation #3 of DESIGN.md:
+//! the `O(n log n)` counting fast path vs. full pair enumeration for
+//! FD-shaped and dominance-shaped DCs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use inconsist::constraints::{engine, fastpath};
+use inconsist_data::{generate, CoNoise, Dataset, DatasetId};
+
+fn noisy(id: DatasetId, n: usize, iters: usize) -> Dataset {
+    let mut ds = generate(id, n, 3);
+    let mut noise = CoNoise::new(3);
+    for _ in 0..iters {
+        noise.step(&mut ds.db, &ds.constraints);
+    }
+    ds
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for id in [DatasetId::Hospital, DatasetId::Adult, DatasetId::Tax] {
+        let ds = noisy(id, 2_000, 30);
+        group.bench_with_input(BenchmarkId::new("mi_enumerate", id.name()), &ds, |b, ds| {
+            b.iter(|| engine::minimal_inconsistent_subsets(&ds.db, &ds.constraints, None))
+        });
+        group.bench_with_input(BenchmarkId::new("is_consistent", id.name()), &ds, |b, ds| {
+            b.iter(|| engine::is_consistent(&ds.db, &ds.constraints))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastpath_vs_enumeration");
+    group.sample_size(10);
+    // Adult's example DC is the pure dominance shape; Tax's has a key.
+    for id in [DatasetId::Adult, DatasetId::Tax] {
+        let ds = noisy(id, 2_000, 30);
+        let dc = ds
+            .constraints
+            .dcs()
+            .iter()
+            .find(|dc| fastpath::classify(dc).is_some())
+            .expect("a fast-shaped DC exists")
+            .clone();
+        group.bench_with_input(BenchmarkId::new("count_fast", id.name()), &ds, |b, ds| {
+            b.iter(|| fastpath::count_pairs(&ds.db, &dc))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("count_enumerate", id.name()),
+            &ds,
+            |b, ds| {
+                b.iter(|| {
+                    let mut cs =
+                        inconsist::constraints::ConstraintSet::new(ds.db.schema().clone());
+                    cs.add_dc(dc.clone());
+                    engine::violations_per_dc(&ds.db, &cs, None)[0].sets.len()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("participants_fast", id.name()), &ds, |b, ds| {
+            b.iter(|| fastpath::participants(&ds.db, &dc))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_fastpath);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 11 (appendix): running times vs. error rate for *all* datasets
+//! on 10K-tuple samples (RNoise α = 0.01, β = 0, timing every 10
+//! iterations). The paper's finding: `I_MI`/`I_P` timings barely move,
+//! `I_R` grows the most with the error rate; Stock and Food show no trend
+//! because their violation counts stay tiny.
+//!
+//! ```text
+//! cargo run --release -p inconsist-bench --bin fig11
+//! ```
+
+use inconsist::measures::MeasureOptions;
+use inconsist_bench::{time_measures, write_csv, HarnessArgs};
+use inconsist_data::{generate, DatasetId, RNoise};
+
+fn main() {
+    let args = HarnessArgs::parse(0.05);
+    let opts = MeasureOptions::default();
+    let sample_target = (10_000.0 * args.scale) as usize;
+    for id in DatasetId::all() {
+        let n = args.tuples.unwrap_or(sample_target.min(id.paper_tuples()).max(100));
+        let mut ds = generate(id, n, args.seed);
+        let mut noise = RNoise::new(args.seed, 0.0);
+        let iterations = RNoise::iterations_for(0.01, &ds.db);
+        println!("\nFig 11: {} ({n} tuples, {iterations} RNoise iterations)", id.name());
+        println!(
+            "{:<8}{:>10}{:>10}{:>10}{:>10}{:>10}",
+            "iter", "I_d", "I_R", "I_MI", "I_P", "I_R^lin"
+        );
+        let mut rows = Vec::new();
+        for i in 0..=iterations {
+            if i > 0 {
+                noise.step(&mut ds.db, &ds.constraints);
+            }
+            if i % 10 == 0 || i == iterations {
+                let timed = time_measures(&ds.constraints, &ds.db, opts, true);
+                let lookup = |name: &str| {
+                    timed
+                        .iter()
+                        .find(|(m, ..)| *m == name)
+                        .map(|(_, s, _)| *s)
+                        .unwrap_or(f64::NAN)
+                };
+                println!(
+                    "{:<8}{:>10.4}{:>10.4}{:>10.4}{:>10.4}{:>10.4}",
+                    i,
+                    lookup("I_d"),
+                    lookup("I_R"),
+                    lookup("I_MI"),
+                    lookup("I_P"),
+                    lookup("I_R^lin"),
+                );
+                rows.push(vec![
+                    i.to_string(),
+                    lookup("I_d").to_string(),
+                    lookup("I_R").to_string(),
+                    lookup("I_MI").to_string(),
+                    lookup("I_P").to_string(),
+                    lookup("I_R^lin").to_string(),
+                ]);
+            }
+        }
+        let _ = write_csv(
+            &args.out,
+            &format!("fig11_{}", id.name()),
+            &["iteration", "I_d", "I_R", "I_MI", "I_P", "I_R^lin"],
+            &rows,
+        );
+    }
+}

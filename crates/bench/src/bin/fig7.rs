@@ -1,0 +1,99 @@
+//! Figure 7: the HoloClean case study — normalized measures on Hospital as
+//! the cleaning system receives one more DC at a time.
+//!
+//! The paper runs HoloClean \[49\] on its dirty Hospital dataset with 15 DCs,
+//! one DC at a time, and tracks the measures after each step. We substitute
+//! SoftClean (see `inconsist-clean`) on a noisy Hospital sample; the DC set
+//! is the dataset's 7 DCs cycled with per-attribute FD splits to reach 15,
+//! mirroring the paper's richer rule set.
+//!
+//! ```text
+//! cargo run --release -p inconsist-bench --bin fig7
+//! ```
+
+use inconsist::measures::MeasureOptions;
+use inconsist::suite::{normalize_series, MeasureSuite};
+use inconsist_bench::{write_csv, HarnessArgs};
+use inconsist_clean::SoftClean;
+use inconsist_data::{generate, DatasetId, RNoise};
+
+fn main() {
+    let args = HarnessArgs::parse(0.01);
+    let n = args.tuples.unwrap_or((115_000.0 * args.scale) as usize).max(150);
+    let mut ds = generate(DatasetId::Hospital, n, args.seed);
+
+    // Dirty it: RNoise typos over 2% of cells.
+    let mut noise = RNoise::new(args.seed, 0.0);
+    let steps = RNoise::iterations_for(0.02, &ds.db);
+    noise.run(&mut ds.db, &ds.constraints, steps);
+
+    let suite = MeasureSuite {
+        options: MeasureOptions::default(),
+        skip_mc: true,
+        ..Default::default()
+    };
+    let cleaner = SoftClean::default();
+    let total_dcs = ds.constraints.len();
+
+    println!("Figure 7: SoftClean (mini-HoloClean) on Hospital, one DC at a time");
+    println!("({n} tuples, {steps} noise edits, {total_dcs} DCs)");
+    println!("{:-<70}", "");
+
+    let mut checkpoints: Vec<usize> = Vec::new();
+    let mut series: std::collections::BTreeMap<&'static str, Vec<inconsist::measures::MeasureResult>> =
+        Default::default();
+    let record = |k: usize,
+                      ds: &inconsist_data::Dataset,
+                      series: &mut std::collections::BTreeMap<
+        &'static str,
+        Vec<inconsist::measures::MeasureResult>,
+    >,
+                      checkpoints: &mut Vec<usize>| {
+        let report = suite.eval_all(&ds.constraints, &ds.db);
+        checkpoints.push(k);
+        for (name, v) in report.entries() {
+            series.entry(name).or_default().push(v);
+        }
+    };
+    record(0, &ds, &mut series, &mut checkpoints);
+    for k in 1..=total_dcs {
+        let prefix = ds.constraints.prefix(k);
+        cleaner.clean(&mut ds.db, &prefix);
+        record(k, &ds, &mut series, &mut checkpoints);
+    }
+
+    print!("{:<6}", "#DCs");
+    let names: Vec<&'static str> = series.keys().copied().collect();
+    for nme in &names {
+        print!("{nme:>10}");
+    }
+    println!();
+    let normalized: std::collections::BTreeMap<&str, Vec<f64>> = names
+        .iter()
+        .map(|nme| (*nme, normalize_series(&series[nme])))
+        .collect();
+    let mut rows = Vec::new();
+    for (row, k) in checkpoints.iter().enumerate() {
+        print!("{k:<6}");
+        let mut csv_row = vec![k.to_string()];
+        for nme in &names {
+            let v = normalized[*nme][row];
+            if v.is_nan() {
+                print!("{:>10}", "--");
+                csv_row.push(String::new());
+            } else {
+                print!("{v:>10.3}");
+                csv_row.push(format!("{v}"));
+            }
+        }
+        println!();
+        rows.push(csv_row);
+    }
+    let mut header = vec!["dcs"];
+    header.extend(names.iter().copied());
+    let _ = write_csv(&args.out, "fig7_holoclean", &header, &rows);
+
+    println!("\nExpected shape (paper §6.2.2): I_d and I_P fail to indicate");
+    println!("progress; I_MI, I_R and I_R^lin decay roughly linearly as more");
+    println!("DCs are handed to the cleaner.");
+}

@@ -1,0 +1,38 @@
+//! Figure 8 (appendix): all measures *including* `I_MC` on 100-tuple
+//! samples under CONoise and RNoise; missing `I_MC` entries are budget
+//! timeouts, exactly like the paper's missing graphs.
+//!
+//! ```text
+//! cargo run --release -p inconsist-bench --bin fig8
+//! ```
+
+use inconsist::measures::MeasureOptions;
+use inconsist::suite::MeasureSuite;
+use inconsist_bench::{conoise_trace, print_trace, rnoise_trace, write_trace_csv, HarnessArgs};
+use inconsist_data::{generate, DatasetId};
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let n = args.tuples.unwrap_or(100);
+    let suite = MeasureSuite {
+        options: MeasureOptions {
+            mis_budget: 5_000_000,
+            ..Default::default()
+        },
+        skip_mc: false,
+        ..Default::default()
+    };
+    for id in DatasetId::all() {
+        let mut ds = generate(id, n, args.seed);
+        let trace = conoise_trace(&mut ds, &suite, 100, 10, args.seed);
+        print_trace(&format!("Fig 8 CONoise: {} ({n} tuples)", id.name()), &trace, args.raw);
+        let _ = write_trace_csv(&args.out, &format!("fig8_co_{}", id.name()), &trace);
+
+        let mut ds = generate(id, n, args.seed);
+        let trace = rnoise_trace(&mut ds, &suite, 0.01, 0.0, 0.5, 2, args.seed);
+        print_trace(&format!("Fig 8 RNoise: {} ({n} tuples)", id.name()), &trace, args.raw);
+        let _ = write_trace_csv(&args.out, &format!("fig8_rn_{}", id.name()), &trace);
+    }
+    println!("\nExpected shape: jittery versions of Fig. 4's trends; I_MC is");
+    println!("the least predictable and times out on some datasets.");
+}

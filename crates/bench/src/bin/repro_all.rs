@@ -1,0 +1,43 @@
+//! Runs the complete reproduction suite (small default scales) by invoking
+//! every table/figure binary in sequence.
+//!
+//! ```text
+//! cargo run --release -p inconsist-bench --bin repro_all [-- --scale 0.01]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let binaries = [
+        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "table3", "fig8", "fig9",
+        "fig10", "fig11", "theorem1",
+    ];
+    for bin in binaries {
+        println!("\n================= {bin} =================");
+        let mut cmd = Command::new(dir.join(bin));
+        cmd.args(&passthrough);
+        // fig4/fig6 need both variants.
+        match bin {
+            "fig4" | "fig6" => {
+                for variant in ["a", "b"] {
+                    let mut c = Command::new(dir.join(bin));
+                    c.args(&passthrough).arg("--variant").arg(variant);
+                    run(c, bin);
+                }
+            }
+            _ => run(cmd, bin),
+        }
+    }
+    println!("\nAll experiments completed. CSVs are under results/.");
+}
+
+fn run(mut cmd: Command, bin: &str) {
+    match cmd.status() {
+        Ok(status) if status.success() => {}
+        Ok(status) => eprintln!("{bin} exited with {status}"),
+        Err(e) => eprintln!("failed to launch {bin}: {e} (build with --release first)"),
+    }
+}

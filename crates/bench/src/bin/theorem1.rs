@@ -1,0 +1,113 @@
+//! Theorem 1 / Example 8: the complexity dichotomy for single binary EGDs,
+//! demonstrated end to end.
+//!
+//! * classifies σ1–σ4 (Example 8);
+//! * cross-checks the polynomial algorithms (Lemmas 2–4) against the exact
+//!   exponential solver on random instances;
+//! * instantiates the MaxCut reduction (Lemma 1) and verifies the identity
+//!   `I_R = (m+1)·n + 2(m−k★) + k★` on random graphs.
+//!
+//! ```text
+//! cargo run --release -p inconsist-bench --bin theorem1
+//! ```
+
+use inconsist::complexity::{
+    brute_force_max_cut, classify, ir_single_egd, maxcut_reduction,
+};
+use inconsist::constraints::egd::example8;
+use inconsist::constraints::ConstraintSet;
+use inconsist::measures::{InconsistencyMeasure, MeasureOptions, MinimumRepair};
+use inconsist::relational::{relation, Database, Fact, Schema, Value, ValueKind};
+use inconsist_bench::HarnessArgs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn main() {
+    let args = HarnessArgs::parse(1.0);
+    let mut s = Schema::new();
+    let r = s
+        .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+        .unwrap();
+    let t = s
+        .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+        .unwrap();
+    let schema = Arc::new(s);
+
+    println!("Example 8 classification (Theorem 1):");
+    for (name, egd) in [
+        ("σ1: R(x,y),R(x,z) ⇒ y=z", example8::sigma1(r, &schema)),
+        ("σ2: R(x,y),R(y,z) ⇒ x=z", example8::sigma2(r, &schema)),
+        ("σ3: R(x,y),R(y,z) ⇒ x=y", example8::sigma3(r, &schema)),
+        ("σ4: R(x,y),S(y,z) ⇒ x=z", example8::sigma4(r, t, &schema)),
+    ] {
+        println!("  {name:<28} → {:?}", classify(&egd).expect("binary EGD"));
+    }
+
+    // Polynomial algorithms vs. the exact solver.
+    println!("\nLemma 2–4 algorithms vs exact solver (random instances):");
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    for (name, egd) in [
+        ("σ1", example8::sigma1(r, &schema)),
+        ("σ4", example8::sigma4(r, t, &schema)),
+    ] {
+        let mut max_diff = 0.0f64;
+        for _ in 0..20 {
+            let mut db = Database::new(Arc::clone(&schema));
+            for _ in 0..rng.gen_range(4..30) {
+                let rel = if rng.gen_bool(0.5) { r } else { t };
+                db.insert(Fact::new(
+                    rel,
+                    [Value::int(rng.gen_range(0..5)), Value::int(rng.gen_range(0..5))],
+                ))
+                .unwrap();
+            }
+            let fast = ir_single_egd(&egd, &db).expect("tractable");
+            let mut cs = ConstraintSet::new(Arc::clone(&schema));
+            cs.add_egd(egd.clone());
+            let exact = MinimumRepair {
+                options: MeasureOptions::default(),
+            }
+            .eval(&cs, &db)
+            .expect("small instance");
+            max_diff = max_diff.max((fast - exact).abs());
+        }
+        println!("  {name}: max |poly − exact| over 20 instances = {max_diff:.1e}");
+    }
+
+    // MaxCut reduction.
+    println!("\nLemma 1 MaxCut reduction: I_R = (m+1)·n + 2(m−k★) + k★");
+    println!("{:<18}{:>6}{:>6}{:>8}{:>12}{:>12}", "graph", "n", "m", "maxcut", "I_R", "predicted");
+    for trial in 0..5 {
+        let n = 3 + trial % 3;
+        let mut edges = Vec::new();
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                if rng.gen_bool(0.7) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        if edges.is_empty() {
+            edges.push((0, 1));
+        }
+        let inst = maxcut_reduction(n, &edges);
+        let k = brute_force_max_cut(n, &edges);
+        let ir = MinimumRepair {
+            options: MeasureOptions::default(),
+        }
+        .eval(&inst.cs, &inst.db)
+        .expect("small instance");
+        println!(
+            "{:<18}{:>6}{:>6}{:>8}{:>12}{:>12}",
+            format!("random #{trial}"),
+            n,
+            edges.len(),
+            k,
+            ir,
+            inst.expected_ir(k)
+        );
+        assert!((ir - inst.expected_ir(k)).abs() < 1e-9);
+    }
+    println!("\nIdentity verified: computing I_R for the path EGD solves MaxCut.");
+}

@@ -1,0 +1,301 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary accepts the same flags (all optional):
+//!
+//! * `--seed <u64>` — RNG seed (default 1);
+//! * `--scale <f64>` — fraction of the paper's dataset sizes to use
+//!   (defaults chosen per experiment so the whole suite runs in minutes);
+//! * `--tuples <usize>` — explicit tuple count, overriding `--scale`;
+//! * `--full` — the paper's original sizes (`--scale 1`); expect hours;
+//! * `--variant <str>` — sub-experiment selector (e.g. `a`/`b` for Fig. 4);
+//! * `--out <dir>` — directory for CSV dumps (default `results/`).
+//!
+//! The traces printed to stdout are the series behind the paper's plots:
+//! one row per measurement checkpoint, one column per measure, values
+//! normalized to `[0, 1]` exactly as in Figs. 4, 5 and 7 (`--raw` prints
+//! unnormalized values instead).
+
+use inconsist::measures::MeasureResult;
+use inconsist::suite::{MeasureSuite, SuiteReport};
+use inconsist_data::{CoNoise, Dataset, RNoise};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Parsed command-line arguments (shared across binaries).
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// RNG seed.
+    pub seed: u64,
+    /// Scale factor on the paper's dataset sizes.
+    pub scale: f64,
+    /// Explicit tuple count (overrides `scale`).
+    pub tuples: Option<usize>,
+    /// Output directory for CSVs.
+    pub out: PathBuf,
+    /// Sub-experiment selector.
+    pub variant: Option<String>,
+    /// Print raw values instead of normalized.
+    pub raw: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            seed: 1,
+            scale: f64::NAN, // binaries substitute their default
+            tuples: None,
+            out: PathBuf::from("results"),
+            variant: None,
+            raw: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, with `default_scale` as the per-experiment
+    /// default for `--scale`.
+    pub fn parse(default_scale: f64) -> Self {
+        let mut args = HarnessArgs {
+            scale: default_scale,
+            ..Default::default()
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--seed" => args.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+                "--scale" => {
+                    args.scale = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(default_scale)
+                }
+                "--tuples" => args.tuples = iter.next().and_then(|v| v.parse().ok()),
+                "--full" => args.scale = 1.0,
+                "--variant" => args.variant = iter.next(),
+                "--out" => {
+                    if let Some(dir) = iter.next() {
+                        args.out = PathBuf::from(dir);
+                    }
+                }
+                "--raw" => args.raw = true,
+                other => eprintln!("ignoring unknown flag `{other}`"),
+            }
+        }
+        args
+    }
+
+    /// Tuple count for a dataset: explicit `--tuples`, else
+    /// `scale × paper size` (at least 50).
+    pub fn tuples_for(&self, paper_size: usize) -> usize {
+        self.tuples
+            .unwrap_or(((paper_size as f64 * self.scale) as usize).max(50))
+    }
+}
+
+/// A measurement trace: checkpoints × measures.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Iteration number at each checkpoint.
+    pub checkpoints: Vec<usize>,
+    /// Per-measure series, keyed by measure name.
+    pub series: BTreeMap<&'static str, Vec<MeasureResult>>,
+    /// Violation ratio at the final checkpoint (annotated in Fig. 4).
+    pub final_violation_ratio: f64,
+}
+
+impl Trace {
+    /// Appends one suite report.
+    pub fn push(&mut self, iteration: usize, report: &SuiteReport) {
+        self.checkpoints.push(iteration);
+        for (name, value) in report.entries() {
+            self.series.entry(name).or_default().push(value);
+        }
+        self.final_violation_ratio = report.violation_ratio;
+    }
+
+    /// The measure names present, in insertion order of the suite.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.series.keys().copied().collect()
+    }
+}
+
+/// Runs CONoise for `iterations` steps, evaluating the suite every
+/// `measure_every` iterations (Fig. 4a measures after each of 200).
+pub fn conoise_trace(
+    ds: &mut Dataset,
+    suite: &MeasureSuite,
+    iterations: usize,
+    measure_every: usize,
+    seed: u64,
+) -> Trace {
+    let mut noise = CoNoise::new(seed);
+    let mut trace = Trace::default();
+    trace.push(0, &suite.eval_all(&ds.constraints, &ds.db));
+    for i in 1..=iterations {
+        noise.step(&mut ds.db, &ds.constraints);
+        if i % measure_every == 0 {
+            trace.push(i, &suite.eval_all(&ds.constraints, &ds.db));
+        }
+    }
+    trace
+}
+
+/// Runs RNoise until `alpha` of the cells are modified, with skew `beta`
+/// and the given typo probability, measuring every `measure_every`
+/// iterations (Fig. 4b: α=0.01, every 10).
+#[allow(clippy::too_many_arguments)]
+pub fn rnoise_trace(
+    ds: &mut Dataset,
+    suite: &MeasureSuite,
+    alpha: f64,
+    beta: f64,
+    typo_prob: f64,
+    measure_every: usize,
+    seed: u64,
+) -> Trace {
+    let mut noise = RNoise::new(seed, beta);
+    noise.typo_prob = typo_prob;
+    let iterations = RNoise::iterations_for(alpha, &ds.db);
+    let mut trace = Trace::default();
+    trace.push(0, &suite.eval_all(&ds.constraints, &ds.db));
+    for i in 1..=iterations {
+        noise.step(&mut ds.db, &ds.constraints);
+        if i % measure_every == 0 || i == iterations {
+            trace.push(i, &suite.eval_all(&ds.constraints, &ds.db));
+        }
+    }
+    trace
+}
+
+/// Prints a trace as the paper's normalized series (or raw with
+/// `raw = true`). Timeouts/truncations render as `--`.
+pub fn print_trace(title: &str, trace: &Trace, raw: bool) {
+    println!("\n== {title} (final violation ratio {:.4}) ==", trace.final_violation_ratio);
+    let names = trace.names();
+    print!("{:>8}", "iter");
+    for n in &names {
+        print!("{n:>10}");
+    }
+    println!();
+    let normalized: BTreeMap<&str, Vec<f64>> = names
+        .iter()
+        .map(|n| {
+            let vals = &trace.series[n];
+            let out = if raw {
+                vals.iter()
+                    .map(|v| v.map_or(f64::NAN, |x| x))
+                    .collect::<Vec<f64>>()
+            } else {
+                inconsist::suite::normalize_series(vals)
+            };
+            (*n, out)
+        })
+        .collect();
+    for (row, iter) in trace.checkpoints.iter().enumerate() {
+        print!("{iter:>8}");
+        for n in &names {
+            let v = normalized[*n][row];
+            if v.is_nan() {
+                print!("{:>10}", "--");
+            } else {
+                print!("{v:>10.3}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Writes a trace to `<out>/<name>.csv`.
+pub fn write_trace_csv(out: &Path, name: &str, trace: &Trace) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out)?;
+    let path = out.join(format!("{name}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    let names = trace.names();
+    write!(f, "iteration")?;
+    for n in &names {
+        write!(f, ",{n}")?;
+    }
+    writeln!(f)?;
+    for (row, iter) in trace.checkpoints.iter().enumerate() {
+        write!(f, "{iter}")?;
+        for n in &names {
+            match trace.series[n][row] {
+                Ok(v) => write!(f, ",{v}")?,
+                Err(_) => write!(f, ",")?,
+            }
+        }
+        writeln!(f)?;
+    }
+    f.flush()?;
+    Ok(path)
+}
+
+/// Writes generic CSV rows.
+pub fn write_csv(
+    out: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(out)?;
+    let path = out.join(format!("{name}.csv"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    f.flush()?;
+    Ok(path)
+}
+
+/// Wall-clock seconds of one closure invocation.
+pub fn time_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Times each standard measure end to end (its own detection pass included),
+/// as the paper does for Table 3 and Figs. 6/11. `I_MC` is skipped when
+/// `skip_mc` (it times out beyond toy sizes).
+pub fn time_measures(
+    cs: &inconsist::constraints::ConstraintSet,
+    db: &inconsist::relational::Database,
+    options: inconsist::measures::MeasureOptions,
+    skip_mc: bool,
+) -> Vec<(&'static str, f64, MeasureResult)> {
+    use inconsist::measures::*;
+    let mut out = Vec::new();
+    let measures: Vec<Box<dyn InconsistencyMeasure>> = if skip_mc {
+        vec![
+            Box::new(Drastic),
+            Box::new(MinimumRepair { options }),
+            Box::new(MinimalInconsistentSubsets { options }),
+            Box::new(ProblematicFacts { options }),
+            Box::new(LinearMinimumRepair { options }),
+        ]
+    } else {
+        standard_measures(options)
+    };
+    for m in measures {
+        let (value, secs) = time_secs(|| m.eval(cs, db));
+        out.push((m.name(), secs, value));
+    }
+    out
+}
+
+/// Formats a `MeasureResult` for table output.
+pub fn fmt_result(r: &MeasureResult) -> String {
+    match r {
+        Ok(v) => {
+            if (v.fract()).abs() < 1e-9 {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v:.2}")
+            }
+        }
+        Err(e) => format!("{e:?}").to_lowercase(),
+    }
+}

@@ -1,0 +1,203 @@
+//! # inconsist-clean
+//!
+//! Repairing systems for the progress-indication experiments and the
+//! HoloClean case study of §6.2.2:
+//!
+//! * [`Cleaner`] — a step-wise cleaning system interface (one repairing
+//!   operation per step) over which measure traces are recorded;
+//! * [`GreedyVcCleaner`], [`MinRepairCleaner`], [`RandomCleaner`] —
+//!   deletion-based cleaners of varying quality;
+//! * [`softclean`] — **SoftClean**, a miniature HoloClean substitute:
+//!   statistical cell-repair with soft constraint signals, driven one DC at
+//!   a time exactly as the Fig. 7 pipeline.
+
+#![warn(missing_docs)]
+
+pub mod softclean;
+
+pub use softclean::{SoftClean, SoftCleanReport};
+
+use inconsist::measures::MeasureOptions;
+use inconsist::measures::minimum_repair_deletions;
+use inconsist_constraints::{engine, ConstraintSet};
+use inconsist_relational::{Database, TupleId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A cleaning system applied one repairing operation at a time, so that a
+/// progress indicator (an inconsistency measure) can be evaluated between
+/// steps.
+pub trait Cleaner {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Applies one repairing operation; returns `false` when there is
+    /// nothing left to do (the database is consistent or the cleaner is
+    /// stuck).
+    fn step(&mut self, db: &mut Database, cs: &ConstraintSet) -> bool;
+
+    /// Runs to fixpoint (or `max_steps`); returns the number of steps.
+    fn run(&mut self, db: &mut Database, cs: &ConstraintSet, max_steps: usize) -> usize {
+        let mut steps = 0;
+        while steps < max_steps && self.step(db, cs) {
+            steps += 1;
+        }
+        steps
+    }
+}
+
+/// Deletes, at each step, the tuple involved in the most minimal
+/// violations — the classic greedy vertex-cover heuristic. Fast and
+/// reasonably effective; its measure trace is the "typical cleaner" of the
+/// progress-bar scenario.
+#[derive(Debug, Default)]
+pub struct GreedyVcCleaner {
+    /// Cap on materialized violations per step.
+    pub violation_limit: Option<usize>,
+}
+
+impl Cleaner for GreedyVcCleaner {
+    fn name(&self) -> &'static str {
+        "greedy-vc"
+    }
+
+    fn step(&mut self, db: &mut Database, cs: &ConstraintSet) -> bool {
+        let mi = engine::minimal_inconsistent_subsets(db, cs, self.violation_limit);
+        if mi.subsets.is_empty() {
+            return false;
+        }
+        let mut load: HashMap<TupleId, usize> = HashMap::new();
+        for s in &mi.subsets {
+            for &t in s.iter() {
+                *load.entry(t).or_insert(0) += 1;
+            }
+        }
+        let (&victim, _) = load
+            .iter()
+            .max_by_key(|(t, c)| (**c, std::cmp::Reverse(t.0)))
+            .expect("nonempty violations");
+        db.delete(victim).is_some()
+    }
+}
+
+/// Computes one minimum repair up front and deletes its tuples one per
+/// step — the *optimal* deletion schedule, against which the measures'
+/// "expected waiting time" correlation is judged.
+#[derive(Debug, Default)]
+pub struct MinRepairCleaner {
+    plan: Vec<TupleId>,
+    planned: bool,
+    /// Budgets for the exact repair computation.
+    pub options: MeasureOptions,
+}
+
+impl Cleaner for MinRepairCleaner {
+    fn name(&self) -> &'static str {
+        "min-repair"
+    }
+
+    fn step(&mut self, db: &mut Database, cs: &ConstraintSet) -> bool {
+        if !self.planned {
+            self.plan = minimum_repair_deletions(cs, db, &self.options).unwrap_or_default();
+            self.plan.reverse(); // pop from the back
+            self.planned = true;
+        }
+        match self.plan.pop() {
+            Some(t) => db.delete(t).is_some(),
+            None => false,
+        }
+    }
+}
+
+/// Deletes a uniformly random problematic tuple per step — the
+/// worst-reasonable cleaner, a lower bound for progress quality.
+#[derive(Debug)]
+pub struct RandomCleaner {
+    rng: StdRng,
+    /// Cap on materialized violations per step.
+    pub violation_limit: Option<usize>,
+}
+
+impl RandomCleaner {
+    /// A cleaner with a seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        RandomCleaner {
+            rng: StdRng::seed_from_u64(seed),
+            violation_limit: None,
+        }
+    }
+}
+
+impl Cleaner for RandomCleaner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn step(&mut self, db: &mut Database, cs: &ConstraintSet) -> bool {
+        let mi = engine::minimal_inconsistent_subsets(db, cs, self.violation_limit);
+        let participants: Vec<TupleId> = mi.participants().into_iter().collect();
+        if participants.is_empty() {
+            return false;
+        }
+        let victim = participants[self.rng.gen_range(0..participants.len())];
+        db.delete(victim).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inconsist_data::{generate, CoNoise, DatasetId};
+
+    fn noisy_dataset() -> (Database, ConstraintSet) {
+        let mut ds = generate(DatasetId::Hospital, 120, 3);
+        let mut noise = CoNoise::new(5);
+        for _ in 0..12 {
+            noise.step(&mut ds.db, &ds.constraints);
+        }
+        assert!(!engine::is_consistent(&ds.db, &ds.constraints));
+        (ds.db, ds.constraints)
+    }
+
+    #[test]
+    fn greedy_reaches_consistency() {
+        let (mut db, cs) = noisy_dataset();
+        let before = db.len();
+        let mut cleaner = GreedyVcCleaner::default();
+        let steps = cleaner.run(&mut db, &cs, 1000);
+        assert!(engine::is_consistent(&db, &cs));
+        assert_eq!(db.len(), before - steps);
+        assert!(!cleaner.step(&mut db, &cs), "consistent db: nothing to do");
+    }
+
+    #[test]
+    fn min_repair_cleaner_is_optimal_schedule() {
+        use inconsist::measures::{InconsistencyMeasure, MinimumRepair};
+        let (mut db, cs) = noisy_dataset();
+        let ir = MinimumRepair::default().eval(&cs, &db).unwrap();
+        let mut cleaner = MinRepairCleaner::default();
+        let steps = cleaner.run(&mut db, &cs, 1000);
+        assert!(engine::is_consistent(&db, &cs));
+        assert_eq!(steps as f64, ir, "exactly I_R deletions (unit costs)");
+    }
+
+    #[test]
+    fn random_cleaner_terminates() {
+        let (mut db, cs) = noisy_dataset();
+        let mut cleaner = RandomCleaner::new(1);
+        cleaner.run(&mut db, &cs, 10_000);
+        assert!(engine::is_consistent(&db, &cs));
+    }
+
+    #[test]
+    fn greedy_never_exceeds_problematic_tuples() {
+        let (mut db, cs) = noisy_dataset();
+        let problematic = engine::minimal_inconsistent_subsets(&db, &cs, None)
+            .participants()
+            .len();
+        let mut cleaner = GreedyVcCleaner::default();
+        let steps = cleaner.run(&mut db, &cs, 1000);
+        assert!(steps <= problematic);
+    }
+}

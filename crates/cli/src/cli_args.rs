@@ -1,0 +1,111 @@
+//! Minimal argument parsing for the `inconsist` binary — positional
+//! arguments, `--key value` / `--key=value` options, and boolean
+//! switches. Hand-rolled so the workspace stays inside the offline
+//! dependency roster.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["all", "normalize", "help", "quiet"];
+
+/// A parsed command line.
+#[derive(Clone, Debug, Default)]
+pub struct Cli {
+    /// The subcommand (first argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+    /// Boolean switches that were present.
+    pub switches: BTreeSet<String>,
+}
+
+impl Cli {
+    /// Parses raw arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().unwrap_or_default();
+        let mut cli = Cli {
+            command,
+            ..Default::default()
+        };
+        while let Some(arg) = it.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                if let Some((k, v)) = flag.split_once('=') {
+                    cli.options.insert(k.to_string(), v.to_string());
+                } else if SWITCHES.contains(&flag) {
+                    cli.switches.insert(flag.to_string());
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{flag} expects a value"))?;
+                    cli.options.insert(flag.to_string(), v);
+                }
+            } else {
+                cli.positional.push(arg);
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The `i`-th positional argument, or an error naming it.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, String> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing argument <{name}>"))
+    }
+
+    /// An option parsed to `T`, with a default.
+    pub fn opt<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("--{key}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// A string option.
+    pub fn opt_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.contains(switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positional_options_switches() {
+        let cli = parse(&[
+            "measure", "data.csv", "rules.dc", "--threads", "4", "--epsilon=0.01", "--all",
+        ]);
+        assert_eq!(cli.command, "measure");
+        assert_eq!(cli.positional, vec!["data.csv", "rules.dc"]);
+        assert_eq!(cli.opt::<usize>("threads", 1).unwrap(), 4);
+        assert_eq!(cli.opt::<f64>("epsilon", 0.0).unwrap(), 0.01);
+        assert!(cli.has("all"));
+        assert!(!cli.has("normalize"));
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let cli = parse(&["mine", "d.csv"]);
+        assert_eq!(cli.opt::<usize>("max-dcs", 12).unwrap(), 12);
+        assert!(cli.positional(1, "constraints").is_err());
+        assert!(Cli::parse(["x".to_string(), "--out".to_string()]).is_err());
+        let bad = parse(&["x", "--threads", "abc"]);
+        assert!(bad.opt::<usize>("threads", 1).is_err());
+    }
+}

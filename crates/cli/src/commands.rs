@@ -1,0 +1,393 @@
+//! The five subcommands of the `inconsist` binary.
+//!
+//! Every command returns its report as a `String` (printed by `main`), so
+//! the full pipeline is unit-testable without capturing stdout. File
+//! arguments are read/written here; the heavy lifting lives in the
+//! library crates.
+
+use crate::cli_args::Cli;
+use crate::csv::{load_csv, write_csv, LoadedCsv};
+use crate::dcfile::{parse_dc_file, write_dc_file};
+use inconsist::constraints::{mine_dcs, ConstraintSet, MinerConfig};
+use inconsist::incremental::IncrementalIndex;
+use inconsist::measures::{minimum_repair_deletions, MeasureOptions};
+use inconsist::measures_ext::extension_measures;
+use inconsist::suite::MeasureSuite;
+use inconsist_data::{CoNoise, RNoise};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+const HELP: &str = "\
+inconsist — database inconsistency measures (SIGMOD 2021 reproduction)
+
+USAGE:
+  inconsist measure  <data.csv> <rules.dc> [--threads N] [--all]
+  inconsist mine     <data.csv> [--epsilon E] [--max-dcs K] [--max-pairs P]
+                     [--seed S] [--out rules.dc]
+  inconsist repair   <data.csv> <rules.dc> [--out cleaned.csv]
+  inconsist noise    <data.csv> <rules.dc> --out noisy.csv
+                     [--model conoise|rnoise] [--iters N] [--alpha A]
+                     [--beta B] [--typo T] [--seed S]
+  inconsist progress <data.csv> <rules.dc> [--steps N]
+
+FILES:
+  data.csv   header + rows; column types are inferred (int/float/str)
+  rules.dc   one denial constraint per line: `name: t.A = t'.A & t.B != t'.B`
+             (the body is the FORBIDDEN condition)
+
+COMMANDS:
+  measure    evaluate I_d, I_MI, I_P, I_R, I_R^lin (+ I_MC with --all,
+             + the extension measures) and the violation ratio
+  mine       discover denial constraints from the data (evidence-set miner)
+  repair     compute a minimum-cost deletion repair; --out writes the
+             repaired CSV
+  noise      run the paper's CONoise/RNoise error generators
+  progress   greedy cleaning loop with live measure trace (incremental)
+";
+
+/// Dispatches a parsed command line, returning the report to print.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    if cli.has("help") || cli.command.is_empty() || cli.command == "help" {
+        return Ok(HELP.to_string());
+    }
+    match cli.command.as_str() {
+        "measure" => cmd_measure(cli),
+        "mine" => cmd_mine(cli),
+        "repair" => cmd_repair(cli),
+        "noise" => cmd_noise(cli),
+        "progress" => cmd_progress(cli),
+        other => Err(format!("unknown command `{other}`\n\n{HELP}")),
+    }
+}
+
+fn rel_name(path: &str) -> String {
+    Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "data".to_string())
+}
+
+fn load_data(cli: &Cli) -> Result<(LoadedCsv, String), String> {
+    let path = cli.positional(0, "data.csv")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = rel_name(path);
+    Ok((load_csv(&text, &name)?, name))
+}
+
+fn load_constraints(cli: &Cli, loaded: &LoadedCsv, name: &str) -> Result<ConstraintSet, String> {
+    let path = cli.positional(1, "rules.dc")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let dcs = parse_dc_file(&loaded.schema, name, &text)?;
+    let mut cs = ConstraintSet::new(Arc::clone(&loaded.schema));
+    for dc in dcs {
+        cs.add_dc(dc);
+    }
+    Ok(cs)
+}
+
+fn cmd_measure(cli: &Cli) -> Result<String, String> {
+    let (loaded, name) = load_data(cli)?;
+    let cs = load_constraints(cli, &loaded, &name)?;
+    let suite = MeasureSuite {
+        skip_mc: !cli.has("all"),
+        threads: cli.opt("threads", 1)?,
+        ..Default::default()
+    };
+    let report = suite.eval_all(&cs, &loaded.db);
+    let mut out = format!(
+        "{} tuples, {} constraints, violation ratio {:.4}%\n\n",
+        loaded.db.len(),
+        cs.len(),
+        report.violation_ratio * 100.0
+    );
+    let _ = writeln!(out, "{:<11}{:>14}", "measure", "value");
+    for (measure, value) in report.entries() {
+        let rendered = match value {
+            Ok(v) => format!("{v}"),
+            Err(e) => format!("({e})"),
+        };
+        let _ = writeln!(out, "{measure:<11}{rendered:>14}");
+    }
+    for m in extension_measures(MeasureOptions::default()) {
+        let rendered = match m.eval(&cs, &loaded.db) {
+            Ok(v) => format!("{v}"),
+            Err(e) => format!("({e})"),
+        };
+        let _ = writeln!(out, "{:<11}{rendered:>14}", m.name());
+    }
+    Ok(out)
+}
+
+fn cmd_mine(cli: &Cli) -> Result<String, String> {
+    let (loaded, _name) = load_data(cli)?;
+    let cfg = MinerConfig {
+        epsilon: cli.opt("epsilon", 0.0)?,
+        max_dcs: cli.opt("max-dcs", 12)?,
+        max_pairs: cli.opt("max-pairs", 50_000)?,
+        seed: cli.opt("seed", 1)?,
+        ..Default::default()
+    };
+    let mined = mine_dcs(&loaded.db, loaded.rel, &cfg);
+    if mined.is_empty() {
+        return Err("no constraints mined (try --epsilon or more data)".into());
+    }
+    let dcs: Vec<_> = mined.iter().map(|m| m.dc.clone()).collect();
+    let file = write_dc_file(&dcs, &loaded.schema, cli.positional(0, "data.csv")?);
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<58}{:>8}{:>14}", "constraint", "score", "violations");
+    for m in &mined {
+        let _ = writeln!(
+            out,
+            "{:<58}{:>8.3}{:>9}/{}",
+            format!("{}", m.dc.display(&loaded.schema)),
+            m.score,
+            m.violations,
+            m.sample_size
+        );
+    }
+    match cli.opt_str("out") {
+        Some(path) => {
+            std::fs::write(path, &file).map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(out, "\nwrote {} constraints to {path}", mined.len());
+        }
+        None => {
+            let _ = writeln!(out, "\n{file}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_repair(cli: &Cli) -> Result<String, String> {
+    let (loaded, name) = load_data(cli)?;
+    let cs = load_constraints(cli, &loaded, &name)?;
+    let opts = MeasureOptions::default();
+    let deletions =
+        minimum_repair_deletions(&cs, &loaded.db, &opts).map_err(|e| e.to_string())?;
+    let cost: f64 = deletions.iter().map(|&t| loaded.db.cost_of(t)).sum();
+    let mut repaired = loaded.db.clone();
+    for &t in &deletions {
+        repaired.delete(t);
+    }
+    debug_assert!(inconsist::constraints::is_consistent(&repaired, &cs));
+    let mut out = format!(
+        "minimum deletion repair: {} of {} tuples, cost {}\n",
+        deletions.len(),
+        loaded.db.len(),
+        cost
+    );
+    for &t in deletions.iter().take(20) {
+        let _ = writeln!(out, "  - tuple #{}", t.0);
+    }
+    if deletions.len() > 20 {
+        let _ = writeln!(out, "  … and {} more", deletions.len() - 20);
+    }
+    if let Some(path) = cli.opt_str("out") {
+        std::fs::write(path, write_csv(&repaired, loaded.rel))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let _ = writeln!(out, "wrote repaired data to {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_noise(cli: &Cli) -> Result<String, String> {
+    let (loaded, name) = load_data(cli)?;
+    let cs = load_constraints(cli, &loaded, &name)?;
+    let out_path = cli
+        .opt_str("out")
+        .ok_or_else(|| "--out <noisy.csv> is required".to_string())?;
+    let model = cli.opt_str("model").unwrap_or("conoise");
+    let seed: u64 = cli.opt("seed", 1)?;
+    let mut db = loaded.db.clone();
+    let edits = match model {
+        "conoise" => {
+            let iters: usize = cli.opt("iters", 100)?;
+            let mut noise = CoNoise::new(seed);
+            (0..iters).map(|_| noise.step(&mut db, &cs).len()).sum()
+        }
+        "rnoise" => {
+            let beta: f64 = cli.opt("beta", 0.0)?;
+            let typo: f64 = cli.opt("typo", 0.5)?;
+            let alpha: f64 = cli.opt("alpha", 0.01)?;
+            let default_iters = RNoise::iterations_for(alpha, &db);
+            let iters: usize = cli.opt("iters", default_iters)?;
+            let mut noise = RNoise::new(seed, beta);
+            noise.typo_prob = typo;
+            noise.run(&mut db, &cs, iters)
+        }
+        other => return Err(format!("--model: unknown noise model `{other}`")),
+    };
+    std::fs::write(out_path, write_csv(&db, loaded.rel)).map_err(|e| format!("{out_path}: {e}"))?;
+    let before = IncrementalIndex::build(loaded.db, cs.clone())
+        .map(|i| i.raw_violations())
+        .map_err(|e| e.to_string())?;
+    let after = IncrementalIndex::build(db, cs)
+        .map(|i| i.raw_violations())
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{model}: {edits} cell edits; raw violations {before} → {after}; wrote {out_path}\n"
+    ))
+}
+
+fn cmd_progress(cli: &Cli) -> Result<String, String> {
+    let (loaded, name) = load_data(cli)?;
+    let cs = load_constraints(cli, &loaded, &name)?;
+    let max_steps: usize = cli.opt("steps", 1_000)?;
+    let mut idx =
+        IncrementalIndex::build(loaded.db, cs).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{:>5} {:>10} {:>8} {:>8} {:>10}\n",
+        "step", "deleted", "I_MI", "I_P", "I_R^lin"
+    );
+    let mut cost = 0.0;
+    for step in 0..=max_steps {
+        let lin = idx.i_r_lin().map_err(|e| e.to_string())?;
+        let deleted = if step == 0 {
+            "-".to_string()
+        } else {
+            format!("#{}", idx.hottest_tuples(1).first().map(|h| h.0 .0).unwrap_or(0))
+        };
+        if step > 0 {
+            let Some(&(hot, _)) = idx.hottest_tuples(1).first() else {
+                break;
+            };
+            cost += idx.db().cost_of(hot);
+            idx.delete(hot);
+        }
+        let _ = writeln!(
+            out,
+            "{:>5} {:>10} {:>8} {:>8} {:>10.2}",
+            step,
+            deleted,
+            idx.i_mi(),
+            idx.i_p(),
+            idx.i_r_lin().unwrap_or(f64::NAN)
+        );
+        let _ = lin;
+        if idx.is_consistent() {
+            let _ = writeln!(
+                out,
+                "\nconsistent after {step} greedy deletions (total cost {cost})"
+            );
+            return Ok(out);
+        }
+    }
+    let _ = writeln!(out, "\nstopped after {max_steps} steps (still inconsistent)");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// Writes `content` under a unique temp dir and returns the path.
+    fn temp_file(dir: &Path, name: &str, content: &str) -> String {
+        let p = dir.join(name);
+        std::fs::write(&p, content).unwrap();
+        p.to_string_lossy().into_owned()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("inconsist-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    const DATA: &str = "City,Country,Pop\nParis,FR,1\nParis,DE,2\nLyon,FR,3\nLyon,FR,4\n";
+    const RULES: &str = "fd: t.City = t'.City & t.Country != t'.Country\n";
+
+    #[test]
+    fn measure_reports_values() {
+        let dir = temp_dir("measure");
+        let data = temp_file(&dir, "cities.csv", DATA);
+        let rules = temp_file(&dir, "rules.dc", RULES);
+        let out = run(&cli(&["measure", &data, &rules, "--all"])).unwrap();
+        assert!(out.contains("4 tuples, 1 constraints"), "{out}");
+        assert!(out.contains("I_MI"), "{out}");
+        assert!(out.contains("I_R^lin"), "{out}");
+        assert!(out.contains("I_MIC"), "{out}");
+        // One violating pair {Paris/FR, Paris/DE}: I_MI = 1, I_R = 1.
+        assert!(out.lines().any(|l| l.starts_with("I_MI") && l.trim_end().ends_with('1')));
+    }
+
+    #[test]
+    fn mine_then_measure_roundtrip() {
+        let dir = temp_dir("mine");
+        // B functionally depends on A; mined rules must hold.
+        let mut csv = "A,B\n".to_string();
+        for i in 0..40 {
+            csv.push_str(&format!("{},{}\n", i % 5, (i % 5) * 7));
+        }
+        let data = temp_file(&dir, "fd.csv", &csv);
+        let rules_path = dir.join("mined.dc").to_string_lossy().into_owned();
+        let out = run(&cli(&["mine", &data, "--out", &rules_path])).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let measured = run(&cli(&["measure", &data, &rules_path])).unwrap();
+        assert!(measured.contains("violation ratio 0.0000%"), "{measured}");
+    }
+
+    #[test]
+    fn repair_produces_consistent_csv() {
+        let dir = temp_dir("repair");
+        let data = temp_file(&dir, "cities.csv", DATA);
+        let rules = temp_file(&dir, "rules.dc", RULES);
+        let cleaned = dir.join("clean.csv").to_string_lossy().into_owned();
+        let out = run(&cli(&["repair", &data, &rules, "--out", &cleaned])).unwrap();
+        assert!(out.contains("minimum deletion repair: 1 of 4"), "{out}");
+        let measured = run(&cli(&["measure", &cleaned, &rules])).unwrap();
+        assert!(measured.contains("3 tuples"), "{measured}");
+        assert!(measured.lines().any(|l| l.starts_with("I_d") && l.trim_end().ends_with('0')));
+    }
+
+    #[test]
+    fn noise_dirties_clean_data() {
+        let dir = temp_dir("noise");
+        let mut csv = "A,B\n".to_string();
+        for i in 0..30 {
+            csv.push_str(&format!("{},{}\n", i % 5, (i % 5) * 7));
+        }
+        let data = temp_file(&dir, "clean.csv", &csv);
+        let rules = temp_file(&dir, "rules.dc", "fd: t.A = t'.A & t.B != t'.B\n");
+        let noisy = dir.join("noisy.csv").to_string_lossy().into_owned();
+        let out = run(&cli(&[
+            "noise", &data, &rules, "--out", &noisy, "--model", "conoise", "--iters", "20",
+        ]))
+        .unwrap();
+        assert!(out.contains("raw violations 0 →"), "{out}");
+        assert!(std::fs::read_to_string(&noisy).unwrap().starts_with("A,B\n"));
+        // rnoise path too.
+        let out2 = run(&cli(&[
+            "noise", &data, &rules, "--out", &noisy, "--model", "rnoise", "--alpha", "0.05",
+        ]))
+        .unwrap();
+        assert!(out2.contains("rnoise:"), "{out2}");
+    }
+
+    #[test]
+    fn progress_runs_to_consistency() {
+        let dir = temp_dir("progress");
+        let data = temp_file(&dir, "cities.csv", DATA);
+        let rules = temp_file(&dir, "rules.dc", RULES);
+        let out = run(&cli(&["progress", &data, &rules])).unwrap();
+        assert!(out.contains("consistent after 1 greedy deletions"), "{out}");
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&cli(&["help"])).unwrap().contains("USAGE"));
+        assert!(run(&cli(&[])).unwrap().contains("USAGE"));
+        let err = run(&cli(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run(&cli(&["measure", "/nonexistent/x.csv", "/nonexistent/y.dc"])).unwrap_err();
+        assert!(err.contains("x.csv"), "{err}");
+    }
+}

@@ -1,0 +1,327 @@
+//! A small CSV reader/writer with schema inference.
+//!
+//! Hand-rolled on purpose: the offline dependency roster has no CSV crate,
+//! and the needs here are narrow — RFC-4180-style quoting (quoted fields,
+//! doubled quotes, embedded separators/newlines), a header row, and
+//! inference of the three column kinds the relational substrate supports
+//! (`Int`, `Float`, `Str`; empty fields become nulls).
+
+use inconsist::relational::{
+    relation, Database, Fact, RelId, Schema, Value, ValueKind,
+};
+use std::sync::Arc;
+
+/// Parses CSV text into rows of string fields.
+///
+/// Accepts `\n` and `\r\n` row terminators. Fields may be quoted with
+/// `"`; inside a quoted field, `""` is a literal quote and separators /
+/// newlines are data. A trailing newline is not a row.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(format!(
+                        "row {}: quote in the middle of an unquoted field",
+                        rows.len() + 1
+                    ));
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    if !any {
+        return Err("empty input".into());
+    }
+    Ok(rows)
+}
+
+/// Infers each column's kind from the data rows: `Int` if every non-empty
+/// value parses as `i64`, else `Float` if every non-empty value parses as
+/// `f64`, else `Str`. All-empty columns default to `Str`.
+pub fn infer_kinds(rows: &[Vec<String>], width: usize) -> Vec<ValueKind> {
+    (0..width)
+        .map(|c| {
+            let mut saw = false;
+            let mut all_int = true;
+            let mut all_float = true;
+            for row in rows {
+                let Some(v) = row.get(c) else { continue };
+                if v.is_empty() {
+                    continue;
+                }
+                saw = true;
+                if v.parse::<i64>().is_err() {
+                    all_int = false;
+                }
+                if v.parse::<f64>().is_err() {
+                    all_float = false;
+                }
+            }
+            match (saw, all_int, all_float) {
+                (false, _, _) => ValueKind::Str,
+                (true, true, _) => ValueKind::Int,
+                (true, false, true) => ValueKind::Float,
+                _ => ValueKind::Str,
+            }
+        })
+        .collect()
+}
+
+fn to_value(raw: &str, kind: ValueKind) -> Value {
+    if raw.is_empty() {
+        return Value::Null;
+    }
+    match kind {
+        ValueKind::Int => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or_else(|_| Value::str(raw)),
+        ValueKind::Float => raw
+            .parse::<f64>()
+            .map(Value::float)
+            .unwrap_or_else(|_| Value::str(raw)),
+        _ => Value::str(raw),
+    }
+}
+
+/// A CSV file loaded into the relational substrate.
+pub struct LoadedCsv {
+    /// The one-relation schema (relation name = `rel_name` argument).
+    pub schema: Arc<Schema>,
+    /// The relation the rows were loaded into.
+    pub rel: RelId,
+    /// The database, one fact per data row, in file order.
+    pub db: Database,
+}
+
+/// Loads CSV text (header + data rows) into a fresh single-relation
+/// database called `rel_name`.
+pub fn load_csv(text: &str, rel_name: &str) -> Result<LoadedCsv, String> {
+    let rows = parse_csv(text)?;
+    let (header, data) = rows
+        .split_first()
+        .ok_or_else(|| "no header row".to_string())?;
+    if header.is_empty() || header.iter().any(|h| h.is_empty()) {
+        return Err("header row has empty column names".into());
+    }
+    let kinds = infer_kinds(data, header.len());
+    let cols: Vec<(&str, ValueKind)> = header
+        .iter()
+        .zip(&kinds)
+        .map(|(h, &k)| (h.as_str(), k))
+        .collect();
+    let mut schema = Schema::new();
+    let rel = schema
+        .add_relation(relation(rel_name, &cols).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let schema = Arc::new(schema);
+    let mut db = Database::new(Arc::clone(&schema));
+    for (i, row) in data.iter().enumerate() {
+        if row.len() != header.len() {
+            return Err(format!(
+                "row {}: {} fields, expected {}",
+                i + 2,
+                row.len(),
+                header.len()
+            ));
+        }
+        let values: Vec<Value> = row
+            .iter()
+            .zip(&kinds)
+            .map(|(raw, &k)| to_value(raw, k))
+            .collect();
+        db.insert(Fact::new(rel, values)).map_err(|e| e.to_string())?;
+    }
+    Ok(LoadedCsv { schema, rel, db })
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn value_str(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{}", f),
+        Value::Str(s) => s.to_string(),
+    }
+}
+
+/// Serializes one relation of `db` back to CSV (header + rows in tuple-id
+/// order).
+pub fn write_csv(db: &Database, rel: RelId) -> String {
+    let rs = db.relation_schema(rel);
+    let mut out = String::new();
+    out.push_str(
+        &rs.attributes()
+            .iter()
+            .map(|a| quote(&a.name))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for f in db.scan(rel) {
+        out.push_str(
+            &f.values
+                .iter()
+                .map(|v| quote(&value_str(v)))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_rows() {
+        let rows = parse_csv("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["1", "2"], vec!["3", "4"]]);
+    }
+
+    #[test]
+    fn parses_quoted_fields_with_commas_newlines_and_quotes() {
+        let rows = parse_csv("a,b\n\"x,y\",\"line\nbreak\"\n\"he said \"\"hi\"\"\",z\n").unwrap();
+        assert_eq!(rows[1], vec!["x,y", "line\nbreak"]);
+        assert_eq!(rows[2], vec!["he said \"hi\"", "z"]);
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let rows = parse_csv("a,b\r\n1,2\r\n3,4").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn rejects_bad_quoting() {
+        assert!(parse_csv("a,b\nx\"y,z\n").is_err());
+        assert!(parse_csv("a,b\n\"unterminated,z\n").is_err());
+        assert!(parse_csv("").is_err());
+    }
+
+    #[test]
+    fn infers_int_float_str_and_nulls() {
+        let csv = "i,f,s,n\n1,1.5,abc,\n2,2,def,\n,3.25,7,\n";
+        let loaded = load_csv(csv, "T").unwrap();
+        let rs = loaded.db.relation_schema(loaded.rel);
+        let kinds: Vec<ValueKind> = rs.attributes().iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![ValueKind::Int, ValueKind::Float, ValueKind::Str, ValueKind::Str]
+        );
+        let first = loaded.db.iter().next().unwrap();
+        assert_eq!(first.values[0], Value::Int(1));
+        assert!(first.values[3].is_null());
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows() {
+        let csv = "name,qty\n\"a,b\",3\nplain,\n\"q\"\"x\",7\n";
+        let loaded = load_csv(csv, "T").unwrap();
+        let out = write_csv(&loaded.db, loaded.rel);
+        let reloaded = load_csv(&out, "T").unwrap();
+        assert_eq!(loaded.db.len(), reloaded.db.len());
+        let a: Vec<Vec<Value>> = loaded.db.iter().map(|f| f.values.to_vec()).collect();
+        let b: Vec<Vec<Value>> = reloaded.db.iter().map(|f| f.values.to_vec()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        assert!(load_csv("a,b\n1\n", "T").is_err());
+        assert!(load_csv("a,\n1,2\n", "T").is_err());
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Arbitrary field content, including separators, quotes, CR/LF.
+        fn field() -> impl Strategy<Value = String> {
+            proptest::string::string_regex("[ -~\n\r\"]{0,12}").expect("valid regex")
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// quote → parse is the identity on arbitrary field matrices.
+            #[test]
+            fn quote_parse_roundtrip(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(field(), 3),
+                    1..6,
+                )
+            ) {
+                let mut text = String::new();
+                for row in &rows {
+                    text.push_str(
+                        &row.iter().map(|f| quote(f)).collect::<Vec<_>>().join(","),
+                    );
+                    text.push('\n');
+                }
+                let parsed = parse_csv(&text).unwrap();
+                prop_assert_eq!(parsed, rows);
+            }
+
+            /// The parser never panics on arbitrary input bytes.
+            #[test]
+            fn parser_is_total(input in "[ -~\n\r\",]{0,64}") {
+                let _ = parse_csv(&input);
+            }
+        }
+    }
+}

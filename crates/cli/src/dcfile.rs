@@ -1,0 +1,168 @@
+//! The `.dc` constraint-file format.
+//!
+//! One denial constraint per line in the ASCII syntax of
+//! [`inconsist::constraints::parse_dc`], optionally prefixed with a name:
+//!
+//! ```text
+//! # Stock sanity constraints (paper Fig. 3 style)
+//! highlow:  t.High >= t.Low
+//! no_dup:   !(t.Date = t'.Date & t.Close != t'.Close)
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. A line without a
+//! `name:` prefix gets `dc<line-number>`. Note the *body* of a DC is the
+//! forbidden condition, so `highlow` above must be written as the
+//! violation: `t.High < t.Low`.
+
+use inconsist::constraints::{parse_dc, CmpOp, DenialConstraint, Operand};
+use inconsist::relational::{Schema, Value};
+
+/// Parses a `.dc` file over relation `rel_name`.
+pub fn parse_dc_file(
+    schema: &Schema,
+    rel_name: &str,
+    text: &str,
+) -> Result<Vec<DenialConstraint>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // A `name:` prefix is an identifier followed by ':' before any DC
+        // syntax appears ('.', '(', comparison). Careful: ':' never occurs
+        // in DC syntax, so splitting on the first ':' is safe when the
+        // left part is a bare identifier.
+        let (name, body) = match line.split_once(':') {
+            Some((n, b))
+                if !n.trim().is_empty()
+                    && n.trim()
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '-') =>
+            {
+                (n.trim().to_string(), b.trim())
+            }
+            _ => (format!("dc{}", lineno + 1), line),
+        };
+        if body.is_empty() {
+            return Err(format!("line {}: empty constraint body", lineno + 1));
+        }
+        out.push(parse_dc(schema, rel_name, &name, body)?);
+    }
+    if out.is_empty() {
+        return Err("no constraints found".into());
+    }
+    Ok(out)
+}
+
+fn operand_ascii(op: &Operand) -> String {
+    match op {
+        Operand::Attr { var, attr } => {
+            let tick = if *var == 0 { "" } else { "'" };
+            format!("t{tick}.__ATTR{}__", attr.0)
+        }
+        Operand::Const(Value::Str(s)) => format!("\"{}\"", s.replace('"', "\\\"")),
+        Operand::Const(Value::Int(i)) => i.to_string(),
+        Operand::Const(Value::Float(f)) => format!("{f}"),
+        Operand::Const(Value::Null) => "\"\"".into(),
+    }
+}
+
+/// Serializes a DC back into the `.dc` line format, resolving attribute
+/// ids to names via `schema`. Inverse of [`parse_dc_file`] for the unary
+/// and binary constraints this workspace produces.
+pub fn dc_to_ascii(dc: &DenialConstraint, schema: &Schema) -> String {
+    let rs = schema.relation(dc.atoms[0].rel);
+    let body = dc
+        .predicates
+        .iter()
+        .map(|p| {
+            let mut s = format!(
+                "{} {} {}",
+                operand_ascii(&p.lhs),
+                CmpOp::token(p.op),
+                operand_ascii(&p.rhs)
+            );
+            for (i, a) in rs.attributes().iter().enumerate() {
+                s = s.replace(&format!("__ATTR{i}__"), &a.name);
+            }
+            s
+        })
+        .collect::<Vec<_>>()
+        .join(" & ");
+    format!("{}: {}", dc.name, body)
+}
+
+/// Serializes a whole constraint set as a `.dc` file with a header
+/// comment.
+pub fn write_dc_file(dcs: &[DenialConstraint], schema: &Schema, source: &str) -> String {
+    let mut out = format!("# denial constraints over `{source}`\n");
+    out.push_str("# each line is the FORBIDDEN condition: name: t.A op t'.B & ...\n");
+    for dc in dcs {
+        out.push_str(&dc_to_ascii(dc, schema));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::load_csv;
+
+    fn schema() -> (std::sync::Arc<Schema>, String) {
+        let loaded = load_csv("A,B,City\n1,2,x\n3,4,y\n", "data").unwrap();
+        (loaded.schema, "data".to_string())
+    }
+
+    #[test]
+    fn parses_named_and_anonymous_lines() {
+        let (s, rel) = schema();
+        let text = "# comment\n\nfd: t.A = t'.A & t.B != t'.B\nt.A > t.B\n";
+        let dcs = parse_dc_file(&s, &rel, text).unwrap();
+        assert_eq!(dcs.len(), 2);
+        assert_eq!(dcs[0].name, "fd");
+        assert_eq!(dcs[0].arity(), 2);
+        assert_eq!(dcs[1].name, "dc4");
+        assert_eq!(dcs[1].arity(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage_and_empty() {
+        let (s, rel) = schema();
+        assert!(parse_dc_file(&s, &rel, "# only comments\n").is_err());
+        assert!(parse_dc_file(&s, &rel, "fd:\n").is_err());
+        assert!(parse_dc_file(&s, &rel, "t.Nope = t'.Nope\n").is_err());
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let (s, rel) = schema();
+        let text = "fd: t.A = t'.A & t.B != t'.B\nuno: t.A > t.B\nconst: t.City = \"x\"\n";
+        let dcs = parse_dc_file(&s, &rel, text).unwrap();
+        let serialized = write_dc_file(&dcs, &s, "data.csv");
+        let reparsed = parse_dc_file(&s, &rel, &serialized).unwrap();
+        assert_eq!(dcs.len(), reparsed.len());
+        for (a, b) in dcs.iter().zip(&reparsed) {
+            assert_eq!(a.predicates, b.predicates, "{}", a.name);
+            assert_eq!(a.arity(), b.arity());
+        }
+    }
+
+    #[test]
+    fn attribute_names_with_overlapping_prefixes() {
+        // Attr ids 0 and 10 must not collide during substitution.
+        let mut cols = vec!["C0".to_string()];
+        for i in 1..=10 {
+            cols.push(format!("C{i}"));
+        }
+        let header = cols.join(",");
+        let row = (0..=10).map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+        let loaded = load_csv(&format!("{header}\n{row}\n"), "wide").unwrap();
+        let dcs =
+            parse_dc_file(&loaded.schema, "wide", "x: t.C10 = t'.C10 & t.C0 != t'.C0\n").unwrap();
+        let ascii = dc_to_ascii(&dcs[0], &loaded.schema);
+        assert!(ascii.contains("t.C10 = t'.C10"), "{ascii}");
+        assert!(ascii.contains("t.C0 != t'.C0"), "{ascii}");
+    }
+}

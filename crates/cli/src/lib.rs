@@ -1,0 +1,27 @@
+//! # inconsist-cli
+//!
+//! The command-line front end of the `inconsist` workspace: load a CSV
+//! file and a denial-constraint file, then measure inconsistency, mine
+//! constraints, compute repairs, inject the paper's noise models, or
+//! watch a greedy cleaning loop report live progress.
+//!
+//! The binary is a thin wrapper over [`commands::run`]; everything is a
+//! library function so the full pipeline is unit-tested.
+//!
+//! ```text
+//! inconsist measure data.csv rules.dc
+//! inconsist mine data.csv --out rules.dc
+//! inconsist repair data.csv rules.dc --out cleaned.csv
+//! inconsist noise data.csv rules.dc --out noisy.csv --model rnoise
+//! inconsist progress data.csv rules.dc
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli_args;
+pub mod commands;
+pub mod csv;
+pub mod dcfile;
+
+pub use cli_args::Cli;
+pub use commands::run;

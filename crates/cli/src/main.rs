@@ -1,0 +1,18 @@
+//! `inconsist` — the command-line entry point.
+
+fn main() {
+    let cli = match inconsist_cli::Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match inconsist_cli::run(&cli) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

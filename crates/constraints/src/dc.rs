@@ -1,0 +1,357 @@
+//! Denial constraints.
+//!
+//! A denial constraint (DC) has the form
+//! `∀x̄ ¬[φ1(x̄) ∧ … ∧ φk(x̄) ∧ ψ(x̄)]` (paper §2): a conjunction of atoms
+//! (here: tuple variables bound to relations) and comparisons that must not
+//! be jointly satisfiable. All constraints of the paper's experiments are
+//! DCs over one or two tuple variables of a single relation; EGDs translate
+//! to DCs over `k` tuple variables (see [`crate::egd`]).
+//!
+//! DCs are *anti-monotonic*: deleting tuples cannot introduce a violation.
+
+use crate::predicate::{CmpOp, Operand, Predicate};
+use inconsist_relational::{RelId, Schema};
+use std::fmt;
+
+/// One atom of a DC: a tuple variable ranging over a relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation the variable ranges over.
+    pub rel: RelId,
+}
+
+/// A denial constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenialConstraint {
+    /// Human-readable name, used in reports and error messages.
+    pub name: String,
+    /// Tuple variables; `atoms.len()` is the constraint's *arity* (the
+    /// maximum number of tuples in one violation).
+    pub atoms: Vec<Atom>,
+    /// The forbidden conjunction.
+    pub predicates: Vec<Predicate>,
+}
+
+impl DenialConstraint {
+    /// Builds a DC, validating that every predicate refers to declared
+    /// tuple variables and existing attributes.
+    pub fn new(
+        name: impl Into<String>,
+        atoms: Vec<Atom>,
+        predicates: Vec<Predicate>,
+        schema: &Schema,
+    ) -> Result<Self, String> {
+        let name = name.into();
+        if atoms.is_empty() {
+            return Err(format!("DC `{name}`: at least one tuple variable required"));
+        }
+        for p in &predicates {
+            for operand in [&p.lhs, &p.rhs] {
+                if let Operand::Attr { var, attr } = operand {
+                    let Some(atom) = atoms.get(*var) else {
+                        return Err(format!(
+                            "DC `{name}`: predicate mentions undeclared tuple variable t{var}"
+                        ));
+                    };
+                    let rs = schema.relation(atom.rel);
+                    if attr.idx() >= rs.arity() {
+                        return Err(format!(
+                            "DC `{name}`: attribute #{} out of range for relation `{}`",
+                            attr.0, rs.name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(DenialConstraint {
+            name,
+            atoms,
+            predicates,
+        })
+    }
+
+    /// Arity: number of tuple variables.
+    pub fn arity(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether this is a single-tuple (unary) DC.
+    pub fn is_unary(&self) -> bool {
+        self.arity() == 1
+    }
+
+    /// Whether this is a two-tuple DC over a single relation — the shape of
+    /// every constraint in the paper's experimental study.
+    pub fn is_binary_same_relation(&self) -> bool {
+        self.arity() == 2 && self.atoms[0].rel == self.atoms[1].rel
+    }
+
+    /// Evaluates the forbidden conjunction on a binding (one row per atom).
+    /// `true` means the binding *violates* the constraint.
+    #[inline]
+    pub fn forbidden(&self, binding: &[&[inconsist_relational::Value]]) -> bool {
+        debug_assert_eq!(binding.len(), self.arity());
+        self.predicates.iter().all(|p| p.eval(binding))
+    }
+
+    /// A binary same-relation DC is *symmetric* when swapping `t` and `t′`
+    /// yields the same predicate set; symmetric DCs need only ordered pairs
+    /// `(i, j)` with `i < j` during detection, halving the join work.
+    pub fn is_symmetric(&self) -> bool {
+        if !self.is_binary_same_relation() {
+            return false;
+        }
+        self.predicates
+            .iter()
+            .all(|p| self.predicates.iter().any(|q| *q == p.swap_binary_vars() || *q == flip_pred(&p.swap_binary_vars())))
+    }
+
+    /// Distinct attributes (per relation) mentioned by the constraint —
+    /// the basis of the attribute-overlap statistic of Fig. 3 (right) and
+    /// of the noise generators' "attribute occurs in at least one
+    /// constraint" filter.
+    pub fn attributes(&self) -> Vec<(RelId, inconsist_relational::AttrId)> {
+        let mut out = Vec::new();
+        for p in &self.predicates {
+            for operand in [&p.lhs, &p.rhs] {
+                if let Operand::Attr { var, attr } = operand {
+                    let key = (self.atoms[*var].rel, *attr);
+                    if !out.contains(&key) {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether two DCs share at least one attribute (Fig. 3's overlap).
+    pub fn overlaps(&self, other: &DenialConstraint) -> bool {
+        let a = self.attributes();
+        other.attributes().iter().any(|k| a.contains(k))
+    }
+
+    /// Renders the DC against a schema, in the paper's notation, e.g.
+    /// `∀t,t′ ¬(t[Country] = t′[Country] ∧ t[Continent] ≠ t′[Continent])`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> DcDisplay<'a> {
+        DcDisplay { dc: self, schema }
+    }
+}
+
+fn flip_pred(p: &Predicate) -> Predicate {
+    Predicate {
+        lhs: p.rhs.clone(),
+        op: p.op.flip(),
+        rhs: p.lhs.clone(),
+    }
+}
+
+/// Display adapter produced by [`DenialConstraint::display`].
+pub struct DcDisplay<'a> {
+    dc: &'a DenialConstraint,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for DcDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let var_name = |v: usize| match v {
+            0 => "t".to_string(),
+            1 => "t'".to_string(),
+            n => format!("t{n}"),
+        };
+        write!(f, "∀")?;
+        for v in 0..self.dc.arity() {
+            if v > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", var_name(v))?;
+        }
+        write!(f, " ¬(")?;
+        let operand = |o: &Operand, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            match o {
+                Operand::Attr { var, attr } => {
+                    let rel = self.dc.atoms[*var].rel;
+                    let name = &self.schema.relation(rel).attribute(*attr).name;
+                    write!(f, "{}[{}]", var_name(*var), name)
+                }
+                Operand::Const(v) => write!(f, "{v}"),
+            }
+        };
+        for (i, p) in self.dc.predicates.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            operand(&p.lhs, f)?;
+            write!(f, " {} ", p.op)?;
+            operand(&p.rhs, f)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder sugar for the common DC shapes.
+pub mod build {
+    use super::*;
+    use inconsist_relational::{AttrId, Value};
+
+    /// A unary DC `∀t ¬(conjunction over t)`.
+    pub fn unary(
+        name: impl Into<String>,
+        rel: RelId,
+        predicates: Vec<Predicate>,
+        schema: &Schema,
+    ) -> Result<DenialConstraint, String> {
+        DenialConstraint::new(name, vec![Atom { rel }], predicates, schema)
+    }
+
+    /// A binary DC `∀t,t′ ¬(conjunction over t, t′)` on one relation.
+    pub fn binary(
+        name: impl Into<String>,
+        rel: RelId,
+        predicates: Vec<Predicate>,
+        schema: &Schema,
+    ) -> Result<DenialConstraint, String> {
+        DenialConstraint::new(name, vec![Atom { rel }, Atom { rel }], predicates, schema)
+    }
+
+    /// Predicate `t[a] ρ t′[b]`.
+    pub fn tt(a: AttrId, op: CmpOp, b: AttrId) -> Predicate {
+        Predicate::attr_attr(0, a, op, 1, b)
+    }
+
+    /// Predicate `t[a] ρ t[b]` (both on the first variable).
+    pub fn uu(a: AttrId, op: CmpOp, b: AttrId) -> Predicate {
+        Predicate::attr_attr(0, a, op, 0, b)
+    }
+
+    /// Predicate `t[a] ρ c`.
+    pub fn uc(a: AttrId, op: CmpOp, c: Value) -> Predicate {
+        Predicate::attr_const(0, a, op, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+    use inconsist_relational::{relation, AttrId, Schema, Value, ValueKind};
+
+    fn schema2() -> (Schema, RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn validation_rejects_bad_vars_and_attrs() {
+        let (s, r) = schema2();
+        let bad_var = DenialConstraint::new(
+            "x",
+            vec![Atom { rel: r }],
+            vec![Predicate::attr_attr(0, AttrId(0), CmpOp::Eq, 1, AttrId(0))],
+            &s,
+        );
+        assert!(bad_var.is_err());
+        let bad_attr = DenialConstraint::new(
+            "y",
+            vec![Atom { rel: r }],
+            vec![Predicate::attr_const(0, AttrId(9), CmpOp::Eq, Value::int(0))],
+            &s,
+        );
+        assert!(bad_attr.is_err());
+        assert!(DenialConstraint::new("z", vec![], vec![], &s).is_err());
+    }
+
+    #[test]
+    fn forbidden_conjunction_semantics() {
+        let (s, r) = schema2();
+        // ∀t,t' ¬(t[A] = t'[A] ∧ t[B] != t'[B]) — the FD A → B.
+        let dc = binary(
+            "fd",
+            r,
+            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            &s,
+        )
+        .unwrap();
+        let r1 = [Value::int(1), Value::int(2), Value::int(0)];
+        let r2 = [Value::int(1), Value::int(3), Value::int(0)];
+        let r3 = [Value::int(2), Value::int(2), Value::int(0)];
+        assert!(dc.forbidden(&[&r1, &r2]));
+        assert!(!dc.forbidden(&[&r1, &r3]));
+        assert!(!dc.forbidden(&[&r1, &r1]));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let (s, r) = schema2();
+        let fd = binary(
+            "fd",
+            r,
+            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            &s,
+        )
+        .unwrap();
+        assert!(fd.is_symmetric());
+        // t[A] < t'[A] is not symmetric: the swapped form is t'[A] < t[A].
+        let lt = binary("lt", r, vec![tt(AttrId(0), CmpOp::Lt, AttrId(0))], &s).unwrap();
+        assert!(!lt.is_symmetric());
+        let un = unary("u", r, vec![uu(AttrId(0), CmpOp::Lt, AttrId(1))], &s).unwrap();
+        assert!(!un.is_symmetric());
+    }
+
+    #[test]
+    fn attributes_and_overlap() {
+        let (s, r) = schema2();
+        let d1 = binary(
+            "d1",
+            r,
+            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            &s,
+        )
+        .unwrap();
+        let d2 = binary("d2", r, vec![tt(AttrId(1), CmpOp::Gt, AttrId(2))], &s).unwrap();
+        let d3 = unary("d3", r, vec![uc(AttrId(2), CmpOp::Lt, Value::int(0))], &s).unwrap();
+        assert_eq!(d1.attributes().len(), 2);
+        assert!(d1.overlaps(&d2)); // share B
+        assert!(!d1.overlaps(&d3)); // A,B vs C
+        assert!(d2.overlaps(&d3)); // share C
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let (s, r) = schema2();
+        let dc = binary(
+            "fd",
+            r,
+            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            &s,
+        )
+        .unwrap();
+        assert_eq!(
+            dc.display(&s).to_string(),
+            "∀t,t' ¬(t[A] = t'[A] ∧ t[B] != t'[B])"
+        );
+    }
+
+    #[test]
+    fn unary_dc_shape() {
+        let (s, r) = schema2();
+        let dc = unary("neg", r, vec![uc(AttrId(0), CmpOp::Eq, Value::int(7))], &s).unwrap();
+        assert!(dc.is_unary());
+        assert!(!dc.is_binary_same_relation());
+        assert!(dc.forbidden(&[&[Value::int(7), Value::int(0), Value::int(0)]]));
+        assert!(!dc.forbidden(&[&[Value::int(8), Value::int(0), Value::int(0)]]));
+    }
+}

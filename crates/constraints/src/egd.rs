@@ -1,0 +1,363 @@
+//! Equality-generating dependencies.
+//!
+//! An EGD has the form `∀x̄ [φ1(x̄) ∧ … ∧ φk(x̄) → y1 = y2]` where each `φj`
+//! is a relational atom and `y1, y2 ∈ x̄` (paper §2). EGDs generalize FDs and
+//! are themselves special DCs: the implication is equivalent to the denial
+//! `∀x̄ ¬[φ1 ∧ … ∧ φk ∧ y1 ≠ y2]`, which [`Egd::to_dc`] constructs.
+//!
+//! The complexity dichotomy of the paper (Theorem 1) is stated over single
+//! EGDs with two binary atoms; the classifier lives in the core crate and
+//! pattern-matches this representation.
+
+use crate::dc::{Atom, DenialConstraint};
+use crate::predicate::{CmpOp, Predicate};
+use inconsist_relational::{AttrId, RelId, Schema};
+use std::fmt;
+
+/// One relational atom `R(x_{v1}, …, x_{vk})` of an EGD body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EgdAtom {
+    /// Relation symbol.
+    pub rel: RelId,
+    /// Variable index at each position; repeats encode equality joins.
+    pub vars: Vec<usize>,
+}
+
+/// An equality-generating dependency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Egd {
+    /// Human-readable name.
+    pub name: String,
+    /// Body atoms.
+    pub atoms: Vec<EgdAtom>,
+    /// The implied equality `x_{c0} = x_{c1}`.
+    pub conclusion: (usize, usize),
+}
+
+impl Egd {
+    /// Builds and validates an EGD: atom arities must match the schema,
+    /// variables must be numbered contiguously from 0, and the conclusion
+    /// variables must occur in the body.
+    pub fn new(
+        name: impl Into<String>,
+        atoms: Vec<EgdAtom>,
+        conclusion: (usize, usize),
+        schema: &Schema,
+    ) -> Result<Self, String> {
+        let name = name.into();
+        if atoms.is_empty() {
+            return Err(format!("EGD `{name}`: empty body"));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for atom in &atoms {
+            let rs = schema.relation(atom.rel);
+            if atom.vars.len() != rs.arity() {
+                return Err(format!(
+                    "EGD `{name}`: atom over `{}` has {} variables, relation arity is {}",
+                    rs.name,
+                    atom.vars.len(),
+                    rs.arity()
+                ));
+            }
+            seen.extend(atom.vars.iter().copied());
+        }
+        let n = seen.len();
+        if seen.iter().copied().ne(0..n) {
+            return Err(format!("EGD `{name}`: variables must be numbered 0..{n}"));
+        }
+        for side in [conclusion.0, conclusion.1] {
+            if !seen.contains(&side) {
+                return Err(format!(
+                    "EGD `{name}`: conclusion variable x{side} does not occur in the body"
+                ));
+            }
+        }
+        Ok(Egd {
+            name,
+            atoms,
+            conclusion,
+        })
+    }
+
+    /// Number of distinct variables in the body.
+    pub fn num_vars(&self) -> usize {
+        self.atoms
+            .iter()
+            .flat_map(|a| a.vars.iter().copied())
+            .max()
+            .map_or(0, |m| m + 1)
+    }
+
+    /// All occurrences `(atom index, position)` of variable `v`.
+    pub fn occurrences(&self, v: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (ai, atom) in self.atoms.iter().enumerate() {
+            for (pi, &u) in atom.vars.iter().enumerate() {
+                if u == v {
+                    out.push((ai, pi));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the EGD is trivial (`y1` and `y2` are the same variable).
+    pub fn is_trivial(&self) -> bool {
+        self.conclusion.0 == self.conclusion.1
+    }
+
+    /// Translates to the equivalent denial constraint: one tuple variable
+    /// per atom, equality predicates for shared variables, and the negated
+    /// conclusion.
+    pub fn to_dc(&self, schema: &Schema) -> DenialConstraint {
+        let atoms: Vec<Atom> = self.atoms.iter().map(|a| Atom { rel: a.rel }).collect();
+        let mut preds = Vec::new();
+        for v in 0..self.num_vars() {
+            let occ = self.occurrences(v);
+            let (a0, p0) = occ[0];
+            for &(ai, pi) in &occ[1..] {
+                preds.push(Predicate::attr_attr(
+                    a0,
+                    AttrId(p0 as u16),
+                    CmpOp::Eq,
+                    ai,
+                    AttrId(pi as u16),
+                ));
+            }
+        }
+        let canon = |v: usize| {
+            let (ai, pi) = self.occurrences(v)[0];
+            (ai, AttrId(pi as u16))
+        };
+        let (l, r) = (canon(self.conclusion.0), canon(self.conclusion.1));
+        preds.push(Predicate::attr_attr(l.0, l.1, CmpOp::Neq, r.0, r.1));
+        DenialConstraint::new(self.name.clone(), atoms, preds, schema)
+            .expect("EGD-derived DC is well formed")
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "∀x̄ [")?;
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "R{}(", atom.rel.0)?;
+            for (j, v) in atom.vars.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "x{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(
+            f,
+            " ⇒ (x{} = x{})]",
+            self.conclusion.0, self.conclusion.1
+        )
+    }
+}
+
+/// The four example EGDs of §5.1 (Example 8), over binary relations `r`
+/// (and `s` for σ4).
+pub mod example8 {
+    use super::*;
+
+    /// `σ1: ∀x,y,z [R(x,y), R(x,z) ⇒ y = z]` — an FD (key constraint).
+    pub fn sigma1(r: RelId, schema: &Schema) -> Egd {
+        Egd::new(
+            "σ1",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![0, 2] },
+            ],
+            (1, 2),
+            schema,
+        )
+        .expect("σ1 is well formed")
+    }
+
+    /// `σ2: ∀x,y,z [R(x,y), R(y,z) ⇒ x = z]` — NP-hard for `I_R` (Thm. 1).
+    pub fn sigma2(r: RelId, schema: &Schema) -> Egd {
+        Egd::new(
+            "σ2",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![1, 2] },
+            ],
+            (0, 2),
+            schema,
+        )
+        .expect("σ2 is well formed")
+    }
+
+    /// `σ3: ∀x,y,z [R(x,y), R(y,z) ⇒ x = y]` — NP-hard for `I_R` (Thm. 1).
+    pub fn sigma3(r: RelId, schema: &Schema) -> Egd {
+        Egd::new(
+            "σ3",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![1, 2] },
+            ],
+            (0, 1),
+            schema,
+        )
+        .expect("σ3 is well formed")
+    }
+
+    /// `σ4: ∀x,y,z [R(x,y), S(y,z) ⇒ x = z]` — polynomial (Lemma 2).
+    pub fn sigma4(r: RelId, s_rel: RelId, schema: &Schema) -> Egd {
+        Egd::new(
+            "σ4",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: s_rel, vars: vec![1, 2] },
+            ],
+            (0, 2),
+            schema,
+        )
+        .expect("σ4 is well formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Operand;
+    use inconsist_relational::{relation, Value, ValueKind};
+
+    fn schema_rs() -> (Schema, RelId, RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let t = s
+            .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        (s, r, t)
+    }
+
+    #[test]
+    fn validation_catches_arity_and_var_errors() {
+        let (s, r, _) = schema_rs();
+        let too_many = Egd::new(
+            "bad",
+            vec![EgdAtom { rel: r, vars: vec![0, 1, 2] }],
+            (0, 1),
+            &s,
+        );
+        assert!(too_many.is_err());
+        let gap = Egd::new(
+            "gap",
+            vec![EgdAtom { rel: r, vars: vec![0, 2] }],
+            (0, 2),
+            &s,
+        );
+        assert!(gap.is_err());
+        let bad_conc = Egd::new(
+            "conc",
+            vec![EgdAtom { rel: r, vars: vec![0, 1] }],
+            (0, 5),
+            &s,
+        );
+        assert!(bad_conc.is_err());
+    }
+
+    #[test]
+    fn sigma1_translates_to_fd_like_dc() {
+        let (s, r, _) = schema_rs();
+        let dc = example8::sigma1(r, &s).to_dc(&s);
+        assert_eq!(dc.arity(), 2);
+        // Predicates: t[A] = t'[A] (shared x), t[B] ≠ t'[B] (conclusion).
+        assert_eq!(dc.predicates.len(), 2);
+        assert_eq!(dc.predicates[0].op, CmpOp::Eq);
+        assert_eq!(dc.predicates[1].op, CmpOp::Neq);
+        // Violated by R(1, 2), R(1, 3).
+        let a = [Value::int(1), Value::int(2)];
+        let b = [Value::int(1), Value::int(3)];
+        assert!(dc.forbidden(&[&a, &b]));
+        assert!(!dc.forbidden(&[&a, &a]));
+    }
+
+    #[test]
+    fn sigma2_join_structure() {
+        let (s, r, _) = schema_rs();
+        let dc = example8::sigma2(r, &s).to_dc(&s);
+        // R(x,y), R(y,z) ⇒ x=z: join t[B]=t'[A], conclusion t[A]≠t'[B].
+        let a = [Value::int(1), Value::int(2)];
+        let b = [Value::int(2), Value::int(3)];
+        assert!(dc.forbidden(&[&a, &b])); // path 1→2→3, 1≠3
+        let cyc = [Value::int(2), Value::int(1)];
+        assert!(!dc.forbidden(&[&a, &cyc])); // 1→2→1 two-node cycle is fine
+        assert!(!dc.forbidden(&[&b, &a])); // no join: b.B=3 ≠ a.A=1
+    }
+
+    #[test]
+    fn sigma3_self_pair_semantics() {
+        let (s, r, _) = schema_rs();
+        let dc = example8::sigma3(r, &s).to_dc(&s);
+        // R(a,b) joined with itself: R(x,y),R(y,z) needs y=a=b; the single
+        // fact R(2,2) gives x=y=z=2, conclusion x=y holds → no violation.
+        let loopy = [Value::int(2), Value::int(2)];
+        assert!(!dc.forbidden(&[&loopy, &loopy]));
+        // R(1,2),R(2,2): x=1,y=2 → x≠y → violation.
+        let edge = [Value::int(1), Value::int(2)];
+        assert!(dc.forbidden(&[&edge, &loopy]));
+    }
+
+    #[test]
+    fn sigma4_crosses_relations() {
+        let (s, r, t) = schema_rs();
+        let egd = example8::sigma4(r, t, &s);
+        let dc = egd.to_dc(&s);
+        assert_eq!(dc.atoms[0].rel, r);
+        assert_eq!(dc.atoms[1].rel, t);
+        let a = [Value::int(1), Value::int(2)];
+        let b = [Value::int(2), Value::int(9)];
+        assert!(dc.forbidden(&[&a, &b])); // 1 ≠ 9
+        let ok = [Value::int(2), Value::int(1)];
+        assert!(!dc.forbidden(&[&a, &ok])); // 1 = 1
+    }
+
+    #[test]
+    fn repeated_var_within_atom_becomes_unary_predicate() {
+        let (s, r, _) = schema_rs();
+        // R(x, x), R(x, y) ⇒ x = y.
+        let egd = Egd::new(
+            "loop",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 0] },
+                EgdAtom { rel: r, vars: vec![0, 1] },
+            ],
+            (0, 1),
+            &s,
+        )
+        .unwrap();
+        let dc = egd.to_dc(&s);
+        // x occurs at (0,0),(0,1),(1,0): two equality predicates, the first
+        // of which is unary on t.
+        let unary_eq = dc
+            .predicates
+            .iter()
+            .filter(|p| {
+                matches!(
+                    (&p.lhs, &p.rhs),
+                    (Operand::Attr { var: 0, .. }, Operand::Attr { var: 0, .. })
+                ) && p.op == CmpOp::Eq
+            })
+            .count();
+        assert_eq!(unary_eq, 1);
+    }
+
+    #[test]
+    fn display_shows_structure() {
+        let (s, r, _) = schema_rs();
+        let egd = example8::sigma2(r, &s);
+        let text = egd.to_string();
+        assert!(text.contains("⇒ (x0 = x2)"));
+        assert!(egd.occurrences(1).len() == 2);
+        assert!(!egd.is_trivial());
+    }
+}

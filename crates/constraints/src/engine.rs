@@ -1,0 +1,845 @@
+//! Violation detection — the workspace's stand-in for the paper's SQL
+//! engine (§6.1: "Using SQL, we materialize all conflicting pairs of
+//! tuples").
+//!
+//! For every DC the engine enumerates *violations*: sets of tuples whose
+//! joint existence falsifies the constraint. The entry points layer on top
+//! of a single streaming enumerator:
+//!
+//! * [`is_consistent`] — early-exits on the first violation;
+//! * [`minimal_inconsistent_subsets`] — `MI_Σ(D)` of §3, globally deduped
+//!   and filtered to inclusion-minimal sets;
+//! * [`violations_per_dc`] — the `(F, σ)` "minimal violation" pairs of
+//!   §5.3 (one entry per constraint);
+//! * [`violations_involving`] — violations touching one tuple, used by
+//!   cleaners and by incremental measure updates.
+//!
+//! Execution plans: unary DCs scan; binary DCs hash-join on their equality
+//! predicates (symmetric DCs enumerate each unordered pair once); DCs of
+//! arity ≥ 3 run a backtracking index join.
+
+use crate::dc::DenialConstraint;
+use crate::predicate::{CmpOp, Operand, Predicate};
+use crate::set::ConstraintSet;
+use inconsist_relational::{AttrId, Database, RelId, TupleId, Value};
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+/// A violation: the distinct tuples of one falsifying binding, sorted.
+pub type ViolationSet = Box<[TupleId]>;
+
+/// Result of minimal-inconsistent-subset enumeration.
+#[derive(Clone, Debug)]
+pub struct MiResult {
+    /// The inclusion-minimal inconsistent subsets, each sorted, deduped
+    /// across constraints.
+    pub subsets: Vec<ViolationSet>,
+    /// `false` when enumeration stopped at the caller's limit; the subsets
+    /// are then a prefix of the real `MI_Σ(D)` (still all genuine
+    /// violations, but minimality is only guaranteed relative to what was
+    /// seen).
+    pub complete: bool,
+}
+
+impl MiResult {
+    /// `|MI_Σ(D)|` — the value of the measure `I_MI`.
+    pub fn count(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// `∪ MI_Σ(D)` — the problematic tuples of the measure `I_P`.
+    pub fn participants(&self) -> std::collections::BTreeSet<TupleId> {
+        self.subsets.iter().flat_map(|s| s.iter().copied()).collect()
+    }
+
+    /// Tuples that are inconsistent on their own (singleton subsets) — the
+    /// "contradictory tuples" counted by `I′_MC`.
+    pub fn self_inconsistent(&self) -> Vec<TupleId> {
+        self.subsets
+            .iter()
+            .filter(|s| s.len() == 1)
+            .map(|s| s[0])
+            .collect()
+    }
+}
+
+/// Violations of one DC, as `(F, σ)` pairs with `σ` fixed.
+#[derive(Clone, Debug)]
+pub struct DcViolations {
+    /// Index of the DC within the [`ConstraintSet`].
+    pub dc: usize,
+    /// Minimal falsifying tuple sets for this constraint alone.
+    pub sets: Vec<ViolationSet>,
+    /// Whether enumeration ran to completion.
+    pub complete: bool,
+}
+
+/// Decides `D |= Σ`.
+pub fn is_consistent(db: &Database, cs: &ConstraintSet) -> bool {
+    let mut indexes = Indexes::default();
+    for dc in cs.dcs() {
+        let mut found = false;
+        for_each_violation(db, dc, &mut indexes, &mut |_set| {
+            found = true;
+            ControlFlow::Break(())
+        });
+        if found {
+            return false;
+        }
+    }
+    true
+}
+
+/// Enumerates `MI_Σ(D)`: all inclusion-minimal inconsistent subsets, deduped
+/// across constraints. `limit` caps the number of *raw* violations examined
+/// (a memory guard for quadratic conflict blowups); hitting it is reported
+/// through [`MiResult::complete`].
+pub fn minimal_inconsistent_subsets(
+    db: &Database,
+    cs: &ConstraintSet,
+    limit: Option<usize>,
+) -> MiResult {
+    let mut indexes = Indexes::default();
+    let mut seen: HashSet<ViolationSet> = HashSet::new();
+    let mut budget = limit.unwrap_or(usize::MAX);
+    let mut complete = true;
+    for dc in cs.dcs() {
+        for_each_violation(db, dc, &mut indexes, &mut |set: &[TupleId]| {
+            if budget == 0 {
+                complete = false;
+                return ControlFlow::Break(());
+            }
+            budget -= 1;
+            seen.insert(set.to_vec().into_boxed_slice());
+            ControlFlow::Continue(())
+        });
+        if !complete {
+            break;
+        }
+    }
+    MiResult {
+        subsets: filter_minimal(seen),
+        complete,
+    }
+}
+
+/// Per-constraint minimal violations `(F, σ)` (§5.3): like
+/// [`minimal_inconsistent_subsets`] but without cross-constraint dedup, so
+/// the same tuple set may appear under several constraints.
+pub fn violations_per_dc(
+    db: &Database,
+    cs: &ConstraintSet,
+    limit: Option<usize>,
+) -> Vec<DcViolations> {
+    let mut indexes = Indexes::default();
+    let mut out = Vec::with_capacity(cs.len());
+    for (i, dc) in cs.dcs().iter().enumerate() {
+        let mut seen: HashSet<ViolationSet> = HashSet::new();
+        let mut budget = limit.unwrap_or(usize::MAX);
+        let mut complete = true;
+        for_each_violation(db, dc, &mut indexes, &mut |set: &[TupleId]| {
+            if budget == 0 {
+                complete = false;
+                return ControlFlow::Break(());
+            }
+            budget -= 1;
+            seen.insert(set.to_vec().into_boxed_slice());
+            ControlFlow::Continue(())
+        });
+        out.push(DcViolations {
+            dc: i,
+            sets: filter_minimal(seen),
+            complete,
+        });
+    }
+    out
+}
+
+/// All minimal violations that include tuple `tid` (deduped across
+/// constraints; each is minimal for its own constraint).
+pub fn violations_involving(db: &Database, cs: &ConstraintSet, tid: TupleId) -> Vec<ViolationSet> {
+    let Some(fact) = db.fact(tid) else {
+        return Vec::new();
+    };
+    let mut indexes = Indexes::default();
+    let mut seen: HashSet<ViolationSet> = HashSet::new();
+    for dc in cs.dcs() {
+        for (atom_idx, atom) in dc.atoms.iter().enumerate() {
+            if atom.rel != fact.rel {
+                continue;
+            }
+            let _ = enumerate_fixed(db, dc, atom_idx, tid, &mut indexes, &mut |set: &[TupleId]| {
+                seen.insert(set.to_vec().into_boxed_slice());
+                ControlFlow::Continue(())
+            });
+        }
+    }
+    filter_minimal(seen)
+}
+
+/// Raw falsifying bindings of each DC that include tuple `tid`, as
+/// `(constraint index, violation set)` pairs, deduped per constraint but
+/// *not* filtered for minimality (callers maintaining indexes combine them
+/// with previously known sets before filtering). Binary symmetric DCs probe
+/// the fixed tuple at one atom only — the other position yields the same
+/// unordered sets.
+pub fn raw_violations_involving_per_dc(
+    db: &Database,
+    cs: &ConstraintSet,
+    tid: TupleId,
+) -> Vec<(usize, ViolationSet)> {
+    let Some(fact) = db.fact(tid) else {
+        return Vec::new();
+    };
+    let mut indexes = Indexes::default();
+    let mut out = Vec::new();
+    for (dc_idx, dc) in cs.dcs().iter().enumerate() {
+        let mut seen: HashSet<ViolationSet> = HashSet::new();
+        let symmetric_binary = dc.arity() == 2 && dc.is_symmetric();
+        for (atom_idx, atom) in dc.atoms.iter().enumerate() {
+            if atom.rel != fact.rel {
+                continue;
+            }
+            if symmetric_binary && atom_idx == 1 {
+                continue;
+            }
+            let _ = enumerate_fixed(db, dc, atom_idx, tid, &mut indexes, &mut |set: &[TupleId]| {
+                seen.insert(set.to_vec().into_boxed_slice());
+                ControlFlow::Continue(())
+            });
+        }
+        out.extend(seen.into_iter().map(|s| (dc_idx, s)));
+    }
+    out
+}
+
+/// Keeps only inclusion-minimal sets. Exposed for callers (incremental
+/// indexes, custom measures) that maintain raw violation sets themselves.
+pub fn filter_minimal(seen: HashSet<ViolationSet>) -> Vec<ViolationSet> {
+    let mut by_size: Vec<ViolationSet> = seen.into_iter().collect();
+    by_size.sort_by_key(|s| (s.len(), s.first().copied()));
+    let mut accepted: HashSet<ViolationSet> = HashSet::new();
+    let mut out = Vec::new();
+    'outer: for set in by_size {
+        // Arities are tiny (≤ 4 in practice), so checking every proper
+        // subset against the accepted pool is cheap and exact.
+        for mask in 1..(1u32 << set.len()) - 1 {
+            let sub: ViolationSet = set
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, t)| *t)
+                .collect();
+            if accepted.contains(&sub) {
+                continue 'outer;
+            }
+        }
+        accepted.insert(set.clone());
+        out.push(set);
+    }
+    out
+}
+
+/// Sorted distinct tuple ids of one binding.
+fn binding_set(ids: &[TupleId]) -> Vec<TupleId> {
+    let mut v = ids.to_vec();
+    v.sort();
+    v.dedup();
+    v
+}
+
+// ---------------------------------------------------------------------------
+// Streaming enumerator
+// ---------------------------------------------------------------------------
+
+/// Lazily-built hash indexes `value → tuple ids` per `(relation, attribute)`.
+#[derive(Default)]
+pub struct Indexes {
+    map: HashMap<(RelId, AttrId), HashMap<Value, Vec<TupleId>>>,
+}
+
+impl Indexes {
+    fn get(&mut self, db: &Database, rel: RelId, attr: AttrId) -> &HashMap<Value, Vec<TupleId>> {
+        self.map.entry((rel, attr)).or_insert_with(|| {
+            let mut idx: HashMap<Value, Vec<TupleId>> = HashMap::new();
+            for f in db.scan(rel) {
+                idx.entry(f.value(attr).clone()).or_default().push(f.id);
+            }
+            idx
+        })
+    }
+}
+
+/// Invokes `cb` on each violation (sorted distinct tuple-id set) of `dc`.
+/// Binary symmetric DCs report each unordered pair exactly once; other
+/// shapes may repeat a set — callers dedup.
+pub fn for_each_violation(
+    db: &Database,
+    dc: &DenialConstraint,
+    indexes: &mut Indexes,
+    cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+) {
+    match dc.arity() {
+        1 => {
+            let _ = enumerate_unary(db, dc, cb);
+        }
+        2 => {
+            let _ = enumerate_binary(db, dc, cb);
+        }
+        _ => {
+            let _ = enumerate_generic(db, dc, indexes, cb);
+        }
+    }
+}
+
+fn enumerate_unary(
+    db: &Database,
+    dc: &DenialConstraint,
+    cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let rel = dc.atoms[0].rel;
+    for f in db.scan(rel) {
+        if dc.forbidden(&[f.values]) {
+            cb(&[f.id])?;
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Predicate classification for the binary plan.
+struct BinaryPlan<'a> {
+    /// `t[A] = t'[B]` join keys as `(A, B)` pairs.
+    eq_keys: Vec<(AttrId, AttrId)>,
+    /// Predicates mentioning only `t`.
+    t_only: Vec<&'a Predicate>,
+    /// Predicates mentioning only `t'`.
+    tp_only: Vec<&'a Predicate>,
+    /// Remaining cross predicates, checked per candidate pair.
+    rest: Vec<&'a Predicate>,
+    /// A constant-only predicate evaluated to `false` makes the DC vacuous.
+    vacuous: bool,
+}
+
+fn plan_binary(dc: &DenialConstraint) -> BinaryPlan<'_> {
+    let mut plan = BinaryPlan {
+        eq_keys: Vec::new(),
+        t_only: Vec::new(),
+        tp_only: Vec::new(),
+        rest: Vec::new(),
+        vacuous: false,
+    };
+    for p in &dc.predicates {
+        let mut vars: Vec<usize> = p.vars().collect();
+        vars.sort();
+        vars.dedup();
+        match vars.as_slice() {
+            [] => {
+                let (Operand::Const(a), Operand::Const(b)) = (&p.lhs, &p.rhs) else {
+                    unreachable!("no vars means both operands are constants")
+                };
+                if !p.op.eval(a, b) {
+                    plan.vacuous = true;
+                }
+            }
+            [0] => plan.t_only.push(p),
+            [1] => plan.tp_only.push(p),
+            _ => {
+                if p.op == CmpOp::Eq {
+                    match (&p.lhs, &p.rhs) {
+                        (Operand::Attr { var: 0, attr: a }, Operand::Attr { var: 1, attr: b }) => {
+                            plan.eq_keys.push((*a, *b));
+                            continue;
+                        }
+                        (Operand::Attr { var: 1, attr: b }, Operand::Attr { var: 0, attr: a }) => {
+                            plan.eq_keys.push((*a, *b));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                plan.rest.push(p);
+            }
+        }
+    }
+    plan
+}
+
+fn passes(preds: &[&Predicate], binding: &[&[Value]]) -> bool {
+    preds.iter().all(|p| p.eval(binding))
+}
+
+fn enumerate_binary(
+    db: &Database,
+    dc: &DenialConstraint,
+    cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let plan = plan_binary(dc);
+    if plan.vacuous {
+        return ControlFlow::Continue(());
+    }
+    let rel_t = dc.atoms[0].rel;
+    let rel_tp = dc.atoms[1].rel;
+    let same_rel = rel_t == rel_tp;
+
+    // Reflexive bindings t = t' (paper: "it may be the case that t = t′").
+    if same_rel {
+        for f in db.scan(rel_t) {
+            if dc.forbidden(&[f.values, f.values]) {
+                cb(&[f.id])?;
+            }
+        }
+    }
+
+    let symmetric = same_rel && dc.is_symmetric();
+
+    if plan.eq_keys.is_empty() {
+        // No equality key: filtered nested loop.
+        let left: Vec<_> = db
+            .scan(rel_t)
+            .filter(|f| passes(&plan.t_only, &[f.values, f.values]))
+            .collect();
+        let right: Vec<_> = db
+            .scan(rel_tp)
+            .filter(|f| passes(&plan.tp_only, &[f.values, f.values]))
+            .collect();
+        for a in &left {
+            for b in &right {
+                if a.id == b.id {
+                    continue;
+                }
+                if symmetric && a.id > b.id {
+                    continue;
+                }
+                if passes(&plan.rest, &[a.values, b.values]) {
+                    let set = binding_set(&[a.id, b.id]);
+                    cb(&set)?;
+                }
+            }
+        }
+        return ControlFlow::Continue(());
+    }
+
+    // Hash join on the equality keys: build on the t' side, probe from t.
+    let mut table: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+    for f in db.scan(rel_tp) {
+        if !passes(&plan.tp_only, &[f.values, f.values]) {
+            continue;
+        }
+        let key: Vec<Value> = plan
+            .eq_keys
+            .iter()
+            .map(|(_, b)| f.values[b.idx()].clone())
+            .collect();
+        table.entry(key).or_default().push(f.id);
+    }
+    let mut key_buf: Vec<Value> = Vec::with_capacity(plan.eq_keys.len());
+    for f in db.scan(rel_t) {
+        if !passes(&plan.t_only, &[f.values, f.values]) {
+            continue;
+        }
+        key_buf.clear();
+        key_buf.extend(plan.eq_keys.iter().map(|(a, _)| f.values[a.idx()].clone()));
+        let Some(bucket) = table.get(key_buf.as_slice()) else {
+            continue;
+        };
+        for &j in bucket {
+            if j == f.id {
+                continue; // reflexive bindings handled above
+            }
+            if symmetric && f.id > j {
+                continue;
+            }
+            let other = db.fact(j).expect("index is fresh");
+            if passes(&plan.rest, &[f.values, other.values]) {
+                let set = binding_set(&[f.id, j]);
+                cb(&set)?;
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Backtracking index join for DCs with three or more tuple variables.
+fn enumerate_generic(
+    db: &Database,
+    dc: &DenialConstraint,
+    indexes: &mut Indexes,
+    cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let n = dc.arity();
+    // Predicates become checkable once their maximum variable is bound.
+    let mut by_level: Vec<Vec<&Predicate>> = vec![Vec::new(); n];
+    for p in &dc.predicates {
+        let level = p.max_var().unwrap_or(0);
+        by_level[level].push(p);
+    }
+    let mut ids: Vec<TupleId> = Vec::with_capacity(n);
+    let mut rows: Vec<*const [Value]> = Vec::with_capacity(n);
+    recurse(db, dc, &by_level, indexes, &mut ids, &mut rows, None, cb)
+}
+
+/// Same join, with atom `fixed_atom` pinned to tuple `fixed_id`.
+fn enumerate_fixed(
+    db: &Database,
+    dc: &DenialConstraint,
+    fixed_atom: usize,
+    fixed_id: TupleId,
+    indexes: &mut Indexes,
+    cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let n = dc.arity();
+    let mut by_level: Vec<Vec<&Predicate>> = vec![Vec::new(); n];
+    for p in &dc.predicates {
+        by_level[p.max_var().unwrap_or(0)].push(p);
+    }
+    let mut ids: Vec<TupleId> = Vec::with_capacity(n);
+    let mut rows: Vec<*const [Value]> = Vec::with_capacity(n);
+    recurse(
+        db,
+        dc,
+        &by_level,
+        indexes,
+        &mut ids,
+        &mut rows,
+        Some((fixed_atom, fixed_id)),
+        cb,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    db: &Database,
+    dc: &DenialConstraint,
+    by_level: &[Vec<&Predicate>],
+    indexes: &mut Indexes,
+    ids: &mut Vec<TupleId>,
+    rows: &mut Vec<*const [Value]>,
+    fixed: Option<(usize, TupleId)>,
+    cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let level = ids.len();
+    if level == dc.arity() {
+        let set = binding_set(ids);
+        return cb(&set);
+    }
+    let rel = dc.atoms[level].rel;
+
+    // SAFETY: raw pointers in `rows` refer to rows of `db`, which is borrowed
+    // immutably for the whole enumeration; we only read them.
+    let view = |rows: &[*const [Value]]| -> Vec<&[Value]> {
+        rows.iter().map(|&p| unsafe { &*p }).collect()
+    };
+
+    let check_level = |binding: &[&[Value]]| by_level[level].iter().all(|p| p.eval(binding));
+
+    let try_candidate =
+        |tid: TupleId,
+         ids: &mut Vec<TupleId>,
+         rows: &mut Vec<*const [Value]>,
+         indexes: &mut Indexes,
+         cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>|
+         -> ControlFlow<()> {
+            let Some(f) = db.fact(tid) else {
+                return ControlFlow::Continue(());
+            };
+            if f.rel != rel {
+                return ControlFlow::Continue(());
+            }
+            ids.push(tid);
+            rows.push(f.values as *const [Value]);
+            let binding = view(rows);
+            // Pad with the last row so far for predicates over unbound vars:
+            // not needed — by_level guarantees only bound vars are touched.
+            let ok = {
+                let partial: Vec<&[Value]> = binding;
+                check_level(&partial)
+            };
+            let result = if ok {
+                recurse(db, dc, by_level, indexes, ids, rows, fixed, cb)
+            } else {
+                ControlFlow::Continue(())
+            };
+            ids.pop();
+            rows.pop();
+            result
+        };
+
+    if let Some((fa, fid)) = fixed {
+        if fa == level {
+            return try_candidate(fid, ids, rows, indexes, cb);
+        }
+    }
+
+    // Pick an equality predicate linking this level to a bound one to probe
+    // an index instead of scanning.
+    let mut probe: Option<(AttrId, Value)> = None;
+    for p in &by_level[level] {
+        if p.op != CmpOp::Eq {
+            continue;
+        }
+        if let (Operand::Attr { var: v1, attr: a1 }, Operand::Attr { var: v2, attr: a2 }) =
+            (&p.lhs, &p.rhs)
+        {
+            let (here, there) = if *v1 == level && *v2 < level {
+                (*a1, (*v2, *a2))
+            } else if *v2 == level && *v1 < level {
+                (*a2, (*v1, *a1))
+            } else {
+                continue;
+            };
+            let bound_row = unsafe { &*rows[there.0] };
+            probe = Some((here, bound_row[there.1.idx()].clone()));
+            break;
+        }
+    }
+
+    match probe {
+        Some((attr, value)) => {
+            let candidates: Vec<TupleId> = indexes
+                .get(db, rel, attr)
+                .get(&value).cloned()
+                .unwrap_or_default();
+            for tid in candidates {
+                try_candidate(tid, ids, rows, indexes, cb)?;
+            }
+        }
+        None => {
+            let all: Vec<TupleId> = db.scan(rel).map(|f| f.id).collect();
+            for tid in all {
+                try_candidate(tid, ids, rows, indexes, cb)?;
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::build;
+    use crate::egd::{Egd, EgdAtom};
+    use crate::fd::Fd;
+    use inconsist_relational::{relation, Fact, Schema, ValueKind};
+    use std::sync::Arc;
+
+    fn schema_ab() -> (Arc<Schema>, RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        (Arc::new(s), r)
+    }
+
+    fn insert2(db: &mut Database, r: RelId, a: i64, b: i64) -> TupleId {
+        db.insert(Fact::new(r, [Value::int(a), Value::int(b)])).unwrap()
+    }
+
+    fn fd_set(s: &Arc<Schema>, r: RelId) -> ConstraintSet {
+        let mut cs = ConstraintSet::new(Arc::clone(s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        cs
+    }
+
+    #[test]
+    fn consistency_check() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        insert2(&mut db, r, 1, 1);
+        insert2(&mut db, r, 2, 1);
+        let cs = fd_set(&s, r);
+        assert!(is_consistent(&db, &cs));
+        insert2(&mut db, r, 1, 9);
+        assert!(!is_consistent(&db, &cs));
+    }
+
+    #[test]
+    fn fd_violations_are_pairs() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        let t0 = insert2(&mut db, r, 1, 1);
+        let t1 = insert2(&mut db, r, 1, 2);
+        let t2 = insert2(&mut db, r, 1, 2);
+        insert2(&mut db, r, 2, 5);
+        let cs = fd_set(&s, r);
+        let mi = minimal_inconsistent_subsets(&db, &cs, None);
+        assert!(mi.complete);
+        // {t0,t1} and {t0,t2} conflict; {t1,t2} agree on B.
+        let mut sets: Vec<Vec<TupleId>> = mi.subsets.iter().map(|s| s.to_vec()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![t0, t1], vec![t0, t2]]);
+        assert_eq!(mi.count(), 2);
+        assert_eq!(
+            mi.participants().into_iter().collect::<Vec<_>>(),
+            vec![t0, t1, t2]
+        );
+    }
+
+    #[test]
+    fn unary_dc_yields_singletons_that_subsume_pairs() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        let bad = insert2(&mut db, r, 1, 5); // violates A < B? no: 1 < 5 fine
+        let worse = insert2(&mut db, r, 7, 3); // violates ¬(A > B)
+        let other = insert2(&mut db, r, 7, 9);
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        // ∀t ¬(t[A] > t[B])  and the FD A→B.
+        cs.add_dc(build::unary("ord", r, vec![build::uu(AttrId(0), CmpOp::Gt, AttrId(1))], &s).unwrap());
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        let mi = minimal_inconsistent_subsets(&db, &cs, None);
+        // {worse} is a singleton; the FD pair {worse, other} is subsumed.
+        let mut sets: Vec<Vec<TupleId>> = mi.subsets.iter().map(|s| s.to_vec()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![worse]]);
+        let _ = (bad, other);
+    }
+
+    #[test]
+    fn symmetric_pairs_reported_once() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        insert2(&mut db, r, 1, 1);
+        insert2(&mut db, r, 1, 2);
+        let cs = fd_set(&s, r);
+        let per_dc = violations_per_dc(&db, &cs, None);
+        assert_eq!(per_dc.len(), 1);
+        assert_eq!(per_dc[0].sets.len(), 1);
+        assert!(per_dc[0].complete);
+    }
+
+    #[test]
+    fn asymmetric_order_dc() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        let t0 = insert2(&mut db, r, 10, 0);
+        let t1 = insert2(&mut db, r, 5, 1);
+        let t2 = insert2(&mut db, r, 7, 2);
+        // ∀t,t' ¬(t[A] < t'[A]): forbids two facts with different A.
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_dc(
+            build::binary("lt", r, vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(0))], &s).unwrap(),
+        );
+        let mi = minimal_inconsistent_subsets(&db, &cs, None);
+        let mut sets: Vec<Vec<TupleId>> = mi.subsets.iter().map(|s| s.to_vec()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![t0, t1], vec![t0, t2], vec![t1, t2]]);
+    }
+
+    #[test]
+    fn reflexive_binding_gives_singleton() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        let bad = insert2(&mut db, r, 3, 9);
+        insert2(&mut db, r, 5, 5);
+        // ∀t,t' ¬(t[A] < t'[B]) — with t = t' this forbids A < B in one fact.
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_dc(
+            build::binary("x", r, vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(1))], &s).unwrap(),
+        );
+        let mi = minimal_inconsistent_subsets(&db, &cs, None);
+        assert!(mi.subsets.iter().any(|s| s.as_ref() == [bad]));
+        assert_eq!(mi.self_inconsistent(), vec![bad]);
+    }
+
+    #[test]
+    fn limit_truncates_and_flags() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        for i in 0..20 {
+            insert2(&mut db, r, 1, i);
+        }
+        let cs = fd_set(&s, r);
+        let mi = minimal_inconsistent_subsets(&db, &cs, Some(5));
+        assert!(!mi.complete);
+        assert!(mi.count() <= 5);
+        let full = minimal_inconsistent_subsets(&db, &cs, None);
+        assert!(full.complete);
+        assert_eq!(full.count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn cross_relation_egd_join() {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let t = s
+            .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        let r1 = db.insert(Fact::new(r, [Value::int(1), Value::int(2)])).unwrap();
+        let s1 = db.insert(Fact::new(t, [Value::int(2), Value::int(9)])).unwrap();
+        db.insert(Fact::new(t, [Value::int(2), Value::int(1)])).unwrap(); // consistent partner
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_egd(crate::egd::example8::sigma4(r, t, &s));
+        let mi = minimal_inconsistent_subsets(&db, &cs, None);
+        assert_eq!(mi.count(), 1);
+        assert_eq!(mi.subsets[0].as_ref(), &[r1, s1]);
+    }
+
+    #[test]
+    fn ternary_egd_prop1_shape() {
+        // σ1 of Prop. 1: R(x,y), S(x,z), S(x,w) ⇒ z = w.
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let t = s
+            .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let s = Arc::new(s);
+        let egd = Egd::new(
+            "p1",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: t, vars: vec![0, 2] },
+                EgdAtom { rel: t, vars: vec![0, 3] },
+            ],
+            (2, 3),
+            &s,
+        )
+        .unwrap();
+        let mut db = Database::new(Arc::clone(&s));
+        let ra = db.insert(Fact::new(r, [Value::int(1), Value::int(0)])).unwrap();
+        let sa = db.insert(Fact::new(t, [Value::int(1), Value::int(5)])).unwrap();
+        let sb = db.insert(Fact::new(t, [Value::int(1), Value::int(6)])).unwrap();
+        db.insert(Fact::new(t, [Value::int(2), Value::int(7)])).unwrap();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_egd(egd);
+        let mi = minimal_inconsistent_subsets(&db, &cs, None);
+        assert_eq!(mi.count(), 1);
+        assert_eq!(mi.subsets[0].as_ref(), &[ra, sa, sb]);
+        // Removing the R fact repairs everything.
+        let mut db2 = db.clone();
+        db2.delete(ra);
+        assert!(is_consistent(&db2, &cs));
+    }
+
+    #[test]
+    fn violations_involving_single_tuple() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        let t0 = insert2(&mut db, r, 1, 1);
+        let t1 = insert2(&mut db, r, 1, 2);
+        let t2 = insert2(&mut db, r, 1, 3);
+        insert2(&mut db, r, 2, 2);
+        let cs = fd_set(&s, r);
+        let v0 = violations_involving(&db, &cs, t0);
+        assert_eq!(v0.len(), 2); // {t0,t1}, {t0,t2}
+        let v1 = violations_involving(&db, &cs, t1);
+        assert_eq!(v1.len(), 2); // {t0,t1}, {t1,t2}
+        let v_missing = violations_involving(&db, &cs, TupleId(99));
+        assert!(v_missing.is_empty());
+        let _ = t2;
+    }
+
+    #[test]
+    fn empty_constraint_set_is_always_consistent() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        insert2(&mut db, r, 1, 1);
+        let cs = ConstraintSet::new(Arc::clone(&s));
+        assert!(is_consistent(&db, &cs));
+        assert_eq!(minimal_inconsistent_subsets(&db, &cs, None).count(), 0);
+    }
+}

@@ -1,0 +1,595 @@
+//! Counting fast paths for violation statistics.
+//!
+//! The measures `I_MI` and `I_P` need only the *number* of violating pairs
+//! and the set of *participating* tuples. For the DC shapes that dominate
+//! the paper's workloads — equality keys plus one `≠` (FD shape) or one/two
+//! strict order comparisons (dominance shape: Adult, Voter, Tax) — both
+//! statistics are computable in `O(n log n)` without materializing the
+//! possibly quadratic set of pairs. These routines power the ablation bench
+//! (`bench_solvers`/`bench_violations`) and the quick estimators in the core
+//! crate; the streaming enumerator of [`crate::engine`] remains the source
+//! of truth.
+//!
+//! All counts exclude reflexive singletons (handled separately by callers).
+
+use crate::dc::DenialConstraint;
+use crate::predicate::{CmpOp, Operand, Predicate};
+use inconsist_relational::{AttrId, Database, TupleId, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// The supported shapes, produced by [`classify`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FastShape {
+    /// `eq keys ∧ t[A] ≠ t'[A]` — FD shape. Also covers a single *strict*
+    /// order comparison on one attribute (`t[A] < t'[A]`), which violates
+    /// exactly the pairs with distinct `A` values, like `≠`.
+    DistinctOnAttr {
+        /// Equality join keys (A = A only).
+        keys: Vec<AttrId>,
+        /// The attribute that must differ.
+        attr: AttrId,
+    },
+    /// `eq keys ∧ t[A] <op1> t'[A] ∧ t[B] <op2> t'[B]` with both ops strict —
+    /// 2-D dominance (Adult, Voter, Tax). Normalized so that the first
+    /// coordinate comparison is `<`.
+    Dominance {
+        /// Equality join keys.
+        keys: Vec<AttrId>,
+        /// First coordinate (normalized to `x_u < x_v`).
+        x: AttrId,
+        /// Second coordinate.
+        y: AttrId,
+        /// `true` when the second comparison (after normalization) is `<`,
+        /// `false` for `>`.
+        y_less: bool,
+    },
+}
+
+/// Classifies a DC into a fast shape, if supported: binary, single-relation,
+/// no constants, no unary conjuncts, every non-key predicate comparing an
+/// attribute with itself.
+pub fn classify(dc: &DenialConstraint) -> Option<FastShape> {
+    if !dc.is_binary_same_relation() {
+        return None;
+    }
+    let mut keys = Vec::new();
+    let mut rest: Vec<(AttrId, CmpOp)> = Vec::new();
+    for p in &dc.predicates {
+        let (a, op, b, flipped) = decompose(p)?;
+        if a != b {
+            return None; // cross-attribute comparisons: unsupported
+        }
+        let op = if flipped { op.flip() } else { op };
+        match op {
+            CmpOp::Eq => keys.push(a),
+            other => rest.push((a, other)),
+        }
+    }
+    match rest.as_slice() {
+        [(a, CmpOp::Neq)] | [(a, CmpOp::Lt)] | [(a, CmpOp::Gt)] => Some(FastShape::DistinctOnAttr {
+            keys,
+            attr: *a,
+        }),
+        // `≤`/`≥` shapes are degenerate: the reflexive binding t = t'
+        // satisfies them, so every tuple is a singleton violation and the
+        // pair count is not the interesting statistic. Unsupported.
+        [(a, op1), (b, op2)]
+            if matches!(op1, CmpOp::Lt | CmpOp::Gt) && matches!(op2, CmpOp::Lt | CmpOp::Gt) =>
+        {
+            // Normalize so the first comparison reads x_u < x_v.
+            let (x, y, y_op) = if *op1 == CmpOp::Lt {
+                (*a, *b, *op2)
+            } else {
+                // t[a] > t'[a] ≡ swap roles of u and v: then t[b] op2 t'[b]
+                // becomes t'[b] op2 t[b], i.e. op2 flipped.
+                (*a, *b, op2.flip())
+            };
+            Some(FastShape::Dominance {
+                keys,
+                x,
+                y,
+                y_less: y_op == CmpOp::Lt,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Splits `t[A] op t'[B]` into `(A, op, B, flipped)`; `flipped` marks the
+/// `t'[B] op t[A]` spelling. `None` for constants/unary predicates.
+fn decompose(p: &Predicate) -> Option<(AttrId, CmpOp, AttrId, bool)> {
+    match (&p.lhs, &p.rhs) {
+        (Operand::Attr { var: 0, attr: a }, Operand::Attr { var: 1, attr: b }) => {
+            Some((*a, p.op, *b, false))
+        }
+        (Operand::Attr { var: 1, attr: b }, Operand::Attr { var: 0, attr: a }) => {
+            Some((*a, p.op, *b, true))
+        }
+        _ => None,
+    }
+}
+
+/// Counts the unordered violating pairs of `dc` in `O(n log n)`.
+/// `None` when the DC does not fit a supported shape.
+pub fn count_pairs(db: &Database, dc: &DenialConstraint) -> Option<u64> {
+    let shape = classify(dc)?;
+    let rel = dc.atoms[0].rel;
+    let groups = group_by_keys(db, rel, shape_keys(&shape));
+    let mut total = 0u64;
+    for group in groups.values() {
+        total += match &shape {
+            FastShape::DistinctOnAttr { attr, .. } => {
+                let m = group.len() as u64;
+                let mut counts: HashMap<&Value, u64> = HashMap::new();
+                for &(_, row) in group {
+                    *counts.entry(&row[attr.idx()]).or_insert(0) += 1;
+                }
+                pairs(m) - counts.values().map(|&c| pairs(c)).sum::<u64>()
+            }
+            FastShape::Dominance { x, y, y_less, .. } => {
+                dominance_count(group, *x, *y, *y_less)
+            }
+        };
+    }
+    Some(total)
+}
+
+/// The tuples participating in at least one violating pair, in
+/// `O(n log n)`. `None` when unsupported.
+pub fn participants(db: &Database, dc: &DenialConstraint) -> Option<BTreeSet<TupleId>> {
+    let shape = classify(dc)?;
+    let rel = dc.atoms[0].rel;
+    let groups = group_by_keys(db, rel, shape_keys(&shape));
+    let mut out = BTreeSet::new();
+    for group in groups.values() {
+        match &shape {
+            FastShape::DistinctOnAttr { attr, .. } => {
+                let first = &group[0].1[attr.idx()];
+                if group.iter().any(|(_, row)| &row[attr.idx()] != first) {
+                    out.extend(group.iter().map(|(id, _)| *id));
+                }
+            }
+            FastShape::Dominance { x, y, y_less, .. } => {
+                dominance_participants(group, *x, *y, *y_less, &mut out);
+            }
+        }
+    }
+    Some(out)
+}
+
+fn shape_keys(shape: &FastShape) -> &[AttrId] {
+    match shape {
+        FastShape::DistinctOnAttr { keys, .. } => keys,
+        FastShape::Dominance { keys, .. } => keys,
+    }
+}
+
+fn pairs(m: u64) -> u64 {
+    m * m.saturating_sub(1) / 2
+}
+
+type Group<'a> = Vec<(TupleId, &'a [Value])>;
+
+fn group_by_keys<'a>(
+    db: &'a Database,
+    rel: inconsist_relational::RelId,
+    keys: &[AttrId],
+) -> HashMap<Vec<Value>, Group<'a>> {
+    let mut groups: HashMap<Vec<Value>, Group<'a>> = HashMap::new();
+    for f in db.scan(rel) {
+        let key: Vec<Value> = keys.iter().map(|k| f.values[k.idx()].clone()).collect();
+        groups.entry(key).or_default().push((f.id, f.values));
+    }
+    groups
+}
+
+/// Counts pairs `{u, v}` with `x_u < x_v` and `y_u ρ y_v` (ρ strict) via a
+/// Fenwick tree over compressed `y` ranks, sweeping `x` in ascending order
+/// and inserting equal-`x` batches only after they are queried (strictness).
+fn dominance_count(group: &Group<'_>, x: AttrId, y: AttrId, y_less: bool) -> u64 {
+    let mut pts: Vec<(&Value, &Value)> = group
+        .iter()
+        .map(|(_, row)| (&row[x.idx()], &row[y.idx()]))
+        .collect();
+    pts.sort_by(|a, b| a.0.cmp(b.0));
+    let mut ys: Vec<&Value> = pts.iter().map(|p| p.1).collect();
+    ys.sort();
+    ys.dedup();
+    let rank = |v: &Value| ys.binary_search_by(|probe| probe.cmp(&v)).unwrap();
+
+    let mut bit = Fenwick::new(ys.len());
+    let mut total = 0u64;
+    let mut i = 0;
+    while i < pts.len() {
+        // Batch of equal x: query all, then insert all.
+        let mut j = i;
+        while j < pts.len() && pts[j].0 == pts[i].0 {
+            j += 1;
+        }
+        for p in &pts[i..j] {
+            let r = rank(p.1);
+            total += if y_less {
+                // earlier u (x_u < x_v) with y_u < y_v: wait — we sweep v.
+                // Inserted points are the u side (smaller x). Condition
+                // y_u ρ y_v with ρ = `<` means count inserted y < y_v.
+                bit.prefix(r) // ranks 0..r-1  (strictly smaller y)
+            } else {
+                bit.suffix(r + 1) // strictly larger y
+            };
+        }
+        for p in &pts[i..j] {
+            bit.add(rank(p.1), 1);
+        }
+        i = j;
+    }
+    total
+}
+
+fn dominance_participants(
+    group: &Group<'_>,
+    x: AttrId,
+    y: AttrId,
+    y_less: bool,
+    out: &mut BTreeSet<TupleId>,
+) {
+    let mut pts: Vec<(&Value, &Value, TupleId)> = group
+        .iter()
+        .map(|(id, row)| (&row[x.idx()], &row[y.idx()], *id))
+        .collect();
+    pts.sort_by(|a, b| a.0.cmp(b.0));
+    let n = pts.len();
+
+    // prefix_best[i]: best y among points with x strictly below batch of i.
+    // "Best" = min y when we need an earlier point with y_u < y_v, else max.
+    let mut prefix_best: Vec<Option<&Value>> = vec![None; n];
+    {
+        let mut best: Option<&Value> = None;
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j < n && pts[j].0 == pts[i].0 {
+                j += 1;
+            }
+            prefix_best[i..j].fill(best);
+            for p in &pts[i..j] {
+                best = Some(match best {
+                    None => p.1,
+                    Some(b) => {
+                        if (y_less && p.1 < b) || (!y_less && p.1 > b) {
+                            p.1
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            i = j;
+        }
+    }
+    // suffix_best[i]: best y among points with x strictly above; for the u
+    // side we need a later v with y_v ρ̄... condition from u's perspective:
+    // ∃ v: x_v > x_u ∧ (y_less ? y_v > y_u : y_v < y_u).
+    let mut suffix_best: Vec<Option<&Value>> = vec![None; n];
+    {
+        let mut best: Option<&Value> = None;
+        let mut i = n;
+        while i > 0 {
+            let mut j = i;
+            while j > 0 && pts[j - 1].0 == pts[i - 1].0 {
+                j -= 1;
+            }
+            suffix_best[j..i].fill(best);
+            for p in &pts[j..i] {
+                best = Some(match best {
+                    None => p.1,
+                    Some(b) => {
+                        if (y_less && p.1 > b) || (!y_less && p.1 < b) {
+                            p.1
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            i = j;
+        }
+    }
+
+    for (k, p) in pts.iter().enumerate() {
+        // As the v side: an earlier u with y_u ρ y_v.
+        let as_v = match prefix_best[k] {
+            Some(b) if y_less => b < p.1,
+            Some(b) => b > p.1,
+            None => false,
+        };
+        // As the u side: a later v with y_v ρ̄ y_u (ρ from u's perspective).
+        let as_u = match suffix_best[k] {
+            Some(b) if y_less => b > p.1,
+            Some(b) => b < p.1,
+            None => false,
+        };
+        if as_v || as_u {
+            out.insert(p.2);
+        }
+    }
+}
+
+/// Minimal Fenwick (binary indexed) tree over counts.
+struct Fenwick {
+    tree: Vec<u64>,
+    total: u64,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+            total: 0,
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: u64) {
+        self.total += delta;
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of counts at ranks `0..i` (exclusive).
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i.min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of counts at ranks `i..` (inclusive of i).
+    fn suffix(&self, i: usize) -> u64 {
+        self.total - self.prefix(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::build;
+    use crate::engine::{minimal_inconsistent_subsets, violations_per_dc};
+    use crate::set::ConstraintSet;
+    use inconsist_relational::{relation, Fact, Schema, ValueKind};
+    use std::sync::Arc;
+
+    fn schema3() -> (Arc<Schema>, inconsist_relational::RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[
+                        ("K", ValueKind::Int),
+                        ("X", ValueKind::Int),
+                        ("Y", ValueKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (Arc::new(s), r)
+    }
+
+    fn k() -> AttrId {
+        AttrId(0)
+    }
+    fn x() -> AttrId {
+        AttrId(1)
+    }
+    fn y() -> AttrId {
+        AttrId(2)
+    }
+
+    fn db_with(s: &Arc<Schema>, r: inconsist_relational::RelId, rows: &[(i64, i64, i64)]) -> Database {
+        let mut db = Database::new(Arc::clone(s));
+        for &(a, b, c) in rows {
+            db.insert(Fact::new(r, [Value::int(a), Value::int(b), Value::int(c)]))
+                .unwrap();
+        }
+        db
+    }
+
+    fn oracle_count(db: &Database, s: &Arc<Schema>, dc: &DenialConstraint) -> u64 {
+        let mut cs = ConstraintSet::new(Arc::clone(s));
+        cs.add_dc(dc.clone());
+        violations_per_dc(db, &cs, None)[0]
+            .sets
+            .iter()
+            .filter(|v| v.len() == 2)
+            .count() as u64
+    }
+
+    #[test]
+    fn fd_shape_count_matches_engine() {
+        let (s, r) = schema3();
+        let dc = build::binary(
+            "fd",
+            r,
+            vec![build::tt(k(), CmpOp::Eq, k()), build::tt(x(), CmpOp::Neq, x())],
+            &s,
+        )
+        .unwrap();
+        let db = db_with(&s, r, &[(1, 1, 0), (1, 2, 0), (1, 2, 0), (2, 5, 0), (2, 5, 0)]);
+        assert_eq!(classify(&dc), Some(FastShape::DistinctOnAttr { keys: vec![k()], attr: x() }));
+        assert_eq!(count_pairs(&db, &dc), Some(2));
+        assert_eq!(oracle_count(&db, &s, &dc), 2);
+    }
+
+    #[test]
+    fn strict_lt_equals_distinct() {
+        let (s, r) = schema3();
+        let dc = build::binary("lt", r, vec![build::tt(x(), CmpOp::Lt, x())], &s).unwrap();
+        let db = db_with(&s, r, &[(0, 1, 0), (0, 1, 0), (0, 2, 0), (0, 3, 0)]);
+        // pairs with distinct X: C(4,2) − C(2,2) = 6 − 1 = 5.
+        assert_eq!(count_pairs(&db, &dc), Some(5));
+        assert_eq!(oracle_count(&db, &s, &dc), 5);
+    }
+
+    #[test]
+    fn leq_shape_is_unsupported() {
+        // With the paper's reflexive semantics (t = t' allowed), X ≤ X makes
+        // every tuple a singleton violation; the fast path refuses.
+        let (s, r) = schema3();
+        let dc = build::binary(
+            "le",
+            r,
+            vec![build::tt(k(), CmpOp::Eq, k()), build::tt(x(), CmpOp::Leq, x())],
+            &s,
+        )
+        .unwrap();
+        assert!(classify(&dc).is_none());
+    }
+
+    #[test]
+    fn dominance_count_matches_engine() {
+        let (s, r) = schema3();
+        // Tax shape: K = K' ∧ X > X' ∧ Y < Y'.
+        let dc = build::binary(
+            "tax",
+            r,
+            vec![
+                build::tt(k(), CmpOp::Eq, k()),
+                build::tt(x(), CmpOp::Gt, x()),
+                build::tt(y(), CmpOp::Lt, y()),
+            ],
+            &s,
+        )
+        .unwrap();
+        let db = db_with(
+            &s,
+            r,
+            &[
+                (1, 100, 10),
+                (1, 200, 5), // dominates (100,10)? 200>100 ∧ 5<10 ✓
+                (1, 150, 8), // vs (100,10) ✓; vs (200,5): 150<200,8>5 ✓ (other orientation)
+                (1, 150, 8), // equal point: no strict pair with its twin
+                (2, 100, 1),
+            ],
+        );
+        let fast = count_pairs(&db, &dc).unwrap();
+        let oracle = oracle_count(&db, &s, &dc);
+        assert_eq!(fast, oracle);
+        assert_eq!(fast, 5);
+    }
+
+    #[test]
+    fn dominance_randomized_against_engine() {
+        use rand::{Rng, SeedableRng};
+        let (s, r) = schema3();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let rows: Vec<(i64, i64, i64)> = (0..40)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..3),
+                        rng.gen_range(0..6),
+                        rng.gen_range(0..6),
+                    )
+                })
+                .collect();
+            let db = db_with(&s, r, &rows);
+            for (op1, op2) in [
+                (CmpOp::Lt, CmpOp::Lt),
+                (CmpOp::Lt, CmpOp::Gt),
+                (CmpOp::Gt, CmpOp::Lt),
+                (CmpOp::Gt, CmpOp::Gt),
+            ] {
+                let dc = build::binary(
+                    "d",
+                    r,
+                    vec![
+                        build::tt(k(), CmpOp::Eq, k()),
+                        build::tt(x(), op1, x()),
+                        build::tt(y(), op2, y()),
+                    ],
+                    &s,
+                )
+                .unwrap();
+                assert_eq!(
+                    count_pairs(&db, &dc).unwrap(),
+                    oracle_count(&db, &s, &dc),
+                    "trial {trial} ops {op1:?} {op2:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn participants_match_engine() {
+        use rand::{Rng, SeedableRng};
+        let (s, r) = schema3();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let rows: Vec<(i64, i64, i64)> = (0..30)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..2),
+                        rng.gen_range(0..5),
+                        rng.gen_range(0..5),
+                    )
+                })
+                .collect();
+            let db = db_with(&s, r, &rows);
+            for dc in [
+                build::binary(
+                    "fd",
+                    r,
+                    vec![build::tt(k(), CmpOp::Eq, k()), build::tt(x(), CmpOp::Neq, x())],
+                    &s,
+                )
+                .unwrap(),
+                build::binary(
+                    "dom",
+                    r,
+                    vec![build::tt(x(), CmpOp::Lt, x()), build::tt(y(), CmpOp::Gt, y())],
+                    &s,
+                )
+                .unwrap(),
+            ] {
+                let mut cs = ConstraintSet::new(Arc::clone(&s));
+                cs.add_dc(dc.clone());
+                let mi = minimal_inconsistent_subsets(&db, &cs, None);
+                let expected = mi.participants();
+                assert_eq!(participants(&db, &dc).unwrap(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_return_none() {
+        let (s, r) = schema3();
+        // Cross-attribute comparison.
+        let cross = build::binary("c", r, vec![build::tt(x(), CmpOp::Lt, y())], &s).unwrap();
+        assert!(classify(&cross).is_none());
+        // Unary DC.
+        let un = build::unary("u", r, vec![build::uu(x(), CmpOp::Lt, y())], &s).unwrap();
+        assert!(classify(&un).is_none());
+        // Three order predicates.
+        let three = build::binary(
+            "t3",
+            r,
+            vec![
+                build::tt(k(), CmpOp::Lt, k()),
+                build::tt(x(), CmpOp::Lt, x()),
+                build::tt(y(), CmpOp::Lt, y()),
+            ],
+            &s,
+        )
+        .unwrap();
+        assert!(classify(&three).is_none());
+        let db = db_with(&s, r, &[(0, 0, 0)]);
+        assert!(count_pairs(&db, &cross).is_none());
+        assert!(participants(&db, &un).is_none());
+    }
+}

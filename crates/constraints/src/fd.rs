@@ -1,0 +1,246 @@
+//! Functional dependencies.
+//!
+//! An FD `R : X → Y` states that facts agreeing on all of `X` also agree on
+//! all of `Y` (paper §2). FDs are the special case of DCs whose violations
+//! always involve exactly two facts, which is what makes several measures
+//! (`I_MI`, `I_P`) monotone for FDs but not for general DCs (Prop. 1), and
+//! what ties `I_R`/`I_R^lin` to vertex cover on the conflict graph (§5).
+//!
+//! This module also implements the classical attribute-closure entailment
+//! test, which powers the *monotonicity* experiments (`Σ′ |= Σ`) and the
+//! *invariance under logical equivalence* requirement on measures (§3).
+
+use crate::dc::{build, Atom, DenialConstraint};
+use crate::predicate::CmpOp;
+use inconsist_relational::{AttrId, RelId, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A functional dependency `R : X → Y`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fd {
+    /// Relation the FD constrains.
+    pub rel: RelId,
+    /// Determinant attributes `X` (may be empty: a constant constraint).
+    pub lhs: BTreeSet<AttrId>,
+    /// Dependent attributes `Y`.
+    pub rhs: BTreeSet<AttrId>,
+}
+
+impl Fd {
+    /// Builds an FD from attribute-id sets.
+    pub fn new(
+        rel: RelId,
+        lhs: impl IntoIterator<Item = AttrId>,
+        rhs: impl IntoIterator<Item = AttrId>,
+    ) -> Self {
+        Fd {
+            rel,
+            lhs: lhs.into_iter().collect(),
+            rhs: rhs.into_iter().collect(),
+        }
+    }
+
+    /// Builds an FD from attribute names, e.g.
+    /// `Fd::named(&schema, "Airport", &["Municipality"], &["Continent", "Country"])`.
+    pub fn named(
+        schema: &Schema,
+        rel: &str,
+        lhs: &[&str],
+        rhs: &[&str],
+    ) -> Result<Self, String> {
+        let rid = schema.rel_checked(rel).map_err(|e| e.to_string())?;
+        let rs = schema.relation(rid);
+        let resolve = |names: &[&str]| -> Result<BTreeSet<AttrId>, String> {
+            names
+                .iter()
+                .map(|n| rs.attr_checked(n).map_err(|e| e.to_string()))
+                .collect()
+        };
+        Ok(Fd {
+            rel: rid,
+            lhs: resolve(lhs)?,
+            rhs: resolve(rhs)?,
+        })
+    }
+
+    /// Whether the FD is trivial (`Y ⊆ X`), i.e. satisfied by every database.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(&self.lhs)
+    }
+
+    /// Translates to DCs: one two-tuple DC per dependent attribute
+    /// `A ∈ Y \ X`, namely `∀t,t′ ¬(⋀_{x∈X} t[x]=t′[x] ∧ t[A]≠t′[A])`.
+    pub fn to_dcs(&self, schema: &Schema) -> Vec<DenialConstraint> {
+        let rs = schema.relation(self.rel);
+        self.rhs
+            .iter()
+            .filter(|a| !self.lhs.contains(a))
+            .map(|&a| {
+                let mut preds = Vec::with_capacity(self.lhs.len() + 1);
+                for &x in &self.lhs {
+                    preds.push(build::tt(x, CmpOp::Eq, x));
+                }
+                preds.push(build::tt(a, CmpOp::Neq, a));
+                DenialConstraint::new(
+                    format!("{}:{}", rs.name, self.display_name(schema, a)),
+                    vec![Atom { rel: self.rel }, Atom { rel: self.rel }],
+                    preds,
+                    schema,
+                )
+                .expect("FD-derived DC is well formed")
+            })
+            .collect()
+    }
+
+    fn display_name(&self, schema: &Schema, rhs_attr: AttrId) -> String {
+        let rs = schema.relation(self.rel);
+        let lhs: Vec<&str> = self
+            .lhs
+            .iter()
+            .map(|&a| rs.attribute(a).name.as_str())
+            .collect();
+        format!("{}→{}", lhs.join(","), rs.attribute(rhs_attr).name)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ids = |s: &BTreeSet<AttrId>| {
+            s.iter()
+                .map(|a| format!("#{}", a.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        write!(f, "R{}: {} -> {}", self.rel.0, ids(&self.lhs), ids(&self.rhs))
+    }
+}
+
+/// Attribute closure `X⁺` of `attrs` under the FDs of one relation.
+pub fn closure(rel: RelId, attrs: &BTreeSet<AttrId>, fds: &[Fd]) -> BTreeSet<AttrId> {
+    let mut closed = attrs.clone();
+    loop {
+        let before = closed.len();
+        for fd in fds.iter().filter(|f| f.rel == rel) {
+            if fd.lhs.is_subset(&closed) {
+                closed.extend(fd.rhs.iter().copied());
+            }
+        }
+        if closed.len() == before {
+            return closed;
+        }
+    }
+}
+
+/// Whether the FD set `fds` entails the single FD `fd` (Armstrong-complete
+/// via attribute closure).
+pub fn entails_fd(fds: &[Fd], fd: &Fd) -> bool {
+    fd.rhs.is_subset(&closure(fd.rel, &fd.lhs, fds))
+}
+
+/// Whether `stronger |= weaker` as FD sets.
+pub fn entails_all(stronger: &[Fd], weaker: &[Fd]) -> bool {
+    weaker.iter().all(|fd| entails_fd(stronger, fd))
+}
+
+/// Whether two FD sets are logically equivalent.
+pub fn equivalent(a: &[Fd], b: &[Fd]) -> bool {
+    entails_all(a, b) && entails_all(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inconsist_relational::{relation, ValueKind};
+
+    fn schema() -> (Schema, RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                        ("D", ValueKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (s, r)
+    }
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn named_resolves_attributes() {
+        let (s, r) = schema();
+        let fd = Fd::named(&s, "R", &["A", "B"], &["C"]).unwrap();
+        assert_eq!(fd.rel, r);
+        assert_eq!(fd.lhs, [a(0), a(1)].into_iter().collect());
+        assert!(Fd::named(&s, "R", &["Z"], &["C"]).is_err());
+        assert!(Fd::named(&s, "S", &["A"], &["C"]).is_err());
+    }
+
+    #[test]
+    fn closure_transitivity() {
+        let (_, r) = schema();
+        // A→B, B→C: closure of {A} is {A,B,C}.
+        let fds = vec![Fd::new(r, [a(0)], [a(1)]), Fd::new(r, [a(1)], [a(2)])];
+        let cl = closure(r, &[a(0)].into_iter().collect(), &fds);
+        assert_eq!(cl, [a(0), a(1), a(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn entailment_via_closure() {
+        let (_, r) = schema();
+        let fds = vec![Fd::new(r, [a(0)], [a(1)]), Fd::new(r, [a(1)], [a(2)])];
+        assert!(entails_fd(&fds, &Fd::new(r, [a(0)], [a(2)]))); // A→C
+        assert!(!entails_fd(&fds, &Fd::new(r, [a(2)], [a(0)]))); // C→A
+        // Augmentation: AD→BD.
+        assert!(entails_fd(&fds, &Fd::new(r, [a(0), a(3)], [a(1), a(3)])));
+    }
+
+    #[test]
+    fn equivalence_of_split_and_joint_rhs() {
+        let (_, r) = schema();
+        let joint = vec![Fd::new(r, [a(0)], [a(1), a(2)])];
+        let split = vec![Fd::new(r, [a(0)], [a(1)]), Fd::new(r, [a(0)], [a(2)])];
+        assert!(equivalent(&joint, &split));
+        assert!(!equivalent(&joint, &[Fd::new(r, [a(0)], [a(1)])]));
+    }
+
+    #[test]
+    fn to_dcs_one_per_dependent_attribute() {
+        let (s, r) = schema();
+        let fd = Fd::new(r, [a(0)], [a(1), a(2)]);
+        let dcs = fd.to_dcs(&s);
+        assert_eq!(dcs.len(), 2);
+        for dc in &dcs {
+            assert_eq!(dc.arity(), 2);
+            assert_eq!(dc.predicates.len(), 2);
+            assert!(dc.is_symmetric());
+        }
+        // Trivial parts are dropped: A → A,B yields a single DC.
+        let fd2 = Fd::new(r, [a(0)], [a(0), a(1)]);
+        assert_eq!(fd2.to_dcs(&s).len(), 1);
+        assert!(Fd::new(r, [a(0)], [a(0)]).is_trivial());
+    }
+
+    #[test]
+    fn entailment_respects_relations() {
+        let mut s = Schema::new();
+        let r1 = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let r2 = s
+            .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let fds = vec![Fd::new(r1, [a(0)], [a(1)])];
+        assert!(!entails_fd(&fds, &Fd::new(r2, [a(0)], [a(1)])));
+    }
+}

@@ -1,0 +1,285 @@
+//! Inclusion dependencies (referential constraints).
+//!
+//! The paper's framework deliberately covers constraints beyond the
+//! anti-monotonic DCs: "referential (foreign-key) constraints or the more
+//! general inclusion dependencies" (§2), with `I_R` explicitly usable for
+//! them (§3: "the measure I_R in general can be used with other types of
+//! constraints (like referential integrity constraints)") and §4's remark
+//! that database-monotonicity fails for them because *adding* a tuple can
+//! reduce inconsistency.
+//!
+//! An IND `R[X] ⊆ S[Y]` requires every `X`-projection of `R` to appear as
+//! a `Y`-projection of `S`. Violations are *witnessed by single tuples*
+//! but — unlike DCs — not repairable by deletion alone in a monotone way:
+//! the natural repairs are deleting the dangling referencing tuples or
+//! inserting the missing referenced ones.
+
+use inconsist_relational::{AttrId, Database, RelId, Schema, TupleId, Value};
+use std::collections::{HashMap, HashSet};
+
+/// An inclusion dependency `R[X] ⊆ S[Y]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ind {
+    /// Human-readable name.
+    pub name: String,
+    /// Referencing relation `R`.
+    pub from_rel: RelId,
+    /// Referencing attributes `X`.
+    pub from_attrs: Vec<AttrId>,
+    /// Referenced relation `S`.
+    pub to_rel: RelId,
+    /// Referenced attributes `Y` (`|X| = |Y|`, pairwise type-compatible).
+    pub to_attrs: Vec<AttrId>,
+}
+
+impl Ind {
+    /// Builds and validates an IND against a schema.
+    pub fn new(
+        name: impl Into<String>,
+        schema: &Schema,
+        from: (&str, &[&str]),
+        to: (&str, &[&str]),
+    ) -> Result<Self, String> {
+        let name = name.into();
+        if from.1.len() != to.1.len() || from.1.is_empty() {
+            return Err(format!(
+                "IND `{name}`: attribute lists must be nonempty and of equal length"
+            ));
+        }
+        let from_rel = schema.rel_checked(from.0).map_err(|e| e.to_string())?;
+        let to_rel = schema.rel_checked(to.0).map_err(|e| e.to_string())?;
+        let resolve = |rel: RelId, names: &[&str]| -> Result<Vec<AttrId>, String> {
+            let rs = schema.relation(rel);
+            names
+                .iter()
+                .map(|n| rs.attr_checked(n).map_err(|e| e.to_string()))
+                .collect()
+        };
+        let from_attrs = resolve(from_rel, from.1)?;
+        let to_attrs = resolve(to_rel, to.1)?;
+        for (&a, &b) in from_attrs.iter().zip(&to_attrs) {
+            let ka = schema.relation(from_rel).attribute(a).kind;
+            let kb = schema.relation(to_rel).attribute(b).kind;
+            if ka != kb {
+                return Err(format!(
+                    "IND `{name}`: type mismatch {} vs {}",
+                    ka.name(),
+                    kb.name()
+                ));
+            }
+        }
+        Ok(Ind {
+            name,
+            from_rel,
+            from_attrs,
+            to_rel,
+            to_attrs,
+        })
+    }
+
+    /// Projection of a row onto this side's attributes.
+    fn key(&self, values: &[Value], attrs: &[AttrId]) -> Vec<Value> {
+        attrs.iter().map(|a| values[a.idx()].clone()).collect()
+    }
+
+    /// The dangling referencing tuples, grouped by their missing key: each
+    /// entry `(key, tuples)` can be repaired by inserting *one* referenced
+    /// tuple with that key, or by deleting *all* the listed tuples.
+    pub fn dangling(&self, db: &Database) -> Vec<(Vec<Value>, Vec<TupleId>)> {
+        let referenced: HashSet<Vec<Value>> = db
+            .scan(self.to_rel)
+            .map(|f| self.key(f.values, &self.to_attrs))
+            .collect();
+        let mut missing: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        for f in db.scan(self.from_rel) {
+            let k = self.key(f.values, &self.from_attrs);
+            if !referenced.contains(&k) {
+                missing.entry(k).or_default().push(f.id);
+            }
+        }
+        let mut out: Vec<(Vec<Value>, Vec<TupleId>)> = missing.into_iter().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        for (_, ts) in &mut out {
+            ts.sort();
+        }
+        out
+    }
+
+    /// Whether `db` satisfies the IND.
+    pub fn is_satisfied(&self, db: &Database) -> bool {
+        self.dangling(db).is_empty()
+    }
+}
+
+/// Outcome of [`ind_min_repair`]: total cost, referenced keys to insert
+/// (as `(relation, key values)`), and referencing tuples to delete.
+pub type IndRepair = (f64, Vec<(RelId, Vec<Value>)>, Vec<TupleId>);
+
+/// Minimum-cost repair of a set of INDs under insertions + deletions:
+/// per missing key, either insert one referenced tuple (cost
+/// `insert_cost`) or delete every dangling referencing tuple (their
+/// deletion costs). Exact for non-cascading INDs (referenced relations not
+/// themselves referencing); cascades are handled conservatively by
+/// charging each level independently, which is exact when key sets don't
+/// chain — the common foreign-key case.
+///
+/// Returns `(total cost, keys to insert, tuples to delete)`.
+pub fn ind_min_repair(inds: &[Ind], db: &Database, insert_cost: f64) -> IndRepair {
+    let mut cost = 0.0;
+    let mut inserts = Vec::new();
+    let mut deletes = Vec::new();
+    for ind in inds {
+        for (key, tuples) in ind.dangling(db) {
+            let delete_cost: f64 = tuples.iter().map(|&t| db.cost_of(t)).sum();
+            if insert_cost <= delete_cost {
+                cost += insert_cost;
+                inserts.push((ind.to_rel, key));
+            } else {
+                cost += delete_cost;
+                deletes.extend(tuples);
+            }
+        }
+    }
+    deletes.sort();
+    deletes.dedup();
+    (cost, inserts, deletes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inconsist_relational::{relation, Fact, ValueKind};
+    use std::sync::Arc;
+
+    fn schema() -> (Arc<Schema>, RelId, RelId) {
+        let mut s = Schema::new();
+        let orders = s
+            .add_relation(
+                relation("Orders", &[("Id", ValueKind::Int), ("Customer", ValueKind::Int)])
+                    .unwrap(),
+            )
+            .unwrap();
+        let customers = s
+            .add_relation(
+                relation("Customers", &[("Id", ValueKind::Int), ("Name", ValueKind::Str)])
+                    .unwrap(),
+            )
+            .unwrap();
+        (Arc::new(s), orders, customers)
+    }
+
+    fn fk(s: &Schema) -> Ind {
+        Ind::new("orders-fk", s, ("Orders", &["Customer"]), ("Customers", &["Id"])).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_mistakes() {
+        let (s, ..) = schema();
+        assert!(Ind::new("e", &s, ("Orders", &["Customer"]), ("Customers", &[])).is_err());
+        assert!(Ind::new("e", &s, ("Orders", &["Nope"]), ("Customers", &["Id"])).is_err());
+        assert!(Ind::new("e", &s, ("Orders", &["Customer"]), ("Customers", &["Name"])).is_err());
+        assert!(Ind::new("e", &s, ("Missing", &["X"]), ("Customers", &["Id"])).is_err());
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let (s, orders, customers) = schema();
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(Fact::new(customers, [Value::int(1), Value::str("Ann")])).unwrap();
+        let o1 = db.insert(Fact::new(orders, [Value::int(10), Value::int(1)])).unwrap();
+        let o2 = db.insert(Fact::new(orders, [Value::int(11), Value::int(2)])).unwrap();
+        let o3 = db.insert(Fact::new(orders, [Value::int(12), Value::int(2)])).unwrap();
+        let ind = fk(&s);
+        assert!(!ind.is_satisfied(&db));
+        let dangling = ind.dangling(&db);
+        assert_eq!(dangling.len(), 1);
+        assert_eq!(dangling[0].0, vec![Value::int(2)]);
+        assert_eq!(dangling[0].1, vec![o2, o3]);
+        let _ = o1;
+    }
+
+    #[test]
+    fn repair_prefers_cheap_side() {
+        let (s, orders, customers) = schema();
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(Fact::new(customers, [Value::int(1), Value::str("Ann")])).unwrap();
+        // Two dangling orders on key 2, one on key 3.
+        db.insert(Fact::new(orders, [Value::int(11), Value::int(2)])).unwrap();
+        db.insert(Fact::new(orders, [Value::int(12), Value::int(2)])).unwrap();
+        db.insert(Fact::new(orders, [Value::int(13), Value::int(3)])).unwrap();
+        let ind = fk(&s);
+        // Unit insert cost: insert customer 2 (cheaper than 2 deletions),
+        // and for key 3 either action costs 1 — insertion wins ties.
+        let (cost, inserts, deletes) = ind_min_repair(std::slice::from_ref(&ind), &db, 1.0);
+        assert_eq!(cost, 2.0);
+        assert_eq!(inserts.len(), 2);
+        assert!(deletes.is_empty());
+        // Expensive insertions flip the choice.
+        let (cost, inserts, deletes) = ind_min_repair(&[ind], &db, 10.0);
+        assert_eq!(cost, 3.0);
+        assert!(inserts.is_empty());
+        assert_eq!(deletes.len(), 3);
+    }
+
+    #[test]
+    fn adding_a_tuple_can_reduce_inconsistency() {
+        // The §4 remark: database-monotonicity fails for referential
+        // constraints — inserting the missing customer repairs everything.
+        let (s, orders, customers) = schema();
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(Fact::new(orders, [Value::int(10), Value::int(7)])).unwrap();
+        let ind = fk(&s);
+        let (before, ..) = ind_min_repair(std::slice::from_ref(&ind), &db, 1.0);
+        assert_eq!(before, 1.0);
+        db.insert(Fact::new(customers, [Value::int(7), Value::str("Gil")])).unwrap();
+        assert!(ind.is_satisfied(&db));
+        let (after, ..) = ind_min_repair(&[ind], &db, 1.0);
+        assert_eq!(after, 0.0);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let mut s = Schema::new();
+        let a = s
+            .add_relation(
+                relation("A", &[("X", ValueKind::Int), ("Y", ValueKind::Int)]).unwrap(),
+            )
+            .unwrap();
+        let b = s
+            .add_relation(
+                relation("B", &[("P", ValueKind::Int), ("Q", ValueKind::Int)]).unwrap(),
+            )
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(Fact::new(b, [Value::int(1), Value::int(2)])).unwrap();
+        db.insert(Fact::new(a, [Value::int(1), Value::int(2)])).unwrap(); // ok
+        let bad = db.insert(Fact::new(a, [Value::int(2), Value::int(1)])).unwrap();
+        let ind = Ind::new("comp", &s, ("A", &["X", "Y"]), ("B", &["P", "Q"])).unwrap();
+        let dangling = ind.dangling(&db);
+        assert_eq!(dangling.len(), 1);
+        assert_eq!(dangling[0].1, vec![bad]);
+    }
+
+    #[test]
+    fn applying_the_repair_satisfies_the_ind() {
+        let (s, orders, customers) = schema();
+        let mut db = Database::new(Arc::clone(&s));
+        for k in [2i64, 2, 3, 4] {
+            db.insert(Fact::new(orders, [Value::int(10 + k), Value::int(k)])).unwrap();
+        }
+        let ind = fk(&s);
+        let (_, inserts, deletes) = ind_min_repair(std::slice::from_ref(&ind), &db, 1.0);
+        for t in deletes {
+            db.delete(t);
+        }
+        for (rel, key) in inserts {
+            assert_eq!(rel, customers);
+            // Complete the referenced tuple: key + a placeholder name.
+            db.insert(Fact::new(rel, [key[0].clone(), Value::str("backfill")]))
+                .unwrap();
+        }
+        assert!(ind.is_satisfied(&db));
+    }
+}

@@ -1,0 +1,48 @@
+//! # inconsist-constraints
+//!
+//! Integrity constraints and violation detection for the `inconsist`
+//! workspace — §2 and §6.1 of *Properties of Inconsistency Measures for
+//! Databases* (SIGMOD 2021).
+//!
+//! * [`DenialConstraint`] — the normal form every constraint compiles to;
+//! * [`Fd`] / [`Egd`] — the classical dependency classes, with conversion
+//!   to DCs and (for FDs) complete entailment via attribute closure;
+//! * [`ConstraintSet`] — a finite `Σ` with the limited logical reasoning
+//!   the measure framework needs;
+//! * [`engine`] — the streaming violation enumerator (the stand-in for the
+//!   paper's SQL self-joins) producing `MI_Σ(D)`;
+//! * [`fastpath`] — `O(n log n)` counting shortcuts for FD-shaped and
+//!   dominance-shaped DCs;
+//! * [`Ind`] — inclusion dependencies (referential constraints), the
+//!   non-anti-monotonic class of §2 repaired by insertions;
+//! * [`mine`] — evidence-set DC mining (the stand-in for the mining
+//!   algorithm of §6.1 that produced the paper's constraint sets);
+//! * [`parse_dc`] — a small ASCII syntax for writing DCs in examples.
+
+#![warn(missing_docs)]
+
+pub mod dc;
+pub mod egd;
+pub mod engine;
+pub mod fastpath;
+pub mod fd;
+pub mod ind;
+pub mod mine;
+pub mod parallel;
+pub mod parse;
+pub mod predicate;
+pub mod set;
+
+pub use dc::{Atom, DcDisplay, DenialConstraint};
+pub use egd::{Egd, EgdAtom};
+pub use engine::{
+    filter_minimal, is_consistent, minimal_inconsistent_subsets, raw_violations_involving_per_dc,
+    violations_involving, violations_per_dc, DcViolations, Indexes, MiResult, ViolationSet,
+};
+pub use fd::Fd;
+pub use ind::{ind_min_repair, Ind};
+pub use mine::{mine_dcs, MinedDc, MinerConfig};
+pub use parallel::minimal_inconsistent_subsets_par;
+pub use parse::parse_dc;
+pub use predicate::{CmpOp, Operand, Predicate};
+pub use set::{ConstraintSet, Provenance};

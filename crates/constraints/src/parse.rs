@@ -1,0 +1,397 @@
+//! A small text format for denial constraints.
+//!
+//! The paper writes DCs like
+//! `∀t,t′ ¬(t[Country] = t′[Country] ∧ t[Continent] ≠ t′[Continent])`;
+//! this module accepts an ASCII rendition:
+//!
+//! ```text
+//! !(t.Country = t'.Country & t.Continent != t'.Continent)
+//! ```
+//!
+//! * tuple variables: `t` and `t'` (a DC mentioning only `t` is unary);
+//! * comparison operators: `=`, `!=` (or `<>`), `<`, `<=`, `>`, `>=`;
+//! * conjunction: `&` (or `,`);
+//! * constants: integer/float literals and single- or double-quoted strings;
+//!   numeric literals adapt to the column type they are compared against.
+//!
+//! The outer `!( … )` is optional — the conjunction alone is understood as
+//! the forbidden condition.
+
+use crate::dc::{Atom, DenialConstraint};
+use crate::predicate::{CmpOp, Operand, Predicate};
+use inconsist_relational::{Schema, Value, ValueKind};
+
+/// Parses a DC over relation `rel` from the textual format above.
+pub fn parse_dc(
+    schema: &Schema,
+    rel: &str,
+    name: &str,
+    text: &str,
+) -> Result<DenialConstraint, String> {
+    let rid = schema
+        .rel_checked(rel)
+        .map_err(|e| format!("DC `{name}`: {e}"))?;
+    let rs = schema.relation(rid);
+
+    let mut tokens = tokenize(text).map_err(|e| format!("DC `{name}`: {e}"))?;
+    // Strip the optional "!(" ... ")" shell.
+    if tokens.first() == Some(&Token::Bang) {
+        if tokens.get(1) != Some(&Token::LParen) || tokens.last() != Some(&Token::RParen) {
+            return Err(format!("DC `{name}`: expected `!( … )`"));
+        }
+        tokens = tokens[2..tokens.len() - 1].to_vec();
+    }
+
+    let mut predicates = Vec::new();
+    let mut max_var = 0usize;
+    for chunk in tokens.split(|t| *t == Token::Amp) {
+        if chunk.is_empty() {
+            return Err(format!("DC `{name}`: empty conjunct"));
+        }
+        let (lhs_raw, rest) = parse_operand_raw(chunk).map_err(|e| format!("DC `{name}`: {e}"))?;
+        let (op, rest) = parse_op(rest).map_err(|e| format!("DC `{name}`: {e}"))?;
+        let (rhs_raw, rest) = parse_operand_raw(rest).map_err(|e| format!("DC `{name}`: {e}"))?;
+        if !rest.is_empty() {
+            return Err(format!("DC `{name}`: trailing tokens in conjunct"));
+        }
+
+        // Resolve attribute references and adapt numeric literals to the
+        // column they are compared with.
+        let column_kind = |raw: &RawOperand| -> Option<ValueKind> {
+            if let RawOperand::Attr { attr, .. } = raw {
+                rs.attr(attr).map(|a| rs.attribute(a).kind)
+            } else {
+                None
+            }
+        };
+        let other_kind = column_kind(&lhs_raw).or_else(|| column_kind(&rhs_raw));
+        let lhs = resolve(rs, &lhs_raw, other_kind, name)?;
+        let rhs = resolve(rs, &rhs_raw, other_kind, name)?;
+        for o in [&lhs, &rhs] {
+            if let Operand::Attr { var, .. } = o {
+                max_var = max_var.max(*var);
+            }
+        }
+        predicates.push(Predicate { lhs, op, rhs });
+    }
+
+    let atoms = vec![Atom { rel: rid }; max_var + 1];
+    DenialConstraint::new(name, atoms, predicates, schema)
+}
+
+fn resolve(
+    rs: &inconsist_relational::RelationSchema,
+    raw: &RawOperand,
+    sibling_kind: Option<ValueKind>,
+    name: &str,
+) -> Result<Operand, String> {
+    match raw {
+        RawOperand::Attr { var, attr } => {
+            let a = rs
+                .attr_checked(attr)
+                .map_err(|e| format!("DC `{name}`: {e}"))?;
+            Ok(Operand::Attr { var: *var, attr: a })
+        }
+        RawOperand::Str(s) => Ok(Operand::Const(Value::str(s))),
+        RawOperand::Num(text) => {
+            let as_float = sibling_kind == Some(ValueKind::Float) || text.contains('.');
+            if as_float {
+                text.parse::<f64>()
+                    .map(Value::float)
+                    .map_err(|_| format!("DC `{name}`: bad float literal `{text}`"))
+            } else {
+                text.parse::<i64>()
+                    .map(Value::int)
+                    .map_err(|_| format!("DC `{name}`: bad int literal `{text}`"))
+            }
+            .map(Operand::Const)
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Bang,
+    LParen,
+    RParen,
+    Amp,
+    Op(CmpOp),
+    Ident(String),
+    Prime, // the ' in t'
+    Dot,
+    Num(String),
+    Str(String),
+}
+
+#[derive(Debug)]
+enum RawOperand {
+    Attr { var: usize, attr: String },
+    Num(String),
+    Str(String),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                out.push(Token::Op(CmpOp::Neq));
+                i += 2;
+            }
+            '!' | '¬' => {
+                out.push(Token::Bang);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '&' | ',' | '∧' => {
+                out.push(Token::Amp);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '≠' => {
+                out.push(Token::Op(CmpOp::Neq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Op(CmpOp::Leq));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Token::Op(CmpOp::Neq));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Token::Op(CmpOp::Geq));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '\'' | '"' => {
+                // A quote directly after an identifier is the prime of t';
+                // otherwise it opens a string literal.
+                let after_ident = matches!(out.last(), Some(Token::Ident(_)));
+                if c == '\'' && after_ident {
+                    out.push(Token::Prime);
+                    i += 1;
+                } else {
+                    let quote = c;
+                    let mut s = String::new();
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != quote {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    if i == bytes.len() {
+                        return Err("unterminated string literal".to_string());
+                    }
+                    i += 1; // closing quote
+                    out.push(Token::Str(s));
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let mut s = String::new();
+                s.push(c);
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Token::Num(s));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                s.push(c);
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                out.push(Token::Ident(s));
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_operand_raw(tokens: &[Token]) -> Result<(RawOperand, &[Token]), String> {
+    match tokens {
+        [Token::Ident(var), Token::Prime, Token::Dot, Token::Ident(attr), rest @ ..] => {
+            if var != "t" {
+                return Err(format!("unknown tuple variable `{var}'`"));
+            }
+            Ok((
+                RawOperand::Attr {
+                    var: 1,
+                    attr: attr.clone(),
+                },
+                rest,
+            ))
+        }
+        [Token::Ident(var), Token::Dot, Token::Ident(attr), rest @ ..] => {
+            if var != "t" {
+                return Err(format!("unknown tuple variable `{var}`"));
+            }
+            Ok((
+                RawOperand::Attr {
+                    var: 0,
+                    attr: attr.clone(),
+                },
+                rest,
+            ))
+        }
+        [Token::Num(n), rest @ ..] => Ok((RawOperand::Num(n.clone()), rest)),
+        [Token::Str(s), rest @ ..] => Ok((RawOperand::Str(s.clone()), rest)),
+        _ => Err("expected operand (t.Attr, t'.Attr, number, or string)".to_string()),
+    }
+}
+
+fn parse_op(tokens: &[Token]) -> Result<(CmpOp, &[Token]), String> {
+    match tokens {
+        [Token::Op(op), rest @ ..] => Ok((*op, rest)),
+        _ => Err("expected comparison operator".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inconsist_relational::{relation, AttrId};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation(
+            relation(
+                "Stock",
+                &[
+                    ("High", ValueKind::Float),
+                    ("Low", ValueKind::Float),
+                    ("Symbol", ValueKind::Str),
+                    ("Volume", ValueKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn unary_order_dc() {
+        let s = schema();
+        let dc = parse_dc(&s, "Stock", "hl", "!(t.High < t.Low)").unwrap();
+        assert!(dc.is_unary());
+        assert_eq!(dc.predicates.len(), 1);
+        assert_eq!(dc.predicates[0].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn binary_fd_style_dc() {
+        let s = schema();
+        let dc = parse_dc(
+            &s,
+            "Stock",
+            "fd",
+            "!(t.Symbol = t'.Symbol & t.High != t'.High)",
+        )
+        .unwrap();
+        assert_eq!(dc.arity(), 2);
+        assert!(dc.is_symmetric());
+        assert_eq!(
+            dc.display(&s).to_string(),
+            "∀t,t' ¬(t[Symbol] = t'[Symbol] ∧ t[High] != t'[High])"
+        );
+    }
+
+    #[test]
+    fn shell_is_optional_and_commas_work() {
+        let s = schema();
+        let a = parse_dc(&s, "Stock", "x", "t.High < t.Low").unwrap();
+        let b = parse_dc(&s, "Stock", "x", "!(t.High < t.Low)").unwrap();
+        assert_eq!(a.predicates, b.predicates);
+        let c = parse_dc(&s, "Stock", "y", "t.Symbol = t'.Symbol, t.High > t'.High").unwrap();
+        assert_eq!(c.predicates.len(), 2);
+    }
+
+    #[test]
+    fn constants_adapt_to_column_type() {
+        let s = schema();
+        let f = parse_dc(&s, "Stock", "c1", "!(t.High < 0)").unwrap();
+        assert_eq!(
+            f.predicates[0].rhs,
+            Operand::Const(Value::float(0.0)),
+            "numeric literal against a float column parses as float"
+        );
+        let i = parse_dc(&s, "Stock", "c2", "!(t.Volume < 0)").unwrap();
+        assert_eq!(i.predicates[0].rhs, Operand::Const(Value::int(0)));
+        let st = parse_dc(&s, "Stock", "c3", "!(t.Symbol = 'AAPL')").unwrap();
+        assert_eq!(st.predicates[0].rhs, Operand::Const(Value::str("AAPL")));
+    }
+
+    #[test]
+    fn operator_spellings() {
+        let s = schema();
+        for (text, op) in [
+            ("t.High <> t'.High", CmpOp::Neq),
+            ("t.High != t'.High", CmpOp::Neq),
+            ("t.High <= t'.High", CmpOp::Leq),
+            ("t.High >= t'.High", CmpOp::Geq),
+            ("t.High = t'.High", CmpOp::Eq),
+        ] {
+            let dc = parse_dc(&s, "Stock", "op", text).unwrap();
+            assert_eq!(dc.predicates[0].op, op, "{text}");
+        }
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let s = schema();
+        assert!(parse_dc(&s, "Nope", "e", "t.High < 0").is_err());
+        assert!(parse_dc(&s, "Stock", "e", "t.Missing < 0")
+            .unwrap_err()
+            .contains("Missing"));
+        assert!(parse_dc(&s, "Stock", "e", "u.High < 0").is_err());
+        assert!(parse_dc(&s, "Stock", "e", "t.High <").is_err());
+        assert!(parse_dc(&s, "Stock", "e", "!(t.High < 'oops").is_err());
+        assert!(parse_dc(&s, "Stock", "e", "t.High & t.Low").is_err());
+    }
+
+    #[test]
+    fn attr_ids_resolve_correctly() {
+        let s = schema();
+        let dc = parse_dc(&s, "Stock", "x", "!(t.Low > t'.Volume)").unwrap();
+        let Operand::Attr { var: 0, attr } = dc.predicates[0].lhs else {
+            panic!()
+        };
+        assert_eq!(attr, AttrId(1));
+        let Operand::Attr { var: 1, attr } = dc.predicates[0].rhs else {
+            panic!()
+        };
+        assert_eq!(attr, AttrId(3));
+    }
+}

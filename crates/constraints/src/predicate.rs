@@ -1,0 +1,273 @@
+//! Atomic comparison predicates.
+//!
+//! The paper's denial constraints (§6.1) are built from predicates
+//! `t[A] ρ t′[B]` with `ρ ∈ {=, ≠, <, >, ≤, ≥}`; we additionally allow a
+//! constant right-hand side (`t[A] ρ c`), which is needed for unary DCs such
+//! as `¬R(a)` from the positivity discussion in §4 and for conditional-FD
+//! style constraints.
+
+use inconsist_relational::{AttrId, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operator of a predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+    /// `<`
+    Lt,
+    /// `≤`
+    Leq,
+    /// `>`
+    Gt,
+    /// `≥`
+    Geq,
+}
+
+impl CmpOp {
+    /// Evaluates `a ρ b` under the total order on [`Value`].
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Neq => a != b,
+            CmpOp::Lt => a.cmp(b) == Ordering::Less,
+            CmpOp::Leq => a.cmp(b) != Ordering::Greater,
+            CmpOp::Gt => a.cmp(b) == Ordering::Greater,
+            CmpOp::Geq => a.cmp(b) != Ordering::Less,
+        }
+    }
+
+    /// The negation: `¬(a ρ b) ≡ a ρ̄ b`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Geq,
+            CmpOp::Leq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Leq,
+            CmpOp::Geq => CmpOp::Lt,
+        }
+    }
+
+    /// The converse: `a ρ b ≡ b ρ⃖ a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Leq => CmpOp::Geq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Geq => CmpOp::Leq,
+        }
+    }
+
+    /// Whether the operator is `=` (drives hash-join planning).
+    pub fn is_equality(self) -> bool {
+        self == CmpOp::Eq
+    }
+
+    /// Whether the operator is an order comparison (`<, ≤, >, ≥`).
+    pub fn is_order(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Leq | CmpOp::Gt | CmpOp::Geq)
+    }
+
+    /// Token used by [`fmt::Display`] and the parser.
+    pub fn token(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Leq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Geq => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Reference to one side of a predicate: an attribute of one of the tuple
+/// variables of the constraint, or a constant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// `t_var[attr]` — `var` indexes into the constraint's atom list.
+    Attr {
+        /// Tuple-variable index (0 = `t`, 1 = `t′`, …).
+        var: usize,
+        /// Attribute within that variable's relation.
+        attr: AttrId,
+    },
+    /// A literal value.
+    Const(Value),
+}
+
+impl Operand {
+    /// Convenience constructor for `t_var[attr]`.
+    pub fn attr(var: usize, attr: AttrId) -> Self {
+        Operand::Attr { var, attr }
+    }
+
+    /// Resolves the operand against a binding of tuple variables to rows.
+    #[inline]
+    pub fn resolve<'a>(&'a self, binding: &[&'a [Value]]) -> &'a Value {
+        match self {
+            Operand::Attr { var, attr } => &binding[*var][attr.idx()],
+            Operand::Const(v) => v,
+        }
+    }
+
+    /// The tuple variable this operand mentions, if any.
+    pub fn var(&self) -> Option<usize> {
+        match self {
+            Operand::Attr { var, .. } => Some(*var),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+/// A predicate `lhs ρ rhs` inside a denial constraint's conjunction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Predicate {
+    /// Left operand.
+    pub lhs: Operand,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Operand,
+}
+
+impl Predicate {
+    /// Builds `t_lv[la] ρ t_rv[ra]`.
+    pub fn attr_attr(lv: usize, la: AttrId, op: CmpOp, rv: usize, ra: AttrId) -> Self {
+        Predicate {
+            lhs: Operand::attr(lv, la),
+            op,
+            rhs: Operand::attr(rv, ra),
+        }
+    }
+
+    /// Builds `t_lv[la] ρ c`.
+    pub fn attr_const(lv: usize, la: AttrId, op: CmpOp, c: Value) -> Self {
+        Predicate {
+            lhs: Operand::attr(lv, la),
+            op,
+            rhs: Operand::Const(c),
+        }
+    }
+
+    /// Evaluates the predicate under a binding of tuple variables to rows.
+    #[inline]
+    pub fn eval(&self, binding: &[&[Value]]) -> bool {
+        self.op.eval(self.lhs.resolve(binding), self.rhs.resolve(binding))
+    }
+
+    /// The set of tuple variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lhs.var().into_iter().chain(self.rhs.var())
+    }
+
+    /// Largest tuple-variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.vars().max()
+    }
+
+    /// A copy with the two tuple variables of a binary constraint swapped
+    /// (used to canonicalize symmetric DCs).
+    pub fn swap_binary_vars(&self) -> Predicate {
+        let swap = |o: &Operand| match o {
+            Operand::Attr { var, attr } => Operand::Attr {
+                var: 1 - *var,
+                attr: *attr,
+            },
+            Operand::Const(v) => Operand::Const(v.clone()),
+        };
+        Predicate {
+            lhs: swap(&self.lhs),
+            op: self.op,
+            rhs: swap(&self.rhs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_eval_matrix() {
+        let a = Value::int(1);
+        let b = Value::int(2);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Leq.eval(&a, &b));
+        assert!(CmpOp::Leq.eval(&a, &a));
+        assert!(CmpOp::Neq.eval(&a, &b));
+        assert!(CmpOp::Eq.eval(&a, &a));
+        assert!(CmpOp::Gt.eval(&b, &a));
+        assert!(CmpOp::Geq.eval(&b, &b));
+        assert!(!CmpOp::Gt.eval(&a, &a));
+    }
+
+    #[test]
+    fn negate_is_involutive_and_complementary() {
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+            assert_eq!(op.negate().negate(), op);
+            let (a, b) = (Value::int(3), Value::int(5));
+            assert_ne!(op.eval(&a, &b), op.negate().eval(&a, &b));
+            assert_ne!(op.eval(&b, &b), op.negate().eval(&b, &b));
+        }
+    }
+
+    #[test]
+    fn flip_reverses_arguments() {
+        let (a, b) = (Value::int(3), Value::int(5));
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+            assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn predicate_eval_against_binding() {
+        // t.0 < t'.1 is order-sensitive in the binding.
+        let p = Predicate::attr_attr(0, AttrId(0), CmpOp::Lt, 1, AttrId(1));
+        let r0 = [Value::int(8), Value::int(9)];
+        let r1 = [Value::int(5), Value::int(2)];
+        assert!(!p.eval(&[&r0, &r1])); // 8 < 2 is false
+        assert!(p.eval(&[&r1, &r0])); // 5 < 9 is true
+    }
+
+    #[test]
+    fn predicate_eval_checked_by_hand() {
+        let p = Predicate::attr_attr(0, AttrId(0), CmpOp::Lt, 1, AttrId(1));
+        let r0 = [Value::int(5), Value::int(2)];
+        let r1 = [Value::int(1), Value::int(9)];
+        // binding t=r0, t'=r1: 5 < 9 → true
+        assert!(p.eval(&[&r0, &r1]));
+        // binding t=r1, t'=r0: 1 < 2 → true
+        assert!(p.eval(&[&r1, &r0]));
+    }
+
+    #[test]
+    fn const_operand() {
+        let p = Predicate::attr_const(0, AttrId(0), CmpOp::Eq, Value::str("a"));
+        let row = [Value::str("a")];
+        assert!(p.eval(&[&row]));
+        let row2 = [Value::str("b")];
+        assert!(!p.eval(&[&row2]));
+        assert_eq!(p.max_var(), Some(0));
+    }
+
+    #[test]
+    fn swap_binary_vars_exchanges_roles() {
+        let p = Predicate::attr_attr(0, AttrId(2), CmpOp::Gt, 1, AttrId(3));
+        let q = p.swap_binary_vars();
+        assert_eq!(q.lhs, Operand::attr(1, AttrId(2)));
+        assert_eq!(q.rhs, Operand::attr(0, AttrId(3)));
+    }
+}

@@ -1,0 +1,335 @@
+//! Constraint sets `Σ` and the limited entailment reasoning the paper's
+//! framework needs.
+//!
+//! An inconsistency measure takes a finite set `Σ ⊆ C` of constraints
+//! (paper §3). Two requirements reference the *logic* of constraints:
+//! invariance under `Σ ≡ Σ′` and monotonicity under `Σ′ |= Σ`. Full DC
+//! entailment is intractable, so [`ConstraintSet::entails`] decides the
+//! fragments the paper actually exercises — syntactic containment and
+//! FD-closure reasoning — and reports "unknown" otherwise.
+
+use crate::dc::DenialConstraint;
+use crate::egd::Egd;
+use crate::fd::{self, Fd};
+use inconsist_relational::{AttrId, RelId, Schema};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Where a DC in a [`ConstraintSet`] came from; retained so that FD-level
+/// reasoning (entailment, tractability classification) stays available
+/// after the translation to DCs.
+#[derive(Clone, Debug)]
+pub enum Provenance {
+    /// Authored directly as a DC.
+    Dc,
+    /// Derived from an FD (one DC per dependent attribute).
+    Fd(Fd),
+    /// Derived from an EGD.
+    Egd(Egd),
+}
+
+/// A finite set of integrity constraints over a fixed schema, normalized to
+/// denial constraints.
+#[derive(Clone, Debug)]
+pub struct ConstraintSet {
+    schema: Arc<Schema>,
+    dcs: Vec<DenialConstraint>,
+    provenance: Vec<Provenance>,
+}
+
+impl ConstraintSet {
+    /// An empty constraint set.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        ConstraintSet {
+            schema,
+            dcs: Vec::new(),
+            provenance: Vec::new(),
+        }
+    }
+
+    /// The schema the constraints are stated over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Adds a denial constraint.
+    pub fn add_dc(&mut self, dc: DenialConstraint) -> &mut Self {
+        self.dcs.push(dc);
+        self.provenance.push(Provenance::Dc);
+        self
+    }
+
+    /// Adds an FD (translated to one DC per dependent attribute).
+    pub fn add_fd(&mut self, fd: Fd) -> &mut Self {
+        for dc in fd.to_dcs(&self.schema) {
+            self.dcs.push(dc);
+            self.provenance.push(Provenance::Fd(fd.clone()));
+        }
+        self
+    }
+
+    /// Adds an EGD (translated to its denial form).
+    pub fn add_egd(&mut self, egd: Egd) -> &mut Self {
+        let dc = egd.to_dc(&self.schema);
+        self.dcs.push(dc);
+        self.provenance.push(Provenance::Egd(egd));
+        self
+    }
+
+    /// The denial constraints, in insertion order.
+    pub fn dcs(&self) -> &[DenialConstraint] {
+        &self.dcs
+    }
+
+    /// Provenance entry of the `i`-th DC.
+    pub fn provenance(&self, i: usize) -> &Provenance {
+        &self.provenance[i]
+    }
+
+    /// Number of DCs.
+    pub fn len(&self) -> usize {
+        self.dcs.len()
+    }
+
+    /// Whether the set is empty (every database is consistent).
+    pub fn is_empty(&self) -> bool {
+        self.dcs.is_empty()
+    }
+
+    /// Maximum number of tuple variables in any DC — the bound `d_Σ` used
+    /// for the integrality gap of `I_R^lin` and the weighted-continuity
+    /// constant of Theorem 2.
+    pub fn max_arity(&self) -> usize {
+        self.dcs.iter().map(|d| d.arity()).max().unwrap_or(0)
+    }
+
+    /// The prefix set consisting of the first `n` DCs (used by the
+    /// DC-at-a-time HoloClean pipeline of Fig. 7).
+    pub fn prefix(&self, n: usize) -> ConstraintSet {
+        ConstraintSet {
+            schema: Arc::clone(&self.schema),
+            dcs: self.dcs[..n.min(self.dcs.len())].to_vec(),
+            provenance: self.provenance[..n.min(self.provenance.len())].to_vec(),
+        }
+    }
+
+    /// Union of two sets over the same schema.
+    pub fn union(&self, other: &ConstraintSet) -> ConstraintSet {
+        let mut out = self.clone();
+        out.dcs.extend(other.dcs.iter().cloned());
+        out.provenance.extend(other.provenance.iter().cloned());
+        out
+    }
+
+    /// All FDs among the provenance (deduplicated).
+    pub fn fds(&self) -> Vec<Fd> {
+        let mut out: Vec<Fd> = Vec::new();
+        for p in &self.provenance {
+            if let Provenance::Fd(fd) = p {
+                if !out.contains(fd) {
+                    out.push(fd.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every constraint in the set was derived from an FD.
+    pub fn is_fd_set(&self) -> bool {
+        self.provenance.iter().all(|p| matches!(p, Provenance::Fd(_)))
+    }
+
+    /// Whether every DC in `self` appears (syntactically) in `other`.
+    pub fn is_syntactic_subset_of(&self, other: &ConstraintSet) -> bool {
+        self.dcs.iter().all(|d| other.dcs.contains(d))
+    }
+
+    /// Three-valued entailment `self |= other`:
+    /// `Some(true)` / `Some(false)` when decidable in the implemented
+    /// fragment, `None` when unknown.
+    ///
+    /// Decidable cases:
+    /// * `other` is a syntactic subset of `self` → entailed;
+    /// * both sets are FD-derived → attribute-closure decision (complete
+    ///   for FDs).
+    pub fn entails(&self, other: &ConstraintSet) -> Option<bool> {
+        if other.is_syntactic_subset_of(self) {
+            return Some(true);
+        }
+        if self.is_fd_set() && other.is_fd_set() {
+            return Some(fd::entails_all(&self.fds(), &other.fds()));
+        }
+        None
+    }
+
+    /// Three-valued logical equivalence (see [`ConstraintSet::entails`]).
+    pub fn equivalent(&self, other: &ConstraintSet) -> Option<bool> {
+        match (self.entails(other), other.entails(self)) {
+            (Some(a), Some(b)) => Some(a && b),
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Attributes of `rel` mentioned by at least one constraint — the
+    /// candidate columns for RNoise's cell picker (§6.1).
+    pub fn constrained_attributes(&self, rel: RelId) -> BTreeSet<AttrId> {
+        let mut out = BTreeSet::new();
+        for dc in &self.dcs {
+            for (r, a) in dc.attributes() {
+                if r == rel {
+                    out.insert(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-DC overlap ratio: for each DC, the fraction of *other* DCs
+    /// sharing at least one attribute with it. Returns `(min, avg, max)` —
+    /// the statistic plotted on the right of Fig. 3.
+    pub fn overlap_stats(&self) -> Option<(f64, f64, f64)> {
+        if self.dcs.len() < 2 {
+            return None;
+        }
+        let ratios: Vec<f64> = self
+            .dcs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let others = self.dcs.len() - 1;
+                let overlapping = self
+                    .dcs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, e)| *j != i && d.overlaps(e))
+                    .count();
+                overlapping as f64 / others as f64
+            })
+            .collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        Some((min, avg, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::build;
+    use crate::predicate::CmpOp;
+    use inconsist_relational::{relation, ValueKind};
+
+    fn schema4() -> (Arc<Schema>, RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                        ("D", ValueKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (Arc::new(s), r)
+    }
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn fd_expansion_and_provenance() {
+        let (s, r) = schema4();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [a(0)], [a(1), a(2)]));
+        assert_eq!(cs.len(), 2);
+        assert!(cs.is_fd_set());
+        assert!(matches!(cs.provenance(0), Provenance::Fd(_)));
+        assert_eq!(cs.fds().len(), 1);
+        assert_eq!(cs.max_arity(), 2);
+    }
+
+    #[test]
+    fn syntactic_subset_entailment() {
+        let (s, r) = schema4();
+        let mut small = ConstraintSet::new(Arc::clone(&s));
+        small.add_fd(Fd::new(r, [a(0)], [a(1)]));
+        let mut big = small.clone();
+        big.add_fd(Fd::new(r, [a(2)], [a(3)]));
+        assert!(small.is_syntactic_subset_of(&big));
+        assert_eq!(big.entails(&small), Some(true));
+        assert_eq!(small.entails(&big), Some(false)); // FD reasoning kicks in
+    }
+
+    #[test]
+    fn fd_closure_entailment() {
+        let (s, r) = schema4();
+        let mut chain = ConstraintSet::new(Arc::clone(&s));
+        chain
+            .add_fd(Fd::new(r, [a(0)], [a(1)]))
+            .add_fd(Fd::new(r, [a(1)], [a(2)]));
+        let mut derived = ConstraintSet::new(Arc::clone(&s));
+        derived.add_fd(Fd::new(r, [a(0)], [a(2)]));
+        assert_eq!(chain.entails(&derived), Some(true));
+        assert_eq!(derived.entails(&chain), Some(false));
+        assert_eq!(chain.equivalent(&chain.clone()), Some(true));
+    }
+
+    #[test]
+    fn entailment_unknown_for_general_dcs() {
+        let (s, r) = schema4();
+        let mut dcset = ConstraintSet::new(Arc::clone(&s));
+        dcset.add_dc(build::binary("d", r, vec![build::tt(a(0), CmpOp::Lt, a(0))], &s).unwrap());
+        let mut fdset = ConstraintSet::new(Arc::clone(&s));
+        fdset.add_fd(Fd::new(r, [a(0)], [a(1)]));
+        assert_eq!(dcset.entails(&fdset), None);
+        // ... but syntactic containment still decides.
+        let both = dcset.union(&fdset);
+        assert_eq!(both.entails(&dcset), Some(true));
+    }
+
+    #[test]
+    fn constrained_attributes_collects_columns() {
+        let (s, r) = schema4();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [a(0)], [a(1)]));
+        cs.add_dc(build::unary("u", r, vec![build::uu(a(2), CmpOp::Lt, a(3))], &s).unwrap());
+        let attrs = cs.constrained_attributes(r);
+        assert_eq!(attrs, [a(0), a(1), a(2), a(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn overlap_stats_min_avg_max() {
+        let (s, r) = schema4();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        // d1 on {A,B}, d2 on {B,C}, d3 on {D}: overlap ratios 1/2, 1/2, 0.
+        cs.add_dc(build::binary("d1", r, vec![build::tt(a(0), CmpOp::Eq, a(0)), build::tt(a(1), CmpOp::Neq, a(1))], &s).unwrap());
+        cs.add_dc(build::binary("d2", r, vec![build::tt(a(1), CmpOp::Eq, a(1)), build::tt(a(2), CmpOp::Neq, a(2))], &s).unwrap());
+        cs.add_dc(build::unary("d3", r, vec![build::uu(a(3), CmpOp::Lt, a(3))], &s).unwrap());
+        let (min, avg, max) = cs.overlap_stats().unwrap();
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 0.5);
+        assert!((avg - 1.0 / 3.0).abs() < 1e-12);
+        let empty = ConstraintSet::new(Arc::clone(&s));
+        assert!(empty.overlap_stats().is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn prefix_takes_first_n() {
+        let (s, r) = schema4();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [a(0)], [a(1)]));
+        cs.add_fd(Fd::new(r, [a(1)], [a(2)]));
+        assert_eq!(cs.prefix(1).len(), 1);
+        assert_eq!(cs.prefix(10).len(), 2);
+        assert_eq!(cs.prefix(0).len(), 0);
+    }
+}

@@ -1,0 +1,763 @@
+//! Complexity of `I_R` for a single EGD with two binary atoms — Theorem 1.
+//!
+//! The theorem is a dichotomy: computing `I_R(Σ, D)` for `Σ = {σ}` with `σ`
+//! an EGD over two binary atoms is NP-hard exactly when `σ` has the *path*
+//! form `∀x1,x2,x3 [R(x1,x2), R(x2,x3) ⇒ (xi = xj)]` (same relation, chained
+//! middle variable, non-trivial conclusion), and polynomial-time in every
+//! other case. This module provides:
+//!
+//! * [`classify`] — the syntactic dichotomy;
+//! * [`ir_single_egd`] — the polynomial algorithms of Lemmas 2–4 for the
+//!   tractable side (block decompositions and keep-the-heaviest-group
+//!   arguments), validated against the exact exponential solver in tests;
+//! * [`maxcut_reduction`] — the Lemma 1 construction that embeds MaxCut
+//!   into `I_R` for the hard side, together with the cost identity
+//!   `I_R = (m+1)·n + 2(m−k★) + k★`.
+
+use inconsist_constraints::{ConstraintSet, Egd};
+use inconsist_relational::{Database, Fact, RelId, Schema, TupleId, Value, ValueKind};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The dichotomy verdict for a single two-binary-atom EGD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EgdComplexity {
+    /// The EGD is trivially satisfied (`y1` and `y2` are the same variable).
+    Trivial,
+    /// NP-hard: the path form of Theorem 1.
+    NpHard,
+    /// Polynomial, with the algorithm of the given lemma implemented.
+    Polynomial(PolyCase),
+    /// Polynomial by the theorem, but a degenerate pattern (repeated
+    /// variable inside an atom of a same-relation EGD) that we evaluate via
+    /// the exact solver instead of a dedicated routine.
+    PolynomialFallback,
+}
+
+/// Which tractable algorithm applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolyCase {
+    /// Lemma 2: the two atoms use different relations.
+    TwoRelations,
+    /// Lemma 3: same relation, no shared variables.
+    NoSharedVars,
+    /// Lemma 4(1): both atoms have the same variable pattern.
+    IdenticalAtoms,
+    /// Lemma 4(2): shared first variable `R(x,y), R(x,z)` (or mirrored on
+    /// the second position).
+    SharedKey,
+    /// Lemma 4(3): swapped pattern `R(x,y), R(y,x)`.
+    Swap,
+}
+
+/// Classifies a single EGD with two binary atoms per Theorem 1. Returns
+/// `None` when the EGD is not of that shape (different arity or atom
+/// count) and the theorem does not apply.
+pub fn classify(egd: &Egd) -> Option<EgdComplexity> {
+    if egd.atoms.len() != 2 || egd.atoms.iter().any(|a| a.vars.len() != 2) {
+        return None;
+    }
+    if egd.is_trivial() {
+        return Some(EgdComplexity::Trivial);
+    }
+    let a = &egd.atoms[0];
+    let b = &egd.atoms[1];
+    if a.rel != b.rel {
+        return Some(EgdComplexity::Polynomial(PolyCase::TwoRelations));
+    }
+    let (a1, a2) = (a.vars[0], a.vars[1]);
+    let (b1, b2) = (b.vars[0], b.vars[1]);
+    // Degenerate: a repeated variable within an atom.
+    if a1 == a2 || b1 == b2 {
+        return Some(EgdComplexity::PolynomialFallback);
+    }
+    if (a1, a2) == (b1, b2) {
+        return Some(EgdComplexity::Polynomial(PolyCase::IdenticalAtoms));
+    }
+    // Path form: R(u,v), R(v,w) with u, v, w pairwise distinct — in either
+    // atom order.
+    let path_forward = a2 == b1 && a1 != b1 && a1 != b2 && a2 != b2;
+    let path_backward = b2 == a1 && b1 != a1 && b1 != a2 && b2 != a2;
+    if (a1, a2) == (b2, b1) {
+        return Some(EgdComplexity::Polynomial(PolyCase::Swap));
+    }
+    if path_forward || path_backward {
+        return Some(EgdComplexity::NpHard);
+    }
+    if a1 == b1 || a2 == b2 {
+        return Some(EgdComplexity::Polynomial(PolyCase::SharedKey));
+    }
+    // Remaining: four distinct variables.
+    Some(EgdComplexity::Polynomial(PolyCase::NoSharedVars))
+}
+
+/// Computes `I_R({σ}, D)` (deletion repairs, costs from the cost attribute)
+/// with the polynomial algorithm matching `σ`'s class. Returns `None` when
+/// the EGD is NP-hard, trivial-shaped differently, or classified as a
+/// fallback — callers then use the exact exponential solver.
+pub fn ir_single_egd(egd: &Egd, db: &Database) -> Option<f64> {
+    match classify(egd)? {
+        EgdComplexity::Trivial => Some(0.0),
+        EgdComplexity::NpHard | EgdComplexity::PolynomialFallback => None,
+        EgdComplexity::Polynomial(case) => Some(match case {
+            PolyCase::TwoRelations => ir_two_relations(egd, db),
+            PolyCase::NoSharedVars => ir_no_shared(egd, db),
+            PolyCase::IdenticalAtoms => ir_identical(egd, db),
+            PolyCase::SharedKey => ir_shared_key(egd, db),
+            PolyCase::Swap => ir_swap(egd, db),
+        }),
+    }
+}
+
+type WeightedFact = (TupleId, [Value; 2], f64);
+
+fn facts_of(db: &Database, rel: RelId) -> Vec<WeightedFact> {
+    db.scan(rel)
+        .map(|f| {
+            (
+                f.id,
+                [f.values[0].clone(), f.values[1].clone()],
+                db.cost_of(f.id),
+            )
+        })
+        .collect()
+}
+
+fn total(facts: &[WeightedFact]) -> f64 {
+    facts.iter().map(|(_, _, w)| w).sum()
+}
+
+/// Maximum total weight over groups keyed by `key`.
+fn heaviest_group<K: std::hash::Hash + Eq>(
+    facts: &[WeightedFact],
+    key: impl Fn(&WeightedFact) -> K,
+) -> f64 {
+    let mut groups: HashMap<K, f64> = HashMap::new();
+    for f in facts {
+        *groups.entry(key(f)).or_insert(0.0) += f.2;
+    }
+    groups.values().cloned().fold(0.0, f64::max)
+}
+
+/// Lemma 2: atoms over two different relations.
+fn ir_two_relations(egd: &Egd, db: &Database) -> f64 {
+    let ra = &egd.atoms[0];
+    let sa = &egd.atoms[1];
+    // Participating facts: repeated variable within an atom forces equal
+    // values at those positions.
+    let participate = |pattern: &[usize], f: &WeightedFact| {
+        !(pattern[0] == pattern[1] && f.1[0] != f.1[1])
+    };
+    let r_facts: Vec<WeightedFact> = facts_of(db, ra.rel)
+        .into_iter()
+        .filter(|f| participate(&ra.vars, f))
+        .collect();
+    let s_facts: Vec<WeightedFact> = facts_of(db, sa.rel)
+        .into_iter()
+        .filter(|f| participate(&sa.vars, f))
+        .collect();
+
+    // Shared variables between the atoms define join blocks.
+    let mut shared: Vec<usize> = ra
+        .vars
+        .iter()
+        .filter(|v| sa.vars.contains(v))
+        .copied()
+        .collect();
+    shared.sort();
+    shared.dedup();
+    let pos_of = |pattern: &[usize], v: usize| pattern.iter().position(|&u| u == v).expect("shared var");
+    let key_of = |pattern: &[usize], f: &WeightedFact| -> Vec<Value> {
+        shared.iter().map(|&v| f.1[pos_of(pattern, v)].clone()).collect()
+    };
+
+    #[derive(Clone, Copy)]
+    enum Src {
+        Key(usize),
+        R(usize),
+        S(usize),
+    }
+    let source = |v: usize| -> Src {
+        if let Some(i) = shared.iter().position(|&u| u == v) {
+            Src::Key(i)
+        } else if let Some(p) = ra.vars.iter().position(|&u| u == v) {
+            Src::R(p)
+        } else {
+            Src::S(pos_of(&sa.vars, v))
+        }
+    };
+    let (y1, y2) = (source(egd.conclusion.0), source(egd.conclusion.1));
+
+    let mut blocks: HashMap<Vec<Value>, (Vec<WeightedFact>, Vec<WeightedFact>)> = HashMap::new();
+    for f in r_facts {
+        let k = key_of(&ra.vars, &f);
+        blocks.entry(k).or_default().0.push(f);
+    }
+    for f in s_facts {
+        let k = key_of(&sa.vars, &f);
+        blocks.entry(k).or_default().1.push(f);
+    }
+
+    let mut cost = 0.0;
+    for (key, (rs, ss)) in blocks {
+        if rs.is_empty() || ss.is_empty() {
+            continue;
+        }
+        let wr = total(&rs);
+        let ws = total(&ss);
+        let bad = |facts: &[WeightedFact], pred: &dyn Fn(&WeightedFact) -> bool| -> f64 {
+            facts.iter().filter(|f| pred(f)).map(|f| f.2).sum()
+        };
+        cost += match (y1, y2) {
+            (Src::Key(i), Src::Key(j)) => {
+                if key[i] == key[j] {
+                    0.0
+                } else {
+                    wr.min(ws)
+                }
+            }
+            (Src::Key(i), Src::R(p)) | (Src::R(p), Src::Key(i)) => {
+                let bad_r = bad(&rs, &|f| f.1[p] != key[i]);
+                ws.min(bad_r)
+            }
+            (Src::Key(i), Src::S(p)) | (Src::S(p), Src::Key(i)) => {
+                let bad_s = bad(&ss, &|f| f.1[p] != key[i]);
+                wr.min(bad_s)
+            }
+            (Src::R(p), Src::R(q)) => {
+                let bad_r = bad(&rs, &|f| f.1[p] != f.1[q]);
+                ws.min(bad_r)
+            }
+            (Src::S(p), Src::S(q)) => {
+                let bad_s = bad(&ss, &|f| f.1[p] != f.1[q]);
+                wr.min(bad_s)
+            }
+            (Src::R(p), Src::S(q)) | (Src::S(q), Src::R(p)) => {
+                // Keep only facts agreeing on a chosen value a, or drop one
+                // side entirely.
+                let mut best = wr.min(ws);
+                let mut candidates: Vec<Value> = rs.iter().map(|f| f.1[p].clone()).collect();
+                candidates.extend(ss.iter().map(|f| f.1[q].clone()));
+                candidates.sort();
+                candidates.dedup();
+                for a in candidates {
+                    let keep_cost =
+                        bad(&rs, &|f| f.1[p] != a) + bad(&ss, &|f| f.1[q] != a);
+                    best = best.min(keep_cost);
+                }
+                best
+            }
+        };
+    }
+    cost
+}
+
+/// Lemma 3: same relation, four distinct variables `R(x1,x2), R(x3,x4)`.
+fn ir_no_shared(egd: &Egd, db: &Database) -> f64 {
+    let rel = egd.atoms[0].rel;
+    let facts = facts_of(db, rel);
+    if facts.is_empty() {
+        return 0.0;
+    }
+    let vars_a = &egd.atoms[0].vars;
+    let vars_b = &egd.atoms[1].vars;
+    let (c1, c2) = egd.conclusion;
+    let in_a = |v: usize| vars_a.contains(&v);
+    let in_b = |v: usize| vars_b.contains(&v);
+    let pos = |pattern: &[usize], v: usize| pattern.iter().position(|&u| u == v).expect("var");
+
+    if (in_a(c1) && in_a(c2)) || (in_b(c1) && in_b(c2)) {
+        // Both conclusion variables inside one atom: every fact with
+        // differing values at those positions violates by itself
+        // (reflexive binding).
+        let pattern: &[usize] = if in_a(c1) && in_a(c2) { vars_a } else { vars_b };
+        let (p, q) = (pos(pattern, c1), pos(pattern, c2));
+        return facts.iter().filter(|f| f.1[p] != f.1[q]).map(|f| f.2).sum();
+    }
+    // One variable per atom.
+    let (va, vb) = if in_a(c1) { (c1, c2) } else { (c2, c1) };
+    let (p, q) = (pos(vars_a, va), pos(vars_b, vb));
+    let w = total(&facts);
+    if p == q {
+        // Same position in both atoms: all facts must agree there → keep
+        // the heaviest value group.
+        w - heaviest_group(&facts, |f| f.1[p].clone())
+    } else {
+        // Cross positions: all firsts equal all seconds ⇒ only facts
+        // `R(a,a)` for a single value a may remain.
+        let diag: Vec<WeightedFact> = facts.iter().filter(|f| f.1[0] == f.1[1]).cloned().collect();
+        let best = heaviest_group(&diag, |f| f.1[0].clone());
+        w - best
+    }
+}
+
+/// Lemma 4(1): identical atom patterns.
+fn ir_identical(egd: &Egd, db: &Database) -> f64 {
+    let rel = egd.atoms[0].rel;
+    let pattern = &egd.atoms[0].vars;
+    let pos = |v: usize| pattern.iter().position(|&u| u == v).expect("var");
+    let (p, q) = (pos(egd.conclusion.0), pos(egd.conclusion.1));
+    facts_of(db, rel)
+        .iter()
+        .filter(|f| f.1[p] != f.1[q])
+        .map(|f| f.2)
+        .sum()
+}
+
+/// Lemma 4(2): shared key position — `R(x,y), R(x,z)` (or mirrored).
+fn ir_shared_key(egd: &Egd, db: &Database) -> f64 {
+    let rel = egd.atoms[0].rel;
+    let a = &egd.atoms[0].vars;
+    let b = &egd.atoms[1].vars;
+    let facts = facts_of(db, rel);
+    // key position: where the two atoms share a variable.
+    let (key_pos, dep_pos) = if a[0] == b[0] { (0usize, 1usize) } else { (1usize, 0usize) };
+    let shared_var = a[key_pos];
+    let (c1, c2) = egd.conclusion;
+    if c1 != shared_var && c2 != shared_var {
+        // Conclusion equates the two dependent variables: a functional
+        // dependency key → dep. Keep the heaviest dependent group per key
+        // block.
+        let mut blocks: HashMap<Value, Vec<WeightedFact>> = HashMap::new();
+        for f in facts {
+            blocks.entry(f.1[key_pos].clone()).or_default().push(f);
+        }
+        blocks
+            .values()
+            .map(|block| total(block) - heaviest_group(block, |f| f.1[dep_pos].clone()))
+            .sum()
+    } else {
+        // Conclusion involves the shared variable: every fact whose two
+        // attributes differ violates reflexively.
+        facts.iter().filter(|f| f.1[0] != f.1[1]).map(|f| f.2).sum()
+    }
+}
+
+/// Lemma 4(3): swap pattern `R(x,y), R(y,x)`.
+fn ir_swap(egd: &Egd, db: &Database) -> f64 {
+    let rel = egd.atoms[0].rel;
+    let facts = facts_of(db, rel);
+    // Violating pairs: R(a,b) vs R(b,a) for a ≠ b; delete the lighter side
+    // of each unordered value pair.
+    let mut sides: HashMap<(Value, Value), f64> = HashMap::new();
+    for f in &facts {
+        if f.1[0] != f.1[1] {
+            *sides
+                .entry((f.1[0].clone(), f.1[1].clone()))
+                .or_insert(0.0) += f.2;
+        }
+    }
+    let mut cost = 0.0;
+    for ((a, b), w) in &sides {
+        if a < b {
+            if let Some(w2) = sides.get(&(b.clone(), a.clone())) {
+                cost += w.min(*w2);
+            }
+        }
+    }
+    cost
+}
+
+// ---------------------------------------------------------------------------
+// The MaxCut reduction (Lemma 1).
+// ---------------------------------------------------------------------------
+
+/// The database/constraint instance produced by [`maxcut_reduction`].
+pub struct MaxCutInstance {
+    /// The reduction database (relation `R(A, B, cost)`).
+    pub db: Database,
+    /// `Σ = {σ2}` — the NP-hard path EGD.
+    pub cs: ConstraintSet,
+    /// Number of graph vertices.
+    pub n: usize,
+    /// Number of graph edges.
+    pub m: usize,
+}
+
+impl MaxCutInstance {
+    /// The `I_R` value the reduction predicts for a maximum cut of size `k`:
+    /// `(m+1)·n + 2(m−k) + k`.
+    pub fn expected_ir(&self, k: usize) -> f64 {
+        ((self.m + 1) * self.n + 2 * (self.m - k) + k) as f64
+    }
+}
+
+/// Builds the Lemma 1 instance from a simple undirected graph. Vertices are
+/// encoded as integer values `i + 3`; the special endpoints of the proof
+/// are the values 1 and 2. Gadget facts `R(1, v_i)` and `R(v_i, 2)` carry
+/// cost `m + 1`; edge facts `R(v_i, v_j)`, `R(v_j, v_i)` carry cost 1.
+pub fn maxcut_reduction(n: usize, edges: &[(u32, u32)]) -> MaxCutInstance {
+    let mut s = Schema::new();
+    let r = s
+        .add_relation(
+            inconsist_relational::relation(
+                "R",
+                &[
+                    ("A", ValueKind::Int),
+                    ("B", ValueKind::Int),
+                    ("cost", ValueKind::Float),
+                ],
+            )
+            .expect("static schema"),
+        )
+        .expect("static schema");
+    s.set_cost_attr(r, "cost").expect("cost is numeric");
+    let schema = Arc::new(s);
+    let mut db = Database::new(Arc::clone(&schema));
+    let m = edges.len();
+    let heavy = (m + 1) as f64;
+    let vertex = |i: u32| Value::int(i as i64 + 3);
+    for i in 0..n as u32 {
+        db.insert(Fact::new(r, [Value::int(1), vertex(i), Value::float(heavy)]))
+            .expect("typed");
+        db.insert(Fact::new(r, [vertex(i), Value::int(2), Value::float(heavy)]))
+            .expect("typed");
+    }
+    for &(i, j) in edges {
+        db.insert(Fact::new(r, [vertex(j), vertex(i), Value::float(1.0)]))
+            .expect("typed");
+        db.insert(Fact::new(r, [vertex(i), vertex(j), Value::float(1.0)]))
+            .expect("typed");
+    }
+    // σ2 over (A, B) — ignoring the auxiliary cost column requires a
+    // relation-level EGD on the first two positions only; we express it as
+    // a DC directly.
+    let mut cs = ConstraintSet::new(Arc::clone(&schema));
+    let dc = inconsist_constraints::parse_dc(
+        &schema,
+        "R",
+        "σ2-path",
+        "!(t.B = t'.A & t.A != t'.B)",
+    )
+    .expect("static DC");
+    cs.add_dc(dc);
+    MaxCutInstance { db, cs, n, m }
+}
+
+/// Brute-force maximum cut (for reduction tests; graphs of ≤ 20 vertices).
+pub fn brute_force_max_cut(n: usize, edges: &[(u32, u32)]) -> usize {
+    assert!(n <= 20);
+    let mut best = 0;
+    for mask in 0..(1u32 << n) {
+        let cut = edges
+            .iter()
+            .filter(|&&(a, b)| ((mask >> a) & 1) != ((mask >> b) & 1))
+            .count();
+        best = best.max(cut);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{InconsistencyMeasure, MeasureOptions, MinimumRepair};
+    use inconsist_constraints::egd::example8;
+    use inconsist_constraints::{Egd, EgdAtom};
+    use inconsist_relational::relation;
+    use rand::{Rng, SeedableRng};
+
+    fn binary_schema() -> (Arc<Schema>, RelId, RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let t = s
+            .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        (Arc::new(s), r, t)
+    }
+
+    #[test]
+    fn example8_classification() {
+        let (s, r, t) = binary_schema();
+        assert_eq!(
+            classify(&example8::sigma1(r, &s)),
+            Some(EgdComplexity::Polynomial(PolyCase::SharedKey)),
+            "σ1 is an FD — polynomial"
+        );
+        assert_eq!(classify(&example8::sigma2(r, &s)), Some(EgdComplexity::NpHard));
+        assert_eq!(classify(&example8::sigma3(r, &s)), Some(EgdComplexity::NpHard));
+        assert_eq!(
+            classify(&example8::sigma4(r, t, &s)),
+            Some(EgdComplexity::Polynomial(PolyCase::TwoRelations)),
+        );
+    }
+
+    #[test]
+    fn more_classification_cases() {
+        let (s, r, _) = binary_schema();
+        // Swap: R(x,y), R(y,x) ⇒ x=y.
+        let swap = Egd::new(
+            "swap",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![1, 0] },
+            ],
+            (0, 1),
+            &s,
+        )
+        .unwrap();
+        assert_eq!(classify(&swap), Some(EgdComplexity::Polynomial(PolyCase::Swap)));
+        // No shared vars.
+        let nos = Egd::new(
+            "nos",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![2, 3] },
+            ],
+            (0, 2),
+            &s,
+        )
+        .unwrap();
+        assert_eq!(
+            classify(&nos),
+            Some(EgdComplexity::Polynomial(PolyCase::NoSharedVars))
+        );
+        // Identical atoms.
+        let ident = Egd::new(
+            "id",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![0, 1] },
+            ],
+            (0, 1),
+            &s,
+        )
+        .unwrap();
+        assert_eq!(
+            classify(&ident),
+            Some(EgdComplexity::Polynomial(PolyCase::IdenticalAtoms))
+        );
+        // Trivial conclusion.
+        let trivial = Egd::new(
+            "tr",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![1, 2] },
+            ],
+            (1, 1),
+            &s,
+        )
+        .unwrap();
+        assert_eq!(classify(&trivial), Some(EgdComplexity::Trivial));
+        // Repeated var inside an atom → fallback.
+        let rep = Egd::new(
+            "rep",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 0] },
+                EgdAtom { rel: r, vars: vec![0, 1] },
+            ],
+            (0, 1),
+            &s,
+        )
+        .unwrap();
+        assert_eq!(classify(&rep), Some(EgdComplexity::PolynomialFallback));
+        // Reverse path is also hard.
+        let rev = Egd::new(
+            "rev",
+            vec![
+                EgdAtom { rel: r, vars: vec![1, 2] },
+                EgdAtom { rel: r, vars: vec![0, 1] },
+            ],
+            (0, 2),
+            &s,
+        )
+        .unwrap();
+        assert_eq!(classify(&rev), Some(EgdComplexity::NpHard));
+    }
+
+    /// Exact oracle for cross-checking the polynomial algorithms.
+    fn exact_ir(egd: &Egd, db: &Database, schema: &Arc<Schema>) -> f64 {
+        let mut cs = ConstraintSet::new(Arc::clone(schema));
+        cs.add_egd(egd.clone());
+        MinimumRepair {
+            options: MeasureOptions::default(),
+        }
+        .eval(&cs, db)
+        .expect("small instance")
+    }
+
+    fn random_db(
+        schema: &Arc<Schema>,
+        rels: &[RelId],
+        rng: &mut impl Rng,
+        n: usize,
+        domain: i64,
+    ) -> Database {
+        let mut db = Database::new(Arc::clone(schema));
+        for _ in 0..n {
+            let rel = rels[rng.gen_range(0..rels.len())];
+            db.insert(Fact::new(
+                rel,
+                [Value::int(rng.gen_range(0..domain)), Value::int(rng.gen_range(0..domain))],
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn sigma4_poly_matches_exact() {
+        let (s, r, t) = binary_schema();
+        let egd = example8::sigma4(r, t, &s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..12);
+            let db = random_db(&s, &[r, t], &mut rng, n, 4);
+            let fast = ir_single_egd(&egd, &db).unwrap();
+            let exact = exact_ir(&egd, &db, &s);
+            assert!(
+                (fast - exact).abs() < 1e-9,
+                "trial {trial}: fast {fast} vs exact {exact}\n{db}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma1_fd_case_matches_exact() {
+        let (s, r, _) = binary_schema();
+        let egd = example8::sigma1(r, &s);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..12);
+            let db = random_db(&s, &[r], &mut rng, n, 3);
+            let fast = ir_single_egd(&egd, &db).unwrap();
+            let exact = exact_ir(&egd, &db, &s);
+            assert!((fast - exact).abs() < 1e-9, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn swap_case_matches_exact() {
+        let (s, r, _) = binary_schema();
+        let egd = Egd::new(
+            "swap",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![1, 0] },
+            ],
+            (0, 1),
+            &s,
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..12);
+            let db = random_db(&s, &[r], &mut rng, n, 3);
+            let fast = ir_single_egd(&egd, &db).unwrap();
+            let exact = exact_ir(&egd, &db, &s);
+            assert!((fast - exact).abs() < 1e-9, "trial {trial}\n{db}");
+        }
+    }
+
+    #[test]
+    fn no_shared_vars_cases_match_exact() {
+        let (s, r, _) = binary_schema();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        for conclusion in [(0, 1), (0, 2), (1, 3), (0, 3), (1, 2)] {
+            let egd = Egd::new(
+                "nos",
+                vec![
+                    EgdAtom { rel: r, vars: vec![0, 1] },
+                    EgdAtom { rel: r, vars: vec![2, 3] },
+                ],
+                conclusion,
+                &s,
+            )
+            .unwrap();
+            for trial in 0..10 {
+                let n = rng.gen_range(2..9);
+            let db = random_db(&s, &[r], &mut rng, n, 3);
+                let fast = ir_single_egd(&egd, &db).unwrap();
+                let exact = exact_ir(&egd, &db, &s);
+                assert!(
+                    (fast - exact).abs() < 1e-9,
+                    "conclusion {conclusion:?} trial {trial}: {fast} vs {exact}\n{db}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_key_conclusion_variants_match_exact() {
+        let (s, r, _) = binary_schema();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(59);
+        for conclusion in [(1, 2), (0, 1), (0, 2)] {
+            let egd = Egd::new(
+                "sk",
+                vec![
+                    EgdAtom { rel: r, vars: vec![0, 1] },
+                    EgdAtom { rel: r, vars: vec![0, 2] },
+                ],
+                conclusion,
+                &s,
+            )
+            .unwrap();
+            for trial in 0..10 {
+                let n = rng.gen_range(2..10);
+            let db = random_db(&s, &[r], &mut rng, n, 3);
+                let fast = ir_single_egd(&egd, &db).unwrap();
+                let exact = exact_ir(&egd, &db, &s);
+                assert!(
+                    (fast - exact).abs() < 1e-9,
+                    "conclusion {conclusion:?} trial {trial}: {fast} vs {exact}\n{db}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_atoms_match_exact() {
+        let (s, r, _) = binary_schema();
+        let egd = Egd::new(
+            "id",
+            vec![
+                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom { rel: r, vars: vec![0, 1] },
+            ],
+            (0, 1),
+            &s,
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..10);
+            let db = random_db(&s, &[r], &mut rng, n, 3);
+            let fast = ir_single_egd(&egd, &db).unwrap();
+            let exact = exact_ir(&egd, &db, &s);
+            assert!((fast - exact).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn maxcut_identity_on_small_graphs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        for trial in 0..6 {
+            let n = rng.gen_range(2..5usize);
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in a + 1..n as u32 {
+                    if rng.gen_bool(0.6) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            if edges.is_empty() {
+                edges.push((0, 1));
+            }
+            let inst = maxcut_reduction(n, &edges);
+            let k = brute_force_max_cut(n, &edges);
+            let ir = MinimumRepair {
+                options: MeasureOptions::default(),
+            }
+            .eval(&inst.cs, &inst.db)
+            .expect("small instance");
+            assert!(
+                (ir - inst.expected_ir(k)).abs() < 1e-9,
+                "trial {trial}: I_R = {ir}, expected {} for max cut {k}",
+                inst.expected_ir(k)
+            );
+        }
+    }
+}

@@ -1,0 +1,632 @@
+//! Incremental measure maintenance for repair loops.
+//!
+//! The paper's flagship use case is *progress indication* (§1): a cleaning
+//! system applies one repairing operation at a time and re-reads the
+//! inconsistency level after each step. Re-running the violation engine
+//! after every operation costs a full self-join (`O(|D|²)` in the worst
+//! case) per step, which dominates the cleaning loop long before the
+//! measures themselves do (§6.2.3: "the dominant part of the computation
+//! … is the evaluation of the SQL query").
+//!
+//! [`IncrementalIndex`] removes that bottleneck. It owns the database and
+//! the constraint set, materializes every raw falsifying binding once, and
+//! then maintains the set under the three repairing operations of §2:
+//!
+//! * **delete** `⟨−i⟩` — violations containing `i` disappear; since DCs are
+//!   anti-monotonic, no new violation can appear: the update is a pure
+//!   index removal, `O(k)` for `k` incident bindings.
+//! * **insert** `⟨+f⟩` — every new violation involves the new tuple; one
+//!   pinned-tuple enumeration (`O(|D|)` with the hash indexes) finds them.
+//! * **update** `⟨i.A ← c⟩` — treated as delete-then-insert on the same
+//!   identifier: remove the incident bindings, apply the update, re-probe.
+//!
+//! The measures `I_d`, `I_MI`, `I_MI^dc`, `I_P`, `I_R` and `I_R^lin` are
+//! then answered from the maintained set; only the global
+//! minimality/dedup pass and (for the repair measures) the cover solve are
+//! paid per read, never the self-join. The [`bench_incremental`
+//! ablation](../../../bench/benches/bench_incremental.rs) quantifies the
+//! win; the unit and property tests below pin the maintained values to the
+//! from-scratch engine on random operation sequences.
+
+use crate::measures::{MeasureError, MeasureOptions, MeasureResult};
+use crate::repair::RepairOp;
+use inconsist_constraints::{engine, ConstraintSet, ViolationSet};
+use inconsist_graph::ConflictGraph;
+use inconsist_relational::{AttrId, Database, Fact, RelationalError, TupleId, Value};
+use inconsist_solver::{covering_lp, fractional_vertex_cover, min_weight_hitting_set, min_weight_vertex_cover};
+use std::collections::{HashMap, HashSet};
+use std::ops::ControlFlow;
+
+/// A live violation index over a database: apply repairing operations and
+/// read inconsistency measures without re-running the full violation scan.
+///
+/// ```
+/// use inconsist::incremental::IncrementalIndex;
+/// use inconsist::paper;
+///
+/// use inconsist::relational::TupleId;
+///
+/// let (d1, cs) = paper::airport_d1();
+/// let mut idx = IncrementalIndex::build(d1, cs).unwrap();
+/// assert_eq!(idx.i_mi(), 7.0); // Table 1
+/// // Delete f5 (the fact in the most violations) and re-read in O(k).
+/// // The fixture numbers facts like the paper: f5 is TupleId(5).
+/// idx.delete(TupleId(5));
+/// assert_eq!(idx.i_mi(), 3.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalIndex {
+    db: Database,
+    cs: ConstraintSet,
+    /// Raw falsifying bindings per constraint (deduped within each DC, not
+    /// minimality-filtered — filtering happens lazily at read time).
+    per_dc: Vec<HashSet<ViolationSet>>,
+    /// Inverted index: tuple → the `(dc, binding)` pairs it appears in.
+    by_tuple: HashMap<TupleId, HashSet<(usize, ViolationSet)>>,
+    /// Total raw bindings across constraints.
+    raw_count: usize,
+    /// Memoized global `MI_Σ(D)` (cross-constraint dedup + minimality).
+    mi_cache: Option<Vec<ViolationSet>>,
+}
+
+impl IncrementalIndex {
+    /// Builds the index with a full violation scan. Fails with
+    /// [`MeasureError::Truncated`] if the scan exceeds `limit` raw bindings
+    /// (pass `None` for no cap).
+    pub fn build_with_limit(
+        db: Database,
+        cs: ConstraintSet,
+        limit: Option<usize>,
+    ) -> Result<Self, MeasureError> {
+        let mut per_dc: Vec<HashSet<ViolationSet>> = vec![HashSet::new(); cs.len()];
+        let mut budget = limit.unwrap_or(usize::MAX);
+        let mut indexes = engine::Indexes::default();
+        for (i, dc) in cs.dcs().iter().enumerate() {
+            let mut truncated = false;
+            engine::for_each_violation(&db, dc, &mut indexes, &mut |set: &[TupleId]| {
+                if budget == 0 {
+                    truncated = true;
+                    return ControlFlow::Break(());
+                }
+                budget -= 1;
+                per_dc[i].insert(set.to_vec().into_boxed_slice());
+                ControlFlow::Continue(())
+            });
+            if truncated {
+                return Err(MeasureError::Truncated);
+            }
+        }
+        let mut idx = IncrementalIndex {
+            db,
+            cs,
+            per_dc,
+            by_tuple: HashMap::new(),
+            raw_count: 0,
+            mi_cache: None,
+        };
+        idx.rebuild_inverted();
+        Ok(idx)
+    }
+
+    /// Builds the index with the default (uncapped) scan.
+    pub fn build(db: Database, cs: ConstraintSet) -> Result<Self, MeasureError> {
+        Self::build_with_limit(db, cs, None)
+    }
+
+    fn rebuild_inverted(&mut self) {
+        self.by_tuple.clear();
+        self.raw_count = 0;
+        for (i, sets) in self.per_dc.iter().enumerate() {
+            for set in sets {
+                self.raw_count += 1;
+                for &t in set.iter() {
+                    self.by_tuple
+                        .entry(t)
+                        .or_default()
+                        .insert((i, set.clone()));
+                }
+            }
+        }
+    }
+
+    /// The current database (read-only; mutate through the index so the
+    /// violation set stays in sync).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The constraint set the index maintains violations for.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.cs
+    }
+
+    /// Consumes the index, returning the database.
+    pub fn into_db(self) -> Database {
+        self.db
+    }
+
+    /// Total raw falsifying bindings currently known (an upper bound on
+    /// `I_MI`; zero iff consistent).
+    pub fn raw_violations(&self) -> usize {
+        self.raw_count
+    }
+
+    // -- mutations ---------------------------------------------------------
+
+    /// Removes every indexed binding that involves `tid`.
+    fn detach(&mut self, tid: TupleId) {
+        let Some(incident) = self.by_tuple.remove(&tid) else {
+            return;
+        };
+        for (dc, set) in incident {
+            if self.per_dc[dc].remove(&set) {
+                self.raw_count -= 1;
+            }
+            for &u in set.iter() {
+                if u == tid {
+                    continue;
+                }
+                if let Some(entry) = self.by_tuple.get_mut(&u) {
+                    entry.remove(&(dc, set.clone()));
+                    if entry.is_empty() {
+                        self.by_tuple.remove(&u);
+                    }
+                }
+            }
+        }
+        self.mi_cache = None;
+    }
+
+    /// Probes the engine for bindings involving `tid` and indexes them.
+    fn attach(&mut self, tid: TupleId) {
+        for (dc, set) in engine::raw_violations_involving_per_dc(&self.db, &self.cs, tid) {
+            if self.per_dc[dc].insert(set.clone()) {
+                self.raw_count += 1;
+                for &u in set.iter() {
+                    self.by_tuple.entry(u).or_default().insert((dc, set.clone()));
+                }
+            }
+        }
+        self.mi_cache = None;
+    }
+
+    /// `⟨−i⟩`: deletes tuple `i`, dropping its violations in `O(k)`.
+    /// Returns the deleted fact, or `None` if `i` was absent (the paper's
+    /// convention: inapplicable operations are no-ops).
+    pub fn delete(&mut self, tid: TupleId) -> Option<Fact> {
+        let fact = self.db.delete(tid)?;
+        self.detach(tid);
+        Some(fact)
+    }
+
+    /// `⟨+f⟩`: inserts `f`, discovering its violations with one pinned
+    /// probe. Returns the fresh tuple identifier.
+    pub fn insert(&mut self, fact: Fact) -> Result<TupleId, RelationalError> {
+        let tid = self.db.insert(fact)?;
+        self.attach(tid);
+        Ok(tid)
+    }
+
+    /// `⟨i.A ← c⟩`: updates one attribute value, re-probing only the
+    /// touched tuple. Returns the previous value (`None` if `i` is absent).
+    pub fn update(
+        &mut self,
+        tid: TupleId,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<Option<Value>, RelationalError> {
+        let old = self.db.update(tid, attr, value.clone())?;
+        let Some(old) = old else { return Ok(None) };
+        if old != value {
+            self.detach(tid);
+            self.attach(tid);
+        }
+        Ok(Some(old))
+    }
+
+    /// Applies a [`RepairOp`], keeping the index in sync. Returns `true`
+    /// when the database changed.
+    pub fn apply(&mut self, op: &RepairOp) -> bool {
+        match op {
+            RepairOp::Delete(id) => self.delete(*id).is_some(),
+            RepairOp::Insert(f) => self.insert(f.clone()).is_ok(),
+            RepairOp::Update(id, attr, value) => {
+                matches!(self.update(*id, *attr, value.clone()), Ok(Some(old)) if old != *value)
+            }
+        }
+    }
+
+    // -- reads -------------------------------------------------------------
+
+    /// Whether the database currently satisfies all constraints. `O(1)`.
+    pub fn is_consistent(&self) -> bool {
+        self.raw_count == 0
+    }
+
+    /// `I_d`: 1 iff inconsistent. `O(1)`.
+    pub fn i_d(&self) -> f64 {
+        if self.is_consistent() {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    /// The global minimal inconsistent subsets `MI_Σ(D)` (cross-constraint
+    /// dedup + inclusion-minimality), memoized until the next mutation.
+    pub fn minimal_subsets(&mut self) -> &[ViolationSet] {
+        if self.mi_cache.is_none() {
+            let union: HashSet<ViolationSet> = self
+                .per_dc
+                .iter()
+                .flat_map(|s| s.iter().cloned())
+                .collect();
+            self.mi_cache = Some(engine::filter_minimal(union));
+        }
+        self.mi_cache.as_deref().expect("just filled")
+    }
+
+    /// `I_MI`: `|MI_Σ(D)|`.
+    pub fn i_mi(&mut self) -> f64 {
+        self.minimal_subsets().len() as f64
+    }
+
+    /// `I_P`: `|∪ MI_Σ(D)|`.
+    pub fn i_p(&mut self) -> f64 {
+        let mut tuples: HashSet<TupleId> = HashSet::new();
+        for s in self.minimal_subsets() {
+            tuples.extend(s.iter().copied());
+        }
+        tuples.len() as f64
+    }
+
+    /// `I_MI^dc`: per-constraint minimal violation count (§5.3 semantics —
+    /// a tuple set flagged by two constraints counts twice).
+    pub fn i_mi_dc(&self) -> f64 {
+        self.per_dc
+            .iter()
+            .map(|sets| engine::filter_minimal(sets.clone()).len())
+            .sum::<usize>() as f64
+    }
+
+    /// The conflict (hyper)graph over the current minimal subsets.
+    pub fn conflict_graph(&mut self) -> ConflictGraph {
+        self.minimal_subsets();
+        let subsets = self.mi_cache.as_deref().expect("just filled");
+        ConflictGraph::from_subsets(&self.db, subsets)
+    }
+
+    /// `I_R` (deletions): exact minimum-cost repair over the maintained
+    /// violations; only the cover solve is paid, not the self-join.
+    pub fn i_r(&mut self, options: &MeasureOptions) -> MeasureResult {
+        let graph = self.conflict_graph();
+        if graph.is_plain_graph() {
+            return min_weight_vertex_cover(&graph, options.vc_budget)
+                .map(|vc| vc.weight)
+                .ok_or(MeasureError::Timeout);
+        }
+        let subsets = self.mi_cache.as_deref().expect("filled by conflict_graph");
+        let weights: Vec<f64> = (0..graph.n() as u32).map(|v| graph.weight(v)).collect();
+        let sets: Vec<Vec<usize>> = subsets
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .map(|t| graph.node_of(*t).expect("violation tuple is a node") as usize)
+                    .collect()
+            })
+            .collect();
+        min_weight_hitting_set(&weights, &sets, options.vc_budget)
+            .map(|h| h.weight)
+            .ok_or(MeasureError::Timeout)
+    }
+
+    /// `I_R^lin`: the LP relaxation (Fig. 2) over the maintained violations.
+    pub fn i_r_lin(&mut self) -> MeasureResult {
+        let graph = self.conflict_graph();
+        if graph.is_plain_graph() {
+            return Ok(fractional_vertex_cover(&graph).value);
+        }
+        let subsets = self.mi_cache.as_deref().expect("filled by conflict_graph");
+        let weights: Vec<f64> = (0..graph.n() as u32).map(|v| graph.weight(v)).collect();
+        let sets: Vec<Vec<usize>> = subsets
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .map(|t| graph.node_of(*t).expect("violation tuple is a node") as usize)
+                    .collect()
+            })
+            .collect();
+        covering_lp(&weights, &sets)
+            .minimize()
+            .map(|sol| sol.objective)
+            .map_err(|_| MeasureError::Timeout)
+    }
+
+    /// Tuples ranked by how many raw bindings they currently appear in —
+    /// the "address the tuples with the highest responsibility" heuristic
+    /// of §1, answered in `O(n log n)` from the inverted index.
+    pub fn hottest_tuples(&self, k: usize) -> Vec<(TupleId, usize)> {
+        let mut counts: Vec<(TupleId, usize)> = self
+            .by_tuple
+            .iter()
+            .map(|(&t, sets)| (t, sets.len()))
+            .collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts.truncate(k);
+        counts
+    }
+
+    /// Internal consistency check used by tests: rebuilds from scratch and
+    /// compares the raw binding sets. Expensive; not for production loops.
+    #[doc(hidden)]
+    pub fn self_check(&self) -> bool {
+        match Self::build(self.db.clone(), self.cs.clone()) {
+            Ok(fresh) => fresh.per_dc == self.per_dc,
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{
+        InconsistencyMeasure, LinearMinimumRepair, MinimalInconsistentSubsets, MinimumRepair,
+        ProblematicFacts,
+    };
+    use inconsist_constraints::{dc::build, CmpOp, Fd};
+    use inconsist_relational::{relation, Schema, ValueKind};
+    use rand::prelude::*;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, inconsist_relational::RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (Arc::new(s), r)
+    }
+
+    fn two_fd_cs(s: &Arc<Schema>, r: inconsist_relational::RelId) -> ConstraintSet {
+        let mut cs = ConstraintSet::new(Arc::clone(s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        cs.add_fd(Fd::new(r, [AttrId(1)], [AttrId(2)]));
+        cs
+    }
+
+    fn fact3(r: inconsist_relational::RelId, a: i64, b: i64, c: i64) -> Fact {
+        Fact::new(r, [Value::int(a), Value::int(b), Value::int(c)])
+    }
+
+    /// Asserts the incremental reads match a from-scratch evaluation.
+    fn assert_matches_scratch(idx: &mut IncrementalIndex) {
+        let opts = MeasureOptions::default();
+        let db = idx.db().clone();
+        let cs = idx.constraints().clone();
+        assert!(idx.self_check(), "raw binding sets diverged");
+        assert_eq!(
+            idx.i_mi(),
+            MinimalInconsistentSubsets { options: opts }.eval(&cs, &db).unwrap()
+        );
+        assert_eq!(
+            idx.i_p(),
+            ProblematicFacts { options: opts }.eval(&cs, &db).unwrap()
+        );
+        assert_eq!(
+            idx.i_r(&opts).unwrap(),
+            MinimumRepair { options: opts }.eval(&cs, &db).unwrap()
+        );
+        let lin_inc = idx.i_r_lin().unwrap();
+        let lin_scratch = LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+        assert!((lin_inc - lin_scratch).abs() < 1e-6);
+        assert_eq!(
+            idx.is_consistent(),
+            inconsist_constraints::is_consistent(&db, &cs)
+        );
+    }
+
+    #[test]
+    fn build_matches_table1() {
+        let (d1, cs) = crate::paper::airport_d1();
+        let mut idx = IncrementalIndex::build(d1, cs).unwrap();
+        assert_eq!(idx.i_d(), 1.0);
+        assert_eq!(idx.i_mi(), 7.0);
+        assert_eq!(idx.i_p(), 5.0);
+        assert_eq!(idx.i_r(&MeasureOptions::default()).unwrap(), 3.0);
+        assert!((idx.i_r_lin().unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delete_detaches_incident_violations() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        let hub = db.insert(fact3(r, 1, 1, 0)).unwrap();
+        db.insert(fact3(r, 1, 2, 0)).unwrap();
+        db.insert(fact3(r, 1, 3, 0)).unwrap();
+        let mut idx = IncrementalIndex::build(db, two_fd_cs(&s, r)).unwrap();
+        assert_eq!(idx.i_mi(), 3.0); // three conflicting pairs
+        idx.delete(hub);
+        // The two survivors still agree on A and differ on B: one pair left.
+        assert_eq!(idx.i_mi(), 1.0);
+        assert_matches_scratch(&mut idx);
+        idx.delete(TupleId(999)); // no-op
+        assert_matches_scratch(&mut idx);
+    }
+
+    #[test]
+    fn insert_discovers_new_violations() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(fact3(r, 1, 1, 0)).unwrap();
+        db.insert(fact3(r, 2, 2, 0)).unwrap();
+        let mut idx = IncrementalIndex::build(db, two_fd_cs(&s, r)).unwrap();
+        assert!(idx.is_consistent());
+        idx.insert(fact3(r, 1, 9, 9)).unwrap();
+        assert_eq!(idx.i_mi(), 1.0);
+        assert_matches_scratch(&mut idx);
+        idx.insert(fact3(r, 1, 9, 8)).unwrap(); // conflicts via A→B with f0 and B→C with previous
+        assert_matches_scratch(&mut idx);
+    }
+
+    #[test]
+    fn update_moves_tuple_between_conflicts() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        let t0 = db.insert(fact3(r, 1, 1, 0)).unwrap();
+        db.insert(fact3(r, 1, 2, 0)).unwrap();
+        db.insert(fact3(r, 3, 3, 3)).unwrap();
+        let mut idx = IncrementalIndex::build(db, two_fd_cs(&s, r)).unwrap();
+        assert_eq!(idx.i_mi(), 1.0);
+        // Resolve the A→B conflict by moving t0 out of the A=1 block…
+        idx.update(t0, AttrId(0), Value::int(7)).unwrap();
+        assert!(idx.is_consistent());
+        assert_matches_scratch(&mut idx);
+        // …then create a fresh B→C conflict.
+        idx.update(t0, AttrId(1), Value::int(3)).unwrap();
+        assert_eq!(idx.i_mi(), 1.0);
+        assert_matches_scratch(&mut idx);
+        // Identity update is a no-op and must not disturb the index.
+        idx.update(t0, AttrId(1), Value::int(3)).unwrap();
+        assert_matches_scratch(&mut idx);
+    }
+
+    #[test]
+    fn unary_dc_singletons_are_maintained() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        let bad = db.insert(fact3(r, -1, 0, 0)).unwrap();
+        db.insert(fact3(r, 5, 0, 0)).unwrap();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_dc(
+            build::unary("pos", r, vec![build::uc(AttrId(0), CmpOp::Lt, Value::int(0))], &s)
+                .unwrap(),
+        );
+        let mut idx = IncrementalIndex::build(db, cs).unwrap();
+        assert_eq!(idx.i_mi(), 1.0);
+        assert_eq!(idx.i_r(&MeasureOptions::default()).unwrap(), 1.0);
+        idx.update(bad, AttrId(0), Value::int(3)).unwrap();
+        assert!(idx.is_consistent());
+        assert_matches_scratch(&mut idx);
+        idx.update(bad, AttrId(0), Value::int(-9)).unwrap();
+        assert_eq!(idx.i_mi(), 1.0);
+        assert_matches_scratch(&mut idx);
+    }
+
+    #[test]
+    fn hottest_tuples_ranks_by_incidence() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        let hub = db.insert(fact3(r, 1, 1, 0)).unwrap();
+        db.insert(fact3(r, 1, 2, 1)).unwrap();
+        db.insert(fact3(r, 1, 3, 2)).unwrap();
+        db.insert(fact3(r, 9, 9, 9)).unwrap();
+        let idx = IncrementalIndex::build(db, two_fd_cs(&s, r)).unwrap();
+        let hot = idx.hottest_tuples(2);
+        assert_eq!(hot.len(), 2);
+        // All three A=1 tuples pairwise violate A→B: equal incidence (2 each),
+        // ties broken by tuple id, so the hub (lowest id) is first.
+        assert_eq!(hot[0].0, hub);
+        assert_eq!(hot[0].1, 2);
+    }
+
+    #[test]
+    fn apply_repair_ops_keeps_sync() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        let t0 = db.insert(fact3(r, 1, 1, 0)).unwrap();
+        db.insert(fact3(r, 1, 2, 0)).unwrap();
+        let mut idx = IncrementalIndex::build(db, two_fd_cs(&s, r)).unwrap();
+        assert!(idx.apply(&RepairOp::Update(t0, AttrId(1), Value::int(2))));
+        assert!(idx.is_consistent());
+        assert!(idx.apply(&RepairOp::Insert(fact3(r, 1, 5, 5))));
+        assert!(!idx.is_consistent());
+        assert!(idx.apply(&RepairOp::Delete(t0)));
+        assert_matches_scratch(&mut idx);
+        // Inapplicable ops return false and change nothing.
+        assert!(!idx.apply(&RepairOp::Delete(TupleId(777))));
+        assert!(!idx.apply(&RepairOp::Update(TupleId(777), AttrId(0), Value::int(1))));
+        assert_matches_scratch(&mut idx);
+    }
+
+    #[test]
+    fn truncation_reported_at_build() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        for i in 0..30 {
+            db.insert(fact3(r, 1, i, 0)).unwrap();
+        }
+        let cs = two_fd_cs(&s, r);
+        assert_eq!(
+            IncrementalIndex::build_with_limit(db, cs, Some(5)).err(),
+            Some(MeasureError::Truncated)
+        );
+    }
+
+    #[test]
+    fn random_operation_sequences_stay_in_sync() {
+        let (s, r) = setup();
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..8 {
+            let mut db = Database::new(Arc::clone(&s));
+            for _ in 0..12 {
+                db.insert(fact3(
+                    r,
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..3),
+                ))
+                .unwrap();
+            }
+            let mut cs = two_fd_cs(&s, r);
+            // Mix in an order DC so asymmetric probing is exercised.
+            cs.add_dc(
+                build::binary(
+                    "ord",
+                    r,
+                    vec![
+                        build::tt(AttrId(1), CmpOp::Lt, AttrId(1)),
+                        build::tt(AttrId(2), CmpOp::Gt, AttrId(2)),
+                    ],
+                    &s,
+                )
+                .unwrap(),
+            );
+            let mut idx = IncrementalIndex::build(db, cs).unwrap();
+            for step in 0..25 {
+                let ids: Vec<TupleId> = idx.db().ids().collect();
+                match rng.gen_range(0..3) {
+                    0 => {
+                        idx.insert(fact3(
+                            r,
+                            rng.gen_range(0..4),
+                            rng.gen_range(0..4),
+                            rng.gen_range(0..3),
+                        ))
+                        .unwrap();
+                    }
+                    1 if !ids.is_empty() => {
+                        let t = ids[rng.gen_range(0..ids.len())];
+                        idx.delete(t);
+                    }
+                    _ if !ids.is_empty() => {
+                        let t = ids[rng.gen_range(0..ids.len())];
+                        let a = AttrId(rng.gen_range(0..3));
+                        idx.update(t, a, Value::int(rng.gen_range(0..4))).unwrap();
+                    }
+                    _ => {}
+                }
+                if step % 5 == 4 {
+                    assert_matches_scratch(&mut idx);
+                }
+            }
+            assert_matches_scratch(&mut idx);
+            let _ = trial;
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Quantifying progress-indication quality.
+//!
+//! The paper argues qualitatively (§1, §6.2.1, citing Luo et al. \[44\]) that
+//! a good progress measure should be *monotone* under one-directional
+//! change, close to *linear* ("acceptable pacing", correlating with
+//! expected waiting time), and free of *jumps and jitters*. This module
+//! turns those three desiderata into numbers so the Fig. 4/7 comparisons
+//! can be made quantitative:
+//!
+//! * [`TraceQuality::monotonicity`] — fraction of adjacent steps moving in
+//!   the trace's dominant direction (1.0 = perfectly monotone);
+//! * [`TraceQuality::linearity_r2`] — the R² of a least-squares linear fit
+//!   (1.0 = perfectly linear pacing);
+//! * [`TraceQuality::max_jump`] — the largest single-step change relative
+//!   to the trace's range (small = no cliff edges).
+
+/// Quality statistics of one measure trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceQuality {
+    /// Fraction of steps moving in the dominant direction, in `[0, 1]`.
+    pub monotonicity: f64,
+    /// Coefficient of determination of the best linear fit, in `[0, 1]`.
+    pub linearity_r2: f64,
+    /// Largest single-step change divided by the value range, in `[0, 1]`.
+    pub max_jump: f64,
+}
+
+/// Computes trace quality; `NaN` entries (timeouts) are skipped. Returns
+/// `None` for traces with fewer than three finite points or zero range
+/// (a constant trace indicates nothing — the `I_d` failure mode — and is
+/// reported as `Some` with monotonicity 1, linearity 0, jump 0 only when
+/// the range is exactly zero).
+pub fn trace_quality(values: &[f64]) -> Option<TraceQuality> {
+    let pts: Vec<(f64, f64)> = values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let min = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let max = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    if range == 0.0 {
+        return Some(TraceQuality {
+            monotonicity: 1.0,
+            linearity_r2: 0.0,
+            max_jump: 0.0,
+        });
+    }
+
+    // Dominant direction from the endpoints.
+    let up = pts.last().expect("nonempty").1 >= pts[0].1;
+    let mut aligned = 0usize;
+    let mut max_jump: f64 = 0.0;
+    for w in pts.windows(2) {
+        let delta = w[1].1 - w[0].1;
+        if (up && delta >= -1e-12) || (!up && delta <= 1e-12) {
+            aligned += 1;
+        }
+        max_jump = max_jump.max(delta.abs() / range);
+    }
+    let monotonicity = aligned as f64 / (pts.len() - 1) as f64;
+
+    // Least-squares line over (index, value).
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    let linearity_r2 = if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        let slope = (n * sxy - sx * sy) / denom;
+        let intercept = (sy - slope * sx) / n;
+        let ss_res: f64 = pts
+            .iter()
+            .map(|p| {
+                let e = p.1 - (slope * p.0 + intercept);
+                e * e
+            })
+            .sum();
+        let mean = sy / n;
+        let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean) * (p.1 - mean)).sum();
+        if ss_tot < 1e-12 {
+            0.0
+        } else {
+            (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+        }
+    };
+
+    Some(TraceQuality {
+        monotonicity,
+        linearity_r2,
+        max_jump,
+    })
+}
+
+/// Pearson correlation between a measure trace and "remaining work" (steps
+/// until done) — the paper's "expected waiting time" criterion. Both series
+/// must have equal length; `NaN` pairs are skipped.
+pub fn waiting_time_correlation(measure_trace: &[f64], remaining_work: &[f64]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = measure_trace
+        .iter()
+        .zip(remaining_work)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let cov: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let vx: f64 = pts.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let vy: f64 = pts.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    if vx < 1e-12 || vy < 1e-12 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_trace_scores_perfectly() {
+        let values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let q = trace_quality(&values).unwrap();
+        assert_eq!(q.monotonicity, 1.0);
+        assert!(q.linearity_r2 > 0.999);
+        assert!((q.max_jump - 1.0 / 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_function_has_a_big_jump() {
+        // The I_d shape: flat, one cliff, flat.
+        let mut values = vec![0.0; 10];
+        values.extend(vec![1.0; 10]);
+        let q = trace_quality(&values).unwrap();
+        assert_eq!(q.max_jump, 1.0);
+        assert!(q.linearity_r2 < 0.9);
+        assert_eq!(q.monotonicity, 1.0, "a step is still monotone");
+    }
+
+    #[test]
+    fn jittery_trace_scores_low_monotonicity() {
+        let values: Vec<f64> = (0..20)
+            .map(|i| i as f64 + if i % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let q = trace_quality(&values).unwrap();
+        assert!(q.monotonicity < 0.7);
+    }
+
+    #[test]
+    fn constant_trace_is_flagged() {
+        let q = trace_quality(&[3.0; 10]).unwrap();
+        assert_eq!(q.linearity_r2, 0.0);
+        assert_eq!(q.max_jump, 0.0);
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let values = vec![0.0, f64::NAN, 2.0, 3.0, f64::NAN, 5.0];
+        let q = trace_quality(&values).unwrap();
+        assert_eq!(q.monotonicity, 1.0);
+        assert!(trace_quality(&[f64::NAN, 1.0]).is_none());
+    }
+
+    #[test]
+    fn waiting_time_correlation_detects_good_indicators() {
+        // A measure that tracks remaining work perfectly.
+        let remaining: Vec<f64> = (0..15).rev().map(|i| i as f64).collect();
+        let good: Vec<f64> = remaining.iter().map(|r| 2.0 * r + 1.0).collect();
+        assert!((waiting_time_correlation(&good, &remaining).unwrap() - 1.0).abs() < 1e-9);
+        // The drastic measure: constant 1 until the end — undefined corr
+        // (zero variance) or very poor.
+        let drastic: Vec<f64> = (0..15).map(|i| if i < 14 { 1.0 } else { 0.0 }).collect();
+        let c = waiting_time_correlation(&drastic, &remaining);
+        assert!(c.is_none() || c.unwrap() < 0.7);
+    }
+}

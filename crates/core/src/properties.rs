@@ -1,0 +1,549 @@
+//! The four rationality properties of §4 — positivity, monotonicity,
+//! bounded continuity, progression — as executable checkers, plus the
+//! analytic verdict matrix of Table 2.
+//!
+//! The checkers are *falsifiers*: they search the supplied instances for a
+//! counterexample and report it. A pass is evidence (bounded by the
+//! instance family), a failure is a proof. The paper's own counterexample
+//! constructions (Props. 1, 2, 4; Examples 7, 10, 11) live in
+//! [`crate::paper`] and are wired to these checkers in the test suite and
+//! in the `table2` harness binary.
+
+use crate::measures::InconsistencyMeasure;
+use crate::repair::{RepairOp, RepairSystem};
+use inconsist_constraints::{engine, ConstraintSet};
+use inconsist_relational::Database;
+
+/// Outcome of a property check over a family of instances.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// No counterexample found in the supplied family.
+    NoCounterexample,
+    /// A concrete counterexample, with a human-readable description.
+    Violated(String),
+    /// The measure timed out / truncated on some instance.
+    Inconclusive(String),
+}
+
+impl Verdict {
+    /// Whether the check found a violation.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+}
+
+/// **Positivity**: `I(Σ, D) > 0` whenever `D ̸|= Σ`.
+pub fn check_positivity(
+    measure: &dyn InconsistencyMeasure,
+    instances: &[(ConstraintSet, Database)],
+) -> Verdict {
+    for (i, (cs, db)) in instances.iter().enumerate() {
+        if engine::is_consistent(db, cs) {
+            continue;
+        }
+        match measure.eval(cs, db) {
+            Ok(v) if v <= 0.0 => {
+                return Verdict::Violated(format!(
+                    "instance #{i}: database is inconsistent but {} = {v}",
+                    measure.name()
+                ));
+            }
+            Ok(_) => {}
+            Err(e) => return Verdict::Inconclusive(format!("instance #{i}: {e}")),
+        }
+    }
+    Verdict::NoCounterexample
+}
+
+/// **Monotonicity**: `I(Σ, D) ≤ I(Σ′, D)` whenever `Σ′ |= Σ`. Instances
+/// are `(weaker, stronger, db)` triples; triples where the entailment
+/// `stronger |= weaker` is not certain are skipped.
+pub fn check_monotonicity(
+    measure: &dyn InconsistencyMeasure,
+    instances: &[(ConstraintSet, ConstraintSet, Database)],
+) -> Verdict {
+    for (i, (weaker, stronger, db)) in instances.iter().enumerate() {
+        if stronger.entails(weaker) != Some(true) {
+            continue;
+        }
+        let weak_val = match measure.eval(weaker, db) {
+            Ok(v) => v,
+            Err(e) => return Verdict::Inconclusive(format!("instance #{i}: {e}")),
+        };
+        let strong_val = match measure.eval(stronger, db) {
+            Ok(v) => v,
+            Err(e) => return Verdict::Inconclusive(format!("instance #{i}: {e}")),
+        };
+        if weak_val > strong_val + 1e-9 {
+            return Verdict::Violated(format!(
+                "instance #{i}: {}(Σ) = {weak_val} > {}(Σ′) = {strong_val} although Σ′ |= Σ",
+                measure.name(),
+                measure.name()
+            ));
+        }
+    }
+    Verdict::NoCounterexample
+}
+
+/// **Progression**: whenever `D ̸|= Σ`, some operation of the repair system
+/// strictly reduces the measure.
+pub fn check_progression(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    instances: &[(ConstraintSet, Database)],
+) -> Verdict {
+    for (i, (cs, db)) in instances.iter().enumerate() {
+        if engine::is_consistent(db, cs) {
+            continue;
+        }
+        let base = match measure.eval(cs, db) {
+            Ok(v) => v,
+            Err(e) => return Verdict::Inconclusive(format!("instance #{i}: {e}")),
+        };
+        let mut any_reduces = false;
+        for op in system.candidate_ops(db, cs) {
+            let mut next = db.clone();
+            if !op.apply(&mut next) {
+                continue;
+            }
+            match measure.eval(cs, &next) {
+                Ok(v) if v < base - 1e-9 => {
+                    any_reduces = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => return Verdict::Inconclusive(format!("instance #{i}: {e}")),
+            }
+        }
+        if !any_reduces {
+            return Verdict::Violated(format!(
+                "instance #{i}: {} = {base} but no {} operation reduces it",
+                measure.name(),
+                system.name()
+            ));
+        }
+    }
+    Verdict::NoCounterexample
+}
+
+/// The best (largest) single-operation reduction `max_o Δ_I(o, D)` the
+/// repair system can achieve, or an error message if the measure fails.
+pub fn best_improvement(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    cs: &ConstraintSet,
+    db: &Database,
+) -> Result<(f64, Option<RepairOp>), String> {
+    let base = measure.eval(cs, db).map_err(|e| e.to_string())?;
+    let mut best = 0.0f64;
+    let mut best_op = None;
+    for op in system.candidate_ops(db, cs) {
+        let mut next = db.clone();
+        if !op.apply(&mut next) {
+            continue;
+        }
+        let v = measure.eval(cs, &next).map_err(|e| e.to_string())?;
+        let delta = base - v;
+        if delta > best {
+            best = delta;
+            best_op = Some(op);
+        }
+    }
+    Ok((best, best_op))
+}
+
+/// **Bounded continuity**, empirically: the observed continuity ratio
+/// `max_o1 Δ(o1, D1) / max_o2 Δ(o2, D2)` for a specific pair of databases.
+/// δ-continuity demands this ratio be ≤ δ for *all* pairs; the Prop. 4
+/// family makes it grow without bound for `I_d`, `I_MI`, `I_P`, `I_MC`,
+/// `I′_MC`. Returns `f64::INFINITY` when `D2` admits no improving
+/// operation while `D1` does.
+pub fn continuity_ratio(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    cs: &ConstraintSet,
+    d1: &Database,
+    d2: &Database,
+) -> Result<f64, String> {
+    let (delta1, _) = best_improvement(measure, system, cs, d1)?;
+    let (delta2, _) = best_improvement(measure, system, cs, d2)?;
+    if delta1 <= 0.0 {
+        return Ok(0.0);
+    }
+    if delta2 <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(delta1 / delta2)
+}
+
+/// The best *cost-relative* single-operation reduction
+/// `max_o Δ_I(o, D) / κ(o, D)` — the quantity bounded by weighted
+/// δ-continuity (§4). Operations with zero cost (no-ops) are skipped.
+pub fn best_weighted_improvement(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    cs: &ConstraintSet,
+    db: &Database,
+) -> Result<(f64, Option<RepairOp>), String> {
+    let base = measure.eval(cs, db).map_err(|e| e.to_string())?;
+    let mut best = 0.0f64;
+    let mut best_op = None;
+    for op in system.candidate_ops(db, cs) {
+        let cost = system.cost(db, &op);
+        if cost <= 0.0 {
+            continue;
+        }
+        let mut next = db.clone();
+        if !op.apply(&mut next) {
+            continue;
+        }
+        let v = measure.eval(cs, &next).map_err(|e| e.to_string())?;
+        let ratio = (base - v) / cost;
+        if ratio > best {
+            best = ratio;
+            best_op = Some(op);
+        }
+    }
+    Ok((best, best_op))
+}
+
+/// **Weighted bounded continuity**, empirically: the observed ratio
+/// `max_o1 Δ(o1, D1)/κ(o1, D1)` over `max_o2 Δ(o2, D2)/κ(o2, D2)` for a
+/// specific pair of databases. Weighted δ-continuity demands this be ≤ δ
+/// for all pairs; §4 and §5.3 argue `I_R` (and Theorem 2 proves `I_R^lin`
+/// with `δ = d_Σ`) keep it bounded under deletions, while the counting
+/// measures do not — even after cost normalization.
+pub fn weighted_continuity_ratio(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    cs: &ConstraintSet,
+    d1: &Database,
+    d2: &Database,
+) -> Result<f64, String> {
+    let (delta1, _) = best_weighted_improvement(measure, system, cs, d1)?;
+    let (delta2, _) = best_weighted_improvement(measure, system, cs, d2)?;
+    if delta1 <= 0.0 {
+        return Ok(0.0);
+    }
+    if delta2 <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(delta1 / delta2)
+}
+
+/// Constraint-class column of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConstraintClass {
+    /// Functional dependencies.
+    Fd,
+    /// General denial constraints.
+    Dc,
+}
+
+/// One row of Table 2: per property, the verdict under FDs and under DCs.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Row {
+    /// Measure name.
+    pub measure: &'static str,
+    /// Positivity (FD, DC).
+    pub positivity: (bool, bool),
+    /// Monotonicity (FD, DC).
+    pub monotonicity: (bool, bool),
+    /// Bounded continuity (FD, DC).
+    pub continuity: (bool, bool),
+    /// Progression (FD, DC).
+    pub progression: (bool, bool),
+    /// Polynomial-time computability (FD, DC), assuming P ≠ NP.
+    pub ptime: (bool, bool),
+}
+
+/// The analytic verdicts of Table 2 for `C ∈ {C_FD, C_DC}` and `R = R⊆`.
+///
+/// Note on `I_MC`: the arXiv rendering of the table shows "✓/✓" in its
+/// continuity column, but Prop. 4 explicitly proves that `I_MC` violates
+/// bounded continuity for FDs (via Prop. 3: positivity without progression
+/// excludes bounded continuity). We encode the proposition-consistent
+/// verdict ✗/✗.
+pub fn table2() -> Vec<Table2Row> {
+    vec![
+        Table2Row {
+            measure: "I_d",
+            positivity: (true, true),
+            monotonicity: (true, true),
+            continuity: (false, false),
+            progression: (false, false),
+            ptime: (true, true),
+        },
+        Table2Row {
+            measure: "I_MI",
+            positivity: (true, true),
+            monotonicity: (true, false),
+            continuity: (false, false),
+            progression: (true, true),
+            ptime: (true, true),
+        },
+        Table2Row {
+            measure: "I_P",
+            positivity: (true, true),
+            monotonicity: (true, false),
+            continuity: (false, false),
+            progression: (true, true),
+            ptime: (true, true),
+        },
+        Table2Row {
+            measure: "I_MC",
+            positivity: (true, false),
+            monotonicity: (false, false),
+            continuity: (false, false),
+            progression: (false, false),
+            ptime: (false, false),
+        },
+        Table2Row {
+            measure: "I'_MC",
+            positivity: (true, true),
+            monotonicity: (false, false),
+            continuity: (false, false),
+            progression: (false, false),
+            ptime: (false, false),
+        },
+        Table2Row {
+            measure: "I_R",
+            positivity: (true, true),
+            monotonicity: (true, true),
+            continuity: (true, true),
+            progression: (true, true),
+            ptime: (false, false),
+        },
+        Table2Row {
+            measure: "I_R^lin",
+            positivity: (true, true),
+            monotonicity: (true, true),
+            continuity: (true, true),
+            progression: (true, true),
+            ptime: (true, true),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{
+        Drastic, LinearMinimumRepair, MaximalConsistentSubsets,
+        MaximalConsistentSubsetsWithSelf, MeasureOptions, MinimalInconsistentSubsets,
+        MinimumRepair, ProblematicFacts,
+    };
+    use crate::paper;
+    use crate::repair::{SubsetRepairs, UpdateRepairs};
+    use inconsist_constraints::{dc::build, CmpOp};
+    use inconsist_relational::{relation, AttrId, Fact, Schema, Value, ValueKind};
+    use std::sync::Arc;
+
+    fn opts() -> MeasureOptions {
+        MeasureOptions::default()
+    }
+
+    #[test]
+    fn weighted_continuity_separates_ir_from_counting_measures() {
+        // The Prop. 4 family under unit costs: weighted and unweighted
+        // ratios coincide, so I_MI's grows with n while I_R's stays at 1.
+        for n in [4usize, 8, 16] {
+            let (db, cs, f0) = paper::prop4_instance(n);
+            let mut d2 = db.clone();
+            d2.delete(f0).unwrap();
+            let mi = MinimalInconsistentSubsets { options: opts() };
+            let ir = MinimumRepair { options: opts() };
+            let w_mi =
+                weighted_continuity_ratio(&mi, &SubsetRepairs, &cs, &db, &d2).unwrap();
+            let w_ir =
+                weighted_continuity_ratio(&ir, &SubsetRepairs, &cs, &db, &d2).unwrap();
+            assert_eq!(w_mi, n as f64, "I_MI weighted ratio grows linearly");
+            assert_eq!(w_ir, 1.0, "I_R weighted ratio is bounded");
+            // Unit costs: weighted == unweighted.
+            let u_mi = continuity_ratio(&mi, &SubsetRepairs, &cs, &db, &d2).unwrap();
+            assert_eq!(w_mi, u_mi);
+        }
+    }
+
+    #[test]
+    fn weighted_improvement_prefers_cheap_operations() {
+        // Two conflicting facts; deleting either repairs, but one is 10×
+        // cheaper. The unweighted best improvement is indifferent, the
+        // weighted one must pick the cheap deletion.
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[("A", ValueKind::Int), ("B", ValueKind::Int), ("W", ValueKind::Float)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        s.set_cost_attr(r, "W").unwrap();
+        let s = Arc::new(s);
+        let mut db = crate::relational::Database::new(Arc::clone(&s));
+        db.insert(Fact::new(r, [Value::int(1), Value::int(1), Value::float(10.0)]))
+            .unwrap();
+        let cheap = db
+            .insert(Fact::new(r, [Value::int(1), Value::int(2), Value::float(1.0)]))
+            .unwrap();
+        let mut cs = inconsist_constraints::ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(inconsist_constraints::Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        let ir = MinimumRepair { options: opts() };
+        let (ratio, op) =
+            best_weighted_improvement(&ir, &SubsetRepairs, &cs, &db).unwrap();
+        assert_eq!(op, Some(RepairOp::Delete(cheap)));
+        assert!((ratio - 1.0).abs() < 1e-9, "ΔI_R = 1.0 at cost 1.0");
+    }
+
+    #[test]
+    fn positivity_holds_for_most_measures_on_running_example() {
+        let (d1, cs) = paper::airport_d1();
+        let instances = vec![(cs, d1)];
+        for m in [
+            &Drastic as &dyn InconsistencyMeasure,
+            &MinimalInconsistentSubsets { options: opts() },
+            &ProblematicFacts { options: opts() },
+            &MinimumRepair { options: opts() },
+            &LinearMinimumRepair { options: opts() },
+        ] {
+            assert_eq!(check_positivity(m, &instances), Verdict::NoCounterexample);
+        }
+    }
+
+    #[test]
+    fn positivity_fails_for_imc_with_contradictory_tuple() {
+        // §4: D = {R(a), R(b)}, Σ = {¬R(a)} — MC = {{R(b)}} so I_MC = 0.
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Str)]).unwrap())
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(Fact::new(r, [Value::str("a")])).unwrap();
+        db.insert(Fact::new(r, [Value::str("b")])).unwrap();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_dc(
+            build::unary("not-a", r, vec![build::uc(AttrId(0), CmpOp::Eq, Value::str("a"))], &s)
+                .unwrap(),
+        );
+        let instances = vec![(cs, db)];
+        let imc = MaximalConsistentSubsets { options: opts() };
+        assert!(check_positivity(&imc, &instances).is_violated());
+        // The self-inconsistency variant repairs this (I'_MC = 1).
+        let imc2 = MaximalConsistentSubsetsWithSelf { options: opts() };
+        assert_eq!(check_positivity(&imc2, &instances), Verdict::NoCounterexample);
+    }
+
+    #[test]
+    fn monotonicity_fails_for_imc_on_prop2() {
+        let (db, sigma1, sigma2) = paper::prop2_instance();
+        let instances = vec![(sigma1, sigma2, db)];
+        let imc = MaximalConsistentSubsets { options: opts() };
+        assert!(check_monotonicity(&imc, &instances).is_violated());
+        let imc2 = MaximalConsistentSubsetsWithSelf { options: opts() };
+        assert!(check_monotonicity(&imc2, &instances).is_violated());
+        // I_d, I_MI (FDs), I_R, I_R^lin stay monotone on this instance.
+        for m in [
+            &Drastic as &dyn InconsistencyMeasure,
+            &MinimalInconsistentSubsets { options: opts() },
+            &MinimumRepair { options: opts() },
+            &LinearMinimumRepair { options: opts() },
+        ] {
+            assert_eq!(
+                check_monotonicity(m, &instances),
+                Verdict::NoCounterexample,
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn progression_fails_for_drastic_and_imc() {
+        let (d1, cs) = paper::airport_d1();
+        let instances = vec![(cs, d1)];
+        assert!(check_progression(&Drastic, &SubsetRepairs, &instances).is_violated());
+        // Example 7 instance: I_MC admits no improving deletion.
+        let (db, _sigma1, sigma2) = paper::prop2_instance();
+        let ex7 = vec![(sigma2, db)];
+        let imc = MaximalConsistentSubsets { options: opts() };
+        assert!(check_progression(&imc, &SubsetRepairs, &ex7).is_violated());
+    }
+
+    #[test]
+    fn progression_holds_for_engaged_measures_under_deletions() {
+        let (d1, cs) = paper::airport_d1();
+        let instances = vec![(cs.clone(), d1)];
+        for m in [
+            &MinimalInconsistentSubsets { options: opts() } as &dyn InconsistencyMeasure,
+            &ProblematicFacts { options: opts() },
+            &MinimumRepair { options: opts() },
+            &LinearMinimumRepair { options: opts() },
+        ] {
+            assert_eq!(
+                check_progression(m, &SubsetRepairs, &instances),
+                Verdict::NoCounterexample,
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn progression_fails_for_imi_under_updates_example11() {
+        let (db, cs) = paper::example11_instance();
+        let instances = vec![(cs, db)];
+        let imi = MinimalInconsistentSubsets { options: opts() };
+        assert!(check_progression(&imi, &UpdateRepairs, &instances).is_violated());
+        // ... but the update-repair I_R still progresses under updates
+        // (§5.3: "we can always update an attribute value from the minimum
+        // repair"). Note the measure must be paired with the repair system:
+        // the *deletion*-based I_R does not progress under update ops here.
+        let ir_upd = crate::update_repair::UpdateMinimumRepair::default();
+        let (db, cs) = paper::example11_instance();
+        assert_eq!(
+            check_progression(&ir_upd, &UpdateRepairs, &[(cs, db)]),
+            Verdict::NoCounterexample
+        );
+    }
+
+    #[test]
+    fn continuity_ratio_grows_with_n_for_imi_but_not_ir() {
+        // Prop. 4 family: D1 = full instance, D2 = instance minus f0.
+        let imi = MinimalInconsistentSubsets { options: opts() };
+        let ir = MinimumRepair { options: opts() };
+        let mut prev_ratio = 0.0;
+        for n in [3usize, 6, 9] {
+            let (db, cs, f0) = paper::prop4_instance(n);
+            let mut d2 = db.clone();
+            d2.delete(f0).unwrap();
+            let r_imi = continuity_ratio(&imi, &SubsetRepairs, &cs, &db, &d2).unwrap();
+            assert_eq!(r_imi, n as f64, "Δ1 = n, Δ2 = 1");
+            assert!(r_imi > prev_ratio);
+            prev_ratio = r_imi;
+            let r_ir = continuity_ratio(&ir, &SubsetRepairs, &cs, &db, &d2).unwrap();
+            assert!(r_ir <= 1.0 + 1e-9, "I_R improvements are unit-sized");
+        }
+    }
+
+    #[test]
+    fn table2_is_internally_consistent_with_prop3() {
+        // Prop. 3: progression ⇒ positivity; positivity ∧ continuity ⇒
+        // progression.
+        for row in table2() {
+            for (prog, pos, cont) in [
+                (row.progression.0, row.positivity.0, row.continuity.0),
+                (row.progression.1, row.positivity.1, row.continuity.1),
+            ] {
+                if prog {
+                    assert!(pos, "{}: progression without positivity", row.measure);
+                }
+                if pos && cont {
+                    assert!(prog, "{}: positivity+continuity without progression", row.measure);
+                }
+            }
+        }
+    }
+}

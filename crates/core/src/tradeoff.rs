@@ -1,0 +1,243 @@
+//! Inconsistency reduction vs. information loss — the Grant & Hunter \[25\]
+//! trade-off the paper names as a future direction (§7: "explore the
+//! trade-off between inconsistency reduction and information loss, in the
+//! context of database repairing").
+//!
+//! Every repairing operation is scored on two axes:
+//!
+//! * **inconsistency reduction** `Δ_I(o, D) = I(Σ, D) − I(Σ, o(D))`;
+//! * **information loss** — how much data the operation destroys: a
+//!   deletion loses all cells of the fact, an update loses one cell, an
+//!   insertion loses nothing (following \[25\]'s "an operation is beneficial
+//!   if it causes a high reduction in inconsistency alongside a low loss
+//!   of information").
+//!
+//! [`tradeoff_frontier`] enumerates the Pareto-optimal operations, and
+//! [`most_beneficial`] picks the best reduction-per-loss operation — a
+//! directly usable repair-recommendation policy.
+
+use crate::measures::InconsistencyMeasure;
+use crate::repair::{RepairOp, RepairSystem};
+use inconsist_constraints::ConstraintSet;
+use inconsist_relational::Database;
+
+/// One candidate operation with its two scores.
+#[derive(Clone, Debug)]
+pub struct TradeoffPoint {
+    /// The operation.
+    pub op: RepairOp,
+    /// `I(Σ, D) − I(Σ, o(D))` (may be negative: an op can hurt).
+    pub reduction: f64,
+    /// Information lost by applying the operation.
+    pub loss: f64,
+}
+
+impl TradeoffPoint {
+    /// Benefit ratio (reduction per unit of information lost); operations
+    /// with zero loss and positive reduction rank as infinite.
+    pub fn ratio(&self) -> f64 {
+        if self.loss == 0.0 {
+            if self.reduction > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            self.reduction / self.loss
+        }
+    }
+}
+
+/// Information loss of one operation on `db`: deleted cells count fully,
+/// an update loses a single cell, insertions lose nothing.
+pub fn information_loss(db: &Database, op: &RepairOp) -> f64 {
+    match op {
+        RepairOp::Delete(id) => db
+            .fact(*id)
+            .map(|f| f.values.len() as f64)
+            .unwrap_or(0.0),
+        RepairOp::Update(..) => {
+            if op.changes(db) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        RepairOp::Insert(_) => 0.0,
+    }
+}
+
+/// Scores every candidate operation of the repair system. Operations on
+/// which the measure fails (timeout) are skipped.
+pub fn score_operations(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    cs: &ConstraintSet,
+    db: &Database,
+) -> Vec<TradeoffPoint> {
+    let Ok(base) = measure.eval(cs, db) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for op in system.candidate_ops(db, cs) {
+        let mut next = db.clone();
+        if !op.apply(&mut next) {
+            continue;
+        }
+        let Ok(after) = measure.eval(cs, &next) else {
+            continue;
+        };
+        out.push(TradeoffPoint {
+            loss: information_loss(db, &op),
+            reduction: base - after,
+            op,
+        });
+    }
+    out
+}
+
+/// The Pareto frontier: operations not dominated by any other (strictly
+/// more reduction with no more loss, or strictly less loss with no less
+/// reduction). Only positive-reduction points are considered.
+pub fn tradeoff_frontier(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    cs: &ConstraintSet,
+    db: &Database,
+) -> Vec<TradeoffPoint> {
+    let mut points: Vec<TradeoffPoint> = score_operations(measure, system, cs, db)
+        .into_iter()
+        .filter(|p| p.reduction > 0.0)
+        .collect();
+    points.sort_by(|a, b| {
+        a.loss
+            .total_cmp(&b.loss)
+            .then(b.reduction.total_cmp(&a.reduction))
+    });
+    let mut frontier: Vec<TradeoffPoint> = Vec::new();
+    let mut best_reduction = f64::NEG_INFINITY;
+    for p in points {
+        if p.reduction > best_reduction + 1e-12 {
+            best_reduction = p.reduction;
+            frontier.push(p);
+        }
+    }
+    frontier
+}
+
+/// The single most beneficial operation by reduction/loss ratio (ties:
+/// larger reduction), or `None` when no operation reduces inconsistency —
+/// exactly the situations where progression fails.
+pub fn most_beneficial(
+    measure: &dyn InconsistencyMeasure,
+    system: &dyn RepairSystem,
+    cs: &ConstraintSet,
+    db: &Database,
+) -> Option<TradeoffPoint> {
+    score_operations(measure, system, cs, db)
+        .into_iter()
+        .filter(|p| p.reduction > 0.0)
+        .max_by(|a, b| {
+            a.ratio()
+                .total_cmp(&b.ratio())
+                .then(a.reduction.total_cmp(&b.reduction))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::{MeasureOptions, MinimalInconsistentSubsets, MinimumRepair};
+    use crate::paper;
+    use crate::repair::{MixedRepairs, SubsetRepairs, UpdateRepairs};
+
+    fn imi() -> MinimalInconsistentSubsets {
+        MinimalInconsistentSubsets {
+            options: MeasureOptions::default(),
+        }
+    }
+
+    #[test]
+    fn frontier_is_pareto_optimal() {
+        let (d1, cs) = paper::airport_d1();
+        let mixed = MixedRepairs {
+            a: SubsetRepairs,
+            b: UpdateRepairs,
+            a_cost_factor: 1.0,
+        };
+        let frontier = tradeoff_frontier(&imi(), &mixed, &cs, &d1);
+        assert!(!frontier.is_empty());
+        // No point dominates another.
+        for (i, p) in frontier.iter().enumerate() {
+            for (j, q) in frontier.iter().enumerate() {
+                if i != j {
+                    let dominates =
+                        q.loss <= p.loss && q.reduction >= p.reduction + 1e-12;
+                    assert!(!dominates, "frontier point dominated");
+                }
+            }
+        }
+        // Frontier is sorted by loss with strictly increasing reduction.
+        for w in frontier.windows(2) {
+            assert!(w[0].loss <= w[1].loss);
+            assert!(w[0].reduction < w[1].reduction);
+        }
+    }
+
+    #[test]
+    fn updates_beat_deletions_on_loss() {
+        // On D1, deleting f5 removes 4 violations at loss 6 (cells); an
+        // update costs loss 1. The most beneficial op by ratio is an update.
+        let (d1, cs) = paper::airport_d1();
+        let mixed = MixedRepairs {
+            a: SubsetRepairs,
+            b: UpdateRepairs,
+            a_cost_factor: 1.0,
+        };
+        let best = most_beneficial(&imi(), &mixed, &cs, &d1).unwrap();
+        assert!(matches!(best.op, RepairOp::Update(..)), "{best:?}");
+        assert!(best.reduction > 0.0);
+        assert_eq!(best.loss, 1.0);
+    }
+
+    #[test]
+    fn deletion_loss_equals_arity() {
+        let (d1, _) = paper::airport_d1();
+        let op = RepairOp::Delete(inconsist_relational::TupleId(1));
+        assert_eq!(information_loss(&d1, &op), 6.0);
+        let gone = RepairOp::Delete(inconsist_relational::TupleId(99));
+        assert_eq!(information_loss(&d1, &gone), 0.0);
+    }
+
+    #[test]
+    fn no_beneficial_op_when_progression_fails() {
+        // Example 11 under updates and I_MI: every single update makes
+        // things worse, so there is no positive-reduction point.
+        let (db, cs) = paper::example11_instance();
+        assert!(most_beneficial(&imi(), &UpdateRepairs, &cs, &db).is_none());
+        // Under deletions, progress is always possible for I_MI.
+        assert!(most_beneficial(&imi(), &SubsetRepairs, &cs, &db).is_some());
+    }
+
+    #[test]
+    fn greedy_tradeoff_repair_terminates() {
+        // Repeatedly applying the most beneficial op (I_R measure) reaches
+        // consistency on the running example.
+        let (mut db, cs) = paper::airport_d1();
+        let ir = MinimumRepair {
+            options: MeasureOptions::default(),
+        };
+        let mixed = MixedRepairs {
+            a: SubsetRepairs,
+            b: UpdateRepairs,
+            a_cost_factor: 1.0,
+        };
+        let mut steps = 0;
+        while let Some(best) = most_beneficial(&ir, &mixed, &cs, &db) {
+            best.op.apply(&mut db);
+            steps += 1;
+            assert!(steps <= 10, "must converge quickly");
+        }
+        assert!(inconsist_constraints::engine::is_consistent(&db, &cs));
+    }
+}

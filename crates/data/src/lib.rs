@@ -1,0 +1,21 @@
+//! # inconsist-data
+//!
+//! Workloads for the experimental study of *Properties of Inconsistency
+//! Measures for Databases* (SIGMOD 2021), §6:
+//!
+//! * [`datasets`] — seeded synthetic generators for the eight datasets of
+//!   Fig. 3 (Stock, Hospital, Food, Airport, Adult, Flight, Voter, Tax)
+//!   with their denial-constraint sets, each initially consistent;
+//! * [`noise`] — the CONoise and RNoise error models of §6.1, including
+//!   Zipf-skewed domain sampling and typo generation;
+//! * [`mod@sample`] — tuple sampling used throughout §6.2.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod noise;
+pub mod sample;
+
+pub use datasets::{generate, Dataset, DatasetId};
+pub use noise::{typo, zipf_sample, CellEdit, CoNoise, RNoise};
+pub use sample::{compact, folds, sample};

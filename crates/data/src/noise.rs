@@ -1,0 +1,468 @@
+//! The two noise-injection models of §6.1.
+//!
+//! * **CONoise** (Constraint-Oriented Noise): pick a random constraint and
+//!   two random tuples, then edit cells until the pair jointly *satisfies*
+//!   the constraint's forbidden conjunction — i.e. deliberately plant a
+//!   violation. Equality-flavored predicates (`=, ≤, ≥`) are satisfied by
+//!   copying the partner's value; order/inequality predicates by picking a
+//!   suitable value from the active domain "if such a value exists, or a
+//!   random value in the appropriate range otherwise".
+//! * **RNoise(α, β, typo-prob)** (Random Noise): pick a random cell whose
+//!   attribute occurs in at least one constraint and replace it, with
+//!   probability `typo_prob`, by a typo, and otherwise by an active-domain
+//!   value drawn from a Zipfian distribution with skew `β` over the values
+//!   ranked by frequency (`β = 0` is uniform).
+//!
+//! Both generators mutate the database in place and report what they
+//! touched, so experiment loops can re-measure after every iteration.
+
+use inconsist_constraints::{CmpOp, ConstraintSet, Operand};
+use inconsist_relational::{
+    ActiveDomain, AttrId, Database, DomainCache, RelId, TupleId, Value, ValueKind,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A single cell modification performed by a noise generator.
+#[derive(Clone, Debug)]
+pub struct CellEdit {
+    /// Edited tuple.
+    pub tuple: TupleId,
+    /// Edited attribute.
+    pub attr: AttrId,
+    /// Previous value.
+    pub old: Value,
+    /// New value.
+    pub new: Value,
+}
+
+/// Constraint-oriented noise (§6.1).
+pub struct CoNoise {
+    rng: StdRng,
+}
+
+impl CoNoise {
+    /// A generator with its own seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        CoNoise {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Runs one CONoise iteration; returns the edits applied (empty when the
+    /// picked tuples already violate the picked constraint, or the database
+    /// is too small).
+    pub fn step(&mut self, db: &mut Database, cs: &ConstraintSet) -> Vec<CellEdit> {
+        if cs.is_empty() || db.is_empty() {
+            return Vec::new();
+        }
+        let dc_idx = self.rng.gen_range(0..cs.len());
+        let dc = &cs.dcs()[dc_idx].clone();
+        let rel = dc.atoms[0].rel;
+        let ids: Vec<TupleId> = db.scan(rel).map(|f| f.id).collect();
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        // "Randomly select two tuples t and t′" — for unary DCs a single
+        // tuple plays both roles.
+        let t = ids[self.rng.gen_range(0..ids.len())];
+        let tp = if dc.arity() >= 2 {
+            let rel2 = dc.atoms[1].rel;
+            let ids2: Vec<TupleId> = db.scan(rel2).map(|f| f.id).collect();
+            ids2[self.rng.gen_range(0..ids2.len())]
+        } else {
+            t
+        };
+
+        let mut edits = Vec::new();
+        let predicates = dc.predicates.clone();
+        for p in &predicates {
+            // Resolve the two sides against the current (possibly already
+            // edited) tuples.
+            let bind = |db: &Database, o: &Operand| -> Option<(Option<(TupleId, AttrId)>, Value)> {
+                match o {
+                    Operand::Const(v) => Some((None, v.clone())),
+                    Operand::Attr { var, attr } => {
+                        let id = if *var == 0 { t } else { tp };
+                        let f = db.fact(id)?;
+                        Some((Some((id, *attr)), f.value(*attr).clone()))
+                    }
+                }
+            };
+            let Some((lhs_cell, lhs_val)) = bind(db, &p.lhs) else { return edits };
+            let Some((rhs_cell, rhs_val)) = bind(db, &p.rhs) else { return edits };
+            if p.op.eval(&lhs_val, &rhs_val) {
+                continue; // predicate already satisfied
+            }
+            // Choose which side to edit (random when both are cells).
+            let edit_lhs = match (lhs_cell, rhs_cell) {
+                (Some(_), Some(_)) => self.rng.gen_bool(0.5),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return edits, // constant predicate can't be forced
+            };
+            let (cell, target_op, other_val) = if edit_lhs {
+                (lhs_cell.expect("checked"), p.op, rhs_val.clone())
+            } else {
+                // a ρ b with b edited: need b ρ̄ a where ρ̄ is the converse.
+                (rhs_cell.expect("checked"), p.op.flip(), lhs_val.clone())
+            };
+            let (id, attr) = cell;
+            let rel_of_cell = db.fact(id).expect("bound cell").rel;
+            let new_value = match target_op {
+                CmpOp::Eq | CmpOp::Leq | CmpOp::Geq => {
+                    // "change either t[A] to t[B] or vice versa".
+                    other_val
+                }
+                CmpOp::Neq | CmpOp::Lt | CmpOp::Gt => {
+                    let dom = ActiveDomain::of(db, rel_of_cell, attr);
+                    self.satisfy_order(target_op, &other_val, &dom, db, rel_of_cell, attr)
+                }
+            };
+            let old = db
+                .update(id, attr, new_value.clone())
+                .expect("same column type")
+                .expect("tuple exists");
+            if old != new_value {
+                edits.push(CellEdit {
+                    tuple: id,
+                    attr,
+                    old,
+                    new: new_value,
+                });
+            }
+        }
+        edits
+    }
+
+    /// A value `v` with `v ρ other` for ρ ∈ {≠, <, >}: active-domain value
+    /// when one exists, otherwise "a random value in the appropriate range".
+    fn satisfy_order(
+        &mut self,
+        op: CmpOp,
+        other: &Value,
+        dom: &ActiveDomain,
+        db: &Database,
+        rel: RelId,
+        attr: AttrId,
+    ) -> Value {
+        let candidates: Vec<&Value> = match op {
+            CmpOp::Neq => dom.iter().map(|(v, _)| v).filter(|v| *v != other).collect(),
+            CmpOp::Lt => dom.values_in_range(None, Some(other)),
+            CmpOp::Gt => dom.values_in_range(Some(other), None),
+            _ => unreachable!("order-only path"),
+        };
+        if !candidates.is_empty() {
+            return candidates[self.rng.gen_range(0..candidates.len())].clone();
+        }
+        // No suitable domain value: synthesize one in range.
+        let kind = db.relation_schema(rel).attribute(attr).kind;
+        match (op, kind, other) {
+            (CmpOp::Lt, ValueKind::Int, Value::Int(x)) => {
+                Value::int(x.saturating_sub(self.rng.gen_range(1..100)))
+            }
+            (CmpOp::Gt, ValueKind::Int, Value::Int(x)) => {
+                Value::int(x.saturating_add(self.rng.gen_range(1..100)))
+            }
+            (CmpOp::Lt, ValueKind::Float, Value::Float(x)) => {
+                Value::float(x - self.rng.gen::<f64>() * 100.0 - 1.0)
+            }
+            (CmpOp::Gt, ValueKind::Float, Value::Float(x)) => {
+                Value::float(x + self.rng.gen::<f64>() * 100.0 + 1.0)
+            }
+            (_, ValueKind::Str, Value::Str(s)) => {
+                // Any string strictly before/after `s`, or different.
+                match op {
+                    CmpOp::Lt => Value::str(""),
+                    _ => Value::str(format!("{s}~zz{}", self.rng.gen_range(0..1000))),
+                }
+            }
+            _ => typo(other, &mut self.rng),
+        }
+    }
+}
+
+/// Random noise (§6.1) with level `alpha`, skew `beta` and typo probability
+/// `typo_prob` (the paper's default is 0.5; the appendix also uses 0.2 and
+/// 0.8).
+pub struct RNoise {
+    rng: StdRng,
+    /// Zipf skew over active-domain ranks.
+    pub beta: f64,
+    /// Probability of introducing a typo instead of a domain value.
+    pub typo_prob: f64,
+    cache: DomainCache,
+}
+
+impl RNoise {
+    /// A generator with uniform domain sampling (`β = 0`) and the default
+    /// typo probability 0.5.
+    pub fn new(seed: u64, beta: f64) -> Self {
+        RNoise {
+            rng: StdRng::seed_from_u64(seed),
+            beta,
+            typo_prob: 0.5,
+            cache: DomainCache::new(),
+        }
+    }
+
+    /// Number of iterations corresponding to noise level `alpha`: `α` times
+    /// the number of data cells (the paper runs RNoise "until we modify 1%
+    /// of the values in the dataset").
+    pub fn iterations_for(alpha: f64, db: &Database) -> usize {
+        let cells: usize = db
+            .schema()
+            .iter()
+            .map(|(rel, rs)| db.relation_len(rel) * rs.arity())
+            .sum();
+        ((alpha * cells as f64).round() as usize).max(1)
+    }
+
+    /// Runs one RNoise iteration: changes a single random constrained cell.
+    pub fn step(&mut self, db: &mut Database, cs: &ConstraintSet) -> Option<CellEdit> {
+        // Candidate columns: attributes occurring in at least one constraint.
+        let mut columns: Vec<(RelId, AttrId)> = Vec::new();
+        for (rel, _) in db.schema().iter() {
+            for attr in cs.constrained_attributes(rel) {
+                if db.relation_len(rel) > 0 {
+                    columns.push((rel, attr));
+                }
+            }
+        }
+        if columns.is_empty() {
+            return None;
+        }
+        // Pick a uniform random cell over those columns, weighting columns
+        // by their relation's cardinality.
+        let total: usize = columns.iter().map(|(rel, _)| db.relation_len(*rel)).sum();
+        let mut k = self.rng.gen_range(0..total);
+        let (rel, attr) = columns
+            .iter()
+            .copied()
+            .find(|(rel, _)| {
+                let len = db.relation_len(*rel);
+                if k < len {
+                    true
+                } else {
+                    k -= len;
+                    false
+                }
+            })
+            .expect("total counted above");
+        let ids: Vec<TupleId> = db.scan(rel).map(|f| f.id).collect();
+        let id = ids[self.rng.gen_range(0..ids.len())];
+        let old = db.fact(id).expect("scanned").value(attr).clone();
+
+        let new = if self.rng.gen_bool(self.typo_prob) {
+            typo(&old, &mut self.rng)
+        } else {
+            let dom = self.cache.get(db, rel, attr).clone();
+            zipf_sample(&dom, self.beta, &mut self.rng).unwrap_or_else(|| typo(&old, &mut self.rng))
+        };
+        if new == old {
+            return None;
+        }
+        let prev = db
+            .update(id, attr, new.clone())
+            .expect("same column type")
+            .expect("tuple exists");
+        self.cache.invalidate(rel, attr);
+        Some(CellEdit {
+            tuple: id,
+            attr,
+            old: prev,
+            new,
+        })
+    }
+
+    /// Runs `steps` iterations; returns the number of actual cell changes.
+    pub fn run(&mut self, db: &mut Database, cs: &ConstraintSet, steps: usize) -> usize {
+        (0..steps).filter(|_| self.step(db, cs).is_some()).count()
+    }
+}
+
+/// Samples a value from the active domain with probability ∝ `rank^(−β)`
+/// over the frequency ranking (rank 1 = most frequent).
+pub fn zipf_sample(dom: &ActiveDomain, beta: f64, rng: &mut StdRng) -> Option<Value> {
+    if dom.is_empty() {
+        return None;
+    }
+    if beta == 0.0 {
+        return dom.value_at(rng.gen_range(0..dom.len())).cloned();
+    }
+    let weights: Vec<f64> = (1..=dom.len()).map(|i| (i as f64).powf(-beta)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (rank, w) in weights.iter().enumerate() {
+        if u < *w {
+            return dom.value_at(rank).cloned();
+        }
+        u -= w;
+    }
+    dom.value_at(dom.len() - 1).cloned()
+}
+
+/// Produces a typo'd variant of a value: character edits for strings, digit
+/// perturbations for integers, relative perturbations for floats.
+pub fn typo(v: &Value, rng: &mut StdRng) -> Value {
+    match v {
+        Value::Str(s) => {
+            let mut chars: Vec<char> = s.chars().collect();
+            if chars.is_empty() {
+                return Value::str("x");
+            }
+            match rng.gen_range(0..4) {
+                0 => {
+                    // Replace a character.
+                    let i = rng.gen_range(0..chars.len());
+                    chars[i] = (b'a' + rng.gen_range(0..26u8)) as char;
+                }
+                1 => {
+                    // Delete a character.
+                    let i = rng.gen_range(0..chars.len());
+                    chars.remove(i);
+                }
+                2 => {
+                    // Insert a character.
+                    let i = rng.gen_range(0..=chars.len());
+                    chars.insert(i, (b'a' + rng.gen_range(0..26u8)) as char);
+                }
+                _ => {
+                    // Transpose adjacent characters.
+                    if chars.len() >= 2 {
+                        let i = rng.gen_range(0..chars.len() - 1);
+                        chars.swap(i, i + 1);
+                    } else {
+                        chars.push('x');
+                    }
+                }
+            }
+            Value::Str(chars.into_iter().collect::<String>().into())
+        }
+        Value::Int(x) => {
+            let magnitude = 10i64.pow(rng.gen_range(0..4));
+            let delta = magnitude * if rng.gen_bool(0.5) { 1 } else { -1 };
+            Value::int(x.saturating_add(delta))
+        }
+        Value::Float(x) => {
+            let factor = 1.0 + (rng.gen::<f64>() - 0.5) * 0.4;
+            Value::float(x * factor + if *x == 0.0 { 1.0 } else { 0.0 })
+        }
+        Value::Null => Value::int(rng.gen_range(0..100)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{generate, DatasetId};
+    use inconsist_constraints::engine;
+
+    #[test]
+    fn conoise_plants_violations() {
+        let mut ds = generate(DatasetId::Hospital, 200, 11);
+        assert!(engine::is_consistent(&ds.db, &ds.constraints));
+        let mut noise = CoNoise::new(5);
+        let mut edits = 0;
+        for _ in 0..25 {
+            edits += noise.step(&mut ds.db, &ds.constraints).len();
+        }
+        assert!(edits > 0, "CONoise must modify cells");
+        assert!(
+            !engine::is_consistent(&ds.db, &ds.constraints),
+            "25 constraint-oriented iterations must break consistency"
+        );
+    }
+
+    #[test]
+    fn conoise_step_makes_picked_pair_violate() {
+        // After a successful step on a binary DC, the edited pair jointly
+        // satisfies the forbidden conjunction — verified indirectly: the
+        // violation count increases over iterations.
+        let mut ds = generate(DatasetId::Tax, 150, 3);
+        let mut noise = CoNoise::new(17);
+        let mut last = 0usize;
+        let mut grew = false;
+        for _ in 0..30 {
+            noise.step(&mut ds.db, &ds.constraints);
+            let count = engine::minimal_inconsistent_subsets(&ds.db, &ds.constraints, None)
+                .count();
+            if count > last {
+                grew = true;
+            }
+            last = count;
+        }
+        assert!(grew);
+    }
+
+    #[test]
+    fn rnoise_only_touches_constrained_columns() {
+        let mut ds = generate(DatasetId::Adult, 120, 9);
+        let constrained = ds.constraints.constrained_attributes(ds.rel);
+        let mut noise = RNoise::new(3, 0.0);
+        for _ in 0..60 {
+            if let Some(edit) = noise.step(&mut ds.db, &ds.constraints) {
+                assert!(
+                    constrained.contains(&edit.attr),
+                    "edit touched unconstrained attribute {:?}",
+                    edit.attr
+                );
+                assert_ne!(edit.old, edit.new);
+            }
+        }
+    }
+
+    #[test]
+    fn rnoise_iteration_budget_matches_alpha() {
+        let ds = generate(DatasetId::Stock, 100, 1);
+        // 100 tuples × 7 attributes = 700 cells; α = 0.01 → 7 iterations.
+        assert_eq!(RNoise::iterations_for(0.01, &ds.db), 7);
+    }
+
+    #[test]
+    fn zipf_beta_zero_is_uniformish_and_beta_large_is_head_heavy() {
+        let ds = generate(DatasetId::Voter, 400, 21);
+        let city = ds.db.schema().relation(ds.rel).attr("City").unwrap();
+        let dom = ActiveDomain::of(&ds.db, ds.rel, city);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head_hits_skewed = 0;
+        let mut head_hits_uniform = 0;
+        for _ in 0..2000 {
+            if zipf_sample(&dom, 2.0, &mut rng) == dom.value_at(0).cloned() {
+                head_hits_skewed += 1;
+            }
+            if zipf_sample(&dom, 0.0, &mut rng) == dom.value_at(0).cloned() {
+                head_hits_uniform += 1;
+            }
+        }
+        assert!(
+            head_hits_skewed > head_hits_uniform * 3,
+            "β=2 should strongly prefer the most frequent value: {head_hits_skewed} vs {head_hits_uniform}"
+        );
+    }
+
+    #[test]
+    fn typos_change_values_and_preserve_kind() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let t = typo(&Value::str("Key West"), &mut rng);
+            assert!(matches!(t, Value::Str(_)));
+            let i = typo(&Value::int(123), &mut rng);
+            assert!(matches!(i, Value::Int(_)));
+            assert_ne!(i, Value::int(123));
+            let f = typo(&Value::float(2.5), &mut rng);
+            assert!(matches!(f, Value::Float(_)));
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_in_seed() {
+        let run = |seed| {
+            let mut ds = generate(DatasetId::Food, 80, 4);
+            let mut noise = RNoise::new(seed, 1.0);
+            noise.run(&mut ds.db, &ds.constraints, 40);
+            engine::minimal_inconsistent_subsets(&ds.db, &ds.constraints, None).count()
+        };
+        assert_eq!(run(9), run(9));
+    }
+}

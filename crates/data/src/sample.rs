@@ -1,0 +1,98 @@
+//! Sampling helpers for the experiment harness (§6.2 evaluates on "samples
+//! of 10K tuples from each dataset" and "a small sample of 100 tuples").
+
+use inconsist_relational::{Database, TupleId};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A uniform random sample of `n` tuples (all of them if `n ≥ |D|`),
+/// preserving tuple identifiers.
+pub fn sample(db: &Database, n: usize, seed: u64) -> Database {
+    let mut ids: Vec<TupleId> = db.ids().collect();
+    ids.sort();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(n);
+    let keep: BTreeSet<TupleId> = ids.into_iter().collect();
+    db.retain_ids(&keep)
+}
+
+/// A fresh database holding the same facts under densely renumbered ids
+/// starting at 0 (useful after heavy deletion).
+pub fn compact(db: &Database) -> Database {
+    let mut out = Database::new(Arc::clone(db.schema()));
+    let mut ids: Vec<TupleId> = db.ids().collect();
+    ids.sort();
+    for id in ids {
+        let f = db.fact(id).expect("listed id");
+        out.insert(f.to_fact()).expect("same schema");
+    }
+    out
+}
+
+/// Splits ids into `k` random folds (used by failure-injection tests).
+pub fn folds(db: &Database, k: usize, seed: u64) -> Vec<Vec<TupleId>> {
+    let mut ids: Vec<TupleId> = db.ids().collect();
+    ids.sort();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let mut out = vec![Vec::new(); k.max(1)];
+    for (i, id) in ids.into_iter().enumerate() {
+        out[i % k.max(1)].push(id);
+    }
+    out
+}
+
+/// Picks a random existing tuple id.
+pub fn random_id(db: &Database, rng: &mut StdRng) -> Option<TupleId> {
+    let ids: Vec<TupleId> = db.ids().collect();
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids[rng.gen_range(0..ids.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{generate, DatasetId};
+
+    #[test]
+    fn sample_is_subset_of_requested_size() {
+        let ds = generate(DatasetId::Stock, 100, 2);
+        let s = sample(&ds.db, 30, 7);
+        assert_eq!(s.len(), 30);
+        assert!(s.is_subset_of(&ds.db));
+        let all = sample(&ds.db, 500, 7);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn sample_deterministic_in_seed() {
+        let ds = generate(DatasetId::Stock, 100, 2);
+        assert!(sample(&ds.db, 30, 7).same_as(&sample(&ds.db, 30, 7)));
+        assert!(!sample(&ds.db, 30, 7).same_as(&sample(&ds.db, 30, 8)));
+    }
+
+    #[test]
+    fn compact_renumbers_densely() {
+        let ds = generate(DatasetId::Stock, 50, 2);
+        let s = sample(&ds.db, 10, 1);
+        let c = compact(&s);
+        assert_eq!(c.len(), 10);
+        let max_id = c.ids().map(|t| t.0).max().unwrap();
+        assert_eq!(max_id, 9);
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let ds = generate(DatasetId::Stock, 50, 2);
+        let fs = folds(&ds.db, 3, 1);
+        assert_eq!(fs.len(), 3);
+        let total: usize = fs.iter().map(|f| f.len()).sum();
+        assert_eq!(total, 50);
+    }
+}

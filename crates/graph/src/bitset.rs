@@ -1,0 +1,165 @@
+//! A compact fixed-capacity bit set used by the Bron–Kerbosch enumerator.
+
+/// Fixed-capacity bit set over `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl BitSet {
+    /// Empty set with capacity for `n` elements.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    /// Full set `{0, …, n-1}`.
+    pub fn full(n: usize) -> Self {
+        let mut s = BitSet::new(n);
+        for w in &mut s.words {
+            *w = !0;
+        }
+        if !n.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << (n % 64)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts `i`.
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.n);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.n);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.n);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Size of `self ∩ other` without allocating.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// First element, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        let t = BitSet::full(64);
+        assert_eq!(t.len(), 64);
+        let e = BitSet::full(0);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        for i in [1, 3, 5, 7] {
+            a.insert(i);
+        }
+        for i in [3, 4, 5] {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(a.intersection_len(&b), 2);
+        let mut c = a.clone();
+        c.subtract(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1, 7]);
+        assert_eq!(a.first(), Some(1));
+        assert_eq!(BitSet::new(5).first(), None);
+    }
+}

@@ -1,0 +1,509 @@
+//! Databases: finite maps from tuple identifiers to facts (paper §2).
+//!
+//! A database `D` maps a finite set `ids(D)` of record identifiers to facts.
+//! Identifiers are stable across updates and deletions; insertion assigns the
+//! *minimal unused* identifier, matching the paper's convention for `⟨+f⟩`.
+//!
+//! Storage is a dense parallel-vector store per relation (ids and rows kept
+//! in sync, deletion via `swap_remove`), which keeps full scans — the hot
+//! path of violation detection — cache friendly, with a side index for O(1)
+//! id lookup.
+
+use crate::schema::{AttrId, RelId, RelationSchema, Schema};
+use crate::value::Value;
+use crate::RelationalError;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable record identifier, unique across all relations of one database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u32);
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An owned fact `R(c1, …, ck)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fact {
+    /// The relation symbol the fact belongs to.
+    pub rel: RelId,
+    /// Attribute values in signature order.
+    pub values: Box<[Value]>,
+}
+
+impl Fact {
+    /// Builds a fact from an iterator of values.
+    pub fn new(rel: RelId, values: impl IntoIterator<Item = Value>) -> Self {
+        Fact {
+            rel,
+            values: values.into_iter().collect(),
+        }
+    }
+}
+
+/// A borrowed view of a stored fact.
+#[derive(Clone, Copy, Debug)]
+pub struct FactRef<'a> {
+    /// Identifier of the stored fact.
+    pub id: TupleId,
+    /// Relation the fact belongs to.
+    pub rel: RelId,
+    /// Attribute values in signature order.
+    pub values: &'a [Value],
+}
+
+impl FactRef<'_> {
+    /// Value of attribute `a` (panics if out of range — attribute ids come
+    /// from the same schema, so this indicates a logic error).
+    pub fn value(&self, a: AttrId) -> &Value {
+        &self.values[a.idx()]
+    }
+
+    /// Owned copy of this fact.
+    pub fn to_fact(&self) -> Fact {
+        Fact {
+            rel: self.rel,
+            values: self.values.to_vec().into_boxed_slice(),
+        }
+    }
+}
+
+/// Dense storage for one relation.
+#[derive(Clone, Debug)]
+struct RelationStore {
+    ids: Vec<TupleId>,
+    rows: Vec<Box<[Value]>>,
+    pos: HashMap<TupleId, u32>,
+}
+
+impl RelationStore {
+    fn new() -> Self {
+        RelationStore {
+            ids: Vec::new(),
+            rows: Vec::new(),
+            pos: HashMap::new(),
+        }
+    }
+
+    fn insert(&mut self, id: TupleId, row: Box<[Value]>) {
+        debug_assert!(!self.pos.contains_key(&id));
+        self.pos.insert(id, self.ids.len() as u32);
+        self.ids.push(id);
+        self.rows.push(row);
+    }
+
+    fn remove(&mut self, id: TupleId) -> Option<Box<[Value]>> {
+        let at = self.pos.remove(&id)? as usize;
+        let row = self.rows.swap_remove(at);
+        self.ids.swap_remove(at);
+        if at < self.ids.len() {
+            self.pos.insert(self.ids[at], at as u32);
+        }
+        Some(row)
+    }
+
+    fn row(&self, id: TupleId) -> Option<&[Value]> {
+        self.pos.get(&id).map(|&i| &*self.rows[i as usize])
+    }
+
+    fn row_mut(&mut self, id: TupleId) -> Option<&mut Box<[Value]>> {
+        let i = *self.pos.get(&id)?;
+        Some(&mut self.rows[i as usize])
+    }
+}
+
+/// A database over a fixed [`Schema`].
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Arc<Schema>,
+    stores: Vec<RelationStore>,
+    locate: HashMap<TupleId, RelId>,
+    /// Identifiers `< next_id` that are currently unused.
+    free: BTreeSet<u32>,
+    next_id: u32,
+}
+
+impl Database {
+    /// An empty database over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let stores = (0..schema.len()).map(|_| RelationStore::new()).collect();
+        Database {
+            schema,
+            stores,
+            locate: HashMap::new(),
+            free: BTreeSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The schema this database conforms to.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Schema of one relation.
+    pub fn relation_schema(&self, rel: RelId) -> &Arc<RelationSchema> {
+        self.schema.relation(rel)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.locate.len()
+    }
+
+    /// Whether the database holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.locate.is_empty()
+    }
+
+    /// Number of facts in one relation.
+    pub fn relation_len(&self, rel: RelId) -> usize {
+        self.stores[rel.0 as usize].ids.len()
+    }
+
+    fn type_check(&self, fact: &Fact) -> Result<(), RelationalError> {
+        let rs = self.schema.relation(fact.rel);
+        if fact.values.len() != rs.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: rs.name.clone(),
+                expected: rs.arity(),
+                got: fact.values.len(),
+            });
+        }
+        for (i, v) in fact.values.iter().enumerate() {
+            let attr = rs.attribute(AttrId(i as u16));
+            if !attr.kind.admits(v.kind()) {
+                return Err(RelationalError::TypeMismatch {
+                    relation: rs.name.clone(),
+                    attribute: attr.name.clone(),
+                    expected: attr.kind,
+                    got: v.kind(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts `fact` under the minimal unused identifier (the paper's
+    /// `⟨+f⟩` convention) and returns that identifier.
+    pub fn insert(&mut self, fact: Fact) -> Result<TupleId, RelationalError> {
+        let id = match self.free.iter().next().copied() {
+            Some(lowest) => TupleId(lowest),
+            None => TupleId(self.next_id),
+        };
+        self.insert_with_id(id, fact)?;
+        Ok(id)
+    }
+
+    /// Inserts `fact` under a caller-chosen identifier (useful for loading
+    /// fixtures with the paper's numbering). Fails if the id is taken.
+    pub fn insert_with_id(&mut self, id: TupleId, fact: Fact) -> Result<(), RelationalError> {
+        self.type_check(&fact)?;
+        if self.locate.contains_key(&id) {
+            return Err(RelationalError::IdInUse { id });
+        }
+        if id.0 >= self.next_id {
+            for missing in self.next_id..id.0 {
+                self.free.insert(missing);
+            }
+            self.next_id = id.0 + 1;
+        } else {
+            self.free.remove(&id.0);
+        }
+        self.locate.insert(id, fact.rel);
+        self.stores[fact.rel.0 as usize].insert(id, fact.values);
+        Ok(())
+    }
+
+    /// Deletes the fact with identifier `id`; returns it if present.
+    ///
+    /// The paper's `⟨−i⟩` operation: inapplicable ids leave the database
+    /// intact (we surface that as `None`).
+    pub fn delete(&mut self, id: TupleId) -> Option<Fact> {
+        let rel = self.locate.remove(&id)?;
+        let row = self.stores[rel.0 as usize]
+            .remove(id)
+            .expect("locate and store agree");
+        self.free.insert(id.0);
+        Some(Fact { rel, values: row })
+    }
+
+    /// The paper's attribute-update operation `⟨i.A ← c⟩`. Returns the
+    /// previous value, or `None` when inapplicable (unknown id).
+    pub fn update(
+        &mut self,
+        id: TupleId,
+        attr: AttrId,
+        value: Value,
+    ) -> Result<Option<Value>, RelationalError> {
+        let Some(&rel) = self.locate.get(&id) else {
+            return Ok(None);
+        };
+        let rs = self.schema.relation(rel);
+        if attr.idx() >= rs.arity() {
+            return Err(RelationalError::UnknownAttribute {
+                relation: rs.name.clone(),
+                attribute: format!("#{}", attr.0),
+            });
+        }
+        let decl = rs.attribute(attr);
+        if !decl.kind.admits(value.kind()) {
+            return Err(RelationalError::TypeMismatch {
+                relation: rs.name.clone(),
+                attribute: decl.name.clone(),
+                expected: decl.kind,
+                got: value.kind(),
+            });
+        }
+        let row = self.stores[rel.0 as usize]
+            .row_mut(id)
+            .expect("locate and store agree");
+        let old = std::mem::replace(&mut row[attr.idx()], value);
+        Ok(Some(old))
+    }
+
+    /// The fact stored under `id`, if any.
+    pub fn fact(&self, id: TupleId) -> Option<FactRef<'_>> {
+        let &rel = self.locate.get(&id)?;
+        let values = self.stores[rel.0 as usize].row(id)?;
+        Some(FactRef { id, rel, values })
+    }
+
+    /// Whether `id ∈ ids(D)`.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.locate.contains_key(&id)
+    }
+
+    /// All identifiers, in no particular order.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.locate.keys().copied()
+    }
+
+    /// Iterates all facts of one relation (dense scan).
+    pub fn scan(&self, rel: RelId) -> impl Iterator<Item = FactRef<'_>> {
+        let store = &self.stores[rel.0 as usize];
+        store
+            .ids
+            .iter()
+            .zip(store.rows.iter())
+            .map(move |(&id, row)| FactRef {
+                id,
+                rel,
+                values: row,
+            })
+    }
+
+    /// Iterates all facts of all relations.
+    pub fn iter(&self) -> impl Iterator<Item = FactRef<'_>> {
+        self.schema
+            .iter()
+            .map(|(rel, _)| rel)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(move |rel| self.scan(rel))
+    }
+
+    /// Deletion cost of tuple `id`: the value of the relation's cost
+    /// attribute when one is designated, else `1.0` (paper §2, system `R⊆`).
+    pub fn cost_of(&self, id: TupleId) -> f64 {
+        let Some(f) = self.fact(id) else { return 1.0 };
+        let rs = self.schema.relation(f.rel);
+        match rs.cost_attr {
+            Some(a) => f.value(a).as_f64().unwrap_or(1.0),
+            None => 1.0,
+        }
+    }
+
+    /// `self ⊆ other` in the paper's sense: `ids(self) ⊆ ids(other)` and the
+    /// facts agree on shared identifiers.
+    pub fn is_subset_of(&self, other: &Database) -> bool {
+        self.locate.iter().all(|(&id, _)| match (self.fact(id), other.fact(id)) {
+            (Some(a), Some(b)) => a.rel == b.rel && a.values == b.values,
+            _ => false,
+        })
+    }
+
+    /// The sub-database induced by retaining only `keep` (ids not present
+    /// are ignored). Identifiers are preserved.
+    pub fn retain_ids(&self, keep: &BTreeSet<TupleId>) -> Database {
+        let mut out = Database::new(Arc::clone(&self.schema));
+        let mut ids: Vec<TupleId> = self.ids().filter(|i| keep.contains(i)).collect();
+        ids.sort();
+        for id in ids {
+            let f = self.fact(id).expect("id came from self");
+            out.insert_with_id(id, f.to_fact()).expect("same schema");
+        }
+        out
+    }
+
+    /// Structural equality as mappings (same ids, same facts).
+    pub fn same_as(&self, other: &Database) -> bool {
+        self.len() == other.len() && self.is_subset_of(other)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (rel, rs) in self.schema.iter() {
+            writeln!(f, "-- {} ({} facts)", rs.name, self.relation_len(rel))?;
+            let mut facts: Vec<FactRef<'_>> = self.scan(rel).collect();
+            facts.sort_by_key(|fr| fr.id);
+            for fr in facts {
+                write!(f, "{}: {}(", fr.id, rs.name)?;
+                for (i, v) in fr.values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                writeln!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::relation;
+    use crate::value::ValueKind;
+
+    fn db_r2() -> (Database, RelId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        (Database::new(Arc::new(s)), r)
+    }
+
+    fn fact2(rel: RelId, a: i64, b: i64) -> Fact {
+        Fact::new(rel, [Value::int(a), Value::int(b)])
+    }
+
+    #[test]
+    fn insert_assigns_minimal_free_id() {
+        let (mut db, r) = db_r2();
+        let t0 = db.insert(fact2(r, 1, 1)).unwrap();
+        let t1 = db.insert(fact2(r, 2, 2)).unwrap();
+        let t2 = db.insert(fact2(r, 3, 3)).unwrap();
+        assert_eq!((t0, t1, t2), (TupleId(0), TupleId(1), TupleId(2)));
+        db.delete(t1).unwrap();
+        // Paper convention: the minimal integer not in ids(D).
+        assert_eq!(db.insert(fact2(r, 4, 4)).unwrap(), TupleId(1));
+        assert_eq!(db.insert(fact2(r, 5, 5)).unwrap(), TupleId(3));
+    }
+
+    #[test]
+    fn delete_returns_fact_and_is_idempotent() {
+        let (mut db, r) = db_r2();
+        let t = db.insert(fact2(r, 7, 8)).unwrap();
+        let f = db.delete(t).unwrap();
+        assert_eq!(f.values[0], Value::int(7));
+        assert!(db.delete(t).is_none());
+        assert_eq!(db.len(), 0);
+    }
+
+    #[test]
+    fn update_replaces_and_reports_old_value() {
+        let (mut db, r) = db_r2();
+        let t = db.insert(fact2(r, 7, 8)).unwrap();
+        let old = db.update(t, AttrId(1), Value::int(99)).unwrap();
+        assert_eq!(old, Some(Value::int(8)));
+        assert_eq!(db.fact(t).unwrap().value(AttrId(1)), &Value::int(99));
+        // Unknown ids leave the database intact (paper: inapplicable ops).
+        assert_eq!(db.update(TupleId(42), AttrId(0), Value::int(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn type_errors_are_rejected() {
+        let (mut db, r) = db_r2();
+        let bad = Fact::new(r, [Value::str("x"), Value::int(1)]);
+        assert!(db.insert(bad).is_err());
+        let short = Fact::new(r, [Value::int(1)]);
+        assert!(db.insert(short).is_err());
+        let t = db.insert(fact2(r, 1, 2)).unwrap();
+        assert!(db.update(t, AttrId(0), Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn nulls_are_admitted_everywhere() {
+        let (mut db, r) = db_r2();
+        let t = db.insert(Fact::new(r, [Value::Null, Value::int(1)])).unwrap();
+        assert!(db.fact(t).unwrap().value(AttrId(0)).is_null());
+    }
+
+    #[test]
+    fn subset_and_retain() {
+        let (mut db, r) = db_r2();
+        let a = db.insert(fact2(r, 1, 1)).unwrap();
+        let b = db.insert(fact2(r, 2, 2)).unwrap();
+        let keep: BTreeSet<_> = [a].into_iter().collect();
+        let sub = db.retain_ids(&keep);
+        assert_eq!(sub.len(), 1);
+        assert!(sub.is_subset_of(&db));
+        assert!(!db.is_subset_of(&sub));
+        assert!(sub.contains(a) && !sub.contains(b));
+        // Modifying the shared id breaks subset-ness.
+        let mut db2 = db.clone();
+        db2.update(a, AttrId(0), Value::int(100)).unwrap();
+        assert!(!sub.is_subset_of(&db2));
+    }
+
+    #[test]
+    fn insert_with_id_gap_bookkeeping() {
+        let (mut db, r) = db_r2();
+        db.insert_with_id(TupleId(5), fact2(r, 1, 1)).unwrap();
+        // Ids 0..5 became free; fresh insert takes the minimum.
+        assert_eq!(db.insert(fact2(r, 2, 2)).unwrap(), TupleId(0));
+        assert!(db.insert_with_id(TupleId(5), fact2(r, 3, 3)).is_err());
+    }
+
+    #[test]
+    fn cost_defaults_to_unit_and_reads_cost_attr() {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation("R", &[("A", ValueKind::Int), ("cost", ValueKind::Float)]).unwrap(),
+            )
+            .unwrap();
+        s.set_cost_attr(r, "cost").unwrap();
+        let mut db = Database::new(Arc::new(s));
+        let t = db
+            .insert(Fact::new(r, [Value::int(1), Value::float(3.5)]))
+            .unwrap();
+        assert_eq!(db.cost_of(t), 3.5);
+        assert_eq!(db.cost_of(TupleId(99)), 1.0);
+
+        let (db2, r2) = db_r2();
+        let mut db2 = db2;
+        let t2 = db2.insert(fact2(r2, 1, 2)).unwrap();
+        assert_eq!(db2.cost_of(t2), 1.0);
+    }
+
+    #[test]
+    fn scan_iterates_relation_facts() {
+        let (mut db, r) = db_r2();
+        for i in 0..10 {
+            db.insert(fact2(r, i, i)).unwrap();
+        }
+        assert_eq!(db.scan(r).count(), 10);
+        assert_eq!(db.iter().count(), 10);
+        assert_eq!(db.relation_len(r), 10);
+    }
+
+    #[test]
+    fn same_as_detects_equality_as_mappings() {
+        let (mut a, r) = db_r2();
+        let (mut b, _) = db_r2();
+        a.insert(fact2(r, 1, 2)).unwrap();
+        b.insert(fact2(r, 1, 2)).unwrap();
+        assert!(a.same_as(&b));
+        b.update(TupleId(0), AttrId(1), Value::int(3)).unwrap();
+        assert!(!a.same_as(&b));
+    }
+}

@@ -1,0 +1,179 @@
+//! Active domains.
+//!
+//! The noise generators of the paper (§6.1) repeatedly draw replacement
+//! values "from the active domain of the attribute", optionally under a
+//! Zipfian distribution over the domain's values ranked by frequency. This
+//! module computes, per `(relation, attribute)`, the sorted distinct values
+//! together with their multiplicities.
+
+use crate::database::Database;
+use crate::schema::{AttrId, RelId};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Distinct values of one column with occurrence counts, ordered by
+/// decreasing frequency (ties broken by value order, so the ranking is
+/// deterministic — Zipf sampling depends on the rank).
+#[derive(Clone, Debug, Default)]
+pub struct ActiveDomain {
+    entries: Vec<(Value, usize)>,
+}
+
+impl ActiveDomain {
+    /// Computes the active domain of `rel.attr` in `db`.
+    pub fn of(db: &Database, rel: RelId, attr: AttrId) -> Self {
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for f in db.scan(rel) {
+            *counts.entry(f.value(attr).clone()).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(Value, usize)> = counts.into_iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ActiveDomain { entries }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the domain is empty (empty relation).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `rank`-th most frequent value (0-based).
+    pub fn value_at(&self, rank: usize) -> Option<&Value> {
+        self.entries.get(rank).map(|(v, _)| v)
+    }
+
+    /// Occurrence count of the `rank`-th value.
+    pub fn count_at(&self, rank: usize) -> Option<usize> {
+        self.entries.get(rank).map(|(_, c)| *c)
+    }
+
+    /// Iterates `(value, count)` by decreasing frequency.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, usize)> {
+        self.entries.iter().map(|(v, c)| (v, *c))
+    }
+
+    /// Whether `v` occurs in the column.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.entries.iter().any(|(u, _)| u == v)
+    }
+
+    /// Values strictly between `lo` and `hi` in the domain's value order
+    /// (used by CONoise when it must satisfy a `<`/`>` predicate with an
+    /// existing value "if such a value exists").
+    pub fn values_in_range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<&Value> {
+        self.entries
+            .iter()
+            .map(|(v, _)| v)
+            .filter(|v| lo.is_none_or(|l| *v > l) && hi.is_none_or(|h| *v < h))
+            .collect()
+    }
+}
+
+/// Cache of active domains for a fixed database snapshot.
+///
+/// Noise generation interleaves reads and writes; callers invalidate the
+/// cache (or individual columns) after mutating the database.
+#[derive(Clone, Debug, Default)]
+pub struct DomainCache {
+    map: HashMap<(RelId, AttrId), ActiveDomain>,
+}
+
+impl DomainCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached domain for `rel.attr`, computing it on first use.
+    pub fn get(&mut self, db: &Database, rel: RelId, attr: AttrId) -> &ActiveDomain {
+        self.map
+            .entry((rel, attr))
+            .or_insert_with(|| ActiveDomain::of(db, rel, attr))
+    }
+
+    /// Drops the cached domain of one column (call after updating it).
+    pub fn invalidate(&mut self, rel: RelId, attr: AttrId) {
+        self.map.remove(&(rel, attr));
+    }
+
+    /// Drops every cached domain.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{relation, Schema};
+    use crate::value::ValueKind;
+    use crate::Fact;
+    use std::sync::Arc;
+
+    fn sample_db() -> (Database, RelId, AttrId) {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Str)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(Arc::new(s));
+        for v in ["x", "y", "x", "z", "x", "y"] {
+            db.insert(Fact::new(r, [Value::str(v)])).unwrap();
+        }
+        (db, r, AttrId(0))
+    }
+
+    #[test]
+    fn ranks_by_frequency_then_value() {
+        let (db, r, a) = sample_db();
+        let dom = ActiveDomain::of(&db, r, a);
+        assert_eq!(dom.len(), 3);
+        assert_eq!(dom.value_at(0), Some(&Value::str("x")));
+        assert_eq!(dom.count_at(0), Some(3));
+        assert_eq!(dom.value_at(1), Some(&Value::str("y")));
+        assert_eq!(dom.value_at(2), Some(&Value::str("z")));
+    }
+
+    #[test]
+    fn contains_and_range() {
+        let (db, r, a) = sample_db();
+        let dom = ActiveDomain::of(&db, r, a);
+        assert!(dom.contains(&Value::str("z")));
+        assert!(!dom.contains(&Value::str("w")));
+        let lo = Value::str("x");
+        let between = dom.values_in_range(Some(&lo), None);
+        assert_eq!(between, vec![&Value::str("y"), &Value::str("z")]);
+        let hi = Value::str("y");
+        let below = dom.values_in_range(None, Some(&hi));
+        assert_eq!(below, vec![&Value::str("x")]);
+    }
+
+    #[test]
+    fn cache_invalidation_recomputes() {
+        let (mut db, r, a) = sample_db();
+        let mut cache = DomainCache::new();
+        assert_eq!(cache.get(&db, r, a).len(), 3);
+        db.insert(Fact::new(r, [Value::str("new")])).unwrap();
+        // Stale until invalidated.
+        assert_eq!(cache.get(&db, r, a).len(), 3);
+        cache.invalidate(r, a);
+        assert_eq!(cache.get(&db, r, a).len(), 4);
+        cache.clear();
+        assert_eq!(cache.get(&db, r, a).len(), 4);
+    }
+
+    #[test]
+    fn empty_relation_has_empty_domain() {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let db = Database::new(Arc::new(s));
+        let dom = ActiveDomain::of(&db, r, AttrId(0));
+        assert!(dom.is_empty());
+        assert_eq!(dom.value_at(0), None);
+    }
+}

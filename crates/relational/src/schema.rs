@@ -1,0 +1,293 @@
+//! Relation schemas.
+//!
+//! A schema `S` has relation symbols, each with a signature of distinct,
+//! typed attributes (paper §2). A schema may also designate a *cost*
+//! attribute per relation — the paper's subset repair system `R⊆` reads
+//! per-tuple deletion costs from such an attribute when present.
+
+use crate::value::ValueKind;
+use crate::RelationalError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a relation symbol within a [`Schema`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u16);
+
+/// Index of an attribute within a relation signature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl AttrId {
+    /// The attribute index as a usize, for row indexing.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// Column type; values stored here must satisfy `kind.admits(..)`.
+    pub kind: ValueKind,
+}
+
+/// The signature of one relation symbol.
+#[derive(Clone, Debug)]
+pub struct RelationSchema {
+    /// Relation name, unique within the schema.
+    pub name: String,
+    attributes: Vec<Attribute>,
+    by_name: HashMap<String, AttrId>,
+    /// Index of the designated cost attribute, if any (see [`Schema`] docs).
+    pub cost_attr: Option<AttrId>,
+}
+
+impl RelationSchema {
+    /// Builds a relation schema; attribute names must be distinct.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> Result<Self, RelationalError> {
+        let name = name.into();
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, attr) in attributes.iter().enumerate() {
+            let id = AttrId(u16::try_from(i).map_err(|_| RelationalError::TooManyAttributes {
+                relation: name.clone(),
+            })?);
+            if by_name.insert(attr.name.clone(), id).is_some() {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation: name,
+                    attribute: attr.name.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema {
+            name,
+            attributes,
+            by_name,
+            cost_attr: None,
+        })
+    }
+
+    /// Number of attributes (the arity of the relation symbol).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute metadata by index.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id.idx()]
+    }
+
+    /// All attributes in signature order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Resolves an attribute name to its index.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an attribute name, erroring with context if absent.
+    pub fn attr_checked(&self, name: &str) -> Result<AttrId, RelationalError> {
+        self.attr(name).ok_or_else(|| RelationalError::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: name.to_string(),
+        })
+    }
+}
+
+/// A database schema: an ordered collection of relation schemas.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    relations: Vec<Arc<RelationSchema>>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation schema, returning its id.
+    pub fn add_relation(&mut self, rel: RelationSchema) -> Result<RelId, RelationalError> {
+        if self.by_name.contains_key(&rel.name) {
+            return Err(RelationalError::DuplicateRelation { relation: rel.name });
+        }
+        let id = RelId(
+            u16::try_from(self.relations.len())
+                .map_err(|_| RelationalError::TooManyRelations)?,
+        );
+        self.by_name.insert(rel.name.clone(), id);
+        self.relations.push(Arc::new(rel));
+        Ok(id)
+    }
+
+    /// Relation schema by id.
+    pub fn relation(&self, id: RelId) -> &Arc<RelationSchema> {
+        &self.relations[id.0 as usize]
+    }
+
+    /// Resolves a relation name.
+    pub fn rel(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a relation name, erroring with context if absent.
+    pub fn rel_checked(&self, name: &str) -> Result<RelId, RelationalError> {
+        self.rel(name).ok_or_else(|| RelationalError::UnknownRelation {
+            relation: name.to_string(),
+        })
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Iterates over `(RelId, schema)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Arc<RelationSchema>)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u16), r))
+    }
+
+    /// Designates `attr` of `rel` as the deletion-cost attribute (paper §2:
+    /// `κ(⟨−i⟩(D)) = D[i].cost` when a cost attribute exists).
+    pub fn set_cost_attr(&mut self, rel: RelId, attr: &str) -> Result<(), RelationalError> {
+        let rs = self.relations[rel.0 as usize].as_ref();
+        let id = rs.attr_checked(attr)?;
+        let kind = rs.attribute(id).kind;
+        if kind != ValueKind::Float && kind != ValueKind::Int {
+            return Err(RelationalError::BadCostAttribute {
+                relation: rs.name.clone(),
+                attribute: attr.to_string(),
+                kind,
+            });
+        }
+        Arc::make_mut(&mut self.relations[rel.0 as usize]).cost_attr = Some(id);
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (_, rel) in self.iter() {
+            write!(f, "{}(", rel.name)?;
+            for (i, a) in rel.attributes().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}: {}", a.name, a.kind.name())?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience builder: `schema! { Airport(Id: str, Type: str, ...) }` is
+/// verbose in macro form; instead this helper takes `(name, kind)` pairs.
+pub fn relation(
+    name: &str,
+    attrs: &[(&str, ValueKind)],
+) -> Result<RelationSchema, RelationalError> {
+    RelationSchema::new(
+        name,
+        attrs
+            .iter()
+            .map(|(n, k)| Attribute {
+                name: (*n).to_string(),
+                kind: *k,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn airport() -> RelationSchema {
+        relation(
+            "Airport",
+            &[
+                ("Id", ValueKind::Str),
+                ("Type", ValueKind::Str),
+                ("Name", ValueKind::Str),
+                ("Continent", ValueKind::Str),
+                ("Country", ValueKind::Str),
+                ("Municipality", ValueKind::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let rel = airport();
+        assert_eq!(rel.arity(), 6);
+        let c = rel.attr("Country").unwrap();
+        assert_eq!(rel.attribute(c).name, "Country");
+        assert!(rel.attr("Nope").is_none());
+        assert!(rel.attr_checked("Nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = relation("R", &[("A", ValueKind::Int), ("A", ValueKind::Int)]).unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn schema_relation_lookup() {
+        let mut s = Schema::new();
+        let id = s.add_relation(airport()).unwrap();
+        assert_eq!(s.rel("Airport"), Some(id));
+        assert_eq!(s.relation(id).name, "Airport");
+        assert!(s.rel_checked("Missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut s = Schema::new();
+        s.add_relation(airport()).unwrap();
+        assert!(matches!(
+            s.add_relation(airport()),
+            Err(RelationalError::DuplicateRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_attr_must_be_numeric() {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation("R", &[("A", ValueKind::Str), ("cost", ValueKind::Float)]).unwrap(),
+            )
+            .unwrap();
+        assert!(s.set_cost_attr(r, "A").is_err());
+        s.set_cost_attr(r, "cost").unwrap();
+        assert_eq!(s.relation(r).cost_attr, Some(AttrId(1)));
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let mut s = Schema::new();
+        s.add_relation(relation("R", &[("A", ValueKind::Int)]).unwrap())
+            .unwrap();
+        assert_eq!(s.to_string(), "R(A: int)\n");
+    }
+}

@@ -1,0 +1,318 @@
+//! Typed attribute values.
+//!
+//! The paper's data model is untyped ("values"), but its datasets mix
+//! integers, floating-point measurements and strings, and its denial
+//! constraints compare values with `<`/`>` as well as `=`/`≠`. We therefore
+//! need a value type with a *total* order and a hash consistent with
+//! equality (violation detection hash-joins on values).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single attribute value.
+///
+/// Values of different types are never equal; the total order ranks
+/// `Null < Int < Float < Str` and compares within a type. Floats are wrapped
+/// so that they are totally ordered (`total_cmp`) and hashable; NaN is not
+/// representable (constructors canonicalize it to `Null`).
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// SQL-style missing value. Compares equal to itself (unlike SQL `NULL`,
+    /// which keeps the subset/minimality machinery simple and deterministic).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Finite (or infinite) 64-bit float; NaN is excluded at construction.
+    Float(f64),
+    /// Interned string; cloning is a refcount bump so rows stay cheap to copy.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Builds a float value; NaN becomes [`Value::Null`] so that every
+    /// constructed value participates in the total order.
+    pub fn float(f: f64) -> Self {
+        if f.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(f)
+        }
+    }
+
+    /// The type tag of this value, used for schema checks and ordering.
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::Null => ValueKind::Null,
+            Value::Int(_) => ValueKind::Int,
+            Value::Float(_) => ValueKind::Float,
+            Value::Str(_) => ValueKind::Str,
+        }
+    }
+
+    /// `true` iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to f64); `None` for nulls and strings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for anything but `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view; `None` for anything but `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Discriminant of [`Value`], doubling as the column type in a schema.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValueKind {
+    /// The missing-value kind.
+    Null,
+    /// 64-bit integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Strings.
+    Str,
+}
+
+impl ValueKind {
+    /// Human-readable name, used in error messages and schema dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueKind::Null => "null",
+            ValueKind::Int => "int",
+            ValueKind::Float => "float",
+            ValueKind::Str => "str",
+        }
+    }
+
+    /// Whether a value of kind `other` may be stored in a column of kind
+    /// `self`. Nulls are storable everywhere.
+    pub fn admits(self, other: ValueKind) -> bool {
+        other == ValueKind::Null || self == other
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.kind().cmp(&other.kind()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                // -0.0 and +0.0 are ==, so they must hash identically.
+                let canonical = if *f == 0.0 { 0.0f64 } else { *f };
+                state.write_u64(canonical.to_bits());
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::float(f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        assert!(Value::float(f64::NAN).is_null());
+        assert_eq!(Value::from(f64::NAN), Value::Null);
+    }
+
+    #[test]
+    fn zero_sign_hash_consistency() {
+        let pos = Value::float(0.0);
+        let neg = Value::float(-0.0);
+        assert_eq!(pos, neg);
+        assert_eq!(hash_of(&pos), hash_of(&neg));
+    }
+
+    #[test]
+    fn cross_type_values_are_never_equal() {
+        assert_ne!(Value::int(2), Value::float(2.0));
+        assert_ne!(Value::str("2"), Value::int(2));
+        assert_ne!(Value::Null, Value::int(0));
+    }
+
+    #[test]
+    fn total_order_ranks_by_kind_then_value() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::int(10),
+            Value::Null,
+            Value::float(1.5),
+            Value::int(-3),
+            Value::str("a"),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::int(-3),
+                Value::int(10),
+                Value::float(1.5),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_order_handles_infinities() {
+        assert!(Value::float(f64::NEG_INFINITY) < Value::float(-1.0));
+        assert!(Value::float(f64::INFINITY) > Value::float(1e300));
+    }
+
+    #[test]
+    fn kind_admits() {
+        assert!(ValueKind::Int.admits(ValueKind::Null));
+        assert!(ValueKind::Int.admits(ValueKind::Int));
+        assert!(!ValueKind::Int.admits(ValueKind::Str));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::str("Key West").to_string(), "Key West");
+        assert_eq!(Value::int(-7).to_string(), "-7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn as_f64_widens_ints() {
+        assert_eq!(Value::int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn hash_eq_agreement_on_samples() {
+        let a = Value::str("same");
+        let b = Value::str(String::from("same"));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+}

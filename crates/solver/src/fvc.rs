@@ -1,0 +1,237 @@
+//! Half-integral fractional vertex cover.
+//!
+//! `I_R^lin` on two-tuple DCs *is* the fractional vertex cover of the
+//! conflict graph (§5.2, Fig. 2). Instead of running a general LP we exploit
+//! the classical half-integrality: an optimal solution with values in
+//! `{0, ½, 1}` is obtained from a minimum-weight vertex cover of the
+//! *bipartite double cover* (Nemhauser–Trotter), which we compute exactly
+//! with the max-flow solver. This is the fast path the ablation benchmark
+//! compares against the simplex.
+//!
+//! Singleton violations (self-inconsistent tuples) enter the LP as
+//! constraints `x_v ≥ 1` and are handled by forcing `x_v = 1` up front.
+
+use crate::flow::bipartite_min_weight_vertex_cover;
+use inconsist_graph::ConflictGraph;
+
+/// An optimal fractional vertex cover.
+#[derive(Clone, Debug)]
+pub struct FractionalCover {
+    /// Objective value `Σ w_v x_v` (the value of `I_R^lin`).
+    pub value: f64,
+    /// Per-node assignment, each in `{0, ½, 1}`.
+    pub x: Vec<f64>,
+}
+
+/// Computes the minimum-weight *fractional* vertex cover of a plain conflict
+/// graph (panics on hyperedges — callers route those to the simplex).
+pub fn fractional_vertex_cover(g: &ConflictGraph) -> FractionalCover {
+    assert!(
+        g.is_plain_graph(),
+        "fractional_vertex_cover requires a plain graph; use the covering LP for hyperedges"
+    );
+    let n = g.n();
+    let mut x = vec![0.0f64; n];
+    let mut value = 0.0;
+
+    // Forced nodes: x_v ≥ 1 constraints from singleton violations.
+    for v in 0..n as u32 {
+        if g.is_excluded(v) {
+            x[v as usize] = 1.0;
+            value += g.weight(v);
+        }
+    }
+
+    // Remaining edges between unforced nodes → bipartite double cover.
+    let free: Vec<u32> = (0..n as u32).filter(|&v| !g.is_excluded(v)).collect();
+    if free.is_empty() {
+        return FractionalCover { value, x };
+    }
+    let mut remap = vec![u32::MAX; n];
+    for (i, &v) in free.iter().enumerate() {
+        remap[v as usize] = i as u32;
+    }
+    let weights: Vec<f64> = free.iter().map(|&v| g.weight(v)).collect();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (a, b) in g.edges() {
+        let (ra, rb) = (remap[a as usize], remap[b as usize]);
+        if ra == u32::MAX || rb == u32::MAX {
+            continue; // covered by a forced endpoint
+        }
+        // Double cover: (a_L, b_R) and (b_L, a_R).
+        edges.push((ra, rb));
+        edges.push((rb, ra));
+    }
+    if edges.is_empty() {
+        return FractionalCover { value, x };
+    }
+    let (cover_weight, left, right) =
+        bipartite_min_weight_vertex_cover(&weights, &weights, &edges);
+    value += cover_weight / 2.0;
+    for (i, &v) in free.iter().enumerate() {
+        let halves = u8::from(left[i]) + u8::from(right[i]);
+        x[v as usize] = f64::from(halves) / 2.0;
+    }
+    FractionalCover { value, x }
+}
+
+/// The Nemhauser–Trotter partition derived from a half-integral optimum:
+/// `(ones, halves, zeros)` as node lists. Some optimal *integral* cover
+/// contains all of `ones`, none of `zeros`, and is otherwise inside
+/// `halves` — the exact solver recurses only on the half core.
+pub fn nt_partition(fvc: &FractionalCover) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut ones = Vec::new();
+    let mut halves = Vec::new();
+    let mut zeros = Vec::new();
+    for (v, &xv) in fvc.x.iter().enumerate() {
+        if xv >= 0.75 {
+            ones.push(v as u32);
+        } else if xv >= 0.25 {
+            halves.push(v as u32);
+        } else {
+            zeros.push(v as u32);
+        }
+    }
+    (ones, halves, zeros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inconsist_constraints::ViolationSet;
+    use inconsist_relational::{relation, Database, Fact, Schema, TupleId, Value, ValueKind};
+    use std::sync::Arc;
+
+    fn graph_with_weights(weights: &[f64], subsets: &[&[u32]]) -> ConflictGraph {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation("R", &[("A", ValueKind::Int), ("cost", ValueKind::Float)]).unwrap(),
+            )
+            .unwrap();
+        s.set_cost_attr(r, "cost").unwrap();
+        let mut db = Database::new(Arc::new(s));
+        for (i, &w) in weights.iter().enumerate() {
+            db.insert(Fact::new(r, [Value::int(i as i64), Value::float(w)]))
+                .unwrap();
+        }
+        let sets: Vec<ViolationSet> = subsets
+            .iter()
+            .map(|s| s.iter().map(|&i| TupleId(i)).collect())
+            .collect();
+        ConflictGraph::from_subsets(&db, &sets)
+    }
+
+    fn graph(n: usize, subsets: &[&[u32]]) -> ConflictGraph {
+        graph_with_weights(&vec![1.0; n], subsets)
+    }
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn triangle_is_all_halves() {
+        let g = graph(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let f = fractional_vertex_cover(&g);
+        assert_close(f.value, 1.5);
+        for &xv in &f.x {
+            assert_close(xv, 0.5);
+        }
+    }
+
+    #[test]
+    fn single_edge_half_half() {
+        let g = graph(2, &[&[0, 1]]);
+        let f = fractional_vertex_cover(&g);
+        assert_close(f.value, 1.0);
+    }
+
+    #[test]
+    fn star_is_integral() {
+        let g = graph(5, &[&[0, 1], &[0, 2], &[0, 3], &[0, 4]]);
+        let f = fractional_vertex_cover(&g);
+        assert_close(f.value, 1.0);
+        // Bipartite graphs have integral optima; the center is the cover.
+        let center = g.node_of(TupleId(0)).unwrap();
+        assert_close(f.x[center as usize], 1.0);
+    }
+
+    #[test]
+    fn forced_singletons_cover_their_edges() {
+        let g = graph(3, &[&[0], &[0, 1], &[1, 2]]);
+        let f = fractional_vertex_cover(&g);
+        // x_0 = 1 forced; edge {1,2} needs another unit split.
+        assert_close(f.value, 2.0);
+        let v0 = g.node_of(TupleId(0)).unwrap();
+        assert_close(f.x[v0 as usize], 1.0);
+    }
+
+    #[test]
+    fn weights_shift_the_optimum() {
+        let g = graph_with_weights(&[10.0, 1.0], &[&[0, 1]]);
+        let f = fractional_vertex_cover(&g);
+        assert_close(f.value, 1.0);
+        let v1 = g.node_of(TupleId(1)).unwrap();
+        assert_close(f.x[v1 as usize], 1.0);
+    }
+
+    #[test]
+    fn matches_simplex_on_random_graphs() {
+        use crate::simplex::covering_lp;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..12usize);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..6) as f64).collect();
+            let mut subsets: Vec<Vec<u32>> = Vec::new();
+            for a in 0..n as u32 {
+                for b in a + 1..n as u32 {
+                    if rng.gen_bool(0.35) {
+                        subsets.push(vec![a, b]);
+                    }
+                }
+            }
+            if subsets.is_empty() {
+                continue;
+            }
+            let refs: Vec<&[u32]> = subsets.iter().map(|v| v.as_slice()).collect();
+            let g = graph_with_weights(&weights, &refs);
+            let f = fractional_vertex_cover(&g);
+
+            // Simplex oracle on the same covering LP.
+            let w: Vec<f64> = (0..g.n() as u32).map(|v| g.weight(v)).collect();
+            let sets: Vec<Vec<usize>> = g
+                .edges()
+                .map(|(a, b)| vec![a as usize, b as usize])
+                .collect();
+            let lp = covering_lp(&w, &sets);
+            let sol = lp.minimize().unwrap();
+            assert!(
+                (f.value - sol.objective).abs() < 1e-6,
+                "trial {trial}: combinatorial {} vs simplex {}",
+                f.value,
+                sol.objective
+            );
+            // Feasibility and half-integrality of the combinatorial solution.
+            for (a, b) in g.edges() {
+                assert!(f.x[a as usize] + f.x[b as usize] >= 1.0 - 1e-9);
+            }
+            for &xv in &f.x {
+                assert!(
+                    (xv - 0.0).abs() < 1e-9 || (xv - 0.5).abs() < 1e-9 || (xv - 1.0).abs() < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nt_partition_splits_by_value() {
+        let g = graph(5, &[&[0, 1], &[0, 2], &[0, 3], &[0, 4]]);
+        let f = fractional_vertex_cover(&g);
+        let (ones, halves, zeros) = nt_partition(&f);
+        assert_eq!(ones.len(), 1);
+        assert!(halves.is_empty());
+        assert_eq!(zeros.len(), 4);
+    }
+}

@@ -1,0 +1,487 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! This is the workspace's general-purpose LP back end — the role Gurobi
+//! plays in the paper's implementation of `I_R` and `I_R^lin` (§6.1). The
+//! covering LPs arising from two-tuple DCs are solved by the much faster
+//! combinatorial path in [`crate::fvc`]; the simplex handles everything
+//! else (hyperedge LPs from EGDs with ≥ 3 atoms, B&B relaxations, tests)
+//! and serves as the oracle the combinatorial solvers are validated
+//! against.
+//!
+//! Scope: dense tableau, Bland's rule after a degeneracy streak, suited to
+//! small/medium instances (≤ a few thousand nonzeros); the measures layer
+//! picks the combinatorial route for large conflict graphs.
+
+/// Row comparison in a linear program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpCmp {
+    /// `≤ b`
+    Le,
+    /// `≥ b`
+    Ge,
+    /// `= b`
+    Eq,
+}
+
+/// Errors from [`LinearProgram::minimize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Pivot limit exceeded (numerical trouble).
+    Stalled,
+}
+
+/// One constraint row: sparse coefficients, comparison, right-hand side.
+type LpRow = (Vec<(usize, f64)>, LpCmp, f64);
+
+/// A minimization LP over non-negative variables:
+/// `min c·x  s.t.  Σ aᵢⱼ xⱼ {≤,≥,=} bᵢ,  x ≥ 0`.
+#[derive(Clone, Debug, Default)]
+pub struct LinearProgram {
+    n: usize,
+    c: Vec<f64>,
+    rows: Vec<LpRow>,
+}
+
+/// A primal solution.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal assignment (length = number of variables).
+    pub x: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+impl LinearProgram {
+    /// An LP with `n` variables and objective coefficients `c`.
+    pub fn new(c: Vec<f64>) -> Self {
+        LinearProgram {
+            n: c.len(),
+            c,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a constraint `Σ coeffs · x  cmp  rhs`.
+    pub fn add_row(&mut self, coeffs: Vec<(usize, f64)>, cmp: LpCmp, rhs: f64) -> &mut Self {
+        debug_assert!(coeffs.iter().all(|&(j, _)| j < self.n));
+        self.rows.push((coeffs, cmp, rhs));
+        self
+    }
+
+    /// Solves the LP with a two-phase dense simplex.
+    pub fn minimize(&self) -> Result<LpSolution, LpError> {
+        let m = self.rows.len();
+        let n = self.n;
+        if m == 0 {
+            // Unconstrained: x = 0 is optimal iff c ≥ 0.
+            if self.c.iter().any(|&cj| cj < -EPS) {
+                return Err(LpError::Unbounded);
+            }
+            return Ok(LpSolution {
+                objective: 0.0,
+                x: vec![0.0; n],
+            });
+        }
+
+        // Column layout: [structural | slack/surplus | artificial].
+        let mut num_slack = 0;
+        for (_, cmp, _) in &self.rows {
+            if *cmp != LpCmp::Eq {
+                num_slack += 1;
+            }
+        }
+        let total = n + num_slack + m; // one artificial per row (some unused)
+        let width = total + 1; // + rhs
+        let mut t = vec![0.0f64; (m + 1) * width];
+        let idx = |r: usize, c: usize| r * width + c;
+
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_at = n;
+        let art_base = n + num_slack;
+        let mut artificial_rows: Vec<usize> = Vec::new();
+
+        for (r, (coeffs, cmp, rhs)) in self.rows.iter().enumerate() {
+            let flip = *rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(j, a) in coeffs {
+                t[idx(r, j)] += sign * a;
+            }
+            t[idx(r, total)] = sign * rhs;
+            let eff_cmp = if flip {
+                match cmp {
+                    LpCmp::Le => LpCmp::Ge,
+                    LpCmp::Ge => LpCmp::Le,
+                    LpCmp::Eq => LpCmp::Eq,
+                }
+            } else {
+                *cmp
+            };
+            match eff_cmp {
+                LpCmp::Le => {
+                    t[idx(r, slack_at)] = 1.0;
+                    basis[r] = slack_at;
+                    slack_at += 1;
+                }
+                LpCmp::Ge => {
+                    t[idx(r, slack_at)] = -1.0;
+                    slack_at += 1;
+                    t[idx(r, art_base + r)] = 1.0;
+                    basis[r] = art_base + r;
+                    artificial_rows.push(r);
+                }
+                LpCmp::Eq => {
+                    t[idx(r, art_base + r)] = 1.0;
+                    basis[r] = art_base + r;
+                    artificial_rows.push(r);
+                }
+            }
+        }
+
+        // Phase 1: minimize the sum of artificials.
+        if !artificial_rows.is_empty() {
+            // Objective row: sum of artificial columns ⇒ reduced costs start
+            // as −Σ(rows with artificial basis).
+            for c in 0..width {
+                let mut sum = 0.0;
+                for &r in &artificial_rows {
+                    sum += t[idx(r, c)];
+                }
+                t[idx(m, c)] = -sum;
+            }
+            for &r in &artificial_rows {
+                t[idx(m, art_base + r)] = 0.0;
+            }
+            self.run_simplex(&mut t, &mut basis, m, total, width, art_base)?;
+            let phase1 = -t[idx(m, total)];
+            if phase1 > 1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Drive any lingering artificial out of the basis.
+            for r in 0..m {
+                if basis[r] >= art_base && t[idx(r, total)].abs() <= EPS {
+                    if let Some(c) = (0..art_base).find(|&c| t[idx(r, c)].abs() > EPS) {
+                        pivot(&mut t, &mut basis, m, width, r, c);
+                    }
+                }
+            }
+        }
+
+        // Phase 2: original objective. Rebuild the objective row.
+        for c in 0..width {
+            t[idx(m, c)] = 0.0;
+        }
+        for j in 0..n {
+            t[idx(m, j)] = self.c[j];
+        }
+        // Price out basic columns.
+        for r in 0..m {
+            let b = basis[r];
+            if b < n {
+                let cb = self.c[b];
+                if cb != 0.0 {
+                    for c in 0..width {
+                        t[idx(m, c)] -= cb * t[idx(r, c)];
+                    }
+                }
+            }
+        }
+        // Artificial columns are forbidden in phase 2.
+        self.run_simplex(&mut t, &mut basis, m, art_base, width, art_base)?;
+
+        let mut x = vec![0.0; n];
+        for r in 0..m {
+            if basis[r] < n {
+                x[basis[r]] = t[idx(r, total)];
+            }
+        }
+        let objective = x.iter().zip(&self.c).map(|(xi, ci)| xi * ci).sum();
+        Ok(LpSolution { objective, x })
+    }
+
+    /// Simplex iterations on the prepared tableau; columns `0..allowed_cols`
+    /// may enter the basis.
+    fn run_simplex(
+        &self,
+        t: &mut [f64],
+        basis: &mut [usize],
+        m: usize,
+        allowed_cols: usize,
+        width: usize,
+        _art_base: usize,
+    ) -> Result<(), LpError> {
+        let idx = |r: usize, c: usize| r * width + c;
+        let max_pivots = 50_000 + 200 * (m + allowed_cols);
+        let mut degenerate_streak = 0usize;
+        for _ in 0..max_pivots {
+            // Entering column: Dantzig, switching to Bland on degeneracy.
+            let use_bland = degenerate_streak > 40;
+            let mut enter = usize::MAX;
+            let mut best = -EPS;
+            for c in 0..allowed_cols {
+                let rc = t[idx(m, c)];
+                if rc < -EPS {
+                    if use_bland {
+                        enter = c;
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = c;
+                    }
+                }
+            }
+            if enter == usize::MAX {
+                return Ok(()); // optimal
+            }
+            // Ratio test.
+            let mut leave = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let a = t[idx(r, enter)];
+                if a > EPS {
+                    let ratio = t[idx(r, width - 1)] / a;
+                    if ratio < best_ratio - EPS
+                        || (ratio < best_ratio + EPS
+                            && leave != usize::MAX
+                            && basis[r] < basis[leave])
+                    {
+                        best_ratio = ratio;
+                        leave = r;
+                    }
+                }
+            }
+            if leave == usize::MAX {
+                return Err(LpError::Unbounded);
+            }
+            if best_ratio.abs() <= EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            pivot(t, basis, m, width, leave, enter);
+        }
+        Err(LpError::Stalled)
+    }
+}
+
+fn pivot(t: &mut [f64], basis: &mut [usize], m: usize, width: usize, row: usize, col: usize) {
+    let idx = |r: usize, c: usize| r * width + c;
+    let p = t[idx(row, col)];
+    debug_assert!(p.abs() > EPS);
+    for c in 0..width {
+        t[idx(row, c)] /= p;
+    }
+    for r in 0..=m {
+        if r == row {
+            continue;
+        }
+        let factor = t[idx(r, col)];
+        if factor.abs() > EPS {
+            for c in 0..width {
+                t[idx(r, c)] -= factor * t[idx(row, c)];
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+/// Builds the covering LP of Fig. 2 (linear relaxation): variables are
+/// weighted by `weights`, and each set in `sets` must sum to ≥ 1. Upper
+/// bounds `x ≤ 1` are implied (all weights are positive, so the optimum
+/// never exceeds 1) and therefore omitted.
+pub fn covering_lp(weights: &[f64], sets: &[Vec<usize>]) -> LinearProgram {
+    let mut lp = LinearProgram::new(weights.to_vec());
+    for set in sets {
+        lp.add_row(set.iter().map(|&j| (j, 1.0)).collect(), LpCmp::Ge, 1.0);
+    }
+    lp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn trivial_unconstrained() {
+        let lp = LinearProgram::new(vec![1.0, 2.0]);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 0.0);
+        assert!(LinearProgram::new(vec![-1.0]).minimize().is_err());
+    }
+
+    #[test]
+    fn simple_ge_constraint() {
+        // min x + y  s.t.  x + y ≥ 2.
+        let mut lp = LinearProgram::new(vec![1.0, 1.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Ge, 2.0);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn diet_style_lp() {
+        // min 2x + 3y  s.t.  x + y ≥ 4, x + 3y ≥ 6.
+        let mut lp = LinearProgram::new(vec![2.0, 3.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Ge, 4.0);
+        lp.add_row(vec![(0, 1.0), (1, 3.0)], LpCmp::Ge, 6.0);
+        let s = lp.minimize().unwrap();
+        // Optimal at intersection: x=3, y=1 → 9.
+        assert_close(s.objective, 9.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y  s.t.  x + y = 3, x ≤ 1.
+        let mut lp = LinearProgram::new(vec![1.0, 2.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], LpCmp::Eq, 3.0);
+        lp.add_row(vec![(0, 1.0)], LpCmp::Le, 1.0);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 1.0 + 2.0 * 2.0);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x ≥ 2 and x ≤ 1.
+        let mut lp = LinearProgram::new(vec![1.0]);
+        lp.add_row(vec![(0, 1.0)], LpCmp::Ge, 2.0);
+        lp.add_row(vec![(0, 1.0)], LpCmp::Le, 1.0);
+        assert_eq!(lp.minimize().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x  s.t.  −x ≤ −2  (i.e. x ≥ 2).
+        let mut lp = LinearProgram::new(vec![1.0]);
+        lp.add_row(vec![(0, -1.0)], LpCmp::Le, -2.0);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn covering_lp_triangle() {
+        // Fractional vertex cover of a triangle: ½ each, value 1.5.
+        let lp = covering_lp(&[1.0; 3], &[vec![0, 1], vec![1, 2], vec![0, 2]]);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 1.5);
+        for v in &s.x {
+            assert_close(*v, 0.5);
+        }
+    }
+
+    #[test]
+    fn covering_lp_star_is_integral() {
+        // Star K_{1,4}: cover the center.
+        let sets: Vec<Vec<usize>> = (1..5).map(|i| vec![0, i]).collect();
+        let lp = covering_lp(&[1.0; 5], &sets);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 1.0);
+        assert_close(s.x[0], 1.0);
+    }
+
+    #[test]
+    fn covering_lp_weighted() {
+        // Edge {0,1}: take the cheaper endpoint.
+        let lp = covering_lp(&[5.0, 2.0], &[vec![0, 1]]);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[1], 1.0);
+    }
+
+    #[test]
+    fn covering_lp_hyperedge() {
+        // One 3-element set with weights 3,4,5: put everything on the
+        // cheapest variable.
+        let lp = covering_lp(&[3.0, 4.0, 5.0], &[vec![0, 1, 2]]);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 3.0);
+    }
+
+    #[test]
+    fn example9_running_example_lp() {
+        // Paper Example 9, database D1: MI pairs over x1..x5:
+        // {2,3},{2,4},{2,5},{3,4},{3,5},{4,5},{1,5} (1-based) → value 2.5.
+        let pairs = [
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (0, 4),
+        ];
+        let sets: Vec<Vec<usize>> = pairs.iter().map(|&(a, b)| vec![a, b]).collect();
+        let lp = covering_lp(&[1.0; 5], &sets);
+        let s = lp.minimize().unwrap();
+        assert_close(s.objective, 2.5);
+        // D2: {2,3},{2,4},{2,5},{3,4},{4,5} (1-based) → value 2.
+        let pairs2 = [(1, 2), (1, 3), (1, 4), (2, 3), (3, 4)];
+        let sets2: Vec<Vec<usize>> = pairs2.iter().map(|&(a, b)| vec![a, b]).collect();
+        let lp2 = covering_lp(&[1.0; 5], &sets2);
+        let s2 = lp2.minimize().unwrap();
+        assert_close(s2.objective, 2.0);
+    }
+
+    #[test]
+    fn randomized_covering_lps_are_sane() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..25 {
+            let n = rng.gen_range(2..8usize);
+            let m = rng.gen_range(1..10usize);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..10) as f64).collect();
+            let sets: Vec<Vec<usize>> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=3.min(n));
+                    let mut s: Vec<usize> = (0..n).collect();
+                    for i in 0..k {
+                        let j = rng.gen_range(i..n);
+                        s.swap(i, j);
+                    }
+                    s.truncate(k);
+                    s
+                })
+                .collect();
+            let lp = covering_lp(&weights, &sets);
+            let sol = lp.minimize().unwrap();
+            // Feasibility.
+            for set in &sets {
+                let total: f64 = set.iter().map(|&j| sol.x[j]).sum();
+                assert!(total >= 1.0 - 1e-6);
+            }
+            // Bounds: 0 ≤ x ≤ 1 at the optimum with positive weights.
+            for &v in &sol.x {
+                assert!((-1e-9..=1.0 + 1e-6).contains(&v));
+            }
+            // Never better than the best single-variable bound.
+            let lb = sets
+                .iter()
+                .map(|s| s.iter().map(|&j| weights[j]).fold(f64::INFINITY, f64::min))
+                .fold(0.0f64, f64::max);
+            assert!(sol.objective >= lb - 1e-6);
+        }
+    }
+}

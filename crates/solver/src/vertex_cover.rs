@@ -1,0 +1,470 @@
+//! Exact and approximate minimum-weight vertex cover.
+//!
+//! `I_R` under the subset repair system `R⊆` is the minimum-weight vertex
+//! cover of the conflict graph (§5.1) — NP-hard in general \[42\], which is
+//! why the measure needs an *exact but exponential* solver. Pipeline:
+//!
+//! 1. force self-inconsistent nodes into the cover;
+//! 2. split into connected components;
+//! 3. per component, closed forms first: cograph components are solved by a
+//!    max-weight-independent-set DP over the cotree (covers the complete
+//!    multipartite blocks FD violations produce);
+//! 4. otherwise Nemhauser–Trotter: solve the fractional cover, keep the
+//!    1-nodes, drop the 0-nodes, and branch-and-bound only the ½-core with
+//!    fractional lower bounds and a greedy incumbent.
+//!
+//! All exponential work is metered by a step budget; exhaustion returns
+//! `None` (the measure reports a timeout, mirroring the paper's 24 h cap).
+
+use crate::fvc::{fractional_vertex_cover, nt_partition};
+use inconsist_graph::{cotree, ConflictGraph, Cotree};
+
+/// An exact minimum-weight vertex cover.
+#[derive(Clone, Debug)]
+pub struct VertexCover {
+    /// Total weight (the value of `I_R` for deletions).
+    pub weight: f64,
+    /// Chosen node indices.
+    pub nodes: Vec<u32>,
+}
+
+/// Computes a minimum-weight vertex cover of a plain conflict graph exactly.
+/// Returns `None` when `budget` branch-and-bound steps are exhausted.
+pub fn min_weight_vertex_cover(g: &ConflictGraph, budget: u64) -> Option<VertexCover> {
+    assert!(
+        g.is_plain_graph(),
+        "min_weight_vertex_cover requires a plain graph; use hitting_set for hyperedges"
+    );
+    let mut weight = 0.0;
+    let mut nodes: Vec<u32> = Vec::new();
+
+    // Forced: self-inconsistent tuples must be deleted.
+    for v in 0..g.n() as u32 {
+        if g.is_excluded(v) {
+            weight += g.weight(v);
+            nodes.push(v);
+        }
+    }
+    let free: Vec<u32> = (0..g.n() as u32).filter(|&v| !g.is_excluded(v)).collect();
+    let (core, mapping) = g.induced(&free);
+
+    let mut budget = budget;
+    for comp in core.components() {
+        let (sub, sub_map) = core.induced(&comp);
+        let solved = solve_component(&sub, &mut budget)?;
+        weight += solved.weight;
+        nodes.extend(solved.nodes.iter().map(|&v| mapping[sub_map[v as usize] as usize]));
+    }
+    nodes.sort();
+    Some(VertexCover { weight, nodes })
+}
+
+fn solve_component(g: &ConflictGraph, budget: &mut u64) -> Option<VertexCover> {
+    if g.edge_count() == 0 {
+        return Some(VertexCover {
+            weight: 0.0,
+            nodes: Vec::new(),
+        });
+    }
+    // Cograph closed form: VC = total − max-weight independent set.
+    if let Some(tree) = cotree(g) {
+        return Some(cograph_cover(g, &tree));
+    }
+    // Nemhauser–Trotter: only the half-core needs search.
+    let f = fractional_vertex_cover(g);
+    let (ones, halves, _zeros) = nt_partition(&f);
+    let mut weight: f64 = ones.iter().map(|&v| g.weight(v)).sum();
+    let mut nodes = ones.clone();
+    if !halves.is_empty() {
+        let (core, core_map) = g.induced(&halves);
+        let solved = branch_and_bound(&core, budget)?;
+        weight += solved.weight;
+        nodes.extend(solved.nodes.iter().map(|&v| core_map[v as usize]));
+    }
+    Some(VertexCover { weight, nodes })
+}
+
+/// Max-weight independent set over a cotree; the cover is the complement.
+fn cograph_cover(g: &ConflictGraph, tree: &Cotree) -> VertexCover {
+    fn best_is(g: &ConflictGraph, t: &Cotree) -> (f64, Vec<u32>) {
+        match t {
+            Cotree::Leaf(v) => (g.weight(*v), vec![*v]),
+            Cotree::Union(cs) => {
+                let mut w = 0.0;
+                let mut nodes = Vec::new();
+                for c in cs {
+                    let (cw, cn) = best_is(g, c);
+                    w += cw;
+                    nodes.extend(cn);
+                }
+                (w, nodes)
+            }
+            Cotree::Join(cs) => cs
+                .iter()
+                .map(|c| best_is(g, c))
+                .max_by(|a, b| a.0.total_cmp(&b.0))
+                .unwrap_or((0.0, Vec::new())),
+        }
+    }
+    let (is_weight, is_nodes) = best_is(g, tree);
+    let in_is: std::collections::HashSet<u32> = is_nodes.into_iter().collect();
+    let total: f64 = (0..g.n() as u32).map(|v| g.weight(v)).sum();
+    let nodes: Vec<u32> = (0..g.n() as u32).filter(|v| !in_is.contains(v)).collect();
+    VertexCover {
+        weight: total - is_weight,
+        nodes,
+    }
+}
+
+/// Greedy 2-ish approximation: repeatedly take the node maximizing
+/// (uncovered incident edges) / weight. Used as the B&B incumbent and as
+/// the standalone baseline cleaner.
+pub fn greedy_vertex_cover(g: &ConflictGraph) -> VertexCover {
+    let n = g.n();
+    let mut covered = vec![false; n]; // node removed from play
+    let mut remaining_deg: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mut uncovered_edges = g.edge_count();
+    let mut weight = 0.0;
+    let mut nodes = Vec::new();
+    // Forced singletons first.
+    for v in 0..n as u32 {
+        if g.is_excluded(v) && !covered[v as usize] {
+            covered[v as usize] = true;
+            weight += g.weight(v);
+            nodes.push(v);
+            for &u in g.neighbors(v) {
+                if !covered[u as usize] {
+                    remaining_deg[u as usize] -= 1;
+                    uncovered_edges -= 1;
+                }
+            }
+            remaining_deg[v as usize] = 0;
+        }
+    }
+    while uncovered_edges > 0 {
+        let v = (0..n as u32)
+            .filter(|&v| !covered[v as usize] && remaining_deg[v as usize] > 0)
+            .max_by(|&a, &b| {
+                let ra = remaining_deg[a as usize] as f64 / g.weight(a);
+                let rb = remaining_deg[b as usize] as f64 / g.weight(b);
+                ra.total_cmp(&rb)
+            })
+            .expect("uncovered edges imply a positive-degree node");
+        covered[v as usize] = true;
+        weight += g.weight(v);
+        nodes.push(v);
+        for &u in g.neighbors(v) {
+            if !covered[u as usize] {
+                remaining_deg[u as usize] -= 1;
+                uncovered_edges -= 1;
+            }
+        }
+        remaining_deg[v as usize] = 0;
+    }
+    nodes.sort();
+    VertexCover { weight, nodes }
+}
+
+/// Branch and bound on an irreducible component: branch on a maximum-degree
+/// node (in-cover vs. all-neighbors-in-cover), bound with the fractional
+/// cover, seed with the greedy incumbent.
+fn branch_and_bound(g: &ConflictGraph, budget: &mut u64) -> Option<VertexCover> {
+    let incumbent = greedy_vertex_cover(g);
+    let mut best = incumbent;
+    let mut chosen: Vec<u32> = Vec::new();
+    let alive: Vec<bool> = vec![true; g.n()];
+    bb(g, alive, 0.0, &mut chosen, &mut best, budget)?;
+    Some(best)
+}
+
+fn bb(
+    g: &ConflictGraph,
+    alive: Vec<bool>,
+    cost: f64,
+    chosen: &mut Vec<u32>,
+    best: &mut VertexCover,
+    budget: &mut u64,
+) -> Option<()> {
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    if cost >= best.weight - 1e-12 {
+        return Some(());
+    }
+    // Find a vertex of maximum remaining degree.
+    let mut pick: Option<u32> = None;
+    let mut pick_deg = 0usize;
+    for v in 0..g.n() as u32 {
+        if !alive[v as usize] {
+            continue;
+        }
+        let d = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| alive[u as usize])
+            .count();
+        if d > pick_deg {
+            pick_deg = d;
+            pick = Some(v);
+        }
+    }
+    let Some(v) = pick else {
+        // No remaining edges: complete cover found.
+        if cost < best.weight {
+            *best = VertexCover {
+                weight: cost,
+                nodes: chosen.clone(),
+            };
+        }
+        return Some(());
+    };
+
+    // Fractional lower bound on the remaining subgraph.
+    let live: Vec<u32> = (0..g.n() as u32).filter(|&u| alive[u as usize]).collect();
+    let (sub, _) = g.induced(&live);
+    let lb = fractional_vertex_cover(&sub).value;
+    if cost + lb >= best.weight - 1e-12 {
+        return Some(());
+    }
+
+    // Branch 1: v in the cover.
+    {
+        let mut a = alive.clone();
+        a[v as usize] = false;
+        chosen.push(v);
+        bb(g, a, cost + g.weight(v), chosen, best, budget)?;
+        chosen.pop();
+    }
+    // Branch 2: v not in the cover ⇒ all alive neighbors are.
+    {
+        let mut a = alive;
+        a[v as usize] = false;
+        let mut extra = 0.0;
+        let before = chosen.len();
+        for &u in g.neighbors(v) {
+            if a[u as usize] {
+                a[u as usize] = false;
+                extra += g.weight(u);
+                chosen.push(u);
+            }
+        }
+        bb(g, a, cost + extra, chosen, best, budget)?;
+        chosen.truncate(before);
+    }
+    Some(())
+}
+
+/// Validates a cover (test helper and debug assertion).
+pub fn is_vertex_cover(g: &ConflictGraph, nodes: &[u32]) -> bool {
+    let in_cover: std::collections::HashSet<u32> = nodes.iter().copied().collect();
+    (0..g.n() as u32)
+        .filter(|&v| g.is_excluded(v))
+        .all(|v| in_cover.contains(&v))
+        && g.edges()
+            .all(|(a, b)| in_cover.contains(&a) || in_cover.contains(&b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inconsist_constraints::ViolationSet;
+    use inconsist_relational::{relation, Database, Fact, Schema, TupleId, Value, ValueKind};
+    use std::sync::Arc;
+
+    fn graph_with_weights(weights: &[f64], subsets: &[&[u32]]) -> ConflictGraph {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation("R", &[("A", ValueKind::Int), ("cost", ValueKind::Float)]).unwrap(),
+            )
+            .unwrap();
+        s.set_cost_attr(r, "cost").unwrap();
+        let mut db = Database::new(Arc::new(s));
+        for (i, &w) in weights.iter().enumerate() {
+            db.insert(Fact::new(r, [Value::int(i as i64), Value::float(w)]))
+                .unwrap();
+        }
+        let sets: Vec<ViolationSet> = subsets
+            .iter()
+            .map(|s| s.iter().map(|&i| TupleId(i)).collect())
+            .collect();
+        ConflictGraph::from_subsets(&db, &sets)
+    }
+
+    fn graph(n: usize, subsets: &[&[u32]]) -> ConflictGraph {
+        graph_with_weights(&vec![1.0; n], subsets)
+    }
+
+    fn brute_force(g: &ConflictGraph) -> f64 {
+        let n = g.n();
+        assert!(n <= 20);
+        let mut best = f64::INFINITY;
+        'mask: for mask in 0..(1u32 << n) {
+            for v in 0..n as u32 {
+                if g.is_excluded(v) && mask & (1 << v) == 0 {
+                    continue 'mask;
+                }
+            }
+            for (a, b) in g.edges() {
+                if mask & (1 << a) == 0 && mask & (1 << b) == 0 {
+                    continue 'mask;
+                }
+            }
+            let w: f64 = (0..n as u32)
+                .filter(|&v| mask & (1 << v) != 0)
+                .map(|v| g.weight(v))
+                .sum();
+            best = best.min(w);
+        }
+        best
+    }
+
+    #[test]
+    fn triangle_needs_two() {
+        let g = graph(3, &[&[0, 1], &[1, 2], &[0, 2]]);
+        let vc = min_weight_vertex_cover(&g, 1 << 20).unwrap();
+        assert_eq!(vc.weight, 2.0);
+        assert!(is_vertex_cover(&g, &vc.nodes));
+    }
+
+    #[test]
+    fn p4_needs_two() {
+        let g = graph(4, &[&[0, 1], &[1, 2], &[2, 3]]);
+        let vc = min_weight_vertex_cover(&g, 1 << 20).unwrap();
+        assert_eq!(vc.weight, 2.0);
+        assert!(is_vertex_cover(&g, &vc.nodes));
+    }
+
+    #[test]
+    fn odd_cycle_c5() {
+        // C5 is neither bipartite nor a cograph: exercises the B&B path.
+        let g = graph(5, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[0, 4]]);
+        let vc = min_weight_vertex_cover(&g, 1 << 20).unwrap();
+        assert_eq!(vc.weight, 3.0);
+        assert!(is_vertex_cover(&g, &vc.nodes));
+    }
+
+    #[test]
+    fn weights_change_the_answer() {
+        // Star: center weight 10, leaves weight 1 → take the three leaves.
+        let g = graph_with_weights(&[10.0, 1.0, 1.0, 1.0], &[&[0, 1], &[0, 2], &[0, 3]]);
+        let vc = min_weight_vertex_cover(&g, 1 << 20).unwrap();
+        assert_eq!(vc.weight, 3.0);
+        assert!(is_vertex_cover(&g, &vc.nodes));
+    }
+
+    #[test]
+    fn excluded_nodes_are_forced() {
+        let g = graph(3, &[&[0], &[1, 2]]);
+        let vc = min_weight_vertex_cover(&g, 1 << 20).unwrap();
+        assert_eq!(vc.weight, 2.0);
+        let t0 = g.node_of(TupleId(0)).unwrap();
+        assert!(vc.nodes.contains(&t0));
+    }
+
+    #[test]
+    fn paper_running_example_d1_and_d2() {
+        // D1 (0-based): K4 on {1,2,3,4} plus edge {0,4} → minimum 3.
+        let g1 = graph(
+            5,
+            &[&[1, 2], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[3, 4], &[0, 4]],
+        );
+        assert_eq!(min_weight_vertex_cover(&g1, 1 << 20).unwrap().weight, 3.0);
+        // D2: {1,2},{1,3},{1,4},{2,3},{3,4} → minimum 2 (e.g. {1,3}).
+        let g2 = graph(5, &[&[1, 2], &[1, 3], &[1, 4], &[2, 3], &[3, 4]]);
+        assert_eq!(min_weight_vertex_cover(&g2, 1 << 20).unwrap().weight, 2.0);
+    }
+
+    #[test]
+    fn greedy_is_a_valid_cover() {
+        let g = graph(6, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0], &[0, 3]]);
+        let greedy = greedy_vertex_cover(&g);
+        assert!(is_vertex_cover(&g, &greedy.nodes));
+        let exact = min_weight_vertex_cover(&g, 1 << 20).unwrap();
+        assert!(greedy.weight >= exact.weight);
+        assert!(greedy.weight <= 2.0 * exact.weight + 1e-9);
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..40 {
+            let n = rng.gen_range(2..13usize);
+            let weighted = rng.gen_bool(0.5);
+            let weights: Vec<f64> = (0..n)
+                .map(|_| if weighted { rng.gen_range(1..6) as f64 } else { 1.0 })
+                .collect();
+            let mut subsets: Vec<Vec<u32>> = Vec::new();
+            for a in 0..n as u32 {
+                for b in a + 1..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        subsets.push(vec![a, b]);
+                    }
+                }
+            }
+            if rng.gen_bool(0.2) {
+                subsets.push(vec![rng.gen_range(0..n as u32)]);
+            }
+            let refs: Vec<&[u32]> = subsets.iter().map(|v| v.as_slice()).collect();
+            let g = graph_with_weights(&weights, &refs);
+            if g.n() == 0 {
+                continue;
+            }
+            let vc = min_weight_vertex_cover(&g, 1 << 22).expect("budget generous");
+            assert!(is_vertex_cover(&g, &vc.nodes), "trial {trial}");
+            let expected = brute_force(&g);
+            assert!(
+                (vc.weight - expected).abs() < 1e-9,
+                "trial {trial}: got {} expected {}",
+                vc.weight,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        // Two disjoint C5s force the B&B path with a tiny budget.
+        let g = graph(
+            10,
+            &[
+                &[0, 1], &[1, 2], &[2, 3], &[3, 4], &[0, 4],
+                &[5, 6], &[6, 7], &[7, 8], &[8, 9], &[5, 9],
+            ],
+        );
+        assert!(min_weight_vertex_cover(&g, 1).is_none());
+        assert!(min_weight_vertex_cover(&g, 1 << 20).is_some());
+    }
+
+    #[test]
+    fn complete_multipartite_closed_form() {
+        // K_{2,2,2} (octahedron, a cograph): VC = 6 − 2 = 4.
+        let parts: [&[u32]; 3] = [&[0, 1], &[2, 3], &[4, 5]];
+        let mut subsets: Vec<Vec<u32>> = Vec::new();
+        for i in 0..3 {
+            for j in i + 1..3 {
+                for &a in parts[i] {
+                    for &b in parts[j] {
+                        subsets.push(vec![a, b]);
+                    }
+                }
+            }
+        }
+        let refs: Vec<&[u32]> = subsets.iter().map(|v| v.as_slice()).collect();
+        let g = graph(6, &refs);
+        let vc = min_weight_vertex_cover(&g, 1 << 10).unwrap();
+        assert_eq!(vc.weight, 4.0);
+    }
+
+    #[test]
+    fn fractional_is_a_lower_bound_within_factor_two() {
+        use crate::fvc::fractional_vertex_cover;
+        let g = graph(5, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[0, 4]]);
+        let f = fractional_vertex_cover(&g);
+        let vc = min_weight_vertex_cover(&g, 1 << 20).unwrap();
+        assert!(f.value <= vc.weight + 1e-9);
+        assert!(vc.weight <= 2.0 * f.value + 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Reliability estimation: compare the inconsistency level of several
+//! incoming datasets before deciding which to trust for downstream
+//! analytics (the paper's second motivating use case, §1).
+//!
+//! ```text
+//! cargo run --release --example audit_datasets
+//! ```
+
+use inconsist::measures::{
+    InconsistencyMeasure, LinearMinimumRepair, MeasureOptions, ProblematicFacts,
+};
+use inconsist_data::{generate, DatasetId, RNoise};
+
+fn main() {
+    println!("Auditing eight incoming data feeds (600 tuples each), with");
+    println!("different amounts of injected noise:\n");
+    println!(
+        "{:<10}{:>8}{:>12}{:>14}{:>18}",
+        "Feed", "edits", "I_P (facts)", "I_R^lin", "I_R^lin / tuple"
+    );
+    println!("{:-<62}", "");
+
+    let opts = MeasureOptions::default();
+    let ip = ProblematicFacts { options: opts };
+    let lin = LinearMinimumRepair { options: opts };
+
+    let mut report = Vec::new();
+    for (i, id) in DatasetId::all().into_iter().enumerate() {
+        let mut ds = generate(id, 600, 99);
+        // Each feed gets a different noise level.
+        let alpha = 0.002 * (i + 1) as f64;
+        let mut noise = RNoise::new(17 + i as u64, 0.0);
+        let steps = RNoise::iterations_for(alpha, &ds.db);
+        let edits = noise.run(&mut ds.db, &ds.constraints, steps);
+
+        let problematic = ip.eval(&ds.constraints, &ds.db).unwrap_or(f64::NAN);
+        let cost = lin.eval(&ds.constraints, &ds.db).unwrap_or(f64::NAN);
+        let per_tuple = cost / ds.db.len() as f64;
+        println!(
+            "{:<10}{:>8}{:>12}{:>14.2}{:>18.4}",
+            id.name(),
+            edits,
+            problematic,
+            cost,
+            per_tuple
+        );
+        report.push((id, per_tuple));
+    }
+
+    report.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("\nRecommendation (cleanest first by estimated repair cost/tuple):");
+    for (id, per_tuple) in report {
+        println!("  {:<10} {:.4}", id.name(), per_tuple);
+    }
+    println!("\nI_R^lin is the right audit measure here: it is monotone, stable");
+    println!("under small changes (bounded continuity), and polynomial-time —");
+    println!("so the ranking cannot be an artifact of jitter or timeouts.");
+}

@@ -1,0 +1,58 @@
+//! The HoloClean-style cleaning pipeline (§6.2.2) as a library user would
+//! run it: feed the black-box cleaner one constraint at a time and watch
+//! the measures certify progress.
+//!
+//! ```text
+//! cargo run --release --example holoclean_pipeline
+//! ```
+
+use inconsist::measures::{
+    InconsistencyMeasure, LinearMinimumRepair, MeasureOptions, MinimumRepair,
+};
+use inconsist_clean::SoftClean;
+use inconsist_data::{generate, DatasetId, RNoise};
+
+fn main() {
+    let mut ds = generate(DatasetId::Hospital, 300, 23);
+    let mut noise = RNoise::new(5, 0.0);
+    let steps = RNoise::iterations_for(0.02, &ds.db);
+    let edits = noise.run(&mut ds.db, &ds.constraints, steps);
+    println!("Dirty Hospital sample: 300 tuples, {edits} corrupted cells\n");
+
+    let opts = MeasureOptions::default();
+    let ir = MinimumRepair { options: opts };
+    let lin = LinearMinimumRepair { options: opts };
+    let cleaner = SoftClean::default();
+
+    println!(
+        "{:<8}{:>10}{:>12}{:>16}",
+        "#DCs", "I_R", "I_R^lin", "cells changed"
+    );
+    println!("{:-<46}", "");
+    let fmt = |r: inconsist::measures::MeasureResult| match r {
+        Ok(v) => format!("{v:.1}"),
+        Err(e) => format!("{e}"),
+    };
+    println!(
+        "{:<8}{:>10}{:>12}{:>16}",
+        0,
+        fmt(ir.eval(&ds.constraints, &ds.db)),
+        fmt(lin.eval(&ds.constraints, &ds.db)),
+        "-"
+    );
+    for k in 1..=ds.constraints.len() {
+        let prefix = ds.constraints.prefix(k);
+        let report = cleaner.clean(&mut ds.db, &prefix);
+        println!(
+            "{:<8}{:>10}{:>12}{:>16}",
+            k,
+            fmt(ir.eval(&ds.constraints, &ds.db)),
+            fmt(lin.eval(&ds.constraints, &ds.db)),
+            report.cells_changed
+        );
+    }
+    println!("\nBoth repair-based measures decay as the cleaner receives more");
+    println!("constraints — the Fig. 7 behaviour. Note the measures are always");
+    println!("evaluated against the FULL constraint set: they certify global");
+    println!("progress, not just progress on the rules the cleaner has seen.");
+}

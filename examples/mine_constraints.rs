@@ -1,0 +1,84 @@
+//! End-to-end: mine denial constraints from clean data, inject noise, and
+//! watch the measures react — the same pipeline the paper's experiments
+//! follow (§6.1: constraints are produced by a DC mining algorithm, then
+//! noise is added to an initially consistent dataset).
+//!
+//! ```text
+//! cargo run --example mine_constraints
+//! ```
+
+use inconsist::constraints::{mine_dcs, ConstraintSet, MinerConfig};
+use inconsist::incremental::IncrementalIndex;
+use inconsist::measures::MeasureOptions;
+use inconsist::relational::RelId;
+use inconsist_data::{generate, DatasetId, RNoise};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A clean (consistent) Stock-shaped dataset.
+    let ds = generate(DatasetId::Stock, 800, 42);
+    let rel = RelId(0);
+    println!(
+        "Generated {} tuples over {} attributes.",
+        ds.db.len(),
+        ds.db.relation_schema(rel).arity()
+    );
+
+    // 2. Mine DCs from the clean instance (evidence-set miner, §6.1's [39]).
+    let mined = mine_dcs(
+        &ds.db,
+        rel,
+        &MinerConfig {
+            max_dcs: 6,
+            max_pairs: 30_000,
+            ..Default::default()
+        },
+    );
+    println!("\nTop mined constraints:");
+    let mut cs = ConstraintSet::new(Arc::clone(ds.db.schema()));
+    for m in &mined {
+        println!(
+            "  {:<55} score={:.3} violations={}/{}",
+            format!("{}", m.dc.display(ds.db.schema())),
+            m.score,
+            m.violations,
+            m.sample_size
+        );
+        cs.add_dc(m.dc.clone());
+    }
+
+    // 3. The clean data satisfies everything we mined exactly.
+    let mut idx = IncrementalIndex::build(ds.db.clone(), cs.clone()).expect("build index");
+    assert!(idx.is_consistent());
+    println!("\nClean instance: I_MI = {}", idx.i_mi());
+
+    // 4. Inject RNoise (α = 1%, uniform) and track the measures live.
+    let mut noisy = ds.db.clone();
+    let mut noise = RNoise::new(7, 0.0);
+    let steps = RNoise::iterations_for(0.01, &noisy);
+    let opts = MeasureOptions::default();
+    println!("\n{:>6} {:>8} {:>8} {:>10}", "edits", "I_MI", "I_P", "I_R^lin");
+    let mut edits = 0usize;
+    let checkpoints = 5usize;
+    for chunk in 0..checkpoints {
+        let target = steps * (chunk + 1) / checkpoints;
+        while edits < target {
+            if let Some(edit) = noise.step(&mut noisy, &cs) {
+                idx.update(edit.tuple, edit.attr, edit.new).expect("typed edit");
+                edits += 1;
+            }
+        }
+        println!(
+            "{:>6} {:>8} {:>8} {:>10.2}",
+            edits,
+            idx.i_mi(),
+            idx.i_p(),
+            idx.i_r_lin().unwrap_or(f64::NAN)
+        );
+    }
+    let _ = opts;
+
+    println!("\nThe mined constraints play the role of the paper's per-dataset");
+    println!("DC sets: initially satisfied, increasingly violated as noise");
+    println!("accumulates — with the incremental index keeping every read cheap.");
+}

@@ -1,0 +1,43 @@
+//! Quickstart: measure the inconsistency of the paper's running example.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use inconsist::measures::{standard_measures, MeasureOptions};
+use inconsist::paper;
+
+fn main() {
+    // Fig. 1: the clean Airport database D0 and two noisy versions.
+    let (d0, constraints) = paper::airport_d0();
+    let (d1, _) = paper::airport_d1();
+    let (d2, _) = paper::airport_d2();
+
+    println!("Schema:\n{}", d0.schema());
+    println!("Constraints:");
+    for dc in constraints.dcs() {
+        println!("  {}", dc.display(d0.schema()));
+    }
+
+    println!("\nWhich noisy database is dirtier, D1 or D2?");
+    println!("{:<10}{:>8}{:>8}{:>8}", "Measure", "D0", "D1", "D2");
+    for measure in standard_measures(MeasureOptions::default()) {
+        let row = |db| match measure.eval(&constraints, db) {
+            Ok(v) => format!("{v}"),
+            Err(e) => format!("{e}"),
+        };
+        println!(
+            "{:<10}{:>8}{:>8}{:>8}",
+            measure.name(),
+            row(&d0),
+            row(&d1),
+            row(&d2)
+        );
+    }
+
+    println!("\nEvery measure agrees D1 is dirtier than D2 — but only because");
+    println!("this example is friendly. The paper's point (and this library's):");
+    println!("pick a measure by the properties your use case needs. For");
+    println!("progress indication, I_R and its tractable relaxation I_R^lin");
+    println!("satisfy positivity, monotonicity, continuity and progression.");
+}

@@ -1,0 +1,87 @@
+//! Non-anti-monotonic constraints: referential integrity, where *adding*
+//! a tuple reduces inconsistency.
+//!
+//! §2 names referential (foreign-key) constraints and inclusion
+//! dependencies as the constraint classes beyond DCs; §3 notes `I_R` "can
+//! be used with other types of constraints (like referential integrity
+//! constraints)"; and §4 explains why database-monotonicity is *not* a
+//! desirable property — exactly because an insertion can repair an IND.
+//! This example walks through all of that on an Orders/Customers schema.
+//!
+//! ```text
+//! cargo run --example referential_integrity
+//! ```
+
+use inconsist::constraints::{ind_min_repair, Ind};
+use inconsist::relational::{relation, Database, Fact, Schema, Value, ValueKind};
+use std::sync::Arc;
+
+fn main() {
+    let mut schema = Schema::new();
+    let customers = schema
+        .add_relation(
+            relation("Customers", &[("Id", ValueKind::Int), ("Name", ValueKind::Str)]).unwrap(),
+        )
+        .unwrap();
+    let orders = schema
+        .add_relation(
+            relation(
+                "Orders",
+                &[("OrderId", ValueKind::Int), ("Customer", ValueKind::Int), ("Total", ValueKind::Float)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let schema = Arc::new(schema);
+
+    let fk = Ind::new(
+        "orders_customer_fk",
+        &schema,
+        ("Orders", &["Customer"]),
+        ("Customers", &["Id"]),
+    )
+    .unwrap();
+
+    let mut db = Database::new(Arc::clone(&schema));
+    db.insert(Fact::new(customers, [Value::int(1), Value::str("Ada")])).unwrap();
+    db.insert(Fact::new(customers, [Value::int(2), Value::str("Grace")])).unwrap();
+    for (oid, cust, total) in [(100, 1, 9.5), (101, 2, 3.0), (102, 7, 12.0), (103, 7, 1.0), (104, 9, 4.5)] {
+        db.insert(Fact::new(
+            orders,
+            [Value::int(oid), Value::int(cust), Value::float(total)],
+        ))
+        .unwrap();
+    }
+
+    println!("Orders referencing missing customers (dangling):");
+    for (key, tuples) in fk.dangling(&db) {
+        println!("  Customer key {:?} ← {} dangling order(s)", key, tuples.len());
+    }
+
+    // I_R under a mixed insert-or-delete repair system: per missing key,
+    // either insert the referenced customer (cost `insert_cost`) or
+    // delete all dangling orders (sum of their deletion costs).
+    println!("\n{:<14}{:>8}{:>10}{:>10}", "insert cost", "I_R", "#inserts", "#deletes");
+    for insert_cost in [0.5, 1.5, 2.5] {
+        let (ir, inserts, deletes) = ind_min_repair(std::slice::from_ref(&fk), &db, insert_cost);
+        println!(
+            "{:<14}{:>8}{:>10}{:>10}",
+            insert_cost,
+            ir,
+            inserts.len(),
+            deletes.len()
+        );
+    }
+
+    // §4's point: adding a tuple REDUCES inconsistency — the reason the
+    // paper does not ask for monotonicity over the database.
+    let (before, _, _) = ind_min_repair(std::slice::from_ref(&fk), &db, 1.0);
+    db.insert(Fact::new(customers, [Value::int(7), Value::str("Alan")])).unwrap();
+    let (after, _, _) = ind_min_repair(std::slice::from_ref(&fk), &db, 1.0);
+    println!(
+        "\nAfter inserting customer 7: I_R drops {before} → {after} — a larger\n\
+         database is *less* inconsistent, which is why §4 deliberately\n\
+         omits database-monotonicity from the desiderata."
+    );
+    assert!(after < before);
+}

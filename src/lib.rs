@@ -1,0 +1,7 @@
+//! Umbrella crate for the `inconsist` reproduction package: re-exports the
+//! library crates so the examples and integration tests exercise exactly
+//! the public API a downstream user sees.
+
+pub use inconsist;
+pub use inconsist_clean;
+pub use inconsist_data;

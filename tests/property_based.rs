@@ -1,0 +1,227 @@
+//! Property-based integration tests (proptest) over random schemas,
+//! databases and FD sets, exercising invariants across all crates.
+
+use inconsist::constraints::{engine, ConstraintSet, Fd};
+use inconsist::measures::{
+    InconsistencyMeasure, LinearMinimumRepair, MaximalConsistentSubsetsWithSelf, MeasureOptions,
+    MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
+};
+use inconsist::relational::{relation, AttrId, Database, Fact, RelId, Schema, Value, ValueKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const COLS: usize = 4;
+
+fn schema4() -> (Arc<Schema>, RelId) {
+    let mut s = Schema::new();
+    let r = s
+        .add_relation(
+            relation(
+                "R",
+                &[
+                    ("A", ValueKind::Int),
+                    ("B", ValueKind::Int),
+                    ("C", ValueKind::Int),
+                    ("D", ValueKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    (Arc::new(s), r)
+}
+
+fn build_db(rows: &[Vec<i64>]) -> (Database, RelId, Arc<Schema>) {
+    let (schema, r) = schema4();
+    let mut db = Database::new(Arc::clone(&schema));
+    for row in rows {
+        db.insert(Fact::new(r, row.iter().map(|&v| Value::int(v))))
+            .unwrap();
+    }
+    (db, r, schema)
+}
+
+fn build_fds(schema: &Arc<Schema>, r: RelId, fds: &[(u16, u16)]) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(Arc::clone(schema));
+    for &(lhs, rhs) in fds {
+        if lhs != rhs {
+            cs.add_fd(Fd::new(r, [AttrId(lhs)], [AttrId(rhs)]));
+        }
+    }
+    cs
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0i64..4, COLS), 1..24)
+}
+
+fn fds_strategy() -> impl Strategy<Value = Vec<(u16, u16)>> {
+    prop::collection::vec((0u16..COLS as u16, 0u16..COLS as u16), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The LP relaxation bounds the exact repair within the FD integrality
+    /// gap of 2 (§5.2), and both are zero exactly on consistent data.
+    #[test]
+    fn lin_relaxation_bounds(rows in rows_strategy(), fds in fds_strategy()) {
+        let (db, r, schema) = build_db(&rows);
+        let cs = build_fds(&schema, r, &fds);
+        let opts = MeasureOptions::default();
+        let ir = MinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+        let lin = LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+        prop_assert!(lin <= ir + 1e-9);
+        prop_assert!(ir <= 2.0 * lin + 1e-9);
+        let consistent = engine::is_consistent(&db, &cs);
+        prop_assert_eq!(consistent, ir == 0.0);
+        prop_assert_eq!(consistent, lin == 0.0);
+    }
+
+    /// Monotonicity of I_R / I_R^lin under syntactic strengthening, and
+    /// the I_R ≤ I_P ≤ I_MI·2 chain for FDs.
+    #[test]
+    fn monotone_under_strengthening(rows in rows_strategy(), fds in fds_strategy()) {
+        prop_assume!(fds.len() >= 2);
+        let (db, r, schema) = build_db(&rows);
+        let weak = build_fds(&schema, r, &fds[..fds.len() / 2]);
+        let strong = build_fds(&schema, r, &fds);
+        prop_assume!(strong.entails(&weak) == Some(true));
+        let opts = MeasureOptions::default();
+        for m in [
+            &MinimumRepair { options: opts } as &dyn InconsistencyMeasure,
+            &LinearMinimumRepair { options: opts },
+            &MinimalInconsistentSubsets { options: opts },
+            &ProblematicFacts { options: opts },
+        ] {
+            let w = m.eval(&weak, &db).unwrap();
+            let s = m.eval(&strong, &db).unwrap();
+            prop_assert!(w <= s + 1e-9, "{} not monotone: {} > {}", m.name(), w, s);
+        }
+    }
+
+    /// Deleting an entire minimum repair yields consistency, and deleting
+    /// any problematic-fact superset too (anti-monotonicity end to end).
+    #[test]
+    fn repairs_repair(rows in rows_strategy(), fds in fds_strategy()) {
+        let (db, r, schema) = build_db(&rows);
+        let cs = build_fds(&schema, r, &fds);
+        let opts = MeasureOptions::default();
+        let deletions =
+            inconsist::measures::minimum_repair_deletions(&cs, &db, &opts).unwrap();
+        let mut repaired = db.clone();
+        for t in &deletions {
+            repaired.delete(*t);
+        }
+        prop_assert!(engine::is_consistent(&repaired, &cs));
+        // Optimality: the deletion count equals I_R (unit costs).
+        let ir = MinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+        prop_assert_eq!(deletions.len() as f64, ir);
+    }
+
+    /// I'_MC positivity for FDs (Table 2) on random instances.
+    #[test]
+    fn imc_self_positive_for_fds(rows in rows_strategy(), fds in fds_strategy()) {
+        let (db, r, schema) = build_db(&rows);
+        let cs = build_fds(&schema, r, &fds);
+        if !engine::is_consistent(&db, &cs) {
+            let opts = MeasureOptions::default();
+            let v = MaximalConsistentSubsetsWithSelf { options: opts }
+                .eval(&cs, &db)
+                .unwrap();
+            prop_assert!(v > 0.0);
+        }
+    }
+
+    /// The incremental index stays synchronized with from-scratch
+    /// evaluation through arbitrary operation sequences.
+    #[test]
+    fn incremental_index_tracks_scratch(
+        rows in rows_strategy(),
+        fds in fds_strategy(),
+        ops in prop::collection::vec((0u8..3, 0usize..24, 0u16..COLS as u16, 0i64..4), 0..20),
+    ) {
+        use inconsist::incremental::IncrementalIndex;
+        let (db, r, schema) = build_db(&rows);
+        let cs = build_fds(&schema, r, &fds);
+        let opts = MeasureOptions::default();
+        let mut idx = IncrementalIndex::build(db, cs).unwrap();
+        for (kind, pick, attr, val) in ops {
+            let ids: Vec<_> = idx.db().ids().collect();
+            match kind {
+                0 => {
+                    idx.insert(Fact::new(r, (0..COLS).map(|c| Value::int((val + c as i64) % 4))))
+                        .unwrap();
+                }
+                1 if !ids.is_empty() => {
+                    idx.delete(ids[pick % ids.len()]);
+                }
+                _ if !ids.is_empty() => {
+                    let t = ids[pick % ids.len()];
+                    idx.update(t, AttrId(attr), Value::int(val)).unwrap();
+                }
+                _ => {}
+            }
+        }
+        let scratch_mi = MinimalInconsistentSubsets { options: opts }
+            .eval(idx.constraints(), &idx.db().clone())
+            .unwrap();
+        let scratch_p = ProblematicFacts { options: opts }
+            .eval(idx.constraints(), &idx.db().clone())
+            .unwrap();
+        let scratch_ir = MinimumRepair { options: opts }
+            .eval(idx.constraints(), &idx.db().clone())
+            .unwrap();
+        prop_assert_eq!(idx.i_mi(), scratch_mi);
+        prop_assert_eq!(idx.i_p(), scratch_p);
+        prop_assert_eq!(idx.i_r(&opts).unwrap(), scratch_ir);
+        prop_assert_eq!(idx.is_consistent(), engine::is_consistent(idx.db(), idx.constraints()));
+    }
+
+    /// Exact DC mining is sound (every mined DC holds) and complete for a
+    /// planted FD whenever the data actually witnesses it.
+    #[test]
+    fn mined_dcs_hold(rows in rows_strategy()) {
+        use inconsist::constraints::{mine_dcs, MinerConfig};
+        let (db, r, schema) = build_db(&rows);
+        let cfg = MinerConfig { max_dcs: 8, ..Default::default() };
+        for m in mine_dcs(&db, r, &cfg) {
+            let mut cs = ConstraintSet::new(Arc::clone(&schema));
+            cs.add_dc(m.dc.clone());
+            prop_assert!(
+                engine::is_consistent(&db, &cs),
+                "mined DC violated: {}", m.dc.display(&schema)
+            );
+            prop_assert_eq!(m.violations, 0);
+        }
+    }
+
+    /// The violation engine agrees with a naive quadratic oracle on FD
+    /// violations.
+    #[test]
+    fn engine_matches_naive_oracle(rows in rows_strategy(), fds in fds_strategy()) {
+        let (db, r, schema) = build_db(&rows);
+        let cs = build_fds(&schema, r, &fds);
+        let mi = engine::minimal_inconsistent_subsets(&db, &cs, None);
+        // Oracle: check all pairs against all FDs.
+        let facts: Vec<_> = db.scan(r).collect();
+        let mut expected = std::collections::BTreeSet::new();
+        for i in 0..facts.len() {
+            for j in (i + 1)..facts.len() {
+                for dc in cs.dcs() {
+                    if dc.forbidden(&[facts[i].values, facts[j].values])
+                        || dc.forbidden(&[facts[j].values, facts[i].values])
+                    {
+                        let mut pair = vec![facts[i].id, facts[j].id];
+                        pair.sort();
+                        expected.insert(pair);
+                        break;
+                    }
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<Vec<_>> =
+            mi.subsets.iter().map(|s| s.to_vec()).collect();
+        prop_assert_eq!(got, expected);
+    }
+}

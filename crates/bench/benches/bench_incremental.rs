@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inconsist::incremental::IncrementalIndex;
 use inconsist::measures::{InconsistencyMeasure, MeasureOptions, MinimalInconsistentSubsets};
-use inconsist::repair::RepairOp;
 use inconsist::relational::Database;
+use inconsist::repair::RepairOp;
 use inconsist_data::{generate, Dataset, DatasetId, RNoise};
 
 /// A pre-generated trace of valid cell-update operations: RNoise steps

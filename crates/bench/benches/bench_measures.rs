@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inconsist::measures::{
-    Drastic, InconsistencyMeasure, LinearMinimumRepair, MeasureOptions,
-    MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
+    Drastic, InconsistencyMeasure, LinearMinimumRepair, MeasureOptions, MinimalInconsistentSubsets,
+    MinimumRepair, ProblematicFacts,
 };
 use inconsist_data::{generate, CoNoise, Dataset, DatasetId};
 
@@ -16,6 +16,28 @@ fn noisy(id: DatasetId, n: usize, iters: usize) -> Dataset {
         noise.step(&mut ds.db, &ds.constraints);
     }
     ds
+}
+
+/// `I_MI` through the production code-keyed engine vs. the value-keyed
+/// reference, on the same noisy datasets — the measure-level view of the
+/// dictionary-encoding win (violation detection dominates every measure).
+fn bench_mi_value_vs_code(c: &mut Criterion) {
+    use inconsist::constraints::engine;
+    let mut group = c.benchmark_group("i_mi_value_vs_code");
+    group.sample_size(10);
+    for id in [DatasetId::Stock, DatasetId::Hospital, DatasetId::Tax] {
+        let ds = noisy(id, 1_000, 20);
+        group.bench_with_input(BenchmarkId::new("code_keyed", id.name()), &ds, |b, ds| {
+            b.iter(|| engine::minimal_inconsistent_subsets(&ds.db, &ds.constraints, None).count())
+        });
+        group.bench_with_input(BenchmarkId::new("value_keyed", id.name()), &ds, |b, ds| {
+            b.iter(|| {
+                engine::value_keyed::minimal_inconsistent_subsets(&ds.db, &ds.constraints, None)
+                    .count()
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_measures(c: &mut Criterion) {
@@ -32,15 +54,13 @@ fn bench_measures(c: &mut Criterion) {
     for id in [DatasetId::Stock, DatasetId::Hospital, DatasetId::Tax] {
         let ds = noisy(id, 1_000, 20);
         for m in &measures {
-            group.bench_with_input(
-                BenchmarkId::new(m.name(), id.name()),
-                &ds,
-                |b, ds| b.iter(|| m.eval(&ds.constraints, &ds.db)),
-            );
+            group.bench_with_input(BenchmarkId::new(m.name(), id.name()), &ds, |b, ds| {
+                b.iter(|| m.eval(&ds.constraints, &ds.db))
+            });
         }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_measures);
+criterion_group!(benches, bench_measures, bench_mi_value_vs_code);
 criterion_main!(benches);

@@ -24,11 +24,9 @@ fn bench_mine(c: &mut Criterion) {
             mined.iter().any(|m| m.dc.arity() == 1),
             "unary order DCs expected at max_pairs={max_pairs}"
         );
-        group.bench_with_input(
-            BenchmarkId::new("stock600", max_pairs),
-            &cfg,
-            |b, cfg| b.iter(|| mine_dcs(&ds.db, RelId(0), cfg)),
-        );
+        group.bench_with_input(BenchmarkId::new("stock600", max_pairs), &cfg, |b, cfg| {
+            b.iter(|| mine_dcs(&ds.db, RelId(0), cfg))
+        });
     }
     group.finish();
 }

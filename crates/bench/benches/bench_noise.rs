@@ -8,18 +8,22 @@ fn bench_noise(c: &mut Criterion) {
     let mut group = c.benchmark_group("noise");
     group.sample_size(10);
     for id in [DatasetId::Hospital, DatasetId::Tax] {
-        group.bench_with_input(BenchmarkId::new("conoise_step", id.name()), &id, |b, &id| {
-            let ds = generate(id, 2_000, 1);
-            b.iter_batched(
-                || (ds.db.clone(), CoNoise::new(9)),
-                |(mut db, mut noise)| {
-                    for _ in 0..10 {
-                        noise.step(&mut db, &ds.constraints);
-                    }
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conoise_step", id.name()),
+            &id,
+            |b, &id| {
+                let ds = generate(id, 2_000, 1);
+                b.iter_batched(
+                    || (ds.db.clone(), CoNoise::new(9)),
+                    |(mut db, mut noise)| {
+                        for _ in 0..10 {
+                            noise.step(&mut db, &ds.constraints);
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
         group.bench_with_input(BenchmarkId::new("rnoise_step", id.name()), &id, |b, &id| {
             let ds = generate(id, 2_000, 1);
             b.iter_batched(

@@ -31,9 +31,7 @@ fn bench_parallel(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(id.name(), threads),
                 &threads,
-                |b, &threads| {
-                    b.iter(|| minimal_inconsistent_subsets_par(&db, &cs, None, threads))
-                },
+                |b, &threads| b.iter(|| minimal_inconsistent_subsets_par(&db, &cs, None, threads)),
             );
         }
     }

@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use inconsist::constraints::engine;
-use inconsist::graph::{
-    count_maximal_consistent_subsets, count_mis_if_cograph, ConflictGraph,
-};
+use inconsist::graph::{count_maximal_consistent_subsets, count_mis_if_cograph, ConflictGraph};
 use inconsist::solver::{
     covering_lp, fractional_vertex_cover, greedy_vertex_cover, min_weight_hitting_set,
     min_weight_vertex_cover,
@@ -108,7 +106,9 @@ fn bench_fd_fastpath(c: &mut Criterion) {
             noise.step(&mut ds.db, &cs);
         }
         // Sanity: identical optima.
-        let fast = fast_min_repair(&cs, &ds.db).expect("single FD is tractable").0;
+        let fast = fast_min_repair(&cs, &ds.db)
+            .expect("single FD is tractable")
+            .0;
         let mi = engine::minimal_inconsistent_subsets(&ds.db, &cs, None);
         let g = ConflictGraph::from_subsets(&ds.db, &mi.subsets);
         let generic = min_weight_vertex_cover(&g, 1 << 30).expect("budget").weight;

@@ -21,7 +21,9 @@ fn main() {
     let sample_target = (10_000.0 * args.scale) as usize;
     for typo_prob in [0.2, 0.8] {
         for id in DatasetId::all() {
-            let n = args.tuples.unwrap_or(sample_target.min(id.paper_tuples()).max(50));
+            let n = args
+                .tuples
+                .unwrap_or(sample_target.min(id.paper_tuples()).max(50));
             let mut ds = generate(id, n, args.seed);
             let trace = rnoise_trace(&mut ds, &suite, 0.01, 1.0, typo_prob, 10, args.seed);
             print_trace(

@@ -17,11 +17,16 @@ fn main() {
     let opts = MeasureOptions::default();
     let sample_target = (10_000.0 * args.scale) as usize;
     for id in DatasetId::all() {
-        let n = args.tuples.unwrap_or(sample_target.min(id.paper_tuples()).max(100));
+        let n = args
+            .tuples
+            .unwrap_or(sample_target.min(id.paper_tuples()).max(100));
         let mut ds = generate(id, n, args.seed);
         let mut noise = RNoise::new(args.seed, 0.0);
         let iterations = RNoise::iterations_for(0.01, &ds.db);
-        println!("\nFig 11: {} ({n} tuples, {iterations} RNoise iterations)", id.name());
+        println!(
+            "\nFig 11: {} ({n} tuples, {iterations} RNoise iterations)",
+            id.name()
+        );
         println!(
             "{:<8}{:>10}{:>10}{:>10}{:>10}{:>10}",
             "iter", "I_d", "I_R", "I_MI", "I_P", "I_R^lin"

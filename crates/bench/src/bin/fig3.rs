@@ -32,7 +32,10 @@ fn main() {
         );
         rows.push((id, ds));
     }
-    println!("(*generated size at --scale {}; --full for paper sizes)", args.scale);
+    println!(
+        "(*generated size at --scale {}; --full for paper sizes)",
+        args.scale
+    );
 
     println!("\nFigure 3 (right): attribute overlap of the DCs (min / avg / max");
     println!("fraction of other DCs sharing an attribute)");
@@ -50,8 +53,12 @@ fn main() {
             format!("{max}"),
         ]);
     }
-    if let Ok(path) = write_csv(&args.out, "fig3_overlap", &["dataset", "min", "avg", "max"], &csv)
-    {
+    if let Ok(path) = write_csv(
+        &args.out,
+        "fig3_overlap",
+        &["dataset", "min", "avg", "max"],
+        &csv,
+    ) {
         println!("\nwrote {}", path.display());
     }
 }

@@ -29,7 +29,9 @@ fn main() {
     let sample_target = (10_000.0 * args.scale) as usize;
 
     for id in DatasetId::all() {
-        let n = args.tuples.unwrap_or(sample_target.min(id.paper_tuples()).max(50));
+        let n = args
+            .tuples
+            .unwrap_or(sample_target.min(id.paper_tuples()).max(50));
         let mut ds = generate(id, n, args.seed);
         let trace = match variant.as_str() {
             "a" => conoise_trace(&mut ds, &suite, 200, 1, args.seed),
@@ -42,7 +44,11 @@ fn main() {
         let title = format!(
             "Fig 4{variant}: {} ({n} tuples, {})",
             id.name(),
-            if variant == "a" { "CONoise ×200" } else { "RNoise α=0.01 β=0" }
+            if variant == "a" {
+                "CONoise ×200"
+            } else {
+                "RNoise α=0.01 β=0"
+            }
         );
         print_trace(&title, &trace, args.raw);
         let _ = write_trace_csv(&args.out, &format!("fig4{variant}_{}", id.name()), &trace);

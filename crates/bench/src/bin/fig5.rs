@@ -7,9 +7,7 @@
 //! cargo run --release -p inconsist-bench --bin fig5
 //! ```
 
-use inconsist::measures::{
-    InconsistencyMeasure, MaximalConsistentSubsets, MeasureOptions,
-};
+use inconsist::measures::{InconsistencyMeasure, MaximalConsistentSubsets, MeasureOptions};
 use inconsist_bench::{fmt_result, write_csv, HarnessArgs};
 use inconsist_data::{generate, CoNoise, DatasetId, RNoise};
 
@@ -34,9 +32,12 @@ fn main() {
             .into_iter()
             .map(|id| generate(id, n, args.seed))
             .collect();
-        let mut co: Vec<CoNoise> = (0..dss.len()).map(|i| CoNoise::new(args.seed + i as u64)).collect();
-        let mut rn: Vec<RNoise> =
-            (0..dss.len()).map(|i| RNoise::new(args.seed + i as u64, 0.0)).collect();
+        let mut co: Vec<CoNoise> = (0..dss.len())
+            .map(|i| CoNoise::new(args.seed + i as u64))
+            .collect();
+        let mut rn: Vec<RNoise> = (0..dss.len())
+            .map(|i| RNoise::new(args.seed + i as u64, 0.0))
+            .collect();
         let mut rows: Vec<Vec<String>> = Vec::new();
         for iter in 0..=100usize {
             if iter > 0 {
@@ -63,7 +64,12 @@ fn main() {
         let mut header = vec!["iteration"];
         let names: Vec<&str> = DatasetId::all().iter().map(|d| d.name()).collect();
         header.extend(names);
-        let _ = write_csv(&args.out, &format!("fig5_{}", mode.to_lowercase()), &header, &rows);
+        let _ = write_csv(
+            &args.out,
+            &format!("fig5_{}", mode.to_lowercase()),
+            &header,
+            &rows,
+        );
     }
     println!("\nExpected shape (paper): I_MC is the least stable measure —");
     println!("step-function behaviour on Stock, jitter on Airport, and");

@@ -86,7 +86,10 @@ fn scalability(args: &HarnessArgs) {
 /// Variant b: times vs. error rate on Voter (RNoise α = 0.01).
 fn error_rate(args: &HarnessArgs) {
     let opts = MeasureOptions::default();
-    let n = args.tuples.unwrap_or((10_000.0 * args.scale) as usize).max(200);
+    let n = args
+        .tuples
+        .unwrap_or((10_000.0 * args.scale) as usize)
+        .max(200);
     let mut ds = generate(DatasetId::Voter, n, args.seed);
     let mut noise = RNoise::new(args.seed, 0.0);
     let iterations = RNoise::iterations_for(0.01, &ds.db);

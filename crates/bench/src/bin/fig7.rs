@@ -19,7 +19,10 @@ use inconsist_data::{generate, DatasetId, RNoise};
 
 fn main() {
     let args = HarnessArgs::parse(0.01);
-    let n = args.tuples.unwrap_or((115_000.0 * args.scale) as usize).max(150);
+    let n = args
+        .tuples
+        .unwrap_or((115_000.0 * args.scale) as usize)
+        .max(150);
     let mut ds = generate(DatasetId::Hospital, n, args.seed);
 
     // Dirty it: RNoise typos over 2% of cells.
@@ -40,15 +43,17 @@ fn main() {
     println!("{:-<70}", "");
 
     let mut checkpoints: Vec<usize> = Vec::new();
-    let mut series: std::collections::BTreeMap<&'static str, Vec<inconsist::measures::MeasureResult>> =
-        Default::default();
+    let mut series: std::collections::BTreeMap<
+        &'static str,
+        Vec<inconsist::measures::MeasureResult>,
+    > = Default::default();
     let record = |k: usize,
-                      ds: &inconsist_data::Dataset,
-                      series: &mut std::collections::BTreeMap<
+                  ds: &inconsist_data::Dataset,
+                  series: &mut std::collections::BTreeMap<
         &'static str,
         Vec<inconsist::measures::MeasureResult>,
     >,
-                      checkpoints: &mut Vec<usize>| {
+                  checkpoints: &mut Vec<usize>| {
         let report = suite.eval_all(&ds.constraints, &ds.db);
         checkpoints.push(k);
         for (name, v) in report.entries() {

@@ -25,12 +25,20 @@ fn main() {
     for id in DatasetId::all() {
         let mut ds = generate(id, n, args.seed);
         let trace = conoise_trace(&mut ds, &suite, 100, 10, args.seed);
-        print_trace(&format!("Fig 8 CONoise: {} ({n} tuples)", id.name()), &trace, args.raw);
+        print_trace(
+            &format!("Fig 8 CONoise: {} ({n} tuples)", id.name()),
+            &trace,
+            args.raw,
+        );
         let _ = write_trace_csv(&args.out, &format!("fig8_co_{}", id.name()), &trace);
 
         let mut ds = generate(id, n, args.seed);
         let trace = rnoise_trace(&mut ds, &suite, 0.01, 0.0, 0.5, 2, args.seed);
-        print_trace(&format!("Fig 8 RNoise: {} ({n} tuples)", id.name()), &trace, args.raw);
+        print_trace(
+            &format!("Fig 8 RNoise: {} ({n} tuples)", id.name()),
+            &trace,
+            args.raw,
+        );
         let _ = write_trace_csv(&args.out, &format!("fig8_rn_{}", id.name()), &trace);
     }
     println!("\nExpected shape: jittery versions of Fig. 4's trends; I_MC is");

@@ -22,7 +22,9 @@ fn main() {
     let sample_target = (10_000.0 * args.scale) as usize;
     for beta in [1.0, 2.0] {
         for id in DatasetId::all() {
-            let n = args.tuples.unwrap_or(sample_target.min(id.paper_tuples()).max(50));
+            let n = args
+                .tuples
+                .unwrap_or(sample_target.min(id.paper_tuples()).max(50));
             let mut ds = generate(id, n, args.seed);
             let trace = rnoise_trace(&mut ds, &suite, 0.01, beta, 0.5, 10, args.seed);
             print_trace(

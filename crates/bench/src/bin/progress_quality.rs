@@ -60,7 +60,9 @@ fn main() {
             if name.contains("MC") {
                 continue;
             }
-            let Some(q) = trace_quality(trace) else { continue };
+            let Some(q) = trace_quality(trace) else {
+                continue;
+            };
             let corr = waiting_time_correlation(trace, &remaining)
                 .map(|c| format!("{c:>10.2}"))
                 .unwrap_or_else(|| format!("{:>10}", "--"));

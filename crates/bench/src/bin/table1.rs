@@ -5,8 +5,8 @@
 //! ```
 
 use inconsist::measures::{
-    Drastic, InconsistencyMeasure, LinearMinimumRepair, MaximalConsistentSubsets,
-    MeasureOptions, MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
+    Drastic, InconsistencyMeasure, LinearMinimumRepair, MaximalConsistentSubsets, MeasureOptions,
+    MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
 };
 use inconsist::paper;
 use inconsist::update_repair::{min_update_repair, UpdateRepairOptions};
@@ -32,7 +32,12 @@ fn main() {
     for m in &measures {
         let v1 = m.eval(&cs1, &d1);
         let v2 = m.eval(&cs2, &d2);
-        println!("{:<18}{:>12}{:>12}", m.name(), fmt_result(&v1), fmt_result(&v2));
+        println!(
+            "{:<18}{:>12}{:>12}",
+            m.name(),
+            fmt_result(&v1),
+            fmt_result(&v2)
+        );
         if m.name() == "I_R" {
             // The update-repair row, in both semantics (see EXPERIMENTS.md:
             // the paper's 4/3 assumes active-domain updates; the formal

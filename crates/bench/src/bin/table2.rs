@@ -10,13 +10,13 @@
 //! cargo run --release -p inconsist-bench --bin table2
 //! ```
 
+use inconsist::constraints::{dc::build, CmpOp, ConstraintSet};
 use inconsist::measures::*;
 use inconsist::paper;
 use inconsist::properties::*;
-use inconsist::repair::SubsetRepairs;
-use inconsist::relational::{relation, Database, Fact, Schema, Value, ValueKind};
-use inconsist::constraints::{dc::build, CmpOp, ConstraintSet};
 use inconsist::relational::AttrId;
+use inconsist::relational::{relation, Database, Fact, Schema, Value, ValueKind};
+use inconsist::repair::SubsetRepairs;
 use std::sync::Arc;
 
 fn tick(b: bool) -> &'static str {
@@ -68,8 +68,13 @@ fn main() {
     db.insert(Fact::new(r, [Value::str("b")])).unwrap();
     let mut cs = ConstraintSet::new(Arc::clone(&s));
     cs.add_dc(
-        build::unary("¬R(a)", r, vec![build::uc(AttrId(0), CmpOp::Eq, Value::str("a"))], &s)
-            .unwrap(),
+        build::unary(
+            "¬R(a)",
+            r,
+            vec![build::uc(AttrId(0), CmpOp::Eq, Value::str("a"))],
+            &s,
+        )
+        .unwrap(),
     );
     let imc = MaximalConsistentSubsets { options: opts };
     println!(
@@ -97,7 +102,10 @@ fn main() {
 
     // --- Continuity: the Prop. 4 family makes the I_MI/I_P ratio grow.
     println!("\nProp. 4 continuity ratios (Δ best op on D1 vs D2 = D1 − f0):");
-    println!("{:<6}{:>10}{:>10}{:>10}{:>10}", "n", "I_MI", "I_P", "I_R", "I_R^lin");
+    println!(
+        "{:<6}{:>10}{:>10}{:>10}{:>10}",
+        "n", "I_MI", "I_P", "I_R", "I_R^lin"
+    );
     for n in [3usize, 6, 12, 24] {
         let (db, cs, f0) = paper::prop4_instance(n);
         let mut d2 = db.clone();
@@ -175,7 +183,11 @@ fn random_fd_family(seed: u64, count: usize) -> Vec<(ConstraintSet, Database)> {
         .add_relation(
             relation(
                 "R",
-                &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+                &[
+                    ("A", ValueKind::Int),
+                    ("B", ValueKind::Int),
+                    ("C", ValueKind::Int),
+                ],
             )
             .unwrap(),
         )

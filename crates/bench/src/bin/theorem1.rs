@@ -11,9 +11,7 @@
 //! cargo run --release -p inconsist-bench --bin theorem1
 //! ```
 
-use inconsist::complexity::{
-    brute_force_max_cut, classify, ir_single_egd, maxcut_reduction,
-};
+use inconsist::complexity::{brute_force_max_cut, classify, ir_single_egd, maxcut_reduction};
 use inconsist::constraints::egd::example8;
 use inconsist::constraints::ConstraintSet;
 use inconsist::measures::{InconsistencyMeasure, MeasureOptions, MinimumRepair};
@@ -58,7 +56,10 @@ fn main() {
                 let rel = if rng.gen_bool(0.5) { r } else { t };
                 db.insert(Fact::new(
                     rel,
-                    [Value::int(rng.gen_range(0..5)), Value::int(rng.gen_range(0..5))],
+                    [
+                        Value::int(rng.gen_range(0..5)),
+                        Value::int(rng.gen_range(0..5)),
+                    ],
                 ))
                 .unwrap();
             }
@@ -77,7 +78,10 @@ fn main() {
 
     // MaxCut reduction.
     println!("\nLemma 1 MaxCut reduction: I_R = (m+1)·n + 2(m−k★) + k★");
-    println!("{:<18}{:>6}{:>6}{:>8}{:>12}{:>12}", "graph", "n", "m", "maxcut", "I_R", "predicted");
+    println!(
+        "{:<18}{:>6}{:>6}{:>8}{:>12}{:>12}",
+        "graph", "n", "m", "maxcut", "I_R", "predicted"
+    );
     for trial in 0..5 {
         let n = 3 + trial % 3;
         let mut edges = Vec::new();

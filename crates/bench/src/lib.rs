@@ -172,7 +172,10 @@ pub fn rnoise_trace(
 /// Prints a trace as the paper's normalized series (or raw with
 /// `raw = true`). Timeouts/truncations render as `--`.
 pub fn print_trace(title: &str, trace: &Trace, raw: bool) {
-    println!("\n== {title} (final violation ratio {:.4}) ==", trace.final_violation_ratio);
+    println!(
+        "\n== {title} (final violation ratio {:.4}) ==",
+        trace.final_violation_ratio
+    );
     let names = trace.names();
     print!("{:>8}", "iter");
     for n in &names {

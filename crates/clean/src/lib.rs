@@ -17,8 +17,8 @@ pub mod softclean;
 
 pub use softclean::{SoftClean, SoftCleanReport};
 
-use inconsist::measures::MeasureOptions;
 use inconsist::measures::minimum_repair_deletions;
+use inconsist::measures::MeasureOptions;
 use inconsist_constraints::{engine, ConstraintSet};
 use inconsist_relational::{Database, TupleId};
 use rand::rngs::StdRng;

@@ -35,7 +35,9 @@ pub struct SoftClean {
     pub violation_weight: f64,
     /// Number of detection/repair rounds.
     pub passes: usize,
-    /// Cap on materialized violations per detection pass.
+    /// Cap on materialized violations *per constraint* in each detection
+    /// pass (detection must cover every DC, so the budget is not shared —
+    /// see `engine::violations_of_dc`).
     pub violation_limit: Option<usize>,
 }
 
@@ -94,11 +96,13 @@ impl SoftClean {
     /// violating tuples, limited to attributes of the violated DC.
     fn detect(&self, db: &Database, cs: &ConstraintSet) -> Vec<(TupleId, AttrId)> {
         let mut cells: BTreeSet<(TupleId, AttrId)> = BTreeSet::new();
-        let per_dc = engine::violations_per_dc(db, cs, self.violation_limit);
-        for dcv in &per_dc {
-            let dc = &cs.dcs()[dcv.dc];
+        // Per-constraint budgets: one quadratic-blowup DC must not starve
+        // detection for the others (the global-budget `violations_per_dc`
+        // would return empty entries for every DC after exhaustion).
+        for dc in cs.dcs() {
+            let (sets, _complete) = engine::violations_of_dc(db, dc, self.violation_limit);
             let attrs: Vec<(RelId, AttrId)> = dc.attributes();
-            for set in &dcv.sets {
+            for set in &sets {
                 for &t in set.iter() {
                     let Some(f) = db.fact(t) else { continue };
                     for &(rel, attr) in &attrs {
@@ -121,7 +125,9 @@ impl SoftClean {
         tuple: TupleId,
         attr: AttrId,
     ) -> bool {
-        let Some(fact) = db.fact(tuple) else { return false };
+        let Some(fact) = db.fact(tuple) else {
+            return false;
+        };
         let rel = fact.rel;
         let current = fact.value(attr).clone();
         let dom = ActiveDomain::of(db, rel, attr);
@@ -166,7 +172,9 @@ impl SoftClean {
                 .expect("same type")
                 .expect("exists");
             let viol = engine::violations_involving(db, cs, tuple).len() as f64;
-            db.update(tuple, attr, old).expect("restore").expect("exists");
+            db.update(tuple, attr, old)
+                .expect("restore")
+                .expect("exists");
             score -= self.violation_weight * viol;
 
             if best.as_ref().is_none_or(|(s, _)| score > *s) {
@@ -175,7 +183,9 @@ impl SoftClean {
         }
         match best {
             Some((_, v)) if v != current => {
-                db.update(tuple, attr, v).expect("same type").expect("exists");
+                db.update(tuple, attr, v)
+                    .expect("same type")
+                    .expect("exists");
                 true
             }
             _ => false,
@@ -247,7 +257,10 @@ mod tests {
             cleaner.clean(&mut ds.db, &prefix);
         }
         let end = ir.eval(&ds.constraints, &ds.db).unwrap();
-        assert!(end < start, "pipeline must reduce inconsistency: {start} → {end}");
+        assert!(
+            end < start,
+            "pipeline must reduce inconsistency: {start} → {end}"
+        );
     }
 
     #[test]
@@ -263,10 +276,7 @@ mod tests {
         let other = ds
             .db
             .scan(rel)
-            .find(|f| {
-                f.id != victim
-                    && f.value(city) != ds.db.fact(victim).unwrap().value(city)
-            })
+            .find(|f| f.id != victim && f.value(city) != ds.db.fact(victim).unwrap().value(city))
             .map(|f| f.value(zip).clone());
         if let Some(z) = other {
             ds.db.update(victim, zip, z).unwrap();

@@ -89,7 +89,13 @@ mod tests {
     #[test]
     fn positional_options_switches() {
         let cli = parse(&[
-            "measure", "data.csv", "rules.dc", "--threads", "4", "--epsilon=0.01", "--all",
+            "measure",
+            "data.csv",
+            "rules.dc",
+            "--threads",
+            "4",
+            "--epsilon=0.01",
+            "--all",
         ]);
         assert_eq!(cli.command, "measure");
         assert_eq!(cli.positional, vec!["data.csv", "rules.dc"]);

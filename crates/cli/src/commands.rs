@@ -135,7 +135,11 @@ fn cmd_mine(cli: &Cli) -> Result<String, String> {
     let dcs: Vec<_> = mined.iter().map(|m| m.dc.clone()).collect();
     let file = write_dc_file(&dcs, &loaded.schema, cli.positional(0, "data.csv")?);
     let mut out = String::new();
-    let _ = writeln!(out, "{:<58}{:>8}{:>14}", "constraint", "score", "violations");
+    let _ = writeln!(
+        out,
+        "{:<58}{:>8}{:>14}",
+        "constraint", "score", "violations"
+    );
     for m in &mined {
         let _ = writeln!(
             out,
@@ -162,8 +166,7 @@ fn cmd_repair(cli: &Cli) -> Result<String, String> {
     let (loaded, name) = load_data(cli)?;
     let cs = load_constraints(cli, &loaded, &name)?;
     let opts = MeasureOptions::default();
-    let deletions =
-        minimum_repair_deletions(&cs, &loaded.db, &opts).map_err(|e| e.to_string())?;
+    let deletions = minimum_repair_deletions(&cs, &loaded.db, &opts).map_err(|e| e.to_string())?;
     let cost: f64 = deletions.iter().map(|&t| loaded.db.cost_of(t)).sum();
     let mut repaired = loaded.db.clone();
     for &t in &deletions {
@@ -233,8 +236,7 @@ fn cmd_progress(cli: &Cli) -> Result<String, String> {
     let (loaded, name) = load_data(cli)?;
     let cs = load_constraints(cli, &loaded, &name)?;
     let max_steps: usize = cli.opt("steps", 1_000)?;
-    let mut idx =
-        IncrementalIndex::build(loaded.db, cs).map_err(|e| e.to_string())?;
+    let mut idx = IncrementalIndex::build(loaded.db, cs).map_err(|e| e.to_string())?;
     let mut out = format!(
         "{:>5} {:>10} {:>8} {:>8} {:>10}\n",
         "step", "deleted", "I_MI", "I_P", "I_R^lin"
@@ -245,7 +247,10 @@ fn cmd_progress(cli: &Cli) -> Result<String, String> {
         let deleted = if step == 0 {
             "-".to_string()
         } else {
-            format!("#{}", idx.hottest_tuples(1).first().map(|h| h.0 .0).unwrap_or(0))
+            format!(
+                "#{}",
+                idx.hottest_tuples(1).first().map(|h| h.0 .0).unwrap_or(0)
+            )
         };
         if step > 0 {
             let Some(&(hot, _)) = idx.hottest_tuples(1).first() else {
@@ -272,7 +277,10 @@ fn cmd_progress(cli: &Cli) -> Result<String, String> {
             return Ok(out);
         }
     }
-    let _ = writeln!(out, "\nstopped after {max_steps} steps (still inconsistent)");
+    let _ = writeln!(
+        out,
+        "\nstopped after {max_steps} steps (still inconsistent)"
+    );
     Ok(out)
 }
 
@@ -312,7 +320,9 @@ mod tests {
         assert!(out.contains("I_R^lin"), "{out}");
         assert!(out.contains("I_MIC"), "{out}");
         // One violating pair {Paris/FR, Paris/DE}: I_MI = 1, I_R = 1.
-        assert!(out.lines().any(|l| l.starts_with("I_MI") && l.trim_end().ends_with('1')));
+        assert!(out
+            .lines()
+            .any(|l| l.starts_with("I_MI") && l.trim_end().ends_with('1')));
     }
 
     #[test]
@@ -341,7 +351,9 @@ mod tests {
         assert!(out.contains("minimum deletion repair: 1 of 4"), "{out}");
         let measured = run(&cli(&["measure", &cleaned, &rules])).unwrap();
         assert!(measured.contains("3 tuples"), "{measured}");
-        assert!(measured.lines().any(|l| l.starts_with("I_d") && l.trim_end().ends_with('0')));
+        assert!(measured
+            .lines()
+            .any(|l| l.starts_with("I_d") && l.trim_end().ends_with('0')));
     }
 
     #[test]
@@ -359,7 +371,9 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("raw violations 0 →"), "{out}");
-        assert!(std::fs::read_to_string(&noisy).unwrap().starts_with("A,B\n"));
+        assert!(std::fs::read_to_string(&noisy)
+            .unwrap()
+            .starts_with("A,B\n"));
         // rnoise path too.
         let out2 = run(&cli(&[
             "noise", &data, &rules, "--out", &noisy, "--model", "rnoise", "--alpha", "0.05",
@@ -387,7 +401,12 @@ mod tests {
 
     #[test]
     fn missing_files_are_reported() {
-        let err = run(&cli(&["measure", "/nonexistent/x.csv", "/nonexistent/y.dc"])).unwrap_err();
+        let err = run(&cli(&[
+            "measure",
+            "/nonexistent/x.csv",
+            "/nonexistent/y.dc",
+        ]))
+        .unwrap_err();
         assert!(err.contains("x.csv"), "{err}");
     }
 }

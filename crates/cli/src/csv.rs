@@ -6,9 +6,7 @@
 //! inference of the three column kinds the relational substrate supports
 //! (`Int`, `Float`, `Str`; empty fields become nulls).
 
-use inconsist::relational::{
-    relation, Database, Fact, RelId, Schema, Value, ValueKind,
-};
+use inconsist::relational::{relation, Database, Fact, RelId, Schema, Value, ValueKind};
 use std::sync::Arc;
 
 /// Parses CSV text into rows of string fields.
@@ -174,7 +172,8 @@ pub fn load_csv(text: &str, rel_name: &str) -> Result<LoadedCsv, String> {
             .zip(&kinds)
             .map(|(raw, &k)| to_value(raw, k))
             .collect();
-        db.insert(Fact::new(rel, values)).map_err(|e| e.to_string())?;
+        db.insert(Fact::new(rel, values))
+            .map_err(|e| e.to_string())?;
     }
     Ok(LoadedCsv { schema, rel, db })
 }
@@ -261,7 +260,12 @@ mod tests {
         let kinds: Vec<ValueKind> = rs.attributes().iter().map(|a| a.kind).collect();
         assert_eq!(
             kinds,
-            vec![ValueKind::Int, ValueKind::Float, ValueKind::Str, ValueKind::Str]
+            vec![
+                ValueKind::Int,
+                ValueKind::Float,
+                ValueKind::Str,
+                ValueKind::Str
+            ]
         );
         let first = loaded.db.iter().next().unwrap();
         assert_eq!(first.values[0], Value::Int(1));

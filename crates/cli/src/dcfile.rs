@@ -157,10 +157,17 @@ mod tests {
             cols.push(format!("C{i}"));
         }
         let header = cols.join(",");
-        let row = (0..=10).map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+        let row = (0..=10)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         let loaded = load_csv(&format!("{header}\n{row}\n"), "wide").unwrap();
-        let dcs =
-            parse_dc_file(&loaded.schema, "wide", "x: t.C10 = t'.C10 & t.C0 != t'.C0\n").unwrap();
+        let dcs = parse_dc_file(
+            &loaded.schema,
+            "wide",
+            "x: t.C10 = t'.C10 & t.C0 != t'.C0\n",
+        )
+        .unwrap();
         let ascii = dc_to_ascii(&dcs[0], &loaded.schema);
         assert!(ascii.contains("t.C10 = t'.C10"), "{ascii}");
         assert!(ascii.contains("t.C0 != t'.C0"), "{ascii}");

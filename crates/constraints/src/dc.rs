@@ -101,9 +101,11 @@ impl DenialConstraint {
         if !self.is_binary_same_relation() {
             return false;
         }
-        self.predicates
-            .iter()
-            .all(|p| self.predicates.iter().any(|q| *q == p.swap_binary_vars() || *q == flip_pred(&p.swap_binary_vars())))
+        self.predicates.iter().all(|p| {
+            self.predicates
+                .iter()
+                .any(|q| *q == p.swap_binary_vars() || *q == flip_pred(&p.swap_binary_vars()))
+        })
     }
 
     /// Distinct attributes (per relation) mentioned by the constraint —
@@ -267,7 +269,12 @@ mod tests {
         let bad_attr = DenialConstraint::new(
             "y",
             vec![Atom { rel: r }],
-            vec![Predicate::attr_const(0, AttrId(9), CmpOp::Eq, Value::int(0))],
+            vec![Predicate::attr_const(
+                0,
+                AttrId(9),
+                CmpOp::Eq,
+                Value::int(0),
+            )],
             &s,
         );
         assert!(bad_attr.is_err());
@@ -281,7 +288,10 @@ mod tests {
         let dc = binary(
             "fd",
             r,
-            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            vec![
+                tt(AttrId(0), CmpOp::Eq, AttrId(0)),
+                tt(AttrId(1), CmpOp::Neq, AttrId(1)),
+            ],
             &s,
         )
         .unwrap();
@@ -299,7 +309,10 @@ mod tests {
         let fd = binary(
             "fd",
             r,
-            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            vec![
+                tt(AttrId(0), CmpOp::Eq, AttrId(0)),
+                tt(AttrId(1), CmpOp::Neq, AttrId(1)),
+            ],
             &s,
         )
         .unwrap();
@@ -317,7 +330,10 @@ mod tests {
         let d1 = binary(
             "d1",
             r,
-            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            vec![
+                tt(AttrId(0), CmpOp::Eq, AttrId(0)),
+                tt(AttrId(1), CmpOp::Neq, AttrId(1)),
+            ],
             &s,
         )
         .unwrap();
@@ -335,7 +351,10 @@ mod tests {
         let dc = binary(
             "fd",
             r,
-            vec![tt(AttrId(0), CmpOp::Eq, AttrId(0)), tt(AttrId(1), CmpOp::Neq, AttrId(1))],
+            vec![
+                tt(AttrId(0), CmpOp::Eq, AttrId(0)),
+                tt(AttrId(1), CmpOp::Neq, AttrId(1)),
+            ],
             &s,
         )
         .unwrap();

@@ -152,11 +152,7 @@ impl fmt::Display for Egd {
             }
             write!(f, ")")?;
         }
-        write!(
-            f,
-            " ⇒ (x{} = x{})]",
-            self.conclusion.0, self.conclusion.1
-        )
+        write!(f, " ⇒ (x{} = x{})]", self.conclusion.0, self.conclusion.1)
     }
 }
 
@@ -170,8 +166,14 @@ pub mod example8 {
         Egd::new(
             "σ1",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![0, 2] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 2],
+                },
             ],
             (1, 2),
             schema,
@@ -184,8 +186,14 @@ pub mod example8 {
         Egd::new(
             "σ2",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![1, 2] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![1, 2],
+                },
             ],
             (0, 2),
             schema,
@@ -198,8 +206,14 @@ pub mod example8 {
         Egd::new(
             "σ3",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![1, 2] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![1, 2],
+                },
             ],
             (0, 1),
             schema,
@@ -212,8 +226,14 @@ pub mod example8 {
         Egd::new(
             "σ4",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: s_rel, vars: vec![1, 2] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: s_rel,
+                    vars: vec![1, 2],
+                },
             ],
             (0, 2),
             schema,
@@ -244,21 +264,30 @@ mod tests {
         let (s, r, _) = schema_rs();
         let too_many = Egd::new(
             "bad",
-            vec![EgdAtom { rel: r, vars: vec![0, 1, 2] }],
+            vec![EgdAtom {
+                rel: r,
+                vars: vec![0, 1, 2],
+            }],
             (0, 1),
             &s,
         );
         assert!(too_many.is_err());
         let gap = Egd::new(
             "gap",
-            vec![EgdAtom { rel: r, vars: vec![0, 2] }],
+            vec![EgdAtom {
+                rel: r,
+                vars: vec![0, 2],
+            }],
             (0, 2),
             &s,
         );
         assert!(gap.is_err());
         let bad_conc = Egd::new(
             "conc",
-            vec![EgdAtom { rel: r, vars: vec![0, 1] }],
+            vec![EgdAtom {
+                rel: r,
+                vars: vec![0, 1],
+            }],
             (0, 5),
             &s,
         );
@@ -328,8 +357,14 @@ mod tests {
         let egd = Egd::new(
             "loop",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 0] },
-                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 0],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
             ],
             (0, 1),
             &s,

@@ -14,16 +14,46 @@
 //! * [`violations_involving`] — violations touching one tuple, used by
 //!   cleaners and by incremental measure updates.
 //!
-//! Execution plans: unary DCs scan; binary DCs hash-join on their equality
-//! predicates (symmetric DCs enumerate each unordered pair once); DCs of
-//! arity ≥ 3 run a backtracking index join.
+//! # Execution plans
+//!
+//! Unary DCs scan; binary DCs hash-join on their equality predicates
+//! (symmetric DCs enumerate each unordered pair once); DCs of arity ≥ 3
+//! run a backtracking index join.
+//!
+//! All joins run over the *dictionary-encoded* columns of the database
+//! (see `inconsist_relational::Dictionary`): equality keys are packed
+//! `u32` codes (code equality ⇔ value equality, so an FD join never hashes
+//! a string), and `<`/`>` cross predicates on a shared column compare
+//! order-preserving ranks instead of values. The historical value-keyed
+//! implementation is retained in [`value_keyed`] as the reference: debug
+//! builds cross-check full enumerations against it, and the benchmark
+//! suite compares the two.
+//!
+//! # Limits
+//!
+//! Every enumerating entry point takes `limit: Option<usize>` — a *global*
+//! budget on the raw falsifying bindings examined across the whole call
+//! (all constraints together), guarding against quadratic conflict
+//! blowups. This is the single definition of limit semantics;
+//! [`minimal_inconsistent_subsets`], [`violations_per_dc`] and the
+//! parallel enumerator in [`crate::parallel`] all implement it. Hitting
+//! the budget is reported through `complete = false` on the affected
+//! result (for [`violations_per_dc`], the constraint that exhausted the
+//! budget and every later constraint); the sets returned are then a
+//! prefix of the truth — still genuine violations, but minimality is only
+//! guaranteed relative to what was seen. Callers that need per-constraint
+//! coverage instead of a shared pool use [`violations_of_dc`] once per
+//! constraint.
 
+use crate::codekey::PackedKeyMap;
 use crate::dc::DenialConstraint;
 use crate::predicate::{CmpOp, Operand, Predicate};
 use crate::set::ConstraintSet;
-use inconsist_relational::{AttrId, Database, RelId, TupleId, Value};
+use crate::smallvec::{SmallIdVec, SmallVec};
+use inconsist_relational::{AttrId, Database, Dictionary, FactRef, RelId, TupleId, Value};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
 /// A violation: the distinct tuples of one falsifying binding, sorted.
 pub type ViolationSet = Box<[TupleId]>;
@@ -49,7 +79,10 @@ impl MiResult {
 
     /// `∪ MI_Σ(D)` — the problematic tuples of the measure `I_P`.
     pub fn participants(&self) -> std::collections::BTreeSet<TupleId> {
-        self.subsets.iter().flat_map(|s| s.iter().copied()).collect()
+        self.subsets
+            .iter()
+            .flat_map(|s| s.iter().copied())
+            .collect()
     }
 
     /// Tuples that are inconsistent on their own (singleton subsets) — the
@@ -70,7 +103,9 @@ pub struct DcViolations {
     pub dc: usize,
     /// Minimal falsifying tuple sets for this constraint alone.
     pub sets: Vec<ViolationSet>,
-    /// Whether enumeration ran to completion.
+    /// Whether enumeration ran to completion (see the module-level
+    /// *Limits* section: the budget is global, so a constraint may be
+    /// incomplete because earlier constraints exhausted it).
     pub complete: bool,
 }
 
@@ -91,10 +126,20 @@ pub fn is_consistent(db: &Database, cs: &ConstraintSet) -> bool {
 }
 
 /// Enumerates `MI_Σ(D)`: all inclusion-minimal inconsistent subsets, deduped
-/// across constraints. `limit` caps the number of *raw* violations examined
-/// (a memory guard for quadratic conflict blowups); hitting it is reported
-/// through [`MiResult::complete`].
+/// across constraints. `limit` is the global raw-violation budget described
+/// in the module-level *Limits* section.
 pub fn minimal_inconsistent_subsets(
+    db: &Database,
+    cs: &ConstraintSet,
+    limit: Option<usize>,
+) -> MiResult {
+    let result = minimal_inconsistent_subsets_impl(db, cs, limit);
+    #[cfg(debug_assertions)]
+    debug_check_against_value_keyed(db, cs, &result, limit);
+    result
+}
+
+fn minimal_inconsistent_subsets_impl(
     db: &Database,
     cs: &ConstraintSet,
     limit: Option<usize>,
@@ -125,7 +170,9 @@ pub fn minimal_inconsistent_subsets(
 
 /// Per-constraint minimal violations `(F, σ)` (§5.3): like
 /// [`minimal_inconsistent_subsets`] but without cross-constraint dedup, so
-/// the same tuple set may appear under several constraints.
+/// the same tuple set may appear under several constraints. `limit` is the
+/// same *global* budget (module-level *Limits* section): one pool shared by
+/// all constraints, not a per-constraint allowance.
 pub fn violations_per_dc(
     db: &Database,
     cs: &ConstraintSet,
@@ -133,13 +180,24 @@ pub fn violations_per_dc(
 ) -> Vec<DcViolations> {
     let mut indexes = Indexes::default();
     let mut out = Vec::with_capacity(cs.len());
+    let mut budget = limit.unwrap_or(usize::MAX);
+    let mut truncated = false;
     for (i, dc) in cs.dcs().iter().enumerate() {
+        if truncated {
+            // The global budget is spent: later constraints get empty,
+            // incomplete entries without paying for their enumeration
+            // (that is the entire point of the budget).
+            out.push(DcViolations {
+                dc: i,
+                sets: Vec::new(),
+                complete: false,
+            });
+            continue;
+        }
         let mut seen: HashSet<ViolationSet> = HashSet::new();
-        let mut budget = limit.unwrap_or(usize::MAX);
-        let mut complete = true;
         for_each_violation(db, dc, &mut indexes, &mut |set: &[TupleId]| {
             if budget == 0 {
-                complete = false;
+                truncated = true;
                 return ControlFlow::Break(());
             }
             budget -= 1;
@@ -149,10 +207,39 @@ pub fn violations_per_dc(
         out.push(DcViolations {
             dc: i,
             sets: filter_minimal(seen),
-            complete,
+            complete: !truncated,
         });
     }
     out
+}
+
+/// Minimal violations of a *single* constraint under its own budget.
+///
+/// The escape hatch from the global-budget semantics of
+/// [`violations_per_dc`]: callers that need guaranteed coverage of every
+/// constraint (error detectors walking cells per DC) call this once per
+/// constraint, paying `limit` raw bindings *each* instead of sharing one
+/// pool. Returns the minimality-filtered sets and whether enumeration ran
+/// to completion.
+pub fn violations_of_dc(
+    db: &Database,
+    dc: &DenialConstraint,
+    limit: Option<usize>,
+) -> (Vec<ViolationSet>, bool) {
+    let mut indexes = Indexes::default();
+    let mut seen: HashSet<ViolationSet> = HashSet::new();
+    let mut budget = limit.unwrap_or(usize::MAX);
+    let mut complete = true;
+    for_each_violation(db, dc, &mut indexes, &mut |set: &[TupleId]| {
+        if budget == 0 {
+            complete = false;
+            return ControlFlow::Break(());
+        }
+        budget -= 1;
+        seen.insert(set.to_vec().into_boxed_slice());
+        ControlFlow::Continue(())
+    });
+    (filter_minimal(seen), complete)
 }
 
 /// All minimal violations that include tuple `tid` (deduped across
@@ -168,10 +255,17 @@ pub fn violations_involving(db: &Database, cs: &ConstraintSet, tid: TupleId) -> 
             if atom.rel != fact.rel {
                 continue;
             }
-            let _ = enumerate_fixed(db, dc, atom_idx, tid, &mut indexes, &mut |set: &[TupleId]| {
-                seen.insert(set.to_vec().into_boxed_slice());
-                ControlFlow::Continue(())
-            });
+            let _ = enumerate_fixed(
+                db,
+                dc,
+                atom_idx,
+                tid,
+                &mut indexes,
+                &mut |set: &[TupleId]| {
+                    seen.insert(set.to_vec().into_boxed_slice());
+                    ControlFlow::Continue(())
+                },
+            );
         }
     }
     filter_minimal(seen)
@@ -203,10 +297,17 @@ pub fn raw_violations_involving_per_dc(
             if symmetric_binary && atom_idx == 1 {
                 continue;
             }
-            let _ = enumerate_fixed(db, dc, atom_idx, tid, &mut indexes, &mut |set: &[TupleId]| {
-                seen.insert(set.to_vec().into_boxed_slice());
-                ControlFlow::Continue(())
-            });
+            let _ = enumerate_fixed(
+                db,
+                dc,
+                atom_idx,
+                tid,
+                &mut indexes,
+                &mut |set: &[TupleId]| {
+                    seen.insert(set.to_vec().into_boxed_slice());
+                    ControlFlow::Continue(())
+                },
+            );
         }
         out.extend(seen.into_iter().map(|s| (dc_idx, s)));
     }
@@ -215,22 +316,26 @@ pub fn raw_violations_involving_per_dc(
 
 /// Keeps only inclusion-minimal sets. Exposed for callers (incremental
 /// indexes, custom measures) that maintain raw violation sets themselves.
+///
+/// Subset probes reuse one scratch buffer and look up the accepted pool by
+/// borrowed slice, so the subset walk allocates nothing.
 pub fn filter_minimal(seen: HashSet<ViolationSet>) -> Vec<ViolationSet> {
     let mut by_size: Vec<ViolationSet> = seen.into_iter().collect();
     by_size.sort_by_key(|s| (s.len(), s.first().copied()));
     let mut accepted: HashSet<ViolationSet> = HashSet::new();
     let mut out = Vec::new();
+    let mut scratch: Vec<TupleId> = Vec::new();
     'outer: for set in by_size {
         // Arities are tiny (≤ 4 in practice), so checking every proper
         // subset against the accepted pool is cheap and exact.
         for mask in 1..(1u32 << set.len()) - 1 {
-            let sub: ViolationSet = set
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| mask & (1 << i) != 0)
-                .map(|(_, t)| *t)
-                .collect();
-            if accepted.contains(&sub) {
+            scratch.clear();
+            for (i, t) in set.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    scratch.push(*t);
+                }
+            }
+            if accepted.contains(scratch.as_slice()) {
                 continue 'outer;
             }
         }
@@ -248,22 +353,46 @@ fn binding_set(ids: &[TupleId]) -> Vec<TupleId> {
     v
 }
 
+/// Warms the lazy per-column rank tables every order predicate of `cs`
+/// compares through, so concurrent readers (the parallel enumerator's
+/// workers) never contend on the rebuild lock.
+pub fn warm_rank_tables(db: &Database, cs: &ConstraintSet) {
+    for dc in cs.dcs() {
+        for p in &dc.predicates {
+            if !p.op.is_order() {
+                continue;
+            }
+            if let (Operand::Attr { var: v1, attr: a1 }, Operand::Attr { var: v2, attr: a2 }) =
+                (&p.lhs, &p.rhs)
+            {
+                if a1 == a2 && dc.atoms[*v1].rel == dc.atoms[*v2].rel {
+                    let _ = db.dictionary(dc.atoms[*v1].rel, *a1).ranks();
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
-// Streaming enumerator
+// Streaming enumerator (code-keyed)
 // ---------------------------------------------------------------------------
 
-/// Lazily-built hash indexes `value → tuple ids` per `(relation, attribute)`.
+/// Lazily-built unary hash indexes `code → tuple ids` per
+/// `(relation, attribute)`, read straight off the dictionary-encoded
+/// columns (building one never hashes a [`Value`]).
 #[derive(Default)]
 pub struct Indexes {
-    map: HashMap<(RelId, AttrId), HashMap<Value, Vec<TupleId>>>,
+    map: HashMap<(RelId, AttrId), HashMap<u32, SmallIdVec>>,
 }
 
 impl Indexes {
-    fn get(&mut self, db: &Database, rel: RelId, attr: AttrId) -> &HashMap<Value, Vec<TupleId>> {
+    fn get(&mut self, db: &Database, rel: RelId, attr: AttrId) -> &HashMap<u32, SmallIdVec> {
         self.map.entry((rel, attr)).or_insert_with(|| {
-            let mut idx: HashMap<Value, Vec<TupleId>> = HashMap::new();
-            for f in db.scan(rel) {
-                idx.entry(f.value(attr).clone()).or_default().push(f.id);
+            let ids = db.ids_of(rel);
+            let mut idx: HashMap<u32, SmallIdVec> =
+                HashMap::with_capacity(db.dictionary(rel, attr).len());
+            for (&id, &code) in ids.iter().zip(db.codes(rel, attr)) {
+                idx.entry(code).or_default().push(id);
             }
             idx
         })
@@ -368,6 +497,88 @@ fn passes(preds: &[&Predicate], binding: &[&[Value]]) -> bool {
     preds.iter().all(|p| p.eval(binding))
 }
 
+/// A cross predicate of a binary DC, compiled against the encoded columns.
+///
+/// When both sides read the *same* `(relation, attribute)` column — the
+/// dominant case: FD inequality and dominance order predicates — the
+/// comparison runs on `u32` codes (equality) or order-preserving ranks
+/// (order), indexed by dense scan position. Anything else falls back to
+/// evaluating the original predicate on the value rows.
+enum PairPred<'a> {
+    /// `t[A] op t'[A]` on a shared column: compare codes/ranks.
+    Code {
+        /// The shared code column.
+        col: &'a [u32],
+        /// Order-preserving ranks (empty for pure equality comparisons,
+        /// which compare codes directly).
+        ranks: Arc<[u32]>,
+        op: CmpOp,
+    },
+    /// Fallback: evaluate on the value rows.
+    Value(&'a Predicate),
+}
+
+impl PairPred<'_> {
+    /// Evaluates against positions `(i, j)` of `(t, t')` with value rows
+    /// `(row_t, row_tp)`.
+    #[inline]
+    fn eval(&self, i: usize, j: usize, row_t: &[Value], row_tp: &[Value]) -> bool {
+        match self {
+            PairPred::Code { col, ranks, op } => match op {
+                CmpOp::Eq => col[i] == col[j],
+                CmpOp::Neq => col[i] != col[j],
+                CmpOp::Lt => ranks[col[i] as usize] < ranks[col[j] as usize],
+                CmpOp::Leq => ranks[col[i] as usize] <= ranks[col[j] as usize],
+                CmpOp::Gt => ranks[col[i] as usize] > ranks[col[j] as usize],
+                CmpOp::Geq => ranks[col[i] as usize] >= ranks[col[j] as usize],
+            },
+            PairPred::Value(p) => p.eval(&[row_t, row_tp]),
+        }
+    }
+}
+
+/// Compiles the `rest` predicates of a binary plan; see [`PairPred`].
+fn compile_pair_preds<'a>(
+    db: &'a Database,
+    rel_t: RelId,
+    rel_tp: RelId,
+    rest: &[&'a Predicate],
+) -> Vec<PairPred<'a>> {
+    rest.iter()
+        .map(|&p| {
+            // Canonicalize to `t[A] op t'[B]`.
+            let (a, op, b) = match (&p.lhs, &p.rhs) {
+                (Operand::Attr { var: 0, attr: a }, Operand::Attr { var: 1, attr: b }) => {
+                    (*a, p.op, *b)
+                }
+                (Operand::Attr { var: 1, attr: b }, Operand::Attr { var: 0, attr: a }) => {
+                    (*a, p.op.flip(), *b)
+                }
+                _ => return PairPred::Value(p),
+            };
+            if rel_t == rel_tp && a == b {
+                let ranks = if op.is_order() {
+                    db.dictionary(rel_t, a).ranks()
+                } else {
+                    Arc::from([] as [u32; 0])
+                };
+                PairPred::Code {
+                    col: db.codes(rel_t, a),
+                    ranks,
+                    op,
+                }
+            } else {
+                PairPred::Value(p)
+            }
+        })
+        .collect()
+}
+
+/// Hash table of a code-keyed binary join: build-side scan positions
+/// bucketed by packed code key (see [`crate::codekey::PackedKeyMap`] for
+/// the shared packing scheme).
+type CodeTable = PackedKeyMap<SmallVec<u32>>;
+
 fn enumerate_binary(
     db: &Database,
     dc: &DenialConstraint,
@@ -391,26 +602,32 @@ fn enumerate_binary(
     }
 
     let symmetric = same_rel && dc.is_symmetric();
+    let pair_preds = compile_pair_preds(db, rel_t, rel_tp, &plan.rest);
+    let eval_pair = |i: usize, a: &FactRef<'_>, j: usize, b: &FactRef<'_>| {
+        pair_preds.iter().all(|p| p.eval(i, j, a.values, b.values))
+    };
 
     if plan.eq_keys.is_empty() {
-        // No equality key: filtered nested loop.
-        let left: Vec<_> = db
+        // No equality key: filtered nested loop over scan positions.
+        let left: Vec<(usize, FactRef<'_>)> = db
             .scan(rel_t)
-            .filter(|f| passes(&plan.t_only, &[f.values, f.values]))
+            .enumerate()
+            .filter(|(_, f)| passes(&plan.t_only, &[f.values, f.values]))
             .collect();
-        let right: Vec<_> = db
+        let right: Vec<(usize, FactRef<'_>)> = db
             .scan(rel_tp)
-            .filter(|f| passes(&plan.tp_only, &[f.values, f.values]))
+            .enumerate()
+            .filter(|(_, f)| passes(&plan.tp_only, &[f.values, f.values]))
             .collect();
-        for a in &left {
-            for b in &right {
+        for &(i, ref a) in &left {
+            for &(j, ref b) in &right {
                 if a.id == b.id {
                     continue;
                 }
                 if symmetric && a.id > b.id {
                     continue;
                 }
-                if passes(&plan.rest, &[a.values, b.values]) {
+                if eval_pair(i, a, j, b) {
                     let set = binding_set(&[a.id, b.id]);
                     cb(&set)?;
                 }
@@ -420,38 +637,76 @@ fn enumerate_binary(
     }
 
     // Hash join on the equality keys: build on the t' side, probe from t.
-    let mut table: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
-    for f in db.scan(rel_tp) {
+    // Build keys are the t' column codes; probe keys reuse the same codes
+    // when probe and build read the same column, and otherwise translate
+    // the probe value through the build column's dictionary (one hash, no
+    // allocation — a miss proves the absence of any join partner).
+    enum ProbeComp<'a> {
+        Shared(&'a [u32]),
+        Translate { attr: AttrId, dict: &'a Dictionary },
+    }
+    let build_cols: Vec<&[u32]> = plan
+        .eq_keys
+        .iter()
+        .map(|&(_, b)| db.codes(rel_tp, b))
+        .collect();
+    let probe_comps: Vec<ProbeComp<'_>> = plan
+        .eq_keys
+        .iter()
+        .map(|&(a, b)| {
+            if same_rel && a == b {
+                ProbeComp::Shared(db.codes(rel_t, a))
+            } else {
+                ProbeComp::Translate {
+                    attr: a,
+                    dict: db.dictionary(rel_tp, b),
+                }
+            }
+        })
+        .collect();
+
+    let facts_tp: Vec<FactRef<'_>> = db.scan(rel_tp).collect();
+    let mut table = CodeTable::with_key_width(plan.eq_keys.len());
+    let mut key_buf: Vec<u32> = Vec::with_capacity(plan.eq_keys.len());
+    for (j, f) in facts_tp.iter().enumerate() {
         if !passes(&plan.tp_only, &[f.values, f.values]) {
             continue;
         }
-        let key: Vec<Value> = plan
-            .eq_keys
-            .iter()
-            .map(|(_, b)| f.values[b.idx()].clone())
-            .collect();
-        table.entry(key).or_default().push(f.id);
+        key_buf.clear();
+        key_buf.extend(build_cols.iter().map(|col| col[j]));
+        table.bucket_mut(&key_buf).push(j as u32);
     }
-    let mut key_buf: Vec<Value> = Vec::with_capacity(plan.eq_keys.len());
-    for f in db.scan(rel_t) {
+
+    'probe: for (i, f) in db.scan(rel_t).enumerate() {
         if !passes(&plan.t_only, &[f.values, f.values]) {
             continue;
         }
         key_buf.clear();
-        key_buf.extend(plan.eq_keys.iter().map(|(a, _)| f.values[a.idx()].clone()));
-        let Some(bucket) = table.get(key_buf.as_slice()) else {
+        for comp in &probe_comps {
+            match comp {
+                ProbeComp::Shared(col) => key_buf.push(col[i]),
+                ProbeComp::Translate { attr, dict } => {
+                    match dict.code(&f.values[attr.idx()]) {
+                        Some(code) => key_buf.push(code),
+                        // Value never stored on the build side: no partner.
+                        None => continue 'probe,
+                    }
+                }
+            }
+        }
+        let Some(bucket) = table.get(&key_buf) else {
             continue;
         };
         for &j in bucket {
-            if j == f.id {
+            let other = &facts_tp[j as usize];
+            if other.id == f.id {
                 continue; // reflexive bindings handled above
             }
-            if symmetric && f.id > j {
+            if symmetric && f.id > other.id {
                 continue;
             }
-            let other = db.fact(j).expect("index is fresh");
-            if passes(&plan.rest, &[f.values, other.values]) {
-                let set = binding_set(&[f.id, j]);
+            if eval_pair(i, &f, j as usize, other) {
+                let set = binding_set(&[f.id, other.id]);
                 cb(&set)?;
             }
         }
@@ -532,37 +787,32 @@ fn recurse(
 
     let check_level = |binding: &[&[Value]]| by_level[level].iter().all(|p| p.eval(binding));
 
-    let try_candidate =
-        |tid: TupleId,
-         ids: &mut Vec<TupleId>,
-         rows: &mut Vec<*const [Value]>,
-         indexes: &mut Indexes,
-         cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>|
-         -> ControlFlow<()> {
-            let Some(f) = db.fact(tid) else {
-                return ControlFlow::Continue(());
-            };
-            if f.rel != rel {
-                return ControlFlow::Continue(());
-            }
-            ids.push(tid);
-            rows.push(f.values as *const [Value]);
-            let binding = view(rows);
-            // Pad with the last row so far for predicates over unbound vars:
-            // not needed — by_level guarantees only bound vars are touched.
-            let ok = {
-                let partial: Vec<&[Value]> = binding;
-                check_level(&partial)
-            };
-            let result = if ok {
-                recurse(db, dc, by_level, indexes, ids, rows, fixed, cb)
-            } else {
-                ControlFlow::Continue(())
-            };
-            ids.pop();
-            rows.pop();
-            result
+    let try_candidate = |tid: TupleId,
+                         ids: &mut Vec<TupleId>,
+                         rows: &mut Vec<*const [Value]>,
+                         indexes: &mut Indexes,
+                         cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>|
+     -> ControlFlow<()> {
+        let Some(f) = db.fact(tid) else {
+            return ControlFlow::Continue(());
         };
+        if f.rel != rel {
+            return ControlFlow::Continue(());
+        }
+        ids.push(tid);
+        rows.push(f.values as *const [Value]);
+        let binding = view(rows);
+        // by_level guarantees only bound vars are touched.
+        let ok = check_level(&binding);
+        let result = if ok {
+            recurse(db, dc, by_level, indexes, ids, rows, fixed, cb)
+        } else {
+            ControlFlow::Continue(())
+        };
+        ids.pop();
+        rows.pop();
+        result
+    };
 
     if let Some((fa, fid)) = fixed {
         if fa == level {
@@ -571,8 +821,10 @@ fn recurse(
     }
 
     // Pick an equality predicate linking this level to a bound one to probe
-    // an index instead of scanning.
-    let mut probe: Option<(AttrId, Value)> = None;
+    // the code-keyed index instead of scanning. The bound value is
+    // translated into this column's dictionary: a miss means no candidate
+    // anywhere in the relation.
+    let mut probe: Option<(AttrId, Option<u32>)> = None;
     for p in &by_level[level] {
         if p.op != CmpOp::Eq {
             continue;
@@ -588,29 +840,388 @@ fn recurse(
                 continue;
             };
             let bound_row = unsafe { &*rows[there.0] };
-            probe = Some((here, bound_row[there.1.idx()].clone()));
+            let code = db.dictionary(rel, here).code(&bound_row[there.1.idx()]);
+            probe = Some((here, code));
             break;
         }
     }
 
     match probe {
-        Some((attr, value)) => {
-            let candidates: Vec<TupleId> = indexes
+        Some((_, None)) => {
+            // The bound value was never stored in this column: no match.
+        }
+        Some((attr, Some(code))) => {
+            let candidates: SmallIdVec = indexes
                 .get(db, rel, attr)
-                .get(&value).cloned()
+                .get(&code)
+                .cloned()
                 .unwrap_or_default();
-            for tid in candidates {
+            for &tid in candidates.iter() {
                 try_candidate(tid, ids, rows, indexes, cb)?;
             }
         }
         None => {
-            let all: Vec<TupleId> = db.scan(rel).map(|f| f.id).collect();
+            let all: Vec<TupleId> = db.ids_of(rel).to_vec();
             for tid in all {
                 try_candidate(tid, ids, rows, indexes, cb)?;
             }
         }
     }
     ControlFlow::Continue(())
+}
+
+// ---------------------------------------------------------------------------
+// Value-keyed reference engine
+// ---------------------------------------------------------------------------
+
+/// The historical value-keyed engine, retained verbatim as the correctness
+/// reference for the code-keyed joins above: hash joins key on freshly
+/// materialized `Vec<Value>`s and every comparison runs on values. Debug
+/// builds cross-check [`minimal_inconsistent_subsets`] against this path;
+/// `bench_violations` compares the two to quantify the encoding win. Not
+/// for production use.
+pub mod value_keyed {
+    use super::*;
+
+    /// Value-keyed unary hash indexes (the pre-encoding [`Indexes`]).
+    #[derive(Default)]
+    pub struct ValueIndexes {
+        map: HashMap<(RelId, AttrId), HashMap<Value, Vec<TupleId>>>,
+    }
+
+    impl ValueIndexes {
+        fn get(
+            &mut self,
+            db: &Database,
+            rel: RelId,
+            attr: AttrId,
+        ) -> &HashMap<Value, Vec<TupleId>> {
+            self.map.entry((rel, attr)).or_insert_with(|| {
+                let mut idx: HashMap<Value, Vec<TupleId>> = HashMap::new();
+                for f in db.scan(rel) {
+                    idx.entry(f.value(attr).clone()).or_default().push(f.id);
+                }
+                idx
+            })
+        }
+    }
+
+    /// Value-keyed [`super::minimal_inconsistent_subsets`]; same *Limits*
+    /// semantics (global budget).
+    pub fn minimal_inconsistent_subsets(
+        db: &Database,
+        cs: &ConstraintSet,
+        limit: Option<usize>,
+    ) -> MiResult {
+        let mut indexes = ValueIndexes::default();
+        let mut seen: HashSet<ViolationSet> = HashSet::new();
+        let mut budget = limit.unwrap_or(usize::MAX);
+        let mut complete = true;
+        for dc in cs.dcs() {
+            for_each_violation(db, dc, &mut indexes, &mut |set: &[TupleId]| {
+                if budget == 0 {
+                    complete = false;
+                    return ControlFlow::Break(());
+                }
+                budget -= 1;
+                seen.insert(set.to_vec().into_boxed_slice());
+                ControlFlow::Continue(())
+            });
+            if !complete {
+                break;
+            }
+        }
+        MiResult {
+            subsets: filter_minimal(seen),
+            complete,
+        }
+    }
+
+    /// Value-keyed [`super::violations_per_dc`]; same *Limits* semantics
+    /// (global budget).
+    pub fn violations_per_dc(
+        db: &Database,
+        cs: &ConstraintSet,
+        limit: Option<usize>,
+    ) -> Vec<DcViolations> {
+        let mut indexes = ValueIndexes::default();
+        let mut out = Vec::with_capacity(cs.len());
+        let mut budget = limit.unwrap_or(usize::MAX);
+        let mut truncated = false;
+        for (i, dc) in cs.dcs().iter().enumerate() {
+            if truncated {
+                out.push(DcViolations {
+                    dc: i,
+                    sets: Vec::new(),
+                    complete: false,
+                });
+                continue;
+            }
+            let mut seen: HashSet<ViolationSet> = HashSet::new();
+            for_each_violation(db, dc, &mut indexes, &mut |set: &[TupleId]| {
+                if budget == 0 {
+                    truncated = true;
+                    return ControlFlow::Break(());
+                }
+                budget -= 1;
+                seen.insert(set.to_vec().into_boxed_slice());
+                ControlFlow::Continue(())
+            });
+            out.push(DcViolations {
+                dc: i,
+                sets: filter_minimal(seen),
+                complete: !truncated,
+            });
+        }
+        out
+    }
+
+    /// Value-keyed [`super::for_each_violation`].
+    pub fn for_each_violation(
+        db: &Database,
+        dc: &DenialConstraint,
+        indexes: &mut ValueIndexes,
+        cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+    ) {
+        match dc.arity() {
+            1 => {
+                let _ = enumerate_unary(db, dc, cb);
+            }
+            2 => {
+                let _ = enumerate_binary_values(db, dc, cb);
+            }
+            _ => {
+                let _ = enumerate_generic_values(db, dc, indexes, cb);
+            }
+        }
+    }
+
+    fn enumerate_binary_values(
+        db: &Database,
+        dc: &DenialConstraint,
+        cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let plan = plan_binary(dc);
+        if plan.vacuous {
+            return ControlFlow::Continue(());
+        }
+        let rel_t = dc.atoms[0].rel;
+        let rel_tp = dc.atoms[1].rel;
+        let same_rel = rel_t == rel_tp;
+
+        if same_rel {
+            for f in db.scan(rel_t) {
+                if dc.forbidden(&[f.values, f.values]) {
+                    cb(&[f.id])?;
+                }
+            }
+        }
+
+        let symmetric = same_rel && dc.is_symmetric();
+
+        if plan.eq_keys.is_empty() {
+            let left: Vec<_> = db
+                .scan(rel_t)
+                .filter(|f| passes(&plan.t_only, &[f.values, f.values]))
+                .collect();
+            let right: Vec<_> = db
+                .scan(rel_tp)
+                .filter(|f| passes(&plan.tp_only, &[f.values, f.values]))
+                .collect();
+            for a in &left {
+                for b in &right {
+                    if a.id == b.id {
+                        continue;
+                    }
+                    if symmetric && a.id > b.id {
+                        continue;
+                    }
+                    if passes(&plan.rest, &[a.values, b.values]) {
+                        let set = binding_set(&[a.id, b.id]);
+                        cb(&set)?;
+                    }
+                }
+            }
+            return ControlFlow::Continue(());
+        }
+
+        // Value-keyed hash join: build on the t' side, probe from t; every
+        // key is a freshly allocated Vec<Value> (the overhead the
+        // code-keyed engine removes).
+        let mut table: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
+        for f in db.scan(rel_tp) {
+            if !passes(&plan.tp_only, &[f.values, f.values]) {
+                continue;
+            }
+            let key: Vec<Value> = plan
+                .eq_keys
+                .iter()
+                .map(|(_, b)| f.values[b.idx()].clone())
+                .collect();
+            table.entry(key).or_default().push(f.id);
+        }
+        let mut key_buf: Vec<Value> = Vec::with_capacity(plan.eq_keys.len());
+        for f in db.scan(rel_t) {
+            if !passes(&plan.t_only, &[f.values, f.values]) {
+                continue;
+            }
+            key_buf.clear();
+            key_buf.extend(plan.eq_keys.iter().map(|(a, _)| f.values[a.idx()].clone()));
+            let Some(bucket) = table.get(key_buf.as_slice()) else {
+                continue;
+            };
+            for &j in bucket {
+                if j == f.id {
+                    continue;
+                }
+                if symmetric && f.id > j {
+                    continue;
+                }
+                let other = db.fact(j).expect("index is fresh");
+                if passes(&plan.rest, &[f.values, other.values]) {
+                    let set = binding_set(&[f.id, j]);
+                    cb(&set)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    fn enumerate_generic_values(
+        db: &Database,
+        dc: &DenialConstraint,
+        indexes: &mut ValueIndexes,
+        cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let n = dc.arity();
+        let mut by_level: Vec<Vec<&Predicate>> = vec![Vec::new(); n];
+        for p in &dc.predicates {
+            let level = p.max_var().unwrap_or(0);
+            by_level[level].push(p);
+        }
+        let mut ids: Vec<TupleId> = Vec::with_capacity(n);
+        let mut rows: Vec<*const [Value]> = Vec::with_capacity(n);
+        recurse_values(db, dc, &by_level, indexes, &mut ids, &mut rows, cb)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse_values(
+        db: &Database,
+        dc: &DenialConstraint,
+        by_level: &[Vec<&Predicate>],
+        indexes: &mut ValueIndexes,
+        ids: &mut Vec<TupleId>,
+        rows: &mut Vec<*const [Value]>,
+        cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let level = ids.len();
+        if level == dc.arity() {
+            let set = binding_set(ids);
+            return cb(&set);
+        }
+        let rel = dc.atoms[level].rel;
+
+        // SAFETY: as in the code-keyed `recurse` — rows of an immutably
+        // borrowed database, read only.
+        let view = |rows: &[*const [Value]]| -> Vec<&[Value]> {
+            rows.iter().map(|&p| unsafe { &*p }).collect()
+        };
+
+        let check_level = |binding: &[&[Value]]| by_level[level].iter().all(|p| p.eval(binding));
+
+        let try_candidate = |tid: TupleId,
+                             ids: &mut Vec<TupleId>,
+                             rows: &mut Vec<*const [Value]>,
+                             indexes: &mut ValueIndexes,
+                             cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>|
+         -> ControlFlow<()> {
+            let Some(f) = db.fact(tid) else {
+                return ControlFlow::Continue(());
+            };
+            if f.rel != rel {
+                return ControlFlow::Continue(());
+            }
+            ids.push(tid);
+            rows.push(f.values as *const [Value]);
+            let binding = view(rows);
+            let ok = check_level(&binding);
+            let result = if ok {
+                recurse_values(db, dc, by_level, indexes, ids, rows, cb)
+            } else {
+                ControlFlow::Continue(())
+            };
+            ids.pop();
+            rows.pop();
+            result
+        };
+
+        let mut probe: Option<(AttrId, Value)> = None;
+        for p in &by_level[level] {
+            if p.op != CmpOp::Eq {
+                continue;
+            }
+            if let (Operand::Attr { var: v1, attr: a1 }, Operand::Attr { var: v2, attr: a2 }) =
+                (&p.lhs, &p.rhs)
+            {
+                let (here, there) = if *v1 == level && *v2 < level {
+                    (*a1, (*v2, *a2))
+                } else if *v2 == level && *v1 < level {
+                    (*a2, (*v1, *a1))
+                } else {
+                    continue;
+                };
+                let bound_row = unsafe { &*rows[there.0] };
+                probe = Some((here, bound_row[there.1.idx()].clone()));
+                break;
+            }
+        }
+
+        match probe {
+            Some((attr, value)) => {
+                let candidates: Vec<TupleId> = indexes
+                    .get(db, rel, attr)
+                    .get(&value)
+                    .cloned()
+                    .unwrap_or_default();
+                for tid in candidates {
+                    try_candidate(tid, ids, rows, indexes, cb)?;
+                }
+            }
+            None => {
+                let all: Vec<TupleId> = db.scan(rel).map(|f| f.id).collect();
+                for tid in all {
+                    try_candidate(tid, ids, rows, indexes, cb)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Debug-build parity check: a complete code-keyed enumeration must be
+/// bit-identical to the value-keyed reference. Skipped for truncated runs
+/// (the two engines may examine raw bindings in different orders, so a
+/// shared budget truncates at different prefixes) and for databases large
+/// enough that doubling the work would distort test runtimes.
+#[cfg(debug_assertions)]
+fn debug_check_against_value_keyed(
+    db: &Database,
+    cs: &ConstraintSet,
+    got: &MiResult,
+    limit: Option<usize>,
+) {
+    if limit.is_some() || db.len() > 1024 {
+        return;
+    }
+    let reference = value_keyed::minimal_inconsistent_subsets(db, cs, None);
+    let mut a: Vec<&ViolationSet> = got.subsets.iter().collect();
+    let mut b: Vec<&ViolationSet> = reference.subsets.iter().collect();
+    a.sort();
+    b.sort();
+    debug_assert_eq!(
+        a, b,
+        "code-keyed engine diverged from the value-keyed reference"
+    );
 }
 
 #[cfg(test)]
@@ -631,7 +1242,8 @@ mod tests {
     }
 
     fn insert2(db: &mut Database, r: RelId, a: i64, b: i64) -> TupleId {
-        db.insert(Fact::new(r, [Value::int(a), Value::int(b)])).unwrap()
+        db.insert(Fact::new(r, [Value::int(a), Value::int(b)]))
+            .unwrap()
     }
 
     fn fd_set(s: &Arc<Schema>, r: RelId) -> ConstraintSet {
@@ -683,7 +1295,15 @@ mod tests {
         let other = insert2(&mut db, r, 7, 9);
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         // ∀t ¬(t[A] > t[B])  and the FD A→B.
-        cs.add_dc(build::unary("ord", r, vec![build::uu(AttrId(0), CmpOp::Gt, AttrId(1))], &s).unwrap());
+        cs.add_dc(
+            build::unary(
+                "ord",
+                r,
+                vec![build::uu(AttrId(0), CmpOp::Gt, AttrId(1))],
+                &s,
+            )
+            .unwrap(),
+        );
         cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
         let mi = minimal_inconsistent_subsets(&db, &cs, None);
         // {worse} is a singleton; the FD pair {worse, other} is subsumed.
@@ -716,7 +1336,13 @@ mod tests {
         // ∀t,t' ¬(t[A] < t'[A]): forbids two facts with different A.
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_dc(
-            build::binary("lt", r, vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(0))], &s).unwrap(),
+            build::binary(
+                "lt",
+                r,
+                vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(0))],
+                &s,
+            )
+            .unwrap(),
         );
         let mi = minimal_inconsistent_subsets(&db, &cs, None);
         let mut sets: Vec<Vec<TupleId>> = mi.subsets.iter().map(|s| s.to_vec()).collect();
@@ -757,6 +1383,67 @@ mod tests {
     }
 
     #[test]
+    fn violations_per_dc_budget_is_global() {
+        // Two FDs, each with exactly 3 violating pairs. A global budget of
+        // 4 must be exhausted across constraints: the first DC consumes 3,
+        // the second gets the single remaining unit and reports truncation.
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        for i in 0..3 {
+            db.insert(Fact::new(r, [Value::int(1), Value::int(i), Value::int(i)]))
+                .unwrap();
+        }
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(2)]));
+        cs.add_fd(Fd::new(r, [AttrId(1)], [AttrId(2)]));
+
+        let unlimited = violations_per_dc(&db, &cs, None);
+        assert!(unlimited.iter().all(|d| d.complete));
+        assert_eq!(unlimited[0].sets.len(), 3);
+        assert_eq!(unlimited[1].sets.len(), 3);
+
+        let capped = violations_per_dc(&db, &cs, Some(4));
+        assert!(capped[0].complete, "first DC fits in the global budget");
+        assert_eq!(capped[0].sets.len(), 3);
+        assert!(!capped[1].complete, "global budget exhausted mid-second DC");
+        assert!(capped[1].sets.len() <= 1);
+        // Constraints after the truncation point are skipped entirely:
+        // empty, incomplete entries with no enumeration work.
+        assert!(!capped[2].complete, "post-exhaustion DCs report incomplete");
+        assert!(capped[2].sets.is_empty());
+
+        // A finite budget exactly covering all 6 raw violations (3 per
+        // violated FD; B→C is satisfied) reports complete on all
+        // constraints — the boundary where the budget hits 0 only after
+        // the last binding is recorded, and the violation-free third DC
+        // still enumerates (finding nothing) without tripping it.
+        let exact = violations_per_dc(&db, &cs, Some(6));
+        assert!(exact.iter().all(|d| d.complete));
+        assert_eq!(exact.iter().map(|d| d.sets.len()).sum::<usize>(), 6);
+
+        // The value-keyed reference implements the same global semantics.
+        let ref_capped = value_keyed::violations_per_dc(&db, &cs, Some(4));
+        assert!(ref_capped[0].complete);
+        assert!(!ref_capped[1].complete);
+        assert!(!ref_capped[2].complete && ref_capped[2].sets.is_empty());
+    }
+
+    #[test]
     fn cross_relation_egd_join() {
         let mut s = Schema::new();
         let r = s
@@ -767,14 +1454,42 @@ mod tests {
             .unwrap();
         let s = Arc::new(s);
         let mut db = Database::new(Arc::clone(&s));
-        let r1 = db.insert(Fact::new(r, [Value::int(1), Value::int(2)])).unwrap();
-        let s1 = db.insert(Fact::new(t, [Value::int(2), Value::int(9)])).unwrap();
-        db.insert(Fact::new(t, [Value::int(2), Value::int(1)])).unwrap(); // consistent partner
+        let r1 = db
+            .insert(Fact::new(r, [Value::int(1), Value::int(2)]))
+            .unwrap();
+        let s1 = db
+            .insert(Fact::new(t, [Value::int(2), Value::int(9)]))
+            .unwrap();
+        db.insert(Fact::new(t, [Value::int(2), Value::int(1)]))
+            .unwrap(); // consistent partner
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_egd(crate::egd::example8::sigma4(r, t, &s));
         let mi = minimal_inconsistent_subsets(&db, &cs, None);
         assert_eq!(mi.count(), 1);
         assert_eq!(mi.subsets[0].as_ref(), &[r1, s1]);
+    }
+
+    #[test]
+    fn cross_relation_probe_misses_translate_to_no_partner() {
+        // R.B values that never appear in S.A must simply produce no
+        // pairs (the dictionary-translation path returns None).
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let t = s
+            .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(Fact::new(r, [Value::int(1), Value::int(77)]))
+            .unwrap();
+        db.insert(Fact::new(t, [Value::int(2), Value::int(9)]))
+            .unwrap();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_egd(crate::egd::example8::sigma4(r, t, &s));
+        assert!(is_consistent(&db, &cs));
+        assert_eq!(minimal_inconsistent_subsets(&db, &cs, None).count(), 0);
     }
 
     #[test]
@@ -791,19 +1506,35 @@ mod tests {
         let egd = Egd::new(
             "p1",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: t, vars: vec![0, 2] },
-                EgdAtom { rel: t, vars: vec![0, 3] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: t,
+                    vars: vec![0, 2],
+                },
+                EgdAtom {
+                    rel: t,
+                    vars: vec![0, 3],
+                },
             ],
             (2, 3),
             &s,
         )
         .unwrap();
         let mut db = Database::new(Arc::clone(&s));
-        let ra = db.insert(Fact::new(r, [Value::int(1), Value::int(0)])).unwrap();
-        let sa = db.insert(Fact::new(t, [Value::int(1), Value::int(5)])).unwrap();
-        let sb = db.insert(Fact::new(t, [Value::int(1), Value::int(6)])).unwrap();
-        db.insert(Fact::new(t, [Value::int(2), Value::int(7)])).unwrap();
+        let ra = db
+            .insert(Fact::new(r, [Value::int(1), Value::int(0)]))
+            .unwrap();
+        let sa = db
+            .insert(Fact::new(t, [Value::int(1), Value::int(5)]))
+            .unwrap();
+        let sb = db
+            .insert(Fact::new(t, [Value::int(1), Value::int(6)]))
+            .unwrap();
+        db.insert(Fact::new(t, [Value::int(2), Value::int(7)]))
+            .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_egd(egd);
         let mi = minimal_inconsistent_subsets(&db, &cs, None);
@@ -841,5 +1572,124 @@ mod tests {
         let cs = ConstraintSet::new(Arc::clone(&s));
         assert!(is_consistent(&db, &cs));
         assert_eq!(minimal_inconsistent_subsets(&db, &cs, None).count(), 0);
+    }
+
+    /// Sorted copies for order-insensitive result comparison.
+    fn sorted_sets(mi: &MiResult) -> Vec<Vec<TupleId>> {
+        let mut v: Vec<Vec<TupleId>> = mi.subsets.iter().map(|s| s.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn code_and_value_engines_agree_on_mixed_types() {
+        // String-keyed FD + float dominance + nulls: every compiled-path
+        // shape (code equality, rank order, dictionary translation).
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(
+                relation(
+                    "R",
+                    &[
+                        ("K", ValueKind::Str),
+                        ("X", ValueKind::Float),
+                        ("Y", ValueKind::Int),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        let rows: &[(&str, f64, i64)] = &[
+            ("us", 1.5, 3),
+            ("us", 2.5, 2),
+            ("us", 1.5, 9),
+            ("eu", 0.5, 1),
+            ("eu", 0.5, 1),
+            ("ap", -1.0, 0),
+        ];
+        for &(k, x, y) in rows {
+            db.insert(Fact::new(
+                r,
+                [Value::str(k), Value::float(x), Value::int(y)],
+            ))
+            .unwrap();
+        }
+        db.insert(Fact::new(r, [Value::Null, Value::Null, Value::int(7)]))
+            .unwrap();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        cs.add_dc(
+            build::binary(
+                "dom",
+                r,
+                vec![
+                    build::tt(AttrId(0), CmpOp::Eq, AttrId(0)),
+                    build::tt(AttrId(1), CmpOp::Lt, AttrId(1)),
+                    build::tt(AttrId(2), CmpOp::Gt, AttrId(2)),
+                ],
+                &s,
+            )
+            .unwrap(),
+        );
+        let code = minimal_inconsistent_subsets(&db, &cs, None);
+        let value = value_keyed::minimal_inconsistent_subsets(&db, &cs, None);
+        assert_eq!(sorted_sets(&code), sorted_sets(&value));
+        assert!(code.count() > 0, "fixture should actually conflict");
+    }
+
+    #[test]
+    fn signed_zero_floats_agree_across_engines() {
+        // -0.0 and +0.0 are == (one dictionary code); Value::Ord must
+        // treat them equal too, or rank-compared order predicates would
+        // diverge from the value-keyed reference.
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("X", ValueKind::Float)]).unwrap())
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        db.insert(Fact::new(r, [Value::float(-0.0)])).unwrap();
+        db.insert(Fact::new(r, [Value::float(0.0)])).unwrap();
+        db.insert(Fact::new(r, [Value::float(1.0)])).unwrap();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        // ∀t,t' ¬(t[X] < t'[X]) — violated only by genuinely distinct X.
+        cs.add_dc(
+            build::binary(
+                "lt",
+                r,
+                vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(0))],
+                &s,
+            )
+            .unwrap(),
+        );
+        let code = minimal_inconsistent_subsets(&db, &cs, None);
+        let value = value_keyed::minimal_inconsistent_subsets(&db, &cs, None);
+        assert_eq!(sorted_sets(&code), sorted_sets(&value));
+        // ±0.0 vs 1.0 conflict (two pairs); ±0.0 vs ∓0.0 must not.
+        assert_eq!(code.count(), 2);
+    }
+
+    #[test]
+    fn warm_rank_tables_is_idempotent() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        insert2(&mut db, r, 1, 2);
+        insert2(&mut db, r, 3, 1);
+        let mut cs = fd_set(&s, r);
+        cs.add_dc(
+            build::binary(
+                "lt",
+                r,
+                vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(0))],
+                &s,
+            )
+            .unwrap(),
+        );
+        warm_rank_tables(&db, &cs);
+        warm_rank_tables(&db, &cs);
+        let mi = minimal_inconsistent_subsets(&db, &cs, None);
+        assert_eq!(mi.count(), 1);
     }
 }

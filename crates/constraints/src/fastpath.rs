@@ -11,11 +11,18 @@
 //! of truth.
 //!
 //! All counts exclude reflexive singletons (handled separately by callers).
+//!
+//! Like the streaming engine, these routines run on the dictionary-encoded
+//! columns: group-by keys are packed `u32` codes (no per-tuple key
+//! allocation, no value hashing) and the dominance sweep sorts
+//! order-preserving `u32` ranks instead of comparing [`Value`]s.
 
+use crate::codekey::PackedKeyMap;
 use crate::dc::DenialConstraint;
 use crate::predicate::{CmpOp, Operand, Predicate};
-use inconsist_relational::{AttrId, Database, TupleId, Value};
+use inconsist_relational::{AttrId, Database, TupleId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The supported shapes, produced by [`classify`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -66,10 +73,9 @@ pub fn classify(dc: &DenialConstraint) -> Option<FastShape> {
         }
     }
     match rest.as_slice() {
-        [(a, CmpOp::Neq)] | [(a, CmpOp::Lt)] | [(a, CmpOp::Gt)] => Some(FastShape::DistinctOnAttr {
-            keys,
-            attr: *a,
-        }),
+        [(a, CmpOp::Neq)] | [(a, CmpOp::Lt)] | [(a, CmpOp::Gt)] => {
+            Some(FastShape::DistinctOnAttr { keys, attr: *a })
+        }
         // `≤`/`≥` shapes are degenerate: the reflexive binding t = t'
         // satisfies them, so every tuple is a singleton violation and the
         // pair count is not the interesting statistic. Unsupported.
@@ -109,27 +115,43 @@ fn decompose(p: &Predicate) -> Option<(AttrId, CmpOp, AttrId, bool)> {
     }
 }
 
+/// The encoded view of one relation the fast paths run on: tuple ids plus
+/// the relevant code/rank columns, grouped by packed key codes.
+struct EncodedGroups<'a> {
+    ids: &'a [TupleId],
+    /// Scan positions per group.
+    groups: Vec<Vec<u32>>,
+}
+
 /// Counts the unordered violating pairs of `dc` in `O(n log n)`.
 /// `None` when the DC does not fit a supported shape.
 pub fn count_pairs(db: &Database, dc: &DenialConstraint) -> Option<u64> {
     let shape = classify(dc)?;
     let rel = dc.atoms[0].rel;
-    let groups = group_by_keys(db, rel, shape_keys(&shape));
+    let enc = group_by_key_codes(db, rel, shape_keys(&shape));
     let mut total = 0u64;
-    for group in groups.values() {
-        total += match &shape {
-            FastShape::DistinctOnAttr { attr, .. } => {
-                let m = group.len() as u64;
-                let mut counts: HashMap<&Value, u64> = HashMap::new();
-                for &(_, row) in group {
-                    *counts.entry(&row[attr.idx()]).or_insert(0) += 1;
+    match &shape {
+        FastShape::DistinctOnAttr { attr, .. } => {
+            let codes = db.codes(rel, *attr);
+            let mut counts: HashMap<u32, u64> = HashMap::new();
+            for group in &enc.groups {
+                counts.clear();
+                for &pos in group {
+                    *counts.entry(codes[pos as usize]).or_insert(0) += 1;
                 }
-                pairs(m) - counts.values().map(|&c| pairs(c)).sum::<u64>()
+                total +=
+                    pairs(group.len() as u64) - counts.values().map(|&c| pairs(c)).sum::<u64>();
             }
-            FastShape::Dominance { x, y, y_less, .. } => {
-                dominance_count(group, *x, *y, *y_less)
+        }
+        FastShape::Dominance { x, y, y_less, .. } => {
+            let xr = db.dictionary(rel, *x).ranks();
+            let yr = db.dictionary(rel, *y).ranks();
+            let xc = db.codes(rel, *x);
+            let yc = db.codes(rel, *y);
+            for group in &enc.groups {
+                total += dominance_count(group, xc, yc, &xr, &yr, *y_less);
             }
-        };
+        }
     }
     Some(total)
 }
@@ -139,18 +161,25 @@ pub fn count_pairs(db: &Database, dc: &DenialConstraint) -> Option<u64> {
 pub fn participants(db: &Database, dc: &DenialConstraint) -> Option<BTreeSet<TupleId>> {
     let shape = classify(dc)?;
     let rel = dc.atoms[0].rel;
-    let groups = group_by_keys(db, rel, shape_keys(&shape));
+    let enc = group_by_key_codes(db, rel, shape_keys(&shape));
     let mut out = BTreeSet::new();
-    for group in groups.values() {
-        match &shape {
-            FastShape::DistinctOnAttr { attr, .. } => {
-                let first = &group[0].1[attr.idx()];
-                if group.iter().any(|(_, row)| &row[attr.idx()] != first) {
-                    out.extend(group.iter().map(|(id, _)| *id));
+    match &shape {
+        FastShape::DistinctOnAttr { attr, .. } => {
+            let codes = db.codes(rel, *attr);
+            for group in &enc.groups {
+                let first = codes[group[0] as usize];
+                if group.iter().any(|&pos| codes[pos as usize] != first) {
+                    out.extend(group.iter().map(|&pos| enc.ids[pos as usize]));
                 }
             }
-            FastShape::Dominance { x, y, y_less, .. } => {
-                dominance_participants(group, *x, *y, *y_less, &mut out);
+        }
+        FastShape::Dominance { x, y, y_less, .. } => {
+            let xr = db.dictionary(rel, *x).ranks();
+            let yr = db.dictionary(rel, *y).ranks();
+            let xc = db.codes(rel, *x);
+            let yc = db.codes(rel, *y);
+            for group in &enc.groups {
+                dominance_participants(group, enc.ids, xc, yc, &xr, &yr, *y_less, &mut out);
             }
         }
     }
@@ -168,34 +197,58 @@ fn pairs(m: u64) -> u64 {
     m * m.saturating_sub(1) / 2
 }
 
-type Group<'a> = Vec<(TupleId, &'a [Value])>;
-
-fn group_by_keys<'a>(
+/// Groups scan positions by the packed code key of `keys` (the shared
+/// [`PackedKeyMap`] scheme: narrow keys pack into a `u64`, wider keys use
+/// boxed code slices). No [`Value`] is hashed or cloned anywhere in this
+/// pass.
+fn group_by_key_codes<'a>(
     db: &'a Database,
     rel: inconsist_relational::RelId,
     keys: &[AttrId],
-) -> HashMap<Vec<Value>, Group<'a>> {
-    let mut groups: HashMap<Vec<Value>, Group<'a>> = HashMap::new();
-    for f in db.scan(rel) {
-        let key: Vec<Value> = keys.iter().map(|k| f.values[k.idx()].clone()).collect();
-        groups.entry(key).or_default().push((f.id, f.values));
-    }
-    groups
+) -> EncodedGroups<'a> {
+    let ids = db.ids_of(rel);
+    let n = ids.len();
+    let groups = if keys.is_empty() {
+        if n == 0 {
+            Vec::new()
+        } else {
+            vec![(0..n as u32).collect()]
+        }
+    } else {
+        let cols: Vec<&[u32]> = keys.iter().map(|k| db.codes(rel, *k)).collect();
+        let mut by_key: PackedKeyMap<Vec<u32>> = PackedKeyMap::with_key_width(cols.len());
+        let mut buf: Vec<u32> = Vec::with_capacity(cols.len());
+        for pos in 0..n {
+            buf.clear();
+            buf.extend(cols.iter().map(|c| c[pos]));
+            by_key.bucket_mut(&buf).push(pos as u32);
+        }
+        by_key.into_buckets()
+    };
+    EncodedGroups { ids, groups }
 }
 
 /// Counts pairs `{u, v}` with `x_u < x_v` and `y_u ρ y_v` (ρ strict) via a
 /// Fenwick tree over compressed `y` ranks, sweeping `x` in ascending order
 /// and inserting equal-`x` batches only after they are queried (strictness).
-fn dominance_count(group: &Group<'_>, x: AttrId, y: AttrId, y_less: bool) -> u64 {
-    let mut pts: Vec<(&Value, &Value)> = group
+/// All comparisons are on order-preserving `u32` ranks.
+fn dominance_count(
+    group: &[u32],
+    xc: &[u32],
+    yc: &[u32],
+    xr: &Arc<[u32]>,
+    yr: &Arc<[u32]>,
+    y_less: bool,
+) -> u64 {
+    let mut pts: Vec<(u32, u32)> = group
         .iter()
-        .map(|(_, row)| (&row[x.idx()], &row[y.idx()]))
+        .map(|&pos| (xr[xc[pos as usize] as usize], yr[yc[pos as usize] as usize]))
         .collect();
-    pts.sort_by(|a, b| a.0.cmp(b.0));
-    let mut ys: Vec<&Value> = pts.iter().map(|p| p.1).collect();
-    ys.sort();
+    pts.sort_unstable();
+    let mut ys: Vec<u32> = pts.iter().map(|p| p.1).collect();
+    ys.sort_unstable();
     ys.dedup();
-    let rank = |v: &Value| ys.binary_search_by(|probe| probe.cmp(&v)).unwrap();
+    let rank = |v: u32| ys.binary_search(&v).expect("y rank present");
 
     let mut bit = Fenwick::new(ys.len());
     let mut total = 0u64;
@@ -209,7 +262,6 @@ fn dominance_count(group: &Group<'_>, x: AttrId, y: AttrId, y_less: bool) -> u64
         for p in &pts[i..j] {
             let r = rank(p.1);
             total += if y_less {
-                // earlier u (x_u < x_v) with y_u < y_v: wait — we sweep v.
                 // Inserted points are the u side (smaller x). Condition
                 // y_u ρ y_v with ρ = `<` means count inserted y < y_v.
                 bit.prefix(r) // ranks 0..r-1  (strictly smaller y)
@@ -225,25 +277,35 @@ fn dominance_count(group: &Group<'_>, x: AttrId, y: AttrId, y_less: bool) -> u64
     total
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dominance_participants(
-    group: &Group<'_>,
-    x: AttrId,
-    y: AttrId,
+    group: &[u32],
+    ids: &[TupleId],
+    xc: &[u32],
+    yc: &[u32],
+    xr: &Arc<[u32]>,
+    yr: &Arc<[u32]>,
     y_less: bool,
     out: &mut BTreeSet<TupleId>,
 ) {
-    let mut pts: Vec<(&Value, &Value, TupleId)> = group
+    let mut pts: Vec<(u32, u32, TupleId)> = group
         .iter()
-        .map(|(id, row)| (&row[x.idx()], &row[y.idx()], *id))
+        .map(|&pos| {
+            (
+                xr[xc[pos as usize] as usize],
+                yr[yc[pos as usize] as usize],
+                ids[pos as usize],
+            )
+        })
         .collect();
-    pts.sort_by(|a, b| a.0.cmp(b.0));
+    pts.sort_unstable_by_key(|p| p.0);
     let n = pts.len();
 
     // prefix_best[i]: best y among points with x strictly below batch of i.
     // "Best" = min y when we need an earlier point with y_u < y_v, else max.
-    let mut prefix_best: Vec<Option<&Value>> = vec![None; n];
+    let mut prefix_best: Vec<Option<u32>> = vec![None; n];
     {
-        let mut best: Option<&Value> = None;
+        let mut best: Option<u32> = None;
         let mut i = 0;
         while i < n {
             let mut j = i;
@@ -267,11 +329,11 @@ fn dominance_participants(
         }
     }
     // suffix_best[i]: best y among points with x strictly above; for the u
-    // side we need a later v with y_v ρ̄... condition from u's perspective:
+    // side we need a later v with, from u's perspective:
     // ∃ v: x_v > x_u ∧ (y_less ? y_v > y_u : y_v < y_u).
-    let mut suffix_best: Vec<Option<&Value>> = vec![None; n];
+    let mut suffix_best: Vec<Option<u32>> = vec![None; n];
     {
-        let mut best: Option<&Value> = None;
+        let mut best: Option<u32> = None;
         let mut i = n;
         while i > 0 {
             let mut j = i;
@@ -360,7 +422,7 @@ mod tests {
     use crate::dc::build;
     use crate::engine::{minimal_inconsistent_subsets, violations_per_dc};
     use crate::set::ConstraintSet;
-    use inconsist_relational::{relation, Fact, Schema, ValueKind};
+    use inconsist_relational::{relation, Fact, Schema, Value, ValueKind};
     use std::sync::Arc;
 
     fn schema3() -> (Arc<Schema>, inconsist_relational::RelId) {
@@ -391,7 +453,11 @@ mod tests {
         AttrId(2)
     }
 
-    fn db_with(s: &Arc<Schema>, r: inconsist_relational::RelId, rows: &[(i64, i64, i64)]) -> Database {
+    fn db_with(
+        s: &Arc<Schema>,
+        r: inconsist_relational::RelId,
+        rows: &[(i64, i64, i64)],
+    ) -> Database {
         let mut db = Database::new(Arc::clone(s));
         for &(a, b, c) in rows {
             db.insert(Fact::new(r, [Value::int(a), Value::int(b), Value::int(c)]))
@@ -416,12 +482,25 @@ mod tests {
         let dc = build::binary(
             "fd",
             r,
-            vec![build::tt(k(), CmpOp::Eq, k()), build::tt(x(), CmpOp::Neq, x())],
+            vec![
+                build::tt(k(), CmpOp::Eq, k()),
+                build::tt(x(), CmpOp::Neq, x()),
+            ],
             &s,
         )
         .unwrap();
-        let db = db_with(&s, r, &[(1, 1, 0), (1, 2, 0), (1, 2, 0), (2, 5, 0), (2, 5, 0)]);
-        assert_eq!(classify(&dc), Some(FastShape::DistinctOnAttr { keys: vec![k()], attr: x() }));
+        let db = db_with(
+            &s,
+            r,
+            &[(1, 1, 0), (1, 2, 0), (1, 2, 0), (2, 5, 0), (2, 5, 0)],
+        );
+        assert_eq!(
+            classify(&dc),
+            Some(FastShape::DistinctOnAttr {
+                keys: vec![k()],
+                attr: x()
+            })
+        );
         assert_eq!(count_pairs(&db, &dc), Some(2));
         assert_eq!(oracle_count(&db, &s, &dc), 2);
     }
@@ -444,7 +523,10 @@ mod tests {
         let dc = build::binary(
             "le",
             r,
-            vec![build::tt(k(), CmpOp::Eq, k()), build::tt(x(), CmpOp::Leq, x())],
+            vec![
+                build::tt(k(), CmpOp::Eq, k()),
+                build::tt(x(), CmpOp::Leq, x()),
+            ],
             &s,
         )
         .unwrap();
@@ -545,14 +627,20 @@ mod tests {
                 build::binary(
                     "fd",
                     r,
-                    vec![build::tt(k(), CmpOp::Eq, k()), build::tt(x(), CmpOp::Neq, x())],
+                    vec![
+                        build::tt(k(), CmpOp::Eq, k()),
+                        build::tt(x(), CmpOp::Neq, x()),
+                    ],
                     &s,
                 )
                 .unwrap(),
                 build::binary(
                     "dom",
                     r,
-                    vec![build::tt(x(), CmpOp::Lt, x()), build::tt(y(), CmpOp::Gt, y())],
+                    vec![
+                        build::tt(x(), CmpOp::Lt, x()),
+                        build::tt(y(), CmpOp::Gt, y()),
+                    ],
                     &s,
                 )
                 .unwrap(),

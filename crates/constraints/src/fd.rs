@@ -43,12 +43,7 @@ impl Fd {
 
     /// Builds an FD from attribute names, e.g.
     /// `Fd::named(&schema, "Airport", &["Municipality"], &["Continent", "Country"])`.
-    pub fn named(
-        schema: &Schema,
-        rel: &str,
-        lhs: &[&str],
-        rhs: &[&str],
-    ) -> Result<Self, String> {
+    pub fn named(schema: &Schema, rel: &str, lhs: &[&str], rhs: &[&str]) -> Result<Self, String> {
         let rid = schema.rel_checked(rel).map_err(|e| e.to_string())?;
         let rs = schema.relation(rid);
         let resolve = |names: &[&str]| -> Result<BTreeSet<AttrId>, String> {
@@ -112,7 +107,13 @@ impl fmt::Display for Fd {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        write!(f, "R{}: {} -> {}", self.rel.0, ids(&self.lhs), ids(&self.rhs))
+        write!(
+            f,
+            "R{}: {} -> {}",
+            self.rel.0,
+            ids(&self.lhs),
+            ids(&self.rhs)
+        )
     }
 }
 
@@ -201,7 +202,7 @@ mod tests {
         let fds = vec![Fd::new(r, [a(0)], [a(1)]), Fd::new(r, [a(1)], [a(2)])];
         assert!(entails_fd(&fds, &Fd::new(r, [a(0)], [a(2)]))); // A→C
         assert!(!entails_fd(&fds, &Fd::new(r, [a(2)], [a(0)]))); // C→A
-        // Augmentation: AD→BD.
+                                                                 // Augmentation: AD→BD.
         assert!(entails_fd(&fds, &Fd::new(r, [a(0), a(3)], [a(1), a(3)])));
     }
 

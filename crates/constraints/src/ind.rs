@@ -155,21 +155,33 @@ mod tests {
         let mut s = Schema::new();
         let orders = s
             .add_relation(
-                relation("Orders", &[("Id", ValueKind::Int), ("Customer", ValueKind::Int)])
-                    .unwrap(),
+                relation(
+                    "Orders",
+                    &[("Id", ValueKind::Int), ("Customer", ValueKind::Int)],
+                )
+                .unwrap(),
             )
             .unwrap();
         let customers = s
             .add_relation(
-                relation("Customers", &[("Id", ValueKind::Int), ("Name", ValueKind::Str)])
-                    .unwrap(),
+                relation(
+                    "Customers",
+                    &[("Id", ValueKind::Int), ("Name", ValueKind::Str)],
+                )
+                .unwrap(),
             )
             .unwrap();
         (Arc::new(s), orders, customers)
     }
 
     fn fk(s: &Schema) -> Ind {
-        Ind::new("orders-fk", s, ("Orders", &["Customer"]), ("Customers", &["Id"])).unwrap()
+        Ind::new(
+            "orders-fk",
+            s,
+            ("Orders", &["Customer"]),
+            ("Customers", &["Id"]),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -185,10 +197,17 @@ mod tests {
     fn dangling_detection() {
         let (s, orders, customers) = schema();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(customers, [Value::int(1), Value::str("Ann")])).unwrap();
-        let o1 = db.insert(Fact::new(orders, [Value::int(10), Value::int(1)])).unwrap();
-        let o2 = db.insert(Fact::new(orders, [Value::int(11), Value::int(2)])).unwrap();
-        let o3 = db.insert(Fact::new(orders, [Value::int(12), Value::int(2)])).unwrap();
+        db.insert(Fact::new(customers, [Value::int(1), Value::str("Ann")]))
+            .unwrap();
+        let o1 = db
+            .insert(Fact::new(orders, [Value::int(10), Value::int(1)]))
+            .unwrap();
+        let o2 = db
+            .insert(Fact::new(orders, [Value::int(11), Value::int(2)]))
+            .unwrap();
+        let o3 = db
+            .insert(Fact::new(orders, [Value::int(12), Value::int(2)]))
+            .unwrap();
         let ind = fk(&s);
         assert!(!ind.is_satisfied(&db));
         let dangling = ind.dangling(&db);
@@ -202,11 +221,15 @@ mod tests {
     fn repair_prefers_cheap_side() {
         let (s, orders, customers) = schema();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(customers, [Value::int(1), Value::str("Ann")])).unwrap();
+        db.insert(Fact::new(customers, [Value::int(1), Value::str("Ann")]))
+            .unwrap();
         // Two dangling orders on key 2, one on key 3.
-        db.insert(Fact::new(orders, [Value::int(11), Value::int(2)])).unwrap();
-        db.insert(Fact::new(orders, [Value::int(12), Value::int(2)])).unwrap();
-        db.insert(Fact::new(orders, [Value::int(13), Value::int(3)])).unwrap();
+        db.insert(Fact::new(orders, [Value::int(11), Value::int(2)]))
+            .unwrap();
+        db.insert(Fact::new(orders, [Value::int(12), Value::int(2)]))
+            .unwrap();
+        db.insert(Fact::new(orders, [Value::int(13), Value::int(3)]))
+            .unwrap();
         let ind = fk(&s);
         // Unit insert cost: insert customer 2 (cheaper than 2 deletions),
         // and for key 3 either action costs 1 — insertion wins ties.
@@ -227,11 +250,13 @@ mod tests {
         // constraints — inserting the missing customer repairs everything.
         let (s, orders, customers) = schema();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(orders, [Value::int(10), Value::int(7)])).unwrap();
+        db.insert(Fact::new(orders, [Value::int(10), Value::int(7)]))
+            .unwrap();
         let ind = fk(&s);
         let (before, ..) = ind_min_repair(std::slice::from_ref(&ind), &db, 1.0);
         assert_eq!(before, 1.0);
-        db.insert(Fact::new(customers, [Value::int(7), Value::str("Gil")])).unwrap();
+        db.insert(Fact::new(customers, [Value::int(7), Value::str("Gil")]))
+            .unwrap();
         assert!(ind.is_satisfied(&db));
         let (after, ..) = ind_min_repair(&[ind], &db, 1.0);
         assert_eq!(after, 0.0);
@@ -242,20 +267,20 @@ mod tests {
     fn composite_keys() {
         let mut s = Schema::new();
         let a = s
-            .add_relation(
-                relation("A", &[("X", ValueKind::Int), ("Y", ValueKind::Int)]).unwrap(),
-            )
+            .add_relation(relation("A", &[("X", ValueKind::Int), ("Y", ValueKind::Int)]).unwrap())
             .unwrap();
         let b = s
-            .add_relation(
-                relation("B", &[("P", ValueKind::Int), ("Q", ValueKind::Int)]).unwrap(),
-            )
+            .add_relation(relation("B", &[("P", ValueKind::Int), ("Q", ValueKind::Int)]).unwrap())
             .unwrap();
         let s = Arc::new(s);
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(b, [Value::int(1), Value::int(2)])).unwrap();
-        db.insert(Fact::new(a, [Value::int(1), Value::int(2)])).unwrap(); // ok
-        let bad = db.insert(Fact::new(a, [Value::int(2), Value::int(1)])).unwrap();
+        db.insert(Fact::new(b, [Value::int(1), Value::int(2)]))
+            .unwrap();
+        db.insert(Fact::new(a, [Value::int(1), Value::int(2)]))
+            .unwrap(); // ok
+        let bad = db
+            .insert(Fact::new(a, [Value::int(2), Value::int(1)]))
+            .unwrap();
         let ind = Ind::new("comp", &s, ("A", &["X", "Y"]), ("B", &["P", "Q"])).unwrap();
         let dangling = ind.dangling(&db);
         assert_eq!(dangling.len(), 1);
@@ -267,7 +292,8 @@ mod tests {
         let (s, orders, customers) = schema();
         let mut db = Database::new(Arc::clone(&s));
         for k in [2i64, 2, 3, 4] {
-            db.insert(Fact::new(orders, [Value::int(10 + k), Value::int(k)])).unwrap();
+            db.insert(Fact::new(orders, [Value::int(10 + k), Value::int(k)]))
+                .unwrap();
         }
         let ind = fk(&s);
         let (_, inserts, deletes) = ind_min_repair(std::slice::from_ref(&ind), &db, 1.0);

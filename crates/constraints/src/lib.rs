@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codekey;
 pub mod dc;
 pub mod egd;
 pub mod engine;
@@ -32,6 +33,7 @@ pub mod parallel;
 pub mod parse;
 pub mod predicate;
 pub mod set;
+pub mod smallvec;
 
 pub use dc::{Atom, DcDisplay, DenialConstraint};
 pub use egd::{Egd, EgdAtom};
@@ -46,3 +48,4 @@ pub use parallel::minimal_inconsistent_subsets_par;
 pub use parse::parse_dc;
 pub use predicate::{CmpOp, Operand, Predicate};
 pub use set::{ConstraintSet, Provenance};
+pub use smallvec::{SmallIdVec, SmallVec};

@@ -186,11 +186,26 @@ fn predicate_space(db: &Database, rel: RelId, cfg: &MinerConfig, two_tuple: bool
         let ka = rs.attribute(a).kind;
         if two_tuple {
             // Same-column predicates t[A] op t'[A].
-            out.push(MinePred { lhs: a, op: CmpOp::Eq, rhs: a, two_tuple });
-            out.push(MinePred { lhs: a, op: CmpOp::Neq, rhs: a, two_tuple });
+            out.push(MinePred {
+                lhs: a,
+                op: CmpOp::Eq,
+                rhs: a,
+                two_tuple,
+            });
+            out.push(MinePred {
+                lhs: a,
+                op: CmpOp::Neq,
+                rhs: a,
+                two_tuple,
+            });
             if is_numeric(ka) {
                 for op in [CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
-                    out.push(MinePred { lhs: a, op, rhs: a, two_tuple });
+                    out.push(MinePred {
+                        lhs: a,
+                        op,
+                        rhs: a,
+                        two_tuple,
+                    });
                 }
             }
         }
@@ -208,12 +223,27 @@ fn predicate_space(db: &Database, rel: RelId, cfg: &MinerConfig, two_tuple: bool
                 continue;
             }
             if domain_overlap(&domains[i], &domains[j]) >= cfg.min_overlap {
-                out.push(MinePred { lhs: a, op: CmpOp::Eq, rhs: b, two_tuple });
-                out.push(MinePred { lhs: a, op: CmpOp::Neq, rhs: b, two_tuple });
+                out.push(MinePred {
+                    lhs: a,
+                    op: CmpOp::Eq,
+                    rhs: b,
+                    two_tuple,
+                });
+                out.push(MinePred {
+                    lhs: a,
+                    op: CmpOp::Neq,
+                    rhs: b,
+                    two_tuple,
+                });
             }
             if is_numeric(ka) && range_overlap(&domains[i], &domains[j]) >= cfg.min_overlap {
                 for op in [CmpOp::Lt, CmpOp::Gt] {
-                    out.push(MinePred { lhs: a, op, rhs: b, two_tuple });
+                    out.push(MinePred {
+                        lhs: a,
+                        op,
+                        rhs: b,
+                        two_tuple,
+                    });
                 }
             }
         }
@@ -359,7 +389,12 @@ fn boundary_coverage(set: &[usize], bits: &[Bits], sample: usize) -> f64 {
     (boundary as f64 / sample as f64).min(1.0)
 }
 
-fn to_dc(rel: RelId, set: &[MinePred], name: &str, schema: &inconsist_relational::Schema) -> DenialConstraint {
+fn to_dc(
+    rel: RelId,
+    set: &[MinePred],
+    name: &str,
+    schema: &inconsist_relational::Schema,
+) -> DenialConstraint {
     let two_tuple = set.iter().any(|p| p.two_tuple);
     let preds: Vec<Predicate> = set
         .iter()
@@ -406,7 +441,11 @@ pub fn mine_dcs(db: &Database, rel: RelId, cfg: &MinerConfig) -> Vec<MinedDc> {
     let mut out = Vec::new();
     out.extend(mine_space(db, rel, cfg, false));
     out.extend(mine_space(db, rel, cfg, true));
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     out.truncate(cfg.max_dcs);
     // Re-name in rank order for stable display.
     for (i, m) in out.iter_mut().enumerate() {
@@ -500,7 +539,10 @@ fn mine_space(db: &Database, rel: RelId, cfg: &MinerConfig, two_tuple: bool) -> 
     let mut out = Vec::new();
     for (set, _sample_violations) in ctx.found {
         let mined: Vec<MinePred> = set.iter().map(|&i| preds[i]).collect();
-        debug_assert!(well_formed(&mined), "DFS must enforce one predicate per column pair");
+        debug_assert!(
+            well_formed(&mined),
+            "DFS must enforce one predicate per column pair"
+        );
         if !seen.insert(canonical_key(&mined)) {
             continue;
         }
@@ -576,17 +618,18 @@ mod tests {
     fn planted_fd_is_recovered() {
         // B is a function of A: the FD A→B holds, i.e. the DC
         // ¬(t.A = t'.A ∧ t.B ≠ t'.B) must be mined.
-        let (_, _, db) = db_with(
-            &[("A", ValueKind::Int), ("B", ValueKind::Int)],
-            60,
-            |i| vec![Value::int((i % 7) as i64), Value::int((i % 7) as i64 * 10)],
-        );
+        let (_, _, db) = db_with(&[("A", ValueKind::Int), ("B", ValueKind::Int)], 60, |i| {
+            vec![Value::int((i % 7) as i64), Value::int((i % 7) as i64 * 10)]
+        });
         let rel = RelId(0);
         let mined = mine_dcs(&db, rel, &MinerConfig::default());
         assert!(
             contains_pred_set(&mined, &[(0, CmpOp::Eq, 0, true), (1, CmpOp::Neq, 1, true)]),
             "FD-shaped DC missing from {:?}",
-            mined.iter().map(|m| format!("{}", m.dc.display(db.schema()))).collect::<Vec<_>>()
+            mined
+                .iter()
+                .map(|m| format!("{}", m.dc.display(db.schema())))
+                .collect::<Vec<_>>()
         );
     }
 
@@ -613,7 +656,11 @@ mod tests {
     #[test]
     fn exact_mined_dcs_hold_on_the_data() {
         let (s, r, db) = db_with(
-            &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+            &[
+                ("A", ValueKind::Int),
+                ("B", ValueKind::Int),
+                ("C", ValueKind::Int),
+            ],
             40,
             |i| {
                 vec![
@@ -640,14 +687,10 @@ mod tests {
     #[test]
     fn approximate_mining_tolerates_noise() {
         // FD A→B with one dirty row out of 50.
-        let (_, r, db) = db_with(
-            &[("A", ValueKind::Int), ("B", ValueKind::Int)],
-            50,
-            |i| {
-                let b = if i == 0 { 999 } else { (i % 5) as i64 * 10 };
-                vec![Value::int((i % 5) as i64), Value::int(b)]
-            },
-        );
+        let (_, r, db) = db_with(&[("A", ValueKind::Int), ("B", ValueKind::Int)], 50, |i| {
+            let b = if i == 0 { 999 } else { (i % 5) as i64 * 10 };
+            vec![Value::int((i % 5) as i64), Value::int(b)]
+        });
         let exact = mine_dcs(&db, r, &MinerConfig::default());
         assert!(
             !contains_pred_set(&exact, &[(0, CmpOp::Eq, 0, true), (1, CmpOp::Neq, 1, true)]),
@@ -662,52 +705,53 @@ mod tests {
             },
         );
         assert!(
-            contains_pred_set(&approx, &[(0, CmpOp::Eq, 0, true), (1, CmpOp::Neq, 1, true)]),
+            contains_pred_set(
+                &approx,
+                &[(0, CmpOp::Eq, 0, true), (1, CmpOp::Neq, 1, true)]
+            ),
             "approximate mining should recover the dirty FD"
         );
     }
 
     #[test]
     fn no_symmetric_duplicates() {
-        let (_, r, db) = db_with(
-            &[("A", ValueKind::Int), ("B", ValueKind::Int)],
-            30,
-            |i| vec![Value::int((i % 4) as i64), Value::int((i % 4) as i64)],
-        );
+        let (_, r, db) = db_with(&[("A", ValueKind::Int), ("B", ValueKind::Int)], 30, |i| {
+            vec![Value::int((i % 4) as i64), Value::int((i % 4) as i64)]
+        });
         let mined = mine_dcs(&db, r, &MinerConfig::default());
         let mut keys = HashSet::new();
         for m in &mined {
-            let set: Vec<MinePred> = m
-                .dc
-                .predicates
-                .iter()
-                .map(|p| {
-                    use crate::predicate::Operand;
-                    let (Operand::Attr { var: v1, attr: a1 }, Operand::Attr { attr: a2, .. }) =
-                        (&p.lhs, &p.rhs)
-                    else {
-                        panic!("mined predicates are attr-attr")
-                    };
-                    let _ = v1;
-                    MinePred {
-                        lhs: *a1,
-                        op: p.op,
-                        rhs: *a2,
-                        two_tuple: m.dc.arity() == 2,
-                    }
-                })
-                .collect();
-            assert!(keys.insert(canonical_key(&set)), "duplicate DC (up to symmetry)");
+            let set: Vec<MinePred> =
+                m.dc.predicates
+                    .iter()
+                    .map(|p| {
+                        use crate::predicate::Operand;
+                        let (Operand::Attr { var: v1, attr: a1 }, Operand::Attr { attr: a2, .. }) =
+                            (&p.lhs, &p.rhs)
+                        else {
+                            panic!("mined predicates are attr-attr")
+                        };
+                        let _ = v1;
+                        MinePred {
+                            lhs: *a1,
+                            op: p.op,
+                            rhs: *a2,
+                            two_tuple: m.dc.arity() == 2,
+                        }
+                    })
+                    .collect();
+            assert!(
+                keys.insert(canonical_key(&set)),
+                "duplicate DC (up to symmetry)"
+            );
         }
     }
 
     #[test]
     fn scores_are_ranked_and_bounded() {
-        let (_, r, db) = db_with(
-            &[("A", ValueKind::Int), ("B", ValueKind::Int)],
-            40,
-            |i| vec![Value::int((i % 6) as i64), Value::int((i % 6) as i64 * 2)],
-        );
+        let (_, r, db) = db_with(&[("A", ValueKind::Int), ("B", ValueKind::Int)], 40, |i| {
+            vec![Value::int((i % 6) as i64), Value::int((i % 6) as i64 * 2)]
+        });
         let mined = mine_dcs(&db, r, &MinerConfig::default());
         for w in mined.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -721,28 +765,34 @@ mod tests {
     fn one_predicate_per_column_pair() {
         // Bodies like `= ∧ ≠` (vacuous) or `≤ ∧ ≥` (a redundant spelling
         // of `=`) must never be emitted: each column pair appears once.
-        let (_, r, db) = db_with(
-            &[("A", ValueKind::Int), ("B", ValueKind::Int)],
-            30,
-            |i| vec![Value::int((i % 4) as i64), Value::int((i % 7) as i64)],
-        );
+        let (_, r, db) = db_with(&[("A", ValueKind::Int), ("B", ValueKind::Int)], 30, |i| {
+            vec![Value::int((i % 4) as i64), Value::int((i % 7) as i64)]
+        });
         let mined = mine_dcs(&db, r, &MinerConfig::default());
         for m in &mined {
-            let set: Vec<MinePred> = m
-                .dc
-                .predicates
-                .iter()
-                .map(|p| {
-                    use crate::predicate::Operand;
-                    let (Operand::Attr { attr: a1, .. }, Operand::Attr { attr: a2, .. }) =
-                        (&p.lhs, &p.rhs)
-                    else {
-                        panic!()
-                    };
-                    MinePred { lhs: *a1, op: p.op, rhs: *a2, two_tuple: m.dc.arity() == 2 }
-                })
-                .collect();
-            assert!(well_formed(&set), "ill-formed DC emitted: {}", m.dc.display(db.schema()));
+            let set: Vec<MinePred> =
+                m.dc.predicates
+                    .iter()
+                    .map(|p| {
+                        use crate::predicate::Operand;
+                        let (Operand::Attr { attr: a1, .. }, Operand::Attr { attr: a2, .. }) =
+                            (&p.lhs, &p.rhs)
+                        else {
+                            panic!()
+                        };
+                        MinePred {
+                            lhs: *a1,
+                            op: p.op,
+                            rhs: *a2,
+                            two_tuple: m.dc.arity() == 2,
+                        }
+                    })
+                    .collect();
+            assert!(
+                well_formed(&set),
+                "ill-formed DC emitted: {}",
+                m.dc.display(db.schema())
+            );
         }
     }
 

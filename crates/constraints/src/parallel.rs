@@ -15,9 +15,15 @@
 //! does not parallelize — callers with one dominant constraint should
 //! shard the *data* instead.
 //!
+//! Workers run the code-keyed joins of [`crate::engine`] (each with its own
+//! lazily built code indexes); the shared per-column rank tables are warmed
+//! once up front so no worker contends on the rebuild lock.
+//!
 //! Results are bit-identical to [`crate::engine::minimal_inconsistent_subsets`]
-//! whenever enumeration completes; under a raw-violation `limit` the two
-//! may truncate at different prefixes (both report `complete = false`).
+//! whenever enumeration completes; under a raw-violation `limit` (the
+//! *global* budget defined in the engine's module-level *Limits* section,
+//! shared here across all workers through one atomic counter) the two may
+//! truncate at different prefixes (both report `complete = false`).
 
 use crate::engine::{self, MiResult, ViolationSet};
 use crate::set::ConstraintSet;
@@ -40,6 +46,7 @@ pub fn minimal_inconsistent_subsets_par(
     if threads <= 1 || cs.len() <= 1 {
         return engine::minimal_inconsistent_subsets(db, cs, limit);
     }
+    engine::warm_rank_tables(db, cs);
     let budget = AtomicIsize::new(
         limit
             .map(|l| isize::try_from(l).unwrap_or(isize::MAX))
@@ -60,14 +67,19 @@ pub fn minimal_inconsistent_subsets_par(
                     if i >= cs.len() || truncated.load(Ordering::Relaxed) {
                         break;
                     }
-                    engine::for_each_violation(db, &cs.dcs()[i], &mut indexes, &mut |set: &[TupleId]| {
-                        if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
-                            truncated.store(true, Ordering::Relaxed);
-                            return ControlFlow::Break(());
-                        }
-                        local.insert(set.to_vec().into_boxed_slice());
-                        ControlFlow::Continue(())
-                    });
+                    engine::for_each_violation(
+                        db,
+                        &cs.dcs()[i],
+                        &mut indexes,
+                        &mut |set: &[TupleId]| {
+                            if budget.fetch_sub(1, Ordering::Relaxed) <= 0 {
+                                truncated.store(true, Ordering::Relaxed);
+                                return ControlFlow::Break(());
+                            }
+                            local.insert(set.to_vec().into_boxed_slice());
+                            ControlFlow::Continue(())
+                        },
+                    );
                 }
                 if !local.is_empty() {
                     merged.lock().extend(local);
@@ -100,7 +112,11 @@ mod tests {
             .add_relation(
                 relation(
                     "R",
-                    &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                    ],
                 )
                 .unwrap(),
             )
@@ -123,8 +139,13 @@ mod tests {
         cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
         cs.add_fd(Fd::new(r, [AttrId(1)], [AttrId(2)]));
         cs.add_dc(
-            build::unary("pos", r, vec![build::uc(AttrId(2), CmpOp::Gt, Value::int(2))], &s)
-                .unwrap(),
+            build::unary(
+                "pos",
+                r,
+                vec![build::uc(AttrId(2), CmpOp::Gt, Value::int(2))],
+                &s,
+            )
+            .unwrap(),
         );
         cs.add_dc(
             build::binary(

@@ -165,7 +165,8 @@ impl Predicate {
     /// Evaluates the predicate under a binding of tuple variables to rows.
     #[inline]
     pub fn eval(&self, binding: &[&[Value]]) -> bool {
-        self.op.eval(self.lhs.resolve(binding), self.rhs.resolve(binding))
+        self.op
+            .eval(self.lhs.resolve(binding), self.rhs.resolve(binding))
     }
 
     /// The set of tuple variables mentioned.
@@ -216,7 +217,14 @@ mod tests {
 
     #[test]
     fn negate_is_involutive_and_complementary() {
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Leq,
+            CmpOp::Gt,
+            CmpOp::Geq,
+        ] {
             assert_eq!(op.negate().negate(), op);
             let (a, b) = (Value::int(3), Value::int(5));
             assert_ne!(op.eval(&a, &b), op.negate().eval(&a, &b));
@@ -227,7 +235,14 @@ mod tests {
     #[test]
     fn flip_reverses_arguments() {
         let (a, b) = (Value::int(3), Value::int(5));
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Leq, CmpOp::Gt, CmpOp::Geq] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Leq,
+            CmpOp::Gt,
+            CmpOp::Geq,
+        ] {
             assert_eq!(op.eval(&a, &b), op.flip().eval(&b, &a));
         }
     }

@@ -136,7 +136,9 @@ impl ConstraintSet {
 
     /// Whether every constraint in the set was derived from an FD.
     pub fn is_fd_set(&self) -> bool {
-        self.provenance.iter().all(|p| matches!(p, Provenance::Fd(_)))
+        self.provenance
+            .iter()
+            .all(|p| matches!(p, Provenance::Fd(_)))
     }
 
     /// Whether every DC in `self` appears (syntactically) in `other`.
@@ -310,8 +312,30 @@ mod tests {
         let (s, r) = schema4();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         // d1 on {A,B}, d2 on {B,C}, d3 on {D}: overlap ratios 1/2, 1/2, 0.
-        cs.add_dc(build::binary("d1", r, vec![build::tt(a(0), CmpOp::Eq, a(0)), build::tt(a(1), CmpOp::Neq, a(1))], &s).unwrap());
-        cs.add_dc(build::binary("d2", r, vec![build::tt(a(1), CmpOp::Eq, a(1)), build::tt(a(2), CmpOp::Neq, a(2))], &s).unwrap());
+        cs.add_dc(
+            build::binary(
+                "d1",
+                r,
+                vec![
+                    build::tt(a(0), CmpOp::Eq, a(0)),
+                    build::tt(a(1), CmpOp::Neq, a(1)),
+                ],
+                &s,
+            )
+            .unwrap(),
+        );
+        cs.add_dc(
+            build::binary(
+                "d2",
+                r,
+                vec![
+                    build::tt(a(1), CmpOp::Eq, a(1)),
+                    build::tt(a(2), CmpOp::Neq, a(2)),
+                ],
+                &s,
+            )
+            .unwrap(),
+        );
         cs.add_dc(build::unary("d3", r, vec![build::uu(a(3), CmpOp::Lt, a(3))], &s).unwrap());
         let (min, avg, max) = cs.overlap_stats().unwrap();
         assert_eq!(min, 0.0);

@@ -1,0 +1,150 @@
+//! A small-buffer vector for index buckets.
+//!
+//! The hash indexes of the violation engine map a dictionary code to the
+//! tuples (or dense scan positions) carrying that value. On real data most
+//! codes identify a handful of tuples (keys are near-unique), so a heap
+//! `Vec` per bucket wastes an allocation and a pointer chase for the
+//! common case. This is the usual `smallvec` trick (the crates.io crate is
+//! unavailable in this build environment), specialized to the two `u32`-
+//! sized item types the engine stores: up to [`SmallVec::INLINE`] items
+//! live inside the map entry itself, spilling to a heap `Vec` beyond that.
+
+use inconsist_relational::TupleId;
+
+/// Items storable inline: `Copy` with a filler value for unoccupied slots.
+pub trait InlineItem: Copy {
+    /// Arbitrary value used to initialize unoccupied inline slots.
+    const FILLER: Self;
+}
+
+impl InlineItem for TupleId {
+    const FILLER: Self = TupleId(0);
+}
+
+impl InlineItem for u32 {
+    const FILLER: Self = 0;
+}
+
+/// Inline capacity: 6 `u32`-sized items keep the enum at 32 bytes,
+/// matching the allocation granularity of the hash-map entries it lives
+/// in. A single constant shared by the variant type, the constructor and
+/// the `push` bound, so retuning it cannot desynchronize them.
+const INLINE_CAP: usize = 6;
+
+/// Inline-first vector of index entries.
+#[derive(Clone, Debug)]
+pub enum SmallVec<T: InlineItem> {
+    /// Up to [`SmallVec::INLINE`] items stored in place.
+    Inline {
+        /// Number of occupied slots.
+        len: u8,
+        /// Storage; slots `>= len` hold [`InlineItem::FILLER`].
+        buf: [T; INLINE_CAP],
+    },
+    /// Spilled storage once the inline capacity is exceeded.
+    Heap(Vec<T>),
+}
+
+/// Bucket of tuple identifiers (the unary index payload).
+pub type SmallIdVec = SmallVec<TupleId>;
+
+impl<T: InlineItem> SmallVec<T> {
+    /// Inline capacity (see [`INLINE_CAP`]).
+    pub const INLINE: usize = INLINE_CAP;
+
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        SmallVec::Inline {
+            len: 0,
+            buf: [T::FILLER; INLINE_CAP],
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Inline { len, .. } => *len as usize,
+            SmallVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether no item is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends an item, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, item: T) {
+        match self {
+            SmallVec::Inline { len, buf } => {
+                if (*len as usize) < Self::INLINE {
+                    buf[*len as usize] = item;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(Self::INLINE * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(item);
+                    *self = SmallVec::Heap(v);
+                }
+            }
+            SmallVec::Heap(v) => v.push(item),
+        }
+    }
+
+    /// The items as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallVec::Inline { len, buf } => &buf[..*len as usize],
+            SmallVec::Heap(v) => v,
+        }
+    }
+
+    /// Iterates the items.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: InlineItem> Default for SmallVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a, T: InlineItem> IntoIterator for &'a SmallVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_then_spills() {
+        let mut v = SmallIdVec::new();
+        assert!(v.is_empty());
+        for i in 0..SmallIdVec::INLINE as u32 {
+            v.push(TupleId(i));
+            assert!(matches!(v, SmallVec::Inline { .. }));
+        }
+        v.push(TupleId(99));
+        assert!(matches!(v, SmallVec::Heap(_)));
+        let expected: Vec<TupleId> = (0..SmallIdVec::INLINE as u32)
+            .map(TupleId)
+            .chain([TupleId(99)])
+            .collect();
+        assert_eq!(v.as_slice(), expected.as_slice());
+        assert_eq!(v.len(), SmallIdVec::INLINE + 1);
+    }
+
+    #[test]
+    fn enum_is_compact() {
+        assert!(std::mem::size_of::<SmallIdVec>() <= 32);
+        assert!(std::mem::size_of::<SmallVec<u32>>() <= 32);
+    }
+}

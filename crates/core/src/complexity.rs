@@ -145,9 +145,8 @@ fn ir_two_relations(egd: &Egd, db: &Database) -> f64 {
     let sa = &egd.atoms[1];
     // Participating facts: repeated variable within an atom forces equal
     // values at those positions.
-    let participate = |pattern: &[usize], f: &WeightedFact| {
-        !(pattern[0] == pattern[1] && f.1[0] != f.1[1])
-    };
+    let participate =
+        |pattern: &[usize], f: &WeightedFact| !(pattern[0] == pattern[1] && f.1[0] != f.1[1]);
     let r_facts: Vec<WeightedFact> = facts_of(db, ra.rel)
         .into_iter()
         .filter(|f| participate(&ra.vars, f))
@@ -166,9 +165,13 @@ fn ir_two_relations(egd: &Egd, db: &Database) -> f64 {
         .collect();
     shared.sort();
     shared.dedup();
-    let pos_of = |pattern: &[usize], v: usize| pattern.iter().position(|&u| u == v).expect("shared var");
+    let pos_of =
+        |pattern: &[usize], v: usize| pattern.iter().position(|&u| u == v).expect("shared var");
     let key_of = |pattern: &[usize], f: &WeightedFact| -> Vec<Value> {
-        shared.iter().map(|&v| f.1[pos_of(pattern, v)].clone()).collect()
+        shared
+            .iter()
+            .map(|&v| f.1[pos_of(pattern, v)].clone())
+            .collect()
     };
 
     #[derive(Clone, Copy)]
@@ -241,8 +244,7 @@ fn ir_two_relations(egd: &Egd, db: &Database) -> f64 {
                 candidates.sort();
                 candidates.dedup();
                 for a in candidates {
-                    let keep_cost =
-                        bad(&rs, &|f| f.1[p] != a) + bad(&ss, &|f| f.1[q] != a);
+                    let keep_cost = bad(&rs, &|f| f.1[p] != a) + bad(&ss, &|f| f.1[q] != a);
                     best = best.min(keep_cost);
                 }
                 best
@@ -311,7 +313,11 @@ fn ir_shared_key(egd: &Egd, db: &Database) -> f64 {
     let b = &egd.atoms[1].vars;
     let facts = facts_of(db, rel);
     // key position: where the two atoms share a variable.
-    let (key_pos, dep_pos) = if a[0] == b[0] { (0usize, 1usize) } else { (1usize, 0usize) };
+    let (key_pos, dep_pos) = if a[0] == b[0] {
+        (0usize, 1usize)
+    } else {
+        (1usize, 0usize)
+    };
     let shared_var = a[key_pos];
     let (c1, c2) = egd.conclusion;
     if c1 != shared_var && c2 != shared_var {
@@ -342,9 +348,7 @@ fn ir_swap(egd: &Egd, db: &Database) -> f64 {
     let mut sides: HashMap<(Value, Value), f64> = HashMap::new();
     for f in &facts {
         if f.1[0] != f.1[1] {
-            *sides
-                .entry((f.1[0].clone(), f.1[1].clone()))
-                .or_insert(0.0) += f.2;
+            *sides.entry((f.1[0].clone(), f.1[1].clone())).or_insert(0.0) += f.2;
         }
     }
     let mut cost = 0.0;
@@ -408,10 +412,16 @@ pub fn maxcut_reduction(n: usize, edges: &[(u32, u32)]) -> MaxCutInstance {
     let heavy = (m + 1) as f64;
     let vertex = |i: u32| Value::int(i as i64 + 3);
     for i in 0..n as u32 {
-        db.insert(Fact::new(r, [Value::int(1), vertex(i), Value::float(heavy)]))
-            .expect("typed");
-        db.insert(Fact::new(r, [vertex(i), Value::int(2), Value::float(heavy)]))
-            .expect("typed");
+        db.insert(Fact::new(
+            r,
+            [Value::int(1), vertex(i), Value::float(heavy)],
+        ))
+        .expect("typed");
+        db.insert(Fact::new(
+            r,
+            [vertex(i), Value::int(2), Value::float(heavy)],
+        ))
+        .expect("typed");
     }
     for &(i, j) in edges {
         db.insert(Fact::new(r, [vertex(j), vertex(i), Value::float(1.0)]))
@@ -423,13 +433,9 @@ pub fn maxcut_reduction(n: usize, edges: &[(u32, u32)]) -> MaxCutInstance {
     // relation-level EGD on the first two positions only; we express it as
     // a DC directly.
     let mut cs = ConstraintSet::new(Arc::clone(&schema));
-    let dc = inconsist_constraints::parse_dc(
-        &schema,
-        "R",
-        "σ2-path",
-        "!(t.B = t'.A & t.A != t'.B)",
-    )
-    .expect("static DC");
+    let dc =
+        inconsist_constraints::parse_dc(&schema, "R", "σ2-path", "!(t.B = t'.A & t.A != t'.B)")
+            .expect("static DC");
     cs.add_dc(dc);
     MaxCutInstance { db, cs, n, m }
 }
@@ -476,8 +482,14 @@ mod tests {
             Some(EgdComplexity::Polynomial(PolyCase::SharedKey)),
             "σ1 is an FD — polynomial"
         );
-        assert_eq!(classify(&example8::sigma2(r, &s)), Some(EgdComplexity::NpHard));
-        assert_eq!(classify(&example8::sigma3(r, &s)), Some(EgdComplexity::NpHard));
+        assert_eq!(
+            classify(&example8::sigma2(r, &s)),
+            Some(EgdComplexity::NpHard)
+        );
+        assert_eq!(
+            classify(&example8::sigma3(r, &s)),
+            Some(EgdComplexity::NpHard)
+        );
         assert_eq!(
             classify(&example8::sigma4(r, t, &s)),
             Some(EgdComplexity::Polynomial(PolyCase::TwoRelations)),
@@ -491,20 +503,35 @@ mod tests {
         let swap = Egd::new(
             "swap",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![1, 0] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![1, 0],
+                },
             ],
             (0, 1),
             &s,
         )
         .unwrap();
-        assert_eq!(classify(&swap), Some(EgdComplexity::Polynomial(PolyCase::Swap)));
+        assert_eq!(
+            classify(&swap),
+            Some(EgdComplexity::Polynomial(PolyCase::Swap))
+        );
         // No shared vars.
         let nos = Egd::new(
             "nos",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![2, 3] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![2, 3],
+                },
             ],
             (0, 2),
             &s,
@@ -518,8 +545,14 @@ mod tests {
         let ident = Egd::new(
             "id",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
             ],
             (0, 1),
             &s,
@@ -533,8 +566,14 @@ mod tests {
         let trivial = Egd::new(
             "tr",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![1, 2] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![1, 2],
+                },
             ],
             (1, 1),
             &s,
@@ -545,8 +584,14 @@ mod tests {
         let rep = Egd::new(
             "rep",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 0] },
-                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 0],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
             ],
             (0, 1),
             &s,
@@ -557,8 +602,14 @@ mod tests {
         let rev = Egd::new(
             "rev",
             vec![
-                EgdAtom { rel: r, vars: vec![1, 2] },
-                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![1, 2],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
             ],
             (0, 2),
             &s,
@@ -590,7 +641,10 @@ mod tests {
             let rel = rels[rng.gen_range(0..rels.len())];
             db.insert(Fact::new(
                 rel,
-                [Value::int(rng.gen_range(0..domain)), Value::int(rng.gen_range(0..domain))],
+                [
+                    Value::int(rng.gen_range(0..domain)),
+                    Value::int(rng.gen_range(0..domain)),
+                ],
             ))
             .unwrap();
         }
@@ -634,8 +688,14 @@ mod tests {
         let egd = Egd::new(
             "swap",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![1, 0] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![1, 0],
+                },
             ],
             (0, 1),
             &s,
@@ -659,8 +719,14 @@ mod tests {
             let egd = Egd::new(
                 "nos",
                 vec![
-                    EgdAtom { rel: r, vars: vec![0, 1] },
-                    EgdAtom { rel: r, vars: vec![2, 3] },
+                    EgdAtom {
+                        rel: r,
+                        vars: vec![0, 1],
+                    },
+                    EgdAtom {
+                        rel: r,
+                        vars: vec![2, 3],
+                    },
                 ],
                 conclusion,
                 &s,
@@ -668,7 +734,7 @@ mod tests {
             .unwrap();
             for trial in 0..10 {
                 let n = rng.gen_range(2..9);
-            let db = random_db(&s, &[r], &mut rng, n, 3);
+                let db = random_db(&s, &[r], &mut rng, n, 3);
                 let fast = ir_single_egd(&egd, &db).unwrap();
                 let exact = exact_ir(&egd, &db, &s);
                 assert!(
@@ -687,8 +753,14 @@ mod tests {
             let egd = Egd::new(
                 "sk",
                 vec![
-                    EgdAtom { rel: r, vars: vec![0, 1] },
-                    EgdAtom { rel: r, vars: vec![0, 2] },
+                    EgdAtom {
+                        rel: r,
+                        vars: vec![0, 1],
+                    },
+                    EgdAtom {
+                        rel: r,
+                        vars: vec![0, 2],
+                    },
                 ],
                 conclusion,
                 &s,
@@ -696,7 +768,7 @@ mod tests {
             .unwrap();
             for trial in 0..10 {
                 let n = rng.gen_range(2..10);
-            let db = random_db(&s, &[r], &mut rng, n, 3);
+                let db = random_db(&s, &[r], &mut rng, n, 3);
                 let fast = ir_single_egd(&egd, &db).unwrap();
                 let exact = exact_ir(&egd, &db, &s);
                 assert!(
@@ -713,8 +785,14 @@ mod tests {
         let egd = Egd::new(
             "id",
             vec![
-                EgdAtom { rel: r, vars: vec![0, 1] },
-                EgdAtom { rel: r, vars: vec![0, 1] },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
             ],
             (0, 1),
             &s,

@@ -57,8 +57,7 @@ pub fn classify_fds(cs: &ConstraintSet) -> FdTractability {
                 if e.get().lhs != fd.lhs {
                     return FdTractability::Unknown;
                 }
-                let rhs: BTreeSet<AttrId> =
-                    e.get().rhs.union(&fd.rhs).copied().collect();
+                let rhs: BTreeSet<AttrId> = e.get().rhs.union(&fd.rhs).copied().collect();
                 e.get_mut().rhs = rhs;
             }
         }
@@ -83,7 +82,10 @@ fn repair_one_fd(db: &Database, fd: &Fd) -> (f64, Vec<TupleId>) {
     let mut blocks: HashMap<Vec<Value>, Classes> = HashMap::new();
     for f in db.scan(fd.rel) {
         let x: Vec<Value> = fd.lhs.iter().map(|a| f.values[a.idx()].clone()).collect();
-        let y: Vec<Value> = dependents.iter().map(|a| f.values[a.idx()].clone()).collect();
+        let y: Vec<Value> = dependents
+            .iter()
+            .map(|a| f.values[a.idx()].clone())
+            .collect();
         let class = blocks.entry(x).or_default().entry(y).or_default();
         class.0 += db.cost_of(f.id);
         class.1.push(f.id);
@@ -167,7 +169,10 @@ mod tests {
         let (s, r) = schema();
         let mut single = ConstraintSet::new(Arc::clone(&s));
         single.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
-        assert!(matches!(classify_fds(&single), FdTractability::CommonLhs(_)));
+        assert!(matches!(
+            classify_fds(&single),
+            FdTractability::CommonLhs(_)
+        ));
 
         // Same LHS, two FDs → merged, still tractable.
         let mut common = ConstraintSet::new(Arc::clone(&s));
@@ -215,12 +220,36 @@ mod tests {
         let (s, r) = schema();
         let mut db = Database::new(Arc::clone(&s));
         // Block A=1: classes B=1 (weight 3.0) and B=2 (weight 1.0 + 1.0).
-        db.insert(Fact::new(r, [Value::int(1), Value::int(1), Value::int(0), Value::float(3.0)]))
-            .unwrap();
-        db.insert(Fact::new(r, [Value::int(1), Value::int(2), Value::int(0), Value::float(1.0)]))
-            .unwrap();
-        db.insert(Fact::new(r, [Value::int(1), Value::int(2), Value::int(1), Value::float(1.0)]))
-            .unwrap();
+        db.insert(Fact::new(
+            r,
+            [
+                Value::int(1),
+                Value::int(1),
+                Value::int(0),
+                Value::float(3.0),
+            ],
+        ))
+        .unwrap();
+        db.insert(Fact::new(
+            r,
+            [
+                Value::int(1),
+                Value::int(2),
+                Value::int(0),
+                Value::float(1.0),
+            ],
+        ))
+        .unwrap();
+        db.insert(Fact::new(
+            r,
+            [
+                Value::int(1),
+                Value::int(2),
+                Value::int(1),
+                Value::float(1.0),
+            ],
+        ))
+        .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
         let (cost, deletions) = fast_min_repair(&cs, &db).unwrap();
@@ -277,7 +306,10 @@ mod tests {
             }
             let (fast, deletions) = fast_min_repair(&cs, &db).unwrap();
             let exact = MinimumRepair { options: opts }.eval(&cs, &db).unwrap();
-            assert!((fast - exact).abs() < 1e-9, "trial {trial}: {fast} vs {exact}");
+            assert!(
+                (fast - exact).abs() < 1e-9,
+                "trial {trial}: {fast} vs {exact}"
+            );
             let mut repaired = db.clone();
             for t in deletions {
                 repaired.delete(t);

@@ -20,6 +20,13 @@
 //! * **update** `⟨i.A ← c⟩` — treated as delete-then-insert on the same
 //!   identifier: remove the incident bindings, apply the update, re-probe.
 //!
+//! The index owns the database, so every mutation flows through
+//! [`Database::insert`]/[`Database::delete`]/[`Database::update`] and keeps
+//! the dictionary-encoded columnar mirrors in sync as a side effect; the
+//! pinned re-probes after insert/update run on the same code-keyed joins
+//! as the full scan (dictionary codes are stable across deletions, so no
+//! re-encoding ever happens in the loop).
+//!
 //! The measures `I_d`, `I_MI`, `I_MI^dc`, `I_P`, `I_R` and `I_R^lin` are
 //! then answered from the maintained set; only the global
 //! minimality/dedup pass and (for the repair measures) the cover solve are
@@ -33,7 +40,9 @@ use crate::repair::RepairOp;
 use inconsist_constraints::{engine, ConstraintSet, ViolationSet};
 use inconsist_graph::ConflictGraph;
 use inconsist_relational::{AttrId, Database, Fact, RelationalError, TupleId, Value};
-use inconsist_solver::{covering_lp, fractional_vertex_cover, min_weight_hitting_set, min_weight_vertex_cover};
+use inconsist_solver::{
+    covering_lp, fractional_vertex_cover, min_weight_hitting_set, min_weight_vertex_cover,
+};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
@@ -120,10 +129,7 @@ impl IncrementalIndex {
             for set in sets {
                 self.raw_count += 1;
                 for &t in set.iter() {
-                    self.by_tuple
-                        .entry(t)
-                        .or_default()
-                        .insert((i, set.clone()));
+                    self.by_tuple.entry(t).or_default().insert((i, set.clone()));
                 }
             }
         }
@@ -183,7 +189,10 @@ impl IncrementalIndex {
             if self.per_dc[dc].insert(set.clone()) {
                 self.raw_count += 1;
                 for &u in set.iter() {
-                    self.by_tuple.entry(u).or_default().insert((dc, set.clone()));
+                    self.by_tuple
+                        .entry(u)
+                        .or_default()
+                        .insert((dc, set.clone()));
                 }
             }
         }
@@ -256,11 +265,8 @@ impl IncrementalIndex {
     /// dedup + inclusion-minimality), memoized until the next mutation.
     pub fn minimal_subsets(&mut self) -> &[ViolationSet] {
         if self.mi_cache.is_none() {
-            let union: HashSet<ViolationSet> = self
-                .per_dc
-                .iter()
-                .flat_map(|s| s.iter().cloned())
-                .collect();
+            let union: HashSet<ViolationSet> =
+                self.per_dc.iter().flat_map(|s| s.iter().cloned()).collect();
             self.mi_cache = Some(engine::filter_minimal(union));
         }
         self.mi_cache.as_deref().expect("just filled")
@@ -385,7 +391,11 @@ mod tests {
             .add_relation(
                 relation(
                     "R",
-                    &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                    ],
                 )
                 .unwrap(),
             )
@@ -412,7 +422,9 @@ mod tests {
         assert!(idx.self_check(), "raw binding sets diverged");
         assert_eq!(
             idx.i_mi(),
-            MinimalInconsistentSubsets { options: opts }.eval(&cs, &db).unwrap()
+            MinimalInconsistentSubsets { options: opts }
+                .eval(&cs, &db)
+                .unwrap()
         );
         assert_eq!(
             idx.i_p(),
@@ -423,7 +435,9 @@ mod tests {
             MinimumRepair { options: opts }.eval(&cs, &db).unwrap()
         );
         let lin_inc = idx.i_r_lin().unwrap();
-        let lin_scratch = LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+        let lin_scratch = LinearMinimumRepair { options: opts }
+            .eval(&cs, &db)
+            .unwrap();
         assert!((lin_inc - lin_scratch).abs() < 1e-6);
         assert_eq!(
             idx.is_consistent(),
@@ -504,8 +518,13 @@ mod tests {
         db.insert(fact3(r, 5, 0, 0)).unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_dc(
-            build::unary("pos", r, vec![build::uc(AttrId(0), CmpOp::Lt, Value::int(0))], &s)
-                .unwrap(),
+            build::unary(
+                "pos",
+                r,
+                vec![build::uc(AttrId(0), CmpOp::Lt, Value::int(0))],
+                &s,
+            )
+            .unwrap(),
         );
         let mut idx = IncrementalIndex::build(db, cs).unwrap();
         assert_eq!(idx.i_mi(), 1.0);

@@ -56,24 +56,23 @@ pub use incremental::IncrementalIndex;
 pub use measures::{
     standard_measures, Drastic, InconsistencyMeasure, LinearMinimumRepair,
     MaximalConsistentSubsets, MaximalConsistentSubsetsWithSelf, MeasureError, MeasureOptions,
-    MeasureResult, MinimalInconsistentSubsets, MinimalViolations, MinimumRepair,
-    ProblematicFacts,
+    MeasureResult, MinimalInconsistentSubsets, MinimalViolations, MinimumRepair, ProblematicFacts,
 };
 pub use measures_ext::{
     extension_measures, Denominator, GradedMinimalInconsistent, GreedyRepair, Normalized,
     ProblematicCells,
 };
+pub use progress::{trace_quality, waiting_time_correlation, TraceQuality};
 pub use properties::{
     best_improvement, best_weighted_improvement, check_monotonicity, check_positivity,
     check_progression, continuity_ratio, table2, weighted_continuity_ratio, Table2Row, Verdict,
 };
-pub use progress::{trace_quality, waiting_time_correlation, TraceQuality};
 pub use repair::{MixedRepairs, RepairOp, RepairSystem, SubsetRepairs, UpdateRepairs};
 pub use shapley::{rank_by_responsibility, shapley_exact, shapley_sampled};
+pub use suite::{normalize_series, MeasureSuite, SuiteReport};
 pub use tradeoff::{
     information_loss, most_beneficial, score_operations, tradeoff_frontier, TradeoffPoint,
 };
-pub use suite::{normalize_series, MeasureSuite, SuiteReport};
 pub use update_repair::{
     greedy_update_repair, min_update_repair, UpdateMinimumRepair, UpdateRepairOptions,
 };

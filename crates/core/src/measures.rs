@@ -22,11 +22,11 @@
 //! `Truncated` error rather than a silently wrong number.
 
 use inconsist_constraints::{engine, ConstraintSet, MiResult};
-use inconsist_graph::{
-    count_maximal_consistent_subsets, count_mis_if_cograph, ConflictGraph,
-};
+use inconsist_graph::{count_maximal_consistent_subsets, count_mis_if_cograph, ConflictGraph};
 use inconsist_relational::Database;
-use inconsist_solver::{covering_lp, fractional_vertex_cover, min_weight_hitting_set, min_weight_vertex_cover};
+use inconsist_solver::{
+    covering_lp, fractional_vertex_cover, min_weight_hitting_set, min_weight_vertex_cover,
+};
 use std::fmt;
 
 /// Why a measure could not produce an exact value.
@@ -100,7 +100,11 @@ impl InconsistencyMeasure for Drastic {
     }
 
     fn eval(&self, cs: &ConstraintSet, db: &Database) -> MeasureResult {
-        Ok(if engine::is_consistent(db, cs) { 0.0 } else { 1.0 })
+        Ok(if engine::is_consistent(db, cs) {
+            0.0
+        } else {
+            1.0
+        })
     }
 }
 
@@ -290,8 +294,8 @@ pub fn minimum_repair_deletions(
                     .collect()
             })
             .collect();
-        let hs =
-            min_weight_hitting_set(&weights, &sets, options.vc_budget).ok_or(MeasureError::Timeout)?;
+        let hs = min_weight_hitting_set(&weights, &sets, options.vc_budget)
+            .ok_or(MeasureError::Timeout)?;
         Ok(hs.elements.iter().map(|&v| graph.tuple(v as u32)).collect())
     }
 }
@@ -360,7 +364,11 @@ mod tests {
             .add_relation(
                 relation(
                     "R",
-                    &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                    ],
                 )
                 .unwrap(),
             )
@@ -397,18 +405,27 @@ mod tests {
         let opts = MeasureOptions::default();
         assert_eq!(Drastic.eval(&cs, &db).unwrap(), 1.0);
         assert_eq!(
-            MinimalInconsistentSubsets { options: opts }.eval(&cs, &db).unwrap(),
+            MinimalInconsistentSubsets { options: opts }
+                .eval(&cs, &db)
+                .unwrap(),
             1.0
         );
-        assert_eq!(ProblematicFacts { options: opts }.eval(&cs, &db).unwrap(), 2.0);
+        assert_eq!(
+            ProblematicFacts { options: opts }.eval(&cs, &db).unwrap(),
+            2.0
+        );
         // MC = {{t0},{t1}} → I_MC = 1.
         assert_eq!(
-            MaximalConsistentSubsets { options: opts }.eval(&cs, &db).unwrap(),
+            MaximalConsistentSubsets { options: opts }
+                .eval(&cs, &db)
+                .unwrap(),
             1.0
         );
         assert_eq!(MinimumRepair { options: opts }.eval(&cs, &db).unwrap(), 1.0);
         assert_eq!(
-            LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap(),
+            LinearMinimumRepair { options: opts }
+                .eval(&cs, &db)
+                .unwrap(),
             1.0
         );
     }
@@ -421,18 +438,27 @@ mod tests {
         insert3(&mut db, r, 1, 0, 0);
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_dc(
-            build::unary("noseven", r, vec![build::uc(AttrId(0), CmpOp::Eq, Value::int(7))], &s)
-                .unwrap(),
+            build::unary(
+                "noseven",
+                r,
+                vec![build::uc(AttrId(0), CmpOp::Eq, Value::int(7))],
+                &s,
+            )
+            .unwrap(),
         );
         let opts = MeasureOptions::default();
         // MC = {{t1}} → I_MC = 0 (positivity failure of I_MC, §4).
         assert_eq!(
-            MaximalConsistentSubsets { options: opts }.eval(&cs, &db).unwrap(),
+            MaximalConsistentSubsets { options: opts }
+                .eval(&cs, &db)
+                .unwrap(),
             0.0
         );
         // I'_MC counts the contradictory tuple → 1.
         assert_eq!(
-            MaximalConsistentSubsetsWithSelf { options: opts }.eval(&cs, &db).unwrap(),
+            MaximalConsistentSubsetsWithSelf { options: opts }
+                .eval(&cs, &db)
+                .unwrap(),
             1.0
         );
         assert_eq!(MinimumRepair { options: opts }.eval(&cs, &db).unwrap(), 1.0);
@@ -459,7 +485,9 @@ mod tests {
             cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
             cs.add_fd(Fd::new(r, [AttrId(1)], [AttrId(2)]));
             let ir = MinimumRepair { options: opts }.eval(&cs, &db).unwrap();
-            let lin = LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+            let lin = LinearMinimumRepair { options: opts }
+                .eval(&cs, &db)
+                .unwrap();
             assert!(lin <= ir + 1e-9, "relaxation can only decrease");
             assert!(ir <= 2.0 * lin + 1e-9, "FD integrality gap is at most 2");
         }
@@ -479,25 +507,39 @@ mod tests {
         let egd = inconsist_constraints::Egd::new(
             "p1",
             vec![
-                inconsist_constraints::EgdAtom { rel: r, vars: vec![0, 1] },
-                inconsist_constraints::EgdAtom { rel: t, vars: vec![0, 2] },
-                inconsist_constraints::EgdAtom { rel: t, vars: vec![0, 3] },
+                inconsist_constraints::EgdAtom {
+                    rel: r,
+                    vars: vec![0, 1],
+                },
+                inconsist_constraints::EgdAtom {
+                    rel: t,
+                    vars: vec![0, 2],
+                },
+                inconsist_constraints::EgdAtom {
+                    rel: t,
+                    vars: vec![0, 3],
+                },
             ],
             (2, 3),
             &s,
         )
         .unwrap();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(r, [Value::int(1), Value::int(0)])).unwrap();
-        db.insert(Fact::new(t, [Value::int(1), Value::int(5)])).unwrap();
-        db.insert(Fact::new(t, [Value::int(1), Value::int(6)])).unwrap();
+        db.insert(Fact::new(r, [Value::int(1), Value::int(0)]))
+            .unwrap();
+        db.insert(Fact::new(t, [Value::int(1), Value::int(5)]))
+            .unwrap();
+        db.insert(Fact::new(t, [Value::int(1), Value::int(6)]))
+            .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_egd(egd);
         let opts = MeasureOptions::default();
         // One hyperedge of three tuples: delete any one → I_R = 1.
         assert_eq!(MinimumRepair { options: opts }.eval(&cs, &db).unwrap(), 1.0);
         // LP: put x = 1 on a single variable? No — 1/3 each suffices: 3·(1/3)=1.
-        let lin = LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+        let lin = LinearMinimumRepair { options: opts }
+            .eval(&cs, &db)
+            .unwrap();
         assert!((lin - 1.0).abs() < 1e-6);
     }
 

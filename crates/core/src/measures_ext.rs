@@ -215,7 +215,11 @@ mod tests {
             .add_relation(
                 relation(
                     "R",
-                    &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("C", ValueKind::Int),
+                    ],
                 )
                 .unwrap(),
             )
@@ -250,8 +254,12 @@ mod tests {
     fn mic_is_half_mi_for_fds() {
         let opts = MeasureOptions::default();
         for (cs, db) in random_instances(3, 20) {
-            let mi = MinimalInconsistentSubsets { options: opts }.eval(&cs, &db).unwrap();
-            let mic = GradedMinimalInconsistent { options: opts }.eval(&cs, &db).unwrap();
+            let mi = MinimalInconsistentSubsets { options: opts }
+                .eval(&cs, &db)
+                .unwrap();
+            let mic = GradedMinimalInconsistent { options: opts }
+                .eval(&cs, &db)
+                .unwrap();
             assert!((mic - mi / 2.0).abs() < 1e-9, "FD witnesses have two facts");
         }
     }
@@ -296,7 +304,9 @@ mod tests {
         for (cs, db) in random_instances(7, 25) {
             let exact = MinimumRepair { options: opts }.eval(&cs, &db).unwrap();
             let greedy = GreedyRepair { options: opts }.eval(&cs, &db).unwrap();
-            let lin = LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+            let lin = LinearMinimumRepair { options: opts }
+                .eval(&cs, &db)
+                .unwrap();
             assert!(greedy + 1e-9 >= exact, "greedy is an upper bound");
             assert!(lin <= exact + 1e-9);
             // Harmonic bound for vertex cover: greedy ≤ H(d)·exact ≤ 2·ln(n)+1.
@@ -315,7 +325,11 @@ mod tests {
                 if consistent {
                     assert_eq!(v, 0.0, "{} must be zero on consistent data", m.name());
                 } else {
-                    assert!(v > 0.0, "{} must be positive on inconsistent data", m.name());
+                    assert!(
+                        v > 0.0,
+                        "{} must be positive on inconsistent data",
+                        m.name()
+                    );
                 }
             }
         }
@@ -353,7 +367,7 @@ mod tests {
         assert!((pairs.eval(&cs, &d1).unwrap() - 0.7).abs() < 1e-9); // 7 / 10
         let fixed = Normalized::new(ProblematicFacts { options: opts }, Denominator::Fixed(2000));
         assert_eq!(fixed.eval(&cs, &d1).unwrap(), 2.5); // 5 / 2
-        // Empty database: denominator 0 must not divide.
+                                                        // Empty database: denominator 0 must not divide.
         let empty = Database::new(Arc::clone(d1.schema()));
         assert_eq!(norm.eval(&cs, &empty).unwrap(), 0.0);
     }

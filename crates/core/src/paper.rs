@@ -40,8 +40,13 @@ pub fn airport_schema() -> (Arc<Schema>, RelId) {
 pub fn airport_constraints(schema: &Arc<Schema>) -> ConstraintSet {
     let mut cs = ConstraintSet::new(Arc::clone(schema));
     cs.add_fd(
-        Fd::named(schema, "Airport", &["Municipality"], &["Continent", "Country"])
-            .expect("static FD"),
+        Fd::named(
+            schema,
+            "Airport",
+            &["Municipality"],
+            &["Continent", "Country"],
+        )
+        .expect("static FD"),
     );
     cs.add_fd(Fd::named(schema, "Airport", &["Country"], &["Continent"]).expect("static FD"));
     cs
@@ -65,33 +70,138 @@ fn airport_db(rows: &[[&str; 6]]) -> (Database, ConstraintSet) {
 /// The clean database `D0` of Fig. 1a.
 pub fn airport_d0() -> (Database, ConstraintSet) {
     airport_db(&[
-        ["00AA", "Small airport", "Aero B Ranch", "NAm", "US", "Leoti"],
-        ["7FA0", "heliport", "Florida Keys Memorial Hospital Heliport", "NAm", "US", "Key West"],
-        ["7FA1", "Small airport", "Sugar Loaf Shores Airport", "NAm", "US", "Key West"],
-        ["KEYW", "Medium airport", "Key West International Airport", "NAm", "US", "Key West"],
-        ["KNQX", "Medium airport", "Naval Air Station Key West/Boca Chica Field", "NAm", "US", "Key West"],
+        [
+            "00AA",
+            "Small airport",
+            "Aero B Ranch",
+            "NAm",
+            "US",
+            "Leoti",
+        ],
+        [
+            "7FA0",
+            "heliport",
+            "Florida Keys Memorial Hospital Heliport",
+            "NAm",
+            "US",
+            "Key West",
+        ],
+        [
+            "7FA1",
+            "Small airport",
+            "Sugar Loaf Shores Airport",
+            "NAm",
+            "US",
+            "Key West",
+        ],
+        [
+            "KEYW",
+            "Medium airport",
+            "Key West International Airport",
+            "NAm",
+            "US",
+            "Key West",
+        ],
+        [
+            "KNQX",
+            "Medium airport",
+            "Naval Air Station Key West/Boca Chica Field",
+            "NAm",
+            "US",
+            "Key West",
+        ],
     ])
 }
 
 /// The noisy database `D1` of Fig. 1b (four modified values).
 pub fn airport_d1() -> (Database, ConstraintSet) {
     airport_db(&[
-        ["00AA", "Small airport", "Aero B Ranch", "NAm", "US", "Leoti"],
-        ["7FA0", "heliport", "Florida Keys Memorial Hospital Heliport", "Am", "USA", "Key West"],
-        ["7FA1", "Small airport", "Sugar Loaf Shores Airport", "NAm", "US", "Key West"],
-        ["KEYW", "Medium airport", "Key West International Airport", "NAm", "USA", "Key West"],
-        ["KNQX", "Medium airport", "Naval Air Station Key West/Boca Chica Field", "Am", "US", "Key West"],
+        [
+            "00AA",
+            "Small airport",
+            "Aero B Ranch",
+            "NAm",
+            "US",
+            "Leoti",
+        ],
+        [
+            "7FA0",
+            "heliport",
+            "Florida Keys Memorial Hospital Heliport",
+            "Am",
+            "USA",
+            "Key West",
+        ],
+        [
+            "7FA1",
+            "Small airport",
+            "Sugar Loaf Shores Airport",
+            "NAm",
+            "US",
+            "Key West",
+        ],
+        [
+            "KEYW",
+            "Medium airport",
+            "Key West International Airport",
+            "NAm",
+            "USA",
+            "Key West",
+        ],
+        [
+            "KNQX",
+            "Medium airport",
+            "Naval Air Station Key West/Boca Chica Field",
+            "Am",
+            "US",
+            "Key West",
+        ],
     ])
 }
 
 /// The noisy database `D2` of Fig. 1c (three modified values).
 pub fn airport_d2() -> (Database, ConstraintSet) {
     airport_db(&[
-        ["00AA", "Small airport", "Aero B Ranch", "NAm", "US", "Leoti"],
-        ["7FA0", "heliport", "Florida Keys Memorial Hospital Heliport", "Am", "USA", "Key West"],
-        ["7FA1", "Small airport", "Sugar Loaf Shores Airport", "NAm", "US", "Key West"],
-        ["KEYW", "Medium airport", "Key West International Airport", "NAm", "USA", "Key West"],
-        ["KNQX", "Medium airport", "Naval Air Station Key West/Boca Chica Field", "NAm", "US", "Key West"],
+        [
+            "00AA",
+            "Small airport",
+            "Aero B Ranch",
+            "NAm",
+            "US",
+            "Leoti",
+        ],
+        [
+            "7FA0",
+            "heliport",
+            "Florida Keys Memorial Hospital Heliport",
+            "Am",
+            "USA",
+            "Key West",
+        ],
+        [
+            "7FA1",
+            "Small airport",
+            "Sugar Loaf Shores Airport",
+            "NAm",
+            "US",
+            "Key West",
+        ],
+        [
+            "KEYW",
+            "Medium airport",
+            "Key West International Airport",
+            "NAm",
+            "USA",
+            "Key West",
+        ],
+        [
+            "KNQX",
+            "Medium airport",
+            "Naval Air Station Key West/Boca Chica Field",
+            "NAm",
+            "US",
+            "Key West",
+        ],
     ])
 }
 
@@ -197,7 +307,11 @@ pub fn prop4_instance(n: usize) -> (Database, ConstraintSet, inconsist_relationa
         .add_relation(
             relation(
                 "R",
-                &[("A", ValueKind::Int), ("B", ValueKind::Int), ("C", ValueKind::Int)],
+                &[
+                    ("A", ValueKind::Int),
+                    ("B", ValueKind::Int),
+                    ("C", ValueKind::Int),
+                ],
             )
             .expect("static schema"),
         )
@@ -272,14 +386,24 @@ mod tests {
             let continent = d1.schema().relation(rel).attr("Continent").unwrap();
             let country = d1.schema().relation(rel).attr("Country").unwrap();
             let mut restored = d1.clone();
-            restored.update(TupleId(2), continent, Value::str("NAm")).unwrap();
-            restored.update(TupleId(2), country, Value::str("US")).unwrap();
-            restored.update(TupleId(4), country, Value::str("US")).unwrap();
-            restored.update(TupleId(5), continent, Value::str("NAm")).unwrap();
+            restored
+                .update(TupleId(2), continent, Value::str("NAm"))
+                .unwrap();
+            restored
+                .update(TupleId(2), country, Value::str("US"))
+                .unwrap();
+            restored
+                .update(TupleId(4), country, Value::str("US"))
+                .unwrap();
+            restored
+                .update(TupleId(5), continent, Value::str("NAm"))
+                .unwrap();
             assert!(engine::is_consistent(&restored, &cs));
         }
         assert_eq!(
-            MinimalInconsistentSubsets { options: opts }.eval(&cs, &d1).unwrap(),
+            MinimalInconsistentSubsets { options: opts }
+                .eval(&cs, &d1)
+                .unwrap(),
             7.0,
             "I_MI"
         );
@@ -289,11 +413,15 @@ mod tests {
             "I_P"
         );
         assert_eq!(
-            MaximalConsistentSubsets { options: opts }.eval(&cs, &d1).unwrap(),
+            MaximalConsistentSubsets { options: opts }
+                .eval(&cs, &d1)
+                .unwrap(),
             3.0,
             "I_MC"
         );
-        let lin = LinearMinimumRepair { options: opts }.eval(&cs, &d1).unwrap();
+        let lin = LinearMinimumRepair { options: opts }
+            .eval(&cs, &d1)
+            .unwrap();
         assert!((lin - 2.5).abs() < 1e-9, "I_R^lin = 2.5, got {lin}");
     }
 
@@ -313,15 +441,24 @@ mod tests {
         assert_eq!(min_update_repair(&cs, &d2, &active_domain_only), Some(3));
         assert_eq!(min_update_repair(&cs, &d2, &Default::default()), Some(2));
         assert_eq!(
-            MinimalInconsistentSubsets { options: opts }.eval(&cs, &d2).unwrap(),
+            MinimalInconsistentSubsets { options: opts }
+                .eval(&cs, &d2)
+                .unwrap(),
             5.0
         );
-        assert_eq!(ProblematicFacts { options: opts }.eval(&cs, &d2).unwrap(), 4.0);
         assert_eq!(
-            MaximalConsistentSubsets { options: opts }.eval(&cs, &d2).unwrap(),
+            ProblematicFacts { options: opts }.eval(&cs, &d2).unwrap(),
+            4.0
+        );
+        assert_eq!(
+            MaximalConsistentSubsets { options: opts }
+                .eval(&cs, &d2)
+                .unwrap(),
             2.0
         );
-        let lin = LinearMinimumRepair { options: opts }.eval(&cs, &d2).unwrap();
+        let lin = LinearMinimumRepair { options: opts }
+            .eval(&cs, &d2)
+            .unwrap();
         assert!((lin - 2.0).abs() < 1e-9);
     }
 
@@ -330,7 +467,12 @@ mod tests {
         let (d0, cs) = airport_d0();
         assert!(engine::is_consistent(&d0, &cs));
         let opts = MeasureOptions::default();
-        assert_eq!(MaximalConsistentSubsets { options: opts }.eval(&cs, &d0).unwrap(), 0.0);
+        assert_eq!(
+            MaximalConsistentSubsets { options: opts }
+                .eval(&cs, &d0)
+                .unwrap(),
+            0.0
+        );
     }
 
     #[test]

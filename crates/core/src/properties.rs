@@ -329,9 +329,8 @@ pub fn table2() -> Vec<Table2Row> {
 mod tests {
     use super::*;
     use crate::measures::{
-        Drastic, LinearMinimumRepair, MaximalConsistentSubsets,
-        MaximalConsistentSubsetsWithSelf, MeasureOptions, MinimalInconsistentSubsets,
-        MinimumRepair, ProblematicFacts,
+        Drastic, LinearMinimumRepair, MaximalConsistentSubsets, MaximalConsistentSubsetsWithSelf,
+        MeasureOptions, MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
     };
     use crate::paper;
     use crate::repair::{SubsetRepairs, UpdateRepairs};
@@ -353,10 +352,8 @@ mod tests {
             d2.delete(f0).unwrap();
             let mi = MinimalInconsistentSubsets { options: opts() };
             let ir = MinimumRepair { options: opts() };
-            let w_mi =
-                weighted_continuity_ratio(&mi, &SubsetRepairs, &cs, &db, &d2).unwrap();
-            let w_ir =
-                weighted_continuity_ratio(&ir, &SubsetRepairs, &cs, &db, &d2).unwrap();
+            let w_mi = weighted_continuity_ratio(&mi, &SubsetRepairs, &cs, &db, &d2).unwrap();
+            let w_ir = weighted_continuity_ratio(&ir, &SubsetRepairs, &cs, &db, &d2).unwrap();
             assert_eq!(w_mi, n as f64, "I_MI weighted ratio grows linearly");
             assert_eq!(w_ir, 1.0, "I_R weighted ratio is bounded");
             // Unit costs: weighted == unweighted.
@@ -375,7 +372,11 @@ mod tests {
             .add_relation(
                 relation(
                     "R",
-                    &[("A", ValueKind::Int), ("B", ValueKind::Int), ("W", ValueKind::Float)],
+                    &[
+                        ("A", ValueKind::Int),
+                        ("B", ValueKind::Int),
+                        ("W", ValueKind::Float),
+                    ],
                 )
                 .unwrap(),
             )
@@ -383,16 +384,21 @@ mod tests {
         s.set_cost_attr(r, "W").unwrap();
         let s = Arc::new(s);
         let mut db = crate::relational::Database::new(Arc::clone(&s));
-        db.insert(Fact::new(r, [Value::int(1), Value::int(1), Value::float(10.0)]))
-            .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(1), Value::int(1), Value::float(10.0)],
+        ))
+        .unwrap();
         let cheap = db
-            .insert(Fact::new(r, [Value::int(1), Value::int(2), Value::float(1.0)]))
+            .insert(Fact::new(
+                r,
+                [Value::int(1), Value::int(2), Value::float(1.0)],
+            ))
             .unwrap();
         let mut cs = inconsist_constraints::ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(inconsist_constraints::Fd::new(r, [AttrId(0)], [AttrId(1)]));
         let ir = MinimumRepair { options: opts() };
-        let (ratio, op) =
-            best_weighted_improvement(&ir, &SubsetRepairs, &cs, &db).unwrap();
+        let (ratio, op) = best_weighted_improvement(&ir, &SubsetRepairs, &cs, &db).unwrap();
         assert_eq!(op, Some(RepairOp::Delete(cheap)));
         assert!((ratio - 1.0).abs() < 1e-9, "ΔI_R = 1.0 at cost 1.0");
     }
@@ -425,15 +431,23 @@ mod tests {
         db.insert(Fact::new(r, [Value::str("b")])).unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_dc(
-            build::unary("not-a", r, vec![build::uc(AttrId(0), CmpOp::Eq, Value::str("a"))], &s)
-                .unwrap(),
+            build::unary(
+                "not-a",
+                r,
+                vec![build::uc(AttrId(0), CmpOp::Eq, Value::str("a"))],
+                &s,
+            )
+            .unwrap(),
         );
         let instances = vec![(cs, db)];
         let imc = MaximalConsistentSubsets { options: opts() };
         assert!(check_positivity(&imc, &instances).is_violated());
         // The self-inconsistency variant repairs this (I'_MC = 1).
         let imc2 = MaximalConsistentSubsetsWithSelf { options: opts() };
-        assert_eq!(check_positivity(&imc2, &instances), Verdict::NoCounterexample);
+        assert_eq!(
+            check_positivity(&imc2, &instances),
+            Verdict::NoCounterexample
+        );
     }
 
     #[test]
@@ -541,7 +555,11 @@ mod tests {
                     assert!(pos, "{}: progression without positivity", row.measure);
                 }
                 if pos && cont {
-                    assert!(prog, "{}: positivity+continuity without progression", row.measure);
+                    assert!(
+                        prog,
+                        "{}: positivity+continuity without progression",
+                        row.measure
+                    );
                 }
             }
         }

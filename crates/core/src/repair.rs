@@ -13,9 +13,7 @@
 //! fresh value per column can matter.
 
 use inconsist_constraints::ConstraintSet;
-use inconsist_relational::{
-    ActiveDomain, AttrId, Database, Fact, TupleId, Value, ValueKind,
-};
+use inconsist_relational::{ActiveDomain, AttrId, Database, Fact, TupleId, Value, ValueKind};
 
 /// A single repairing operation.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,12 +33,10 @@ impl RepairOp {
         match self {
             RepairOp::Delete(id) => db.delete(*id).is_some(),
             RepairOp::Insert(f) => db.insert(f.clone()).is_ok(),
-            RepairOp::Update(id, attr, value) => {
-                match db.update(*id, *attr, value.clone()) {
-                    Ok(Some(old)) => old != *value,
-                    _ => false,
-                }
-            }
+            RepairOp::Update(id, attr, value) => match db.update(*id, *attr, value.clone()) {
+                Ok(Some(old)) => old != *value,
+                _ => false,
+            },
         }
     }
 
@@ -132,11 +128,7 @@ impl RepairSystem for UpdateRepairs {
                 let mut ids: Vec<TupleId> = db.scan(rel).map(|f| f.id).collect();
                 ids.sort();
                 for id in ids {
-                    let current = db
-                        .fact(id)
-                        .expect("scanned id")
-                        .value(attr)
-                        .clone();
+                    let current = db.fact(id).expect("scanned id").value(attr).clone();
                     for (v, _) in dom.iter() {
                         if *v != current {
                             ops.push(RepairOp::Update(id, attr, v.clone()));
@@ -228,11 +220,7 @@ impl<A: RepairSystem, B: RepairSystem> RepairSystem for MixedRepairs<A, B> {
 
 /// Applies a sequence of operations (`R*` of the paper), returning the sum
 /// of the individual costs under `rs`.
-pub fn apply_sequence(
-    rs: &dyn RepairSystem,
-    db: &mut Database,
-    ops: &[RepairOp],
-) -> f64 {
+pub fn apply_sequence(rs: &dyn RepairSystem, db: &mut Database, ops: &[RepairOp]) -> f64 {
     let mut total = 0.0;
     for op in ops {
         total += rs.cost(db, op);
@@ -255,8 +243,10 @@ mod tests {
             .unwrap();
         let s = Arc::new(s);
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(r, [Value::int(1), Value::int(1)])).unwrap();
-        db.insert(Fact::new(r, [Value::int(1), Value::int(2)])).unwrap();
+        db.insert(Fact::new(r, [Value::int(1), Value::int(1)]))
+            .unwrap();
+        db.insert(Fact::new(r, [Value::int(1), Value::int(2)]))
+            .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
         (s, r, db, cs)
@@ -348,7 +338,10 @@ mod tests {
         assert_eq!(db.len(), 2);
         // The insert reused the freed minimal id 0.
         assert!(db.contains(TupleId(0)));
-        assert_eq!(db.fact(TupleId(1)).unwrap().value(AttrId(1)), &Value::int(9));
+        assert_eq!(
+            db.fact(TupleId(1)).unwrap().value(AttrId(1)),
+            &Value::int(9)
+        );
     }
 
     #[test]

@@ -131,9 +131,7 @@ pub fn rank_by_responsibility(shapley: &BTreeMap<TupleId, f64>) -> Vec<(TupleId,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::measures::{
-        Drastic, MeasureOptions, MinimalInconsistentSubsets, MinimumRepair,
-    };
+    use crate::measures::{Drastic, MeasureOptions, MinimalInconsistentSubsets, MinimumRepair};
     use crate::paper;
     use inconsist_constraints::Fd;
     use inconsist_relational::{relation, AttrId, Fact, Schema, Value, ValueKind};
@@ -147,9 +145,12 @@ mod tests {
         let s = Arc::new(s);
         let mut db = Database::new(Arc::clone(&s));
         // One conflicting pair {t0, t1} plus an innocent bystander t2.
-        db.insert(Fact::new(r, [Value::int(1), Value::int(1)])).unwrap();
-        db.insert(Fact::new(r, [Value::int(1), Value::int(2)])).unwrap();
-        db.insert(Fact::new(r, [Value::int(9), Value::int(9)])).unwrap();
+        db.insert(Fact::new(r, [Value::int(1), Value::int(1)]))
+            .unwrap();
+        db.insert(Fact::new(r, [Value::int(1), Value::int(2)]))
+            .unwrap();
+        db.insert(Fact::new(r, [Value::int(9), Value::int(9)]))
+            .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
         (db, cs)
@@ -179,7 +180,10 @@ mod tests {
         };
         let sh = shapley_exact(&ir, &cs, &d1, 20).unwrap();
         let total: f64 = sh.values().sum();
-        assert!((total - 3.0).abs() < 1e-9, "Σ Sh = I_R(D1) = 3, got {total}");
+        assert!(
+            (total - 3.0).abs() < 1e-9,
+            "Σ Sh = I_R(D1) = 3, got {total}"
+        );
         // f1 participates in a single violation ({f1, f5}); it must carry
         // strictly less responsibility than f5 (in all six pairs... many).
         let ranked = rank_by_responsibility(&sh);

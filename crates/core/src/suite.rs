@@ -11,9 +11,7 @@
 
 use crate::measures::{MeasureError, MeasureOptions, MeasureResult};
 use inconsist_constraints::ConstraintSet;
-use inconsist_graph::{
-    count_maximal_consistent_subsets, count_mis_if_cograph, ConflictGraph,
-};
+use inconsist_graph::{count_maximal_consistent_subsets, count_mis_if_cograph, ConflictGraph};
 use inconsist_relational::Database;
 use inconsist_solver::{
     covering_lp, fractional_vertex_cover, min_weight_hitting_set, min_weight_vertex_cover,
@@ -184,12 +182,15 @@ mod tests {
 
     #[test]
     fn suite_matches_individual_measures_on_running_example() {
-        for (db, cs) in [paper::airport_d1(), paper::airport_d2(), paper::airport_d0()] {
+        for (db, cs) in [
+            paper::airport_d1(),
+            paper::airport_d2(),
+            paper::airport_d0(),
+        ] {
             let suite = MeasureSuite::default();
             let report = suite.eval_all(&cs, &db);
             let individual = standard_measures(MeasureOptions::default());
-            let expect: Vec<MeasureResult> =
-                individual.iter().map(|m| m.eval(&cs, &db)).collect();
+            let expect: Vec<MeasureResult> = individual.iter().map(|m| m.eval(&cs, &db)).collect();
             let got = report.entries();
             for ((name, suite_val), indiv) in got.iter().zip(expect.iter()) {
                 assert_eq!(suite_val, indiv, "{name}");

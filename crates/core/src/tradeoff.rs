@@ -52,10 +52,7 @@ impl TradeoffPoint {
 /// an update loses a single cell, insertions lose nothing.
 pub fn information_loss(db: &Database, op: &RepairOp) -> f64 {
     match op {
-        RepairOp::Delete(id) => db
-            .fact(*id)
-            .map(|f| f.values.len() as f64)
-            .unwrap_or(0.0),
+        RepairOp::Delete(id) => db.fact(*id).map(|f| f.values.len() as f64).unwrap_or(0.0),
         RepairOp::Update(..) => {
             if op.changes(db) {
                 1.0
@@ -171,8 +168,7 @@ mod tests {
         for (i, p) in frontier.iter().enumerate() {
             for (j, q) in frontier.iter().enumerate() {
                 if i != j {
-                    let dominates =
-                        q.loss <= p.loss && q.reduction >= p.reduction + 1e-12;
+                    let dominates = q.loss <= p.loss && q.reduction >= p.reduction + 1e-12;
                     assert!(!dominates, "frontier point dominated");
                 }
             }

@@ -61,7 +61,14 @@ pub fn min_update_repair(
     for k in 1..=options.max_updates {
         let mut db = db.clone();
         let mut fresh_counter = 0usize;
-        match dfs(cs, &mut db, k, &mut budget, &mut fresh_counter, options.allow_fresh) {
+        match dfs(
+            cs,
+            &mut db,
+            k,
+            &mut budget,
+            &mut fresh_counter,
+            options.allow_fresh,
+        ) {
             SearchResult::Found => return Some(k),
             SearchResult::Exhausted => {}
             SearchResult::OutOfBudget => return None,
@@ -140,12 +147,16 @@ fn dfs(
             match dfs(cs, db, k - 1, budget, fresh_counter, allow_fresh) {
                 SearchResult::Found => return SearchResult::Found,
                 SearchResult::OutOfBudget => {
-                    db.update(t, attr, old).expect("restore").expect("tuple exists");
+                    db.update(t, attr, old)
+                        .expect("restore")
+                        .expect("tuple exists");
                     return SearchResult::OutOfBudget;
                 }
                 SearchResult::Exhausted => {}
             }
-            db.update(t, attr, old).expect("restore").expect("tuple exists");
+            db.update(t, attr, old)
+                .expect("restore")
+                .expect("tuple exists");
         }
     }
     SearchResult::Exhausted
@@ -153,15 +164,15 @@ fn dfs(
 
 /// A fresh value distinct from everything previously generated in this
 /// search (distinct fresh constants never join with anything).
-fn unique_fresh(
-    dom: &ActiveDomain,
-    kind: ValueKind,
-    counter: &mut usize,
-) -> Option<Value> {
+fn unique_fresh(dom: &ActiveDomain, kind: ValueKind, counter: &mut usize) -> Option<Value> {
     *counter += 1;
     match kind {
         ValueKind::Int => {
-            let max = dom.iter().filter_map(|(v, _)| v.as_int()).max().unwrap_or(0);
+            let max = dom
+                .iter()
+                .filter_map(|(v, _)| v.as_int())
+                .max()
+                .unwrap_or(0);
             Some(Value::int(max.saturating_add(*counter as i64)))
         }
         ValueKind::Float => {
@@ -180,11 +191,7 @@ fn unique_fresh(
 /// single-cell update that removes the most minimal violations, preferring
 /// fresh values on ties. Capped at `max_steps`; returns `None` if the cap
 /// is reached while still inconsistent.
-pub fn greedy_update_repair(
-    cs: &ConstraintSet,
-    db: &Database,
-    max_steps: usize,
-) -> Option<usize> {
+pub fn greedy_update_repair(cs: &ConstraintSet, db: &Database, max_steps: usize) -> Option<usize> {
     let mut db = db.clone();
     let mut steps = 0usize;
     let mut fresh_counter = 0usize;
@@ -201,8 +208,7 @@ pub fn greedy_update_repair(
                 *tuple_load.entry(t).or_insert(0) += 1;
             }
         }
-        let mut hot: Vec<(usize, TupleId)> =
-            tuple_load.iter().map(|(&t, &c)| (c, t)).collect();
+        let mut hot: Vec<(usize, TupleId)> = tuple_load.iter().map(|(&t, &c)| (c, t)).collect();
         hot.sort_by(|a, b| b.cmp(a));
         let mut best: Option<(usize, TupleId, AttrId, Value)> = None;
         let baseline = mi.subsets.len();
@@ -222,14 +228,15 @@ pub fn greedy_update_repair(
                     candidates.push(f);
                 }
                 for v in candidates {
-                    let old = db.update(t, attr, v.clone()).expect("typed").expect("tuple");
+                    let old = db
+                        .update(t, attr, v.clone())
+                        .expect("typed")
+                        .expect("tuple");
                     let after = engine::minimal_inconsistent_subsets(&db, cs, Some(200_000))
                         .subsets
                         .len();
                     db.update(t, attr, old).expect("restore").expect("tuple");
-                    if after < baseline
-                        && best.as_ref().is_none_or(|(b, ..)| after < *b)
-                    {
+                    if after < baseline && best.as_ref().is_none_or(|(b, ..)| after < *b) {
                         best = Some((after, t, attr, v));
                     }
                 }
@@ -310,7 +317,11 @@ mod tests {
     fn consistent_needs_zero() {
         let (s, r) = schema4();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(r, std::iter::repeat_with(|| Value::int(1)).take(4))).unwrap();
+        db.insert(Fact::new(
+            r,
+            std::iter::repeat_with(|| Value::int(1)).take(4),
+        ))
+        .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [a(0)], [a(1)]));
         assert_eq!(min_update_repair(&cs, &db, &Default::default()), Some(0));
@@ -320,10 +331,16 @@ mod tests {
     fn single_fd_conflict_needs_one() {
         let (s, r) = schema4();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(r, [Value::int(1), Value::int(1), Value::int(0), Value::int(0)]))
-            .unwrap();
-        db.insert(Fact::new(r, [Value::int(1), Value::int(2), Value::int(0), Value::int(0)]))
-            .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(1), Value::int(1), Value::int(0), Value::int(0)],
+        ))
+        .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(1), Value::int(2), Value::int(0), Value::int(0)],
+        ))
+        .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [a(0)], [a(1)]));
         assert_eq!(min_update_repair(&cs, &db, &Default::default()), Some(1));
@@ -335,9 +352,16 @@ mod tests {
         // No single update resolves both conflicts → exactly 2.
         let (s, r) = schema4();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(r, std::iter::repeat_with(|| Value::int(0)).take(4))).unwrap();
-        db.insert(Fact::new(r, [Value::int(0), Value::int(1), Value::int(0), Value::int(1)]))
-            .unwrap();
+        db.insert(Fact::new(
+            r,
+            std::iter::repeat_with(|| Value::int(0)).take(4),
+        ))
+        .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(0), Value::int(1), Value::int(0), Value::int(1)],
+        ))
+        .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [a(0)], [a(1)]));
         cs.add_fd(Fd::new(r, [a(2)], [a(3)]));
@@ -351,8 +375,11 @@ mod tests {
         let (s, r) = schema4();
         let mut db = Database::new(Arc::clone(&s));
         for b in 0..3 {
-            db.insert(Fact::new(r, [Value::int(1), Value::int(b), Value::int(0), Value::int(0)]))
-                .unwrap();
+            db.insert(Fact::new(
+                r,
+                [Value::int(1), Value::int(b), Value::int(0), Value::int(0)],
+            ))
+            .unwrap();
         }
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [a(0)], [a(1)]));
@@ -365,14 +392,26 @@ mod tests {
     fn greedy_upper_bounds_exact() {
         let (s, r) = schema4();
         let mut db = Database::new(Arc::clone(&s));
-        db.insert(Fact::new(r, [Value::int(1), Value::int(1), Value::int(0), Value::int(0)]))
-            .unwrap();
-        db.insert(Fact::new(r, [Value::int(1), Value::int(2), Value::int(0), Value::int(0)]))
-            .unwrap();
-        db.insert(Fact::new(r, [Value::int(2), Value::int(5), Value::int(1), Value::int(0)]))
-            .unwrap();
-        db.insert(Fact::new(r, [Value::int(2), Value::int(5), Value::int(1), Value::int(1)]))
-            .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(1), Value::int(1), Value::int(0), Value::int(0)],
+        ))
+        .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(1), Value::int(2), Value::int(0), Value::int(0)],
+        ))
+        .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(2), Value::int(5), Value::int(1), Value::int(0)],
+        ))
+        .unwrap();
+        db.insert(Fact::new(
+            r,
+            [Value::int(2), Value::int(5), Value::int(1), Value::int(1)],
+        ))
+        .unwrap();
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [a(0)], [a(1)]));
         cs.add_fd(Fd::new(r, [a(2)], [a(3)]));
@@ -387,8 +426,11 @@ mod tests {
         let (s, r) = schema4();
         let mut db = Database::new(Arc::clone(&s));
         for i in 0..6 {
-            db.insert(Fact::new(r, [Value::int(1), Value::int(i), Value::int(0), Value::int(0)]))
-                .unwrap();
+            db.insert(Fact::new(
+                r,
+                [Value::int(1), Value::int(i), Value::int(0), Value::int(0)],
+            ))
+            .unwrap();
         }
         let mut cs = ConstraintSet::new(Arc::clone(&s));
         cs.add_fd(Fd::new(r, [a(0)], [a(1)]));

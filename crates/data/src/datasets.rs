@@ -15,9 +15,7 @@
 //! `debug_assert` in [`generate`]).
 
 use inconsist_constraints::{parse_dc, ConstraintSet};
-use inconsist_relational::{
-    relation, Database, Fact, RelId, Schema, Value, ValueKind,
-};
+use inconsist_relational::{relation, Database, Fact, RelId, Schema, Value, ValueKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -129,9 +127,7 @@ impl DatasetId {
                 "!(t.Origin = t'.Origin & t.Dest = t'.Dest & t.Distance != t'.Distance)"
             }
             DatasetId::Voter => "!(t.BirthYear < t'.BirthYear & t.Age > t'.Age)",
-            DatasetId::Tax => {
-                "!(t.State = t'.State & t.Salary > t'.Salary & t.Rate < t'.Rate)"
-            }
+            DatasetId::Tax => "!(t.State = t'.State & t.Salary > t'.Salary & t.Rate < t'.Rate)",
         }
     }
 }
@@ -180,11 +176,7 @@ fn build_schema(name: &str, attrs: &[(&str, ValueKind)]) -> (Arc<Schema>, RelId)
     (Arc::new(s), r)
 }
 
-fn constraints(
-    schema: &Arc<Schema>,
-    rel_name: &str,
-    dcs: &[(&str, &str)],
-) -> ConstraintSet {
+fn constraints(schema: &Arc<Schema>, rel_name: &str, dcs: &[(&str, &str)]) -> ConstraintSet {
     let mut cs = ConstraintSet::new(Arc::clone(schema));
     for (name, text) in dcs {
         cs.add_dc(parse_dc(schema, rel_name, name, text).expect("static DC"));
@@ -222,9 +214,7 @@ fn stock(n: usize, rng: &mut StdRng) -> Dataset {
             ),
         ],
     );
-    let symbols: Vec<String> = (0..(n / 50).max(4))
-        .map(|i| format!("SYM{i:04}"))
-        .collect();
+    let symbols: Vec<String> = (0..(n / 50).max(4)).map(|i| format!("SYM{i:04}")).collect();
     let mut db = Database::new(Arc::clone(&schema));
     for i in 0..n {
         // One (symbol, date) pair per tuple keeps the FD-like DC trivially
@@ -288,15 +278,24 @@ fn hospital(n: usize, rng: &mut StdRng) -> Dataset {
                 "state-measure-avg",
                 "!(t.State = t'.State & t.Measure = t'.Measure & t.StateAvg != t'.StateAvg)",
             ),
-            ("provider-name", "!(t.ProviderID = t'.ProviderID & t.Name != t'.Name)"),
-            ("provider-phone", "!(t.ProviderID = t'.ProviderID & t.Phone != t'.Phone)"),
+            (
+                "provider-name",
+                "!(t.ProviderID = t'.ProviderID & t.Name != t'.Name)",
+            ),
+            (
+                "provider-phone",
+                "!(t.ProviderID = t'.ProviderID & t.Phone != t'.Phone)",
+            ),
             ("zip-city", "!(t.Zip = t'.Zip & t.City != t'.City)"),
             ("zip-state", "!(t.Zip = t'.Zip & t.State != t'.State)"),
             (
                 "measure-name",
                 "!(t.Measure = t'.Measure & t.MeasureName != t'.MeasureName)",
             ),
-            ("provider-zip", "!(t.ProviderID = t'.ProviderID & t.Zip != t'.Zip)"),
+            (
+                "provider-zip",
+                "!(t.ProviderID = t'.ProviderID & t.Zip != t'.Zip)",
+            ),
         ],
     );
     let states = ["AL", "AK", "AZ", "CA", "CO", "FL", "GA", "NY", "TX", "WA"];
@@ -323,8 +322,16 @@ fn hospital(n: usize, rng: &mut StdRng) -> Dataset {
                 Value::str(&zip),
                 Value::str(county),
                 Value::str(format!("555-{:04}", h % 10_000)),
-                Value::str(if h % 3 == 0 { "Acute Care" } else { "Critical Access" }),
-                Value::str(if h % 2 == 0 { "Government" } else { "Voluntary" }),
+                Value::str(if h % 3 == 0 {
+                    "Acute Care"
+                } else {
+                    "Critical Access"
+                }),
+                Value::str(if h % 2 == 0 {
+                    "Government"
+                } else {
+                    "Voluntary"
+                }),
                 Value::str(if h % 4 == 0 { "Yes" } else { "No" }),
                 Value::str(measure),
                 Value::str(format!("Measure name {measure}")),
@@ -369,11 +376,20 @@ fn food(n: usize, rng: &mut StdRng) -> Dataset {
         &schema,
         "Food",
         &[
-            ("loc-city", "!(t.Location = t'.Location & t.City != t'.City)"),
+            (
+                "loc-city",
+                "!(t.Location = t'.Location & t.City != t'.City)",
+            ),
             ("loc-zip", "!(t.Location = t'.Location & t.Zip != t'.Zip)"),
-            ("license-dba", "!(t.License = t'.License & t.DBAName != t'.DBAName)"),
+            (
+                "license-dba",
+                "!(t.License = t'.License & t.DBAName != t'.DBAName)",
+            ),
             ("zip-state", "!(t.Zip = t'.Zip & t.State != t'.State)"),
-            ("address-loc", "!(t.Address = t'.Address & t.Location != t'.Location)"),
+            (
+                "address-loc",
+                "!(t.Address = t'.Address & t.Location != t'.Location)",
+            ),
             (
                 "license-type",
                 "!(t.License = t'.License & t.FacilityType != t'.FacilityType)",
@@ -394,7 +410,11 @@ fn food(n: usize, rng: &mut StdRng) -> Dataset {
                 Value::int(p as i64),
                 Value::str(format!("Restaurant {p}")),
                 Value::str(format!("AKA {p}")),
-                Value::str(if p % 3 == 0 { "Restaurant" } else { "Grocery Store" }),
+                Value::str(if p % 3 == 0 {
+                    "Restaurant"
+                } else {
+                    "Grocery Store"
+                }),
                 Value::str(["Risk 1 (High)", "Risk 2 (Medium)", "Risk 3 (Low)"][p % 3]),
                 Value::str(format!("{} W Street", 10 + p)),
                 Value::str(format!("City{city_idx}")),
@@ -453,7 +473,10 @@ fn airport(n: usize, rng: &mut StdRng) -> Dataset {
             ),
             ("id-name", "!(t.Id = t'.Id & t.Name != t'.Name)"),
             ("elevation", "!(t.Elevation < -1000)"),
-            ("id-muni", "!(t.Id = t'.Id & t.Municipality != t'.Municipality)"),
+            (
+                "id-muni",
+                "!(t.Id = t'.Id & t.Municipality != t'.Municipality)",
+            ),
         ],
     );
     // §6.2.1: "all the tuples in the dataset initially agree on the value of
@@ -547,9 +570,17 @@ fn adult(n: usize, rng: &mut StdRng) -> Dataset {
                 Value::int(rng.gen_range(10_000..1_000_000)),
                 Value::str(edu),
                 Value::int(edu_num),
-                Value::str(if rng.gen_bool(0.5) { "Married" } else { "Never-married" }),
+                Value::str(if rng.gen_bool(0.5) {
+                    "Married"
+                } else {
+                    "Never-married"
+                }),
                 Value::str(occ[rng.gen_range(0..occ.len())]),
-                Value::str(if rng.gen_bool(0.5) { "Husband" } else { "Not-in-family" }),
+                Value::str(if rng.gen_bool(0.5) {
+                    "Husband"
+                } else {
+                    "Not-in-family"
+                }),
                 Value::str(if rng.gen_bool(0.8) { "White" } else { "Black" }),
                 Value::str(if rng.gen_bool(0.66) { "Male" } else { "Female" }),
                 Value::int(gain),
@@ -603,9 +634,18 @@ fn flight(n: usize, rng: &mut StdRng) -> Dataset {
                 "route-distance",
                 "!(t.Origin = t'.Origin & t.Dest = t'.Dest & t.Distance != t'.Distance)",
             ),
-            ("origin-city", "!(t.Origin = t'.Origin & t.OriginCity != t'.OriginCity)"),
-            ("dest-city", "!(t.Dest = t'.Dest & t.DestCity != t'.DestCity)"),
-            ("airline-carrier", "!(t.Airline = t'.Airline & t.Carrier != t'.Carrier)"),
+            (
+                "origin-city",
+                "!(t.Origin = t'.Origin & t.OriginCity != t'.OriginCity)",
+            ),
+            (
+                "dest-city",
+                "!(t.Dest = t'.Dest & t.DestCity != t'.DestCity)",
+            ),
+            (
+                "airline-carrier",
+                "!(t.Airline = t'.Airline & t.Carrier != t'.Carrier)",
+            ),
             ("airtime", "!(t.AirTime > t.Distance)"),
             ("taxi-in", "!(t.TaxiIn < 0)"),
             ("taxi-out", "!(t.TaxiOut < 0)"),
@@ -615,7 +655,10 @@ fn flight(n: usize, rng: &mut StdRng) -> Dataset {
                 "dist-airtime",
                 "!(t.Distance < t'.Distance & t.AirTime > t'.AirTime)",
             ),
-            ("tail-airline", "!(t.TailNum = t'.TailNum & t.Airline != t'.Airline)"),
+            (
+                "tail-airline",
+                "!(t.TailNum = t'.TailNum & t.Airline != t'.Airline)",
+            ),
             (
                 "flight-origin",
                 "!(t.FlightNum = t'.FlightNum & t.Airline = t'.Airline & t.Origin != t'.Origin)",
@@ -716,8 +759,14 @@ fn voter(n: usize, rng: &mut StdRng) -> Dataset {
         &schema,
         "Voter",
         &[
-            ("birth-age", "!(t.BirthYear < t'.BirthYear & t.Age > t'.Age)"),
-            ("voter-last", "!(t.VoterID = t'.VoterID & t.LastName != t'.LastName)"),
+            (
+                "birth-age",
+                "!(t.BirthYear < t'.BirthYear & t.Age > t'.Age)",
+            ),
+            (
+                "voter-last",
+                "!(t.VoterID = t'.VoterID & t.LastName != t'.LastName)",
+            ),
             ("zip-city", "!(t.Zip = t'.Zip & t.City != t'.City)"),
             ("zip-state", "!(t.Zip = t'.Zip & t.State != t'.State)"),
             ("age-min", "!(t.Age < 17)"),
@@ -748,7 +797,11 @@ fn voter(n: usize, rng: &mut StdRng) -> Dataset {
                 Value::int(age),
                 Value::int(birth_year),
                 Value::int(birth_year + 18 + rng.gen_range(0..10)),
-                Value::str(if rng.gen_bool(0.9) { "Active" } else { "Inactive" }),
+                Value::str(if rng.gen_bool(0.9) {
+                    "Active"
+                } else {
+                    "Inactive"
+                }),
                 Value::str(parties[rng.gen_range(0..parties.len())]),
                 Value::str(format!("{} Oak Ave", 1 + i % 9999)),
                 Value::str(format!("City{city_idx}")),
@@ -913,13 +966,8 @@ mod tests {
     fn example_dc_is_part_of_the_set() {
         for id in DatasetId::all() {
             let ds = generate(id, 10, 3);
-            let example = parse_dc(
-                ds.db.schema(),
-                id.name(),
-                "example",
-                id.example_dc(),
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", id.name()));
+            let example = parse_dc(ds.db.schema(), id.name(), "example", id.example_dc())
+                .unwrap_or_else(|e| panic!("{}: {e}", id.name()));
             assert!(
                 ds.constraints
                     .dcs()

@@ -89,8 +89,12 @@ impl CoNoise {
                     }
                 }
             };
-            let Some((lhs_cell, lhs_val)) = bind(db, &p.lhs) else { return edits };
-            let Some((rhs_cell, rhs_val)) = bind(db, &p.rhs) else { return edits };
+            let Some((lhs_cell, lhs_val)) = bind(db, &p.lhs) else {
+                return edits;
+            };
+            let Some((rhs_cell, rhs_val)) = bind(db, &p.rhs) else {
+                return edits;
+            };
             if p.op.eval(&lhs_val, &rhs_val) {
                 continue; // predicate already satisfied
             }
@@ -385,8 +389,7 @@ mod tests {
         let mut grew = false;
         for _ in 0..30 {
             noise.step(&mut ds.db, &ds.constraints);
-            let count = engine::minimal_inconsistent_subsets(&ds.db, &ds.constraints, None)
-                .count();
+            let count = engine::minimal_inconsistent_subsets(&ds.db, &ds.constraints, None).count();
             if count > last {
                 grew = true;
             }

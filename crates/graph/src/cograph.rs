@@ -181,10 +181,7 @@ mod tests {
     fn complete_multipartite_is_cograph() {
         // K_{2,3}: parts {0,1} and {2,3,4} — the conflict graph of one FD
         // key group with two distinct RHS values.
-        let g = graph(
-            5,
-            &[&[0, 2], &[0, 3], &[0, 4], &[1, 2], &[1, 3], &[1, 4]],
-        );
+        let g = graph(5, &[&[0, 2], &[0, 3], &[0, 4], &[1, 2], &[1, 3], &[1, 4]]);
         // MIS: each part → 2.
         assert_eq!(count_mis_if_cograph(&g), Some(2));
         assert_eq!(
@@ -279,7 +276,10 @@ mod tests {
             let bk = count_maximal_consistent_subsets(&g, 1 << 24);
             // Isolated vertices may be dropped from the conflict graph, but
             // they do not change the MIS count.
-            assert!(dp.is_some(), "random cotree must be a cograph (trial {trial})");
+            assert!(
+                dp.is_some(),
+                "random cotree must be a cograph (trial {trial})"
+            );
             assert_eq!(dp.unwrap(), bk.unwrap(), "trial {trial}");
         }
     }

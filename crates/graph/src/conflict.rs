@@ -18,10 +18,14 @@ use std::collections::HashMap;
 /// tuple ids. Tuples of the database that participate in no violation are
 /// *not* nodes — they belong to every maximal consistent subset and never to
 /// a minimum repair, so all derived quantities are unaffected.
+///
+/// The node table is a sorted dense array consumed straight from the
+/// engine's violation sets; tuple→node resolution is a binary search, so
+/// building the graph from a large violation set hashes nothing.
 #[derive(Clone, Debug)]
 pub struct ConflictGraph {
+    /// Sorted, deduplicated participating tuples (the node table).
     nodes: Vec<TupleId>,
-    index: HashMap<TupleId, u32>,
     adj: Vec<Vec<u32>>,
     /// Nodes that are inconsistent on their own (singleton violations).
     excluded: Vec<bool>,
@@ -40,11 +44,8 @@ impl ConflictGraph {
         let mut nodes: Vec<TupleId> = subsets.iter().flat_map(|s| s.iter().copied()).collect();
         nodes.sort();
         nodes.dedup();
-        let index: HashMap<TupleId, u32> = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i as u32))
-            .collect();
+        let index =
+            |t: &TupleId| -> u32 { nodes.binary_search(t).expect("node came from subsets") as u32 };
         let n = nodes.len();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut excluded = vec![false; n];
@@ -53,16 +54,18 @@ impl ConflictGraph {
         for s in subsets {
             match s.len() {
                 0 => {}
-                1 => excluded[index[&s[0]] as usize] = true,
+                1 => excluded[index(&s[0]) as usize] = true,
                 2 => {
-                    let (a, b) = (index[&s[0]], index[&s[1]]);
+                    let (a, b) = (index(&s[0]), index(&s[1]));
                     adj[a as usize].push(b);
                     adj[b as usize].push(a);
                     edge_count += 1;
                 }
                 _ => {
-                    let mut e: Vec<u32> = s.iter().map(|t| index[t]).collect();
-                    e.sort();
+                    let mut e: Vec<u32> = s.iter().map(&index).collect();
+                    // Engine violation sets are sorted (making this a no-op
+                    // pass), but the constructor accepts arbitrary sets.
+                    e.sort_unstable();
                     hyperedges.push(e.into_boxed_slice());
                 }
             }
@@ -81,7 +84,6 @@ impl ConflictGraph {
         let weights = nodes.iter().map(|&t| db.cost_of(t)).collect();
         ConflictGraph {
             nodes,
-            index,
             adj,
             excluded,
             hyperedges,
@@ -115,9 +117,10 @@ impl ConflictGraph {
         self.nodes[v as usize]
     }
 
-    /// Node index of tuple `t`, if it participates in a violation.
+    /// Node index of tuple `t`, if it participates in a violation
+    /// (binary search over the sorted node table).
     pub fn node_of(&self, t: TupleId) -> Option<u32> {
-        self.index.get(&t).copied()
+        self.nodes.binary_search(&t).ok().map(|i| i as u32)
     }
 
     /// Sorted neighbor list of `v` (pair edges only).
@@ -155,7 +158,10 @@ impl ConflictGraph {
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.adj.iter().enumerate().flat_map(|(a, list)| {
             let a = a as u32;
-            list.iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+            list.iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
         })
     }
 
@@ -216,12 +222,9 @@ impl ConflictGraph {
             .enumerate()
             .map(|(i, &v)| (v, i as u32))
             .collect();
+        // `sorted` is ascending in node index, and node indices are
+        // assigned in tuple-id order, so the induced node table is sorted.
         let nodes: Vec<TupleId> = sorted.iter().map(|&v| self.tuple(v)).collect();
-        let index = nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i as u32))
-            .collect();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); sorted.len()];
         let mut edge_count = 0;
         for (i, &v) in sorted.iter().enumerate() {
@@ -255,7 +258,6 @@ impl ConflictGraph {
         (
             ConflictGraph {
                 nodes,
-                index,
                 adj,
                 excluded,
                 hyperedges,

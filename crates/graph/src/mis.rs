@@ -174,9 +174,8 @@ fn count_hyper(g: &ConflictGraph, budget: u64) -> Option<u128> {
         .iter()
         .map(|h| h.iter().fold(0u32, |m, &v| m | (1 << v)))
         .collect();
-    let independent = |mask: u32| {
-        edges.iter().all(|&e| e & mask != e) && hyper.iter().all(|&h| h & mask != h)
-    };
+    let independent =
+        |mask: u32| edges.iter().all(|&e| e & mask != e) && hyper.iter().all(|&h| h & mask != h);
     let mut count: u128 = 0;
     for mask in 0..(1u32 << n) {
         if !independent(mask) {
@@ -278,10 +277,23 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_returns_none() {
-        let g = graph(12, &[
-            &[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6],
-            &[6, 7], &[7, 8], &[8, 9], &[9, 10], &[10, 11], &[0, 11],
-        ]);
+        let g = graph(
+            12,
+            &[
+                &[0, 1],
+                &[1, 2],
+                &[2, 3],
+                &[3, 4],
+                &[4, 5],
+                &[5, 6],
+                &[6, 7],
+                &[7, 8],
+                &[8, 9],
+                &[9, 10],
+                &[10, 11],
+                &[0, 11],
+            ],
+        );
         assert_eq!(count_maximal_consistent_subsets(&g, 2), None);
         assert!(count_maximal_consistent_subsets(&g, 1 << 20).is_some());
     }

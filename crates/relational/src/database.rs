@@ -8,7 +8,14 @@
 //! in sync, deletion via `swap_remove`), which keeps full scans — the hot
 //! path of violation detection — cache friendly, with a side index for O(1)
 //! id lookup.
+//!
+//! Each column is additionally mirrored as a dictionary-encoded `Vec<u32>`
+//! of codes (see [`crate::dictionary`]): the violation engine joins and
+//! compares on these dense integer codes instead of hashing [`Value`]s.
+//! The mirrors are maintained through every mutation, so they are always
+//! aligned with [`Database::scan`] order.
 
+use crate::dictionary::Dictionary;
 use crate::schema::{AttrId, RelId, RelationSchema, Schema};
 use crate::value::Value;
 use crate::RelationalError;
@@ -72,34 +79,44 @@ impl FactRef<'_> {
     }
 }
 
-/// Dense storage for one relation.
+/// Dense storage for one relation: parallel id/row vectors plus the
+/// dictionary-encoded columnar mirror (one `Vec<u32>` of codes per
+/// attribute, aligned with `rows`).
 #[derive(Clone, Debug)]
 struct RelationStore {
     ids: Vec<TupleId>,
     rows: Vec<Box<[Value]>>,
     pos: HashMap<TupleId, u32>,
+    cols: Vec<Vec<u32>>,
 }
 
 impl RelationStore {
-    fn new() -> Self {
+    fn new(arity: usize) -> Self {
         RelationStore {
             ids: Vec::new(),
             rows: Vec::new(),
             pos: HashMap::new(),
+            cols: vec![Vec::new(); arity],
         }
     }
 
-    fn insert(&mut self, id: TupleId, row: Box<[Value]>) {
+    fn insert(&mut self, id: TupleId, row: Box<[Value]>, codes: impl Iterator<Item = u32>) {
         debug_assert!(!self.pos.contains_key(&id));
         self.pos.insert(id, self.ids.len() as u32);
         self.ids.push(id);
         self.rows.push(row);
+        for (col, code) in self.cols.iter_mut().zip(codes) {
+            col.push(code);
+        }
     }
 
     fn remove(&mut self, id: TupleId) -> Option<Box<[Value]>> {
         let at = self.pos.remove(&id)? as usize;
         let row = self.rows.swap_remove(at);
         self.ids.swap_remove(at);
+        for col in &mut self.cols {
+            col.swap_remove(at);
+        }
         if at < self.ids.len() {
             self.pos.insert(self.ids[at], at as u32);
         }
@@ -114,6 +131,11 @@ impl RelationStore {
         let i = *self.pos.get(&id)?;
         Some(&mut self.rows[i as usize])
     }
+
+    fn set_code(&mut self, id: TupleId, attr: usize, code: u32) {
+        let i = *self.pos.get(&id).expect("caller checked presence") as usize;
+        self.cols[attr][i] = code;
+    }
 }
 
 /// A database over a fixed [`Schema`].
@@ -121,6 +143,9 @@ impl RelationStore {
 pub struct Database {
     schema: Arc<Schema>,
     stores: Vec<RelationStore>,
+    /// Per-`(relation, attribute)` value dictionaries backing the columnar
+    /// code mirrors in the stores.
+    dicts: Vec<Vec<Dictionary>>,
     locate: HashMap<TupleId, RelId>,
     /// Identifiers `< next_id` that are currently unused.
     free: BTreeSet<u32>,
@@ -130,10 +155,18 @@ pub struct Database {
 impl Database {
     /// An empty database over `schema`.
     pub fn new(schema: Arc<Schema>) -> Self {
-        let stores = (0..schema.len()).map(|_| RelationStore::new()).collect();
+        let stores = schema
+            .iter()
+            .map(|(_, rs)| RelationStore::new(rs.arity()))
+            .collect();
+        let dicts = schema
+            .iter()
+            .map(|(_, rs)| (0..rs.arity()).map(|_| Dictionary::new()).collect())
+            .collect();
         Database {
             schema,
             stores,
+            dicts,
             locate: HashMap::new(),
             free: BTreeSet::new(),
             next_id: 0,
@@ -215,7 +248,14 @@ impl Database {
             self.free.remove(&id.0);
         }
         self.locate.insert(id, fact.rel);
-        self.stores[fact.rel.0 as usize].insert(id, fact.values);
+        let dicts = &mut self.dicts[fact.rel.0 as usize];
+        let codes: Vec<u32> = fact
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| dicts[i].intern(v))
+            .collect();
+        self.stores[fact.rel.0 as usize].insert(id, fact.values, codes.into_iter());
         Ok(())
     }
 
@@ -259,10 +299,11 @@ impl Database {
                 got: value.kind(),
             });
         }
-        let row = self.stores[rel.0 as usize]
-            .row_mut(id)
-            .expect("locate and store agree");
+        let code = self.dicts[rel.0 as usize][attr.idx()].intern(&value);
+        let store = &mut self.stores[rel.0 as usize];
+        let row = store.row_mut(id).expect("locate and store agree");
         let old = std::mem::replace(&mut row[attr.idx()], value);
+        store.set_code(id, attr.idx(), code);
         Ok(Some(old))
     }
 
@@ -281,6 +322,35 @@ impl Database {
     /// All identifiers, in no particular order.
     pub fn ids(&self) -> impl Iterator<Item = TupleId> + '_ {
         self.locate.keys().copied()
+    }
+
+    // -- dictionary-encoded columnar view ----------------------------------
+
+    /// The dictionary-encoded code column of `(rel, attr)`, aligned with
+    /// [`Database::scan`] order. Codes compare equal iff the underlying
+    /// values are equal; order comparisons go through
+    /// [`Dictionary::ranks`].
+    pub fn codes(&self, rel: RelId, attr: AttrId) -> &[u32] {
+        &self.stores[rel.0 as usize].cols[attr.idx()]
+    }
+
+    /// Tuple identifiers of one relation in [`Database::scan`] order
+    /// (parallel to [`Database::codes`]).
+    pub fn ids_of(&self, rel: RelId) -> &[TupleId] {
+        &self.stores[rel.0 as usize].ids
+    }
+
+    /// The value dictionary of `(rel, attr)`.
+    pub fn dictionary(&self, rel: RelId, attr: AttrId) -> &Dictionary {
+        &self.dicts[rel.0 as usize][attr.idx()]
+    }
+
+    /// Code of tuple `id`'s value at `attr`, if the tuple exists.
+    pub fn code_at(&self, id: TupleId, attr: AttrId) -> Option<u32> {
+        let &rel = self.locate.get(&id)?;
+        let store = &self.stores[rel.0 as usize];
+        let i = *store.pos.get(&id)? as usize;
+        Some(store.cols[attr.idx()][i])
     }
 
     /// Iterates all facts of one relation (dense scan).
@@ -321,10 +391,12 @@ impl Database {
     /// `self ⊆ other` in the paper's sense: `ids(self) ⊆ ids(other)` and the
     /// facts agree on shared identifiers.
     pub fn is_subset_of(&self, other: &Database) -> bool {
-        self.locate.iter().all(|(&id, _)| match (self.fact(id), other.fact(id)) {
-            (Some(a), Some(b)) => a.rel == b.rel && a.values == b.values,
-            _ => false,
-        })
+        self.locate
+            .iter()
+            .all(|(&id, _)| match (self.fact(id), other.fact(id)) {
+                (Some(a), Some(b)) => a.rel == b.rel && a.values == b.values,
+                _ => false,
+            })
     }
 
     /// The sub-database induced by retaining only `keep` (ids not present
@@ -416,7 +488,10 @@ mod tests {
         assert_eq!(old, Some(Value::int(8)));
         assert_eq!(db.fact(t).unwrap().value(AttrId(1)), &Value::int(99));
         // Unknown ids leave the database intact (paper: inapplicable ops).
-        assert_eq!(db.update(TupleId(42), AttrId(0), Value::int(0)).unwrap(), None);
+        assert_eq!(
+            db.update(TupleId(42), AttrId(0), Value::int(0)).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -433,7 +508,9 @@ mod tests {
     #[test]
     fn nulls_are_admitted_everywhere() {
         let (mut db, r) = db_r2();
-        let t = db.insert(Fact::new(r, [Value::Null, Value::int(1)])).unwrap();
+        let t = db
+            .insert(Fact::new(r, [Value::Null, Value::int(1)]))
+            .unwrap();
         assert!(db.fact(t).unwrap().value(AttrId(0)).is_null());
     }
 
@@ -494,6 +571,71 @@ mod tests {
         assert_eq!(db.scan(r).count(), 10);
         assert_eq!(db.iter().count(), 10);
         assert_eq!(db.relation_len(r), 10);
+    }
+
+    /// Asserts every code column mirrors the row store exactly.
+    fn assert_columns_in_sync(db: &Database) {
+        for (rel, rs) in db.schema().iter() {
+            let ids = db.ids_of(rel);
+            assert_eq!(ids.len(), db.relation_len(rel));
+            for a in 0..rs.arity() {
+                let attr = AttrId(a as u16);
+                let codes = db.codes(rel, attr);
+                assert_eq!(codes.len(), ids.len());
+                let dict = db.dictionary(rel, attr);
+                for (i, f) in db.scan(rel).enumerate() {
+                    assert_eq!(ids[i], f.id);
+                    assert_eq!(
+                        dict.value(codes[i]),
+                        f.value(attr),
+                        "code column out of sync"
+                    );
+                    assert_eq!(db.code_at(f.id, attr), Some(codes[i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn code_columns_track_insert_delete_update() {
+        let (mut db, r) = db_r2();
+        let t0 = db.insert(fact2(r, 1, 10)).unwrap();
+        let t1 = db.insert(fact2(r, 2, 10)).unwrap();
+        let t2 = db.insert(fact2(r, 1, 30)).unwrap();
+        assert_columns_in_sync(&db);
+        // Equal values share a code; distinct values differ.
+        let a = AttrId(0);
+        assert_eq!(db.code_at(t0, a), db.code_at(t2, a));
+        assert_ne!(db.code_at(t0, a), db.code_at(t1, a));
+        // Deletion (swap_remove) keeps the mirror aligned.
+        db.delete(t1);
+        assert_columns_in_sync(&db);
+        // Update re-encodes exactly one cell.
+        db.update(t2, AttrId(1), Value::int(99)).unwrap();
+        assert_columns_in_sync(&db);
+        assert_ne!(db.code_at(t0, AttrId(1)), db.code_at(t2, AttrId(1)));
+        // Re-inserting a previously seen value reuses its code.
+        let t3 = db.insert(fact2(r, 5, 10)).unwrap();
+        assert_eq!(db.code_at(t3, AttrId(1)), db.code_at(t0, AttrId(1)));
+        assert_columns_in_sync(&db);
+    }
+
+    #[test]
+    fn code_ranks_order_mixed_columns() {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Str)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(Arc::new(s));
+        for name in ["delta", "alpha", "charlie", "bravo"] {
+            db.insert(Fact::new(r, [Value::str(name)])).unwrap();
+        }
+        let dict = db.dictionary(r, AttrId(0));
+        let ranks = dict.ranks();
+        let codes = db.codes(r, AttrId(0));
+        // scan order: delta, alpha, charlie, bravo → ranks 3, 0, 2, 1.
+        let got: Vec<u32> = codes.iter().map(|&c| ranks[c as usize]).collect();
+        assert_eq!(got, vec![3, 0, 2, 1]);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Dictionary-encoded columnar projections of the row store.
+//!
+//! Violation detection — the workspace's hot path — joins and compares
+//! attribute values millions of times per scan. Hashing a [`Value`]
+//! (potentially `Arc<str>` string bytes) once per tuple per predicate is
+//! pure overhead that an engine-grade layout avoids: each distinct value of
+//! a `(relation, attribute)` column is interned once into a dense `u32`
+//! *code*, and the column itself is mirrored as a flat `Vec<u32>` of codes
+//! kept in sync with the row store through insert/delete/update.
+//!
+//! Two invariants make codes a drop-in replacement for values:
+//!
+//! * **Equality**: interning is injective, so `code(a) == code(b)` iff
+//!   `a == b`. Equality joins (the FD workload) compare raw codes.
+//! * **Order**: [`Dictionary::ranks`] materializes an order-preserving
+//!   permutation of the codes (`rank[a] < rank[b]` iff `value(a) <
+//!   value(b)` under the total order on [`Value`]), so `<`/`>` predicates
+//!   compare two `u32`s. Because codes are assigned in arrival order, the
+//!   rank table is rebuilt *lazily*: a generation counter is bumped when a
+//!   previously unseen value is interned, and readers rebuild (under an
+//!   `RwLock`, shared via `Arc`) only when their cached generation is
+//!   stale. Steady-state scans therefore pay one atomic load.
+//!
+//! Codes are stable for the lifetime of the database: deletion does not
+//! recycle them (the dictionary intentionally never shrinks — the paper's
+//! repair loops delete and re-insert the same active-domain values, and a
+//! stable code space keeps incremental indexes valid across operations).
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Dense value interner for one `(relation, attribute)` column.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    /// value → code.
+    map: HashMap<Value, u32>,
+    /// code → value (codes are dense, in arrival order).
+    values: Vec<Value>,
+    /// Bumped whenever a new distinct value is interned.
+    generation: u64,
+    /// Lazily rebuilt order-preserving ranks, keyed by generation.
+    ranks: RwLock<RankCache>,
+}
+
+#[derive(Debug, Default)]
+struct RankCache {
+    generation: u64,
+    /// `ranks[code]` = position of `values[code]` in value-sorted order.
+    ranks: Arc<[u32]>,
+}
+
+impl Clone for Dictionary {
+    fn clone(&self) -> Self {
+        let cache = self.ranks.read().unwrap_or_else(|e| e.into_inner());
+        Dictionary {
+            map: self.map.clone(),
+            values: self.values.clone(),
+            generation: self.generation,
+            ranks: RwLock::new(RankCache {
+                generation: cache.generation,
+                ranks: Arc::clone(&cache.ranks),
+            }),
+        }
+    }
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Interns `v`, returning its dense code (new values get the next one).
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&code) = self.map.get(v) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary exceeds u32 codes");
+        self.values.push(v.clone());
+        self.map.insert(v.clone(), code);
+        self.generation += 1;
+        code
+    }
+
+    /// Code of `v`, if it has been interned. A miss means no stored tuple
+    /// ever carried this value in this column — probes can skip the scan.
+    pub fn code(&self, v: &Value) -> Option<u32> {
+        self.map.get(v).copied()
+    }
+
+    /// The value behind `code` (panics on a code from another dictionary).
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// Order-preserving ranks: `ranks[a] < ranks[b]` iff
+    /// `value(a) < value(b)`. Rebuilt lazily when stale; cheap
+    /// (`Arc` clone) when current.
+    pub fn ranks(&self) -> Arc<[u32]> {
+        {
+            let cache = self.ranks.read().unwrap_or_else(|e| e.into_inner());
+            if cache.generation == self.generation {
+                return Arc::clone(&cache.ranks);
+            }
+        }
+        let mut cache = self.ranks.write().unwrap_or_else(|e| e.into_inner());
+        if cache.generation != self.generation {
+            let mut order: Vec<u32> = (0..self.values.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| self.values[a as usize].cmp(&self.values[b as usize]));
+            let mut ranks = vec![0u32; order.len()];
+            for (rank, &code) in order.iter().enumerate() {
+                ranks[code as usize] = rank as u32;
+            }
+            cache.ranks = ranks.into();
+            cache.generation = self.generation;
+        }
+        Arc::clone(&cache.ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_injective_and_dense() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Value::str("x"));
+        let b = d.intern(&Value::str("y"));
+        let a2 = d.intern(&Value::str("x"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(a), &Value::str("x"));
+        assert_eq!(d.code(&Value::str("y")), Some(b));
+        assert_eq!(d.code(&Value::str("z")), None);
+    }
+
+    #[test]
+    fn ranks_preserve_value_order() {
+        let mut d = Dictionary::new();
+        let vals = [
+            Value::str("b"),
+            Value::int(10),
+            Value::Null,
+            Value::float(1.5),
+            Value::int(-3),
+            Value::str("a"),
+        ];
+        let codes: Vec<u32> = vals.iter().map(|v| d.intern(v)).collect();
+        let ranks = d.ranks();
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(
+                    a.cmp(b),
+                    ranks[codes[i] as usize].cmp(&ranks[codes[j] as usize]),
+                    "rank order diverges from value order for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_rebuild_on_new_value_only() {
+        let mut d = Dictionary::new();
+        d.intern(&Value::int(5));
+        d.intern(&Value::int(1));
+        let r1 = d.ranks();
+        let r2 = d.ranks();
+        assert!(Arc::ptr_eq(&r1, &r2), "cached ranks should be shared");
+        d.intern(&Value::int(3));
+        let r3 = d.ranks();
+        assert!(!Arc::ptr_eq(&r1, &r3), "new value must invalidate ranks");
+        assert_eq!(&*r3, &[2, 0, 1]);
+    }
+
+    #[test]
+    fn zero_sign_floats_share_a_code() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Value::float(0.0));
+        let b = d.intern(&Value::float(-0.0));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn clone_keeps_codes_and_cache() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Value::int(2));
+        let _ = d.ranks();
+        let c = d.clone();
+        assert_eq!(c.code(&Value::int(2)), Some(a));
+        assert_eq!(&*c.ranks(), &[0]);
+    }
+}

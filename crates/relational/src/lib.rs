@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 
 mod database;
+mod dictionary;
 mod domain;
 mod schema;
 mod value;
 
 pub use database::{Database, Fact, FactRef, TupleId};
+pub use dictionary::Dictionary;
 pub use domain::{ActiveDomain, DomainCache};
 pub use schema::{relation, AttrId, Attribute, RelId, RelationSchema, Schema};
 pub use value::{Value, ValueKind};
@@ -100,14 +102,26 @@ pub enum RelationalError {
 impl fmt::Display for RelationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelationalError::DuplicateAttribute { relation, attribute } => {
-                write!(f, "duplicate attribute `{attribute}` in relation `{relation}`")
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "duplicate attribute `{attribute}` in relation `{relation}`"
+                )
             }
             RelationalError::DuplicateRelation { relation } => {
                 write!(f, "duplicate relation `{relation}`")
             }
-            RelationalError::UnknownAttribute { relation, attribute } => {
-                write!(f, "unknown attribute `{attribute}` in relation `{relation}`")
+            RelationalError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "unknown attribute `{attribute}` in relation `{relation}`"
+                )
             }
             RelationalError::UnknownRelation { relation } => {
                 write!(f, "unknown relation `{relation}`")

@@ -55,9 +55,11 @@ impl RelationSchema {
         let name = name.into();
         let mut by_name = HashMap::with_capacity(attributes.len());
         for (i, attr) in attributes.iter().enumerate() {
-            let id = AttrId(u16::try_from(i).map_err(|_| RelationalError::TooManyAttributes {
-                relation: name.clone(),
-            })?);
+            let id = AttrId(
+                u16::try_from(i).map_err(|_| RelationalError::TooManyAttributes {
+                    relation: name.clone(),
+                })?,
+            );
             if by_name.insert(attr.name.clone(), id).is_some() {
                 return Err(RelationalError::DuplicateAttribute {
                     relation: name,
@@ -95,10 +97,11 @@ impl RelationSchema {
 
     /// Resolves an attribute name, erroring with context if absent.
     pub fn attr_checked(&self, name: &str) -> Result<AttrId, RelationalError> {
-        self.attr(name).ok_or_else(|| RelationalError::UnknownAttribute {
-            relation: self.name.clone(),
-            attribute: name.to_string(),
-        })
+        self.attr(name)
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                relation: self.name.clone(),
+                attribute: name.to_string(),
+            })
     }
 }
 
@@ -121,8 +124,7 @@ impl Schema {
             return Err(RelationalError::DuplicateRelation { relation: rel.name });
         }
         let id = RelId(
-            u16::try_from(self.relations.len())
-                .map_err(|_| RelationalError::TooManyRelations)?,
+            u16::try_from(self.relations.len()).map_err(|_| RelationalError::TooManyRelations)?,
         );
         self.by_name.insert(rel.name.clone(), id);
         self.relations.push(Arc::new(rel));
@@ -141,9 +143,10 @@ impl Schema {
 
     /// Resolves a relation name, erroring with context if absent.
     pub fn rel_checked(&self, name: &str) -> Result<RelId, RelationalError> {
-        self.rel(name).ok_or_else(|| RelationalError::UnknownRelation {
-            relation: name.to_string(),
-        })
+        self.rel(name)
+            .ok_or_else(|| RelationalError::UnknownRelation {
+                relation: name.to_string(),
+            })
     }
 
     /// Number of relations.

@@ -149,7 +149,20 @@ impl Ord for Value {
         match (self, other) {
             (Null, Null) => Ordering::Equal,
             (Int(a), Int(b)) => a.cmp(b),
-            (Float(a), Float(b)) => a.total_cmp(b),
+            // `total_cmp` alone would order -0.0 < +0.0, contradicting
+            // `Eq` (IEEE ==, which merges them — see `Hash`). `Ord` must
+            // agree with `Eq`, and the dictionary encoding relies on it:
+            // equal values share one code, so their rank comparison is
+            // `Equal` and the raw order would silently disagree. NaN is
+            // unrepresentable, so IEEE equality plus `total_cmp` for the
+            // rest is a total order.
+            (Float(a), Float(b)) => {
+                if a == b {
+                    Ordering::Equal
+                } else {
+                    a.total_cmp(b)
+                }
+            }
             (Str(a), Str(b)) => a.cmp(b),
             _ => self.kind().cmp(&other.kind()),
         }
@@ -248,6 +261,11 @@ mod tests {
         let neg = Value::float(-0.0);
         assert_eq!(pos, neg);
         assert_eq!(hash_of(&pos), hash_of(&neg));
+        // Ord must agree with Eq (the dictionary encoding maps equal
+        // values to one code, so an Eq/Ord mismatch would make rank
+        // comparisons diverge from raw value comparisons).
+        assert_eq!(pos.cmp(&neg), std::cmp::Ordering::Equal);
+        assert!(neg >= pos);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `iter`, `iter_batched`) backed by a simple
+//! wall-clock timer: a short warm-up, then timed batches until the
+//! per-benchmark budget is spent, reporting the mean iteration time.
+//!
+//! Budget knobs (environment):
+//! * `BENCH_BUDGET_MS` — target measurement time per benchmark (default
+//!   300 ms);
+//! * `BENCH_FILTER` — substring filter on benchmark ids (the positional
+//!   filter argument `cargo bench -- <filter>` is honored too).
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export point so call sites can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (timing granularity is
+/// identical for all variants here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (criterion batches less aggressively).
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Ids accepted by `bench_function` / `bench_with_input`.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    /// Measured mean ns/iter, filled by `iter`-family calls.
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: one timed call decides the batch size.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target_iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.result_ns = total.as_nanos() as f64 / target_iters as f64;
+        self.iters = target_iters;
+    }
+
+    /// `iter` with a per-iteration setup excluded from the timing.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target_iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..target_iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result_ns = total.as_nanos() as f64 / target_iters as f64;
+        self.iters = target_iters;
+    }
+
+    /// Variant where the routine consumes the input by mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (sampling is adaptive here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Compatibility knob: overrides the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.budget = d;
+        self
+    }
+
+    /// Compatibility no-op.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; reports are printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (upstream: `criterion::Criterion`).
+pub struct Criterion {
+    budget: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let budget_ms = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        // `cargo bench -- <filter>` passes the filter as a positional arg.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .or_else(|| std::env::var("BENCH_FILTER").ok());
+        Criterion {
+            budget: Duration::from_millis(budget_ms),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Compatibility no-op (args are read in `default`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        self.run_one(&full, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            budget: self.budget,
+            result_ns: f64::NAN,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters == 0 {
+            println!("{id:<60} (no measurement)");
+        } else {
+            println!(
+                "{id:<60} {:>14} ns/iter ({} iters)",
+                human(b.result_ns),
+                b.iters
+            );
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1000.0 {
+        let mut s = format!("{:.0}", ns);
+        // Thousands separators for readability.
+        let mut out = String::new();
+        let bytes = s.len();
+        for (i, c) in s.drain(..).enumerate() {
+            if i > 0 && (bytes - i) % 3 == 0 {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Declares a group of benchmark functions (upstream macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` (upstream macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("BENCH_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats_with_parameter() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline stand-in for the `crossbeam` crate: `crossbeam::thread::scope`
+//! implemented on top of `std::thread::scope` (stabilized in Rust 1.63,
+//! long after crossbeam's API was designed).
+
+/// Scoped threads (upstream: `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::thread::ScopedJoinHandle;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// thread (upstream signature: crossbeam hands the scope back to each
+    /// spawned closure so it can spawn further threads).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns. `Err` mirrors crossbeam's
+    /// signature but never occurs: `std::thread::scope` resumes unwinding
+    /// in the parent when a child panics.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,548 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace uses: the [`proptest!`] macro with a
+//! `#![proptest_config]` header, [`Strategy`] implementations for integer
+//! ranges, tuples, collections ([`collection::vec`]), string
+//! character-class "regexes" ([`string::string_regex`] and bare `&str`
+//! strategies), and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` assertion macros.
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from the
+//! test name), so failures are reproducible run to run. Shrinking is not
+//! implemented — a failing case reports its inputs via `Debug` instead.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic generator used by strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample below `bound` (> 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a over the test name, used to derive per-test seeds.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A failed or rejected test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    /// An assertion failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            reject: false,
+        }
+    }
+
+    /// A `prop_assume!` rejection (the case is skipped, not failed).
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+            reject: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Run configuration (upstream: `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config with `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A generator of values (upstream: `proptest::strategy::Strategy`).
+///
+/// Upstream separates strategies from value trees to support shrinking;
+/// this shim generates values directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// `&str` literals are character-class regex strategies (upstream feature
+/// used as `input in "[ -~]{0,64}"`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::CharClassStrategy::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+/// Value-just strategy (upstream: `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (upstream: `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min
+                + if span > 0 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies (upstream: `proptest::string`).
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from [`string_regex`] on unsupported patterns.
+    #[derive(Clone, Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Strategy for strings matching a single character-class pattern
+    /// `[class]{min,max}` (the only regex shape this workspace uses).
+    #[derive(Clone, Debug)]
+    pub struct CharClassStrategy {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl CharClassStrategy {
+        /// Parses `[class]{min,max}`; class elements are literal characters
+        /// or `a-b` ranges. Returns `Err` for anything else.
+        pub fn parse(pattern: &str) -> Result<Self, Error> {
+            let err = |m: &str| Err(Error(m.to_string()));
+            let rest = match pattern.strip_prefix('[') {
+                Some(r) => r,
+                None => return err("pattern must start with a character class"),
+            };
+            let (class, quant) = match rest.split_once(']') {
+                Some(p) => p,
+                None => return err("unterminated character class"),
+            };
+            let mut alphabet = Vec::new();
+            let chars: Vec<char> = class.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    let (lo, hi) = (chars[i], chars[i + 2]);
+                    if lo > hi {
+                        return err("descending character range");
+                    }
+                    for c in lo..=hi {
+                        alphabet.push(c);
+                    }
+                    i += 3;
+                } else if chars[i] == '\\' && i + 1 < chars.len() {
+                    // Literal escapes (\n etc. are usually already resolved
+                    // by the Rust lexer; keep \\-escapes working anyway).
+                    alphabet.push(match chars[i + 1] {
+                        'n' => '\n',
+                        'r' => '\r',
+                        't' => '\t',
+                        c => c,
+                    });
+                    i += 2;
+                } else {
+                    alphabet.push(chars[i]);
+                    i += 1;
+                }
+            }
+            if alphabet.is_empty() {
+                return err("empty character class");
+            }
+            let quant = match quant.strip_prefix('{').and_then(|q| q.strip_suffix('}')) {
+                Some(q) => q,
+                None => return err("expected {min,max} quantifier"),
+            };
+            let (min, max) = match quant.split_once(',') {
+                Some((a, b)) => (a.trim(), b.trim()),
+                None => (quant.trim(), quant.trim()),
+            };
+            let min: usize = match min.parse() {
+                Ok(v) => v,
+                Err(_) => return err("bad quantifier minimum"),
+            };
+            let max: usize = match max.parse() {
+                Ok(v) => v,
+                Err(_) => return err("bad quantifier maximum"),
+            };
+            if max < min {
+                return err("quantifier maximum below minimum");
+            }
+            Ok(CharClassStrategy { alphabet, min, max })
+        }
+    }
+
+    impl Strategy for CharClassStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let span = (self.max - self.min + 1) as u64;
+            let len = self.min + rng.below(span) as usize;
+            (0..len)
+                .map(|_| self.alphabet[rng.below(self.alphabet.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Strategy for strings matching `pattern` (character-class subset).
+    pub fn string_regex(pattern: &str) -> Result<CharClassStrategy, Error> {
+        CharClassStrategy::parse(pattern)
+    }
+}
+
+/// Common imports (upstream: `proptest::prelude`).
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::string;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Upstream exposes the crate root as `prop` inside the prelude.
+    pub use crate as prop;
+}
+
+/// Declares property tests (upstream macro). Supports an optional
+/// `#![proptest_config(..)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::new($crate::seed_of(concat!(module_path!(), "::", stringify!($name))));
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                // Rendered up front: the body may consume the inputs.
+                let __inputs = format!("{:?}", ($(&$arg,)*));
+                let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err(e) if e.is_reject() => {
+                        __rejected += 1;
+                        if __rejected > __cfg.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                stringify!($name), __rejected
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(e) => {
+                        panic!(
+                            "proptest {} failed after {} passing case(s): {}\ninputs: {}",
+                            stringify!($name), __passed, e, __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a property (returns a failure, enabling input reporting).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Skips cases whose inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn char_class_parses_and_generates() {
+        let s = string::string_regex("[a-c]{2,4}").unwrap();
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn unsupported_patterns_error() {
+        assert!(string::string_regex("abc+").is_err());
+        assert!(string::string_regex("[]{1,2}").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds; tuples and vecs compose.
+        #[test]
+        fn ranges_in_bounds(x in 0i64..5, pair in (0u8..2, 0usize..3), v in prop::collection::vec(0i64..4, 1..6)) {
+            prop_assert!((0..5).contains(&x));
+            prop_assert!(pair.0 < 2 && pair.1 < 3);
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..4).contains(&e)));
+        }
+
+        /// prop_assume rejections are skipped, not failed.
+        #[test]
+        fn assume_skips(x in 0i64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+}

@@ -26,7 +26,10 @@ pub fn min_weight_hitting_set(
     sets: &[Vec<usize>],
     budget: u64,
 ) -> Option<HittingSet> {
-    debug_assert!(sets.iter().all(|s| !s.is_empty()), "empty set is unhittable");
+    debug_assert!(
+        sets.iter().all(|s| !s.is_empty()),
+        "empty set is unhittable"
+    );
     let incumbent = greedy_hitting_set(weights, sets);
     let mut best = incumbent;
     let mut chosen = vec![false; weights.len()];
@@ -106,10 +109,7 @@ fn disjoint_bound(weights: &[f64], sets: &[Vec<usize>], chosen: &[bool]) -> f64 
         for &e in s {
             used[e] = true;
         }
-        bound += s
-            .iter()
-            .map(|&e| weights[e])
-            .fold(f64::INFINITY, f64::min);
+        bound += s.iter().map(|&e| weights[e]).fold(f64::INFINITY, f64::min);
     }
     bound
 }

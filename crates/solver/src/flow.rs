@@ -249,15 +249,20 @@ mod tests {
                 .enumerate()
                 .filter(|(i, _)| lc[*i])
                 .map(|(_, &x)| x)
-                .chain(wr.iter().enumerate().filter(|(i, _)| rc[*i]).map(|(_, &x)| x))
+                .chain(
+                    wr.iter()
+                        .enumerate()
+                        .filter(|(i, _)| rc[*i])
+                        .map(|(_, &x)| x),
+                )
                 .sum();
             assert_close(w, recomputed);
             // Brute-force optimality for these tiny sizes.
             let mut best = f64::INFINITY;
             for mask in 0..(1u32 << (nl + nr)) {
-                let covered = edges.iter().all(|&(a, b)| {
-                    mask & (1 << a) != 0 || mask & (1 << (nl as u32 + b)) != 0
-                });
+                let covered = edges
+                    .iter()
+                    .all(|&(a, b)| mask & (1 << a) != 0 || mask & (1 << (nl as u32 + b)) != 0);
                 if covered {
                     let weight: f64 = (0..nl + nr)
                         .filter(|&i| mask & (1 << i) != 0)

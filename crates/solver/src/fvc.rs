@@ -65,8 +65,7 @@ pub fn fractional_vertex_cover(g: &ConflictGraph) -> FractionalCover {
     if edges.is_empty() {
         return FractionalCover { value, x };
     }
-    let (cover_weight, left, right) =
-        bipartite_min_weight_vertex_cover(&weights, &weights, &edges);
+    let (cover_weight, left, right) = bipartite_min_weight_vertex_cover(&weights, &weights, &edges);
     value += cover_weight / 2.0;
     for (i, &v) in free.iter().enumerate() {
         let halves = u8::from(left[i]) + u8::from(right[i]);

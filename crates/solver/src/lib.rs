@@ -33,4 +33,6 @@ pub use flow::{bipartite_min_weight_vertex_cover, FlowNetwork};
 pub use fvc::{fractional_vertex_cover, nt_partition, FractionalCover};
 pub use matching::{Bipartite, Matching};
 pub use simplex::{covering_lp, LinearProgram, LpCmp, LpError, LpSolution};
-pub use vertex_cover::{greedy_vertex_cover, is_vertex_cover, min_weight_vertex_cover, VertexCover};
+pub use vertex_cover::{
+    greedy_vertex_cover, is_vertex_cover, min_weight_vertex_cover, VertexCover,
+};

@@ -174,8 +174,7 @@ impl Bipartite {
         let left_cover: Vec<bool> = left_visited.iter().map(|&v| !v).collect();
         let right_cover = right_visited;
         debug_assert_eq!(
-            left_cover.iter().filter(|&&b| b).count()
-                + right_cover.iter().filter(|&&b| b).count(),
+            left_cover.iter().filter(|&&b| b).count() + right_cover.iter().filter(|&&b| b).count(),
             m.size
         );
         (left_cover, right_cover)
@@ -232,8 +231,7 @@ mod tests {
             assert!(lc[l as usize] || rc[r as usize], "edge ({l},{r}) uncovered");
         }
         // Tightness (König).
-        let cover_size =
-            lc.iter().filter(|&&b| b).count() + rc.iter().filter(|&&b| b).count();
+        let cover_size = lc.iter().filter(|&&b| b).count() + rc.iter().filter(|&&b| b).count();
         assert_eq!(cover_size, m.size);
     }
 
@@ -259,8 +257,7 @@ mod tests {
             for (l, r) in edges {
                 assert!(lc[l as usize] || rc[r as usize]);
             }
-            let cover_size =
-                lc.iter().filter(|&&b| b).count() + rc.iter().filter(|&&b| b).count();
+            let cover_size = lc.iter().filter(|&&b| b).count() + rc.iter().filter(|&&b| b).count();
             assert_eq!(cover_size, m.size);
         }
     }

@@ -424,15 +424,7 @@ mod tests {
     fn example9_running_example_lp() {
         // Paper Example 9, database D1: MI pairs over x1..x5:
         // {2,3},{2,4},{2,5},{3,4},{3,5},{4,5},{1,5} (1-based) → value 2.5.
-        let pairs = [
-            (1, 2),
-            (1, 3),
-            (1, 4),
-            (2, 3),
-            (2, 4),
-            (3, 4),
-            (0, 4),
-        ];
+        let pairs = [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (0, 4)];
         let sets: Vec<Vec<usize>> = pairs.iter().map(|&(a, b)| vec![a, b]).collect();
         let lp = covering_lp(&[1.0; 5], &sets);
         let s = lp.minimize().unwrap();

@@ -53,7 +53,12 @@ pub fn min_weight_vertex_cover(g: &ConflictGraph, budget: u64) -> Option<VertexC
         let (sub, sub_map) = core.induced(&comp);
         let solved = solve_component(&sub, &mut budget)?;
         weight += solved.weight;
-        nodes.extend(solved.nodes.iter().map(|&v| mapping[sub_map[v as usize] as usize]));
+        nodes.extend(
+            solved
+                .nodes
+                .iter()
+                .map(|&v| mapping[sub_map[v as usize] as usize]),
+        );
     }
     nodes.sort();
     Some(VertexCover { weight, nodes })
@@ -368,7 +373,15 @@ mod tests {
         // D1 (0-based): K4 on {1,2,3,4} plus edge {0,4} → minimum 3.
         let g1 = graph(
             5,
-            &[&[1, 2], &[1, 3], &[1, 4], &[2, 3], &[2, 4], &[3, 4], &[0, 4]],
+            &[
+                &[1, 2],
+                &[1, 3],
+                &[1, 4],
+                &[2, 3],
+                &[2, 4],
+                &[3, 4],
+                &[0, 4],
+            ],
         );
         assert_eq!(min_weight_vertex_cover(&g1, 1 << 20).unwrap().weight, 3.0);
         // D2: {1,2},{1,3},{1,4},{2,3},{3,4} → minimum 2 (e.g. {1,3}).
@@ -378,7 +391,18 @@ mod tests {
 
     #[test]
     fn greedy_is_a_valid_cover() {
-        let g = graph(6, &[&[0, 1], &[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 0], &[0, 3]]);
+        let g = graph(
+            6,
+            &[
+                &[0, 1],
+                &[1, 2],
+                &[2, 3],
+                &[3, 4],
+                &[4, 5],
+                &[5, 0],
+                &[0, 3],
+            ],
+        );
         let greedy = greedy_vertex_cover(&g);
         assert!(is_vertex_cover(&g, &greedy.nodes));
         let exact = min_weight_vertex_cover(&g, 1 << 20).unwrap();
@@ -394,7 +418,13 @@ mod tests {
             let n = rng.gen_range(2..13usize);
             let weighted = rng.gen_bool(0.5);
             let weights: Vec<f64> = (0..n)
-                .map(|_| if weighted { rng.gen_range(1..6) as f64 } else { 1.0 })
+                .map(|_| {
+                    if weighted {
+                        rng.gen_range(1..6) as f64
+                    } else {
+                        1.0
+                    }
+                })
                 .collect();
             let mut subsets: Vec<Vec<u32>> = Vec::new();
             for a in 0..n as u32 {
@@ -430,8 +460,16 @@ mod tests {
         let g = graph(
             10,
             &[
-                &[0, 1], &[1, 2], &[2, 3], &[3, 4], &[0, 4],
-                &[5, 6], &[6, 7], &[7, 8], &[8, 9], &[5, 9],
+                &[0, 1],
+                &[1, 2],
+                &[2, 3],
+                &[3, 4],
+                &[0, 4],
+                &[5, 6],
+                &[6, 7],
+                &[7, 8],
+                &[8, 9],
+                &[5, 9],
             ],
         );
         assert!(min_weight_vertex_cover(&g, 1).is_none());

@@ -41,8 +41,14 @@ fn main() {
                 let Ok(egd) = Egd::new(
                     "probe",
                     vec![
-                        EgdAtom { rel: r, vars: a.clone() },
-                        EgdAtom { rel: r, vars: b.clone() },
+                        EgdAtom {
+                            rel: r,
+                            vars: a.clone(),
+                        },
+                        EgdAtom {
+                            rel: r,
+                            vars: b.clone(),
+                        },
                     ],
                     (c1, c2),
                     &schema,
@@ -59,8 +65,14 @@ fn main() {
     let egd = Egd::new(
         "fd",
         vec![
-            EgdAtom { rel: r, vars: vec![0, 1] },
-            EgdAtom { rel: r, vars: vec![0, 2] },
+            EgdAtom {
+                rel: r,
+                vars: vec![0, 1],
+            },
+            EgdAtom {
+                rel: r,
+                vars: vec![0, 2],
+            },
         ],
         (1, 2),
         &schema,
@@ -69,7 +81,10 @@ fn main() {
     assert!(matches!(classify(&egd), Some(EgdComplexity::Polynomial(_))));
 
     println!("\nPolynomial algorithm vs exact solver on the FD shape:");
-    println!("{:<10}{:>14}{:>14}{:>10}", "n", "poly (ms)", "exact (ms)", "agree");
+    println!(
+        "{:<10}{:>14}{:>14}{:>10}",
+        "n", "poly (ms)", "exact (ms)", "agree"
+    );
     let mut rng = StdRng::seed_from_u64(1);
     for n in [100usize, 400, 1600] {
         let mut db = Database::new(Arc::clone(&schema));

@@ -57,14 +57,18 @@ fn main() {
     let mut noise = RNoise::new(7, 0.0);
     let steps = RNoise::iterations_for(0.01, &noisy);
     let opts = MeasureOptions::default();
-    println!("\n{:>6} {:>8} {:>8} {:>10}", "edits", "I_MI", "I_P", "I_R^lin");
+    println!(
+        "\n{:>6} {:>8} {:>8} {:>10}",
+        "edits", "I_MI", "I_P", "I_R^lin"
+    );
     let mut edits = 0usize;
     let checkpoints = 5usize;
     for chunk in 0..checkpoints {
         let target = steps * (chunk + 1) / checkpoints;
         while edits < target {
             if let Some(edit) = noise.step(&mut noisy, &cs) {
-                idx.update(edit.tuple, edit.attr, edit.new).expect("typed edit");
+                idx.update(edit.tuple, edit.attr, edit.new)
+                    .expect("typed edit");
                 edits += 1;
             }
         }

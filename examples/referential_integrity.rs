@@ -20,14 +20,22 @@ fn main() {
     let mut schema = Schema::new();
     let customers = schema
         .add_relation(
-            relation("Customers", &[("Id", ValueKind::Int), ("Name", ValueKind::Str)]).unwrap(),
+            relation(
+                "Customers",
+                &[("Id", ValueKind::Int), ("Name", ValueKind::Str)],
+            )
+            .unwrap(),
         )
         .unwrap();
     let orders = schema
         .add_relation(
             relation(
                 "Orders",
-                &[("OrderId", ValueKind::Int), ("Customer", ValueKind::Int), ("Total", ValueKind::Float)],
+                &[
+                    ("OrderId", ValueKind::Int),
+                    ("Customer", ValueKind::Int),
+                    ("Total", ValueKind::Float),
+                ],
             )
             .unwrap(),
         )
@@ -43,9 +51,17 @@ fn main() {
     .unwrap();
 
     let mut db = Database::new(Arc::clone(&schema));
-    db.insert(Fact::new(customers, [Value::int(1), Value::str("Ada")])).unwrap();
-    db.insert(Fact::new(customers, [Value::int(2), Value::str("Grace")])).unwrap();
-    for (oid, cust, total) in [(100, 1, 9.5), (101, 2, 3.0), (102, 7, 12.0), (103, 7, 1.0), (104, 9, 4.5)] {
+    db.insert(Fact::new(customers, [Value::int(1), Value::str("Ada")]))
+        .unwrap();
+    db.insert(Fact::new(customers, [Value::int(2), Value::str("Grace")]))
+        .unwrap();
+    for (oid, cust, total) in [
+        (100, 1, 9.5),
+        (101, 2, 3.0),
+        (102, 7, 12.0),
+        (103, 7, 1.0),
+        (104, 9, 4.5),
+    ] {
         db.insert(Fact::new(
             orders,
             [Value::int(oid), Value::int(cust), Value::float(total)],
@@ -55,13 +71,20 @@ fn main() {
 
     println!("Orders referencing missing customers (dangling):");
     for (key, tuples) in fk.dangling(&db) {
-        println!("  Customer key {:?} ← {} dangling order(s)", key, tuples.len());
+        println!(
+            "  Customer key {:?} ← {} dangling order(s)",
+            key,
+            tuples.len()
+        );
     }
 
     // I_R under a mixed insert-or-delete repair system: per missing key,
     // either insert the referenced customer (cost `insert_cost`) or
     // delete all dangling orders (sum of their deletion costs).
-    println!("\n{:<14}{:>8}{:>10}{:>10}", "insert cost", "I_R", "#inserts", "#deletes");
+    println!(
+        "\n{:<14}{:>8}{:>10}{:>10}",
+        "insert cost", "I_R", "#inserts", "#deletes"
+    );
     for insert_cost in [0.5, 1.5, 2.5] {
         let (ir, inserts, deletes) = ind_min_repair(std::slice::from_ref(&fk), &db, insert_cost);
         println!(
@@ -76,7 +99,8 @@ fn main() {
     // §4's point: adding a tuple REDUCES inconsistency — the reason the
     // paper does not ask for monotonicity over the database.
     let (before, _, _) = ind_min_repair(std::slice::from_ref(&fk), &db, 1.0);
-    db.insert(Fact::new(customers, [Value::int(7), Value::str("Alan")])).unwrap();
+    db.insert(Fact::new(customers, [Value::int(7), Value::str("Alan")]))
+        .unwrap();
     let (after, _, _) = ind_min_repair(std::slice::from_ref(&fk), &db, 1.0);
     println!(
         "\nAfter inserting customer 7: I_R drops {before} → {after} — a larger\n\

@@ -15,7 +15,11 @@ fn full_pipeline_on_every_dataset() {
     let opts = MeasureOptions::default();
     for id in DatasetId::all() {
         let mut ds = generate(id, 200, 42);
-        assert!(engine::is_consistent(&ds.db, &ds.constraints), "{}", id.name());
+        assert!(
+            engine::is_consistent(&ds.db, &ds.constraints),
+            "{}",
+            id.name()
+        );
 
         // Corrupt.
         let mut noise = CoNoise::new(42);
@@ -74,16 +78,25 @@ fn measure_inequalities_hold_on_noisy_samples() {
     // I_R^lin ≤ I_R ≤ 2·I_R^lin (two-tuple DCs), I_R ≤ I_P, I_R ≤ I_MI
     // (unit costs: pick one endpoint per violating pair).
     let opts = MeasureOptions::default();
-    for id in [DatasetId::Hospital, DatasetId::Tax, DatasetId::Voter, DatasetId::Food] {
+    for id in [
+        DatasetId::Hospital,
+        DatasetId::Tax,
+        DatasetId::Voter,
+        DatasetId::Food,
+    ] {
         let mut ds = generate(id, 250, 5);
         let mut noise = RNoise::new(5, 1.0);
         let steps = RNoise::iterations_for(0.01, &ds.db);
         noise.run(&mut ds.db, &ds.constraints, steps);
-        let ir = MinimumRepair { options: opts }.eval(&ds.constraints, &ds.db).unwrap();
+        let ir = MinimumRepair { options: opts }
+            .eval(&ds.constraints, &ds.db)
+            .unwrap();
         let lin = LinearMinimumRepair { options: opts }
             .eval(&ds.constraints, &ds.db)
             .unwrap();
-        let ip = ProblematicFacts { options: opts }.eval(&ds.constraints, &ds.db).unwrap();
+        let ip = ProblematicFacts { options: opts }
+            .eval(&ds.constraints, &ds.db)
+            .unwrap();
         let imi = MinimalInconsistentSubsets { options: opts }
             .eval(&ds.constraints, &ds.db)
             .unwrap();

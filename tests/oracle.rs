@@ -42,7 +42,11 @@ fn schema() -> (Arc<Schema>, RelId, RelId) {
         .add_relation(
             relation(
                 "R",
-                &[("A", ValueKind::Int), ("B", ValueKind::Int), ("W", ValueKind::Float)],
+                &[
+                    ("A", ValueKind::Int),
+                    ("B", ValueKind::Int),
+                    ("W", ValueKind::Float),
+                ],
             )
             .unwrap(),
         )
@@ -108,7 +112,10 @@ fn random_instance(seed: u64) -> Instance {
     for _ in 0..rng.gen_range(0..5) {
         db.insert(Fact::new(
             t,
-            [Value::int(rng.gen_range(0..3)), Value::int(rng.gen_range(0..3))],
+            [
+                Value::int(rng.gen_range(0..3)),
+                Value::int(rng.gen_range(0..3)),
+            ],
         ))
         .unwrap();
     }
@@ -119,8 +126,13 @@ fn random_instance(seed: u64) -> Instance {
     if rng.gen_bool(0.5) {
         // Unary with a constant: ¬(A = 2).
         cs.add_dc(
-            build::unary("no2", r, vec![build::uc(AttrId(0), CmpOp::Eq, Value::int(2))], &s)
-                .unwrap(),
+            build::unary(
+                "no2",
+                r,
+                vec![build::uc(AttrId(0), CmpOp::Eq, Value::int(2))],
+                &s,
+            )
+            .unwrap(),
         );
     }
     if rng.gen_bool(0.5) {
@@ -168,10 +180,7 @@ fn naive_mi(db: &Database, cs: &ConstraintSet) -> Vec<Vec<TupleId>> {
         'outer: loop {
             if candidates.iter().all(|c| !c.is_empty()) {
                 let ids: Vec<TupleId> = (0..k).map(|i| candidates[i][idx[i]]).collect();
-                let rows: Vec<&[Value]> = ids
-                    .iter()
-                    .map(|&t| db.fact(t).unwrap().values)
-                    .collect();
+                let rows: Vec<&[Value]> = ids.iter().map(|&t| db.fact(t).unwrap().values).collect();
                 if dc.forbidden(&rows) {
                     let mut set = ids.clone();
                     set.sort();
@@ -198,9 +207,8 @@ fn naive_mi(db: &Database, cs: &ConstraintSet) -> Vec<Vec<TupleId>> {
     let all: Vec<Vec<TupleId>> = raw.into_iter().collect();
     all.iter()
         .filter(|s| {
-            !all.iter().any(|o| {
-                o.len() < s.len() && o.iter().all(|x| s.contains(x))
-            })
+            !all.iter()
+                .any(|o| o.len() < s.len() && o.iter().all(|x| s.contains(x)))
         })
         .cloned()
         .collect()
@@ -225,13 +233,11 @@ fn naive_imc(db: &Database, cs: &ConstraintSet) -> u64 {
     consistent
         .iter()
         .filter(|s| {
-            ids.iter()
-                .filter(|t| !s.contains(t))
-                .all(|t| {
-                    let mut bigger = (*s).clone();
-                    bigger.insert(*t);
-                    !consistent.contains(&bigger)
-                })
+            ids.iter().filter(|t| !s.contains(t)).all(|t| {
+                let mut bigger = (*s).clone();
+                bigger.insert(*t);
+                !consistent.contains(&bigger)
+            })
         })
         .count() as u64
 }
@@ -266,9 +272,8 @@ fn engine_matches_naive_mi_on_mixed_shapes() {
         actual.sort();
         assert_eq!(actual, expected, "seed {seed}");
         // The parallel path must agree bit for bit.
-        let par = inconsist::constraints::minimal_inconsistent_subsets_par(
-            &inst.db, &inst.cs, None, 3,
-        );
+        let par =
+            inconsist::constraints::minimal_inconsistent_subsets_par(&inst.db, &inst.cs, None, 3);
         let mut par_sets: Vec<Vec<TupleId>> = par.subsets.iter().map(|s| s.to_vec()).collect();
         par_sets.sort();
         assert_eq!(par_sets, expected, "parallel, seed {seed}");
@@ -343,7 +348,10 @@ fn incremental_index_matches_oracle_after_random_ops() {
                     } else {
                         Fact::new(
                             rel,
-                            [Value::int(rng.gen_range(0..3)), Value::int(rng.gen_range(0..3))],
+                            [
+                                Value::int(rng.gen_range(0..3)),
+                                Value::int(rng.gen_range(0..3)),
+                            ],
                         )
                     };
                     idx.insert(fact).unwrap();
@@ -363,11 +371,8 @@ fn incremental_index_matches_oracle_after_random_ops() {
         }
         let mut expected = naive_mi(idx.db(), idx.constraints());
         expected.sort();
-        let mut actual: Vec<Vec<TupleId>> = idx
-            .minimal_subsets()
-            .iter()
-            .map(|s| s.to_vec())
-            .collect();
+        let mut actual: Vec<Vec<TupleId>> =
+            idx.minimal_subsets().iter().map(|s| s.to_vec()).collect();
         actual.sort();
         assert_eq!(actual, expected, "seed {seed}");
         let _ = s;

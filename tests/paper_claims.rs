@@ -10,8 +10,8 @@ use inconsist::paper;
 use inconsist::properties::{
     check_monotonicity, check_positivity, check_progression, table2, Verdict,
 };
-use inconsist::repair::SubsetRepairs;
 use inconsist::relational::{relation, Schema, ValueKind};
+use inconsist::repair::SubsetRepairs;
 use std::sync::Arc;
 
 #[test]
@@ -98,9 +98,18 @@ fn proposition1_imi_monotonicity_fails_for_dcs() {
     let sigma1 = Egd::new(
         "σ1",
         vec![
-            EgdAtom { rel: r, vars: vec![0, 1] },
-            EgdAtom { rel: t, vars: vec![0, 2] },
-            EgdAtom { rel: t, vars: vec![0, 3] },
+            EgdAtom {
+                rel: r,
+                vars: vec![0, 1],
+            },
+            EgdAtom {
+                rel: t,
+                vars: vec![0, 2],
+            },
+            EgdAtom {
+                rel: t,
+                vars: vec![0, 3],
+            },
         ],
         (2, 3),
         &schema,
@@ -109,8 +118,14 @@ fn proposition1_imi_monotonicity_fails_for_dcs() {
     let sigma2 = Egd::new(
         "σ2",
         vec![
-            EgdAtom { rel: t, vars: vec![0, 1] },
-            EgdAtom { rel: t, vars: vec![0, 2] },
+            EgdAtom {
+                rel: t,
+                vars: vec![0, 1],
+            },
+            EgdAtom {
+                rel: t,
+                vars: vec![0, 2],
+            },
         ],
         (1, 2),
         &schema,
@@ -126,9 +141,12 @@ fn proposition1_imi_monotonicity_fails_for_dcs() {
 
     // Database where every σ1 violation pairs with a σ2 violation.
     let mut db = Database::new(Arc::clone(&schema));
-    db.insert(Fact::new(r, [Value::int(1), Value::int(0)])).unwrap();
-    db.insert(Fact::new(t, [Value::int(1), Value::int(5)])).unwrap();
-    db.insert(Fact::new(t, [Value::int(1), Value::int(6)])).unwrap();
+    db.insert(Fact::new(r, [Value::int(1), Value::int(0)]))
+        .unwrap();
+    db.insert(Fact::new(t, [Value::int(1), Value::int(5)]))
+        .unwrap();
+    db.insert(Fact::new(t, [Value::int(1), Value::int(6)]))
+        .unwrap();
 
     let opts = MeasureOptions::default();
     let ip = ProblematicFacts { options: opts };
@@ -155,8 +173,14 @@ fn theorem1_dichotomy_and_reduction() {
         classify(&example8::sigma1(r, &schema)),
         Some(EgdComplexity::Polynomial(_))
     ));
-    assert_eq!(classify(&example8::sigma2(r, &schema)), Some(EgdComplexity::NpHard));
-    assert_eq!(classify(&example8::sigma3(r, &schema)), Some(EgdComplexity::NpHard));
+    assert_eq!(
+        classify(&example8::sigma2(r, &schema)),
+        Some(EgdComplexity::NpHard)
+    );
+    assert_eq!(
+        classify(&example8::sigma3(r, &schema)),
+        Some(EgdComplexity::NpHard)
+    );
     assert!(matches!(
         classify(&example8::sigma4(r, t, &schema)),
         Some(EgdComplexity::Polynomial(_))

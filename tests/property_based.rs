@@ -1,7 +1,8 @@
 //! Property-based integration tests (proptest) over random schemas,
 //! databases and FD sets, exercising invariants across all crates.
 
-use inconsist::constraints::{engine, ConstraintSet, Fd};
+use inconsist::constraints::dc::build;
+use inconsist::constraints::{engine, minimal_inconsistent_subsets_par, CmpOp, ConstraintSet, Fd};
 use inconsist::measures::{
     InconsistencyMeasure, LinearMinimumRepair, MaximalConsistentSubsetsWithSelf, MeasureOptions,
     MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
@@ -53,6 +54,95 @@ fn build_fds(schema: &Arc<Schema>, r: RelId, fds: &[(u16, u16)]) -> ConstraintSe
 
 fn rows_strategy() -> impl Strategy<Value = Vec<Vec<i64>>> {
     prop::collection::vec(prop::collection::vec(0i64..4, COLS), 1..24)
+}
+
+// -- mixed-type fixtures for the engine-equivalence property ---------------
+
+/// One generated row: a string key, a float measure, an int measure — each
+/// drawn from a small domain, with an explicit null channel (`selector == 0`
+/// nulls the column) so encoded joins see missing values too.
+type MixedRow = ((u8, i64), (u8, i64), (u8, i64));
+
+fn mixed_schema() -> (Arc<Schema>, RelId) {
+    let mut s = Schema::new();
+    let r = s
+        .add_relation(
+            relation(
+                "M",
+                &[
+                    ("K", ValueKind::Str),
+                    ("X", ValueKind::Float),
+                    ("Y", ValueKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    (Arc::new(s), r)
+}
+
+fn mixed_db(rows: &[MixedRow]) -> (Database, RelId, Arc<Schema>) {
+    const KEYS: &[&str] = &["alpha", "beta", "gamma", "delta"];
+    let (schema, r) = mixed_schema();
+    let mut db = Database::new(Arc::clone(&schema));
+    for &((ks, k), (xs, x), (ys, y)) in rows {
+        let kv = if ks == 0 {
+            Value::Null
+        } else {
+            Value::str(KEYS[(k % KEYS.len() as i64) as usize])
+        };
+        let xv = if xs == 0 {
+            Value::Null
+        } else {
+            Value::float(x as f64 / 2.0)
+        };
+        let yv = if ys == 0 { Value::Null } else { Value::int(y) };
+        db.insert(Fact::new(r, [kv, xv, yv])).unwrap();
+    }
+    (db, r, schema)
+}
+
+fn mixed_rows_strategy() -> impl Strategy<Value = Vec<MixedRow>> {
+    let cell = || (0u8..4, 0i64..5);
+    prop::collection::vec((cell(), cell(), cell()), 1..28)
+}
+
+/// Constraints exercising every compiled join shape over the mixed
+/// columns: a string-keyed FD, an FD between float and int columns, a
+/// dominance DC (rank comparisons), and a unary positivity DC.
+fn mixed_cs(schema: &Arc<Schema>, r: RelId) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(Arc::clone(schema));
+    cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+    cs.add_fd(Fd::new(r, [AttrId(1)], [AttrId(2)]));
+    cs.add_dc(
+        build::binary(
+            "dom",
+            r,
+            vec![
+                build::tt(AttrId(1), CmpOp::Lt, AttrId(1)),
+                build::tt(AttrId(2), CmpOp::Gt, AttrId(2)),
+            ],
+            schema,
+        )
+        .unwrap(),
+    );
+    cs.add_dc(
+        build::unary(
+            "pos",
+            r,
+            vec![build::uc(AttrId(2), CmpOp::Gt, Value::int(3))],
+            schema,
+        )
+        .unwrap(),
+    );
+    cs
+}
+
+fn sorted_subsets(mi: &engine::MiResult) -> Vec<Vec<inconsist::relational::TupleId>> {
+    let mut v: Vec<Vec<inconsist::relational::TupleId>> =
+        mi.subsets.iter().map(|s| s.to_vec()).collect();
+    v.sort();
+    v
 }
 
 fn fds_strategy() -> impl Strategy<Value = Vec<(u16, u16)>> {
@@ -193,6 +283,35 @@ proptest! {
                 "mined DC violated: {}", m.dc.display(&schema)
             );
             prop_assert_eq!(m.violations, 0);
+        }
+    }
+
+    /// The code-keyed engine, the value-keyed reference path, and the
+    /// parallel enumerator return identical `MiResult`s on randomized
+    /// databases mixing Int/Float/Str columns and nulls.
+    #[test]
+    fn code_value_and_parallel_engines_agree(rows in mixed_rows_strategy()) {
+        let (db, r, schema) = mixed_db(&rows);
+        let cs = mixed_cs(&schema, r);
+        let code = engine::minimal_inconsistent_subsets(&db, &cs, None);
+        let value = engine::value_keyed::minimal_inconsistent_subsets(&db, &cs, None);
+        prop_assert!(code.complete && value.complete);
+        prop_assert_eq!(sorted_subsets(&code), sorted_subsets(&value));
+        for threads in [2, 4] {
+            let par = minimal_inconsistent_subsets_par(&db, &cs, None, threads);
+            prop_assert!(par.complete);
+            prop_assert_eq!(sorted_subsets(&par), sorted_subsets(&code));
+        }
+        // Per-constraint enumeration agrees between the two engines too.
+        let per_code = engine::violations_per_dc(&db, &cs, None);
+        let per_value = engine::value_keyed::violations_per_dc(&db, &cs, None);
+        prop_assert_eq!(per_code.len(), per_value.len());
+        for (c, v) in per_code.iter().zip(&per_value) {
+            prop_assert_eq!(c.dc, v.dc);
+            prop_assert_eq!(c.complete, v.complete);
+            let mut cs_sets: Vec<_> = c.sets.clone(); cs_sets.sort();
+            let mut vs_sets: Vec<_> = v.sets.clone(); vs_sets.sort();
+            prop_assert_eq!(cs_sets, vs_sets);
         }
     }
 

@@ -128,6 +128,33 @@ pub fn is_consistent(db: &Database, cs: &ConstraintSet) -> bool {
 /// Enumerates `MI_Σ(D)`: all inclusion-minimal inconsistent subsets, deduped
 /// across constraints. `limit` is the global raw-violation budget described
 /// in the module-level *Limits* section.
+///
+/// # Examples
+///
+/// The FD `A → B` (a symmetric binary DC) on three facts:
+///
+/// ```
+/// use inconsist_constraints::{engine, ConstraintSet, Fd};
+/// use inconsist_relational::{relation, AttrId, Database, Fact, Schema, Value, ValueKind};
+/// use std::sync::Arc;
+///
+/// let mut s = Schema::new();
+/// let r = s
+///     .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+///     .unwrap();
+/// let s = Arc::new(s);
+/// let mut db = Database::new(Arc::clone(&s));
+/// let t0 = db.insert(Fact::new(r, [Value::int(1), Value::int(1)])).unwrap();
+/// let t1 = db.insert(Fact::new(r, [Value::int(1), Value::int(2)])).unwrap();
+/// db.insert(Fact::new(r, [Value::int(2), Value::int(2)])).unwrap();
+/// let mut cs = ConstraintSet::new(Arc::clone(&s));
+/// cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)])); // A → B
+///
+/// let mi = engine::minimal_inconsistent_subsets(&db, &cs, None);
+/// assert!(mi.complete);
+/// assert_eq!(mi.subsets, vec![vec![t0, t1].into_boxed_slice()]);
+/// assert_eq!(mi.count(), 1); // the value of I_MI
+/// ```
 pub fn minimal_inconsistent_subsets(
     db: &Database,
     cs: &ConstraintSet,
@@ -410,10 +437,10 @@ pub fn for_each_violation(
 ) {
     match dc.arity() {
         1 => {
-            let _ = enumerate_unary(db, dc, cb);
+            let _ = enumerate_unary(db, dc, None, cb);
         }
         2 => {
-            let _ = enumerate_binary(db, dc, cb);
+            let _ = enumerate_binary(db, dc, None, cb);
         }
         _ => {
             let _ = enumerate_generic(db, dc, indexes, cb);
@@ -421,13 +448,128 @@ pub fn for_each_violation(
     }
 }
 
+/// One data shard of a violation enumeration (see the sharding design in
+/// [`crate::parallel`]'s module docs).
+///
+/// `probe` restricts the *probe side* — the scan positions of atom 0's
+/// relation that this shard enumerates bindings from. Every tuple belongs
+/// to exactly one shard of a partition, so the union of per-shard
+/// enumerations over a full partition visits every raw binding exactly as
+/// often as the unsharded enumerator does (and per-shard reflexive scans
+/// visit each tuple once).
+///
+/// `build` optionally restricts the *build side* of a binary hash join to
+/// the same co-partitioned position set. This is only sound when the
+/// partition is keyed on the DC's shared-column equality attributes
+/// ([`copartition_attrs`]): joining pairs then agree on the partition key
+/// codes and land in the same shard. `None` broadcasts the full build
+/// relation — always correct, used for order-only predicates, wide-key
+/// partitions, and multi-relation DCs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardScope<'a> {
+    /// Probe-side scan positions (into atom 0's relation, in
+    /// [`Database::scan`] order).
+    pub probe: &'a [u32],
+    /// Co-partitioned build-side scan positions, or `None` to broadcast
+    /// the full build relation. Requires a binary self-join DC.
+    pub build: Option<&'a [u32]>,
+}
+
+/// Shard-scoped [`for_each_violation`]: enumerates only the bindings whose
+/// atom-0 tuple lies in `scope.probe` (plans per arity as the unsharded
+/// path does). Given a partition of atom 0's relation into disjoint
+/// shards, the per-shard result sets union to the unsharded result —
+/// bit-identical after the caller's dedup, which is what lets
+/// [`crate::parallel`] merge shards under one global budget.
+pub fn for_each_violation_sharded(
+    db: &Database,
+    dc: &DenialConstraint,
+    scope: ShardScope<'_>,
+    indexes: &mut Indexes,
+    cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
+) {
+    match dc.arity() {
+        1 => {
+            let _ = enumerate_unary(db, dc, Some(scope.probe), cb);
+        }
+        2 => {
+            let _ = enumerate_binary(db, dc, Some(&scope), cb);
+        }
+        _ => {
+            // Arity ≥ 3: pin atom 0 to each probe tuple in turn; levels
+            // 1.. run the usual backtracking index join over the full
+            // relations, so only the outermost variable is sharded.
+            let ids = db.ids_of(dc.atoms[0].rel);
+            for &pos in scope.probe {
+                if enumerate_fixed(db, dc, 0, ids[pos as usize], indexes, cb).is_break() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The shared-column equality-key attributes of a binary self-join DC —
+/// the columns a data partitioner may hash-partition tuples on such that
+/// co-violating pairs land in the same shard ([`ShardScope::build`]).
+/// Returns `None` when no such key exists (order-only DCs, cross-column or
+/// cross-relation keys, arity ≠ 2): those shapes must broadcast the build
+/// side.
+pub fn copartition_attrs(dc: &DenialConstraint) -> Option<Vec<AttrId>> {
+    if !dc.is_binary_same_relation() {
+        return None;
+    }
+    let plan = plan_binary(dc);
+    let attrs: Vec<AttrId> = plan
+        .eq_keys
+        .iter()
+        .filter(|(a, b)| a == b)
+        .map(|&(a, _)| a)
+        .collect();
+    (!attrs.is_empty()).then_some(attrs)
+}
+
+/// Either-style iterator so [`scoped_facts`] stays statically dispatched:
+/// the unsharded arm is the same monomorphized scan loop the sequential
+/// engine always ran (no boxing in the hot path).
+enum ScopedFacts<S, F> {
+    Shard(S),
+    Full(F),
+}
+
+impl<T, S: Iterator<Item = T>, F: Iterator<Item = T>> Iterator for ScopedFacts<S, F> {
+    type Item = T;
+
+    #[inline]
+    fn next(&mut self) -> Option<T> {
+        match self {
+            ScopedFacts::Shard(s) => s.next(),
+            ScopedFacts::Full(f) => f.next(),
+        }
+    }
+}
+
+/// `(scan position, fact)` pairs of `rel`: the shard at `positions` when
+/// given, the full dense scan otherwise.
+fn scoped_facts<'a>(
+    db: &'a Database,
+    rel: RelId,
+    positions: Option<&'a [u32]>,
+) -> impl Iterator<Item = (usize, FactRef<'a>)> + 'a {
+    match positions {
+        Some(ps) => ScopedFacts::Shard(db.shard_view(rel, ps).facts()),
+        None => ScopedFacts::Full(db.scan(rel).enumerate()),
+    }
+}
+
 fn enumerate_unary(
     db: &Database,
     dc: &DenialConstraint,
+    probe: Option<&[u32]>,
     cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     let rel = dc.atoms[0].rel;
-    for f in db.scan(rel) {
+    for (_, f) in scoped_facts(db, rel, probe) {
         if dc.forbidden(&[f.values]) {
             cb(&[f.id])?;
         }
@@ -582,6 +724,7 @@ type CodeTable = PackedKeyMap<SmallVec<u32>>;
 fn enumerate_binary(
     db: &Database,
     dc: &DenialConstraint,
+    scope: Option<&ShardScope<'_>>,
     cb: &mut dyn FnMut(&[TupleId]) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     let plan = plan_binary(dc);
@@ -591,10 +734,17 @@ fn enumerate_binary(
     let rel_t = dc.atoms[0].rel;
     let rel_tp = dc.atoms[1].rel;
     let same_rel = rel_t == rel_tp;
+    let probe_pos = scope.map(|s| s.probe);
+    let build_pos = scope.and_then(|s| s.build);
+    debug_assert!(
+        build_pos.is_none() || same_rel,
+        "co-partitioned build sides require a self-join (see ShardScope)"
+    );
 
     // Reflexive bindings t = t' (paper: "it may be the case that t = t′").
+    // Probe-side rows only, so a partition checks each tuple exactly once.
     if same_rel {
-        for f in db.scan(rel_t) {
+        for (_, f) in scoped_facts(db, rel_t, probe_pos) {
             if dc.forbidden(&[f.values, f.values]) {
                 cb(&[f.id])?;
             }
@@ -609,14 +759,10 @@ fn enumerate_binary(
 
     if plan.eq_keys.is_empty() {
         // No equality key: filtered nested loop over scan positions.
-        let left: Vec<(usize, FactRef<'_>)> = db
-            .scan(rel_t)
-            .enumerate()
+        let left: Vec<(usize, FactRef<'_>)> = scoped_facts(db, rel_t, probe_pos)
             .filter(|(_, f)| passes(&plan.t_only, &[f.values, f.values]))
             .collect();
-        let right: Vec<(usize, FactRef<'_>)> = db
-            .scan(rel_tp)
-            .enumerate()
+        let right: Vec<(usize, FactRef<'_>)> = scoped_facts(db, rel_tp, build_pos)
             .filter(|(_, f)| passes(&plan.tp_only, &[f.values, f.values]))
             .collect();
         for &(i, ref a) in &left {
@@ -665,10 +811,9 @@ fn enumerate_binary(
         })
         .collect();
 
-    let facts_tp: Vec<FactRef<'_>> = db.scan(rel_tp).collect();
     let mut table = CodeTable::with_key_width(plan.eq_keys.len());
     let mut key_buf: Vec<u32> = Vec::with_capacity(plan.eq_keys.len());
-    for (j, f) in facts_tp.iter().enumerate() {
+    for (j, f) in scoped_facts(db, rel_tp, build_pos) {
         if !passes(&plan.tp_only, &[f.values, f.values]) {
             continue;
         }
@@ -677,7 +822,7 @@ fn enumerate_binary(
         table.bucket_mut(&key_buf).push(j as u32);
     }
 
-    'probe: for (i, f) in db.scan(rel_t).enumerate() {
+    'probe: for (i, f) in scoped_facts(db, rel_t, probe_pos) {
         if !passes(&plan.t_only, &[f.values, f.values]) {
             continue;
         }
@@ -698,14 +843,16 @@ fn enumerate_binary(
             continue;
         };
         for &j in bucket {
-            let other = &facts_tp[j as usize];
+            // Buckets hold absolute scan positions, so pair predicates and
+            // fact lookups work identically under any build scope.
+            let other = db.fact_at(rel_tp, j as usize);
             if other.id == f.id {
                 continue; // reflexive bindings handled above
             }
             if symmetric && f.id > other.id {
                 continue;
             }
-            if eval_pair(i, &f, j as usize, other) {
+            if eval_pair(i, &f, j as usize, &other) {
                 let set = binding_set(&[f.id, other.id]);
                 cb(&set)?;
             }
@@ -985,7 +1132,7 @@ pub mod value_keyed {
     ) {
         match dc.arity() {
             1 => {
-                let _ = enumerate_unary(db, dc, cb);
+                let _ = enumerate_unary(db, dc, None, cb);
             }
             2 => {
                 let _ = enumerate_binary_values(db, dc, cb);
@@ -1669,6 +1816,206 @@ mod tests {
         assert_eq!(sorted_sets(&code), sorted_sets(&value));
         // ±0.0 vs 1.0 conflict (two pairs); ±0.0 vs ∓0.0 must not.
         assert_eq!(code.count(), 2);
+    }
+
+    /// Collects the deduped violation sets of one DC via a callback-driven
+    /// enumeration (shared by the sharding tests below).
+    fn collect_full(db: &Database, dc: &DenialConstraint) -> HashSet<ViolationSet> {
+        let mut indexes = Indexes::default();
+        let mut seen = HashSet::new();
+        for_each_violation(db, dc, &mut indexes, &mut |set: &[TupleId]| {
+            seen.insert(set.to_vec().into_boxed_slice());
+            ControlFlow::Continue(())
+        });
+        seen
+    }
+
+    fn collect_shard(
+        db: &Database,
+        dc: &DenialConstraint,
+        scope: ShardScope<'_>,
+        into: &mut HashSet<ViolationSet>,
+    ) {
+        let mut indexes = Indexes::default();
+        for_each_violation_sharded(db, dc, scope, &mut indexes, &mut |set: &[TupleId]| {
+            into.insert(set.to_vec().into_boxed_slice());
+            ControlFlow::Continue(())
+        });
+    }
+
+    /// Broadcast shards (probe-side partition, full build side) must union
+    /// to the unsharded enumeration for every plan shape: unary scan,
+    /// symmetric FD hash join, asymmetric order nested loop, reflexive
+    /// bindings, and an arity-3 backtracking join.
+    #[test]
+    fn broadcast_shards_union_to_full_enumeration() {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let t = s
+            .add_relation(relation("S", &[("A", ValueKind::Int), ("B", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let s = Arc::new(s);
+        let mut db = Database::new(Arc::clone(&s));
+        for (a, b) in [(1, 1), (1, 2), (2, 5), (3, 0), (1, 2), (2, 9), (0, 7)] {
+            db.insert(Fact::new(r, [Value::int(a), Value::int(b)]))
+                .unwrap();
+        }
+        for (a, b) in [(1, 9), (1, 4), (5, 5)] {
+            db.insert(Fact::new(t, [Value::int(a), Value::int(b)]))
+                .unwrap();
+        }
+        let dcs = vec![
+            // Unary: ¬(A > 2).
+            build::unary(
+                "u",
+                r,
+                vec![build::uc(AttrId(0), CmpOp::Gt, Value::int(2))],
+                &s,
+            )
+            .unwrap(),
+            // Symmetric FD A → B (hash join).
+            build::binary(
+                "fd",
+                r,
+                vec![
+                    build::tt(AttrId(0), CmpOp::Eq, AttrId(0)),
+                    build::tt(AttrId(1), CmpOp::Neq, AttrId(1)),
+                ],
+                &s,
+            )
+            .unwrap(),
+            // Asymmetric order DC (nested loop) with a reflexive case.
+            build::binary(
+                "lt",
+                r,
+                vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(1))],
+                &s,
+            )
+            .unwrap(),
+            // Arity 3 across two relations (backtracking join).
+            crate::egd::Egd::new(
+                "p1",
+                vec![
+                    EgdAtom {
+                        rel: r,
+                        vars: vec![0, 1],
+                    },
+                    EgdAtom {
+                        rel: t,
+                        vars: vec![0, 2],
+                    },
+                    EgdAtom {
+                        rel: t,
+                        vars: vec![0, 3],
+                    },
+                ],
+                (2, 3),
+                &s,
+            )
+            .unwrap()
+            .to_dc(&s),
+        ];
+        for dc in &dcs {
+            let full = collect_full(&db, dc);
+            assert!(!full.is_empty(), "{}: fixture should conflict", dc.name);
+            let n = db.relation_len(dc.atoms[0].rel);
+            for shards in [1usize, 2, 3, 5, 16] {
+                // Round-robin probe partition; build side broadcast.
+                let mut parts: Vec<Vec<u32>> = vec![Vec::new(); shards];
+                for pos in 0..n {
+                    parts[pos % shards].push(pos as u32);
+                }
+                let mut union = HashSet::new();
+                for part in &parts {
+                    collect_shard(
+                        &db,
+                        dc,
+                        ShardScope {
+                            probe: part,
+                            build: None,
+                        },
+                        &mut union,
+                    );
+                }
+                assert_eq!(union, full, "{} with {shards} shards", dc.name);
+            }
+        }
+    }
+
+    /// A hash partition on the shared-column equality key may co-partition
+    /// the build side: joining pairs agree on the key codes, so they land
+    /// in the same shard and nothing is lost.
+    #[test]
+    fn copartitioned_shards_union_to_full_enumeration() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        for (a, b) in [(1, 1), (1, 2), (2, 5), (2, 5), (3, 0), (3, 9), (1, 2)] {
+            insert2(&mut db, r, a, b);
+        }
+        let dc = build::binary(
+            "fd",
+            r,
+            vec![
+                build::tt(AttrId(0), CmpOp::Eq, AttrId(0)),
+                build::tt(AttrId(1), CmpOp::Neq, AttrId(1)),
+            ],
+            &s,
+        )
+        .unwrap();
+        let attrs = copartition_attrs(&dc).expect("FD has a shared-column key");
+        assert_eq!(attrs, vec![AttrId(0)]);
+        let full = collect_full(&db, &dc);
+        assert!(!full.is_empty());
+        let codes = db.codes(r, AttrId(0));
+        for shards in [2usize, 3, 4] {
+            let mut parts: Vec<Vec<u32>> = vec![Vec::new(); shards];
+            for (pos, &code) in codes.iter().enumerate() {
+                parts[code as usize % shards].push(pos as u32);
+            }
+            let mut union = HashSet::new();
+            for part in &parts {
+                collect_shard(
+                    &db,
+                    &dc,
+                    ShardScope {
+                        probe: part,
+                        build: Some(part),
+                    },
+                    &mut union,
+                );
+            }
+            assert_eq!(union, full, "{shards} co-partitioned shards");
+        }
+    }
+
+    #[test]
+    fn copartition_attrs_rejects_unkeyed_shapes() {
+        let (s, r) = schema_ab();
+        // Order-only DC: no equality key to partition on.
+        let lt = build::binary(
+            "lt",
+            r,
+            vec![build::tt(AttrId(0), CmpOp::Lt, AttrId(0))],
+            &s,
+        )
+        .unwrap();
+        assert!(copartition_attrs(&lt).is_none());
+        // Unary DCs have no join at all.
+        let un = build::unary(
+            "u",
+            r,
+            vec![build::uc(AttrId(0), CmpOp::Gt, Value::int(0))],
+            &s,
+        )
+        .unwrap();
+        assert!(copartition_attrs(&un).is_none());
+        // Cross-column equality t[A] = t'[B] cannot co-partition (probe
+        // and build would hash different columns).
+        let cross =
+            build::binary("x", r, vec![build::tt(AttrId(0), CmpOp::Eq, AttrId(1))], &s).unwrap();
+        assert!(copartition_attrs(&cross).is_none());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! Like the streaming engine, these routines run on the dictionary-encoded
 //! columns: group-by keys are packed `u32` codes (no per-tuple key
 //! allocation, no value hashing) and the dominance sweep sorts
-//! order-preserving `u32` ranks instead of comparing [`Value`]s.
+//! order-preserving `u32` ranks instead of comparing
+//! [`Value`](inconsist_relational::Value)s.
 
 use crate::codekey::PackedKeyMap;
 use crate::dc::DenialConstraint;

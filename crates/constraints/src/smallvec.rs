@@ -49,7 +49,7 @@ pub enum SmallVec<T: InlineItem> {
 pub type SmallIdVec = SmallVec<TupleId>;
 
 impl<T: InlineItem> SmallVec<T> {
-    /// Inline capacity (see [`INLINE_CAP`]).
+    /// Inline capacity (the module-private `INLINE_CAP`).
     pub const INLINE: usize = INLINE_CAP;
 
     /// An empty vector (no allocation).

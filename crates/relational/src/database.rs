@@ -353,6 +353,33 @@ impl Database {
         Some(store.cols[attr.idx()][i])
     }
 
+    /// The fact at dense scan position `pos` of `rel` (the position scheme
+    /// of [`Database::codes`] / [`Database::ids_of`]). Panics when `pos` is
+    /// out of range — positions come from the same database, so a bad one
+    /// indicates a logic error, exactly like a bad [`AttrId`] in
+    /// [`FactRef::value`].
+    pub fn fact_at(&self, rel: RelId, pos: usize) -> FactRef<'_> {
+        let store = &self.stores[rel.0 as usize];
+        FactRef {
+            id: store.ids[pos],
+            rel,
+            values: &store.rows[pos],
+        }
+    }
+
+    /// A borrowed [`ShardView`] over the rows of `rel` at the given dense
+    /// scan positions. The view copies nothing: it indexes straight into
+    /// the row store and the code columns, which is what makes data
+    /// sharding in the violation engine cheap (the planner hands each
+    /// shard a position list, not row copies).
+    pub fn shard_view<'a>(&'a self, rel: RelId, positions: &'a [u32]) -> ShardView<'a> {
+        ShardView {
+            db: self,
+            rel,
+            positions,
+        }
+    }
+
     /// Iterates all facts of one relation (dense scan).
     pub fn scan(&self, rel: RelId) -> impl Iterator<Item = FactRef<'_>> {
         let store = &self.stores[rel.0 as usize];
@@ -415,6 +442,63 @@ impl Database {
     /// Structural equality as mappings (same ids, same facts).
     pub fn same_as(&self, other: &Database) -> bool {
         self.len() == other.len() && self.is_subset_of(other)
+    }
+}
+
+/// A borrowed view of a subset of one relation's rows, selected by dense
+/// scan positions (the alignment scheme of [`Database::codes`] and
+/// [`Database::ids_of`]).
+///
+/// Built by [`Database::shard_view`]. The view holds only the position
+/// slice — no rows or codes are copied — so a partitioner can split a
+/// relation into many shards for the price of one `Vec<u32>` per shard.
+/// The violation engine enumerates each shard through
+/// [`ShardView::facts`], and its hash joins read the code columns of the
+/// underlying database directly via the positions.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardView<'a> {
+    db: &'a Database,
+    rel: RelId,
+    positions: &'a [u32],
+}
+
+impl<'a> ShardView<'a> {
+    /// The relation this shard is cut from.
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Number of rows in the shard.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the shard holds no rows (partitions may legitimately
+    /// produce empty shards — e.g. a hash partition of skewed keys).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The dense scan positions backing the view.
+    pub fn positions(&self) -> &'a [u32] {
+        self.positions
+    }
+
+    /// Iterates `(scan position, fact)` pairs of the shard. Positions are
+    /// yielded so callers can index the relation's code columns
+    /// ([`Database::codes`]) without re-deriving them.
+    pub fn facts(&self) -> impl Iterator<Item = (usize, FactRef<'a>)> + 'a {
+        let view = *self;
+        view.positions
+            .iter()
+            .map(move |&p| (p as usize, view.db.fact_at(view.rel, p as usize)))
+    }
+
+    /// Iterates the shard's dictionary codes for one attribute, in
+    /// position order (the sharded counterpart of [`Database::codes`]).
+    pub fn codes(&self, attr: AttrId) -> impl Iterator<Item = u32> + 'a {
+        let col = self.db.codes(self.rel, attr);
+        self.positions.iter().map(move |&p| col[p as usize])
     }
 }
 
@@ -636,6 +720,32 @@ mod tests {
         // scan order: delta, alpha, charlie, bravo → ranks 3, 0, 2, 1.
         let got: Vec<u32> = codes.iter().map(|&c| ranks[c as usize]).collect();
         assert_eq!(got, vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn shard_views_index_without_copying() {
+        let (mut db, r) = db_r2();
+        for i in 0..6 {
+            db.insert(fact2(r, i % 2, 10 + i)).unwrap();
+        }
+        // Odd positions only.
+        let positions: Vec<u32> = (0..6).filter(|p| p % 2 == 1).collect();
+        let shard = db.shard_view(r, &positions);
+        assert_eq!(shard.rel(), r);
+        assert_eq!(shard.len(), 3);
+        assert!(!shard.is_empty());
+        assert_eq!(shard.positions(), &positions[..]);
+        let all_ids = db.ids_of(r);
+        let all_codes = db.codes(r, AttrId(0));
+        for ((pos, f), code) in shard.facts().zip(shard.codes(AttrId(0))) {
+            assert_eq!(f.id, all_ids[pos]);
+            assert_eq!(db.fact_at(r, pos).id, f.id);
+            assert_eq!(code, all_codes[pos]);
+            assert_eq!(f.values, db.fact(f.id).unwrap().values);
+        }
+        let empty = db.shard_view(r, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.facts().count(), 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@ mod domain;
 mod schema;
 mod value;
 
-pub use database::{Database, Fact, FactRef, TupleId};
+pub use database::{Database, Fact, FactRef, ShardView, TupleId};
 pub use dictionary::Dictionary;
 pub use domain::{ActiveDomain, DomainCache};
 pub use schema::{relation, AttrId, Attribute, RelId, RelationSchema, Schema};

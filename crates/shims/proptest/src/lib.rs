@@ -201,7 +201,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact size or a range.
+    /// Element-count specification for [`fn@vec`]: an exact size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -233,7 +233,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`fn@vec`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

@@ -2,7 +2,10 @@
 //! databases and FD sets, exercising invariants across all crates.
 
 use inconsist::constraints::dc::build;
-use inconsist::constraints::{engine, minimal_inconsistent_subsets_par, CmpOp, ConstraintSet, Fd};
+use inconsist::constraints::{
+    engine, minimal_inconsistent_subsets_par, minimal_inconsistent_subsets_par_with, CmpOp,
+    ConstraintSet, Fd, ShardPolicy,
+};
 use inconsist::measures::{
     InconsistencyMeasure, LinearMinimumRepair, MaximalConsistentSubsetsWithSelf, MeasureOptions,
     MinimalInconsistentSubsets, MinimumRepair, ProblematicFacts,
@@ -286,9 +289,10 @@ proptest! {
         }
     }
 
-    /// The code-keyed engine, the value-keyed reference path, and the
-    /// parallel enumerator return identical `MiResult`s on randomized
-    /// databases mixing Int/Float/Str columns and nulls.
+    /// The code-keyed engine, the value-keyed reference path, the
+    /// constraint-parallel enumerator, and the sharded-parallel enumerator
+    /// return identical `MiResult`s on randomized databases mixing
+    /// Int/Float/Str columns and nulls.
     #[test]
     fn code_value_and_parallel_engines_agree(rows in mixed_rows_strategy()) {
         let (db, r, schema) = mixed_db(&rows);
@@ -301,6 +305,13 @@ proptest! {
             let par = minimal_inconsistent_subsets_par(&db, &cs, None, threads);
             prop_assert!(par.complete);
             prop_assert_eq!(sorted_subsets(&par), sorted_subsets(&code));
+        }
+        // Data sharding (hash co-partitioned FDs, broadcast order DCs,
+        // deliberately tiny and empty shards) is bit-identical too.
+        for policy in [ShardPolicy::Constraints, ShardPolicy::Fixed(2), ShardPolicy::Fixed(5)] {
+            let sharded = minimal_inconsistent_subsets_par_with(&db, &cs, None, 4, policy);
+            prop_assert!(sharded.complete);
+            prop_assert_eq!(sorted_subsets(&sharded), sorted_subsets(&code));
         }
         // Per-constraint enumeration agrees between the two engines too.
         let per_code = engine::violations_per_dc(&db, &cs, None);

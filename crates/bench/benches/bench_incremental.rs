@@ -1,19 +1,30 @@
 //! Ablation: incremental violation maintenance vs. from-scratch
-//! re-evaluation inside a cleaning loop.
+//! re-evaluation inside a cleaning loop, and — within the incremental
+//! index — the component-scoped read path vs. the global one.
 //!
-//! The progress-indication scenario of §1 re-reads `I_MI` after every
-//! repairing operation. The from-scratch baseline pays the full violation
-//! self-join per step; [`inconsist::incremental::IncrementalIndex`] pays
-//! one pinned probe (insert/update) or an index removal (delete). This
-//! bench drives both through an identical operation trace and reads
-//! `I_MI` after each step.
+//! The progress-indication scenario of §1 re-reads the measures after
+//! every repairing operation. The from-scratch baseline pays the full
+//! violation self-join per step; `IncrementalIndex` pays one pinned probe
+//! (insert/update) or an index removal (delete). On the *read* side,
+//! `ReadMode::Global` re-filters the whole violation union and re-solves
+//! the whole cover per read, while `ReadMode::Component` re-processes only
+//! the components the operation dirtied — on a multi-component database
+//! that is the difference between `O(|D|)` and `O(dirty)` per step.
+//!
+//! Besides the criterion timings, the bench emits a machine-readable JSON
+//! summary (ops/sec per measure for the global and component read paths)
+//! to `target/bench_incremental.json`, or the path in `BENCH_JSON`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use inconsist::incremental::IncrementalIndex;
+use inconsist::constraints::{ConstraintSet, Fd};
+use inconsist::incremental::{IncrementalIndex, ReadMode};
 use inconsist::measures::{InconsistencyMeasure, MeasureOptions, MinimalInconsistentSubsets};
-use inconsist::relational::Database;
+use inconsist::relational::{relation, AttrId, Database, Fact, Schema, Value, ValueKind};
 use inconsist::repair::RepairOp;
 use inconsist_data::{generate, Dataset, DatasetId, RNoise};
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A pre-generated trace of valid cell-update operations: RNoise steps
 /// recorded on a scratch copy, replayed identically by both strategies.
@@ -82,5 +93,237 @@ fn bench_incremental(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_incremental);
+// -- component-cache vs global-cache ablation -------------------------------
+
+/// A database whose conflict graph has `blocks` independent components:
+/// block `k` holds `per_block` tuples sharing `A = k` with distinct `B`s
+/// (pairwise FD violations), so one repair op dirties one component.
+fn multi_component(blocks: i64, per_block: i64) -> (Database, ConstraintSet) {
+    let mut s = Schema::new();
+    let r = s
+        .add_relation(
+            relation(
+                "R",
+                &[
+                    ("A", ValueKind::Int),
+                    ("B", ValueKind::Int),
+                    ("C", ValueKind::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let s = Arc::new(s);
+    let mut db = Database::new(Arc::clone(&s));
+    for k in 0..blocks {
+        for j in 0..per_block {
+            db.insert(Fact::new(
+                r,
+                [Value::int(k), Value::int(per_block * k + j), Value::int(0)],
+            ))
+            .unwrap();
+        }
+    }
+    let mut cs = ConstraintSet::new(s);
+    cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+    (db, cs)
+}
+
+/// A long random repair sequence over the multi-component database:
+/// in-block B updates (dirty one component), block-moving A updates
+/// (split + merge), inserts and deletes. Recorded on a scratch index so
+/// every op is applicable when replayed.
+fn long_trace(db: &Database, cs: &ConstraintSet, blocks: i64, steps: usize) -> Vec<RepairOp> {
+    let mut scratch = IncrementalIndex::build(db.clone(), cs.clone()).expect("build");
+    let mut rng = StdRng::seed_from_u64(7);
+    let r = inconsist::relational::RelId(0);
+    let mut trace = Vec::with_capacity(steps);
+    while trace.len() < steps {
+        let ids: Vec<_> = scratch.db().ids().collect();
+        let op = match rng.gen_range(0..10) {
+            // Mostly in-block value repairs: the progress-indication shape.
+            0..=5 => {
+                let t = ids[rng.gen_range(0..ids.len())];
+                RepairOp::Update(t, AttrId(1), Value::int(rng.gen_range(0..1_000_000)))
+            }
+            // Move a tuple to another block: splits one component, dirties
+            // (or creates) another.
+            6 | 7 => {
+                let t = ids[rng.gen_range(0..ids.len())];
+                RepairOp::Update(t, AttrId(0), Value::int(rng.gen_range(0..blocks)))
+            }
+            8 => RepairOp::Insert(Fact::new(
+                r,
+                [
+                    Value::int(rng.gen_range(0..blocks)),
+                    Value::int(rng.gen_range(0..1_000_000)),
+                    Value::int(0),
+                ],
+            )),
+            _ => RepairOp::Delete(ids[rng.gen_range(0..ids.len())]),
+        };
+        if scratch.apply(&op) {
+            trace.push(op);
+        }
+    }
+    trace
+}
+
+/// Which measure a replay loop reads after every op.
+#[derive(Clone, Copy, Debug)]
+enum Read {
+    Mi,
+    P,
+    R,
+    RLin,
+    All,
+}
+
+impl Read {
+    fn name(self) -> &'static str {
+        match self {
+            Read::Mi => "I_MI",
+            Read::P => "I_P",
+            Read::R => "I_R",
+            Read::RLin => "I_R^lin",
+            Read::All => "all",
+        }
+    }
+}
+
+/// Replays the trace on a fresh index in `mode`, reading `what` after
+/// every op; returns the accumulated values (the identity witness).
+fn replay(
+    db: &Database,
+    cs: &ConstraintSet,
+    trace: &[RepairOp],
+    mode: ReadMode,
+    what: Read,
+) -> f64 {
+    let opts = MeasureOptions::default();
+    let mut idx = IncrementalIndex::build_with_mode(db.clone(), cs.clone(), mode).expect("build");
+    let mut acc = 0.0;
+    for op in trace {
+        idx.apply(op);
+        acc += match what {
+            Read::Mi => idx.i_mi(),
+            Read::P => idx.i_p(),
+            Read::R => idx.i_r(&opts).expect("in budget"),
+            Read::RLin => idx.i_r_lin().expect("lp"),
+            Read::All => {
+                idx.i_mi()
+                    + idx.i_p()
+                    + idx.i_r(&opts).expect("in budget")
+                    + idx.i_r_lin().expect("lp")
+            }
+        };
+    }
+    acc
+}
+
+fn bench_component_vs_global(c: &mut Criterion) {
+    let mut group = c.benchmark_group("component_vs_global");
+    group.sample_size(10);
+    for &blocks in &[50i64, 200] {
+        let (db, cs) = multi_component(blocks, 4);
+        let trace = long_trace(&db, &cs, blocks, 200);
+        // The ablation is only meaningful if the two read paths agree
+        // bit-for-bit (unit costs: all sums are exact).
+        for what in [Read::Mi, Read::P, Read::R, Read::RLin] {
+            assert_eq!(
+                replay(&db, &cs, &trace, ReadMode::Global, what),
+                replay(&db, &cs, &trace, ReadMode::Component, what),
+                "read paths diverged on {} at blocks={blocks}",
+                what.name()
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("global", blocks), &db, |b, db| {
+            b.iter(|| replay(db, &cs, &trace, ReadMode::Global, Read::All))
+        });
+        group.bench_with_input(BenchmarkId::new("component", blocks), &db, |b, db| {
+            b.iter(|| replay(db, &cs, &trace, ReadMode::Component, Read::All))
+        });
+    }
+    group.finish();
+}
+
+// -- machine-readable summary ----------------------------------------------
+
+/// Times one replay and returns ops/sec.
+fn ops_per_sec(
+    db: &Database,
+    cs: &ConstraintSet,
+    trace: &[RepairOp],
+    mode: ReadMode,
+    what: Read,
+) -> f64 {
+    let start = Instant::now();
+    let acc = replay(db, cs, trace, mode, what);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    criterion::black_box(acc);
+    trace.len() as f64 / secs
+}
+
+/// Emits the JSON summary consumed by CI and tooling: ops/sec per measure
+/// (one timed replay each) for the global and component read paths on the
+/// long-sequence multi-component workload. Honors the same id filter as
+/// the criterion shim (`cargo bench -- <filter>` / `BENCH_FILTER`), so
+/// filtered runs targeting another group skip the replays.
+fn emit_json_summary(_c: &mut Criterion) {
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .or_else(|| std::env::var("BENCH_FILTER").ok());
+    if let Some(f) = filter {
+        if !"json_summary".contains(f.as_str()) {
+            return;
+        }
+    }
+    let blocks = 120i64;
+    let per_block = 4i64;
+    let steps = 200usize;
+    let (db, cs) = multi_component(blocks, per_block);
+    let trace = long_trace(&db, &cs, blocks, steps);
+    let mut entries = String::new();
+    for what in [Read::Mi, Read::P, Read::R, Read::RLin, Read::All] {
+        for (mode_name, mode) in [
+            ("global", ReadMode::Global),
+            ("component", ReadMode::Component),
+        ] {
+            let rate = ops_per_sec(&db, &cs, &trace, mode, what);
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"measure\": \"{}\", \"mode\": \"{mode_name}\", \"ops_per_sec\": {rate:.1}}}",
+                what.name()
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_incremental\",\n  \"workload\": {{\"blocks\": {blocks}, \
+         \"tuples\": {}, \"ops\": {steps}}},\n  \"results\": [\n{entries}\n  ]\n}}\n",
+        blocks * per_block
+    );
+    // Bench binaries run with the *package* dir as cwd; anchor the default
+    // at the workspace target dir.
+    let path = std::env::var("BENCH_JSON").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/bench_incremental.json"
+        )
+        .to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote JSON summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}\n{json}"),
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_incremental,
+    bench_component_vs_global,
+    emit_json_summary
+);
 criterion_main!(benches);

@@ -8,8 +8,9 @@
 use crate::cli_args::Cli;
 use crate::csv::{load_csv, write_csv, LoadedCsv};
 use crate::dcfile::{parse_dc_file, write_dc_file};
+use crate::opsfile::{display_op, parse_ops_file};
 use inconsist::constraints::{mine_dcs, ConstraintSet, MinerConfig};
-use inconsist::incremental::IncrementalIndex;
+use inconsist::incremental::{IncrementalIndex, ReadMode};
 use inconsist::measures::{minimum_repair_deletions, MeasureOptions};
 use inconsist::measures_ext::extension_measures;
 use inconsist::suite::MeasureSuite;
@@ -23,6 +24,7 @@ inconsist — database inconsistency measures (SIGMOD 2021 reproduction)
 
 USAGE:
   inconsist measure  <data.csv> <rules.dc> [--threads N] [--all]
+                     [--ops repairs.ops] [--mode component|global]
   inconsist mine     <data.csv> [--epsilon E] [--max-dcs K] [--max-pairs P]
                      [--seed S] [--out rules.dc]
   inconsist repair   <data.csv> <rules.dc> [--out cleaned.csv]
@@ -38,7 +40,11 @@ FILES:
 
 COMMANDS:
   measure    evaluate I_d, I_MI, I_P, I_R, I_R^lin (+ I_MC with --all,
-             + the extension measures) and the violation ratio
+             + the extension measures) and the violation ratio; with
+             --ops, replay a repair-op script (delete/update/insert, one
+             per line) through the incremental index and print the
+             measure trajectory after each step (--mode picks the
+             component-scoped or global read path)
   mine       discover denial constraints from the data (evidence-set miner)
   repair     compute a minimum-cost deletion repair; --out writes the
              repaired CSV
@@ -89,6 +95,9 @@ fn load_constraints(cli: &Cli, loaded: &LoadedCsv, name: &str) -> Result<Constra
 fn cmd_measure(cli: &Cli) -> Result<String, String> {
     let (loaded, name) = load_data(cli)?;
     let cs = load_constraints(cli, &loaded, &name)?;
+    if cli.opt_str("ops").is_some() {
+        return cmd_measure_ops(cli, &loaded, cs);
+    }
     let suite = MeasureSuite {
         skip_mc: !cli.has("all"),
         threads: cli.opt("threads", 1)?,
@@ -115,6 +124,78 @@ fn cmd_measure(cli: &Cli) -> Result<String, String> {
             Err(e) => format!("({e})"),
         };
         let _ = writeln!(out, "{:<11}{rendered:>14}", m.name());
+    }
+    Ok(out)
+}
+
+/// `measure --ops`: replay a repair-op script through the incremental
+/// index, printing the measure trajectory after every step — the paper's
+/// progress-indication loop (§1) as a batch command.
+fn cmd_measure_ops(cli: &Cli, loaded: &LoadedCsv, cs: ConstraintSet) -> Result<String, String> {
+    let path = cli.opt_str("ops").expect("checked by caller");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let ops = parse_ops_file(loaded, &text)?;
+    let mode = match cli.opt_str("mode").unwrap_or("component") {
+        "component" => ReadMode::Component,
+        "global" => ReadMode::Global,
+        other => {
+            return Err(format!(
+                "--mode: expected `component` or `global`, got `{other}`"
+            ))
+        }
+    };
+    let opts = MeasureOptions::default();
+    let mut idx = IncrementalIndex::build_with_mode(loaded.db.clone(), cs, mode)
+        .map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{:>5} {:<24} {:>8} {:>8} {:>8} {:>10}\n",
+        "step", "op", "I_MI", "I_P", "I_R", "I_R^lin"
+    );
+    let row = |step: String, op: String, idx: &mut IncrementalIndex| {
+        let ir = idx
+            .i_r(&opts)
+            .map(|v| format!("{v}"))
+            .unwrap_or_else(|e| format!("({e})"));
+        let lin = idx
+            .i_r_lin()
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|e| format!("({e})"));
+        format!(
+            "{:>5} {:<24} {:>8} {:>8} {:>8} {:>10}\n",
+            step,
+            op,
+            idx.i_mi(),
+            idx.i_p(),
+            ir,
+            lin
+        )
+    };
+    out.push_str(&row("0".into(), "-".into(), &mut idx));
+    for (i, op) in ops.iter().enumerate() {
+        let mut label = display_op(op, loaded);
+        if !idx.apply(op) {
+            label.push_str(" (no-op)");
+        }
+        out.push_str(&row((i + 1).to_string(), label, &mut idx));
+    }
+    let stats = idx.stats();
+    let _ = writeln!(
+        out,
+        "\n{} ops replayed ({:?} reads): {} components live, \
+         {} minimality filters ({} cached), {} cover solves ({} cached), \
+         {} LP solves ({} cached)",
+        ops.len(),
+        mode,
+        idx.component_count(),
+        stats.filter_runs,
+        stats.filter_cache_hits,
+        stats.cover_solves,
+        stats.cover_cache_hits,
+        stats.lin_solves,
+        stats.lin_cache_hits,
+    );
+    if idx.is_consistent() {
+        let _ = writeln!(out, "database is consistent after the script");
     }
     Ok(out)
 }
@@ -323,6 +404,42 @@ mod tests {
         assert!(out
             .lines()
             .any(|l| l.starts_with("I_MI") && l.trim_end().ends_with('1')));
+    }
+
+    #[test]
+    fn measure_ops_replays_trajectory() {
+        let dir = temp_dir("ops");
+        let data = temp_file(&dir, "cities.csv", DATA);
+        let rules = temp_file(&dir, "rules.dc", RULES);
+        // Fix the Paris conflict, then recreate one by re-inserting it.
+        let ops = temp_file(
+            &dir,
+            "fix.ops",
+            "# repair script\nupdate 1 Country FR\ninsert Paris,DE,9\ndelete 4\n",
+        );
+        let out = run(&cli(&["measure", &data, &rules, "--ops", &ops])).unwrap();
+        assert!(out.contains("step"), "{out}");
+        assert!(out.contains("#1.Country<-FR"), "{out}");
+        assert!(out.contains("+(Paris,DE,9)"), "{out}");
+        assert!(out.contains("-#4"), "{out}");
+        assert!(out.contains("3 ops replayed"), "{out}");
+        assert!(out.contains("database is consistent"), "{out}");
+        // Step 0 has the initial I_MI = 1; the final delete restores it to 0.
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[1].trim_start().starts_with("0"), "{out}");
+        // Both read modes produce the same trajectory.
+        let global = run(&cli(&[
+            "measure", &data, &rules, "--ops", &ops, "--mode", "global",
+        ]))
+        .unwrap();
+        let head = |s: &str| s.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert_eq!(head(&out), head(&global));
+        // Unknown mode is rejected.
+        let err = run(&cli(&[
+            "measure", &data, &rules, "--ops", &ops, "--mode", "wat",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--mode"), "{err}");
     }
 
     #[test]

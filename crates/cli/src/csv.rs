@@ -109,7 +109,10 @@ pub fn infer_kinds(rows: &[Vec<String>], width: usize) -> Vec<ValueKind> {
         .collect()
 }
 
-fn to_value(raw: &str, kind: ValueKind) -> Value {
+/// Types one raw cell by the inferred column kind (empty = NULL). Shared
+/// with the `.ops` repair-script parser so scripted values follow the
+/// same rules as CSV cells.
+pub(crate) fn to_value(raw: &str, kind: ValueKind) -> Value {
     if raw.is_empty() {
         return Value::Null;
     }

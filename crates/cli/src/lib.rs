@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! inconsist measure data.csv rules.dc
+//! inconsist measure data.csv rules.dc --ops repairs.ops
 //! inconsist mine data.csv --out rules.dc
 //! inconsist repair data.csv rules.dc --out cleaned.csv
 //! inconsist noise data.csv rules.dc --out noisy.csv --model rnoise
@@ -22,6 +23,7 @@ pub mod cli_args;
 pub mod commands;
 pub mod csv;
 pub mod dcfile;
+pub mod opsfile;
 
 pub use cli_args::Cli;
 pub use commands::run;

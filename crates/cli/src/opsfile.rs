@@ -1,0 +1,174 @@
+//! The `.ops` repair-script format.
+//!
+//! One repairing operation (§2 of the paper) per line, replayed through
+//! [`inconsist::incremental::IncrementalIndex`] by `inconsist measure
+//! --ops`:
+//!
+//! ```text
+//! # tuple ids are 0-based CSV data-row numbers; inserts extend them
+//! delete 3
+//! update 2 Country FR
+//! insert Paris,FR,3
+//! ```
+//!
+//! * `delete <id>` — remove the tuple with that id;
+//! * `update <id> <attr> <value>` — set one attribute (the value is the
+//!   rest of the line; empty means NULL);
+//! * `insert <csv-row>` — append a fact, fields in header order with the
+//!   same quoting rules as the data file.
+//!
+//! Lines starting with `#` and blank lines are ignored. Values are typed
+//! by the loaded column kinds, exactly like CSV cells.
+
+use crate::csv::{parse_csv, to_value, LoadedCsv};
+use inconsist::relational::{AttrId, Fact, TupleId, Value};
+use inconsist::repair::RepairOp;
+
+/// Parses a repair-op script against a loaded CSV's schema.
+pub fn parse_ops_file(loaded: &LoadedCsv, text: &str) -> Result<Vec<RepairOp>, String> {
+    let rel_schema = loaded.db.relation_schema(loaded.rel).clone();
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| format!("ops line {}: {msg}", lineno + 1);
+        let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match verb {
+            "delete" => {
+                let id: u32 = rest
+                    .parse()
+                    .map_err(|_| err(format!("`delete` expects a tuple id, got `{rest}`")))?;
+                out.push(RepairOp::Delete(TupleId(id)));
+            }
+            "update" => {
+                let (id_str, rest) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("`update` expects `<id> <attr> <value>`".into()))?;
+                let id: u32 = id_str
+                    .parse()
+                    .map_err(|_| err(format!("`update` expects a tuple id, got `{id_str}`")))?;
+                let (attr_name, value_str) = match rest.trim().split_once(char::is_whitespace) {
+                    Some((a, v)) => (a, v.trim()),
+                    None => (rest.trim(), ""), // empty value = NULL
+                };
+                let attr = rel_schema
+                    .attr(attr_name)
+                    .ok_or_else(|| err(format!("unknown attribute `{attr_name}`")))?;
+                let kind = rel_schema.attribute(attr).kind;
+                out.push(RepairOp::Update(
+                    TupleId(id),
+                    attr,
+                    to_value(value_str, kind),
+                ));
+            }
+            "insert" => {
+                let rows = parse_csv(rest).map_err(&err)?;
+                let row = match rows.as_slice() {
+                    [row] => row,
+                    _ => return Err(err("`insert` expects exactly one CSV row".into())),
+                };
+                if row.len() != rel_schema.arity() {
+                    return Err(err(format!(
+                        "`insert` row has {} fields, expected {}",
+                        row.len(),
+                        rel_schema.arity()
+                    )));
+                }
+                let values: Vec<Value> = row
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cell)| to_value(cell, rel_schema.attribute(AttrId(i as u16)).kind))
+                    .collect();
+                out.push(RepairOp::Insert(Fact::new(loaded.rel, values)));
+            }
+            other => return Err(err(format!("unknown operation `{other}`"))),
+        }
+    }
+    if out.is_empty() {
+        return Err("ops file contains no operations".into());
+    }
+    Ok(out)
+}
+
+/// Renders one op for the trajectory report.
+pub fn display_op(op: &RepairOp, loaded: &LoadedCsv) -> String {
+    let rel_schema = loaded.db.relation_schema(loaded.rel);
+    let value = |v: &Value| match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f}"),
+        Value::Str(s) => s.to_string(),
+    };
+    match op {
+        RepairOp::Delete(id) => format!("-#{}", id.0),
+        RepairOp::Update(id, attr, v) => format!(
+            "#{}.{}<-{}",
+            id.0,
+            rel_schema.attribute(*attr).name,
+            value(v)
+        ),
+        RepairOp::Insert(f) => {
+            let cells: Vec<String> = f.values.iter().map(value).collect();
+            format!("+({})", cells.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::load_csv;
+
+    const DATA: &str = "City,Country,Pop\nParis,FR,1\nParis,DE,2\nLyon,FR,3\n";
+
+    #[test]
+    fn parses_all_three_verbs() {
+        let loaded = load_csv(DATA, "cities").unwrap();
+        let ops = parse_ops_file(
+            &loaded,
+            "# fix Paris\nupdate 1 Country FR\n\ndelete 2\ninsert \"Nice, FR\",FR,4\n",
+        )
+        .unwrap();
+        assert_eq!(ops.len(), 3);
+        match &ops[0] {
+            RepairOp::Update(id, _, v) => {
+                assert_eq!(id.0, 1);
+                assert_eq!(*v, Value::str("FR"));
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+        assert!(matches!(ops[1], RepairOp::Delete(TupleId(2))));
+        match &ops[2] {
+            RepairOp::Insert(f) => assert_eq!(f.values[0], Value::str("Nice, FR")),
+            other => panic!("expected insert, got {other:?}"),
+        }
+        assert_eq!(display_op(&ops[0], &loaded), "#1.Country<-FR");
+        assert_eq!(display_op(&ops[1], &loaded), "-#2");
+    }
+
+    #[test]
+    fn typed_values_follow_column_kinds() {
+        let loaded = load_csv(DATA, "cities").unwrap();
+        let ops = parse_ops_file(&loaded, "update 0 Pop 9\nupdate 0 Pop\n").unwrap();
+        assert!(matches!(&ops[0], RepairOp::Update(_, _, Value::Int(9))));
+        assert!(matches!(&ops[1], RepairOp::Update(_, _, Value::Null)));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let loaded = load_csv(DATA, "cities").unwrap();
+        for (script, needle) in [
+            ("frobnicate 1\n", "unknown operation"),
+            ("delete x\n", "tuple id"),
+            ("update 0 Nope 3\n", "unknown attribute"),
+            ("insert a,b\n", "expected 3"),
+            ("# only comments\n", "no operations"),
+        ] {
+            let err = parse_ops_file(&loaded, script).unwrap_err();
+            assert!(err.contains(needle), "{script:?} → {err}");
+        }
+    }
+}

@@ -341,6 +341,58 @@ pub fn raw_violations_involving_per_dc(
     out
 }
 
+/// The violation delta of one repairing operation, tagged with the
+/// constraints and tuples it touches.
+///
+/// Incremental maintainers map a repair op to the set of *dirty* conflict
+/// components: [`touched_tuples`](Self::touched_tuples) are exactly the
+/// nodes whose components the delta can affect, and
+/// [`touched_constraints`](Self::touched_constraints) are the constraints
+/// whose per-DC aggregates (e.g. `I_MI^dc` counts) may need invalidation.
+/// Both tags are derived on demand, so the hot mutation path pays only
+/// for the bindings themselves.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaViolations {
+    /// `(constraint index, violation set)` pairs, deduped per constraint
+    /// (see [`raw_violations_involving_per_dc`]).
+    pub per_dc: Vec<(usize, ViolationSet)>,
+}
+
+impl DeltaViolations {
+    /// Distinct constraint indices appearing in the delta, ascending.
+    pub fn touched_constraints(&self) -> Vec<usize> {
+        let mut dcs: Vec<usize> = self.per_dc.iter().map(|(dc, _)| *dc).collect();
+        dcs.sort_unstable();
+        dcs.dedup();
+        dcs
+    }
+
+    /// Distinct tuples appearing in any delta set, ascending.
+    pub fn touched_tuples(&self) -> Vec<TupleId> {
+        let mut tuples: Vec<TupleId> = self
+            .per_dc
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect();
+        tuples.sort_unstable();
+        tuples.dedup();
+        tuples
+    }
+}
+
+/// Computes the tagged violation delta of inserting (or re-probing) tuple
+/// `tid`: every raw falsifying binding involving it, queryable for the
+/// constraint and tuple sets the delta touches.
+pub fn delta_violations_involving(
+    db: &Database,
+    cs: &ConstraintSet,
+    tid: TupleId,
+) -> DeltaViolations {
+    DeltaViolations {
+        per_dc: raw_violations_involving_per_dc(db, cs, tid),
+    }
+}
+
 /// Keeps only inclusion-minimal sets. Exposed for callers (incremental
 /// indexes, custom measures) that maintain raw violation sets themselves.
 ///
@@ -1397,6 +1449,25 @@ mod tests {
         let mut cs = ConstraintSet::new(Arc::clone(s));
         cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
         cs
+    }
+
+    #[test]
+    fn delta_violations_tags_touched_constraints_and_tuples() {
+        let (s, r) = schema_ab();
+        let mut db = Database::new(Arc::clone(&s));
+        let t0 = insert2(&mut db, r, 1, 1);
+        let t1 = insert2(&mut db, r, 1, 2);
+        insert2(&mut db, r, 5, 9);
+        let cs = fd_set(&s, r);
+        let delta = delta_violations_involving(&db, &cs, t1);
+        assert_eq!(delta.per_dc.len(), 1);
+        assert_eq!(delta.touched_constraints(), vec![0]);
+        assert_eq!(delta.touched_tuples(), vec![t0, t1]);
+        // A tuple in no violation yields an empty, tag-free delta.
+        let clean = delta_violations_involving(&db, &cs, TupleId(2));
+        assert!(clean.per_dc.is_empty());
+        assert!(clean.touched_constraints().is_empty());
+        assert!(clean.touched_tuples().is_empty());
     }
 
     #[test]

@@ -1,16 +1,18 @@
-//! Incremental measure maintenance for repair loops.
+//! Incremental, component-scoped measure maintenance for repair loops.
 //!
-//! The paper's flagship use case is *progress indication* (§1): a cleaning
-//! system applies one repairing operation at a time and re-reads the
-//! inconsistency level after each step. Re-running the violation engine
-//! after every operation costs a full self-join (`O(|D|²)` in the worst
-//! case) per step, which dominates the cleaning loop long before the
-//! measures themselves do (§6.2.3: "the dominant part of the computation
-//! … is the evaluation of the SQL query").
+//! The paper's flagship use case is *progress indication* (§1, §6.2.3): a
+//! cleaning system applies one repairing operation at a time and re-reads
+//! the inconsistency level after each step. Two costs dominate that loop:
 //!
-//! [`IncrementalIndex`] removes that bottleneck. It owns the database and
-//! the constraint set, materializes every raw falsifying binding once, and
-//! then maintains the set under the three repairing operations of §2:
+//! 1. **re-finding the violations** — a full self-join (`O(|D|²)` worst
+//!    case) per step;
+//! 2. **re-deriving the measures** — minimality filtering over the whole
+//!    violation union and, for `I_R`/`I_R^lin`, a cover solve over the
+//!    whole conflict graph per read.
+//!
+//! [`IncrementalIndex`] removes both. It owns the database and the
+//! constraint set, materializes every raw falsifying binding once, and
+//! maintains the set under the three repairing operations of §2:
 //!
 //! * **delete** `⟨−i⟩` — violations containing `i` disappear; since DCs are
 //!   anti-monotonic, no new violation can appear: the update is a pure
@@ -20,34 +22,106 @@
 //! * **update** `⟨i.A ← c⟩` — treated as delete-then-insert on the same
 //!   identifier: remove the incident bindings, apply the update, re-probe.
 //!
+//! # Component-scoped reads
+//!
+//! One repairing operation touches one connected component of the conflict
+//! graph (or merges/splits a few), so the *read* path should scale with
+//! those components, not with `|D|`. The index therefore maintains a
+//! [`DynamicConflictGraph`] over the raw violation sets: the delta of
+//! each mutation ([`engine::delta_violations_involving`] on insert, the
+//! inverted index on delete) flows into the graph as edge
+//! insertions/removals, and the graph's merge/split reports name the
+//! precise set of *dirty* component ids. Per component, a cache holds the
+//! minimal subsets, the `I_MI`/`I_P` contributions, and the solved
+//! `I_R`/`I_R^lin` values. A read then:
+//!
+//! * re-runs [`engine::filter_minimal`] only on dirty components (sound
+//!   because a subset relation implies shared tuples, so minimality is
+//!   decided within a component);
+//! * re-solves the cover only on dirty components via the solver's
+//!   component-scoped entry points ([`component_min_repair`] /
+//!   [`component_min_repair_lin`]; sound because no covering constraint
+//!   spans two components) — clean components are *warm*: their previous
+//!   values are summed as-is;
+//! * answers `I_MI`, `I_P`, `I_R`, `I_R^lin` as sums of per-component
+//!   contributions.
+//!
+//! [`ReadMode::Global`] preserves the previous behaviour (one global
+//! minimality pass and one monolithic solve per read, memoized until the
+//! next mutation) as the ablation baseline — `bench_incremental` drives
+//! both modes through identical traces. [`ReadStats`] counts filter runs,
+//! cache hits and cover solves so tests can assert that clean components
+//! are never re-processed. `I_MI^dc` is cached per constraint and
+//! invalidated only for the constraints the delta tags as touched.
+//!
 //! The index owns the database, so every mutation flows through
 //! [`Database::insert`]/[`Database::delete`]/[`Database::update`] and keeps
 //! the dictionary-encoded columnar mirrors in sync as a side effect; the
 //! pinned re-probes after insert/update run on the same code-keyed joins
-//! as the full scan (dictionary codes are stable across deletions, so no
-//! re-encoding ever happens in the loop).
-//!
-//! The measures `I_d`, `I_MI`, `I_MI^dc`, `I_P`, `I_R` and `I_R^lin` are
-//! then answered from the maintained set; only the global
-//! minimality/dedup pass and (for the repair measures) the cover solve are
-//! paid per read, never the self-join. The [`bench_incremental`
+//! as the full scan. The [`bench_incremental`
 //! ablation](../../../bench/benches/bench_incremental.rs) quantifies the
-//! win; the unit and property tests below pin the maintained values to the
-//! from-scratch engine on random operation sequences.
+//! win; the unit and property tests pin the maintained values to the
+//! from-scratch engine on random operation sequences, including sequences
+//! that force component merges and splits.
 
 use crate::measures::{MeasureError, MeasureOptions, MeasureResult};
 use crate::repair::RepairOp;
 use inconsist_constraints::{engine, ConstraintSet, ViolationSet};
-use inconsist_graph::ConflictGraph;
+use inconsist_graph::{CompId, ConflictGraph, DynamicConflictGraph};
 use inconsist_relational::{AttrId, Database, Fact, RelationalError, TupleId, Value};
-use inconsist_solver::{
-    covering_lp, fractional_vertex_cover, min_weight_hitting_set, min_weight_vertex_cover,
-};
+use inconsist_solver::{component_min_repair, component_min_repair_lin, node_index_sets};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
+/// How measure reads are answered; see the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReadMode {
+    /// One global minimality pass and one monolithic cover solve per read,
+    /// memoized until the next mutation (the pre-component baseline).
+    Global,
+    /// Per-component caches: only components dirtied since the last read
+    /// are re-filtered and re-solved; clean ones answer from cache.
+    #[default]
+    Component,
+}
+
+/// Read-path instrumentation: how much work the last reads actually did.
+/// All counters are cumulative; [`IncrementalIndex::reset_stats`] zeroes
+/// them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// Minimality filters run (one per dirty component, or per global pass
+    /// in [`ReadMode::Global`]).
+    pub filter_runs: u64,
+    /// Components answered from the minimal-subset cache.
+    pub filter_cache_hits: u64,
+    /// Exact cover solves run (`I_R`: vertex cover / hitting set).
+    pub cover_solves: u64,
+    /// `I_R` reads of a component answered from cache.
+    pub cover_cache_hits: u64,
+    /// LP-relaxation solves run (`I_R^lin`).
+    pub lin_solves: u64,
+    /// `I_R^lin` reads of a component answered from cache.
+    pub lin_cache_hits: u64,
+}
+
+/// Per-component measure cache; present iff the component is *clean*.
+#[derive(Clone, Debug)]
+struct CompCache {
+    /// The component's minimal inconsistent subsets.
+    minimal: Vec<ViolationSet>,
+    /// Distinct tuples across `minimal` (the component's `I_P` share).
+    tuple_count: usize,
+    /// Solved `I_R` value, tagged with the step budget it was solved under.
+    ir: Option<(u64, f64)>,
+    /// Solved `I_R^lin` value.
+    ir_lin: Option<f64>,
+}
+
 /// A live violation index over a database: apply repairing operations and
-/// read inconsistency measures without re-running the full violation scan.
+/// read inconsistency measures without re-running the full violation scan
+/// — and, in [`ReadMode::Component`], without re-deriving anything for
+/// conflict components the operation did not touch.
 ///
 /// ```
 /// use inconsist::incremental::IncrementalIndex;
@@ -58,7 +132,8 @@ use std::ops::ControlFlow;
 /// let (d1, cs) = paper::airport_d1();
 /// let mut idx = IncrementalIndex::build(d1, cs).unwrap();
 /// assert_eq!(idx.i_mi(), 7.0); // Table 1
-/// // Delete f5 (the fact in the most violations) and re-read in O(k).
+/// // Delete f5 (the fact in the most violations) and re-read: only the
+/// // component containing f5 is re-filtered.
 /// // The fixture numbers facts like the paper: f5 is TupleId(5).
 /// idx.delete(TupleId(5));
 /// assert_eq!(idx.i_mi(), 3.0);
@@ -74,8 +149,21 @@ pub struct IncrementalIndex {
     by_tuple: HashMap<TupleId, HashSet<(usize, ViolationSet)>>,
     /// Total raw bindings across constraints.
     raw_count: usize,
-    /// Memoized global `MI_Σ(D)` (cross-constraint dedup + minimality).
+    mode: ReadMode,
+    /// Maintained conflict structure over the raw binding sets: refcounted
+    /// edges (one ref per `(dc, set)` pair), component ids stable while a
+    /// component is untouched.
+    graph: DynamicConflictGraph,
+    /// Clean components' cached measures; a component is dirty iff absent.
+    comp_cache: HashMap<CompId, CompCache>,
+    /// Memoized global `MI_Σ(D)` (cross-constraint dedup + minimality);
+    /// in [`ReadMode::Component`] it is assembled from the per-component
+    /// caches instead of one global filter pass.
     mi_cache: Option<Vec<ViolationSet>>,
+    /// Per-constraint minimal-violation counts (`I_MI^dc` terms),
+    /// invalidated only for constraints whose binding set changed.
+    dc_min_cache: Vec<Option<usize>>,
+    stats: ReadStats,
 }
 
 impl IncrementalIndex {
@@ -105,13 +193,19 @@ impl IncrementalIndex {
                 return Err(MeasureError::Truncated);
             }
         }
+        let dc_count = cs.len();
         let mut idx = IncrementalIndex {
             db,
             cs,
             per_dc,
             by_tuple: HashMap::new(),
             raw_count: 0,
+            mode: ReadMode::default(),
+            graph: DynamicConflictGraph::new(),
+            comp_cache: HashMap::new(),
             mi_cache: None,
+            dc_min_cache: vec![None; dc_count],
+            stats: ReadStats::default(),
         };
         idx.rebuild_inverted();
         Ok(idx)
@@ -122,15 +216,29 @@ impl IncrementalIndex {
         Self::build_with_limit(db, cs, None)
     }
 
+    /// [`build`](Self::build), then fixes the read mode.
+    pub fn build_with_mode(
+        db: Database,
+        cs: ConstraintSet,
+        mode: ReadMode,
+    ) -> Result<Self, MeasureError> {
+        let mut idx = Self::build(db, cs)?;
+        idx.mode = mode;
+        Ok(idx)
+    }
+
     fn rebuild_inverted(&mut self) {
         self.by_tuple.clear();
         self.raw_count = 0;
+        self.graph = DynamicConflictGraph::new();
+        self.comp_cache.clear();
         for (i, sets) in self.per_dc.iter().enumerate() {
             for set in sets {
                 self.raw_count += 1;
                 for &t in set.iter() {
                     self.by_tuple.entry(t).or_default().insert((i, set.clone()));
                 }
+                self.graph.insert_edge(set);
             }
         }
     }
@@ -157,6 +265,40 @@ impl IncrementalIndex {
         self.raw_count
     }
 
+    /// The active read mode.
+    pub fn mode(&self) -> ReadMode {
+        self.mode
+    }
+
+    /// Switches the read mode. Caches for both modes are maintained
+    /// independently, so switching is always safe.
+    pub fn set_mode(&mut self, mode: ReadMode) {
+        self.mode = mode;
+    }
+
+    /// Current number of conflict components.
+    pub fn component_count(&self) -> usize {
+        self.graph.component_count()
+    }
+
+    /// Components whose caches were invalidated since the last read.
+    pub fn dirty_component_count(&self) -> usize {
+        self.graph
+            .component_ids()
+            .filter(|c| !self.comp_cache.contains_key(c))
+            .count()
+    }
+
+    /// Read-path instrumentation counters (cumulative).
+    pub fn stats(&self) -> ReadStats {
+        self.stats
+    }
+
+    /// Zeroes the [`ReadStats`] counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = ReadStats::default();
+    }
+
     // -- mutations ---------------------------------------------------------
 
     /// Removes every indexed binding that involves `tid`.
@@ -164,9 +306,12 @@ impl IncrementalIndex {
         let Some(incident) = self.by_tuple.remove(&tid) else {
             return;
         };
+        let mut removed: Vec<ViolationSet> = Vec::with_capacity(incident.len());
         for (dc, set) in incident {
             if self.per_dc[dc].remove(&set) {
                 self.raw_count -= 1;
+                self.dc_min_cache[dc] = None;
+                removed.push(set.clone());
             }
             for &u in set.iter() {
                 if u == tid {
@@ -180,23 +325,42 @@ impl IncrementalIndex {
                 }
             }
         }
-        self.mi_cache = None;
+        // One graph ref per removed `(dc, set)` pair; components whose
+        // distinct edge set actually changed come back as dirty.
+        if let Some(removal) = self.graph.remove_edges(removed.iter().map(|s| s.as_ref())) {
+            let structural = !removal.touched.is_empty() || !removal.dead.is_empty();
+            for c in removal.touched.iter().chain(removal.dead.iter()) {
+                self.comp_cache.remove(c);
+            }
+            if structural {
+                self.mi_cache = None;
+            }
+        }
     }
 
     /// Probes the engine for bindings involving `tid` and indexes them.
     fn attach(&mut self, tid: TupleId) {
-        for (dc, set) in engine::raw_violations_involving_per_dc(&self.db, &self.cs, tid) {
+        let delta = engine::delta_violations_involving(&self.db, &self.cs, tid);
+        for (dc, set) in delta.per_dc {
             if self.per_dc[dc].insert(set.clone()) {
                 self.raw_count += 1;
+                self.dc_min_cache[dc] = None;
                 for &u in set.iter() {
                     self.by_tuple
                         .entry(u)
                         .or_default()
                         .insert((dc, set.clone()));
                 }
+                let ins = self.graph.insert_edge(&set);
+                if ins.structural {
+                    self.comp_cache.remove(&ins.comp);
+                    for c in &ins.merged {
+                        self.comp_cache.remove(c);
+                    }
+                    self.mi_cache = None;
+                }
             }
         }
-        self.mi_cache = None;
     }
 
     /// `⟨−i⟩`: deletes tuple `i`, dropping its violations in `O(k)`.
@@ -261,38 +425,126 @@ impl IncrementalIndex {
         }
     }
 
+    /// Live component ids in deterministic (ascending) order.
+    fn sorted_components(&self) -> Vec<CompId> {
+        let mut ids: Vec<CompId> = self.graph.component_ids().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Fills the minimal-subset cache of every dirty component (one
+    /// component-local [`engine::filter_minimal`] run each).
+    fn ensure_components(&mut self) -> Vec<CompId> {
+        let ids = self.sorted_components();
+        for &c in &ids {
+            if self.comp_cache.contains_key(&c) {
+                self.stats.filter_cache_hits += 1;
+                continue;
+            }
+            let sets: HashSet<ViolationSet> = self.graph.component_sets(c).into_iter().collect();
+            let minimal = engine::filter_minimal(sets);
+            self.stats.filter_runs += 1;
+            let tuple_count = {
+                let mut tuples: HashSet<TupleId> = HashSet::new();
+                for s in &minimal {
+                    tuples.extend(s.iter().copied());
+                }
+                tuples.len()
+            };
+            self.comp_cache.insert(
+                c,
+                CompCache {
+                    minimal,
+                    tuple_count,
+                    ir: None,
+                    ir_lin: None,
+                },
+            );
+        }
+        ids
+    }
+
     /// The global minimal inconsistent subsets `MI_Σ(D)` (cross-constraint
-    /// dedup + inclusion-minimality), memoized until the next mutation.
+    /// dedup + inclusion-minimality), memoized until the next mutation. In
+    /// [`ReadMode::Component`] the list is assembled from the per-component
+    /// caches (dirty components are re-filtered first).
     pub fn minimal_subsets(&mut self) -> &[ViolationSet] {
         if self.mi_cache.is_none() {
-            let union: HashSet<ViolationSet> =
-                self.per_dc.iter().flat_map(|s| s.iter().cloned()).collect();
-            self.mi_cache = Some(engine::filter_minimal(union));
+            match self.mode {
+                ReadMode::Global => {
+                    let union: HashSet<ViolationSet> =
+                        self.per_dc.iter().flat_map(|s| s.iter().cloned()).collect();
+                    self.mi_cache = Some(engine::filter_minimal(union));
+                    self.stats.filter_runs += 1;
+                }
+                ReadMode::Component => {
+                    let ids = self.ensure_components();
+                    let mut all: Vec<ViolationSet> = ids
+                        .iter()
+                        .flat_map(|c| self.comp_cache[c].minimal.iter().cloned())
+                        .collect();
+                    // Same presentation order as `filter_minimal`.
+                    all.sort_by_key(|s| (s.len(), s.first().copied()));
+                    self.mi_cache = Some(all);
+                }
+            }
         }
         self.mi_cache.as_deref().expect("just filled")
     }
 
     /// `I_MI`: `|MI_Σ(D)|`.
     pub fn i_mi(&mut self) -> f64 {
-        self.minimal_subsets().len() as f64
+        match self.mode {
+            ReadMode::Global => self.minimal_subsets().len() as f64,
+            ReadMode::Component => {
+                let ids = self.ensure_components();
+                ids.iter()
+                    .map(|c| self.comp_cache[c].minimal.len())
+                    .sum::<usize>() as f64
+            }
+        }
     }
 
     /// `I_P`: `|∪ MI_Σ(D)|`.
     pub fn i_p(&mut self) -> f64 {
-        let mut tuples: HashSet<TupleId> = HashSet::new();
-        for s in self.minimal_subsets() {
-            tuples.extend(s.iter().copied());
+        match self.mode {
+            ReadMode::Global => {
+                let mut tuples: HashSet<TupleId> = HashSet::new();
+                for s in self.minimal_subsets() {
+                    tuples.extend(s.iter().copied());
+                }
+                tuples.len() as f64
+            }
+            ReadMode::Component => {
+                // Components partition the participating tuples, so the
+                // global union is the sum of the per-component counts.
+                let ids = self.ensure_components();
+                ids.iter()
+                    .map(|c| self.comp_cache[c].tuple_count)
+                    .sum::<usize>() as f64
+            }
         }
-        tuples.len() as f64
     }
 
     /// `I_MI^dc`: per-constraint minimal violation count (§5.3 semantics —
-    /// a tuple set flagged by two constraints counts twice).
-    pub fn i_mi_dc(&self) -> f64 {
-        self.per_dc
-            .iter()
-            .map(|sets| engine::filter_minimal(sets.clone()).len())
-            .sum::<usize>() as f64
+    /// a tuple set flagged by two constraints counts twice). Counts are
+    /// cached per constraint and recomputed only for constraints whose
+    /// binding set changed since the last read.
+    pub fn i_mi_dc(&mut self) -> f64 {
+        let mut total = 0usize;
+        for (i, sets) in self.per_dc.iter().enumerate() {
+            let count = match self.dc_min_cache[i] {
+                Some(c) => c,
+                None => {
+                    let c = engine::filter_minimal(sets.clone()).len();
+                    self.dc_min_cache[i] = Some(c);
+                    self.stats.filter_runs += 1;
+                    c
+                }
+            };
+            total += count;
+        }
+        total as f64
     }
 
     /// The conflict (hyper)graph over the current minimal subsets.
@@ -302,50 +554,85 @@ impl IncrementalIndex {
         ConflictGraph::from_subsets(&self.db, subsets)
     }
 
-    /// `I_R` (deletions): exact minimum-cost repair over the maintained
-    /// violations; only the cover solve is paid, not the self-join.
-    pub fn i_r(&mut self, options: &MeasureOptions) -> MeasureResult {
-        let graph = self.conflict_graph();
-        if graph.is_plain_graph() {
-            return min_weight_vertex_cover(&graph, options.vc_budget)
-                .map(|vc| vc.weight)
-                .ok_or(MeasureError::Timeout);
+    /// Component-scoped `I_R`: solves each dirty component independently
+    /// and sums the cached values of the clean ones.
+    fn i_r_component(&mut self, options: &MeasureOptions) -> MeasureResult {
+        let ids = self.ensure_components();
+        let mut total = 0.0;
+        for c in ids {
+            let cache = self.comp_cache.get_mut(&c).expect("ensured above");
+            if let Some((budget, value)) = cache.ir {
+                if budget == options.vc_budget {
+                    self.stats.cover_cache_hits += 1;
+                    total += value;
+                    continue;
+                }
+            }
+            let graph = ConflictGraph::from_subsets(&self.db, &cache.minimal);
+            let node_sets = node_index_sets(&graph, &cache.minimal);
+            self.stats.cover_solves += 1;
+            let value = component_min_repair(&graph, &node_sets, options.vc_budget)
+                .ok_or(MeasureError::Timeout)?;
+            cache.ir = Some((options.vc_budget, value));
+            total += value;
         }
+        Ok(total)
+    }
+
+    /// `I_R` (deletions): exact minimum-cost repair over the maintained
+    /// violations; only dirty components are re-solved, never the self-join.
+    pub fn i_r(&mut self, options: &MeasureOptions) -> MeasureResult {
+        if self.mode == ReadMode::Component {
+            return self.i_r_component(options);
+        }
+        let graph = self.conflict_graph();
         let subsets = self.mi_cache.as_deref().expect("filled by conflict_graph");
-        let weights: Vec<f64> = (0..graph.n() as u32).map(|v| graph.weight(v)).collect();
-        let sets: Vec<Vec<usize>> = subsets
-            .iter()
-            .map(|s| {
-                s.iter()
-                    .map(|t| graph.node_of(*t).expect("violation tuple is a node") as usize)
-                    .collect()
-            })
-            .collect();
-        min_weight_hitting_set(&weights, &sets, options.vc_budget)
-            .map(|h| h.weight)
-            .ok_or(MeasureError::Timeout)
+        // The node-index sets are only consulted on the hypergraph path.
+        let node_sets = if graph.is_plain_graph() {
+            Vec::new()
+        } else {
+            node_index_sets(&graph, subsets)
+        };
+        self.stats.cover_solves += 1;
+        component_min_repair(&graph, &node_sets, options.vc_budget).ok_or(MeasureError::Timeout)
+    }
+
+    /// Component-scoped `I_R^lin`: LP-relaxation per dirty component.
+    fn i_r_lin_component(&mut self) -> MeasureResult {
+        let ids = self.ensure_components();
+        let mut total = 0.0;
+        for c in ids {
+            let cache = self.comp_cache.get_mut(&c).expect("ensured above");
+            if let Some(value) = cache.ir_lin {
+                self.stats.lin_cache_hits += 1;
+                total += value;
+                continue;
+            }
+            let graph = ConflictGraph::from_subsets(&self.db, &cache.minimal);
+            let node_sets = node_index_sets(&graph, &cache.minimal);
+            self.stats.lin_solves += 1;
+            let value =
+                component_min_repair_lin(&graph, &node_sets).ok_or(MeasureError::Timeout)?;
+            cache.ir_lin = Some(value);
+            total += value;
+        }
+        Ok(total)
     }
 
     /// `I_R^lin`: the LP relaxation (Fig. 2) over the maintained violations.
     pub fn i_r_lin(&mut self) -> MeasureResult {
-        let graph = self.conflict_graph();
-        if graph.is_plain_graph() {
-            return Ok(fractional_vertex_cover(&graph).value);
+        if self.mode == ReadMode::Component {
+            return self.i_r_lin_component();
         }
+        let graph = self.conflict_graph();
         let subsets = self.mi_cache.as_deref().expect("filled by conflict_graph");
-        let weights: Vec<f64> = (0..graph.n() as u32).map(|v| graph.weight(v)).collect();
-        let sets: Vec<Vec<usize>> = subsets
-            .iter()
-            .map(|s| {
-                s.iter()
-                    .map(|t| graph.node_of(*t).expect("violation tuple is a node") as usize)
-                    .collect()
-            })
-            .collect();
-        covering_lp(&weights, &sets)
-            .minimize()
-            .map(|sol| sol.objective)
-            .map_err(|_| MeasureError::Timeout)
+        let node_sets = if graph.is_plain_graph() {
+            Vec::new()
+        } else {
+            node_index_sets(&graph, subsets)
+        };
+        self.stats.lin_solves += 1;
+        component_min_repair_lin(&graph, &node_sets).ok_or(MeasureError::Timeout)
     }
 
     /// Tuples ranked by how many raw bindings they currently appear in —
@@ -363,13 +650,74 @@ impl IncrementalIndex {
     }
 
     /// Internal consistency check used by tests: rebuilds from scratch and
-    /// compares the raw binding sets. Expensive; not for production loops.
+    /// cross-validates the raw binding sets, the maintained component
+    /// structure and every cached aggregate (per-component minimal sets,
+    /// `I_P` shares, solved cover values, per-DC minimal counts).
+    /// Expensive; not for production loops.
     #[doc(hidden)]
     pub fn self_check(&self) -> bool {
-        match Self::build(self.db.clone(), self.cs.clone()) {
-            Ok(fresh) => fresh.per_dc == self.per_dc,
-            Err(_) => false,
+        let fresh = match Self::build(self.db.clone(), self.cs.clone()) {
+            Ok(fresh) => fresh,
+            Err(_) => return false,
+        };
+        if fresh.per_dc != self.per_dc {
+            return false;
         }
+        // Maintained graph: structurally sound, and its edges are exactly
+        // the distinct union of the per-DC binding sets.
+        if self.graph.check_consistency().is_err() {
+            return false;
+        }
+        let union: HashSet<ViolationSet> =
+            self.per_dc.iter().flat_map(|s| s.iter().cloned()).collect();
+        let graph_sets: HashSet<ViolationSet> = self.graph.all_sets().cloned().collect();
+        if union != graph_sets {
+            return false;
+        }
+        // Every cached component aggregate must match a from-scratch
+        // recomputation of that component.
+        for (c, cache) in &self.comp_cache {
+            let sets: HashSet<ViolationSet> = self.graph.component_sets(*c).into_iter().collect();
+            if sets.is_empty() {
+                return false; // cache entry for a dead component
+            }
+            let minimal = engine::filter_minimal(sets);
+            let cached: HashSet<&ViolationSet> = cache.minimal.iter().collect();
+            let expected: HashSet<&ViolationSet> = minimal.iter().collect();
+            if cached != expected {
+                return false;
+            }
+            let mut tuples: HashSet<TupleId> = HashSet::new();
+            for s in &minimal {
+                tuples.extend(s.iter().copied());
+            }
+            if cache.tuple_count != tuples.len() {
+                return false;
+            }
+            let graph = ConflictGraph::from_subsets(&self.db, &minimal);
+            let node_sets = node_index_sets(&graph, &minimal);
+            if let Some((budget, value)) = cache.ir {
+                match component_min_repair(&graph, &node_sets, budget) {
+                    Some(v) if v == value => {}
+                    _ => return false,
+                }
+            }
+            if let Some(value) = cache.ir_lin {
+                match component_min_repair_lin(&graph, &node_sets) {
+                    Some(v) if (v - value).abs() < 1e-9 => {}
+                    _ => return false,
+                }
+            }
+        }
+        // Filled per-DC minimal counts must match a fresh filter.
+        for (i, cached) in self.dc_min_cache.iter().enumerate() {
+            if let Some(count) = cached {
+                if engine::filter_minimal(self.per_dc[i].clone()).len() != *count {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -414,12 +762,13 @@ mod tests {
         Fact::new(r, [Value::int(a), Value::int(b), Value::int(c)])
     }
 
-    /// Asserts the incremental reads match a from-scratch evaluation.
+    /// Asserts the incremental reads match a from-scratch evaluation, in
+    /// the index's current mode.
     fn assert_matches_scratch(idx: &mut IncrementalIndex) {
         let opts = MeasureOptions::default();
         let db = idx.db().clone();
         let cs = idx.constraints().clone();
-        assert!(idx.self_check(), "raw binding sets diverged");
+        assert!(idx.self_check(), "maintained state diverged");
         assert_eq!(
             idx.i_mi(),
             MinimalInconsistentSubsets { options: opts }
@@ -443,6 +792,19 @@ mod tests {
             idx.is_consistent(),
             inconsist_constraints::is_consistent(&db, &cs)
         );
+        // The other mode must agree exactly too (unit costs throughout the
+        // tests, so the per-component sums are exact).
+        let other = match idx.mode() {
+            ReadMode::Global => ReadMode::Component,
+            ReadMode::Component => ReadMode::Global,
+        };
+        let mut cross = idx.clone();
+        cross.set_mode(other);
+        assert_eq!(cross.i_mi(), idx.i_mi());
+        assert_eq!(cross.i_p(), idx.i_p());
+        assert_eq!(cross.i_r(&opts).unwrap(), idx.i_r(&opts).unwrap());
+        assert!((cross.i_r_lin().unwrap() - idx.i_r_lin().unwrap()).abs() < 1e-9);
+        assert_eq!(cross.i_mi_dc(), idx.i_mi_dc());
     }
 
     #[test]
@@ -587,6 +949,132 @@ mod tests {
         );
     }
 
+    /// A database with `blocks` independent conflict components: block `k`
+    /// holds two tuples agreeing on `A = k` and disagreeing on `B`.
+    fn multi_component(
+        s: &Arc<Schema>,
+        r: inconsist_relational::RelId,
+        blocks: i64,
+    ) -> (Database, Vec<TupleId>) {
+        let mut db = Database::new(Arc::clone(s));
+        let mut firsts = Vec::new();
+        for k in 0..blocks {
+            firsts.push(db.insert(fact3(r, k, 2 * k, 0)).unwrap());
+            db.insert(fact3(r, k, 2 * k + 1, 0)).unwrap();
+        }
+        (db, firsts)
+    }
+
+    #[test]
+    fn reads_touch_only_dirty_components() {
+        let (s, r) = setup();
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        let (db, firsts) = multi_component(&s, r, 4);
+        let mut idx = IncrementalIndex::build(db, cs).unwrap();
+        let opts = MeasureOptions::default();
+        assert_eq!(idx.component_count(), 4);
+        // Cold reads: every component is filtered and solved once.
+        assert_eq!(idx.i_mi(), 4.0);
+        assert_eq!(idx.i_p(), 8.0);
+        assert_eq!(idx.i_r(&opts).unwrap(), 4.0);
+        assert_eq!(idx.i_r_lin().unwrap(), 4.0);
+        let cold = idx.stats();
+        assert_eq!(cold.filter_runs, 4);
+        assert_eq!(cold.cover_solves, 4);
+        assert_eq!(cold.lin_solves, 4);
+        assert_eq!(idx.dirty_component_count(), 0);
+
+        // One update inside block 0: exactly one component is dirty, and a
+        // full read round re-filters and re-solves only that one.
+        idx.reset_stats();
+        idx.update(firsts[0], AttrId(1), Value::int(99)).unwrap();
+        assert_eq!(idx.dirty_component_count(), 1);
+        assert_eq!(idx.i_mi(), 4.0);
+        assert_eq!(idx.i_p(), 8.0);
+        assert_eq!(idx.i_r(&opts).unwrap(), 4.0);
+        assert_eq!(idx.i_r_lin().unwrap(), 4.0);
+        let warm = idx.stats();
+        assert_eq!(warm.filter_runs, 1, "only the dirty component re-filters");
+        assert_eq!(warm.cover_solves, 1, "only the dirty component re-solves");
+        assert_eq!(warm.lin_solves, 1);
+        assert_eq!(warm.cover_cache_hits, 3);
+        assert_eq!(warm.lin_cache_hits, 3);
+
+        // A delete resolving block 1 dirties only that component.
+        idx.reset_stats();
+        idx.delete(firsts[1]);
+        assert_eq!(idx.i_mi(), 3.0);
+        assert_eq!(idx.i_r(&opts).unwrap(), 3.0);
+        assert_eq!(idx.stats().filter_runs, 0, "component dissolved, no work");
+        assert_eq!(idx.stats().cover_solves, 0);
+        assert_matches_scratch(&mut idx);
+    }
+
+    #[test]
+    fn bridging_insert_merges_and_articulation_delete_splits() {
+        let (s, r) = setup();
+        let cs = two_fd_cs(&s, r);
+        let mut db = Database::new(Arc::clone(&s));
+        // Two components under A→B: {a1, a2} (A=1) and {b1, b2} (A=2).
+        let a1 = db.insert(fact3(r, 1, 10, 0)).unwrap();
+        db.insert(fact3(r, 1, 11, 0)).unwrap();
+        db.insert(fact3(r, 2, 20, 0)).unwrap();
+        db.insert(fact3(r, 2, 21, 0)).unwrap();
+        let mut idx = IncrementalIndex::build(db, cs).unwrap();
+        assert_eq!(idx.component_count(), 2);
+        assert_eq!(idx.i_mi(), 2.0);
+        assert_matches_scratch(&mut idx);
+
+        // Bridge: A=1 conflicts with the first block under A→B, while
+        // B=20 with a fresh C conflicts with b1 under B→C — one insert
+        // merges the two components.
+        let bridge = idx.insert(fact3(r, 1, 20, 9)).unwrap();
+        assert_eq!(idx.component_count(), 1);
+        assert_matches_scratch(&mut idx);
+
+        // Deleting the bridge (an articulation tuple) splits it back.
+        idx.delete(bridge);
+        assert_eq!(idx.component_count(), 2);
+        assert_matches_scratch(&mut idx);
+        let _ = a1;
+    }
+
+    #[test]
+    fn global_mode_matches_component_mode() {
+        let (s, r) = setup();
+        let (db, firsts) = multi_component(&s, r, 3);
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        let mut idx = IncrementalIndex::build_with_mode(db, cs, ReadMode::Global).unwrap();
+        assert_eq!(idx.mode(), ReadMode::Global);
+        assert_eq!(idx.i_mi(), 3.0);
+        idx.delete(firsts[2]);
+        assert_matches_scratch(&mut idx); // cross-checks Component mode too
+    }
+
+    #[test]
+    fn i_mi_dc_reuses_untouched_constraint_counts() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        // A→B violated by the A=1 block; B→C violated by the B=7 block.
+        db.insert(fact3(r, 1, 1, 0)).unwrap();
+        let t1 = db.insert(fact3(r, 1, 2, 0)).unwrap();
+        db.insert(fact3(r, 5, 7, 1)).unwrap();
+        db.insert(fact3(r, 6, 7, 2)).unwrap();
+        let mut idx = IncrementalIndex::build(db, two_fd_cs(&s, r)).unwrap();
+        assert_eq!(idx.i_mi_dc(), 2.0);
+        let cold = idx.stats().filter_runs;
+        assert_eq!(cold, 2); // one per constraint
+                             // Mutating a tuple incident only to the A→B constraint leaves the
+                             // B→C count cached.
+        idx.update(t1, AttrId(1), Value::int(3)).unwrap();
+        idx.reset_stats();
+        assert_eq!(idx.i_mi_dc(), 2.0);
+        assert_eq!(idx.stats().filter_runs, 1, "only the touched DC re-counts");
+        assert_matches_scratch(&mut idx);
+    }
+
     #[test]
     fn random_operation_sequences_stay_in_sync() {
         let (s, r) = setup();
@@ -616,7 +1104,13 @@ mod tests {
                 )
                 .unwrap(),
             );
-            let mut idx = IncrementalIndex::build(db, cs).unwrap();
+            // Alternate starting modes across trials.
+            let mode = if trial % 2 == 0 {
+                ReadMode::Component
+            } else {
+                ReadMode::Global
+            };
+            let mut idx = IncrementalIndex::build_with_mode(db, cs, mode).unwrap();
             for step in 0..25 {
                 let ids: Vec<TupleId> = idx.db().ids().collect();
                 match rng.gen_range(0..3) {
@@ -645,7 +1139,6 @@ mod tests {
                 }
             }
             assert_matches_scratch(&mut idx);
-            let _ = trial;
         }
     }
 }

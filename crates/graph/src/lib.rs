@@ -7,6 +7,10 @@
 //!
 //! * [`ConflictGraph`] — tuples as nodes, minimal violations as (hyper)edges,
 //!   self-inconsistent tuples as excluded nodes, deletion costs as weights;
+//! * [`DynamicConflictGraph`] — the maintained counterpart: refcounted
+//!   edge insertion/removal with connected-component tracking (merge on
+//!   insert, component-local re-settle on removal), powering the
+//!   component-scoped incremental measure reads;
 //! * [`mis`] — budgeted Bron–Kerbosch counting/enumeration of maximal
 //!   consistent subsets (the paper used `parallel_enum` \[51\] and reported
 //!   24-hour timeouts; our budget plays that role);
@@ -18,9 +22,11 @@
 pub mod bitset;
 pub mod cograph;
 pub mod conflict;
+pub mod dynamic;
 pub mod mis;
 
 pub use bitset::BitSet;
 pub use cograph::{cotree, count_mis_if_cograph, Cotree};
 pub use conflict::ConflictGraph;
+pub use dynamic::{CompId, DynamicConflictGraph, EdgeInsert, EdgeRemoval};
 pub use mis::{count_maximal_consistent_subsets, enumerate_maximal_independent_sets};

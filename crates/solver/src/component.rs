@@ -1,0 +1,136 @@
+//! Component-scoped repair solves.
+//!
+//! The conflict (hyper)graph of a database decomposes into connected
+//! components, and both the covering ILP of Fig. 2 (`I_R`) and its LP
+//! relaxation (`I_R^lin`) decompose with it: no constraint row spans two
+//! components, so the global optimum is the sum of per-component optima.
+//! The incremental read path exploits this — after one repairing operation
+//! only the *dirty* components are re-solved and the cached values of the
+//! clean ones are summed.
+//!
+//! These entry points solve **one** component, handed to them as a
+//! [`ConflictGraph`] built from that component's minimal violation sets
+//! plus the same sets translated to node indices (needed only on the
+//! hypergraph path). Plain-graph components route to the exact
+//! vertex-cover machinery ([`min_weight_vertex_cover`] /
+//! [`fractional_vertex_cover`]); components with hyperedges route to the
+//! exact hitting set ([`min_weight_hitting_set`]) and the covering LP
+//! ([`covering_lp`]).
+
+use crate::covering::min_weight_hitting_set;
+use crate::fvc::fractional_vertex_cover;
+use crate::simplex::covering_lp;
+use crate::vertex_cover::min_weight_vertex_cover;
+use inconsist_graph::ConflictGraph;
+
+/// Translates violation sets (tuple ids) into node-index sets for `g`.
+/// Sets with tuples outside `g` are skipped — callers pass the same subsets
+/// the graph was built from, so this never drops anything in practice.
+pub fn node_index_sets<S: AsRef<[inconsist_relational::TupleId]>>(
+    g: &ConflictGraph,
+    subsets: &[S],
+) -> Vec<Vec<usize>> {
+    subsets
+        .iter()
+        .filter_map(|s| {
+            s.as_ref()
+                .iter()
+                .map(|t| g.node_of(*t).map(|v| v as usize))
+                .collect::<Option<Vec<usize>>>()
+        })
+        .collect()
+}
+
+/// `I_R` (deletions) restricted to one conflict component: the exact
+/// minimum deletion cost resolving every violation of the component.
+/// Returns `None` when the step `budget` is exhausted.
+pub fn component_min_repair(
+    g: &ConflictGraph,
+    node_sets: &[Vec<usize>],
+    budget: u64,
+) -> Option<f64> {
+    if g.is_plain_graph() {
+        return min_weight_vertex_cover(g, budget).map(|vc| vc.weight);
+    }
+    let weights: Vec<f64> = (0..g.n() as u32).map(|v| g.weight(v)).collect();
+    min_weight_hitting_set(&weights, node_sets, budget).map(|h| h.weight)
+}
+
+/// `I_R^lin` restricted to one conflict component: the LP relaxation of
+/// the component's covering program. Returns `None` when the simplex
+/// fails (hypergraph path only; the plain path is direct and total).
+pub fn component_min_repair_lin(g: &ConflictGraph, node_sets: &[Vec<usize>]) -> Option<f64> {
+    if g.is_plain_graph() {
+        return Some(fractional_vertex_cover(g).value);
+    }
+    let weights: Vec<f64> = (0..g.n() as u32).map(|v| g.weight(v)).collect();
+    covering_lp(&weights, node_sets)
+        .minimize()
+        .ok()
+        .map(|sol| sol.objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inconsist_relational::{relation, Database, Fact, Schema, TupleId, Value, ValueKind};
+    use std::sync::Arc;
+
+    fn db(n: usize) -> Database {
+        let mut s = Schema::new();
+        let r = s
+            .add_relation(relation("R", &[("A", ValueKind::Int)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(Arc::new(s));
+        for i in 0..n {
+            db.insert(Fact::new(r, [Value::int(i as i64)])).unwrap();
+        }
+        db
+    }
+
+    fn set(ids: &[u32]) -> Box<[TupleId]> {
+        ids.iter().map(|&i| TupleId(i)).collect()
+    }
+
+    #[test]
+    fn plain_component_is_vertex_cover() {
+        // Triangle: min VC = 2, fractional = 1.5.
+        let subsets = vec![set(&[0, 1]), set(&[1, 2]), set(&[0, 2])];
+        let g = ConflictGraph::from_subsets(&db(3), &subsets);
+        let sets = node_index_sets(&g, &subsets);
+        assert_eq!(component_min_repair(&g, &sets, 1 << 20), Some(2.0));
+        assert_eq!(component_min_repair_lin(&g, &sets), Some(1.5));
+    }
+
+    #[test]
+    fn hyper_component_is_hitting_set() {
+        // Two overlapping triples sharing node 2: one deletion suffices.
+        let subsets = vec![set(&[0, 1, 2]), set(&[2, 3, 4])];
+        let g = ConflictGraph::from_subsets(&db(5), &subsets);
+        assert!(!g.is_plain_graph());
+        let sets = node_index_sets(&g, &subsets);
+        assert_eq!(component_min_repair(&g, &sets, 1 << 20), Some(1.0));
+        let lin = component_min_repair_lin(&g, &sets).unwrap();
+        assert!((lin - 1.0).abs() < 1e-6, "{lin}");
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_none() {
+        // A 5-cycle: not a cograph, fractional relaxation is all-halves,
+        // so the exact solve must branch — and a zero budget exhausts it.
+        let subsets: Vec<_> = (0..5).map(|i| set(&[i, (i + 1) % 5])).collect();
+        let g = ConflictGraph::from_subsets(&db(5), &subsets);
+        let sets = node_index_sets(&g, &subsets);
+        assert_eq!(component_min_repair(&g, &sets, 0), None);
+    }
+
+    #[test]
+    fn singleton_component_forces_deletion() {
+        let subsets = vec![set(&[1]), set(&[1, 2])];
+        let g = ConflictGraph::from_subsets(&db(3), &subsets);
+        let sets = node_index_sets(&g, &subsets);
+        // Node 1 is excluded (self-inconsistent): both solves must pay it.
+        assert_eq!(component_min_repair(&g, &sets, 1 << 20), Some(1.0));
+        assert_eq!(component_min_repair_lin(&g, &sets), Some(1.0));
+    }
+}

@@ -13,7 +13,10 @@
 //!   Nemhauser–Trotter kernelization, budgeted branch-and-bound) and the
 //!   greedy baseline, powering `I_R` under deletions;
 //! * [`covering`] — exact min-weight hitting set for hyperedge violations
-//!   (the full covering ILP of Fig. 2).
+//!   (the full covering ILP of Fig. 2);
+//! * [`component`] — component-scoped entry points (`I_R` / `I_R^lin` of
+//!   one conflict component), the solving half of the incremental
+//!   per-component measure caches.
 //!
 //! Every exponential-time routine takes a step budget and returns `None`
 //! when it is exhausted — the workspace's analogue of the paper's 24-hour
@@ -21,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod component;
 pub mod covering;
 pub mod flow;
 pub mod fvc;
@@ -28,6 +32,7 @@ pub mod matching;
 pub mod simplex;
 pub mod vertex_cover;
 
+pub use component::{component_min_repair, component_min_repair_lin, node_index_sets};
 pub use covering::{greedy_hitting_set, min_weight_hitting_set, HittingSet};
 pub use flow::{bipartite_min_weight_vertex_cover, FlowNetwork};
 pub use fvc::{fractional_vertex_cover, nt_partition, FractionalCover};

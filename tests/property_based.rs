@@ -271,6 +271,93 @@ proptest! {
         prop_assert_eq!(idx.is_consistent(), engine::is_consistent(idx.db(), idx.constraints()));
     }
 
+    /// Component merges and splits keep every cached measure equal to the
+    /// from-scratch engine *after every op*: bridging inserts (a tuple
+    /// conflicting with two blocks at once) merge components, deleting an
+    /// articulation tuple splits them, and block-moving updates do both.
+    #[test]
+    fn component_caches_survive_merges_and_splits(
+        seed_rows in prop::collection::vec(0i64..3, 4..12),
+        ops in prop::collection::vec((0u8..4, 0usize..24, 0i64..3, 0i64..4), 1..12),
+        global_start in 0u8..2,
+    ) {
+        use inconsist::incremental::{IncrementalIndex, ReadMode};
+        // Blocked layout under A→B: tuples with equal A conflict pairwise
+        // when B differs. A has a tiny domain, and a second FD B→C lets a
+        // single insert bridge an A-block and a B-block, so the op mix
+        // below constantly merges and splits conflict components.
+        let (schema, r) = schema4();
+        let mut db = Database::new(Arc::clone(&schema));
+        for (i, &a) in seed_rows.iter().enumerate() {
+            db.insert(Fact::new(
+                r,
+                [Value::int(a), Value::int(i as i64 % 4), Value::int(0), Value::int(0)],
+            ))
+            .unwrap();
+        }
+        let mut cs = ConstraintSet::new(Arc::clone(&schema));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        cs.add_fd(Fd::new(r, [AttrId(1)], [AttrId(2)]));
+        let opts = MeasureOptions::default();
+        let mode = if global_start == 0 { ReadMode::Global } else { ReadMode::Component };
+        let mut idx = IncrementalIndex::build_with_mode(db, cs, mode).unwrap();
+        for (kind, pick, a, b) in ops {
+            let ids: Vec<_> = idx.db().ids().collect();
+            match kind {
+                // Bridging insert: A lands in one block (A→B conflicts),
+                // B matches seed B's with a fresh C (B→C conflicts) — one
+                // tuple can fuse two components.
+                0 => {
+                    idx.insert(Fact::new(
+                        r,
+                        [Value::int(a), Value::int(b), Value::int(1), Value::int(0)],
+                    ))
+                    .unwrap();
+                }
+                // Articulation delete: the tuple in the most violations is
+                // the likeliest cut vertex.
+                1 if !ids.is_empty() => {
+                    let t = idx
+                        .hottest_tuples(1)
+                        .first()
+                        .map(|h| h.0)
+                        .unwrap_or(ids[pick % ids.len()]);
+                    idx.delete(t);
+                }
+                // Block move: splits the source component, merges into the
+                // target block's component.
+                2 if !ids.is_empty() => {
+                    let t = ids[pick % ids.len()];
+                    idx.update(t, AttrId(0), Value::int(a)).unwrap();
+                }
+                _ if !ids.is_empty() => {
+                    let t = ids[pick % ids.len()];
+                    idx.update(t, AttrId(1), Value::int(b)).unwrap();
+                }
+                _ => {}
+            }
+            // After *every* op: cached reads equal from-scratch evaluation,
+            // and the maintained component caches cross-validate.
+            let db = idx.db().clone();
+            let cs = idx.constraints().clone();
+            prop_assert!(idx.self_check(), "cached aggregates diverged");
+            prop_assert_eq!(
+                idx.i_mi(),
+                MinimalInconsistentSubsets { options: opts }.eval(&cs, &db).unwrap()
+            );
+            prop_assert_eq!(
+                idx.i_p(),
+                ProblematicFacts { options: opts }.eval(&cs, &db).unwrap()
+            );
+            prop_assert_eq!(
+                idx.i_r(&opts).unwrap(),
+                MinimumRepair { options: opts }.eval(&cs, &db).unwrap()
+            );
+            let lin = LinearMinimumRepair { options: opts }.eval(&cs, &db).unwrap();
+            prop_assert!((idx.i_r_lin().unwrap() - lin).abs() < 1e-6);
+        }
+    }
+
     /// Exact DC mining is sound (every mined DC holds) and complete for a
     /// planted FD whenever the data actually witnesses it.
     #[test]

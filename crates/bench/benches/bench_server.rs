@@ -1,0 +1,341 @@
+//! Load generator for `inconsist-server`: N client threads over real TCP
+//! connections drive a mixed read/write workload against one session and
+//! report throughput and p50/p99 latency per phase, plus the reader-path
+//! witnesses, to a JSON file (`target/bench_server.json`, or the path in
+//! `BENCH_SERVER_JSON`).
+//!
+//! Three phases run against the same live session:
+//!
+//! 1. **read_heavy** — 90% measure reads / 10% single-op writes;
+//! 2. **mixed** — 50/50;
+//! 3. **read_only** — pure measure reads on a warm index: every request
+//!    after the first is answerable from caches, so this phase exercises
+//!    the shared path exclusively and its `max_concurrent_shared_reads`
+//!    high-water mark (> 1 = clean-component reads overlapped inside the
+//!    read-locked section rather than serializing).
+//!
+//! After the phases, the harness recovers the exact serialization the
+//! server executed (every op response carries its write-lock sequence
+//! number), replays it through a fresh `IncrementalIndex`, and asserts
+//! the served measures are **bit-identical** — the same witness the
+//! `concurrency` integration test checks, here at load-test scale.
+//!
+//! Environment knobs: `BENCH_SERVER_CLIENTS` (default 8),
+//! `BENCH_SERVER_REQUESTS` (per client per phase, default 250).
+
+use inconsist::incremental::IncrementalIndex;
+use inconsist::measures::MeasureOptions;
+use inconsist_formats::csv::load_csv;
+use inconsist_formats::dcfile::parse_dc_file;
+use inconsist_formats::opsfile::parse_ops_file;
+use inconsist_server::{serve, Client, Json, ServerConfig};
+use rand::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+const BLOCKS: i64 = 60;
+const ROWS_PER_BLOCK: i64 = 4;
+const DC: &str = "fd: t.A = t'.A & t.B != t'.B\n";
+
+fn fixture_csv() -> String {
+    let mut csv = "A,B\n".to_string();
+    for k in 0..BLOCKS {
+        for j in 0..ROWS_PER_BLOCK {
+            csv.push_str(&format!("{k},{}\n", ROWS_PER_BLOCK * k + j));
+        }
+    }
+    csv
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One client's phase result: latencies (µs) and the ops it got applied.
+struct ClientRun {
+    latencies_us: Vec<f64>,
+    ops: Vec<(u64, String)>,
+}
+
+/// Runs one phase: every client issues `requests` requests with the given
+/// write percentage (0 = pure reads).
+fn run_phase(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    requests: usize,
+    write_pct: u32,
+    seed: u64,
+) -> (f64, Vec<ClientRun>) {
+    let started = Instant::now();
+    let joins: Vec<_> = (0..clients)
+        .map(|who| {
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed + who as u64);
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut run = ClientRun {
+                    latencies_us: Vec::with_capacity(requests),
+                    ops: Vec::new(),
+                };
+                let max_id = (BLOCKS * ROWS_PER_BLOCK) as u32 + 4096;
+                for i in 0..requests {
+                    let is_write = rng.gen_range(0..100) < write_pct;
+                    let line = if is_write {
+                        let op = match rng.gen_range(0..10) {
+                            0..=6 => format!(
+                                "update {} B {}",
+                                rng.gen_range(0..max_id),
+                                rng.gen_range(0..10_000)
+                            ),
+                            7 | 8 => format!(
+                                "insert {},{}",
+                                rng.gen_range(0..BLOCKS),
+                                rng.gen_range(0..10_000)
+                            ),
+                            _ => format!("delete {}", rng.gen_range(0..max_id)),
+                        };
+                        format!(
+                            "{{\"cmd\":\"op\",\"session\":\"bench\",\"ops\":{}}}",
+                            Json::str(op)
+                        )
+                    } else if i % 7 == 0 {
+                        // Heavier shared reads: `I_MC` and the per-DC
+                        // drilldown lengthen the read-locked section, so
+                        // overlapping shared readers are observable even
+                        // on a single core (preemption mid-read).
+                        "{\"cmd\":\"measure\",\"session\":\"bench\",\
+                         \"measures\":[\"I_MI\",\"I_P\",\"I_R\",\"I_R^lin\",\"I_MC\"],\
+                         \"per_dc\":true}"
+                            .to_string()
+                    } else {
+                        "{\"cmd\":\"measure\",\"session\":\"bench\",\
+                         \"measures\":[\"I_MI\",\"I_P\",\"I_R\",\"I_R^lin\"]}"
+                            .to_string()
+                    };
+                    let sent = Instant::now();
+                    let response = client.request(&line).expect("request");
+                    run.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                    let json = Json::parse(&response).expect("response JSON");
+                    assert_eq!(
+                        json.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "{response}"
+                    );
+                    if is_write {
+                        let echo = json.get("ops").and_then(Json::as_arr).expect("ops echo");
+                        let seq = echo[0].get("seq").and_then(Json::as_f64).expect("seq") as u64;
+                        // Reconstruct the op line from the request we sent.
+                        let op_line = Json::parse(&line)
+                            .unwrap()
+                            .get("ops")
+                            .and_then(Json::as_str)
+                            .unwrap()
+                            .to_string();
+                        run.ops.push((seq, op_line));
+                    }
+                }
+                run
+            })
+        })
+        .collect();
+    let runs: Vec<ClientRun> = joins
+        .into_iter()
+        .map(|j| j.join().expect("client"))
+        .collect();
+    (started.elapsed().as_secs_f64(), runs)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * p).floor() as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn session_stat(client: &mut Client, key: &str) -> f64 {
+    let stats = Json::parse(
+        &client
+            .request("{\"cmd\":\"stats\",\"session\":\"bench\"}")
+            .expect("stats"),
+    )
+    .expect("stats JSON");
+    stats
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("no {key} in {stats}"))
+}
+
+fn main() {
+    // Honor the same id filter as the criterion shim so filtered bench
+    // runs targeting another group skip the load test.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .or_else(|| std::env::var("BENCH_FILTER").ok());
+    if let Some(f) = filter {
+        if !"server_load".contains(f.as_str()) {
+            println!("bench_server: skipped by filter `{f}`");
+            return;
+        }
+    }
+    let clients = env_usize("BENCH_SERVER_CLIENTS", 8);
+    let requests = env_usize("BENCH_SERVER_REQUESTS", 250);
+    let csv = fixture_csv();
+
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients + 2,
+        solve_threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    let create = format!(
+        "{{\"cmd\":\"create\",\"session\":\"bench\",\"csv\":{},\"dc\":{}}}",
+        Json::str(csv.clone()),
+        Json::str(DC)
+    );
+    let created = Json::parse(&admin.request(&create).expect("create")).unwrap();
+    assert_eq!(
+        created.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{created}"
+    );
+
+    let mut all_ops: Vec<(u64, String)> = Vec::new();
+    let mut phase_entries = String::new();
+    let mut prev_shared = 0.0;
+    let mut prev_exclusive = 0.0;
+    for (phase, write_pct) in [("read_heavy", 10u32), ("mixed", 50), ("read_only", 0)] {
+        let (elapsed, runs) = run_phase(
+            addr,
+            clients,
+            requests,
+            write_pct,
+            0xC0FFEE + write_pct as u64,
+        );
+        let mut latencies: Vec<f64> = Vec::new();
+        for run in runs {
+            latencies.extend_from_slice(&run.latencies_us);
+            all_ops.extend(run.ops);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let total = latencies.len();
+        let shared = session_stat(&mut admin, "shared_reads");
+        let exclusive = session_stat(&mut admin, "exclusive_reads");
+        let high_water = session_stat(&mut admin, "max_concurrent_shared_reads");
+        if !phase_entries.is_empty() {
+            phase_entries.push_str(",\n");
+        }
+        phase_entries.push_str(&format!(
+            "    {{\"phase\": \"{phase}\", \"write_pct\": {write_pct}, \"requests\": {total}, \
+             \"elapsed_sec\": {elapsed:.3}, \"throughput_rps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"shared_reads\": {}, \"exclusive_reads\": {}, \
+             \"max_concurrent_shared_reads\": {}}}",
+            total as f64 / elapsed,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+            shared - prev_shared,
+            exclusive - prev_exclusive,
+            high_water,
+        ));
+        prev_shared = shared;
+        prev_exclusive = exclusive;
+        println!(
+            "bench_server/{phase:<10} {clients} clients, {total} reqs, \
+             {:.0} req/s, p50 {:.0}µs, p99 {:.0}µs, shared {} / exclusive {}",
+            total as f64 / elapsed,
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.99),
+            shared,
+            exclusive,
+        );
+    }
+    let high_water = session_stat(&mut admin, "max_concurrent_shared_reads");
+    if high_water < 2.0 {
+        println!(
+            "note: max_concurrent_shared_reads = {high_water} — shared reads never \
+             overlapped (single-core machine?)"
+        );
+    }
+
+    // Final measures as served, then shut the server down.
+    let final_read = Json::parse(
+        &admin
+            .request(
+                "{\"cmd\":\"measure\",\"session\":\"bench\",\
+                 \"measures\":[\"I_d\",\"I_MI\",\"I_P\",\"I_R\",\"I_R^lin\",\"raw\",\"components\"]}",
+            )
+            .expect("final measure"),
+    )
+    .unwrap();
+    let served: Vec<(String, f64)> = match final_read.get("values") {
+        Some(Json::Obj(entries)) => entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().expect("numeric")))
+            .collect(),
+        other => panic!("no values: {other:?}"),
+    };
+    admin.request("{\"cmd\":\"shutdown\"}").expect("shutdown");
+    handle.wait();
+
+    // Serialized replay: the server's op sequence through a fresh index.
+    all_ops.sort_by_key(|(seq, _)| *seq);
+    let loaded = load_csv(&csv, "bench").unwrap();
+    let dcs = parse_dc_file(&loaded.schema, "bench", DC).unwrap();
+    let mut cs = inconsist::constraints::ConstraintSet::new(Arc::clone(&loaded.schema));
+    for dc in dcs {
+        cs.add_dc(dc);
+    }
+    let rel_schema = loaded.db.relation_schema(loaded.rel).clone();
+    let mut idx = IncrementalIndex::build(loaded.db, cs).unwrap();
+    for (_, op_line) in &all_ops {
+        let ops = parse_ops_file(&rel_schema, loaded.rel, op_line).unwrap();
+        idx.apply(&ops[0]);
+    }
+    let opts = MeasureOptions::default();
+    let expected = vec![
+        ("I_d".to_string(), idx.i_d()),
+        ("I_MI".to_string(), idx.i_mi()),
+        ("I_P".to_string(), idx.i_p()),
+        ("I_R".to_string(), idx.i_r(&opts).expect("in budget")),
+        ("I_R^lin".to_string(), idx.i_r_lin().expect("lp")),
+        ("raw".to_string(), idx.raw_violations() as f64),
+        ("components".to_string(), idx.component_count() as f64),
+    ];
+    assert_eq!(
+        served,
+        expected,
+        "served measures diverged from the serialized replay of {} ops",
+        all_ops.len()
+    );
+    println!(
+        "bench_server/replay     {} ops replayed serially: measures bit-identical",
+        all_ops.len()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"bench_server\",\n  \"workload\": {{\"blocks\": {BLOCKS}, \
+         \"tuples\": {}, \"clients\": {clients}, \"requests_per_client\": {requests}}},\n  \
+         \"phases\": [\n{phase_entries}\n  ],\n  \"replay\": {{\"ops\": {}, \
+         \"identical\": true}}\n}}\n",
+        BLOCKS * ROWS_PER_BLOCK,
+        all_ops.len()
+    );
+    let path = std::env::var("BENCH_SERVER_JSON").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/bench_server.json"
+        )
+        .to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote JSON summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}\n{json}"),
+    }
+}

@@ -32,6 +32,10 @@ USAGE:
                      [--model conoise|rnoise] [--iters N] [--alpha A]
                      [--beta B] [--typo T] [--seed S]
   inconsist progress <data.csv> <rules.dc> [--steps N]
+  inconsist serve    [--addr HOST:PORT] [--workers N] [--solve-threads N]
+                     [--mode component|global] [--preload name=data.csv,rules.dc]
+                     [--addr-file path]
+  inconsist client   <addr> [request-json ...]
 
 FILES:
   data.csv   header + rows; column types are inferred (int/float/str)
@@ -50,6 +54,12 @@ COMMANDS:
              repaired CSV
   noise      run the paper's CONoise/RNoise error generators
   progress   greedy cleaning loop with live measure trace (incremental)
+  serve      run the measure server (line-delimited JSON over TCP); blocks
+             until a client sends {\"cmd\":\"shutdown\"}; --preload opens a
+             session from files before accepting; --addr-file writes the
+             bound address (useful with port 0)
+  client     send request lines to a running server (from the arguments,
+             or stdin when none are given) and print the responses
 ";
 
 /// Dispatches a parsed command line, returning the report to print.
@@ -63,6 +73,8 @@ pub fn run(cli: &Cli) -> Result<String, String> {
         "repair" => cmd_repair(cli),
         "noise" => cmd_noise(cli),
         "progress" => cmd_progress(cli),
+        "serve" => cmd_serve(cli),
+        "client" => cmd_client(cli),
         other => Err(format!("unknown command `{other}`\n\n{HELP}")),
     }
 }
@@ -134,7 +146,7 @@ fn cmd_measure(cli: &Cli) -> Result<String, String> {
 fn cmd_measure_ops(cli: &Cli, loaded: &LoadedCsv, cs: ConstraintSet) -> Result<String, String> {
     let path = cli.opt_str("ops").expect("checked by caller");
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let ops = parse_ops_file(loaded, &text)?;
+    let ops = parse_ops_file(loaded.db.relation_schema(loaded.rel), loaded.rel, &text)?;
     let mode = match cli.opt_str("mode").unwrap_or("component") {
         "component" => ReadMode::Component,
         "global" => ReadMode::Global,
@@ -172,7 +184,7 @@ fn cmd_measure_ops(cli: &Cli, loaded: &LoadedCsv, cs: ConstraintSet) -> Result<S
     };
     out.push_str(&row("0".into(), "-".into(), &mut idx));
     for (i, op) in ops.iter().enumerate() {
-        let mut label = display_op(op, loaded);
+        let mut label = display_op(op, loaded.db.relation_schema(loaded.rel));
         if !idx.apply(op) {
             label.push_str(" (no-op)");
         }
@@ -365,6 +377,83 @@ fn cmd_progress(cli: &Cli) -> Result<String, String> {
     Ok(out)
 }
 
+/// `serve`: run the measure server until a client sends `shutdown`.
+fn cmd_serve(cli: &Cli) -> Result<String, String> {
+    let mode = match cli.opt_str("mode").unwrap_or("component") {
+        "component" => ReadMode::Component,
+        "global" => ReadMode::Global,
+        other => {
+            return Err(format!(
+                "--mode: expected `component` or `global`, got `{other}`"
+            ))
+        }
+    };
+    let config = inconsist_server::ServerConfig {
+        addr: cli.opt_str("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: cli.opt("workers", 8)?,
+        solve_threads: cli.opt("solve-threads", 1)?,
+        mode,
+        ..Default::default()
+    };
+    let handle = inconsist_server::serve(config).map_err(|e| e.to_string())?;
+    if let Some(spec) = cli.opt_str("preload") {
+        let parse = || -> Option<(&str, &str, &str)> {
+            let (name, files) = spec.split_once('=')?;
+            let (csv, dc) = files.split_once(',')?;
+            Some((name, csv, dc))
+        };
+        let (name, csv, dc) = parse()
+            .ok_or_else(|| format!("--preload: expected `name=data.csv,rules.dc`, got `{spec}`"))?;
+        let preload = |path: &str| inconsist_server::protocol::Payload::Path(path.to_string());
+        let session = handle
+            .registry()
+            .create(name, &preload(csv), &preload(dc), mode)
+            .map_err(|e| {
+                handle.stop();
+                e.to_string()
+            })?;
+        eprintln!("preloaded session `{}`", session.name());
+    }
+    let addr = handle.addr();
+    if let Some(path) = cli.opt_str("addr-file") {
+        std::fs::write(path, addr.to_string()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!("inconsist-server listening on {addr}");
+    handle.wait();
+    Ok(format!(
+        "server stopped after {} requests\n",
+        handle.requests_served()
+    ))
+}
+
+/// `client`: send request lines (arguments or stdin) and print responses.
+fn cmd_client(cli: &Cli) -> Result<String, String> {
+    use std::net::ToSocketAddrs;
+    let addr_arg = cli.positional(0, "addr")?;
+    let addr = addr_arg
+        .to_socket_addrs()
+        .map_err(|e| format!("{addr_arg}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr_arg}: no address"))?;
+    let mut client = inconsist_server::Client::connect(&addr).map_err(|e| e.to_string())?;
+    let lines: Vec<String> = if cli.positional.len() > 1 {
+        cli.positional[1..].to_vec()
+    } else {
+        use std::io::BufRead;
+        std::io::stdin()
+            .lock()
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?
+    };
+    let mut out = String::new();
+    for line in lines.iter().filter(|l| !l.trim().is_empty()) {
+        out.push_str(&client.request(line.trim()).map_err(|e| e.to_string())?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +595,70 @@ mod tests {
         let rules = temp_file(&dir, "rules.dc", RULES);
         let out = run(&cli(&["progress", &data, &rules])).unwrap();
         assert!(out.contains("consistent after 1 greedy deletions"), "{out}");
+    }
+
+    #[test]
+    fn serve_preload_and_client_round_trip() {
+        let dir = temp_dir("serve");
+        let data = temp_file(&dir, "cities.csv", DATA);
+        let rules = temp_file(&dir, "rules.dc", RULES);
+        let addr_file = dir.join("addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+        let serve_args: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--preload",
+            &format!("cities={data},{rules}"),
+            "--addr-file",
+            &addr_file.to_string_lossy(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let server = std::thread::spawn(move || run(&Cli::parse(serve_args).unwrap()));
+        let addr = {
+            let mut tries = 0;
+            loop {
+                match std::fs::read_to_string(&addr_file) {
+                    Ok(s) if !s.is_empty() => break s,
+                    _ => {
+                        tries += 1;
+                        assert!(tries < 500, "server never wrote the addr file");
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                }
+            }
+        };
+        let out = run(&cli(&[
+            "client",
+            &addr,
+            "{\"cmd\":\"sessions\"}",
+            "{\"cmd\":\"measure\",\"session\":\"cities\",\"per_dc\":true}",
+            "{\"cmd\":\"op\",\"session\":\"cities\",\"ops\":\"update 1 Country FR\"}",
+            "{\"cmd\":\"measure\",\"session\":\"cities\",\"measures\":[\"I_d\"]}",
+            "{\"cmd\":\"shutdown\"}",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"sessions\":[\"cities\"]"), "{out}");
+        assert!(out.contains("\"I_MI\":1"), "{out}");
+        assert!(out.contains("\"per_dc\":{\"fd\":1}"), "{out}");
+        assert!(out.contains("\"applied\":1"), "{out}");
+        assert!(out.contains("\"I_d\":0"), "{out}");
+        let report = server.join().unwrap().unwrap();
+        assert!(report.contains("server stopped after"), "{report}");
+        // Bad preload specs are rejected up front.
+        let err = run(&cli(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--preload",
+            "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--preload"), "{err}");
     }
 
     #[test]

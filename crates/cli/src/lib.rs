@@ -21,9 +21,8 @@
 
 pub mod cli_args;
 pub mod commands;
-pub mod csv;
-pub mod dcfile;
-pub mod opsfile;
+
+pub use inconsist_formats::{csv, dcfile, opsfile};
 
 pub use cli_args::Cli;
 pub use commands::run;

@@ -54,6 +54,33 @@
 //! are never re-processed. `I_MI^dc` is cached per constraint and
 //! invalidated only for the constraints the delta tags as touched.
 //!
+//! # Reader/writer split
+//!
+//! The mutating read methods above fill caches, so they take `&mut self`.
+//! A serving layer that multiplexes many connections over one index wants
+//! the opposite: *shared* reads whenever no cache work is pending, so
+//! clean-component reads from different connections proceed in parallel
+//! under an `RwLock`. The `try_*` family ([`try_i_mi`](IncrementalIndex::try_i_mi),
+//! [`try_i_p`](IncrementalIndex::try_i_p), [`try_i_r`](IncrementalIndex::try_i_r),
+//! [`try_i_r_lin`](IncrementalIndex::try_i_r_lin),
+//! [`try_i_mi_dc`](IncrementalIndex::try_i_mi_dc)) answers from the caches
+//! through `&self` and returns `None` the moment any component is dirty;
+//! [`warm`](IncrementalIndex::warm) (`&mut self`) refills every cache so
+//! the next shared read succeeds. The intended lock discipline is
+//! *optimistic read → upgrade on miss*: try under the read lock, and only
+//! on `None` take the write lock, `warm`, and answer exclusively.
+//!
+//! # Parallel dirty-component solves
+//!
+//! When one write invalidates several components (a merge-heavy insert, a
+//! batch of edits between reads), the per-component `I_R`/`I_R^lin`
+//! solves are independent — no covering constraint spans two components —
+//! so the index fans them out across a crossbeam scope, bounded by
+//! [`set_solve_threads`](IncrementalIndex::set_solve_threads) (default 1:
+//! fully sequential, the prior behaviour). Values are bit-identical to the
+//! sequential path: each component's solve is deterministic in isolation
+//! and the final sum is always taken in ascending component order.
+//!
 //! The index owns the database, so every mutation flows through
 //! [`Database::insert`]/[`Database::delete`]/[`Database::update`] and keeps
 //! the dictionary-encoded columnar mirrors in sync as a side effect; the
@@ -72,6 +99,7 @@ use inconsist_relational::{AttrId, Database, Fact, RelationalError, TupleId, Val
 use inconsist_solver::{component_min_repair, component_min_repair_lin, node_index_sets};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How measure reads are answered; see the module docs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -163,6 +191,8 @@ pub struct IncrementalIndex {
     /// Per-constraint minimal-violation counts (`I_MI^dc` terms),
     /// invalidated only for constraints whose binding set changed.
     dc_min_cache: Vec<Option<usize>>,
+    /// Thread budget for dirty-component cover/LP solves (1 = sequential).
+    solve_threads: usize,
     stats: ReadStats,
 }
 
@@ -205,6 +235,7 @@ impl IncrementalIndex {
             comp_cache: HashMap::new(),
             mi_cache: None,
             dc_min_cache: vec![None; dc_count],
+            solve_threads: 1,
             stats: ReadStats::default(),
         };
         idx.rebuild_inverted();
@@ -287,6 +318,18 @@ impl IncrementalIndex {
             .component_ids()
             .filter(|c| !self.comp_cache.contains_key(c))
             .count()
+    }
+
+    /// The thread budget for dirty-component solves.
+    pub fn solve_threads(&self) -> usize {
+        self.solve_threads
+    }
+
+    /// Sets how many threads dirty-component `I_R`/`I_R^lin` solves may
+    /// fan out over (clamped to ≥ 1; 1 keeps the sequential path).
+    /// Values are bit-identical regardless of the budget.
+    pub fn set_solve_threads(&mut self, threads: usize) {
+        self.solve_threads = threads.max(1);
     }
 
     /// Read-path instrumentation counters (cumulative).
@@ -531,20 +574,24 @@ impl IncrementalIndex {
     /// cached per constraint and recomputed only for constraints whose
     /// binding set changed since the last read.
     pub fn i_mi_dc(&mut self) -> f64 {
-        let mut total = 0usize;
-        for (i, sets) in self.per_dc.iter().enumerate() {
-            let count = match self.dc_min_cache[i] {
+        self.i_mi_by_dc().iter().sum::<usize>() as f64
+    }
+
+    /// The per-constraint minimal violation counts behind
+    /// [`i_mi_dc`](Self::i_mi_dc), in constraint order — the per-DC
+    /// drilldown the serving layer exposes.
+    pub fn i_mi_by_dc(&mut self) -> Vec<usize> {
+        (0..self.per_dc.len())
+            .map(|i| match self.dc_min_cache[i] {
                 Some(c) => c,
                 None => {
-                    let c = engine::filter_minimal(sets.clone()).len();
+                    let c = engine::filter_minimal(self.per_dc[i].clone()).len();
                     self.dc_min_cache[i] = Some(c);
                     self.stats.filter_runs += 1;
                     c
                 }
-            };
-            total += count;
-        }
-        total as f64
+            })
+            .collect()
     }
 
     /// The conflict (hyper)graph over the current minimal subsets.
@@ -554,29 +601,126 @@ impl IncrementalIndex {
         ConflictGraph::from_subsets(&self.db, subsets)
     }
 
+    /// Runs one independent cover/LP solve per job — sequentially, or over
+    /// a crossbeam scope when the thread budget and job count allow. Job
+    /// `i`'s result lands in slot `i`, so the output is independent of
+    /// scheduling; a `None` from the solver (budget exhausted) becomes
+    /// [`MeasureError::Timeout`].
+    fn solve_jobs<F>(&self, jobs: &[&[ViolationSet]], solve: F) -> Result<Vec<f64>, MeasureError>
+    where
+        F: Fn(&ConflictGraph, &[Vec<usize>]) -> Option<f64> + Sync,
+    {
+        let run_one = |minimal: &[ViolationSet]| {
+            let graph = ConflictGraph::from_subsets(&self.db, minimal);
+            let node_sets = node_index_sets(&graph, minimal);
+            solve(&graph, &node_sets)
+        };
+        let raw: Vec<Option<f64>> = if self.solve_threads <= 1 || jobs.len() <= 1 {
+            jobs.iter().map(|m| run_one(m)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let workers = self.solve_threads.min(jobs.len());
+            let chunks: Vec<Vec<(usize, Option<f64>)>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= jobs.len() {
+                                    break;
+                                }
+                                out.push((i, run_one(jobs[i])));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("solver worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope propagates panics");
+            let mut raw = vec![None; jobs.len()];
+            for (i, v) in chunks.into_iter().flatten() {
+                raw[i] = v;
+            }
+            raw
+        };
+        raw.into_iter()
+            .map(|v| v.ok_or(MeasureError::Timeout))
+            .collect()
+    }
+
+    /// Fills the `I_R` cache of every component in `ids` that lacks a value
+    /// solved under `budget`, fanning independent solves across the thread
+    /// budget.
+    fn solve_dirty_covers(&mut self, ids: &[CompId], budget: u64) -> Result<(), MeasureError> {
+        let dirty: Vec<CompId> = ids
+            .iter()
+            .copied()
+            .filter(|c| !matches!(self.comp_cache[c].ir, Some((b, _)) if b == budget))
+            .collect();
+        self.stats.cover_cache_hits += (ids.len() - dirty.len()) as u64;
+        self.stats.cover_solves += dirty.len() as u64;
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        // Borrow the cached minimal sets in place — the scoped workers
+        // (and the sequential path) never need owned copies.
+        let values = {
+            let jobs: Vec<&[ViolationSet]> = dirty
+                .iter()
+                .map(|c| self.comp_cache[c].minimal.as_slice())
+                .collect();
+            self.solve_jobs(&jobs, |graph, node_sets| {
+                component_min_repair(graph, node_sets, budget)
+            })?
+        };
+        for (c, value) in dirty.iter().zip(values) {
+            self.comp_cache.get_mut(c).expect("ensured").ir = Some((budget, value));
+        }
+        Ok(())
+    }
+
+    /// Fills the `I_R^lin` cache of every component in `ids` that lacks one.
+    fn solve_dirty_lins(&mut self, ids: &[CompId]) -> Result<(), MeasureError> {
+        let dirty: Vec<CompId> = ids
+            .iter()
+            .copied()
+            .filter(|c| self.comp_cache[c].ir_lin.is_none())
+            .collect();
+        self.stats.lin_cache_hits += (ids.len() - dirty.len()) as u64;
+        self.stats.lin_solves += dirty.len() as u64;
+        if dirty.is_empty() {
+            return Ok(());
+        }
+        let values = {
+            let jobs: Vec<&[ViolationSet]> = dirty
+                .iter()
+                .map(|c| self.comp_cache[c].minimal.as_slice())
+                .collect();
+            self.solve_jobs(&jobs, component_min_repair_lin)?
+        };
+        for (c, value) in dirty.iter().zip(values) {
+            self.comp_cache.get_mut(c).expect("ensured").ir_lin = Some(value);
+        }
+        Ok(())
+    }
+
     /// Component-scoped `I_R`: solves each dirty component independently
-    /// and sums the cached values of the clean ones.
+    /// (in parallel under the thread budget) and sums the cached values of
+    /// the clean ones in ascending component order.
     fn i_r_component(&mut self, options: &MeasureOptions) -> MeasureResult {
         let ids = self.ensure_components();
-        let mut total = 0.0;
-        for c in ids {
-            let cache = self.comp_cache.get_mut(&c).expect("ensured above");
-            if let Some((budget, value)) = cache.ir {
-                if budget == options.vc_budget {
-                    self.stats.cover_cache_hits += 1;
-                    total += value;
-                    continue;
-                }
-            }
-            let graph = ConflictGraph::from_subsets(&self.db, &cache.minimal);
-            let node_sets = node_index_sets(&graph, &cache.minimal);
-            self.stats.cover_solves += 1;
-            let value = component_min_repair(&graph, &node_sets, options.vc_budget)
-                .ok_or(MeasureError::Timeout)?;
-            cache.ir = Some((options.vc_budget, value));
-            total += value;
-        }
-        Ok(total)
+        self.solve_dirty_covers(&ids, options.vc_budget)?;
+        // Explicit fold: f64's `Sum` identity is -0.0, which would leak a
+        // negative zero on consistent databases.
+        Ok(ids
+            .iter()
+            .map(|c| self.comp_cache[c].ir.expect("just solved").1)
+            .fold(0.0, |acc, v| acc + v))
     }
 
     /// `I_R` (deletions): exact minimum-cost repair over the maintained
@@ -597,26 +741,16 @@ impl IncrementalIndex {
         component_min_repair(&graph, &node_sets, options.vc_budget).ok_or(MeasureError::Timeout)
     }
 
-    /// Component-scoped `I_R^lin`: LP-relaxation per dirty component.
+    /// Component-scoped `I_R^lin`: LP-relaxation per dirty component (in
+    /// parallel under the thread budget), summed in ascending component
+    /// order.
     fn i_r_lin_component(&mut self) -> MeasureResult {
         let ids = self.ensure_components();
-        let mut total = 0.0;
-        for c in ids {
-            let cache = self.comp_cache.get_mut(&c).expect("ensured above");
-            if let Some(value) = cache.ir_lin {
-                self.stats.lin_cache_hits += 1;
-                total += value;
-                continue;
-            }
-            let graph = ConflictGraph::from_subsets(&self.db, &cache.minimal);
-            let node_sets = node_index_sets(&graph, &cache.minimal);
-            self.stats.lin_solves += 1;
-            let value =
-                component_min_repair_lin(&graph, &node_sets).ok_or(MeasureError::Timeout)?;
-            cache.ir_lin = Some(value);
-            total += value;
-        }
-        Ok(total)
+        self.solve_dirty_lins(&ids)?;
+        Ok(ids
+            .iter()
+            .map(|c| self.comp_cache[c].ir_lin.expect("just solved"))
+            .fold(0.0, |acc, v| acc + v))
     }
 
     /// `I_R^lin`: the LP relaxation (Fig. 2) over the maintained violations.
@@ -633,6 +767,110 @@ impl IncrementalIndex {
         };
         self.stats.lin_solves += 1;
         component_min_repair_lin(&graph, &node_sets).ok_or(MeasureError::Timeout)
+    }
+
+    // -- optimistic `&self` reads ------------------------------------------
+
+    /// Whether every live component has a filled minimal-subset cache.
+    fn components_clean(&self) -> bool {
+        self.graph
+            .component_ids()
+            .all(|c| self.comp_cache.contains_key(&c))
+    }
+
+    /// `I_MI` from caches only: `Some` iff no mutation dirtied state since
+    /// the caches were last filled (see [`warm`](Self::warm)).
+    pub fn try_i_mi(&self) -> Option<f64> {
+        match self.mode {
+            ReadMode::Global => self.mi_cache.as_ref().map(|v| v.len() as f64),
+            ReadMode::Component => self.components_clean().then(|| {
+                self.graph
+                    .component_ids()
+                    .map(|c| self.comp_cache[&c].minimal.len())
+                    .sum::<usize>() as f64
+            }),
+        }
+    }
+
+    /// `I_P` from caches only; `None` when any component is dirty.
+    pub fn try_i_p(&self) -> Option<f64> {
+        match self.mode {
+            ReadMode::Global => self.mi_cache.as_ref().map(|subsets| {
+                let mut tuples: HashSet<TupleId> = HashSet::new();
+                for s in subsets {
+                    tuples.extend(s.iter().copied());
+                }
+                tuples.len() as f64
+            }),
+            ReadMode::Component => self.components_clean().then(|| {
+                self.graph
+                    .component_ids()
+                    .map(|c| self.comp_cache[&c].tuple_count)
+                    .sum::<usize>() as f64
+            }),
+        }
+    }
+
+    /// `I_R` from caches only: every component must hold a value solved
+    /// under exactly `options.vc_budget`. Always `None` in
+    /// [`ReadMode::Global`], whose monolithic solve is not memoized. The
+    /// sum runs in ascending component order, so the result is bit-identical
+    /// to [`i_r`](Self::i_r).
+    pub fn try_i_r(&self, options: &MeasureOptions) -> Option<f64> {
+        if self.mode != ReadMode::Component {
+            return None;
+        }
+        let ids = self.sorted_components();
+        let mut total = 0.0;
+        for c in &ids {
+            match self.comp_cache.get(c)?.ir {
+                Some((budget, value)) if budget == options.vc_budget => total += value,
+                _ => return None,
+            }
+        }
+        Some(total)
+    }
+
+    /// `I_R^lin` from caches only (component mode; ascending-order sum).
+    pub fn try_i_r_lin(&self) -> Option<f64> {
+        if self.mode != ReadMode::Component {
+            return None;
+        }
+        let ids = self.sorted_components();
+        let mut total = 0.0;
+        for c in &ids {
+            total += self.comp_cache.get(c)?.ir_lin?;
+        }
+        Some(total)
+    }
+
+    /// `I_MI^dc` from caches only; `None` when any constraint's count was
+    /// invalidated by a delta since the last read.
+    pub fn try_i_mi_dc(&self) -> Option<f64> {
+        self.try_i_mi_by_dc()
+            .map(|counts| counts.iter().sum::<usize>() as f64)
+    }
+
+    /// Per-constraint minimal counts from caches only, in constraint order.
+    pub fn try_i_mi_by_dc(&self) -> Option<Vec<usize>> {
+        self.dc_min_cache.iter().copied().collect()
+    }
+
+    /// Fills every cache the `try_*` readers consult, so that — until the
+    /// next mutation — shared (`&self`) reads answer all measures. In
+    /// [`ReadMode::Component`] this re-filters and re-solves exactly the
+    /// dirty components (fanning solves across the thread budget); in
+    /// [`ReadMode::Global`] it memoizes the minimality pass (`I_R` has no
+    /// global cache and keeps taking the exclusive path).
+    pub fn warm(&mut self, options: &MeasureOptions) -> Result<(), MeasureError> {
+        self.minimal_subsets();
+        self.i_mi_by_dc();
+        if self.mode == ReadMode::Component {
+            let ids = self.ensure_components();
+            self.solve_dirty_covers(&ids, options.vc_budget)?;
+            self.solve_dirty_lins(&ids)?;
+        }
+        Ok(())
     }
 
     /// Tuples ranked by how many raw bindings they currently appear in —
@@ -1073,6 +1311,81 @@ mod tests {
         assert_eq!(idx.i_mi_dc(), 2.0);
         assert_eq!(idx.stats().filter_runs, 1, "only the touched DC re-counts");
         assert_matches_scratch(&mut idx);
+    }
+
+    #[test]
+    fn parallel_dirty_solves_are_bit_identical() {
+        let (s, r) = setup();
+        let (db, firsts) = multi_component(&s, r, 16);
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        let opts = MeasureOptions::default();
+        let mut seq = IncrementalIndex::build(db.clone(), cs.clone()).unwrap();
+        let mut par = IncrementalIndex::build(db, cs).unwrap();
+        par.set_solve_threads(4);
+        assert_eq!(par.solve_threads(), 4);
+        // Cold read: all 16 components dirty → 16 fanned-out solves.
+        assert_eq!(seq.i_r(&opts).unwrap(), par.i_r(&opts).unwrap());
+        assert_eq!(seq.i_r_lin().unwrap(), par.i_r_lin().unwrap());
+        assert_eq!(seq.stats(), par.stats(), "same work, different threads");
+        // Dirty several components at once, then read again.
+        for &t in firsts.iter().take(5) {
+            seq.update(t, AttrId(1), Value::int(-7)).unwrap();
+            par.update(t, AttrId(1), Value::int(-7)).unwrap();
+        }
+        assert!(par.dirty_component_count() > 1);
+        assert_eq!(seq.i_r(&opts).unwrap(), par.i_r(&opts).unwrap());
+        assert_eq!(seq.i_r_lin().unwrap(), par.i_r_lin().unwrap());
+        assert_eq!(seq.i_mi(), par.i_mi());
+        assert_eq!(seq.stats(), par.stats());
+        assert_matches_scratch(&mut par);
+    }
+
+    #[test]
+    fn try_reads_answer_iff_warm() {
+        let (s, r) = setup();
+        let (db, firsts) = multi_component(&s, r, 3);
+        let mut cs = ConstraintSet::new(Arc::clone(&s));
+        cs.add_fd(Fd::new(r, [AttrId(0)], [AttrId(1)]));
+        let opts = MeasureOptions::default();
+        let mut idx = IncrementalIndex::build(db, cs).unwrap();
+        // Cold: every component is dirty, shared reads must refuse.
+        assert_eq!(idx.try_i_mi(), None);
+        assert_eq!(idx.try_i_r(&opts), None);
+        assert_eq!(idx.try_i_mi_dc(), None);
+        idx.warm(&opts).unwrap();
+        assert_eq!(idx.try_i_mi(), Some(3.0));
+        assert_eq!(idx.try_i_p(), Some(6.0));
+        assert_eq!(idx.try_i_r(&opts), Some(idx.i_r(&opts).unwrap()));
+        assert_eq!(idx.try_i_r_lin(), Some(idx.i_r_lin().unwrap()));
+        assert_eq!(idx.try_i_mi_dc(), Some(idx.i_mi_dc()));
+        assert_eq!(idx.try_i_mi_by_dc(), Some(vec![3]));
+        // A different budget than the cached one refuses (stale solve).
+        let other = MeasureOptions {
+            vc_budget: opts.vc_budget - 1,
+            ..opts
+        };
+        assert_eq!(idx.try_i_r(&other), None);
+        // A write dirties one component: shared reads refuse again…
+        idx.update(firsts[0], AttrId(1), Value::int(77)).unwrap();
+        assert_eq!(idx.try_i_mi(), None);
+        assert_eq!(idx.try_i_r(&opts), None);
+        assert_eq!(idx.try_i_mi_dc(), None);
+        // …until the next warm, which re-solves only the dirty one.
+        idx.reset_stats();
+        idx.warm(&opts).unwrap();
+        assert_eq!(idx.stats().filter_runs, 2, "1 component + 1 per-DC count");
+        assert_eq!(idx.stats().cover_solves, 1);
+        assert_eq!(idx.try_i_mi(), Some(3.0));
+        assert_matches_scratch(&mut idx);
+
+        // Global mode: minimality caches serve, solver reads never do.
+        idx.set_mode(ReadMode::Global);
+        assert_eq!(idx.try_i_r(&opts), None);
+        idx.warm(&opts).unwrap();
+        assert_eq!(idx.try_i_mi(), Some(3.0));
+        assert_eq!(idx.try_i_p(), Some(6.0));
+        assert_eq!(idx.try_i_r(&opts), None);
     }
 
     #[test]

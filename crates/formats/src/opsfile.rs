@@ -2,7 +2,7 @@
 //!
 //! One repairing operation (§2 of the paper) per line, replayed through
 //! [`inconsist::incremental::IncrementalIndex`] by `inconsist measure
-//! --ops`:
+//! --ops` and by the server's `op` requests:
 //!
 //! ```text
 //! # tuple ids are 0-based CSV data-row numbers; inserts extend them
@@ -18,22 +18,28 @@
 //!   same quoting rules as the data file.
 //!
 //! Lines starting with `#` and blank lines are ignored. Values are typed
-//! by the loaded column kinds, exactly like CSV cells.
+//! by the loaded column kinds, exactly like CSV cells. Parse errors name
+//! the 1-based line number *and* echo the offending line, so when the
+//! server turns them into protocol error responses the client sees which
+//! part of its payload was rejected.
 
-use crate::csv::{parse_csv, to_value, LoadedCsv};
-use inconsist::relational::{AttrId, Fact, TupleId, Value};
+use crate::csv::{parse_csv, to_value};
+use inconsist::relational::{AttrId, Fact, RelId, RelationSchema, TupleId, Value};
 use inconsist::repair::RepairOp;
 
-/// Parses a repair-op script against a loaded CSV's schema.
-pub fn parse_ops_file(loaded: &LoadedCsv, text: &str) -> Result<Vec<RepairOp>, String> {
-    let rel_schema = loaded.db.relation_schema(loaded.rel).clone();
+/// Parses a repair-op script against a relation's schema.
+pub fn parse_ops_file(
+    rel_schema: &RelationSchema,
+    rel: RelId,
+    text: &str,
+) -> Result<Vec<RepairOp>, String> {
     let mut out = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |msg: String| format!("ops line {}: {msg}", lineno + 1);
+        let err = |msg: String| format!("ops line {} `{line}`: {msg}", lineno + 1);
         let (verb, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         let rest = rest.trim();
         match verb {
@@ -82,7 +88,7 @@ pub fn parse_ops_file(loaded: &LoadedCsv, text: &str) -> Result<Vec<RepairOp>, S
                     .enumerate()
                     .map(|(i, cell)| to_value(cell, rel_schema.attribute(AttrId(i as u16)).kind))
                     .collect();
-                out.push(RepairOp::Insert(Fact::new(loaded.rel, values)));
+                out.push(RepairOp::Insert(Fact::new(rel, values)));
             }
             other => return Err(err(format!("unknown operation `{other}`"))),
         }
@@ -94,8 +100,7 @@ pub fn parse_ops_file(loaded: &LoadedCsv, text: &str) -> Result<Vec<RepairOp>, S
 }
 
 /// Renders one op for the trajectory report.
-pub fn display_op(op: &RepairOp, loaded: &LoadedCsv) -> String {
-    let rel_schema = loaded.db.relation_schema(loaded.rel);
+pub fn display_op(op: &RepairOp, rel_schema: &RelationSchema) -> String {
     let value = |v: &Value| match v {
         Value::Null => "NULL".to_string(),
         Value::Int(i) => i.to_string(),
@@ -120,14 +125,18 @@ pub fn display_op(op: &RepairOp, loaded: &LoadedCsv) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::csv::load_csv;
+    use crate::csv::{load_csv, LoadedCsv};
 
     const DATA: &str = "City,Country,Pop\nParis,FR,1\nParis,DE,2\nLyon,FR,3\n";
+
+    fn parse(loaded: &LoadedCsv, text: &str) -> Result<Vec<RepairOp>, String> {
+        parse_ops_file(loaded.db.relation_schema(loaded.rel), loaded.rel, text)
+    }
 
     #[test]
     fn parses_all_three_verbs() {
         let loaded = load_csv(DATA, "cities").unwrap();
-        let ops = parse_ops_file(
+        let ops = parse(
             &loaded,
             "# fix Paris\nupdate 1 Country FR\n\ndelete 2\ninsert \"Nice, FR\",FR,4\n",
         )
@@ -145,30 +154,42 @@ mod tests {
             RepairOp::Insert(f) => assert_eq!(f.values[0], Value::str("Nice, FR")),
             other => panic!("expected insert, got {other:?}"),
         }
-        assert_eq!(display_op(&ops[0], &loaded), "#1.Country<-FR");
-        assert_eq!(display_op(&ops[1], &loaded), "-#2");
+        let rs = loaded.db.relation_schema(loaded.rel);
+        assert_eq!(display_op(&ops[0], rs), "#1.Country<-FR");
+        assert_eq!(display_op(&ops[1], rs), "-#2");
     }
 
     #[test]
     fn typed_values_follow_column_kinds() {
         let loaded = load_csv(DATA, "cities").unwrap();
-        let ops = parse_ops_file(&loaded, "update 0 Pop 9\nupdate 0 Pop\n").unwrap();
+        let ops = parse(&loaded, "update 0 Pop 9\nupdate 0 Pop\n").unwrap();
         assert!(matches!(&ops[0], RepairOp::Update(_, _, Value::Int(9))));
         assert!(matches!(&ops[1], RepairOp::Update(_, _, Value::Null)));
     }
 
     #[test]
-    fn errors_are_positioned() {
+    fn errors_are_positioned_and_echo_the_line() {
         let loaded = load_csv(DATA, "cities").unwrap();
-        for (script, needle) in [
-            ("frobnicate 1\n", "unknown operation"),
-            ("delete x\n", "tuple id"),
-            ("update 0 Nope 3\n", "unknown attribute"),
-            ("insert a,b\n", "expected 3"),
-            ("# only comments\n", "no operations"),
+        for (script, lineno, bad_line, needle) in [
+            ("frobnicate 1\n", 1, "frobnicate 1", "unknown operation"),
+            ("delete 0\ndelete x\n", 2, "delete x", "tuple id"),
+            (
+                "# hm\nupdate 0 Nope 3\n",
+                2,
+                "update 0 Nope 3",
+                "unknown attribute",
+            ),
+            ("insert a,b\n", 1, "insert a,b", "expected 3"),
         ] {
-            let err = parse_ops_file(&loaded, script).unwrap_err();
+            let err = parse(&loaded, script).unwrap_err();
             assert!(err.contains(needle), "{script:?} → {err}");
+            assert!(
+                err.contains(&format!("ops line {lineno}")),
+                "{script:?} → {err}"
+            );
+            assert!(err.contains(bad_line), "{script:?} → {err}");
         }
+        let err = parse(&loaded, "# only comments\n").unwrap_err();
+        assert!(err.contains("no operations"), "{err}");
     }
 }

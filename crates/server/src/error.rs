@@ -1,0 +1,91 @@
+//! Server error taxonomy.
+//!
+//! Every failure a request can hit maps to one [`ServerError`] variant;
+//! the router serializes it as `{"ok":false,"kind":...,"error":...}` so
+//! clients can branch on `kind` without parsing prose.
+
+use crate::wire::Json;
+use inconsist::measures::MeasureError;
+use std::fmt;
+
+/// Why a request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerError {
+    /// The request line is not valid JSON / not a known command shape.
+    Protocol(String),
+    /// The named session does not exist.
+    UnknownSession(String),
+    /// A `create` targeted a name that is already live.
+    SessionExists(String),
+    /// The CSV or DC payload failed to parse, or a referenced file could
+    /// not be read.
+    Load(String),
+    /// An `op` payload failed to parse (line-numbered, see
+    /// [`inconsist_formats::opsfile`]).
+    Ops(String),
+    /// A measure could not be computed (budget exhausted / truncated).
+    Measure(String),
+}
+
+impl ServerError {
+    /// Stable machine-readable discriminator.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::Protocol(_) => "protocol",
+            ServerError::UnknownSession(_) => "unknown_session",
+            ServerError::SessionExists(_) => "session_exists",
+            ServerError::Load(_) => "load",
+            ServerError::Ops(_) => "ops",
+            ServerError::Measure(_) => "measure",
+        }
+    }
+
+    /// The error response object for the wire.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(false)),
+            ("kind", Json::str(self.kind())),
+            ("error", Json::str(self.to_string())),
+        ])
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Protocol(msg) => write!(f, "bad request: {msg}"),
+            ServerError::UnknownSession(name) => write!(f, "unknown session `{name}`"),
+            ServerError::SessionExists(name) => write!(f, "session `{name}` already exists"),
+            ServerError::Load(msg) => write!(f, "load failed: {msg}"),
+            ServerError::Ops(msg) => write!(f, "{msg}"),
+            ServerError::Measure(msg) => write!(f, "measure failed: {msg}"),
+        }
+    }
+}
+
+impl From<MeasureError> for ServerError {
+    fn from(e: MeasureError) -> Self {
+        ServerError::Measure(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_shape_carries_kind_and_message() {
+        let e = ServerError::UnknownSession("nope".into());
+        let json = e.to_json();
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            json.get("kind").and_then(Json::as_str),
+            Some("unknown_session")
+        );
+        assert!(json
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("nope"));
+    }
+}

@@ -1,0 +1,394 @@
+//! # inconsist-server
+//!
+//! A concurrent measure-serving subsystem over the incremental index:
+//! the long-lived process the ROADMAP's serving story needs. It holds a
+//! registry of named databases, absorbs repairing operations through a
+//! writer path that applies delta maintenance and component
+//! invalidation, and answers measure reads through a shared-read path so
+//! clean-component reads from many connections proceed in parallel.
+//!
+//! ## Protocol
+//!
+//! Line-delimited JSON over TCP: one request object per line, one
+//! response object per line (see [`protocol`] for the command table).
+//! A hand-rolled [`wire`] codec keeps the workspace inside the offline
+//! dependency roster — no serde, no tokio: blocking sockets and a fixed
+//! [`pool::WorkerPool`] of connection handlers (the thread-per-core
+//! shape Thimm's large-scale measurement argument calls for at this
+//! scale; an async reactor would change the I/O layer only, the
+//! session/router layers are connection-agnostic).
+//!
+//! ```text
+//! $ printf '%s\n' '{"cmd":"ping"}' | nc 127.0.0.1 7878
+//! {"ok":true,"pong":true}
+//! ```
+//!
+//! ## Shape
+//!
+//! * [`wire`] — JSON parse/serialize;
+//! * [`protocol`] — typed requests, the command table;
+//! * [`error`] — the error taxonomy every response can carry;
+//! * [`session`] — the registry and the reader/writer lock discipline;
+//! * [`router`] — request dispatch (connection-agnostic);
+//! * [`pool`] — the worker threads connections run on;
+//! * [`serve`] / [`ServerHandle`] — the TCP front end.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod pool;
+pub mod protocol;
+pub mod router;
+pub mod session;
+pub mod wire;
+
+pub use error::ServerError;
+pub use router::{Control, ServerCounters};
+pub use session::{Registry, Session};
+pub use wire::Json;
+
+use inconsist::incremental::ReadMode;
+use inconsist::measures::MeasureOptions;
+use parking_lot::Mutex;
+use router::route_line;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the handle reports it).
+    pub addr: String,
+    /// Connection-handler threads (also the max concurrent connections).
+    pub workers: usize,
+    /// Read mode for sessions created through the protocol.
+    pub mode: ReadMode,
+    /// Thread budget for dirty-component solves inside each session.
+    pub solve_threads: usize,
+    /// Measure budgets/caps applied to every read.
+    pub options: MeasureOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 8,
+            mode: ReadMode::Component,
+            solve_threads: 1,
+            options: MeasureOptions::default(),
+        }
+    }
+}
+
+struct Shared {
+    registry: Registry,
+    counters: ServerCounters,
+    options: MeasureOptions,
+    stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A handle to a running server: its bound address and a way to stop it.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The session registry (for in-process inspection in tests/benches).
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// Blocks until the server stops — either a client sent `shutdown` or
+    /// [`stop`](Self::stop) was called — then drains the worker pool.
+    /// Requests in flight when the listener stops are allowed to finish;
+    /// idle connections notice the stop flag within one read-poll tick
+    /// (~250ms) and close, so shutdown cannot hang behind them.
+    pub fn wait(&self) {
+        let handle = self.accept.lock().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the server from the owning process: unblocks the accept
+    /// loop, then waits like [`wait`](Self::wait).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.shared.addr);
+        self.wait();
+    }
+
+    /// Requests served so far (including error responses).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.counters.requests.load(Ordering::SeqCst)
+    }
+}
+
+/// Binds the listener and spawns the accept loop plus the worker pool.
+///
+/// Returns immediately; use [`ServerHandle::wait`] to block until a
+/// `shutdown` request arrives.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        registry: Registry::new(config.solve_threads),
+        counters: ServerCounters::default(),
+        options: config.options,
+        stop: AtomicBool::new(false),
+        addr,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let workers = config.workers;
+    let accept = std::thread::Builder::new()
+        .name("inconsist-accept".to_string())
+        .spawn(move || {
+            let mut pool = pool::WorkerPool::new("inconsist-conn", workers);
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                accept_shared
+                    .counters
+                    .connections
+                    .fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&accept_shared);
+                pool.execute(move || handle_connection(&conn_shared, stream));
+            }
+            // Dropping the pool joins the workers: every connection that
+            // was already accepted finishes before `wait` returns.
+            pool.join();
+        })?;
+    Ok(ServerHandle {
+        shared,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+/// Hard cap on one request line; a connection exceeding it is dropped
+/// rather than letting `read_line` grow the buffer without bound.
+const MAX_REQUEST_BYTES: usize = 8 << 20;
+
+/// How often a blocked connection read wakes up to check the stop flag,
+/// so shutdown cannot hang behind an idle connection.
+const READ_POLL: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Reads one newline-terminated line into `line`, which may already hold
+/// the partial prefix of a previous timed-out attempt. Returns `Ok(true)`
+/// when a full line is buffered, `Ok(false)` on EOF; a read timeout
+/// surfaces as `Err(WouldBlock/TimedOut)` with the partial data kept in
+/// `line`.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<bool> {
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(false); // EOF
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                line.push_str(&String::from_utf8_lossy(&buf[..i]));
+                reader.consume(i + 1);
+                return Ok(true);
+            }
+            None => {
+                let n = buf.len();
+                line.push_str(&String::from_utf8_lossy(buf));
+                reader.consume(n);
+            }
+        }
+        if line.len() > MAX_REQUEST_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request line exceeds the size cap",
+            ));
+        }
+    }
+}
+
+/// Serves one connection until EOF, `quit`, `shutdown`, or an I/O error.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // One write per response + TCP_NODELAY: without both, Nagle on this
+    // side and delayed ACKs on the client's turn every request into a
+    // ~40ms round trip.
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_POLL)).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Poll-read so an idle connection notices a server shutdown.
+        let got_line = loop {
+            match read_bounded_line(&mut reader, &mut line) {
+                Ok(got) => break got,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return, // broken pipe / oversized line
+            }
+        };
+        if !got_line {
+            return; // EOF
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (mut response, control) = route_line(
+            &shared.registry,
+            &shared.counters,
+            &shared.options,
+            line.trim(),
+        );
+        response.push('\n');
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        match control {
+            Control::Continue => {}
+            Control::Close => return,
+            Control::Shutdown => {
+                shared.stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so the listener actually stops.
+                let _ = TcpStream::connect(shared.addr);
+                return;
+            }
+        }
+    }
+}
+
+/// A tiny blocking client for tests, benches and the CLI `client` mode:
+/// one connection, send a line, read a line.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: &SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and reads one response line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response)?;
+        if response.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_ping_shutdown_round_trip() {
+        let handle = serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let mut client = Client::connect(&addr).unwrap();
+        let pong = client.request("{\"cmd\":\"ping\"}").unwrap();
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+        let bye = client.request("{\"cmd\":\"shutdown\"}").unwrap();
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+        handle.wait();
+        assert!(handle.requests_served() >= 2);
+        // The listener is gone: a fresh server can bind the same port.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn stop_from_the_owner_side_despite_idle_connection() {
+        let handle = serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // An idle connection that never sends anything must not block
+        // shutdown: its handler polls the stop flag between reads.
+        let idle = TcpStream::connect(handle.addr()).unwrap();
+        handle.stop();
+        handle.stop(); // idempotent
+        drop(idle);
+    }
+
+    #[test]
+    fn oversized_request_lines_drop_the_connection() {
+        let handle = serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Stream > MAX_REQUEST_BYTES without a newline: the server must
+        // cut the connection instead of buffering without bound. Once it
+        // does, our writes fail with EPIPE/ECONNRESET (possibly a few
+        // chunks late, while the socket buffers drain).
+        let chunk = vec![b'x'; 1 << 20];
+        let mut sent = 0usize;
+        let dropped = loop {
+            if stream.write_all(&chunk).is_err() {
+                break true;
+            }
+            sent += chunk.len();
+            if sent > MAX_REQUEST_BYTES + (8 << 20) {
+                break false;
+            }
+        };
+        assert!(dropped, "server kept buffering past the request-size cap");
+        handle.stop();
+    }
+}

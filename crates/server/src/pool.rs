@@ -1,0 +1,94 @@
+//! A fixed-size worker pool over `std::sync::mpsc`.
+//!
+//! The accept loop hands each incoming connection to the pool as a boxed
+//! job; `workers` connections are served concurrently and the rest queue.
+//! Shutdown is drop-driven: closing the sender ends the channel, each
+//! worker drains what it already received and exits, and
+//! [`WorkerPool::join`] waits for them.
+
+use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed pool of named worker threads.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) named `{name}-{i}`.
+    pub fn new(name: &str, workers: usize) -> WorkerPool {
+        let (tx, rx) = channel::<Job>();
+        let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the dequeue, not
+                        // for the job itself.
+                        let job = match rx.lock().recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // sender dropped: shutdown
+                        };
+                        job();
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Enqueues a job; returns `false` after [`join`](Self::join).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Closes the queue and waits for every worker to finish its current
+    /// job (and any jobs already queued).
+    pub fn join(&mut self) {
+        self.tx.take(); // close the channel
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_then_joins() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut pool = WorkerPool::new("test", 4);
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        // After join the pool refuses further work.
+        assert!(!pool.execute(|| {}));
+    }
+}

@@ -1,0 +1,288 @@
+//! The request half of the line protocol: typed commands parsed from
+//! [`Json`] objects.
+//!
+//! Every request is one JSON object with a `"cmd"` discriminator:
+//!
+//! | `cmd` | fields | effect |
+//! |---|---|---|
+//! | `ping` | — | liveness probe |
+//! | `create` | `session`, `csv`/`csv_path`, `dc`/`dc_path`, `mode?` | load a database + constraints into a named session |
+//! | `drop` | `session` | drop a session |
+//! | `sessions` | — | list live session names |
+//! | `op` | `session`, `ops` | apply repairing operations (`.ops` lines) through the writer path |
+//! | `measure` | `session`, `measures?`, `per_dc?` | read measures through the shared/exclusive read paths |
+//! | `stats` | `session?` | read/op counters, cache hit rates |
+//! | `shutdown` | — | stop accepting and drain |
+//! | `quit` | — | close this connection only |
+//!
+//! `measures` defaults to `["I_d","I_MI","I_P","I_R","I_R^lin"]`; the full
+//! roster adds `I_MI^dc`, `I_MC`, `raw` (raw falsifying bindings) and
+//! `components` (live conflict components).
+
+use crate::error::ServerError;
+use crate::wire::Json;
+use inconsist::incremental::ReadMode;
+
+/// The measures the serving layer knows how to answer.
+pub const KNOWN_MEASURES: &[&str] = &[
+    "I_d",
+    "I_MI",
+    "I_P",
+    "I_MI^dc",
+    "I_R",
+    "I_R^lin",
+    "I_MC",
+    "raw",
+    "components",
+];
+
+/// Measures answered when a `measure` request names none.
+pub const DEFAULT_MEASURES: &[&str] = &["I_d", "I_MI", "I_P", "I_R", "I_R^lin"];
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Create a session from CSV + DC payloads (inline text or paths).
+    Create {
+        /// Session name.
+        session: String,
+        /// Inline CSV text or a server-side path to it.
+        csv: Payload,
+        /// Inline `.dc` text or a server-side path to it.
+        dc: Payload,
+        /// Read mode (`component` default).
+        mode: ReadMode,
+    },
+    /// Drop a session.
+    Drop {
+        /// Session name.
+        session: String,
+    },
+    /// List live sessions.
+    Sessions,
+    /// Apply `.ops` lines through the writer path.
+    Op {
+        /// Session name.
+        session: String,
+        /// One or more `.ops` lines.
+        ops: String,
+    },
+    /// Read measures through the shared/exclusive read paths.
+    Measure {
+        /// Session name.
+        session: String,
+        /// Measure names (validated against [`KNOWN_MEASURES`]).
+        measures: Vec<String>,
+        /// Also report the per-constraint `I_MI^dc` drilldown.
+        per_dc: bool,
+    },
+    /// Counters for one session (or all sessions).
+    Stats {
+        /// Session name; `None` reports every session plus server totals.
+        session: Option<String>,
+    },
+    /// Stop the server.
+    Shutdown,
+    /// Close this connection.
+    Quit,
+}
+
+/// An inline-or-path payload of a `create` request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// The file content itself, inline in the request.
+    Inline(String),
+    /// A path the *server* process reads.
+    Path(String),
+}
+
+impl Payload {
+    /// Resolves the payload to text (reading the file for paths).
+    pub fn read(&self) -> Result<String, ServerError> {
+        match self {
+            Payload::Inline(text) => Ok(text.clone()),
+            Payload::Path(path) => {
+                std::fs::read_to_string(path).map_err(|e| ServerError::Load(format!("{path}: {e}")))
+            }
+        }
+    }
+}
+
+fn required_str(json: &Json, key: &str) -> Result<String, ServerError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ServerError::Protocol(format!("missing string field `{key}`")))
+}
+
+fn payload(json: &Json, inline_key: &str, path_key: &str) -> Result<Payload, ServerError> {
+    match (
+        json.get(inline_key).and_then(Json::as_str),
+        json.get(path_key).and_then(Json::as_str),
+    ) {
+        (Some(text), None) => Ok(Payload::Inline(text.to_string())),
+        (None, Some(path)) => Ok(Payload::Path(path.to_string())),
+        (Some(_), Some(_)) => Err(ServerError::Protocol(format!(
+            "`{inline_key}` and `{path_key}` are mutually exclusive"
+        ))),
+        (None, None) => Err(ServerError::Protocol(format!(
+            "one of `{inline_key}` or `{path_key}` is required"
+        ))),
+    }
+}
+
+/// Parses one request line (already split off the stream) into a
+/// [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, ServerError> {
+    let json = Json::parse(line).map_err(ServerError::Protocol)?;
+    let cmd = required_str(&json, "cmd")?;
+    match cmd.as_str() {
+        "ping" => Ok(Request::Ping),
+        "sessions" => Ok(Request::Sessions),
+        "shutdown" => Ok(Request::Shutdown),
+        "quit" => Ok(Request::Quit),
+        "create" => {
+            let mode = match json.get("mode").and_then(Json::as_str) {
+                None | Some("component") => ReadMode::Component,
+                Some("global") => ReadMode::Global,
+                Some(other) => {
+                    return Err(ServerError::Protocol(format!(
+                        "`mode`: expected `component` or `global`, got `{other}`"
+                    )))
+                }
+            };
+            Ok(Request::Create {
+                session: required_str(&json, "session")?,
+                csv: payload(&json, "csv", "csv_path")?,
+                dc: payload(&json, "dc", "dc_path")?,
+                mode,
+            })
+        }
+        "drop" => Ok(Request::Drop {
+            session: required_str(&json, "session")?,
+        }),
+        "op" => Ok(Request::Op {
+            session: required_str(&json, "session")?,
+            ops: required_str(&json, "ops")?,
+        }),
+        "measure" => {
+            let measures: Vec<String> = match json.get("measures") {
+                None => DEFAULT_MEASURES.iter().map(|s| s.to_string()).collect(),
+                Some(list) => {
+                    let items = list.as_arr().ok_or_else(|| {
+                        ServerError::Protocol("`measures` must be an array".into())
+                    })?;
+                    items
+                        .iter()
+                        .map(|m| {
+                            m.as_str().map(str::to_string).ok_or_else(|| {
+                                ServerError::Protocol("`measures` entries must be strings".into())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+            };
+            for m in &measures {
+                if !KNOWN_MEASURES.contains(&m.as_str()) {
+                    return Err(ServerError::Protocol(format!(
+                        "unknown measure `{m}` (known: {})",
+                        KNOWN_MEASURES.join(", ")
+                    )));
+                }
+            }
+            Ok(Request::Measure {
+                session: required_str(&json, "session")?,
+                measures,
+                per_dc: json.get("per_dc").and_then(Json::as_bool).unwrap_or(false),
+            })
+        }
+        "stats" => Ok(Request::Stats {
+            session: json
+                .get("session")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        }),
+        other => Err(ServerError::Protocol(format!("unknown cmd `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request("{\"cmd\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request("{\"cmd\":\"sessions\"}").unwrap(),
+            Request::Sessions
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(parse_request("{\"cmd\":\"quit\"}").unwrap(), Request::Quit);
+        let create = parse_request(
+            "{\"cmd\":\"create\",\"session\":\"s\",\"csv\":\"A\\n1\\n\",\"dc\":\"t.A < 0\",\"mode\":\"global\"}",
+        )
+        .unwrap();
+        match create {
+            Request::Create {
+                session, csv, mode, ..
+            } => {
+                assert_eq!(session, "s");
+                assert_eq!(csv, Payload::Inline("A\n1\n".into()));
+                assert_eq!(mode, ReadMode::Global);
+            }
+            other => panic!("{other:?}"),
+        }
+        let measure = parse_request(
+            "{\"cmd\":\"measure\",\"session\":\"s\",\"measures\":[\"I_MI\",\"I_MC\"],\"per_dc\":true}",
+        )
+        .unwrap();
+        assert_eq!(
+            measure,
+            Request::Measure {
+                session: "s".into(),
+                measures: vec!["I_MI".into(), "I_MC".into()],
+                per_dc: true,
+            }
+        );
+        let default = parse_request("{\"cmd\":\"measure\",\"session\":\"s\"}").unwrap();
+        match default {
+            Request::Measure { measures, .. } => assert_eq!(measures, DEFAULT_MEASURES),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for (line, needle) in [
+            ("nonsense", "bad request"),
+            ("{\"cmd\":\"warp\"}", "unknown cmd"),
+            ("{\"nope\":1}", "missing string field `cmd`"),
+            ("{\"cmd\":\"op\",\"session\":\"s\"}", "`ops`"),
+            (
+                "{\"cmd\":\"create\",\"session\":\"s\",\"dc\":\"x\"}",
+                "`csv` or `csv_path`",
+            ),
+            (
+                "{\"cmd\":\"create\",\"session\":\"s\",\"csv\":\"a\",\"csv_path\":\"b\",\"dc\":\"x\"}",
+                "mutually exclusive",
+            ),
+            (
+                "{\"cmd\":\"measure\",\"session\":\"s\",\"measures\":[\"I_BOGUS\"]}",
+                "unknown measure",
+            ),
+            (
+                "{\"cmd\":\"create\",\"session\":\"s\",\"csv\":\"a\",\"dc\":\"x\",\"mode\":\"warp\"}",
+                "`mode`",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.to_string().contains(needle), "{line} → {err}");
+        }
+    }
+}

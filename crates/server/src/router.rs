@@ -1,0 +1,248 @@
+//! Request dispatch: one request line in, one response line out.
+//!
+//! The router is connection-agnostic (it sees text lines, not sockets),
+//! which makes the full protocol unit-testable without a listener and
+//! lets the CLI's `client` mode reuse it for loopback smoke tests.
+
+use crate::error::ServerError;
+use crate::protocol::{parse_request, Request};
+use crate::session::Registry;
+use crate::wire::Json;
+use inconsist::measures::MeasureOptions;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What the connection loop should do after writing the response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading requests from this connection.
+    Continue,
+    /// Close this connection (client said `quit` / EOF).
+    Close,
+    /// Stop the whole server (a `shutdown` request was served).
+    Shutdown,
+}
+
+/// Server-wide counters shared by every connection.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Requests served (including errors).
+    pub requests: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+/// Routes one request line to a response line (no trailing newline) plus
+/// a connection-control verdict.
+pub fn route_line(
+    registry: &Registry,
+    counters: &ServerCounters,
+    opts: &MeasureOptions,
+    line: &str,
+) -> (String, Control) {
+    counters.requests.fetch_add(1, Ordering::SeqCst);
+    let (response, control) = match parse_request(line) {
+        Err(e) => (e.to_json(), Control::Continue),
+        Ok(request) => {
+            let control = match request {
+                Request::Shutdown => Control::Shutdown,
+                Request::Quit => Control::Close,
+                _ => Control::Continue,
+            };
+            match dispatch(registry, counters, opts, request) {
+                Ok(json) => (json, control),
+                Err(e) => (e.to_json(), control),
+            }
+        }
+    };
+    (response.to_string(), control)
+}
+
+fn ok() -> Json {
+    Json::obj([("ok", Json::Bool(true))])
+}
+
+fn dispatch(
+    registry: &Registry,
+    counters: &ServerCounters,
+    opts: &MeasureOptions,
+    request: Request,
+) -> Result<Json, ServerError> {
+    match request {
+        Request::Ping => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("pong", Json::Bool(true)),
+        ])),
+        Request::Quit | Request::Shutdown => Ok(ok()),
+        Request::Sessions => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            (
+                "sessions",
+                Json::Arr(registry.names().into_iter().map(Json::Str).collect()),
+            ),
+        ])),
+        Request::Create {
+            session,
+            csv,
+            dc,
+            mode,
+        } => {
+            let s = registry.create(&session, &csv, &dc, mode)?;
+            let mut summary = s.summary();
+            if let Json::Obj(entries) = &mut summary {
+                entries.insert(0, ("ok".to_string(), Json::Bool(true)));
+            }
+            Ok(summary)
+        }
+        Request::Drop { session } => {
+            registry.drop_session(&session)?;
+            Ok(ok())
+        }
+        Request::Op { session, ops } => registry.get(&session)?.apply_ops(&ops),
+        Request::Measure {
+            session,
+            measures,
+            per_dc,
+        } => registry.get(&session)?.measure(&measures, per_dc, opts),
+        Request::Stats { session } => match session {
+            Some(name) => {
+                let mut stats = registry.get(&name)?.stats();
+                if let Json::Obj(entries) = &mut stats {
+                    entries.insert(0, ("ok".to_string(), Json::Bool(true)));
+                }
+                Ok(stats)
+            }
+            None => Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                (
+                    "server",
+                    Json::obj([
+                        (
+                            "requests",
+                            Json::Num(counters.requests.load(Ordering::SeqCst) as f64),
+                        ),
+                        (
+                            "connections",
+                            Json::Num(counters.connections.load(Ordering::SeqCst) as f64),
+                        ),
+                    ]),
+                ),
+                (
+                    "sessions",
+                    Json::Arr(registry.all().iter().map(|s| s.stats()).collect()),
+                ),
+            ])),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "City,Country,Pop\\nParis,FR,1\\nParis,DE,2\\nLyon,FR,3\\n";
+    const DC: &str = "fd: t.City = t'.City & t.Country != t'.Country\\n";
+
+    fn route(reg: &Registry, counters: &ServerCounters, line: &str) -> (Json, Control) {
+        let opts = MeasureOptions::default();
+        let (resp, control) = route_line(reg, counters, &opts, line);
+        (Json::parse(&resp).expect("response is valid JSON"), control)
+    }
+
+    #[test]
+    fn full_session_flow_over_the_router() {
+        let reg = Registry::new(1);
+        let counters = ServerCounters::default();
+        let (pong, c) = route(&reg, &counters, "{\"cmd\":\"ping\"}");
+        assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+        assert_eq!(c, Control::Continue);
+
+        let create = format!(
+            "{{\"cmd\":\"create\",\"session\":\"cities\",\"csv\":\"{CSV}\",\"dc\":\"{DC}\"}}"
+        );
+        let (created, _) = route(&reg, &counters, &create);
+        assert_eq!(
+            created.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{created}"
+        );
+        assert_eq!(created.get("tuples").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(created.get("raw").and_then(Json::as_f64), Some(1.0));
+
+        let (measured, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"measure\",\"session\":\"cities\",\"measures\":[\"I_MI\",\"I_R\"]}",
+        );
+        let values = measured.get("values").expect("values");
+        assert_eq!(values.get("I_MI").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(values.get("I_R").and_then(Json::as_f64), Some(1.0));
+
+        let (op, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"op\",\"session\":\"cities\",\"ops\":\"update 1 Country FR\"}",
+        );
+        assert_eq!(op.get("applied").and_then(Json::as_f64), Some(1.0));
+
+        let (stats, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"stats\",\"session\":\"cities\"}",
+        );
+        assert_eq!(stats.get("ops_applied").and_then(Json::as_f64), Some(1.0));
+
+        let (sessions, _) = route(&reg, &counters, "{\"cmd\":\"sessions\"}");
+        assert_eq!(
+            sessions
+                .get("sessions")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+
+        // Ops parse errors surface as protocol responses with line context.
+        let (bad, c) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"op\",\"session\":\"cities\",\"ops\":\"explode 9\"}",
+        );
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(bad.get("kind").and_then(Json::as_str), Some("ops"));
+        assert!(bad
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("explode 9"));
+        assert_eq!(c, Control::Continue);
+
+        let (_, c) = route(&reg, &counters, "{\"cmd\":\"quit\"}");
+        assert_eq!(c, Control::Close);
+        let (_, c) = route(&reg, &counters, "{\"cmd\":\"shutdown\"}");
+        assert_eq!(c, Control::Shutdown);
+
+        let (global, _) = route(&reg, &counters, "{\"cmd\":\"stats\"}");
+        let served = global
+            .get("server")
+            .and_then(|s| s.get("requests"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(served >= 9.0, "{served}");
+    }
+
+    #[test]
+    fn unknown_session_and_malformed_json_are_reported() {
+        let reg = Registry::new(1);
+        let counters = ServerCounters::default();
+        let (resp, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"measure\",\"session\":\"nope\"}",
+        );
+        assert_eq!(
+            resp.get("kind").and_then(Json::as_str),
+            Some("unknown_session")
+        );
+        let (resp, _) = route(&reg, &counters, "{{{{");
+        assert_eq!(resp.get("kind").and_then(Json::as_str), Some("protocol"));
+    }
+}

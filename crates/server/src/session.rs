@@ -1,0 +1,600 @@
+//! The session registry: named live databases and their reader/writer
+//! paths.
+//!
+//! A [`Session`] owns one [`IncrementalIndex`] behind a
+//! `parking_lot::RwLock`. The lock discipline is *optimistic read →
+//! upgrade on miss*:
+//!
+//! * **reads** (`measure`) first take the **read** lock and answer from
+//!   the index's `try_*` cache-only accessors. When every touched
+//!   component is clean this succeeds, so measure reads from many
+//!   connections run concurrently — the shared path never blocks another
+//!   reader. A counter pair ([`SessionCounters::shared_reads`] /
+//!   [`SessionCounters::max_concurrent_shared_reads`]) witnesses both the
+//!   hit rate and the actual overlap.
+//! * on a cache miss (some component was dirtied since the last warm
+//!   read) the reader upgrades: it drops the read lock, takes the
+//!   **write** lock, [`IncrementalIndex::warm`]s the precise dirty set
+//!   (fanning cover solves across the configured thread budget) and
+//!   answers exclusively.
+//! * **writes** (`op`) always take the write lock, apply the delta
+//!   maintenance, and tag every applied operation with a session-global
+//!   sequence number — the serialization witness: replaying the ops of a
+//!   concurrent run in sequence order through a fresh index reproduces
+//!   the served measure values bit for bit.
+//!
+//! The [`Registry`] maps names to sessions under its own `RwLock`; session
+//! creation (CSV + DC parse, full violation scan) happens outside that
+//! lock so a big `create` does not stall requests to other sessions.
+
+use crate::error::ServerError;
+use crate::protocol::Payload;
+use crate::wire::Json;
+use inconsist::incremental::{IncrementalIndex, ReadMode};
+use inconsist::measures::{InconsistencyMeasure, MaximalConsistentSubsets, MeasureOptions};
+use inconsist::relational::{RelId, RelationSchema};
+use inconsist_formats::csv::load_csv;
+use inconsist_formats::dcfile::parse_dc_file;
+use inconsist_formats::opsfile::{display_op, parse_ops_file};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Lock-free per-session instrumentation.
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    /// Operations applied (no-ops excluded).
+    pub ops_applied: AtomicU64,
+    /// Next op sequence number (equals total ops attempted).
+    pub op_seq: AtomicU64,
+    /// Measure requests answered entirely under the read lock.
+    pub shared_reads: AtomicU64,
+    /// Measure requests that had to upgrade to the write lock.
+    pub exclusive_reads: AtomicU64,
+    /// Readers currently inside the shared critical section.
+    pub reads_in_flight: AtomicU64,
+    /// High-water mark of simultaneous shared readers — `> 1` proves
+    /// clean-component reads did not serialize behind each other.
+    pub max_concurrent_shared_reads: AtomicU64,
+}
+
+/// One named live database: an incremental index plus everything needed
+/// to parse further operations against it.
+pub struct Session {
+    name: String,
+    rel: RelId,
+    rel_schema: Arc<RelationSchema>,
+    mode: ReadMode,
+    index: RwLock<IncrementalIndex>,
+    counters: SessionCounters,
+}
+
+impl Session {
+    /// Loads CSV + DC text into a fresh session (full violation scan).
+    pub fn open(
+        name: &str,
+        csv_text: &str,
+        dc_text: &str,
+        mode: ReadMode,
+        solve_threads: usize,
+    ) -> Result<Session, ServerError> {
+        let loaded = load_csv(csv_text, name).map_err(ServerError::Load)?;
+        let dcs = parse_dc_file(&loaded.schema, name, dc_text).map_err(ServerError::Load)?;
+        let mut cs = inconsist::constraints::ConstraintSet::new(Arc::clone(&loaded.schema));
+        for dc in dcs {
+            cs.add_dc(dc);
+        }
+        let rel_schema = loaded.db.relation_schema(loaded.rel).clone();
+        let mut index = IncrementalIndex::build_with_mode(loaded.db, cs, mode)
+            .map_err(|e| ServerError::Measure(e.to_string()))?;
+        index.set_solve_threads(solve_threads);
+        Ok(Session {
+            name: name.to_string(),
+            rel: loaded.rel,
+            rel_schema,
+            mode,
+            index: RwLock::new(index),
+            counters: SessionCounters::default(),
+        })
+    }
+
+    /// The session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instrumentation counters.
+    pub fn counters(&self) -> &SessionCounters {
+        &self.counters
+    }
+
+    /// Summary for `create`/`sessions` responses (takes the read lock).
+    pub fn summary(&self) -> Json {
+        let idx = self.index.read();
+        Json::obj([
+            ("session", Json::str(self.name.clone())),
+            ("tuples", Json::Num(idx.db().len() as f64)),
+            ("constraints", Json::Num(idx.constraints().len() as f64)),
+            ("raw", Json::Num(idx.raw_violations() as f64)),
+            ("components", Json::Num(idx.component_count() as f64)),
+            (
+                "mode",
+                Json::str(match self.mode {
+                    ReadMode::Component => "component",
+                    ReadMode::Global => "global",
+                }),
+            ),
+        ])
+    }
+
+    /// Writer path: parse `.ops` lines (schema-typed, line-numbered
+    /// errors) and apply them under the write lock, tagging each with its
+    /// global sequence number.
+    pub fn apply_ops(&self, ops_text: &str) -> Result<Json, ServerError> {
+        let ops = parse_ops_file(&self.rel_schema, self.rel, ops_text).map_err(ServerError::Ops)?;
+        let mut applied = 0u64;
+        let mut echo = Vec::with_capacity(ops.len());
+        {
+            let mut idx = self.index.write();
+            for op in &ops {
+                let seq = self.counters.op_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                let did = idx.apply(op);
+                applied += u64::from(did);
+                echo.push(Json::obj([
+                    ("seq", Json::Num(seq as f64)),
+                    ("op", Json::str(display_op(op, &self.rel_schema))),
+                    ("applied", Json::Bool(did)),
+                ]));
+            }
+        }
+        self.counters
+            .ops_applied
+            .fetch_add(applied, Ordering::SeqCst);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::str(self.name.clone())),
+            ("applied", Json::Num(applied as f64)),
+            ("noops", Json::Num((ops.len() as u64 - applied) as f64)),
+            ("ops", Json::Arr(echo)),
+        ]))
+    }
+
+    /// Reader path: optimistic shared read, upgraded to an exclusive
+    /// evaluation only when a cache miss forces it. The exclusive path
+    /// computes *only* the requested measures (each `&mut` reader fills
+    /// exactly the caches it needs), so a cheap request — say, `I_MI`
+    /// alone — never pays for an unrequested budgeted cover solve.
+    pub fn measure(
+        &self,
+        measures: &[String],
+        per_dc: bool,
+        opts: &MeasureOptions,
+    ) -> Result<Json, ServerError> {
+        // Shared attempt: `&self` reads under the read lock.
+        {
+            let idx = self.index.read();
+            let in_flight = self.counters.reads_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.counters
+                .max_concurrent_shared_reads
+                .fetch_max(in_flight, Ordering::SeqCst);
+            let answer = self.try_shared(&idx, measures, per_dc, opts);
+            self.counters.reads_in_flight.fetch_sub(1, Ordering::SeqCst);
+            if let Some(values) = answer? {
+                self.counters.shared_reads.fetch_add(1, Ordering::SeqCst);
+                return Ok(self.measure_response("shared", values));
+            }
+        }
+        // Upgrade: evaluate the requested measures exclusively.
+        let mut idx = self.index.write();
+        let mut values: Vec<(String, Json)> = Vec::with_capacity(measures.len() + 1);
+        for m in measures {
+            values.push((m.clone(), eval_exclusive(&mut idx, m, opts)?));
+        }
+        if per_dc {
+            let counts = idx.i_mi_by_dc();
+            values.push(("per_dc".into(), per_dc_json(&idx, counts)));
+        }
+        drop(idx);
+        self.counters.exclusive_reads.fetch_add(1, Ordering::SeqCst);
+        Ok(self.measure_response("exclusive", values))
+    }
+
+    /// Tries to answer every requested measure from caches alone
+    /// (`Ok(None)` = some cache is cold, upgrade to the write lock).
+    fn try_shared(
+        &self,
+        idx: &IncrementalIndex,
+        measures: &[String],
+        per_dc: bool,
+        opts: &MeasureOptions,
+    ) -> Result<Option<Vec<(String, Json)>>, ServerError> {
+        let mut values: Vec<(String, Json)> = Vec::with_capacity(measures.len() + 1);
+        for m in measures {
+            match eval_shared(idx, m, opts)? {
+                Some(v) => values.push((m.clone(), v)),
+                None => return Ok(None),
+            }
+        }
+        if per_dc {
+            match idx.try_i_mi_by_dc() {
+                Some(counts) => values.push(("per_dc".into(), per_dc_json(idx, counts))),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(values))
+    }
+
+    fn measure_response(&self, path: &'static str, values: Vec<(String, Json)>) -> Json {
+        let per_dc = values
+            .iter()
+            .position(|(k, _)| k == "per_dc")
+            .map(|i| values[i].1.clone());
+        let plain: Vec<(String, Json)> =
+            values.into_iter().filter(|(k, _)| k != "per_dc").collect();
+        let mut entries = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("session".to_string(), Json::str(self.name.clone())),
+            ("path".to_string(), Json::str(path)),
+            ("values".to_string(), Json::Obj(plain)),
+        ];
+        if let Some(d) = per_dc {
+            entries.push(("per_dc".to_string(), d));
+        }
+        Json::Obj(entries)
+    }
+
+    /// Counters, read-path instrumentation and cache hit rates.
+    pub fn stats(&self) -> Json {
+        let (read_stats, live) = {
+            let idx = self.index.read();
+            (
+                idx.stats(),
+                Json::obj([
+                    ("tuples", Json::Num(idx.db().len() as f64)),
+                    ("raw", Json::Num(idx.raw_violations() as f64)),
+                    ("components", Json::Num(idx.component_count() as f64)),
+                    (
+                        "dirty_components",
+                        Json::Num(idx.dirty_component_count() as f64),
+                    ),
+                ]),
+            )
+        };
+        let rate = |hits: u64, misses: u64| {
+            let total = hits + misses;
+            if total == 0 {
+                Json::Null
+            } else {
+                Json::Num(hits as f64 / total as f64)
+            }
+        };
+        let c = &self.counters;
+        let shared = c.shared_reads.load(Ordering::SeqCst);
+        let exclusive = c.exclusive_reads.load(Ordering::SeqCst);
+        Json::obj([
+            ("session", Json::str(self.name.clone())),
+            ("live", live),
+            (
+                "ops_applied",
+                Json::Num(c.ops_applied.load(Ordering::SeqCst) as f64),
+            ),
+            ("op_seq", Json::Num(c.op_seq.load(Ordering::SeqCst) as f64)),
+            ("shared_reads", Json::Num(shared as f64)),
+            ("exclusive_reads", Json::Num(exclusive as f64)),
+            (
+                "max_concurrent_shared_reads",
+                Json::Num(c.max_concurrent_shared_reads.load(Ordering::SeqCst) as f64),
+            ),
+            ("shared_read_rate", rate(shared, exclusive)),
+            (
+                "read_stats",
+                Json::obj([
+                    ("filter_runs", Json::Num(read_stats.filter_runs as f64)),
+                    (
+                        "filter_cache_hits",
+                        Json::Num(read_stats.filter_cache_hits as f64),
+                    ),
+                    ("cover_solves", Json::Num(read_stats.cover_solves as f64)),
+                    (
+                        "cover_cache_hits",
+                        Json::Num(read_stats.cover_cache_hits as f64),
+                    ),
+                    ("lin_solves", Json::Num(read_stats.lin_solves as f64)),
+                    (
+                        "lin_cache_hits",
+                        Json::Num(read_stats.lin_cache_hits as f64),
+                    ),
+                ]),
+            ),
+            (
+                "cache_hit_rates",
+                Json::obj([
+                    (
+                        "filter",
+                        rate(read_stats.filter_cache_hits, read_stats.filter_runs),
+                    ),
+                    (
+                        "cover",
+                        rate(read_stats.cover_cache_hits, read_stats.cover_solves),
+                    ),
+                    (
+                        "lin",
+                        rate(read_stats.lin_cache_hits, read_stats.lin_solves),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Evaluates one measure from caches only (`Ok(None)` = dirty, upgrade).
+fn eval_shared(
+    idx: &IncrementalIndex,
+    name: &str,
+    opts: &MeasureOptions,
+) -> Result<Option<Json>, ServerError> {
+    let value = match name {
+        "I_d" => Some(idx.i_d()),
+        "raw" => Some(idx.raw_violations() as f64),
+        "components" => Some(idx.component_count() as f64),
+        "I_MI" => idx.try_i_mi(),
+        "I_P" => idx.try_i_p(),
+        "I_MI^dc" => idx.try_i_mi_dc(),
+        "I_R" => idx.try_i_r(opts),
+        "I_R^lin" => idx.try_i_r_lin(),
+        "I_MC" => return mc_json(idx, opts).map(Some),
+        _ => None,
+    };
+    Ok(value.map(Json::Num))
+}
+
+/// Evaluates one measure with the cache-filling (`&mut`) readers.
+fn eval_exclusive(
+    idx: &mut IncrementalIndex,
+    name: &str,
+    opts: &MeasureOptions,
+) -> Result<Json, ServerError> {
+    Ok(match name {
+        "I_d" => Json::Num(idx.i_d()),
+        "raw" => Json::Num(idx.raw_violations() as f64),
+        "components" => Json::Num(idx.component_count() as f64),
+        "I_MI" => Json::Num(idx.i_mi()),
+        "I_P" => Json::Num(idx.i_p()),
+        "I_MI^dc" => Json::Num(idx.i_mi_dc()),
+        "I_R" => Json::Num(idx.i_r(opts)?),
+        "I_R^lin" => Json::Num(idx.i_r_lin()?),
+        "I_MC" => mc_json(idx, opts)?,
+        other => return Err(ServerError::Protocol(format!("unknown measure `{other}`"))),
+    })
+}
+
+/// `I_MC` has no incremental cache; it is evaluated from the live
+/// database, which is a pure read and therefore safe on the shared path.
+/// Budget exhaustion fails the request with `kind: "measure"`, like
+/// every other measure.
+fn mc_json(idx: &IncrementalIndex, opts: &MeasureOptions) -> Result<Json, ServerError> {
+    let mc = MaximalConsistentSubsets { options: *opts };
+    mc.eval(idx.constraints(), idx.db())
+        .map(Json::Num)
+        .map_err(ServerError::from)
+}
+
+/// The per-constraint `I_MI^dc` drilldown, keyed by constraint name.
+fn per_dc_json(idx: &IncrementalIndex, counts: Vec<usize>) -> Json {
+    Json::Obj(
+        idx.constraints()
+            .dcs()
+            .iter()
+            .zip(counts)
+            .map(|(dc, n)| (dc.name.clone(), Json::Num(n as f64)))
+            .collect(),
+    )
+}
+
+/// The named-session registry.
+pub struct Registry {
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+    solve_threads: usize,
+}
+
+impl Registry {
+    /// An empty registry; sessions created through it fan dirty-component
+    /// solves across `solve_threads`.
+    pub fn new(solve_threads: usize) -> Registry {
+        Registry {
+            sessions: RwLock::new(HashMap::new()),
+            solve_threads: solve_threads.max(1),
+        }
+    }
+
+    /// Creates a session; the expensive load runs outside the map lock.
+    pub fn create(
+        &self,
+        name: &str,
+        csv: &Payload,
+        dc: &Payload,
+        mode: ReadMode,
+    ) -> Result<Arc<Session>, ServerError> {
+        if name.is_empty() {
+            return Err(ServerError::Protocol("empty session name".into()));
+        }
+        if self.sessions.read().contains_key(name) {
+            return Err(ServerError::SessionExists(name.to_string()));
+        }
+        let csv_text = csv.read()?;
+        let dc_text = dc.read()?;
+        let session = Arc::new(Session::open(
+            name,
+            &csv_text,
+            &dc_text,
+            mode,
+            self.solve_threads,
+        )?);
+        let mut map = self.sessions.write();
+        if map.contains_key(name) {
+            return Err(ServerError::SessionExists(name.to_string()));
+        }
+        map.insert(name.to_string(), Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Drops a session (in-flight requests holding its `Arc` finish
+    /// normally).
+    pub fn drop_session(&self, name: &str) -> Result<(), ServerError> {
+        self.sessions
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
+    }
+
+    /// Looks a session up.
+    pub fn get(&self, name: &str) -> Result<Arc<Session>, ServerError> {
+        self.sessions
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownSession(name.to_string()))
+    }
+
+    /// Live session names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sessions.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// All live sessions, sorted by name.
+    pub fn all(&self) -> Vec<Arc<Session>> {
+        let map = self.sessions.read();
+        let mut all: Vec<Arc<Session>> = map.values().cloned().collect();
+        all.sort_by(|a, b| a.name().cmp(b.name()));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "City,Country,Pop\nParis,FR,1\nParis,DE,2\nLyon,FR,3\nLyon,FR,4\n";
+    const DC: &str = "fd: t.City = t'.City & t.Country != t'.Country\n";
+
+    fn registry_with_session() -> (Registry, Arc<Session>) {
+        let reg = Registry::new(1);
+        let s = reg
+            .create(
+                "cities",
+                &Payload::Inline(CSV.into()),
+                &Payload::Inline(DC.into()),
+                ReadMode::Component,
+            )
+            .unwrap();
+        (reg, s)
+    }
+
+    fn value(resp: &Json, name: &str) -> f64 {
+        resp.get("values")
+            .and_then(|v| v.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("no {name} in {resp}"))
+    }
+
+    #[test]
+    fn measure_upgrades_then_shares() {
+        let (_reg, s) = registry_with_session();
+        let opts = MeasureOptions::default();
+        let all: Vec<String> = crate::protocol::DEFAULT_MEASURES
+            .iter()
+            .map(|m| m.to_string())
+            .collect();
+        // Cold: the first read must upgrade (caches are empty).
+        let first = s.measure(&all, true, &opts).unwrap();
+        assert_eq!(first.get("path").and_then(Json::as_str), Some("exclusive"));
+        assert_eq!(value(&first, "I_MI"), 1.0);
+        assert_eq!(value(&first, "I_R"), 1.0);
+        assert_eq!(
+            first
+                .get("per_dc")
+                .and_then(|d| d.get("fd"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // Warm: the second read is served shared, same values.
+        let second = s.measure(&all, true, &opts).unwrap();
+        assert_eq!(second.get("path").and_then(Json::as_str), Some("shared"));
+        assert_eq!(value(&second, "I_MI"), 1.0);
+        // A write that *dissolves* the only conflict leaves no dirty
+        // component, so the next read still serves shared.
+        let op = s.apply_ops("update 1 Country FR\n").unwrap();
+        assert_eq!(op.get("applied").and_then(Json::as_f64), Some(1.0));
+        let third = s.measure(&all, false, &opts).unwrap();
+        assert_eq!(third.get("path").and_then(Json::as_str), Some("shared"));
+        assert_eq!(value(&third, "I_MI"), 0.0);
+        assert_eq!(value(&third, "I_d"), 0.0);
+        // A write that *creates* a conflict dirties a component: upgrade.
+        s.apply_ops("update 3 Country IT\n").unwrap();
+        let fourth = s.measure(&all, false, &opts).unwrap();
+        assert_eq!(fourth.get("path").and_then(Json::as_str), Some("exclusive"));
+        assert_eq!(value(&fourth, "I_MI"), 1.0);
+        let c = s.counters();
+        assert_eq!(c.shared_reads.load(Ordering::SeqCst), 2);
+        assert_eq!(c.exclusive_reads.load(Ordering::SeqCst), 2);
+        assert_eq!(c.ops_applied.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn ops_errors_keep_line_context_and_apply_nothing() {
+        let (_reg, s) = registry_with_session();
+        let err = s.apply_ops("delete 0\nupdate 1 Nope x\n").unwrap_err();
+        assert_eq!(err.kind(), "ops");
+        let msg = err.to_string();
+        assert!(msg.contains("ops line 2"), "{msg}");
+        assert!(msg.contains("update 1 Nope x"), "{msg}");
+        // The parse failed before anything was applied: tuple 0 is alive.
+        let opts = MeasureOptions::default();
+        let resp = s.measure(&["raw".to_string()], false, &opts).unwrap();
+        assert_eq!(value(&resp, "raw"), 1.0);
+        assert_eq!(s.counters().op_seq.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn registry_lifecycle_and_duplicates() {
+        let (reg, _s) = registry_with_session();
+        assert_eq!(reg.names(), vec!["cities".to_string()]);
+        let dup = reg.create(
+            "cities",
+            &Payload::Inline(CSV.into()),
+            &Payload::Inline(DC.into()),
+            ReadMode::Component,
+        );
+        assert!(matches!(dup, Err(ServerError::SessionExists(_))));
+        assert!(reg.get("cities").is_ok());
+        reg.drop_session("cities").unwrap();
+        assert!(matches!(
+            reg.get("cities"),
+            Err(ServerError::UnknownSession(_))
+        ));
+        assert!(reg.drop_session("cities").is_err());
+        let bad = reg.create(
+            "bad",
+            &Payload::Inline("A,B\n1\n".into()),
+            &Payload::Inline(DC.into()),
+            ReadMode::Component,
+        );
+        assert!(matches!(bad, Err(ServerError::Load(_))));
+    }
+
+    #[test]
+    fn i_mc_serves_on_the_shared_path() {
+        let (_reg, s) = registry_with_session();
+        let opts = MeasureOptions::default();
+        s.measure(&["I_MI".to_string()], false, &opts).unwrap(); // warm
+        let resp = s
+            .measure(&["I_MC".to_string(), "I_MI".to_string()], false, &opts)
+            .unwrap();
+        assert_eq!(resp.get("path").and_then(Json::as_str), Some("shared"));
+        assert_eq!(value(&resp, "I_MC"), 1.0); // 2 repairs − 1
+    }
+}

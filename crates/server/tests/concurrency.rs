@@ -1,0 +1,192 @@
+//! Concurrency property test: random interleavings of client reads and
+//! writes against a live server yield measure values identical to a
+//! serialized from-scratch replay of the same operation sequence.
+//!
+//! Every applied operation is tagged by the server with a session-global
+//! sequence number assigned under the write lock, so "the same op
+//! sequence" is well defined even though the clients race: collecting
+//! each client's `(seq, op line)` pairs and sorting by `seq` recovers
+//! exactly the serialization the server executed. Replaying that
+//! sequence through a fresh [`IncrementalIndex`] must land on
+//! bit-identical measures — both the per-op `applied` verdicts and the
+//! final `I_MI`/`I_P`/`I_R`/`I_R^lin` values.
+
+use inconsist::incremental::IncrementalIndex;
+use inconsist::measures::MeasureOptions;
+use inconsist_formats::csv::load_csv;
+use inconsist_formats::dcfile::parse_dc_file;
+use inconsist_formats::opsfile::parse_ops_file;
+use inconsist_server::{serve, Client, Json, ServerConfig};
+use rand::prelude::*;
+use std::sync::Arc;
+
+const BLOCKS: i64 = 10;
+const ROWS_PER_BLOCK: i64 = 3;
+const CLIENTS: usize = 6;
+const REQUESTS_PER_CLIENT: usize = 25;
+
+/// A multi-component CSV: block `k` holds rows `(k, j)`; the FD `A → B`
+/// written as a DC makes every block an independent conflict component.
+fn fixture_csv() -> String {
+    let mut csv = "A,B\n".to_string();
+    for k in 0..BLOCKS {
+        for j in 0..ROWS_PER_BLOCK {
+            csv.push_str(&format!("{k},{}\n", ROWS_PER_BLOCK * k + j));
+        }
+    }
+    csv
+}
+
+const FIXTURE_DC: &str = "fd: t.A = t'.A & t.B != t'.B\n";
+
+/// One random op line; ids range over the initial rows plus headroom for
+/// the inserts the workload itself creates.
+fn random_op(rng: &mut StdRng) -> String {
+    let max_id = (BLOCKS * ROWS_PER_BLOCK) as u32 + (CLIENTS * REQUESTS_PER_CLIENT) as u32;
+    match rng.gen_range(0..10) {
+        0..=5 => format!(
+            "update {} B {}",
+            rng.gen_range(0..max_id),
+            rng.gen_range(0..100)
+        ),
+        6 | 7 => format!(
+            "insert {},{}",
+            rng.gen_range(0..BLOCKS),
+            rng.gen_range(0..100)
+        ),
+        _ => format!("delete {}", rng.gen_range(0..max_id)),
+    }
+}
+
+fn values_of(resp: &Json) -> Vec<(String, f64)> {
+    let Some(Json::Obj(entries)) = resp.get("values").cloned() else {
+        panic!("no values in {resp}");
+    };
+    entries
+        .into_iter()
+        .map(|(k, v)| (k, v.as_f64().expect("numeric measure")))
+        .collect()
+}
+
+#[test]
+fn interleaved_clients_match_serialized_replay() {
+    let measures = "[\"I_d\",\"I_MI\",\"I_P\",\"I_R\",\"I_R^lin\",\"raw\",\"components\"]";
+    for trial in 0..3u64 {
+        let handle = serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: CLIENTS + 1,
+            solve_threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let addr = handle.addr();
+        let csv = fixture_csv();
+
+        let mut admin = Client::connect(&addr).unwrap();
+        let create = format!(
+            "{{\"cmd\":\"create\",\"session\":\"t\",\"csv\":{},\"dc\":{}}}",
+            Json::str(csv.clone()),
+            Json::str(FIXTURE_DC)
+        );
+        let created = Json::parse(&admin.request(&create).unwrap()).unwrap();
+        assert_eq!(created.get("ok").and_then(Json::as_bool), Some(true));
+
+        // Race CLIENTS threads, each mixing measure reads and single-op
+        // writes; each records (seq, op line, applied) from the server's
+        // op responses.
+        let joins: Vec<_> = (0..CLIENTS)
+            .map(|who| {
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(1000 * trial + who as u64);
+                    let mut client = Client::connect(&addr).unwrap();
+                    let mut ops: Vec<(u64, String, bool)> = Vec::new();
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        if rng.gen_bool(0.5) {
+                            let line = "{\"cmd\":\"measure\",\"session\":\"t\",\
+                                 \"measures\":[\"I_MI\",\"I_P\",\"I_R\"],\"per_dc\":true}";
+                            let resp = Json::parse(&client.request(line).unwrap()).unwrap();
+                            assert_eq!(
+                                resp.get("ok").and_then(Json::as_bool),
+                                Some(true),
+                                "{resp}"
+                            );
+                        } else {
+                            let op = random_op(&mut rng);
+                            let line = format!(
+                                "{{\"cmd\":\"op\",\"session\":\"t\",\"ops\":{}}}",
+                                Json::str(op.clone())
+                            );
+                            let resp = Json::parse(&client.request(&line).unwrap()).unwrap();
+                            let echo = resp.get("ops").and_then(Json::as_arr).expect("ops echo");
+                            assert_eq!(echo.len(), 1, "{resp}");
+                            let seq =
+                                echo[0].get("seq").and_then(Json::as_f64).expect("seq") as u64;
+                            let applied = echo[0]
+                                .get("applied")
+                                .and_then(Json::as_bool)
+                                .expect("applied");
+                            ops.push((seq, op, applied));
+                        }
+                    }
+                    ops
+                })
+            })
+            .collect();
+        let mut all_ops: Vec<(u64, String, bool)> = Vec::new();
+        for join in joins {
+            all_ops.extend(join.join().expect("client thread"));
+        }
+        all_ops.sort_by_key(|(seq, _, _)| *seq);
+
+        // The server's final word on the measures.
+        let final_read = Json::parse(
+            &admin
+                .request(&format!(
+                    "{{\"cmd\":\"measure\",\"session\":\"t\",\"measures\":{measures}}}"
+                ))
+                .unwrap(),
+        )
+        .unwrap();
+        let served = values_of(&final_read);
+        admin.request("{\"cmd\":\"shutdown\"}").unwrap();
+        handle.wait();
+
+        // Serialized from-scratch replay of the recovered sequence.
+        let loaded = load_csv(&csv, "t").unwrap();
+        let dcs = parse_dc_file(&loaded.schema, "t", FIXTURE_DC).unwrap();
+        let mut cs = inconsist::constraints::ConstraintSet::new(Arc::clone(&loaded.schema));
+        for dc in dcs {
+            cs.add_dc(dc);
+        }
+        let rel_schema = loaded.db.relation_schema(loaded.rel).clone();
+        let mut idx = IncrementalIndex::build(loaded.db, cs).unwrap();
+        for (seq, op_line, served_applied) in &all_ops {
+            let ops = parse_ops_file(&rel_schema, loaded.rel, op_line).unwrap();
+            assert_eq!(ops.len(), 1);
+            let applied = idx.apply(&ops[0]);
+            assert_eq!(
+                applied, *served_applied,
+                "trial {trial}: op #{seq} `{op_line}` applied={served_applied} on the \
+                 server but {applied} in the serialized replay"
+            );
+        }
+        let opts = MeasureOptions::default();
+        let expected = vec![
+            ("I_d".to_string(), idx.i_d()),
+            ("I_MI".to_string(), idx.i_mi()),
+            ("I_P".to_string(), idx.i_p()),
+            ("I_R".to_string(), idx.i_r(&opts).unwrap()),
+            ("I_R^lin".to_string(), idx.i_r_lin().unwrap()),
+            ("raw".to_string(), idx.raw_violations() as f64),
+            ("components".to_string(), idx.component_count() as f64),
+        ];
+        assert_eq!(
+            served,
+            expected,
+            "trial {trial}: served measures diverged from the serialized replay \
+             of {} ops",
+            all_ops.len()
+        );
+        assert!(idx.self_check(), "replay index inconsistent");
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration smoke test (also run as a dedicated CI step): start a
+//! server, drive three concurrent clients through the full command
+//! surface, and assert a clean shutdown.
+
+use inconsist_server::{serve, Client, Json, ServerConfig};
+
+const CSV: &str = "City,Country,Pop\nParis,FR,1\nParis,DE,2\nLyon,FR,3\nLyon,FR,4\n";
+const DC: &str = "fd: t.City = t'.City & t.Country != t'.Country\n";
+
+fn ok(response: &str) -> Json {
+    let json = Json::parse(response).expect("valid JSON response");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{response}"
+    );
+    json
+}
+
+#[test]
+fn three_concurrent_clients_and_clean_shutdown() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    // Client 0 creates the session everyone shares.
+    let mut creator = Client::connect(&addr).unwrap();
+    let create = format!(
+        "{{\"cmd\":\"create\",\"session\":\"cities\",\"csv\":{},\"dc\":{}}}",
+        Json::str(CSV),
+        Json::str(DC)
+    );
+    let created = ok(&creator.request(&create).unwrap());
+    assert_eq!(created.get("tuples").and_then(Json::as_f64), Some(4.0));
+
+    // Three clients hammer the session concurrently.
+    let joins: Vec<_> = (0..3)
+        .map(|who| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for round in 0..20 {
+                    let response = match (who + round) % 4 {
+                        0 => client
+                            .request("{\"cmd\":\"measure\",\"session\":\"cities\",\"per_dc\":true}")
+                            .unwrap(),
+                        1 => client
+                            .request(
+                                "{\"cmd\":\"measure\",\"session\":\"cities\",\
+                                 \"measures\":[\"I_MI\",\"raw\",\"components\"]}",
+                            )
+                            .unwrap(),
+                        2 => {
+                            let line = format!(
+                                "{{\"cmd\":\"op\",\"session\":\"cities\",\
+                                 \"ops\":\"update 1 Pop {}\"}}",
+                                10 * who + round
+                            );
+                            client.request(&line).unwrap()
+                        }
+                        _ => client
+                            .request("{\"cmd\":\"stats\",\"session\":\"cities\"}")
+                            .unwrap(),
+                    };
+                    ok(&response);
+                }
+                client.request("{\"cmd\":\"quit\"}").unwrap()
+            })
+        })
+        .collect();
+    for join in joins {
+        ok(&join.join().expect("client thread"));
+    }
+
+    // With the writers gone, a warm read is answered on the shared path:
+    // the first read may upgrade (the last op dirtied a component), the
+    // second must hit every cache.
+    ok(&creator
+        .request("{\"cmd\":\"measure\",\"session\":\"cities\"}")
+        .unwrap());
+    let warm = ok(&creator
+        .request("{\"cmd\":\"measure\",\"session\":\"cities\"}")
+        .unwrap());
+    assert_eq!(warm.get("path").and_then(Json::as_str), Some("shared"));
+    let stats = ok(&creator
+        .request("{\"cmd\":\"stats\",\"session\":\"cities\"}")
+        .unwrap());
+    let shared = stats
+        .get("shared_reads")
+        .and_then(Json::as_f64)
+        .expect("shared_reads");
+    assert!(shared > 0.0, "{stats}");
+
+    // Global stats see all four connections.
+    let global = ok(&creator.request("{\"cmd\":\"stats\"}").unwrap());
+    let connections = global
+        .get("server")
+        .and_then(|s| s.get("connections"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(connections >= 4.0, "{global}");
+
+    // Shutdown drains cleanly and releases the port.
+    ok(&creator.request("{\"cmd\":\"shutdown\"}").unwrap());
+    handle.wait();
+    assert!(std::net::TcpListener::bind(addr).is_ok());
+}

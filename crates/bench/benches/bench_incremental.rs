@@ -268,7 +268,10 @@ fn ops_per_sec(
 /// (one timed replay each) for the global and component read paths on the
 /// long-sequence multi-component workload. Honors the same id filter as
 /// the criterion shim (`cargo bench -- <filter>` / `BENCH_FILTER`), so
-/// filtered runs targeting another group skip the replays.
+/// filtered runs targeting another group skip the replays. `BENCH_SMOKE=1`
+/// shrinks the workload for the CI smoke job (same code paths, reduced
+/// blocks/steps) — the regression gate compares against a baseline
+/// emitted in the same mode.
 fn emit_json_summary(_c: &mut Criterion) {
     let filter = std::env::args()
         .skip(1)
@@ -279,9 +282,9 @@ fn emit_json_summary(_c: &mut Criterion) {
             return;
         }
     }
-    let blocks = 120i64;
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (blocks, steps) = if smoke { (30i64, 60usize) } else { (120, 200) };
     let per_block = 4i64;
-    let steps = 200usize;
     let (db, cs) = multi_component(blocks, per_block);
     let trace = long_trace(&db, &cs, blocks, steps);
     let mut entries = String::new();

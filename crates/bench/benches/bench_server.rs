@@ -20,15 +20,27 @@
 //! the served measures are **bit-identical** — the same witness the
 //! `concurrency` integration test checks, here at load-test scale.
 //!
+//! A fourth **durability** phase exercises the write-ahead log directly
+//! (no sockets): for each fsync policy it applies a write-only op
+//! stream through a durable session, snapshots at the midpoint, then
+//! simulates a crash (drop without shutdown snapshot) and times
+//! [`Session::recover`] — asserting the recovered measures are
+//! bit-identical to the pre-crash session's. The JSON gains per-policy
+//! write amplification (log bytes ÷ logical op bytes), append
+//! throughput/latency and recovery time.
+//!
 //! Environment knobs: `BENCH_SERVER_CLIENTS` (default 8),
-//! `BENCH_SERVER_REQUESTS` (per client per phase, default 250).
+//! `BENCH_SERVER_REQUESTS` (per client per phase, default 250),
+//! `BENCH_SERVER_DURABLE_OPS` (default 600). `BENCH_SMOKE=1` shrinks all
+//! three for the CI smoke job (3 clients × 40 requests, 120 ops).
 
-use inconsist::incremental::IncrementalIndex;
+use inconsist::incremental::{IncrementalIndex, ReadMode};
 use inconsist::measures::MeasureOptions;
 use inconsist_formats::csv::load_csv;
 use inconsist_formats::dcfile::parse_dc_file;
 use inconsist_formats::opsfile::parse_ops_file;
-use inconsist_server::{serve, Client, Json, ServerConfig};
+use inconsist_server::durable::{DurabilityConfig, FsyncPolicy};
+use inconsist_server::{serve, Client, Json, ServerConfig, Session};
 use rand::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,6 +64,11 @@ fn env_usize(key: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Whether the CI smoke mode is on (reduced sizes, same code paths).
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// One client's phase result: latencies (µs) and the ops it got applied.
@@ -168,6 +185,130 @@ fn session_stat(client: &mut Client, key: &str) -> f64 {
         .unwrap_or_else(|| panic!("no {key} in {stats}"))
 }
 
+/// The measure vector asserted identical across crash recovery.
+fn session_measures(session: &Session) -> Vec<(String, f64)> {
+    let names: Vec<String> = ["I_d", "I_MI", "I_P", "I_R", "I_R^lin", "raw", "components"]
+        .iter()
+        .map(|m| m.to_string())
+        .collect();
+    let resp = session
+        .measure(&names, false, &MeasureOptions::default())
+        .expect("measure");
+    match resp.get("values") {
+        Some(Json::Obj(entries)) => entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().expect("numeric")))
+            .collect(),
+        other => panic!("no values: {other:?}"),
+    }
+}
+
+fn stat_f64(stats: &Json, path: &[&str]) -> f64 {
+    let mut cur = stats;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("no {key} in {stats}"));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("{path:?} not numeric"))
+}
+
+/// One durability run: write-only op stream through a durable session
+/// under `fsync`, midpoint snapshot, simulated crash, timed recovery,
+/// bit-identity assert. Returns the JSON entry.
+fn durability_run(csv: &str, fsync: FsyncPolicy, ops_count: usize, seed: u64) -> String {
+    let data_dir = std::env::temp_dir().join(format!(
+        "inconsist-bench-durable-{}-{}",
+        std::process::id(),
+        fsync.name()
+    ));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let cfg = DurabilityConfig {
+        data_dir: data_dir.clone(),
+        fsync,
+        snapshot_every: None,
+    };
+    let session = Session::open(
+        "bench",
+        csv,
+        DC,
+        ReadMode::Component,
+        1,
+        MeasureOptions::default(),
+        Some(&cfg),
+    )
+    .expect("open durable session");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_id = (BLOCKS * ROWS_PER_BLOCK) as u32 + ops_count as u32;
+    let mut latencies: Vec<f64> = Vec::with_capacity(ops_count);
+    let started = Instant::now();
+    for i in 0..ops_count {
+        let op = match rng.gen_range(0..10) {
+            0..=6 => format!(
+                "update {} B {}",
+                rng.gen_range(0..max_id),
+                rng.gen_range(0..10_000)
+            ),
+            7 | 8 => format!(
+                "insert {},{}",
+                rng.gen_range(0..BLOCKS),
+                rng.gen_range(0..10_000)
+            ),
+            _ => format!("delete {}", rng.gen_range(0..max_id)),
+        };
+        let sent = Instant::now();
+        session.apply_ops(&op).expect("durable op");
+        latencies.push(sent.elapsed().as_secs_f64() * 1e6);
+        if i == ops_count / 2 {
+            session.snapshot().expect("midpoint snapshot");
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let stats = session.stats();
+    let log_bytes = stat_f64(&stats, &["durability", "appended_bytes"]);
+    let logical_bytes = stat_f64(&stats, &["durability", "logical_bytes"]);
+    let amplification = log_bytes / logical_bytes;
+    let expected = session_measures(&session);
+    drop(session); // kill -9: no shutdown snapshot, log tail left behind
+
+    let recover_started = Instant::now();
+    let recovered = Session::recover(&cfg, "bench", 1, MeasureOptions::default()).expect("recover");
+    let recover_ms = recover_started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        session_measures(&recovered),
+        expected,
+        "recovered measures diverged from the pre-crash session ({})",
+        fsync.name()
+    );
+    let rstats = recovered.stats();
+    let replayed = stat_f64(&rstats, &["durability", "recovery", "replayed"]);
+    let snapshot_seq = stat_f64(&rstats, &["durability", "recovery", "snapshot_seq"]);
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    println!(
+        "bench_server/durability fsync={:<6} {ops_count} ops, {:.0} ops/s, \
+         p99 {:.0}µs, write amp {:.2}x, recovery {recover_ms:.1}ms \
+         ({replayed:.0} replayed over snapshot seq {snapshot_seq:.0})",
+        fsync.name(),
+        ops_count as f64 / elapsed,
+        percentile(&latencies, 0.99),
+        amplification,
+    );
+    format!(
+        "    {{\"fsync\": \"{}\", \"ops\": {ops_count}, \"ops_per_sec\": {:.1}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"log_bytes\": {log_bytes}, \
+         \"logical_bytes\": {logical_bytes}, \"write_amplification\": {amplification:.4}, \
+         \"snapshot_seq\": {snapshot_seq}, \"replayed\": {replayed}, \
+         \"recovery_ms\": {recover_ms:.2}, \"identical\": true}}",
+        fsync.name(),
+        ops_count as f64 / elapsed,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    )
+}
+
 fn main() {
     // Honor the same id filter as the criterion shim so filtered bench
     // runs targeting another group skip the load test.
@@ -176,13 +317,16 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .or_else(|| std::env::var("BENCH_FILTER").ok());
     if let Some(f) = filter {
-        if !"server_load".contains(f.as_str()) {
+        if !"server_load durability".contains(f.as_str()) {
             println!("bench_server: skipped by filter `{f}`");
             return;
         }
     }
-    let clients = env_usize("BENCH_SERVER_CLIENTS", 8);
-    let requests = env_usize("BENCH_SERVER_REQUESTS", 250);
+    let (default_clients, default_requests, default_durable_ops) =
+        if smoke() { (3, 40, 120) } else { (8, 250, 600) };
+    let clients = env_usize("BENCH_SERVER_CLIENTS", default_clients);
+    let requests = env_usize("BENCH_SERVER_REQUESTS", default_requests);
+    let durable_ops = env_usize("BENCH_SERVER_DURABLE_OPS", default_durable_ops);
     let csv = fixture_csv();
 
     let handle = serve(ServerConfig {
@@ -319,11 +463,19 @@ fn main() {
         all_ops.len()
     );
 
+    // Durability: write amplification and crash-recovery time per fsync
+    // policy, with the recovery bit-identity asserted inside each run.
+    let durability_entries = [FsyncPolicy::Never, FsyncPolicy::Always]
+        .iter()
+        .map(|&fsync| durability_run(&csv, fsync, durable_ops, 0xD0_0DAD))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         "{{\n  \"bench\": \"bench_server\",\n  \"workload\": {{\"blocks\": {BLOCKS}, \
          \"tuples\": {}, \"clients\": {clients}, \"requests_per_client\": {requests}}},\n  \
          \"phases\": [\n{phase_entries}\n  ],\n  \"replay\": {{\"ops\": {}, \
-         \"identical\": true}}\n}}\n",
+         \"identical\": true}},\n  \"durability\": [\n{durability_entries}\n  ]\n}}\n",
         BLOCKS * ROWS_PER_BLOCK,
         all_ops.len()
     );

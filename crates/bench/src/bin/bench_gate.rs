@@ -1,0 +1,233 @@
+//! The bench-regression gate: compares the JSON summaries the benches
+//! emit (`target/bench_incremental.json`, `target/bench_server.json`)
+//! against a committed baseline and fails on regressions past the
+//! tolerance. Fully offline — the comparison logic lives here, in the
+//! workspace, not in CI YAML.
+//!
+//! ```text
+//! bench_gate check  ci/bench_baseline.json target   # exit 1 on regression
+//! bench_gate update ci/bench_baseline.json target   # rewrite baseline values
+//! ```
+//!
+//! The baseline file declares tracked metrics; each names a summary
+//! file, an array inside it, the fields selecting one element, the
+//! metric key, and which direction is *better*:
+//!
+//! ```json
+//! {
+//!   "default_tolerance": 0.30,
+//!   "metrics": [
+//!     {"name": "server read_heavy throughput", "file": "bench_server.json",
+//!      "array": "phases", "select": {"phase": "read_heavy"},
+//!      "key": "throughput_rps", "direction": "higher", "baseline": 9000.0}
+//!   ]
+//! }
+//! ```
+//!
+//! `direction: "higher"` fails when `current < baseline × (1 − tol)`;
+//! `"lower"` (latencies, write amplification) fails when
+//! `current > baseline × (1 + tol)`. Improvements never fail — rerun
+//! with `update` to ratchet the baseline. Throughput baselines are
+//! recorded in the same `BENCH_SMOKE=1` mode CI runs, so the comparison
+//! is like-for-like.
+
+use inconsist_server::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Metric {
+    name: String,
+    file: String,
+    array: String,
+    select: Vec<(String, Json)>,
+    key: String,
+    higher_is_better: bool,
+    /// Tolerance explicitly set on this metric (preserved by `update`);
+    /// `None` falls back to the file-level default.
+    explicit_tolerance: Option<f64>,
+    tolerance: f64,
+    baseline: f64,
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("metric is missing string field `{key}`"))
+}
+
+fn parse_baseline(text: &str) -> Result<(f64, Vec<Metric>), String> {
+    let root = Json::parse(text)?;
+    let default_tolerance = root
+        .get("default_tolerance")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.30);
+    let Some(entries) = root.get("metrics").and_then(Json::as_arr) else {
+        return Err("baseline has no `metrics` array".into());
+    };
+    let mut metrics = Vec::new();
+    for entry in entries {
+        let select = match entry.get("select") {
+            Some(Json::Obj(pairs)) => pairs.clone(),
+            _ => Vec::new(),
+        };
+        let direction = str_field(entry, "direction")?;
+        let higher_is_better = match direction.as_str() {
+            "higher" => true,
+            "lower" => false,
+            other => return Err(format!("direction must be higher|lower, got `{other}`")),
+        };
+        let explicit_tolerance = entry.get("tolerance").and_then(Json::as_f64);
+        metrics.push(Metric {
+            name: str_field(entry, "name")?,
+            file: str_field(entry, "file")?,
+            array: str_field(entry, "array")?,
+            select,
+            key: str_field(entry, "key")?,
+            higher_is_better,
+            explicit_tolerance,
+            tolerance: explicit_tolerance.unwrap_or(default_tolerance),
+            baseline: entry
+                .get("baseline")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "metric is missing numeric `baseline`".to_string())?,
+        });
+    }
+    Ok((default_tolerance, metrics))
+}
+
+/// Finds the metric's current value inside the summary directory.
+fn current_value(dir: &Path, metric: &Metric) -> Result<f64, String> {
+    let path = dir.join(&metric.file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e} (did the bench run?)", path.display()))?;
+    let root = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let items = root
+        .get(&metric.array)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: no `{}` array", path.display(), metric.array))?;
+    let element = items
+        .iter()
+        .find(|item| metric.select.iter().all(|(k, v)| item.get(k) == Some(v)))
+        .ok_or_else(|| {
+            format!(
+                "{}: no element of `{}` matches {:?}",
+                path.display(),
+                metric.array,
+                metric
+                    .select
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+            )
+        })?;
+    element
+        .get(&metric.key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| {
+            format!(
+                "{}: selected element has no numeric `{}`",
+                path.display(),
+                metric.key
+            )
+        })
+}
+
+fn render_baseline(default_tolerance: f64, metrics: &[Metric]) -> String {
+    let mut out = format!("{{\n  \"default_tolerance\": {default_tolerance},\n  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let select = m
+            .select
+            .iter()
+            .map(|(k, v)| format!("{}: {v}", Json::str(k.clone())))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let tolerance = match m.explicit_tolerance {
+            Some(t) => format!("\"tolerance\": {t}, "),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"file\": {}, \"array\": {}, \"select\": {{{select}}}, \
+             \"key\": {}, \"direction\": \"{}\", {tolerance}\"baseline\": {:.1}}}{}\n",
+            Json::str(m.name.clone()),
+            Json::str(m.file.clone()),
+            Json::str(m.array.clone()),
+            Json::str(m.key.clone()),
+            if m.higher_is_better {
+                "higher"
+            } else {
+                "lower"
+            },
+            m.baseline,
+            if i + 1 == metrics.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [mode, baseline_path, dir] = args.as_slice() else {
+        return Err("usage: bench_gate <check|update> <baseline.json> <summary-dir>".into());
+    };
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let (default_tolerance, mut metrics) = parse_baseline(&text)?;
+    let dir = PathBuf::from(dir);
+    let mut failures = 0usize;
+    for metric in &mut metrics {
+        let current = current_value(&dir, metric)?;
+        let (regressed, bound) = if metric.higher_is_better {
+            let bound = metric.baseline * (1.0 - metric.tolerance);
+            (current < bound, bound)
+        } else {
+            let bound = metric.baseline * (1.0 + metric.tolerance);
+            (current > bound, bound)
+        };
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        println!(
+            "{verdict:>9}  {:<44} baseline {:>12.1}  current {current:>12.1}  \
+             ({} is better, limit {bound:.1})",
+            metric.name,
+            metric.baseline,
+            if metric.higher_is_better {
+                "higher"
+            } else {
+                "lower"
+            },
+        );
+        failures += usize::from(regressed);
+        metric.baseline = current;
+    }
+    match mode.as_str() {
+        "check" => {
+            if failures > 0 {
+                println!(
+                    "\n{failures} tracked metric(s) regressed more than their tolerance \
+                     (default {default_tolerance:.0}%)",
+                    default_tolerance = default_tolerance * 100.0
+                );
+            }
+            Ok(failures == 0)
+        }
+        "update" => {
+            std::fs::write(baseline_path, render_baseline(default_tolerance, &metrics))
+                .map_err(|e| format!("{baseline_path}: {e}"))?;
+            println!("\nwrote updated baselines to {baseline_path}");
+            Ok(true)
+        }
+        other => Err(format!("unknown mode `{other}` (use check|update)")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

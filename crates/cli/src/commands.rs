@@ -34,8 +34,9 @@ USAGE:
   inconsist progress <data.csv> <rules.dc> [--steps N]
   inconsist serve    [--addr HOST:PORT] [--workers N] [--solve-threads N]
                      [--mode component|global] [--preload name=data.csv,rules.dc]
-                     [--addr-file path]
-  inconsist client   <addr> [request-json ...]
+                     [--addr-file path] [--data-dir DIR] [--fsync always|never]
+                     [--snapshot-every N]
+  inconsist client   <addr> [request-json | snapshot NAME | compact NAME ...]
 
 FILES:
   data.csv   header + rows; column types are inferred (int/float/str)
@@ -57,9 +58,14 @@ COMMANDS:
   serve      run the measure server (line-delimited JSON over TCP); blocks
              until a client sends {\"cmd\":\"shutdown\"}; --preload opens a
              session from files before accepting; --addr-file writes the
-             bound address (useful with port 0)
+             bound address (useful with port 0); --data-dir makes sessions
+             durable (write-ahead op log + snapshots, recovered on
+             restart; --fsync picks the flush policy, --snapshot-every N
+             auto-snapshots and compacts after N ops)
   client     send request lines to a running server (from the arguments,
-             or stdin when none are given) and print the responses
+             or stdin when none are given) and print the responses;
+             `snapshot NAME` / `compact NAME` are shorthand for the
+             corresponding JSON requests
 ";
 
 /// Dispatches a parsed command line, returning the report to print.
@@ -388,11 +394,33 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
             ))
         }
     };
+    let durability = match cli.opt_str("data-dir") {
+        None => {
+            for flag in ["fsync", "snapshot-every"] {
+                if cli.opt_str(flag).is_some() {
+                    return Err(format!("--{flag} requires --data-dir"));
+                }
+            }
+            None
+        }
+        Some(dir) => {
+            let fsync =
+                inconsist_server::FsyncPolicy::parse(cli.opt_str("fsync").unwrap_or("always"))
+                    .map_err(|e| format!("--fsync: {e}"))?;
+            let every: u64 = cli.opt("snapshot-every", 0)?;
+            Some(inconsist_server::DurabilityConfig {
+                data_dir: Path::new(dir).to_path_buf(),
+                fsync,
+                snapshot_every: (every > 0).then_some(every),
+            })
+        }
+    };
     let config = inconsist_server::ServerConfig {
         addr: cli.opt_str("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: cli.opt("workers", 8)?,
         solve_threads: cli.opt("solve-threads", 1)?,
         mode,
+        durability,
         ..Default::default()
     };
     let handle = inconsist_server::serve(config).map_err(|e| e.to_string())?;
@@ -426,6 +454,26 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
     ))
 }
 
+/// Expands the `client` shorthand verbs (`snapshot NAME`, `compact NAME`)
+/// into their JSON requests; raw JSON lines pass through untouched.
+fn client_request_line(line: &str) -> Result<String, String> {
+    let trimmed = line.trim();
+    if trimmed.starts_with('{') {
+        return Ok(trimmed.to_string());
+    }
+    let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+    match tokens.as_slice() {
+        [verb @ ("snapshot" | "compact"), name] => Ok(format!(
+            "{{\"cmd\":\"{verb}\",\"session\":{}}}",
+            inconsist_server::Json::str(*name)
+        )),
+        _ => Err(format!(
+            "client request `{trimmed}`: expected a JSON object, `snapshot NAME` \
+             or `compact NAME`"
+        )),
+    }
+}
+
 /// `client`: send request lines (arguments or stdin) and print responses.
 fn cmd_client(cli: &Cli) -> Result<String, String> {
     use std::net::ToSocketAddrs;
@@ -437,7 +485,21 @@ fn cmd_client(cli: &Cli) -> Result<String, String> {
         .ok_or_else(|| format!("{addr_arg}: no address"))?;
     let mut client = inconsist_server::Client::connect(&addr).map_err(|e| e.to_string())?;
     let lines: Vec<String> = if cli.positional.len() > 1 {
-        cli.positional[1..].to_vec()
+        // Argv mode: a shorthand verb and its session name arrive as two
+        // arguments (`client ADDR snapshot cities`); stitch them back
+        // into one request line.
+        let mut lines = Vec::new();
+        let mut args = cli.positional[1..].iter().peekable();
+        while let Some(arg) = args.next() {
+            if matches!(arg.as_str(), "snapshot" | "compact")
+                && args.peek().is_some_and(|next| !next.starts_with('{'))
+            {
+                lines.push(format!("{arg} {}", args.next().expect("peeked")));
+            } else {
+                lines.push(arg.clone());
+            }
+        }
+        lines
     } else {
         use std::io::BufRead;
         std::io::stdin()
@@ -448,7 +510,8 @@ fn cmd_client(cli: &Cli) -> Result<String, String> {
     };
     let mut out = String::new();
     for line in lines.iter().filter(|l| !l.trim().is_empty()) {
-        out.push_str(&client.request(line.trim()).map_err(|e| e.to_string())?);
+        let request = client_request_line(line)?;
+        out.push_str(&client.request(&request).map_err(|e| e.to_string())?);
         out.push('\n');
     }
     Ok(out)
@@ -659,6 +722,130 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("--preload"), "{err}");
+    }
+
+    /// Starts `serve` with the given extra args on a free port and
+    /// returns the bound address plus the join handle.
+    fn spawn_server(
+        dir: &Path,
+        tag: &str,
+        extra: &[String],
+    ) -> (String, std::thread::JoinHandle<Result<String, String>>) {
+        let addr_file = dir.join(format!("addr-{tag}.txt"));
+        let _ = std::fs::remove_file(&addr_file);
+        let mut args: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--addr-file",
+            &addr_file.to_string_lossy(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        args.extend(extra.iter().cloned());
+        let server = std::thread::spawn(move || run(&Cli::parse(args).unwrap()));
+        let mut tries = 0;
+        let addr = loop {
+            match std::fs::read_to_string(&addr_file) {
+                Ok(s) if !s.is_empty() => break s,
+                _ => {
+                    tries += 1;
+                    assert!(tries < 500, "server never wrote the addr file");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        };
+        (addr, server)
+    }
+
+    #[test]
+    fn serve_data_dir_survives_restart_with_identical_measures() {
+        let dir = temp_dir("durable");
+        let data = temp_file(&dir, "cities.csv", DATA);
+        let rules = temp_file(&dir, "rules.dc", RULES);
+        let data_dir = dir.join("state");
+        let durable_args: Vec<String> = [
+            "--data-dir".to_string(),
+            data_dir.to_string_lossy().into_owned(),
+            "--fsync".to_string(),
+            "never".to_string(),
+        ]
+        .to_vec();
+        let mut first = durable_args.clone();
+        first.extend(["--preload".to_string(), format!("cities={data},{rules}")]);
+        let (addr, server) = spawn_server(&dir, "first", &first);
+        let measure = "{\"cmd\":\"measure\",\"session\":\"cities\",\
+                       \"measures\":[\"I_MI\",\"I_P\",\"I_R\",\"I_R^lin\",\"raw\"]}";
+        let out = run(&cli(&[
+            "client",
+            &addr,
+            "{\"cmd\":\"op\",\"session\":\"cities\",\"ops\":\"update 1 Country FR\\ninsert Metz,DE,5\"}",
+            "snapshot",
+            "cities",
+            "compact",
+            "cities",
+            "{\"cmd\":\"op\",\"session\":\"cities\",\"ops\":\"update 2 Country DE\"}",
+            measure,
+            "{\"cmd\":\"shutdown\"}",
+        ]))
+        .unwrap();
+        server.join().unwrap().unwrap();
+        assert!(out.contains("\"seq\":2"), "{out}"); // snapshot at seq 2
+        assert!(out.contains("\"dropped\":2"), "{out}");
+        let values = out
+            .lines()
+            .find(|l| l.contains("\"values\""))
+            .unwrap()
+            .split("\"values\":")
+            .nth(1)
+            .unwrap()
+            .to_string();
+        // Restart over the same data dir: the session comes back without
+        // a preload, serving bit-identical measures.
+        let (addr, server) = spawn_server(&dir, "second", &durable_args);
+        let out2 = run(&cli(&[
+            "client",
+            &addr,
+            "{\"cmd\":\"sessions\"}",
+            measure,
+            "{\"cmd\":\"stats\",\"session\":\"cities\"}",
+            "{\"cmd\":\"shutdown\"}",
+        ]))
+        .unwrap();
+        server.join().unwrap().unwrap();
+        assert!(out2.contains("\"sessions\":[\"cities\"]"), "{out2}");
+        let values2 = out2
+            .lines()
+            .find(|l| l.contains("\"values\""))
+            .unwrap()
+            .split("\"values\":")
+            .nth(1)
+            .unwrap()
+            .to_string();
+        assert_eq!(values, values2);
+        assert!(out2.contains("\"recovery\":{"), "{out2}");
+        // Flag validation: --fsync without --data-dir, bad policy names.
+        let err = run(&cli(&["serve", "--fsync", "never"])).unwrap_err();
+        assert!(err.contains("--data-dir"), "{err}");
+        let err = run(&cli(&[
+            "serve",
+            "--data-dir",
+            &data_dir.to_string_lossy(),
+            "--fsync",
+            "sometimes",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--fsync"), "{err}");
+        // Unknown client shorthand is rejected before anything is sent.
+        assert!(client_request_line("explode now").is_err());
+        assert_eq!(
+            client_request_line("snapshot s").unwrap(),
+            "{\"cmd\":\"snapshot\",\"session\":\"s\"}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl fmt::Display for MeasureError {
 pub type MeasureResult = Result<f64, MeasureError>;
 
 /// Budgets and caps shared by the measures.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MeasureOptions {
     /// Cap on raw violations materialized per evaluation (`None` = ∞).
     pub violation_limit: Option<usize>,

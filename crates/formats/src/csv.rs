@@ -181,7 +181,9 @@ pub fn load_csv(text: &str, rel_name: &str) -> Result<LoadedCsv, String> {
     Ok(LoadedCsv { schema, rel, db })
 }
 
-fn quote(field: &str) -> String {
+/// RFC-4180 quoting for one field. Shared with the `.ops` writer (insert
+/// rows) and the snapshot format so every emitted row re-parses exactly.
+pub(crate) fn quote(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {

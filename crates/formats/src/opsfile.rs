@@ -23,7 +23,7 @@
 //! server turns them into protocol error responses the client sees which
 //! part of its payload was rejected.
 
-use crate::csv::{parse_csv, to_value};
+use crate::csv::{parse_csv, quote, to_value};
 use inconsist::relational::{AttrId, Fact, RelId, RelationSchema, TupleId, Value};
 use inconsist::repair::RepairOp;
 
@@ -97,6 +97,41 @@ pub fn parse_ops_file(
         return Err("ops file contains no operations".into());
     }
     Ok(out)
+}
+
+/// Serializes one op back into the `.ops` line format, the inverse of
+/// [`parse_ops_file`] for every op the parser can produce. This is the
+/// encoding the server's write-ahead op log uses, so
+/// `parse_ops_file(op_to_line(op)) == op` must hold exactly — update
+/// values round-trip through the same column-kind typing as CSV cells
+/// (floats print their shortest exact representation, NULL is the empty
+/// value), and insert rows reuse the CSV quoting rules.
+pub fn op_to_line(op: &RepairOp, rel_schema: &RelationSchema) -> String {
+    match op {
+        RepairOp::Delete(id) => format!("delete {}", id.0),
+        RepairOp::Update(id, attr, v) => {
+            let name = &rel_schema.attribute(*attr).name;
+            match v {
+                Value::Null => format!("update {} {name}", id.0),
+                Value::Int(i) => format!("update {} {name} {i}", id.0),
+                Value::Float(f) => format!("update {} {name} {f}", id.0),
+                Value::Str(s) => format!("update {} {name} {s}", id.0),
+            }
+        }
+        RepairOp::Insert(f) => {
+            let cells: Vec<String> = f
+                .values
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    Value::Int(i) => quote(&i.to_string()),
+                    Value::Float(x) => quote(&format!("{x}")),
+                    Value::Str(s) => quote(s),
+                })
+                .collect();
+            format!("insert {}", cells.join(","))
+        }
+    }
 }
 
 /// Renders one op for the trajectory report.

@@ -1,0 +1,436 @@
+//! Session durability: the files, fsync policy and counters behind the
+//! write-ahead op log and the snapshot store.
+//!
+//! One durable session owns one directory under the server's
+//! `--data-dir`:
+//!
+//! ```text
+//! <data-dir>/<session>/
+//!   snapshot-00000000000000000000.snap   initial snapshot (seq 0)
+//!   snapshot-00000000000000000042.snap   later point-in-time snapshots
+//!   ops.log                              checksummed write-ahead records
+//! ```
+//!
+//! The *text* of both artifacts lives in [`inconsist_formats::durable`];
+//! this module owns the I/O discipline:
+//!
+//! * **append** is write-ahead: records hit the log (and, under
+//!   [`FsyncPolicy::Always`], the disk) *before* the ops are applied to
+//!   the in-memory index, all while the session's write lock is held. If
+//!   the append fails, the log is truncated back to its pre-batch length
+//!   and nothing is applied — the log never runs ahead of an error
+//!   response, and never lags an acknowledged write.
+//! * **snapshots** are written atomically (temp file + rename, fsynced
+//!   under `Always`), named by the last-applied sequence number so the
+//!   newest is picked by filename alone.
+//! * **compaction** rewrites the log keeping only records newer than the
+//!   newest snapshot.
+//! * **recovery** loads the newest snapshot, replays the log tail, and
+//!   truncates a torn final record before reopening the log for append.
+
+use crate::error::ServerError;
+use inconsist_formats::durable::{encode_log_record, parse_log, parse_snapshot, Snapshot};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// When the log (and snapshot) writes reach the disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended batch and every snapshot — an
+    /// acknowledged write survives `kill -9` *and* power loss.
+    Always,
+    /// Leave flushing to the OS page cache — an acknowledged write
+    /// survives `kill -9` (the write() already reached the kernel) but
+    /// not a host crash. ~10× cheaper per op on spinning metal.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always` / `never`.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(format!("expected `always` or `never`, got `{other}`")),
+        }
+    }
+
+    /// The flag spelling, for `stats` and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// Server-wide durability configuration (one per `--data-dir`).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory; each session gets a subdirectory.
+    pub data_dir: PathBuf,
+    /// Fsync policy for log appends and snapshot writes.
+    pub fsync: FsyncPolicy,
+    /// Automatically snapshot (and compact) after this many applied ops.
+    pub snapshot_every: Option<u64>,
+}
+
+/// What recovery did, surfaced through `stats`.
+#[derive(Clone, Debug)]
+pub struct RecoveryStats {
+    /// Sequence number of the snapshot recovery started from.
+    pub snapshot_seq: u64,
+    /// Log-tail records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Whether a torn final log record was detected and dropped.
+    pub torn_tail_dropped: bool,
+    /// The snapshot was taken under different measure options than the
+    /// server now runs with — budget-truncated measures may differ from
+    /// the pre-crash session's until the options are restored.
+    pub options_changed: bool,
+    /// Wall-clock recovery time (snapshot load + tail replay).
+    pub recover_ms: f64,
+}
+
+/// The per-session durability state. Always manipulated while the
+/// session's index write lock is held (appends) or its own exclusivity
+/// suffices (snapshot/compact, which block appenders on this mutex'd
+/// struct via [`crate::session::Session`]).
+pub struct Durability {
+    dir: PathBuf,
+    log: File,
+    /// Current byte length of `ops.log`.
+    pub log_bytes: u64,
+    /// Encoded bytes appended by this process — the write-amplification
+    /// numerator (`log_bytes` also counts what recovery inherited).
+    pub appended_bytes: u64,
+    /// Records ever appended by this process (not counting recovery).
+    pub log_records: u64,
+    /// Sum of the raw op-line bytes behind those records — the
+    /// write-amplification denominator.
+    pub logical_bytes: u64,
+    /// Seq of the newest on-disk snapshot.
+    pub snapshot_seq: u64,
+    /// Snapshots written by this process.
+    pub snapshots_written: u64,
+    /// Applied ops since the newest snapshot (drives `snapshot_every`).
+    pub ops_since_snapshot: u64,
+    /// Fsync policy.
+    pub fsync: FsyncPolicy,
+    /// Auto-snapshot threshold.
+    pub snapshot_every: Option<u64>,
+    /// Set when this session came back from disk.
+    pub recovery: Option<RecoveryStats>,
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> ServerError {
+    ServerError::Io(format!("{what} {}: {e}", path.display()))
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("snapshot-{seq:020}.snap"))
+}
+
+fn log_path(dir: &Path) -> PathBuf {
+    dir.join("ops.log")
+}
+
+/// Durable session names become directory names, so they are restricted
+/// to a filesystem-safe alphabet.
+pub fn check_session_name(name: &str) -> Result<(), ServerError> {
+    let ok = !name.is_empty()
+        && name.len() <= 100
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(ServerError::Protocol(format!(
+            "durable session name `{name}` must be 1-100 chars of [A-Za-z0-9_.-] \
+             and not start with `.`"
+        )))
+    }
+}
+
+impl Durability {
+    /// Creates the directory for a *new* durable session and opens an
+    /// empty log. The caller writes the initial snapshot right after.
+    pub fn create(cfg: &DurabilityConfig, name: &str) -> Result<Durability, ServerError> {
+        check_session_name(name)?;
+        let dir = cfg.data_dir.join(name);
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create", &dir, e))?;
+        if cfg.fsync == FsyncPolicy::Always {
+            // The new directory *entry* lives in the data dir; without
+            // fsyncing it, a power loss could erase the whole session even
+            // though every append inside it was sync'd.
+            File::open(&cfg.data_dir)
+                .and_then(|d| d.sync_data())
+                .map_err(|e| io_err("fsync", &cfg.data_dir, e))?;
+        }
+        // A leftover log or snapshot means this directory already holds a
+        // session's data; creating over it would make recovery replay old
+        // records onto a fresh database. Recover it (restart the server)
+        // or delete the directory instead.
+        let leftovers = std::fs::read_dir(&dir)
+            .map_err(|e| io_err("read", &dir, e))?
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                let n = e.file_name();
+                let n = n.to_string_lossy();
+                n == "ops.log" || n.starts_with("snapshot-")
+            });
+        if leftovers {
+            return Err(ServerError::Io(format!(
+                "{}: directory already holds session data (recover it or delete it)",
+                dir.display()
+            )));
+        }
+        let path = log_path(&dir);
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("open", &path, e))?;
+        Ok(Durability {
+            dir,
+            log,
+            log_bytes: 0,
+            appended_bytes: 0,
+            log_records: 0,
+            logical_bytes: 0,
+            snapshot_seq: 0,
+            snapshots_written: 0,
+            ops_since_snapshot: 0,
+            fsync: cfg.fsync,
+            snapshot_every: cfg.snapshot_every,
+            recovery: None,
+        })
+    }
+
+    /// Appends one batch of already-sequenced op lines, write-ahead. On
+    /// any failure the log is truncated back to its pre-batch length so
+    /// the caller can refuse the whole batch.
+    pub fn append(&mut self, records: &[(u64, String)]) -> Result<(), ServerError> {
+        let before = self.log_bytes;
+        let mut buf = String::new();
+        let mut logical = 0u64;
+        for (seq, line) in records {
+            logical += line.len() as u64;
+            buf.push_str(&encode_log_record(*seq, line));
+        }
+        let result = self
+            .log
+            .write_all(buf.as_bytes())
+            .and_then(|()| match self.fsync {
+                FsyncPolicy::Always => self.log.sync_data(),
+                FsyncPolicy::Never => Ok(()),
+            });
+        match result {
+            Ok(()) => {
+                self.log_bytes += buf.len() as u64;
+                self.appended_bytes += buf.len() as u64;
+                self.log_records += records.len() as u64;
+                self.logical_bytes += logical;
+                Ok(())
+            }
+            Err(e) => {
+                // Best-effort rollback: the batch must be all-or-nothing.
+                let _ = self.log.set_len(before);
+                Err(io_err("append to", &log_path(&self.dir), e))
+            }
+        }
+    }
+
+    /// Writes snapshot text for `seq` atomically and records it as the
+    /// newest. Returns the final path.
+    pub fn write_snapshot(&mut self, seq: u64, text: &str) -> Result<PathBuf, ServerError> {
+        let path = snapshot_path(&self.dir, seq);
+        let tmp = path.with_extension("tmp");
+        let write = || -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            if self.fsync == FsyncPolicy::Always {
+                f.sync_data()?;
+            }
+            std::fs::rename(&tmp, &path)?;
+            if self.fsync == FsyncPolicy::Always {
+                // The rename must be durable too: fsync the directory.
+                File::open(&self.dir)?.sync_data()?;
+            }
+            Ok(())
+        };
+        write().map_err(|e| io_err("write snapshot", &path, e))?;
+        self.snapshot_seq = self.snapshot_seq.max(seq);
+        self.snapshots_written += 1;
+        self.ops_since_snapshot = 0;
+        Ok(path)
+    }
+
+    /// Rewrites the log keeping only records with `seq >` the newest
+    /// snapshot's. Returns `(kept, dropped)` record counts.
+    pub fn compact(&mut self) -> Result<(u64, u64), ServerError> {
+        let path = log_path(&self.dir);
+        let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
+        let scan = parse_log(&bytes).map_err(ServerError::Io)?;
+        let cutoff = self.snapshot_seq;
+        let mut kept = 0u64;
+        let mut dropped = 0u64;
+        let mut out = String::new();
+        for (seq, line) in &scan.records {
+            if *seq > cutoff {
+                kept += 1;
+                out.push_str(&encode_log_record(*seq, line));
+            } else {
+                dropped += 1;
+            }
+        }
+        let tmp = path.with_extension("tmp");
+        let rewrite = || -> std::io::Result<File> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            if self.fsync == FsyncPolicy::Always {
+                f.sync_data()?;
+            }
+            std::fs::rename(&tmp, &path)?;
+            if self.fsync == FsyncPolicy::Always {
+                File::open(&self.dir)?.sync_data()?;
+            }
+            OpenOptions::new().append(true).open(&path)
+        };
+        self.log = rewrite().map_err(|e| io_err("compact", &path, e))?;
+        self.log_bytes = out.len() as u64;
+        Ok((kept, dropped))
+    }
+
+    /// The session directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// What `recover_dir` hands back: the parsed snapshot, the log tail to
+/// replay, and the ready-to-append durability state.
+pub struct Recovered {
+    /// The newest snapshot, parsed.
+    pub snapshot: Snapshot,
+    /// Log records with `seq >` the snapshot's, in order.
+    pub tail: Vec<(u64, String)>,
+    /// Durability state with the log already truncated past any torn
+    /// tail and reopened for append.
+    pub durability: Durability,
+    /// Whether a torn final record was dropped (and truncated away).
+    pub torn_tail_dropped: bool,
+}
+
+/// Loads a session directory: newest snapshot + intact log tail. The log
+/// file is truncated to its valid prefix (dropping a torn final record)
+/// so subsequent appends extend an intact log.
+pub fn recover_dir(cfg: &DurabilityConfig, name: &str) -> Result<Recovered, ServerError> {
+    check_session_name(name)?;
+    let dir = cfg.data_dir.join(name);
+    // Newest snapshot by the zero-padded seq in the filename.
+    let mut newest: Option<(u64, PathBuf)> = None;
+    let entries = std::fs::read_dir(&dir).map_err(|e| io_err("read", &dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read", &dir, e))?;
+        let file_name = entry.file_name();
+        let Some(stem) = file_name
+            .to_str()
+            .and_then(|n| n.strip_prefix("snapshot-"))
+            .and_then(|n| n.strip_suffix(".snap"))
+        else {
+            continue;
+        };
+        let Ok(seq) = stem.parse::<u64>() else {
+            continue;
+        };
+        if newest.as_ref().is_none_or(|(best, _)| seq > *best) {
+            newest = Some((seq, entry.path()));
+        }
+    }
+    let (file_seq, snap_path) = newest
+        .ok_or_else(|| ServerError::Io(format!("{}: no snapshot file found", dir.display())))?;
+    let text = std::fs::read_to_string(&snap_path).map_err(|e| io_err("read", &snap_path, e))?;
+    let snapshot = parse_snapshot(&text)
+        .map_err(|e| ServerError::Io(format!("{}: {e}", snap_path.display())))?;
+    if snapshot.meta.seq != file_seq {
+        return Err(ServerError::Io(format!(
+            "{}: filename says seq {file_seq} but the header says {}",
+            snap_path.display(),
+            snapshot.meta.seq
+        )));
+    }
+    // Scan the log, drop a torn tail, keep records past the snapshot.
+    let path = log_path(&dir);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("read", &path, e)),
+    };
+    let scan =
+        parse_log(&bytes).map_err(|e| ServerError::Io(format!("{}: {e}", path.display())))?;
+    let torn = scan.torn.is_some();
+    if let Some(report) = &scan.torn {
+        eprintln!("recovering `{name}`: {report}");
+    }
+    let log = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| io_err("open", &path, e))?;
+    if torn {
+        log.set_len(scan.valid_len as u64)
+            .map_err(|e| io_err("truncate", &path, e))?;
+    }
+    let tail: Vec<(u64, String)> = scan
+        .records
+        .into_iter()
+        .filter(|(seq, _)| *seq > snapshot.meta.seq)
+        .collect();
+    let durability = Durability {
+        dir,
+        log,
+        log_bytes: scan.valid_len as u64,
+        appended_bytes: 0,
+        log_records: 0,
+        logical_bytes: 0,
+        snapshot_seq: snapshot.meta.seq,
+        snapshots_written: 0,
+        ops_since_snapshot: tail.len() as u64,
+        fsync: cfg.fsync,
+        snapshot_every: cfg.snapshot_every,
+        recovery: None,
+    };
+    Ok(Recovered {
+        snapshot,
+        tail,
+        durability,
+        torn_tail_dropped: torn,
+    })
+}
+
+/// Session names present under a data dir (sorted), for startup recovery.
+pub fn list_session_dirs(data_dir: &Path) -> Result<Vec<String>, ServerError> {
+    let mut names = Vec::new();
+    let entries = std::fs::read_dir(data_dir).map_err(|e| io_err("read", data_dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read", data_dir, e))?;
+        let is_dir = entry
+            .file_type()
+            .map_err(|e| io_err("stat", &entry.path(), e))?
+            .is_dir();
+        if !is_dir {
+            continue;
+        }
+        if let Some(name) = entry.file_name().to_str() {
+            if check_session_name(name).is_ok() {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}

@@ -25,6 +25,12 @@ pub enum ServerError {
     Ops(String),
     /// A measure could not be computed (budget exhausted / truncated).
     Measure(String),
+    /// A durability I/O operation failed (log append, snapshot write,
+    /// recovery read) or a persisted artifact did not parse.
+    Io(String),
+    /// A durability request (`snapshot` / `compact`) targeted a session
+    /// that is not running with a `--data-dir`.
+    NotDurable(String),
 }
 
 impl ServerError {
@@ -37,6 +43,8 @@ impl ServerError {
             ServerError::Load(_) => "load",
             ServerError::Ops(_) => "ops",
             ServerError::Measure(_) => "measure",
+            ServerError::Io(_) => "io",
+            ServerError::NotDurable(_) => "not_durable",
         }
     }
 
@@ -59,6 +67,11 @@ impl fmt::Display for ServerError {
             ServerError::Load(msg) => write!(f, "load failed: {msg}"),
             ServerError::Ops(msg) => write!(f, "{msg}"),
             ServerError::Measure(msg) => write!(f, "measure failed: {msg}"),
+            ServerError::Io(msg) => write!(f, "io error: {msg}"),
+            ServerError::NotDurable(name) => write!(
+                f,
+                "session `{name}` is not durable (start the server with --data-dir)"
+            ),
         }
     }
 }

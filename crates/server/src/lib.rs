@@ -29,12 +29,15 @@
 //! * [`protocol`] — typed requests, the command table;
 //! * [`error`] — the error taxonomy every response can carry;
 //! * [`session`] — the registry and the reader/writer lock discipline;
+//! * [`durable`] — the write-ahead op log, snapshot store and recovery
+//!   (`serve --data-dir`);
 //! * [`router`] — request dispatch (connection-agnostic);
 //! * [`pool`] — the worker threads connections run on;
 //! * [`serve`] / [`ServerHandle`] — the TCP front end.
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod error;
 pub mod pool;
 pub mod protocol;
@@ -42,6 +45,7 @@ pub mod router;
 pub mod session;
 pub mod wire;
 
+pub use durable::{DurabilityConfig, FsyncPolicy};
 pub use error::ServerError;
 pub use router::{Control, ServerCounters};
 pub use session::{Registry, Session};
@@ -70,6 +74,11 @@ pub struct ServerConfig {
     pub solve_threads: usize,
     /// Measure budgets/caps applied to every read.
     pub options: MeasureOptions,
+    /// Durability: when set, sessions persist under this configuration's
+    /// data dir (write-ahead op log + snapshots), existing session
+    /// directories are recovered before the listener accepts, and a clean
+    /// shutdown snapshots every session.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +89,7 @@ impl Default for ServerConfig {
             mode: ReadMode::Component,
             solve_threads: 1,
             options: MeasureOptions::default(),
+            durability: None,
         }
     }
 }
@@ -141,10 +151,28 @@ impl ServerHandle {
 /// Returns immediately; use [`ServerHandle::wait`] to block until a
 /// `shutdown` request arrives.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let registry = Registry::with_config(
+        config.solve_threads,
+        config.options,
+        config.durability.clone(),
+    );
+    // Recover persisted sessions before the listener exists, so the first
+    // request ever accepted already sees them. An unrecoverable session
+    // directory fails startup — a durability layer must not silently
+    // skip data.
+    if let Some(durability) = &config.durability {
+        std::fs::create_dir_all(&durability.data_dir)?;
+        let recovered = registry
+            .recover_all()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        for name in &recovered {
+            eprintln!("recovered session `{name}`");
+        }
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
-        registry: Registry::new(config.solve_threads),
+        registry,
         counters: ServerCounters::default(),
         options: config.options,
         stop: AtomicBool::new(false),
@@ -171,6 +199,23 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
             // Dropping the pool joins the workers: every connection that
             // was already accepted finishes before `wait` returns.
             pool.join();
+            // Clean shutdown: snapshot every durable session so restart
+            // recovery replays an empty log tail. Failures are reported,
+            // not fatal — the write-ahead log alone already recovers the
+            // exact same state, just more slowly.
+            if accept_shared.registry.durability().is_some() {
+                for session in accept_shared.registry.all() {
+                    match session.shutdown_snapshot() {
+                        Ok(Some(seq)) => {
+                            eprintln!("snapshotted `{}` at seq {seq}", session.name());
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            eprintln!("shutdown snapshot of `{}` failed: {e}", session.name());
+                        }
+                    }
+                }
+            }
         })?;
     Ok(ServerHandle {
         shared,

@@ -11,7 +11,9 @@
 //! | `sessions` | — | list live session names |
 //! | `op` | `session`, `ops` | apply repairing operations (`.ops` lines) through the writer path |
 //! | `measure` | `session`, `measures?`, `per_dc?` | read measures through the shared/exclusive read paths |
-//! | `stats` | `session?` | read/op counters, cache hit rates |
+//! | `stats` | `session?` | read/op counters, cache hit rates, durability/recovery stats |
+//! | `snapshot` | `session` | write a point-in-time snapshot (durable sessions only) |
+//! | `compact` | `session` | drop log records covered by the newest snapshot |
 //! | `shutdown` | — | stop accepting and drain |
 //! | `quit` | — | close this connection only |
 //!
@@ -83,6 +85,16 @@ pub enum Request {
         /// Session name; `None` reports every session plus server totals.
         session: Option<String>,
     },
+    /// Write a point-in-time snapshot of a durable session.
+    Snapshot {
+        /// Session name.
+        session: String,
+    },
+    /// Compact a durable session's op log against its newest snapshot.
+    Compact {
+        /// Session name.
+        session: String,
+    },
     /// Stop the server.
     Shutdown,
     /// Close this connection.
@@ -133,10 +145,28 @@ fn payload(json: &Json, inline_key: &str, path_key: &str) -> Result<Payload, Ser
     }
 }
 
+/// Caps the echoed request line in error messages; a multi-megabyte
+/// `create` payload should not come back verbatim.
+fn echo(line: &str) -> String {
+    const CAP: usize = 160;
+    if line.len() <= CAP {
+        line.to_string()
+    } else {
+        let mut cut = CAP;
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &line[..cut])
+    }
+}
+
 /// Parses one request line (already split off the stream) into a
-/// [`Request`].
+/// [`Request`]. JSON-level failures echo the offending line in the same
+/// ``request `line`: msg`` shape the `.ops` and op-log parsers use, so a
+/// client sees *which* line was rejected, not just a byte offset.
 pub fn parse_request(line: &str) -> Result<Request, ServerError> {
-    let json = Json::parse(line).map_err(ServerError::Protocol)?;
+    let json = Json::parse(line)
+        .map_err(|e| ServerError::Protocol(format!("request `{}`: {e}", echo(line))))?;
     let cmd = required_str(&json, "cmd")?;
     match cmd.as_str() {
         "ping" => Ok(Request::Ping),
@@ -203,6 +233,12 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
                 .get("session")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+        }),
+        "snapshot" => Ok(Request::Snapshot {
+            session: required_str(&json, "session")?,
+        }),
+        "compact" => Ok(Request::Compact {
+            session: required_str(&json, "session")?,
         }),
         other => Err(ServerError::Protocol(format!("unknown cmd `{other}`"))),
     }
@@ -284,5 +320,36 @@ mod tests {
             let err = parse_request(line).unwrap_err();
             assert!(err.to_string().contains(needle), "{line} → {err}");
         }
+    }
+
+    /// Regression: wire-level JSON failures used to surface only a byte
+    /// offset; they now echo the offending request line, the same
+    /// ``<what> `line`: msg`` shape as `.ops` and op-log errors, so the
+    /// CLI and server paths report parse errors consistently.
+    #[test]
+    fn wire_parse_errors_echo_the_request_line() {
+        let err = parse_request("{\"cmd\":").unwrap_err().to_string();
+        assert!(err.contains("request `{\"cmd\":`"), "{err}");
+        let err = parse_request("nonsense").unwrap_err().to_string();
+        assert!(err.contains("request `nonsense`"), "{err}");
+        // Huge lines are capped, not echoed wholesale.
+        let huge = format!("{{\"cmd\":\"op\",\"ops\":\"{}", "x".repeat(10_000));
+        let err = parse_request(&huge).unwrap_err().to_string();
+        assert!(err.len() < 400, "echo not capped: {} bytes", err.len());
+        assert!(err.contains('…'), "{err}");
+        // And the snapshot/compact commands parse.
+        assert_eq!(
+            parse_request("{\"cmd\":\"snapshot\",\"session\":\"s\"}").unwrap(),
+            Request::Snapshot {
+                session: "s".into()
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"compact\",\"session\":\"s\"}").unwrap(),
+            Request::Compact {
+                session: "s".into()
+            }
+        );
+        assert!(parse_request("{\"cmd\":\"snapshot\"}").is_err());
     }
 }

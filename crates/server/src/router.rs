@@ -98,6 +98,8 @@ fn dispatch(
             Ok(ok())
         }
         Request::Op { session, ops } => registry.get(&session)?.apply_ops(&ops),
+        Request::Snapshot { session } => registry.get(&session)?.snapshot(),
+        Request::Compact { session } => registry.get(&session)?.compact(),
         Request::Measure {
             session,
             measures,

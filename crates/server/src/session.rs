@@ -26,7 +26,23 @@
 //! The [`Registry`] maps names to sessions under its own `RwLock`; session
 //! creation (CSV + DC parse, full violation scan) happens outside that
 //! lock so a big `create` does not stall requests to other sessions.
+//!
+//! ## Durability
+//!
+//! When the registry carries a [`DurabilityConfig`] (the server was
+//! started with `--data-dir`), every session is durable: its directory
+//! holds numbered snapshots plus a checksummed write-ahead op log (see
+//! [`crate::durable`]). The write path becomes *log-then-apply*: under
+//! the write lock, the batch's records are appended (and fsynced, per
+//! policy) **before** the first op touches the index, so an acknowledged
+//! write is always recoverable and a failed append applies nothing.
+//! [`Session::recover`] rebuilds a session from the newest snapshot plus
+//! the log tail through the same incremental delta-maintenance path live
+//! traffic uses — which is exactly why recovered measure values are
+//! bit-identical to the pre-crash session's (the replay-identity
+//! contract `tests/concurrency.rs` pins for live traffic).
 
+use crate::durable::{Durability, DurabilityConfig, RecoveryStats};
 use crate::error::ServerError;
 use crate::protocol::Payload;
 use crate::wire::Json;
@@ -35,8 +51,9 @@ use inconsist::measures::{InconsistencyMeasure, MaximalConsistentSubsets, Measur
 use inconsist::relational::{RelId, RelationSchema};
 use inconsist_formats::csv::load_csv;
 use inconsist_formats::dcfile::parse_dc_file;
-use inconsist_formats::opsfile::{display_op, parse_ops_file};
-use parking_lot::RwLock;
+use inconsist_formats::durable::{write_snapshot, SnapshotMeta};
+use inconsist_formats::opsfile::{display_op, op_to_line, parse_ops_file};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,18 +83,40 @@ pub struct Session {
     rel: RelId,
     rel_schema: Arc<RelationSchema>,
     mode: ReadMode,
+    options: MeasureOptions,
     index: RwLock<IncrementalIndex>,
     counters: SessionCounters,
+    /// Write-ahead log + snapshot store; `None` = in-memory only.
+    /// Lock order: index write/read lock first, then this mutex.
+    durable: Option<Mutex<Durability>>,
+}
+
+fn mode_name(mode: ReadMode) -> &'static str {
+    match mode {
+        ReadMode::Component => "component",
+        ReadMode::Global => "global",
+    }
+}
+
+fn parse_mode(name: &str) -> ReadMode {
+    match name {
+        "global" => ReadMode::Global,
+        _ => ReadMode::Component,
+    }
 }
 
 impl Session {
     /// Loads CSV + DC text into a fresh session (full violation scan).
+    /// With a [`DurabilityConfig`], the session directory is created and
+    /// the initial snapshot (seq 0) written before the session serves.
     pub fn open(
         name: &str,
         csv_text: &str,
         dc_text: &str,
         mode: ReadMode,
         solve_threads: usize,
+        options: MeasureOptions,
+        durable_cfg: Option<&DurabilityConfig>,
     ) -> Result<Session, ServerError> {
         let loaded = load_csv(csv_text, name).map_err(ServerError::Load)?;
         let dcs = parse_dc_file(&loaded.schema, name, dc_text).map_err(ServerError::Load)?;
@@ -89,13 +128,109 @@ impl Session {
         let mut index = IncrementalIndex::build_with_mode(loaded.db, cs, mode)
             .map_err(|e| ServerError::Measure(e.to_string()))?;
         index.set_solve_threads(solve_threads);
+        let durable = match durable_cfg {
+            Some(cfg) => {
+                let mut d = Durability::create(cfg, name)?;
+                let meta = SnapshotMeta {
+                    session: name.to_string(),
+                    seq: 0,
+                    applied: 0,
+                    mode: mode_name(mode).to_string(),
+                    options,
+                };
+                let text = write_snapshot(&meta, index.db(), loaded.rel, index.constraints().dcs());
+                d.write_snapshot(0, &text)?;
+                Some(Mutex::new(d))
+            }
+            None => None,
+        };
         Ok(Session {
             name: name.to_string(),
             rel: loaded.rel,
             rel_schema,
             mode,
+            options,
             index: RwLock::new(index),
             counters: SessionCounters::default(),
+            durable,
+        })
+    }
+
+    /// Rebuilds a session from its directory: newest snapshot + op-log
+    /// tail, replayed through the incremental delta-maintenance path.
+    /// A torn final log record (interrupted append) is dropped and the
+    /// log truncated past it; recovered `I_MI`/`I_P`/`I_R`/`I_R^lin`
+    /// values are bit-identical to the pre-crash session's.
+    pub fn recover(
+        cfg: &DurabilityConfig,
+        name: &str,
+        solve_threads: usize,
+        options: MeasureOptions,
+    ) -> Result<Session, ServerError> {
+        let started = std::time::Instant::now();
+        let recovered = crate::durable::recover_dir(cfg, name)?;
+        let snap = recovered.snapshot;
+        if snap.meta.session != name {
+            return Err(ServerError::Io(format!(
+                "session directory `{name}` holds a snapshot of `{}`",
+                snap.meta.session
+            )));
+        }
+        let mode = parse_mode(&snap.meta.mode);
+        // Serving options are server-wide (per-session overrides are a
+        // ROADMAP follow-up), so the persisted options validate rather
+        // than configure: a mismatch means budget-sensitive measures may
+        // not reproduce the pre-crash values.
+        let options_changed = snap.meta.options != options;
+        if options_changed {
+            eprintln!(
+                "warning: session `{name}` was snapshotted under different measure \
+                 options ({:?}) than the server now runs with ({options:?})",
+                snap.meta.options
+            );
+        }
+        let dcs = parse_dc_file(snap.db.schema(), name, &snap.dc_text)
+            .map_err(|e| ServerError::Io(format!("snapshot dc section: {e}")))?;
+        let mut cs = inconsist::constraints::ConstraintSet::new(Arc::clone(snap.db.schema()));
+        for dc in dcs {
+            cs.add_dc(dc);
+        }
+        let rel_schema = snap.db.relation_schema(snap.rel).clone();
+        let mut index = IncrementalIndex::build_with_mode(snap.db, cs, mode)
+            .map_err(|e| ServerError::Measure(e.to_string()))?;
+        index.set_solve_threads(solve_threads);
+        let mut replay_applied = 0u64;
+        let mut last_seq = snap.meta.seq;
+        for (seq, line) in &recovered.tail {
+            let ops = parse_ops_file(&rel_schema, snap.rel, line)
+                .map_err(|e| ServerError::Io(format!("oplog record seq {seq}: {e}")))?;
+            for op in &ops {
+                replay_applied += u64::from(index.apply(op));
+            }
+            last_seq = *seq;
+        }
+        let counters = SessionCounters::default();
+        counters.op_seq.store(last_seq, Ordering::SeqCst);
+        counters
+            .ops_applied
+            .store(snap.meta.applied + replay_applied, Ordering::SeqCst);
+        let mut durability = recovered.durability;
+        durability.recovery = Some(RecoveryStats {
+            snapshot_seq: snap.meta.seq,
+            replayed: recovered.tail.len() as u64,
+            torn_tail_dropped: recovered.torn_tail_dropped,
+            options_changed,
+            recover_ms: started.elapsed().as_secs_f64() * 1e3,
+        });
+        Ok(Session {
+            name: name.to_string(),
+            rel: snap.rel,
+            rel_schema,
+            mode,
+            options,
+            index: RwLock::new(index),
+            counters,
+            durable: Some(Mutex::new(durability)),
         })
     }
 
@@ -118,27 +253,36 @@ impl Session {
             ("constraints", Json::Num(idx.constraints().len() as f64)),
             ("raw", Json::Num(idx.raw_violations() as f64)),
             ("components", Json::Num(idx.component_count() as f64)),
-            (
-                "mode",
-                Json::str(match self.mode {
-                    ReadMode::Component => "component",
-                    ReadMode::Global => "global",
-                }),
-            ),
+            ("mode", Json::str(mode_name(self.mode))),
+            ("durable", Json::Bool(self.durable.is_some())),
         ])
     }
 
     /// Writer path: parse `.ops` lines (schema-typed, line-numbered
     /// errors) and apply them under the write lock, tagging each with its
-    /// global sequence number.
+    /// global sequence number. Durable sessions log write-ahead: the
+    /// whole batch is appended (and fsynced, per policy) before the first
+    /// op is applied, and a failed append refuses the batch with nothing
+    /// applied.
     pub fn apply_ops(&self, ops_text: &str) -> Result<Json, ServerError> {
         let ops = parse_ops_file(&self.rel_schema, self.rel, ops_text).map_err(ServerError::Ops)?;
         let mut applied = 0u64;
         let mut echo = Vec::with_capacity(ops.len());
         {
             let mut idx = self.index.write();
-            for op in &ops {
-                let seq = self.counters.op_seq.fetch_add(1, Ordering::SeqCst) + 1;
+            let seqs: Vec<u64> = ops
+                .iter()
+                .map(|_| self.counters.op_seq.fetch_add(1, Ordering::SeqCst) + 1)
+                .collect();
+            if let Some(durable) = &self.durable {
+                let records: Vec<(u64, String)> = ops
+                    .iter()
+                    .zip(&seqs)
+                    .map(|(op, &seq)| (seq, op_to_line(op, &self.rel_schema)))
+                    .collect();
+                durable.lock().append(&records)?;
+            }
+            for (op, &seq) in ops.iter().zip(&seqs) {
                 let did = idx.apply(op);
                 applied += u64::from(did);
                 echo.push(Json::obj([
@@ -147,10 +291,30 @@ impl Session {
                     ("applied", Json::Bool(did)),
                 ]));
             }
+            self.counters
+                .ops_applied
+                .fetch_add(applied, Ordering::SeqCst);
+            if let Some(durable) = &self.durable {
+                let mut d = durable.lock();
+                d.ops_since_snapshot += ops.len() as u64;
+                if let Some(every) = d.snapshot_every {
+                    if d.ops_since_snapshot >= every {
+                        // Best-effort, like the clean-shutdown snapshot:
+                        // the batch is already applied *and* in the
+                        // write-ahead log, so failing the request here
+                        // would report an applied batch as failed and
+                        // invite a double-applying retry. The log alone
+                        // recovers the same state, just more slowly.
+                        let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                        let text = self.snapshot_text(&idx, seq);
+                        let result = d.write_snapshot(seq, &text).and_then(|_| d.compact());
+                        if let Err(e) = result {
+                            eprintln!("auto-snapshot of `{}` failed: {e}", self.name);
+                        }
+                    }
+                }
+            }
         }
-        self.counters
-            .ops_applied
-            .fetch_add(applied, Ordering::SeqCst);
         Ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("session", Json::str(self.name.clone())),
@@ -158,6 +322,68 @@ impl Session {
             ("noops", Json::Num((ops.len() as u64 - applied) as f64)),
             ("ops", Json::Arr(echo)),
         ]))
+    }
+
+    /// Renders the snapshot text for the current state (`seq` = last
+    /// sequence number covered). Callers hold at least the read lock.
+    fn snapshot_text(&self, idx: &IncrementalIndex, seq: u64) -> String {
+        let meta = SnapshotMeta {
+            session: self.name.clone(),
+            seq,
+            applied: self.counters.ops_applied.load(Ordering::SeqCst),
+            mode: mode_name(self.mode).to_string(),
+            options: self.options,
+        };
+        write_snapshot(&meta, idx.db(), self.rel, idx.constraints().dcs())
+    }
+
+    /// Writes a point-in-time snapshot (the `snapshot` request). Holding
+    /// the read lock keeps writers out, so the dump and the sequence
+    /// number are mutually consistent.
+    pub fn snapshot(&self) -> Result<Json, ServerError> {
+        let durable = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| ServerError::NotDurable(self.name.clone()))?;
+        let idx = self.index.read();
+        let seq = self.counters.op_seq.load(Ordering::SeqCst);
+        let text = self.snapshot_text(&idx, seq);
+        let path = durable.lock().write_snapshot(seq, &text)?;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::str(self.name.clone())),
+            ("seq", Json::Num(seq as f64)),
+            ("bytes", Json::Num(text.len() as f64)),
+            ("path", Json::str(path.display().to_string())),
+        ]))
+    }
+
+    /// Drops log records already covered by the newest snapshot (the
+    /// `compact` request).
+    pub fn compact(&self) -> Result<Json, ServerError> {
+        let durable = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| ServerError::NotDurable(self.name.clone()))?;
+        let mut d = durable.lock();
+        let (kept, dropped) = d.compact()?;
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::str(self.name.clone())),
+            ("snapshot_seq", Json::Num(d.snapshot_seq as f64)),
+            ("kept", Json::Num(kept as f64)),
+            ("dropped", Json::Num(dropped as f64)),
+        ]))
+    }
+
+    /// Clean-shutdown snapshot: a no-op for in-memory sessions, else a
+    /// point-in-time snapshot so restart recovery replays an empty tail.
+    pub fn shutdown_snapshot(&self) -> Result<Option<u64>, ServerError> {
+        if self.durable.is_none() {
+            return Ok(None);
+        }
+        let resp = self.snapshot()?;
+        Ok(resp.get("seq").and_then(Json::as_f64).map(|s| s as u64))
     }
 
     /// Reader path: optimistic shared read, upgraded to an exclusive
@@ -272,6 +498,41 @@ impl Session {
         let c = &self.counters;
         let shared = c.shared_reads.load(Ordering::SeqCst);
         let exclusive = c.exclusive_reads.load(Ordering::SeqCst);
+        let durability = match &self.durable {
+            None => Json::Null,
+            Some(durable) => {
+                let d = durable.lock();
+                let recovery = match &d.recovery {
+                    None => Json::Null,
+                    Some(r) => Json::obj([
+                        ("snapshot_seq", Json::Num(r.snapshot_seq as f64)),
+                        ("replayed", Json::Num(r.replayed as f64)),
+                        ("torn_tail_dropped", Json::Bool(r.torn_tail_dropped)),
+                        ("options_changed", Json::Bool(r.options_changed)),
+                        ("recover_ms", Json::Num(r.recover_ms)),
+                    ]),
+                };
+                Json::obj([
+                    ("fsync", Json::str(d.fsync.name())),
+                    ("log_records", Json::Num(d.log_records as f64)),
+                    ("log_bytes", Json::Num(d.log_bytes as f64)),
+                    ("appended_bytes", Json::Num(d.appended_bytes as f64)),
+                    ("logical_bytes", Json::Num(d.logical_bytes as f64)),
+                    (
+                        "write_amplification",
+                        if d.logical_bytes == 0 {
+                            Json::Null
+                        } else {
+                            Json::Num(d.appended_bytes as f64 / d.logical_bytes as f64)
+                        },
+                    ),
+                    ("snapshot_seq", Json::Num(d.snapshot_seq as f64)),
+                    ("snapshots_written", Json::Num(d.snapshots_written as f64)),
+                    ("ops_since_snapshot", Json::Num(d.ops_since_snapshot as f64)),
+                    ("recovery", recovery),
+                ])
+            }
+        };
         Json::obj([
             ("session", Json::str(self.name.clone())),
             ("live", live),
@@ -324,6 +585,7 @@ impl Session {
                     ),
                 ]),
             ),
+            ("durability", durability),
         ])
     }
 }
@@ -396,16 +658,36 @@ fn per_dc_json(idx: &IncrementalIndex, counts: Vec<usize>) -> Json {
 pub struct Registry {
     sessions: RwLock<HashMap<String, Arc<Session>>>,
     solve_threads: usize,
+    options: MeasureOptions,
+    durability: Option<DurabilityConfig>,
 }
 
 impl Registry {
-    /// An empty registry; sessions created through it fan dirty-component
-    /// solves across `solve_threads`.
+    /// An empty in-memory registry; sessions created through it fan
+    /// dirty-component solves across `solve_threads`.
     pub fn new(solve_threads: usize) -> Registry {
+        Registry::with_config(solve_threads, MeasureOptions::default(), None)
+    }
+
+    /// An empty registry with explicit measure options and (optionally) a
+    /// durability configuration — every session created through it then
+    /// logs write-ahead and snapshots under the data dir.
+    pub fn with_config(
+        solve_threads: usize,
+        options: MeasureOptions,
+        durability: Option<DurabilityConfig>,
+    ) -> Registry {
         Registry {
             sessions: RwLock::new(HashMap::new()),
             solve_threads: solve_threads.max(1),
+            options,
+            durability,
         }
+    }
+
+    /// The durability configuration, when the registry persists sessions.
+    pub fn durability(&self) -> Option<&DurabilityConfig> {
+        self.durability.as_ref()
     }
 
     /// Creates a session; the expensive load runs outside the map lock.
@@ -430,6 +712,8 @@ impl Registry {
             &dc_text,
             mode,
             self.solve_threads,
+            self.options,
+            self.durability.as_ref(),
         )?);
         let mut map = self.sessions.write();
         if map.contains_key(name) {
@@ -437,6 +721,28 @@ impl Registry {
         }
         map.insert(name.to_string(), Arc::clone(&session));
         Ok(session)
+    }
+
+    /// Recovers every session directory under the data dir into the
+    /// registry (server startup with `--data-dir`). Returns the names
+    /// recovered, sorted. Any unrecoverable directory fails the whole
+    /// startup — silently skipping persisted data is not an option for a
+    /// durability layer.
+    pub fn recover_all(&self) -> Result<Vec<String>, ServerError> {
+        let Some(cfg) = &self.durability else {
+            return Ok(Vec::new());
+        };
+        let names = crate::durable::list_session_dirs(&cfg.data_dir)?;
+        for name in &names {
+            let session = Arc::new(Session::recover(
+                cfg,
+                name,
+                self.solve_threads,
+                self.options,
+            )?);
+            self.sessions.write().insert(name.clone(), session);
+        }
+        Ok(names)
     }
 
     /// Drops a session (in-flight requests holding its `Arc` finish
@@ -584,6 +890,176 @@ mod tests {
             ReadMode::Component,
         );
         assert!(matches!(bad, Err(ServerError::Load(_))));
+    }
+
+    fn durable_cfg(tag: &str) -> DurabilityConfig {
+        let dir = std::env::temp_dir().join(format!(
+            "inconsist-session-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        DurabilityConfig {
+            data_dir: dir,
+            fsync: crate::durable::FsyncPolicy::Never,
+            snapshot_every: None,
+        }
+    }
+
+    fn open_durable(cfg: &DurabilityConfig) -> Session {
+        Session::open(
+            "cities",
+            CSV,
+            DC,
+            ReadMode::Component,
+            1,
+            MeasureOptions::default(),
+            Some(cfg),
+        )
+        .unwrap()
+    }
+
+    fn measures_of(s: &Session) -> Json {
+        let all: Vec<String> = ["I_MI", "I_P", "I_R", "I_R^lin", "raw", "components"]
+            .iter()
+            .map(|m| m.to_string())
+            .collect();
+        let resp = s.measure(&all, false, &MeasureOptions::default()).unwrap();
+        resp.get("values").cloned().unwrap()
+    }
+
+    #[test]
+    fn durable_session_recovers_bit_identical_without_clean_shutdown() {
+        let cfg = durable_cfg("recover");
+        let live = open_durable(&cfg);
+        live.apply_ops("update 1 Country FR\nupdate 3 Country IT\n")
+            .unwrap();
+        live.apply_ops("insert Nancy,FR,9\ndelete 0\n").unwrap();
+        let expected = measures_of(&live);
+        let live_seq = live.counters().op_seq.load(Ordering::SeqCst);
+        drop(live); // crash: no snapshot beyond the initial seq-0 one
+        let recovered = Session::recover(&cfg, "cities", 1, MeasureOptions::default()).unwrap();
+        assert_eq!(measures_of(&recovered), expected);
+        assert_eq!(recovered.counters().op_seq.load(Ordering::SeqCst), live_seq);
+        // The recovery stats report the replayed tail.
+        let stats = recovered.stats();
+        let durability = stats.get("durability").unwrap();
+        let recovery = durability.get("recovery").unwrap();
+        assert_eq!(
+            recovery.get("replayed").and_then(Json::as_f64),
+            Some(4.0),
+            "{stats}"
+        );
+        assert_eq!(
+            recovery.get("torn_tail_dropped").and_then(Json::as_bool),
+            Some(false)
+        );
+        // The recovered session keeps serving writes: seq continues past
+        // the recovered point and lands in the log.
+        let resp = recovered.apply_ops("insert Metz,FR,2\n").unwrap();
+        let seq = resp.get("ops").and_then(Json::as_arr).unwrap()[0]
+            .get("seq")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(seq, live_seq as f64 + 1.0);
+        std::fs::remove_dir_all(&cfg.data_dir).ok();
+    }
+
+    #[test]
+    fn snapshot_then_compact_drops_covered_records() {
+        let cfg = durable_cfg("compact");
+        let s = open_durable(&cfg);
+        s.apply_ops("update 1 Country FR\n").unwrap();
+        s.apply_ops("update 3 Country IT\n").unwrap();
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.get("seq").and_then(Json::as_f64), Some(2.0));
+        s.apply_ops("delete 0\n").unwrap();
+        let compacted = s.compact().unwrap();
+        assert_eq!(compacted.get("dropped").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(compacted.get("kept").and_then(Json::as_f64), Some(1.0));
+        let expected = measures_of(&s);
+        drop(s);
+        // Recovery = snapshot at seq 2 + a one-record tail.
+        let recovered = Session::recover(&cfg, "cities", 1, MeasureOptions::default()).unwrap();
+        assert_eq!(measures_of(&recovered), expected);
+        let stats = recovered.stats();
+        let recovery = stats
+            .get("durability")
+            .and_then(|d| d.get("recovery"))
+            .cloned()
+            .unwrap();
+        assert_eq!(
+            recovery.get("snapshot_seq").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        assert_eq!(recovery.get("replayed").and_then(Json::as_f64), Some(1.0));
+        std::fs::remove_dir_all(&cfg.data_dir).ok();
+    }
+
+    #[test]
+    fn torn_log_tail_is_dropped_never_half_applied() {
+        let cfg = durable_cfg("torn");
+        let s = open_durable(&cfg);
+        s.apply_ops("update 1 Country FR\n").unwrap();
+        let expected = measures_of(&s);
+        s.apply_ops("update 3 Country IT\n").unwrap();
+        drop(s);
+        // Tear the final record: chop a few bytes off the log.
+        let log = cfg.data_dir.join("cities").join("ops.log");
+        let bytes = std::fs::read(&log).unwrap();
+        std::fs::write(&log, &bytes[..bytes.len() - 3]).unwrap();
+        let recovered = Session::recover(&cfg, "cities", 1, MeasureOptions::default()).unwrap();
+        // Only the intact first record replays; the torn second is gone.
+        assert_eq!(measures_of(&recovered), expected);
+        assert_eq!(recovered.counters().op_seq.load(Ordering::SeqCst), 1);
+        let stats = recovered.stats();
+        let recovery = stats
+            .get("durability")
+            .and_then(|d| d.get("recovery"))
+            .cloned()
+            .unwrap();
+        assert_eq!(
+            recovery.get("torn_tail_dropped").and_then(Json::as_bool),
+            Some(true)
+        );
+        // The log was truncated past the torn bytes: appending again
+        // yields an intact log (seq continues from the recovered point).
+        recovered.apply_ops("update 3 Country DE\n").unwrap();
+        let expected = measures_of(&recovered);
+        drop(recovered);
+        let again = Session::recover(&cfg, "cities", 1, MeasureOptions::default()).unwrap();
+        assert_eq!(measures_of(&again), expected);
+        std::fs::remove_dir_all(&cfg.data_dir).ok();
+    }
+
+    #[test]
+    fn durability_requests_on_memory_sessions_and_bad_names() {
+        let (_reg, s) = registry_with_session();
+        let err = s.snapshot().unwrap_err();
+        assert_eq!(err.kind(), "not_durable");
+        assert!(s.compact().is_err());
+        assert!(s.shutdown_snapshot().unwrap().is_none());
+        let cfg = durable_cfg("names");
+        for bad in ["", ".hidden", "a/b", "x y"] {
+            let err = Session::open(
+                bad,
+                CSV,
+                DC,
+                ReadMode::Component,
+                1,
+                MeasureOptions::default(),
+                Some(&cfg),
+            )
+            .map(|_| ())
+            .unwrap_err();
+            assert!(
+                matches!(err, ServerError::Protocol(_) | ServerError::Load(_)),
+                "{bad:?} → {err}"
+            );
+        }
+        std::fs::remove_dir_all(&cfg.data_dir).ok();
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Durability property test: random interleavings of repair ops,
+//! snapshots, log compactions and *simulated truncated-log crashes*
+//! recover to exactly the state a from-scratch [`IncrementalIndex`]
+//! reaches by replaying the surviving op prefix — bit-identical
+//! `I_MI`/`I_P`/`I_R`/`I_R^lin` in **both** read modes.
+//!
+//! The crash simulation chops an arbitrary number of bytes off the end
+//! of `ops.log`, which can land anywhere inside the final record (or eat
+//! several records and then land inside an earlier one). The contract:
+//! a torn final record is *dropped, never half-applied*, so the
+//! recovered state corresponds to `ops 1..=K` where `K` is the last
+//! sequence number still intact on disk (snapshot or log record) — and
+//! the test computes `K` independently by scanning the truncated file.
+
+use inconsist::incremental::{IncrementalIndex, ReadMode};
+use inconsist::measures::MeasureOptions;
+use inconsist_formats::csv::load_csv;
+use inconsist_formats::dcfile::parse_dc_file;
+use inconsist_formats::durable::parse_log;
+use inconsist_formats::opsfile::parse_ops_file;
+use inconsist_server::durable::{DurabilityConfig, FsyncPolicy};
+use inconsist_server::{Json, ServerError, Session};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const BLOCKS: i64 = 6;
+const ROWS_PER_BLOCK: i64 = 3;
+const FIXTURE_DC: &str = "fd: t.A = t'.A & t.B != t'.B\n";
+
+fn fixture_csv() -> String {
+    let mut csv = "A,B\n".to_string();
+    for k in 0..BLOCKS {
+        for j in 0..ROWS_PER_BLOCK {
+            csv.push_str(&format!("{k},{}\n", ROWS_PER_BLOCK * k + j));
+        }
+    }
+    csv
+}
+
+/// One step of the generated workload.
+#[derive(Clone, Debug)]
+enum Action {
+    /// Apply one `.ops` line through the session writer path.
+    Op(String),
+    /// Write a point-in-time snapshot; `compact` optionally follows.
+    Snapshot { compact: bool },
+}
+
+/// The raw tuple shape the shim's strategies can generate; decoded into
+/// [`Action`]s inside the test body.
+type RawAction = (u8, u32, i64, i64);
+
+fn decode(raw: &[RawAction]) -> Vec<Action> {
+    raw.iter()
+        .map(|&(choice, id, block, value)| match choice {
+            0..=4 => Action::Op(format!("update {id} B {value}")),
+            5 => Action::Op(format!("update {id} A {block}")),
+            6 | 7 => Action::Op(format!("insert {block},{value}")),
+            8 => Action::Op(format!("delete {id}")),
+            _ => Action::Snapshot {
+                compact: value % 2 == 0,
+            },
+        })
+        .collect()
+}
+
+fn action_strategy() -> impl Strategy<Value = Vec<RawAction>> {
+    let max_id = (BLOCKS * ROWS_PER_BLOCK) as u32 + 64;
+    prop::collection::vec((0u8..10, 0u32..max_id, 0i64..BLOCKS, 0i64..40), 1..30)
+}
+
+fn fresh_cfg() -> DurabilityConfig {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    DurabilityConfig {
+        data_dir: std::env::temp_dir().join(format!(
+            "inconsist-durability-prop-{}-{n}",
+            std::process::id()
+        )),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: None,
+    }
+}
+
+/// The measure vector whose bit-identity the recovery contract promises.
+fn measures(session: &Session) -> Vec<(String, f64)> {
+    let names: Vec<String> = ["I_MI", "I_P", "I_R", "I_R^lin", "raw", "components"]
+        .iter()
+        .map(|m| m.to_string())
+        .collect();
+    let resp = session
+        .measure(&names, false, &MeasureOptions::default())
+        .expect("measure");
+    match resp.get("values") {
+        Some(Json::Obj(entries)) => entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.as_f64().expect("numeric")))
+            .collect(),
+        other => panic!("no values: {other:?}"),
+    }
+}
+
+/// From-scratch ground truth: rebuild from the original CSV and replay
+/// ops `1..=k` through a fresh index in `mode`.
+fn scratch_measures(csv: &str, ops: &[String], k: u64, mode: ReadMode) -> Vec<(String, f64)> {
+    let loaded = load_csv(csv, "t").unwrap();
+    let dcs = parse_dc_file(&loaded.schema, "t", FIXTURE_DC).unwrap();
+    let mut cs = inconsist::constraints::ConstraintSet::new(Arc::clone(&loaded.schema));
+    for dc in dcs {
+        cs.add_dc(dc);
+    }
+    let rel_schema = loaded.db.relation_schema(loaded.rel).clone();
+    let mut idx = IncrementalIndex::build_with_mode(loaded.db, cs, mode).unwrap();
+    for line in &ops[..k as usize] {
+        let parsed = parse_ops_file(&rel_schema, loaded.rel, line).unwrap();
+        idx.apply(&parsed[0]);
+    }
+    let opts = MeasureOptions::default();
+    vec![
+        ("I_MI".to_string(), idx.i_mi()),
+        ("I_P".to_string(), idx.i_p()),
+        ("I_R".to_string(), idx.i_r(&opts).unwrap()),
+        ("I_R^lin".to_string(), idx.i_r_lin().unwrap()),
+        ("raw".to_string(), idx.raw_violations() as f64),
+        ("components".to_string(), idx.component_count() as f64),
+    ]
+}
+
+/// Newest on-disk snapshot seq, read the way recovery reads it: from the
+/// zero-padded filenames.
+fn newest_snapshot_seq(dir: &PathBuf) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            e.file_name()
+                .to_str()?
+                .strip_prefix("snapshot-")?
+                .strip_suffix(".snap")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .expect("at least the initial snapshot")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random ops, snapshots and compactions; then a crash that truncates
+    /// the log at an arbitrary byte; recovery must land exactly on the
+    /// surviving prefix, in both read modes.
+    #[test]
+    fn truncated_log_recovery_matches_from_scratch_replay(
+        actions in action_strategy(),
+        cut in 0usize..48,
+        global_mode in 0u8..2,
+    ) {
+        let cfg = fresh_cfg();
+        let csv = fixture_csv();
+        let mode = if global_mode == 1 { ReadMode::Global } else { ReadMode::Component };
+        let session = Session::open(
+            "t", &csv, FIXTURE_DC, mode, 1, MeasureOptions::default(), Some(&cfg),
+        ).unwrap();
+        let actions = decode(&actions);
+        let mut ops: Vec<String> = Vec::new();
+        for action in &actions {
+            match action {
+                Action::Op(line) => {
+                    session.apply_ops(line).unwrap();
+                    ops.push(line.clone());
+                }
+                Action::Snapshot { compact } => {
+                    session.snapshot().unwrap();
+                    if *compact {
+                        session.compact().unwrap();
+                    }
+                }
+            }
+        }
+        drop(session); // crash: no shutdown snapshot
+
+        // Tear the log: chop `cut` bytes off the end (capped at its
+        // length, so this can erase several records and land mid-record).
+        let session_dir = cfg.data_dir.join("t");
+        let log_path = session_dir.join("ops.log");
+        let bytes = std::fs::read(&log_path).unwrap();
+        let cut = cut.min(bytes.len());
+        std::fs::write(&log_path, &bytes[..bytes.len() - cut]).unwrap();
+
+        // Ground truth for the surviving prefix, computed independently.
+        let survivors = parse_log(&bytes[..bytes.len() - cut]).unwrap();
+        let last_log_seq = survivors.records.last().map(|(s, _)| *s).unwrap_or(0);
+        let k = newest_snapshot_seq(&session_dir).max(last_log_seq);
+
+        let recovered = Session::recover(&cfg, "t", 1, MeasureOptions::default()).unwrap();
+        let got = measures(&recovered);
+        prop_assert_eq!(recovered.counters().op_seq.load(Ordering::SeqCst), k);
+        for scratch_mode in [ReadMode::Component, ReadMode::Global] {
+            let want = scratch_measures(&csv, &ops, k, scratch_mode);
+            prop_assert_eq!(&got, &want);
+        }
+        drop(recovered);
+        std::fs::remove_dir_all(&cfg.data_dir).ok();
+    }
+}
+
+/// Startup recovery refuses a log corrupted anywhere but the tail — a
+/// durability layer must not silently skip data.
+#[test]
+fn mid_log_corruption_fails_recovery_loudly() {
+    let cfg = fresh_cfg();
+    let session = Session::open(
+        "t",
+        &fixture_csv(),
+        FIXTURE_DC,
+        ReadMode::Component,
+        1,
+        MeasureOptions::default(),
+        Some(&cfg),
+    )
+    .unwrap();
+    session.apply_ops("update 0 B 99\n").unwrap();
+    session.apply_ops("update 1 B 98\n").unwrap();
+    drop(session);
+    let log_path = cfg.data_dir.join("t").join("ops.log");
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    bytes[2] ^= 0x5a; // flip a checksum nibble in the *first* record
+    std::fs::write(&log_path, &bytes).unwrap();
+    let err = Session::recover(&cfg, "t", 1, MeasureOptions::default())
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, ServerError::Io(_)), "{err}");
+    let msg = err.to_string();
+    assert!(msg.contains("oplog line 1"), "{msg}");
+    std::fs::remove_dir_all(&cfg.data_dir).ok();
+}

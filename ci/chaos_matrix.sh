@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Chaos matrix: the crash-recovery check (ci/crash_recovery.sh) widened
+# into a grid of failure shapes, over real processes and real files:
+#
+#   kill -9   ×   --fsync {always,never}   ×   torn-tail chop {0,1,3} bytes
+#
+# Each cell starts a durable server, applies acknowledged ops, SIGKILLs
+# it with no clean shutdown, optionally tears the final write-ahead-log
+# record by chopping bytes off the file, restarts over the same
+# --data-dir and requires the recovered measures to be **bit-identical**
+# to the acknowledged prefix: everything for an intact log, everything
+# minus the torn final batch for a chopped one (which recovery must also
+# *report* via `torn_tail_dropped`).
+#
+# The in-process half of the matrix — injected write/fsync/truncate/
+# rename/unlink/read failures at every durable I/O site, in both read
+# modes — runs first via the failpoint-instrumented test suite.
+#
+# Usage: ci/chaos_matrix.sh [path-to-inconsist-binary]
+set -euo pipefail
+
+BIN=${1:-target/release/inconsist}
+
+echo "== failpoint matrix (injected faults at every durable I/O site) =="
+cargo test --release -p inconsist-server --test chaos
+
+MEASURE='{"cmd":"measure","session":"cities","measures":["I_d","I_MI","I_P","I_R","I_R^lin","raw","components"]}'
+SERVER_PID=""
+WORK=""
+trap '[ -n "$SERVER_PID" ] && kill -9 $SERVER_PID 2>/dev/null || true; [ -n "$WORK" ] && rm -rf "$WORK"' EXIT
+
+start_server() {
+    rm -f "$WORK/addr.txt"
+    "$BIN" serve --addr 127.0.0.1:0 --addr-file "$WORK/addr.txt" \
+        --workers 2 --data-dir "$WORK/state" --fsync "$FSYNC" "$@" &
+    SERVER_PID=$!
+    for _ in $(seq 1 200); do
+        [ -s "$WORK/addr.txt" ] && break
+        kill -0 $SERVER_PID 2>/dev/null || { echo "server died during startup"; exit 1; }
+        sleep 0.05
+    done
+    [ -s "$WORK/addr.txt" ] || { echo "server never wrote the addr file"; exit 1; }
+    ADDR=$(cat "$WORK/addr.txt")
+}
+
+extract_values() {
+    # The measure response minus its routing fields ("path" differs
+    # between a cold exclusive read and a warm shared one).
+    grep -o '"values":{[^}]*}' <<< "$1"
+}
+
+for FSYNC in always never; do
+    for CHOP in 0 1 3; do
+        echo
+        echo "== cell: fsync=$FSYNC, chop=$CHOP bytes off the log tail =="
+        WORK=$(mktemp -d)
+        cat > "$WORK/cities.csv" <<'CSV'
+City,Country,Pop
+Paris,FR,1
+Paris,DE,2
+Lyon,FR,3
+Lyon,FR,4
+Nice,FR,5
+Nice,IT,6
+CSV
+        cat > "$WORK/rules.dc" <<'DC'
+fd: t.City = t'.City & t.Country != t'.Country
+DC
+        start_server --preload "cities=$WORK/cities.csv,$WORK/rules.dc"
+
+        # Ops that must survive every cell.
+        "$BIN" client "$ADDR" \
+            '{"cmd":"op","session":"cities","ops":"update 1 Country FR\ninsert Metz,DE,9"}' \
+            | grep -q '"applied":2'
+        SURVIVING=$("$BIN" client "$ADDR" "$MEASURE")
+        # One sacrificial batch: the torn-tail cells chop into *its*
+        # record, so it must vanish all-or-nothing on recovery.
+        "$BIN" client "$ADDR" \
+            '{"cmd":"op","session":"cities","ops":"update 5 Country FR"}' \
+            | grep -q '"ok":true'
+        FULL=$("$BIN" client "$ADDR" "$MEASURE")
+
+        # The crash: no shutdown, no clean-exit snapshot.
+        kill -9 $SERVER_PID
+        wait $SERVER_PID 2>/dev/null || true
+        SERVER_PID=""
+
+        LOG="$WORK/state/cities/ops.log"
+        if [ "$CHOP" -gt 0 ]; then
+            SIZE=$(stat -c%s "$LOG")
+            head -c $((SIZE - CHOP)) "$LOG" > "$LOG.chopped"
+            mv "$LOG.chopped" "$LOG"
+            EXPECTED=$SURVIVING
+        else
+            EXPECTED=$FULL
+        fi
+
+        start_server
+        AFTER=$("$BIN" client "$ADDR" "$MEASURE")
+        STATS=$("$BIN" client "$ADDR" '{"cmd":"stats","session":"cities"}')
+        echo "expected:  $(extract_values "$EXPECTED")"
+        echo "recovered: $(extract_values "$AFTER")"
+        if [ "$(extract_values "$EXPECTED")" != "$(extract_values "$AFTER")" ]; then
+            echo "FAIL(fsync=$FSYNC chop=$CHOP): recovered measures diverge"
+            exit 1
+        fi
+        if [ "$CHOP" -gt 0 ]; then
+            echo "$STATS" | grep -q '"torn_tail_dropped":true' || {
+                echo "FAIL(fsync=$FSYNC chop=$CHOP): torn tail not reported: $STATS"
+                exit 1
+            }
+            # The recovered session must keep accepting writes past the
+            # truncated tail (the log was re-trimmed to its valid prefix).
+            "$BIN" client "$ADDR" \
+                '{"cmd":"op","session":"cities","ops":"update 4 Pop 50"}' \
+                | grep -q '"ok":true'
+        else
+            echo "$STATS" | grep -q '"torn_tail_dropped":false' || {
+                echo "FAIL(fsync=$FSYNC chop=$CHOP): phantom torn tail: $STATS"
+                exit 1
+            }
+        fi
+        "$BIN" client "$ADDR" '{"cmd":"shutdown"}' > /dev/null
+        wait $SERVER_PID 2>/dev/null || true
+        SERVER_PID=""
+        rm -rf "$WORK"
+        WORK=""
+        echo "ok: fsync=$FSYNC chop=$CHOP recovered bit-identical"
+    done
+done
+echo
+echo "PASS: chaos matrix (failpoints + kill -9 x fsync x torn-tail) is bit-identical"

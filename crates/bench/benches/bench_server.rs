@@ -214,6 +214,142 @@ fn stat_f64(stats: &Json, path: &[&str]) -> f64 {
         .unwrap_or_else(|| panic!("{path:?} not numeric"))
 }
 
+/// Overload phase: its own tiny-capacity server (global in-flight limit
+/// 2) under 4× offered load. Clients never back off; every response is
+/// either served or a well-formed `overloaded` shed. Reports the shed
+/// rate and the latency distribution of *admitted* requests — the
+/// admission-control promise is that p99-under-overload stays bounded
+/// because excess work is refused instead of queued. Asserts sheds
+/// actually happened and that the in-flight high-water never passed the
+/// limit. Returns the JSON entry.
+fn overload_run(csv: &str, requests: usize) -> String {
+    const MAX_INFLIGHT: u64 = 2;
+    const OVERLOAD_FACTOR: usize = 4;
+    let clients = (MAX_INFLIGHT as usize) * OVERLOAD_FACTOR;
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients + 1,
+        solve_threads: 1,
+        max_inflight: MAX_INFLIGHT,
+        retry_after_ms: 5,
+        ..ServerConfig::default()
+    })
+    .expect("bind overload server");
+    let addr = handle.addr();
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    let create = format!(
+        "{{\"cmd\":\"create\",\"session\":\"hot\",\"csv\":{},\"dc\":{}}}",
+        Json::str(csv.to_string()),
+        Json::str(DC)
+    );
+    let created = Json::parse(&admin.request(&create).expect("create")).unwrap();
+    assert_eq!(created.get("ok").and_then(Json::as_bool), Some(true));
+
+    let started = Instant::now();
+    let joins: Vec<_> = (0..clients)
+        .map(|who| {
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x0BEEF + who as u64);
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut admitted_us: Vec<f64> = Vec::with_capacity(requests);
+                let mut shed = 0u64;
+                let max_id = (BLOCKS * ROWS_PER_BLOCK) as u32 + 4096;
+                for i in 0..requests {
+                    // 10% writes keep components dirty so reads upgrade to
+                    // the write lock — sustained pressure, not cache hits.
+                    let line = if rng.gen_range(0..100) < 10 {
+                        format!(
+                            "{{\"cmd\":\"op\",\"session\":\"hot\",\"ops\":{}}}",
+                            Json::str(format!(
+                                "update {} B {}",
+                                rng.gen_range(0..max_id),
+                                rng.gen_range(0..10_000)
+                            ))
+                        )
+                    } else if i % 5 == 0 {
+                        "{\"cmd\":\"measure\",\"session\":\"hot\",\
+                         \"measures\":[\"I_MI\",\"I_P\",\"I_R\",\"I_R^lin\",\"I_MC\"],\
+                         \"per_dc\":true}"
+                            .to_string()
+                    } else {
+                        "{\"cmd\":\"measure\",\"session\":\"hot\",\
+                         \"measures\":[\"I_MI\",\"I_R\",\"I_R^lin\"]}"
+                            .to_string()
+                    };
+                    let sent = Instant::now();
+                    let response = client.request(&line).expect("request");
+                    let elapsed_us = sent.elapsed().as_secs_f64() * 1e6;
+                    let json = Json::parse(&response).expect("response JSON");
+                    match json.get("kind").and_then(Json::as_str) {
+                        Some("overloaded") => {
+                            // A shed must be machine-actionable.
+                            assert!(
+                                json.get("retry_after_ms").and_then(Json::as_f64).is_some(),
+                                "{response}"
+                            );
+                            shed += 1;
+                        }
+                        _ => {
+                            assert_eq!(
+                                json.get("ok").and_then(Json::as_bool),
+                                Some(true),
+                                "{response}"
+                            );
+                            admitted_us.push(elapsed_us);
+                        }
+                    }
+                }
+                (admitted_us, shed)
+            })
+        })
+        .collect();
+    let mut admitted_us: Vec<f64> = Vec::new();
+    let mut shed = 0u64;
+    for join in joins {
+        let (us, s) = join.join().expect("overload client");
+        admitted_us.extend(us);
+        shed += s;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    admitted_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+
+    let stats = Json::parse(&admin.request("{\"cmd\":\"stats\"}").expect("stats")).unwrap();
+    let high_water = stat_f64(&stats, &["server", "admission", "inflight_high_water"]);
+    assert!(
+        high_water <= MAX_INFLIGHT as f64,
+        "admission bound violated: high water {high_water} > {MAX_INFLIGHT}"
+    );
+    admin.request("{\"cmd\":\"shutdown\"}").expect("shutdown");
+    handle.wait();
+
+    let attempts = (clients * requests) as u64;
+    assert!(
+        shed > 0,
+        "{OVERLOAD_FACTOR}x over-capacity load produced no sheds — admission control inert"
+    );
+    assert!(!admitted_us.is_empty(), "overload starved every request");
+    let shed_rate = shed as f64 / attempts as f64;
+    println!(
+        "bench_server/overload   {clients} clients vs {MAX_INFLIGHT} in-flight slots: \
+         {attempts} attempts, {shed} shed ({:.0}%), admitted p50 {:.0}µs p99 {:.0}µs, \
+         high water {high_water:.0}",
+        shed_rate * 100.0,
+        percentile(&admitted_us, 0.50),
+        percentile(&admitted_us, 0.99),
+    );
+    format!(
+        "    {{\"phase\": \"overload\", \"clients\": {clients}, \"max_inflight\": {MAX_INFLIGHT}, \
+         \"attempts\": {attempts}, \"admitted\": {}, \"shed\": {shed}, \
+         \"shed_rate\": {shed_rate:.4}, \"elapsed_sec\": {elapsed:.3}, \
+         \"admitted_rps\": {:.1}, \"admitted_p50_us\": {:.1}, \"admitted_p99_us\": {:.1}, \
+         \"inflight_high_water\": {high_water}}}",
+        admitted_us.len(),
+        admitted_us.len() as f64 / elapsed,
+        percentile(&admitted_us, 0.50),
+        percentile(&admitted_us, 0.99),
+    )
+}
+
 /// One durability run: write-only op stream through a durable session
 /// under `fsync`, midpoint snapshot, simulated crash, timed recovery,
 /// bit-identity assert. Returns the JSON entry.
@@ -228,6 +364,7 @@ fn durability_run(csv: &str, fsync: FsyncPolicy, ops_count: usize, seed: u64) ->
         data_dir: data_dir.clone(),
         fsync,
         snapshot_every: None,
+        segment_bytes: None,
     };
     let session = Session::open(
         "bench",
@@ -317,7 +454,7 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .or_else(|| std::env::var("BENCH_FILTER").ok());
     if let Some(f) = filter {
-        if !"server_load durability".contains(f.as_str()) {
+        if !"server_load durability overload".contains(f.as_str()) {
             println!("bench_server: skipped by filter `{f}`");
             return;
         }
@@ -471,11 +608,17 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
 
+    // Overload: offered load 4× over a tiny admission capacity, on its
+    // own server so the shed storm cannot pollute the phase numbers.
+    let overload_requests = if smoke() { 60 } else { 250 };
+    let overload_entry = overload_run(&csv, overload_requests);
+
     let json = format!(
         "{{\n  \"bench\": \"bench_server\",\n  \"workload\": {{\"blocks\": {BLOCKS}, \
          \"tuples\": {}, \"clients\": {clients}, \"requests_per_client\": {requests}}},\n  \
          \"phases\": [\n{phase_entries}\n  ],\n  \"replay\": {{\"ops\": {}, \
-         \"identical\": true}},\n  \"durability\": [\n{durability_entries}\n  ]\n}}\n",
+         \"identical\": true}},\n  \"durability\": [\n{durability_entries}\n  ],\n  \
+         \"overload\": [\n{overload_entry}\n  ]\n}}\n",
         BLOCKS * ROWS_PER_BLOCK,
         all_ops.len()
     );

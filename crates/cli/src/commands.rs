@@ -35,7 +35,9 @@ USAGE:
   inconsist serve    [--addr HOST:PORT] [--workers N] [--solve-threads N]
                      [--mode component|global] [--preload name=data.csv,rules.dc]
                      [--addr-file path] [--data-dir DIR] [--fsync always|never]
-                     [--snapshot-every N]
+                     [--snapshot-every N] [--segment-bytes N]
+                     [--max-inflight N] [--session-inflight N] [--queue-limit N]
+                     [--retry-after-ms N] [--read-poll-ms N] [--write-timeout-ms N]
   inconsist client   <addr> [request-json | snapshot NAME | compact NAME ...]
 
 FILES:
@@ -61,7 +63,12 @@ COMMANDS:
              bound address (useful with port 0); --data-dir makes sessions
              durable (write-ahead op log + snapshots, recovered on
              restart; --fsync picks the flush policy, --snapshot-every N
-             auto-snapshots and compacts after N ops)
+             auto-snapshots and compacts after N ops, --segment-bytes N
+             rotates the op log into sealed segments); overload knobs:
+             --max-inflight / --session-inflight / --queue-limit bound
+             concurrent work (0 = unlimited; excess requests are shed
+             with kind:\"overloaded\" and a --retry-after-ms hint), and
+             --read-poll-ms / --write-timeout-ms bound slow clients
   client     send request lines to a running server (from the arguments,
              or stdin when none are given) and print the responses;
              `snapshot NAME` / `compact NAME` are shorthand for the
@@ -396,7 +403,7 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
     };
     let durability = match cli.opt_str("data-dir") {
         None => {
-            for flag in ["fsync", "snapshot-every"] {
+            for flag in ["fsync", "snapshot-every", "segment-bytes"] {
                 if cli.opt_str(flag).is_some() {
                     return Err(format!("--{flag} requires --data-dir"));
                 }
@@ -408,19 +415,28 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
                 inconsist_server::FsyncPolicy::parse(cli.opt_str("fsync").unwrap_or("always"))
                     .map_err(|e| format!("--fsync: {e}"))?;
             let every: u64 = cli.opt("snapshot-every", 0)?;
+            let segment: u64 = cli.opt("segment-bytes", 0)?;
             Some(inconsist_server::DurabilityConfig {
                 data_dir: Path::new(dir).to_path_buf(),
                 fsync,
                 snapshot_every: (every > 0).then_some(every),
+                segment_bytes: (segment > 0).then_some(segment),
             })
         }
     };
+    let defaults = inconsist_server::ServerConfig::default();
     let config = inconsist_server::ServerConfig {
         addr: cli.opt_str("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: cli.opt("workers", 8)?,
         solve_threads: cli.opt("solve-threads", 1)?,
         mode,
         durability,
+        max_inflight: cli.opt("max-inflight", defaults.max_inflight)?,
+        session_inflight: cli.opt("session-inflight", defaults.session_inflight)?,
+        queue_limit: cli.opt("queue-limit", defaults.queue_limit)?,
+        retry_after_ms: cli.opt("retry-after-ms", defaults.retry_after_ms)?,
+        read_poll_ms: cli.opt("read-poll-ms", defaults.read_poll_ms)?,
+        write_timeout_ms: cli.opt("write-timeout-ms", defaults.write_timeout_ms)?,
         ..Default::default()
     };
     let handle = inconsist_server::serve(config).map_err(|e| e.to_string())?;

@@ -96,10 +96,14 @@ use crate::repair::RepairOp;
 use inconsist_constraints::{engine, ConstraintSet, ViolationSet};
 use inconsist_graph::{CompId, ConflictGraph, DynamicConflictGraph};
 use inconsist_relational::{AttrId, Database, Fact, RelationalError, TupleId, Value};
-use inconsist_solver::{component_min_repair, component_min_repair_lin, node_index_sets};
+use inconsist_solver::{
+    component_min_repair, component_min_repair_lin, component_min_repair_with,
+    component_repair_bounds, node_index_sets, Budget,
+};
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// How measure reads are answered; see the module docs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -131,6 +135,28 @@ pub struct ReadStats {
     pub lin_solves: u64,
     /// `I_R^lin` reads of a component answered from cache.
     pub lin_cache_hits: u64,
+}
+
+/// Outcome of a deadline-bounded (`anytime`) `I_R` / `I_R^lin` read.
+///
+/// When every component solved exactly, `partial` is `false` and `value`
+/// is the same number the blocking read would return. When the deadline
+/// (or step budget) expired mid-read, `partial` is `true`, `value` is a
+/// certified *lower* bound (exactly-solved components plus the LP bound
+/// of the rest) and `upper` carries the matching upper bound (greedy
+/// repairs for the unsolved components). Partial values are never cached.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnytimeValue {
+    /// The measure value; a lower bound when `partial`.
+    pub value: f64,
+    /// Upper bound on the true value; only meaningful when `partial`.
+    pub upper: f64,
+    /// Whether any component was answered with bounds instead of exactly.
+    pub partial: bool,
+    /// Components answered exactly (from cache or a completed solve).
+    pub solved: usize,
+    /// Components degraded to an `[LP, greedy]` interval.
+    pub degraded: usize,
 }
 
 /// Per-component measure cache; present iff the component is *clean*.
@@ -767,6 +793,185 @@ impl IncrementalIndex {
         };
         self.stats.lin_solves += 1;
         component_min_repair_lin(&graph, &node_sets).ok_or(MeasureError::Timeout)
+    }
+
+    // -- deadline-bounded (anytime) reads ----------------------------------
+
+    /// `I_R` under a wall-clock deadline: solves dirty components exactly
+    /// (ascending component order, sequential so the deadline stays
+    /// authoritative) until the deadline or per-component step budget runs
+    /// out, then degrades the remaining components to their polynomial
+    /// `[LP, greedy]` bounds instead of failing. Exact per-component
+    /// results are cached as usual; bounds never are. With `deadline:
+    /// None` this still degrades (rather than erroring) on step-budget
+    /// exhaustion.
+    pub fn i_r_anytime(
+        &mut self,
+        options: &MeasureOptions,
+        deadline: Option<Instant>,
+    ) -> AnytimeValue {
+        let expired = |d: &Option<Instant>| matches!(d, Some(d) if Instant::now() >= *d);
+        if self.mode == ReadMode::Global {
+            let graph = self.conflict_graph();
+            let subsets = self.mi_cache.as_deref().expect("filled by conflict_graph");
+            let node_sets = if graph.is_plain_graph() {
+                Vec::new()
+            } else {
+                node_index_sets(&graph, subsets)
+            };
+            self.stats.cover_solves += 1;
+            let mut budget = Budget::with_deadline(options.vc_budget, deadline);
+            return match component_min_repair_with(&graph, &node_sets, &mut budget) {
+                Some(v) => AnytimeValue {
+                    value: v,
+                    upper: v,
+                    partial: false,
+                    solved: 1,
+                    degraded: 0,
+                },
+                None => {
+                    let (lower, upper) = component_repair_bounds(&graph, &node_sets);
+                    AnytimeValue {
+                        value: lower,
+                        upper,
+                        partial: true,
+                        solved: 0,
+                        degraded: 1,
+                    }
+                }
+            };
+        }
+        let ids = self.ensure_components();
+        let mut out = AnytimeValue {
+            value: 0.0,
+            upper: 0.0,
+            partial: false,
+            solved: 0,
+            degraded: 0,
+        };
+        for c in &ids {
+            if let Some((b, v)) = self.comp_cache[c].ir {
+                if b == options.vc_budget {
+                    self.stats.cover_cache_hits += 1;
+                    out.value += v;
+                    out.upper += v;
+                    out.solved += 1;
+                    continue;
+                }
+            }
+            let (graph, node_sets) = {
+                let minimal = self.comp_cache[c].minimal.as_slice();
+                let graph = ConflictGraph::from_subsets(&self.db, minimal);
+                let node_sets = node_index_sets(&graph, minimal);
+                (graph, node_sets)
+            };
+            let solved = if out.partial || expired(&deadline) {
+                // Once degraded, stay degraded: later exact solves could
+                // not produce a total anyway, and bounds are cheap.
+                None
+            } else {
+                self.stats.cover_solves += 1;
+                let mut budget = Budget::with_deadline(options.vc_budget, deadline);
+                component_min_repair_with(&graph, &node_sets, &mut budget)
+            };
+            match solved {
+                Some(v) => {
+                    self.comp_cache.get_mut(c).expect("ensured").ir = Some((options.vc_budget, v));
+                    out.value += v;
+                    out.upper += v;
+                    out.solved += 1;
+                }
+                None => {
+                    let (lower, upper) = component_repair_bounds(&graph, &node_sets);
+                    out.value += lower;
+                    out.upper += upper;
+                    out.partial = true;
+                    out.degraded += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// `I_R^lin` under a wall-clock deadline: per-component LP solves in
+    /// ascending order with the deadline checked between components; once
+    /// it expires, the remaining components contribute `[0, greedy]`
+    /// bounds and the result is marked partial.
+    pub fn i_r_lin_anytime(&mut self, deadline: Option<Instant>) -> AnytimeValue {
+        let expired = |d: &Option<Instant>| matches!(d, Some(d) if Instant::now() >= *d);
+        if self.mode == ReadMode::Global {
+            let graph = self.conflict_graph();
+            let subsets = self.mi_cache.as_deref().expect("filled by conflict_graph");
+            let node_sets = if graph.is_plain_graph() {
+                Vec::new()
+            } else {
+                node_index_sets(&graph, subsets)
+            };
+            self.stats.lin_solves += 1;
+            return match component_min_repair_lin(&graph, &node_sets) {
+                Some(v) => AnytimeValue {
+                    value: v,
+                    upper: v,
+                    partial: false,
+                    solved: 1,
+                    degraded: 0,
+                },
+                None => {
+                    let (_, upper) = component_repair_bounds(&graph, &node_sets);
+                    AnytimeValue {
+                        value: 0.0,
+                        upper,
+                        partial: true,
+                        solved: 0,
+                        degraded: 1,
+                    }
+                }
+            };
+        }
+        let ids = self.ensure_components();
+        let mut out = AnytimeValue {
+            value: 0.0,
+            upper: 0.0,
+            partial: false,
+            solved: 0,
+            degraded: 0,
+        };
+        for c in &ids {
+            if let Some(v) = self.comp_cache[c].ir_lin {
+                self.stats.lin_cache_hits += 1;
+                out.value += v;
+                out.upper += v;
+                out.solved += 1;
+                continue;
+            }
+            let (graph, node_sets) = {
+                let minimal = self.comp_cache[c].minimal.as_slice();
+                let graph = ConflictGraph::from_subsets(&self.db, minimal);
+                let node_sets = node_index_sets(&graph, minimal);
+                (graph, node_sets)
+            };
+            let solved = if out.partial || expired(&deadline) {
+                None
+            } else {
+                self.stats.lin_solves += 1;
+                component_min_repair_lin(&graph, &node_sets)
+            };
+            match solved {
+                Some(v) => {
+                    self.comp_cache.get_mut(c).expect("ensured").ir_lin = Some(v);
+                    out.value += v;
+                    out.upper += v;
+                    out.solved += 1;
+                }
+                None => {
+                    let (_, upper) = component_repair_bounds(&graph, &node_sets);
+                    out.upper += upper;
+                    out.partial = true;
+                    out.degraded += 1;
+                }
+            }
+        }
+        out
     }
 
     // -- optimistic `&self` reads ------------------------------------------

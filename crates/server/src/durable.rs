@@ -8,7 +8,8 @@
 //! <data-dir>/<session>/
 //!   snapshot-00000000000000000000.snap   initial snapshot (seq 0)
 //!   snapshot-00000000000000000042.snap   later point-in-time snapshots
-//!   ops.log                              checksummed write-ahead records
+//!   ops-00000000000000000017.log         sealed segment (max seq 17)
+//!   ops.log                              active checksummed write-ahead log
 //! ```
 //!
 //! The *text* of both artifacts lives in [`inconsist_formats::durable`];
@@ -23,10 +24,25 @@
 //! * **snapshots** are written atomically (temp file + rename, fsynced
 //!   under `Always`), named by the last-applied sequence number so the
 //!   newest is picked by filename alone.
-//! * **compaction** rewrites the log keeping only records newer than the
-//!   newest snapshot.
-//! * **recovery** loads the newest snapshot, replays the log tail, and
-//!   truncates a torn final record before reopening the log for append.
+//! * **rotation** (with [`DurabilityConfig::segment_bytes`]) seals the
+//!   active log once it grows past the threshold, renaming it to
+//!   `ops-<last-seq>.log`; sealed segments are immutable, so compaction
+//!   can retire them by unlink alone instead of rewriting one giant log.
+//! * **compaction** deletes sealed segments wholly covered by the newest
+//!   snapshot and rewrites the (bounded) active log keeping only records
+//!   newer than that snapshot.
+//! * **recovery** loads the newest snapshot, replays sealed segments in
+//!   seq order then the active log, and truncates a torn final record in
+//!   the *active* log only — a tear inside a sealed segment is corruption
+//!   and fails recovery loudly.
+//!
+//! Every I/O site here is instrumented with a [`failpoints`] site (a
+//! compile-time no-op unless the `enabled` feature is on, which only
+//! test builds turn on). If an append's rollback truncate fails, or a
+//! compaction leaves the log handle unrecoverable, the session is
+//! **wedged**: further appends are refused with the original error
+//! rather than risking a log that silently diverges from what was
+//! acknowledged.
 
 use crate::error::ServerError;
 use inconsist_formats::durable::{encode_log_record, parse_log, parse_snapshot, Snapshot};
@@ -74,6 +90,9 @@ pub struct DurabilityConfig {
     pub fsync: FsyncPolicy,
     /// Automatically snapshot (and compact) after this many applied ops.
     pub snapshot_every: Option<u64>,
+    /// Seal the active log into an immutable `ops-<seq>.log` segment once
+    /// it grows past this many bytes; `None` keeps a single `ops.log`.
+    pub segment_bytes: Option<u64>,
 }
 
 /// What recovery did, surfaced through `stats`.
@@ -120,8 +139,18 @@ pub struct Durability {
     pub fsync: FsyncPolicy,
     /// Auto-snapshot threshold.
     pub snapshot_every: Option<u64>,
+    /// Segment-rotation threshold for the active log.
+    pub segment_bytes: Option<u64>,
+    /// Sealed `ops-<seq>.log` segments currently on disk.
+    pub sealed_segments: u64,
+    /// Total bytes across those sealed segments.
+    pub sealed_bytes: u64,
     /// Set when this session came back from disk.
     pub recovery: Option<RecoveryStats>,
+    /// Set when a failed rollback left the on-disk log in a state this
+    /// handle can no longer extend safely; every later append refuses
+    /// with this message until the session is recovered from disk.
+    wedged: Option<String>,
 }
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> ServerError {
@@ -134,6 +163,49 @@ fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
 
 fn log_path(dir: &Path) -> PathBuf {
     dir.join("ops.log")
+}
+
+fn segment_path(dir: &Path, last_seq: u64) -> PathBuf {
+    dir.join(format!("ops-{last_seq:020}.log"))
+}
+
+/// Sealed segments in a session directory as `(last_seq, path)`, sorted
+/// ascending by the sequence number baked into the filename.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, ServerError> {
+    let mut segments = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err("read", dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("read", dir, e))?;
+        let file_name = entry.file_name();
+        let Some(stem) = file_name
+            .to_str()
+            .and_then(|n| n.strip_prefix("ops-"))
+            .and_then(|n| n.strip_suffix(".log"))
+        else {
+            continue;
+        };
+        let Ok(seq) = stem.parse::<u64>() else {
+            continue;
+        };
+        segments.push((seq, entry.path()));
+    }
+    segments.sort();
+    Ok(segments)
+}
+
+/// Runs `write_all` through a failpoint site that can inject an outright
+/// error or a deliberately short ("torn") write.
+fn faulty_write(site: &str, file: &mut File, buf: &[u8]) -> std::io::Result<()> {
+    match failpoints::check(site)? {
+        None => file.write_all(buf),
+        Some(n) => {
+            let n = n.min(buf.len());
+            file.write_all(&buf[..n])?;
+            Err(std::io::Error::other(format!(
+                "failpoint {site}: torn write after {n} bytes"
+            )))
+        }
+    }
 }
 
 /// Durable session names become directory names, so they are restricted
@@ -180,7 +252,7 @@ impl Durability {
             .any(|e| {
                 let n = e.file_name();
                 let n = n.to_string_lossy();
-                n == "ops.log" || n.starts_with("snapshot-")
+                n == "ops.log" || n.starts_with("ops-") || n.starts_with("snapshot-")
             });
         if leftovers {
             return Err(ServerError::Io(format!(
@@ -206,14 +278,25 @@ impl Durability {
             ops_since_snapshot: 0,
             fsync: cfg.fsync,
             snapshot_every: cfg.snapshot_every,
+            segment_bytes: cfg.segment_bytes,
+            sealed_segments: 0,
+            sealed_bytes: 0,
             recovery: None,
+            wedged: None,
         })
     }
 
     /// Appends one batch of already-sequenced op lines, write-ahead. On
     /// any failure the log is truncated back to its pre-batch length so
-    /// the caller can refuse the whole batch.
+    /// the caller can refuse the whole batch; if even that rollback
+    /// fails, the session wedges and refuses all further appends.
     pub fn append(&mut self, records: &[(u64, String)]) -> Result<(), ServerError> {
+        if let Some(why) = &self.wedged {
+            return Err(ServerError::Io(format!(
+                "{}: log wedged by earlier failure ({why}); restart to recover",
+                log_path(&self.dir).display()
+            )));
+        }
         let before = self.log_bytes;
         let mut buf = String::new();
         let mut logical = 0u64;
@@ -221,25 +304,82 @@ impl Durability {
             logical += line.len() as u64;
             buf.push_str(&encode_log_record(*seq, line));
         }
-        let result = self
-            .log
-            .write_all(buf.as_bytes())
-            .and_then(|()| match self.fsync {
-                FsyncPolicy::Always => self.log.sync_data(),
+        let result = faulty_write("wal.append.write", &mut self.log, buf.as_bytes()).and_then(
+            |()| match self.fsync {
+                FsyncPolicy::Always => {
+                    failpoints::check("wal.append.fsync").and_then(|_| self.log.sync_data())
+                }
                 FsyncPolicy::Never => Ok(()),
-            });
+            },
+        );
         match result {
             Ok(()) => {
                 self.log_bytes += buf.len() as u64;
                 self.appended_bytes += buf.len() as u64;
                 self.log_records += records.len() as u64;
                 self.logical_bytes += logical;
+                if let Some(last) = records.last() {
+                    self.maybe_rotate(last.0);
+                }
                 Ok(())
             }
             Err(e) => {
-                // Best-effort rollback: the batch must be all-or-nothing.
-                let _ = self.log.set_len(before);
+                // Rollback: the batch must be all-or-nothing. A failed
+                // truncate can leave a partial record on disk, so the
+                // handle wedges — recovery will drop the torn tail, and
+                // until then nothing may append after it.
+                let rollback =
+                    failpoints::check("wal.append.truncate").and_then(|_| self.log.set_len(before));
+                if let Err(trunc) = rollback {
+                    self.wedged = Some(format!("append failed ({e}), rollback failed ({trunc})"));
+                }
                 Err(io_err("append to", &log_path(&self.dir), e))
+            }
+        }
+    }
+
+    /// Seals the active log into `ops-<last_seq>.log` once it passes the
+    /// rotation threshold. Best-effort: a failed seal leaves the active
+    /// log exactly as it was (rename is atomic), so appends continue.
+    fn maybe_rotate(&mut self, last_seq: u64) {
+        let Some(limit) = self.segment_bytes else {
+            return;
+        };
+        if self.log_bytes < limit || self.log_bytes == 0 {
+            return;
+        }
+        let active = log_path(&self.dir);
+        let sealed = segment_path(&self.dir, last_seq);
+        let renamed =
+            failpoints::check("wal.seal.rename").and_then(|_| std::fs::rename(&active, &sealed));
+        if let Err(e) = renamed {
+            // Nothing moved: the active log is untouched, so rotation is
+            // simply retried after the next batch.
+            eprintln!(
+                "warning: {}: log rotation failed ({e}); continuing on current segment",
+                active.display()
+            );
+            return;
+        }
+        match OpenOptions::new().create(true).append(true).open(&active) {
+            Ok(log) => {
+                self.log = log;
+                self.sealed_segments += 1;
+                self.sealed_bytes += self.log_bytes;
+                self.log_bytes = 0;
+                if self.fsync == FsyncPolicy::Always {
+                    // Make the rename + new file durable. Failure is
+                    // tolerable: after a crash either name recovers the
+                    // same records, so recovery is unaffected.
+                    let _ = File::open(&self.dir).and_then(|d| d.sync_data());
+                }
+            }
+            Err(e) => {
+                // The rename happened but the fresh active log could not
+                // be opened. Appending through the old handle would grow
+                // the *sealed* file past the seq in its name — compaction
+                // could then unlink acknowledged records — so wedge.
+                self.wedged = Some(format!("log rotation stranded the active log ({e})"));
             }
         }
     }
@@ -249,33 +389,61 @@ impl Durability {
     pub fn write_snapshot(&mut self, seq: u64, text: &str) -> Result<PathBuf, ServerError> {
         let path = snapshot_path(&self.dir, seq);
         let tmp = path.with_extension("tmp");
+        let fsync = self.fsync;
+        let dir = self.dir.clone();
         let write = || -> std::io::Result<()> {
+            failpoints::check("snapshot.create")?;
             let mut f = File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
-            if self.fsync == FsyncPolicy::Always {
+            faulty_write("snapshot.write", &mut f, text.as_bytes())?;
+            if fsync == FsyncPolicy::Always {
+                failpoints::check("snapshot.fsync")?;
                 f.sync_data()?;
             }
+            failpoints::check("snapshot.rename")?;
             std::fs::rename(&tmp, &path)?;
-            if self.fsync == FsyncPolicy::Always {
+            if fsync == FsyncPolicy::Always {
                 // The rename must be durable too: fsync the directory.
-                File::open(&self.dir)?.sync_data()?;
+                File::open(&dir)?.sync_data()?;
             }
             Ok(())
         };
-        write().map_err(|e| io_err("write snapshot", &path, e))?;
+        let result = write();
+        if result.is_err() {
+            // A failed snapshot must not strand its temp file: recovery
+            // only scans `*.snap`, but the leftover would linger forever.
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result.map_err(|e| io_err("write snapshot", &path, e))?;
         self.snapshot_seq = self.snapshot_seq.max(seq);
         self.snapshots_written += 1;
         self.ops_since_snapshot = 0;
         Ok(path)
     }
 
-    /// Rewrites the log keeping only records with `seq >` the newest
-    /// snapshot's. Returns `(kept, dropped)` record counts.
+    /// Compacts the log against the newest snapshot: sealed segments
+    /// whose filename seq is `<=` the snapshot's are unlinked whole, and
+    /// the active log is rewritten keeping only newer records. Returns
+    /// `(kept, dropped)` record counts (unlinked segments count their
+    /// records as dropped only in aggregate byte terms — they are not
+    /// re-parsed).
     pub fn compact(&mut self) -> Result<(u64, u64), ServerError> {
+        let cutoff = self.snapshot_seq;
+        // Retire sealed segments first: they are immutable, so "compacting"
+        // one is a single unlink — no stop-the-world rewrite of old data.
+        for (seq, seg_path) in list_segments(&self.dir)? {
+            if seq > cutoff {
+                continue;
+            }
+            let len = std::fs::metadata(&seg_path).map(|m| m.len()).unwrap_or(0);
+            failpoints::check("compact.unlink")
+                .and_then(|_| std::fs::remove_file(&seg_path))
+                .map_err(|e| io_err("unlink segment", &seg_path, e))?;
+            self.sealed_segments = self.sealed_segments.saturating_sub(1);
+            self.sealed_bytes = self.sealed_bytes.saturating_sub(len);
+        }
         let path = log_path(&self.dir);
         let bytes = std::fs::read(&path).map_err(|e| io_err("read", &path, e))?;
         let scan = parse_log(&bytes).map_err(ServerError::Io)?;
-        let cutoff = self.snapshot_seq;
         let mut kept = 0u64;
         let mut dropped = 0u64;
         let mut out = String::new();
@@ -288,26 +456,57 @@ impl Durability {
             }
         }
         let tmp = path.with_extension("tmp");
+        let fsync = self.fsync;
+        let dir = self.dir.clone();
         let rewrite = || -> std::io::Result<File> {
+            failpoints::check("compact.rewrite")?;
             let mut f = File::create(&tmp)?;
-            f.write_all(out.as_bytes())?;
-            if self.fsync == FsyncPolicy::Always {
+            faulty_write("compact.write", &mut f, out.as_bytes())?;
+            if fsync == FsyncPolicy::Always {
                 f.sync_data()?;
             }
+            failpoints::check("compact.rename")?;
             std::fs::rename(&tmp, &path)?;
-            if self.fsync == FsyncPolicy::Always {
-                File::open(&self.dir)?.sync_data()?;
+            if fsync == FsyncPolicy::Always {
+                File::open(&dir)?.sync_data()?;
             }
             OpenOptions::new().append(true).open(&path)
         };
-        self.log = rewrite().map_err(|e| io_err("compact", &path, e))?;
-        self.log_bytes = out.len() as u64;
-        Ok((kept, dropped))
+        match rewrite() {
+            Ok(log) => {
+                self.log = log;
+                self.log_bytes = out.len() as u64;
+                Ok((kept, dropped))
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                // The rename may or may not have happened; either way the
+                // old handle could now point at an unlinked inode, where
+                // appends would vanish silently. Re-adopt whatever file
+                // the active name reaches — or wedge if even that fails.
+                match OpenOptions::new().append(true).open(&path) {
+                    Ok(log) => {
+                        self.log_bytes = log.metadata().map(|m| m.len()).unwrap_or(0);
+                        self.log = log;
+                    }
+                    Err(reopen) => {
+                        self.wedged =
+                            Some(format!("compact failed ({e}), reopen failed ({reopen})"));
+                    }
+                }
+                Err(io_err("compact", &path, e))
+            }
+        }
     }
 
     /// The session directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Why appends are being refused, if a failed rollback wedged the log.
+    pub fn wedged(&self) -> Option<&str> {
+        self.wedged.as_deref()
     }
 }
 
@@ -363,9 +562,49 @@ pub fn recover_dir(cfg: &DurabilityConfig, name: &str) -> Result<Recovered, Serv
             snapshot.meta.seq
         )));
     }
-    // Scan the log, drop a torn tail, keep records past the snapshot.
+    // Replay sealed segments in seq order. Sealed segments are immutable
+    // once rotation renames them, so *any* damage inside one — torn tail
+    // included — is corruption and fails recovery loudly.
+    let mut records: Vec<(u64, String)> = Vec::new();
+    let mut last_seq = 0u64;
+    let mut sealed_segments = 0u64;
+    let mut sealed_bytes = 0u64;
+    for (file_seq, seg_path) in list_segments(&dir)? {
+        let bytes = failpoints::check("recover.read")
+            .and_then(|_| std::fs::read(&seg_path))
+            .map_err(|e| io_err("read", &seg_path, e))?;
+        let scan = parse_log(&bytes)
+            .map_err(|e| ServerError::Io(format!("{}: {e}", seg_path.display())))?;
+        if let Some(report) = &scan.torn {
+            return Err(ServerError::Io(format!(
+                "{}: sealed segment is damaged ({report})",
+                seg_path.display()
+            )));
+        }
+        let seg_last = scan.records.last().map(|(s, _)| *s).unwrap_or(file_seq);
+        if seg_last != file_seq {
+            return Err(ServerError::Io(format!(
+                "{}: filename says last seq {file_seq} but the records end at {seg_last}",
+                seg_path.display()
+            )));
+        }
+        if let Some((first, _)) = scan.records.first() {
+            if *first <= last_seq {
+                return Err(ServerError::Io(format!(
+                    "{}: seq {first} does not extend the previous segment (ends at {last_seq})",
+                    seg_path.display()
+                )));
+            }
+        }
+        last_seq = file_seq;
+        sealed_segments += 1;
+        sealed_bytes += bytes.len() as u64;
+        records.extend(scan.records);
+    }
+    // Then the active log, where (only) a torn *final* record is dropped.
     let path = log_path(&dir);
-    let bytes = match std::fs::read(&path) {
+    let read = failpoints::check("recover.read").and_then(|_| std::fs::read(&path));
+    let bytes = match read {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(io_err("read", &path, e)),
@@ -376,6 +615,14 @@ pub fn recover_dir(cfg: &DurabilityConfig, name: &str) -> Result<Recovered, Serv
     if let Some(report) = &scan.torn {
         eprintln!("recovering `{name}`: {report}");
     }
+    if let Some((first, _)) = scan.records.first() {
+        if sealed_segments > 0 && *first <= last_seq {
+            return Err(ServerError::Io(format!(
+                "{}: seq {first} does not extend the sealed segments (end at {last_seq})",
+                path.display()
+            )));
+        }
+    }
     let log = OpenOptions::new()
         .create(true)
         .append(true)
@@ -385,8 +632,8 @@ pub fn recover_dir(cfg: &DurabilityConfig, name: &str) -> Result<Recovered, Serv
         log.set_len(scan.valid_len as u64)
             .map_err(|e| io_err("truncate", &path, e))?;
     }
-    let tail: Vec<(u64, String)> = scan
-        .records
+    records.extend(scan.records);
+    let tail: Vec<(u64, String)> = records
         .into_iter()
         .filter(|(seq, _)| *seq > snapshot.meta.seq)
         .collect();
@@ -402,7 +649,11 @@ pub fn recover_dir(cfg: &DurabilityConfig, name: &str) -> Result<Recovered, Serv
         ops_since_snapshot: tail.len() as u64,
         fsync: cfg.fsync,
         snapshot_every: cfg.snapshot_every,
+        segment_bytes: cfg.segment_bytes,
+        sealed_segments,
+        sealed_bytes,
         recovery: None,
+        wedged: None,
     };
     Ok(Recovered {
         snapshot,

@@ -31,6 +31,19 @@ pub enum ServerError {
     /// A durability request (`snapshot` / `compact`) targeted a session
     /// that is not running with a `--data-dir`.
     NotDurable(String),
+    /// The server shed this request: an admission bound (global in-flight,
+    /// per-session in-flight, or queue depth) was hit. Carries the
+    /// server's backoff hint, also emitted as a `retry_after_ms` response
+    /// member so clients can branch without parsing prose.
+    Overloaded {
+        /// What was saturated (for the human-readable message).
+        what: String,
+        /// Advisory client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request's `deadline_ms` expired before an answer — even a
+    /// partial or stale one — could be produced.
+    Deadline(String),
 }
 
 impl ServerError {
@@ -45,16 +58,23 @@ impl ServerError {
             ServerError::Measure(_) => "measure",
             ServerError::Io(_) => "io",
             ServerError::NotDurable(_) => "not_durable",
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::Deadline(_) => "deadline",
         }
     }
 
-    /// The error response object for the wire.
+    /// The error response object for the wire. `overloaded` responses
+    /// carry a machine-readable `retry_after_ms` member.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut members = vec![
             ("ok", Json::Bool(false)),
             ("kind", Json::str(self.kind())),
             ("error", Json::str(self.to_string())),
-        ])
+        ];
+        if let ServerError::Overloaded { retry_after_ms, .. } = self {
+            members.push(("retry_after_ms", Json::Num(*retry_after_ms as f64)));
+        }
+        Json::obj(members)
     }
 }
 
@@ -72,6 +92,11 @@ impl fmt::Display for ServerError {
                 f,
                 "session `{name}` is not durable (start the server with --data-dir)"
             ),
+            ServerError::Overloaded {
+                what,
+                retry_after_ms,
+            } => write!(f, "overloaded: {what}; retry after {retry_after_ms}ms"),
+            ServerError::Deadline(msg) => write!(f, "deadline expired: {msg}"),
         }
     }
 }

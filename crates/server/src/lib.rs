@@ -47,7 +47,7 @@ pub mod wire;
 
 pub use durable::{DurabilityConfig, FsyncPolicy};
 pub use error::ServerError;
-pub use router::{Control, ServerCounters};
+pub use router::{Admission, Control, ServerCounters};
 pub use session::{Registry, Session};
 pub use wire::Json;
 
@@ -60,6 +60,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -79,6 +80,26 @@ pub struct ServerConfig {
     /// directories are recovered before the listener accepts, and a clean
     /// shutdown snapshots every session.
     pub durability: Option<DurabilityConfig>,
+    /// Global cap on concurrently executing work-carrying requests
+    /// (`op`/`measure`/`create`/`snapshot`/`compact`); 0 = unbounded.
+    /// Excess requests are shed with `kind:"overloaded"`.
+    pub max_inflight: u64,
+    /// Per-session cap on concurrently executing requests; 0 = unbounded.
+    pub session_inflight: u64,
+    /// Cap on connections queued for a free worker; 0 = unbounded. A
+    /// connection arriving past the cap receives one `kind:"overloaded"`
+    /// response and is closed instead of queueing without limit.
+    pub queue_limit: u64,
+    /// Backoff hint (milliseconds) attached to every shed response.
+    pub retry_after_ms: u64,
+    /// How often (milliseconds) a blocked connection read wakes to check
+    /// the stop flag; bounds shutdown latency behind idle connections.
+    pub read_poll_ms: u64,
+    /// Per-response write timeout (milliseconds); 0 = none. A connection
+    /// whose peer reads too slowly to absorb a response within it is
+    /// dropped (slow-client protection: a stalled reader cannot pin a
+    /// worker thread forever).
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +111,12 @@ impl Default for ServerConfig {
             solve_threads: 1,
             options: MeasureOptions::default(),
             durability: None,
+            max_inflight: 0,
+            session_inflight: 0,
+            queue_limit: 0,
+            retry_after_ms: 50,
+            read_poll_ms: 250,
+            write_timeout_ms: 5000,
         }
     }
 }
@@ -97,9 +124,12 @@ impl Default for ServerConfig {
 struct Shared {
     registry: Registry,
     counters: ServerCounters,
+    admission: Admission,
     options: MeasureOptions,
     stop: AtomicBool,
     addr: SocketAddr,
+    read_poll: Duration,
+    write_timeout: Option<Duration>,
 }
 
 /// A handle to a running server: its bound address and a way to stop it.
@@ -174,12 +204,21 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         registry,
         counters: ServerCounters::default(),
+        admission: Admission::new(
+            config.max_inflight,
+            config.session_inflight,
+            config.retry_after_ms,
+        ),
         options: config.options,
         stop: AtomicBool::new(false),
         addr,
+        read_poll: Duration::from_millis(config.read_poll_ms.max(1)),
+        write_timeout: (config.write_timeout_ms > 0)
+            .then(|| Duration::from_millis(config.write_timeout_ms)),
     });
     let accept_shared = Arc::clone(&shared);
     let workers = config.workers;
+    let queue_limit = config.queue_limit;
     let accept = std::thread::Builder::new()
         .name("inconsist-accept".to_string())
         .spawn(move || {
@@ -193,6 +232,14 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
                     .counters
                     .connections
                     .fetch_add(1, Ordering::SeqCst);
+                // Queue bound: a connection arriving while `queue_limit`
+                // others already wait for a worker is shed with one
+                // well-formed overloaded response, not queued forever.
+                if queue_limit != 0 && pool.queued() >= queue_limit {
+                    accept_shared.admission.shed.fetch_add(1, Ordering::SeqCst);
+                    shed_connection(stream, accept_shared.admission.retry_after_ms);
+                    continue;
+                }
                 let conn_shared = Arc::clone(&accept_shared);
                 pool.execute(move || handle_connection(&conn_shared, stream));
             }
@@ -227,9 +274,22 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
 /// rather than letting `read_line` grow the buffer without bound.
 const MAX_REQUEST_BYTES: usize = 8 << 20;
 
-/// How often a blocked connection read wakes up to check the stop flag,
-/// so shutdown cannot hang behind an idle connection.
-const READ_POLL: std::time::Duration = std::time::Duration::from_millis(250);
+/// Sheds one connection at accept time: writes a single `overloaded`
+/// response line (under a short write timeout, so a non-reading peer
+/// cannot stall the accept loop) and closes the socket.
+fn shed_connection(mut stream: TcpStream, retry_after_ms: u64) {
+    stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    let mut line = ServerError::Overloaded {
+        what: "connection queue is full".to_string(),
+        retry_after_ms,
+    }
+    .to_json()
+    .to_string();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+}
 
 /// Reads one newline-terminated line into `line`, which may already hold
 /// the partial prefix of a previous timed-out attempt. Returns `Ok(true)`
@@ -272,7 +332,19 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
     // side and delayed ACKs on the client's turn every request into a
     // ~40ms round trip.
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(READ_POLL)).ok();
+    // The poll-read timeout is load-bearing (shutdown latency depends on
+    // it), so a socket that cannot take one is dropped, not served with
+    // a blocking read that would pin its worker past shutdown.
+    if let Err(e) = stream.set_read_timeout(Some(shared.read_poll)) {
+        eprintln!("dropping connection: set_read_timeout failed: {e}");
+        return;
+    }
+    if let Some(timeout) = shared.write_timeout {
+        if let Err(e) = stream.set_write_timeout(Some(timeout)) {
+            eprintln!("dropping connection: set_write_timeout failed: {e}");
+            return;
+        }
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -307,15 +379,26 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         let (mut response, control) = route_line(
             &shared.registry,
             &shared.counters,
+            &shared.admission,
             &shared.options,
             line.trim(),
         );
         response.push('\n');
-        if writer
+        if let Err(e) = writer
             .write_all(response.as_bytes())
             .and_then(|()| writer.flush())
-            .is_err()
         {
+            // A peer that stops reading fills the socket buffer until our
+            // bounded write times out; drop it rather than pin a worker.
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                shared
+                    .counters
+                    .slow_client_drops
+                    .fetch_add(1, Ordering::SeqCst);
+            }
             return;
         }
         match control {
@@ -332,39 +415,168 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
 }
 
 /// A tiny blocking client for tests, benches and the CLI `client` mode:
-/// one connection, send a line, read a line.
+/// one connection, send a line, read a line. Remembers its address so
+/// [`request_with_retry`](Client::request_with_retry) can reconnect after
+/// the server drops the connection (shed at accept, slow-client drop,
+/// restart).
 pub struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    addr: SocketAddr,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+}
+
+/// Bounded-retry policy for [`Client::request_with_retry`]: jittered
+/// exponential backoff that honors the server's `retry_after_ms` hint on
+/// `kind:"overloaded"` responses.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = behave like `request`).
+    pub max_retries: u32,
+    /// First backoff in milliseconds (doubles per retry).
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_backoff_ms: 20,
+            max_backoff_ms: 2000,
+        }
+    }
 }
 
 impl Client {
     /// Connects to a server.
     pub fn connect(addr: &SocketAddr) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
+        let mut client = Client {
+            addr: *addr,
+            conn: None,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    fn ensure_connected(&mut self) -> std::io::Result<()> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true).ok();
+            self.conn = Some((BufReader::new(stream.try_clone()?), stream));
+        }
+        Ok(())
     }
 
     /// Sends one request line and reads one response line.
     pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.ensure_connected()?;
+        let (reader, writer) = self.conn.as_mut().expect("just connected");
         let mut framed = String::with_capacity(line.len() + 1);
         framed.push_str(line);
         framed.push('\n');
-        self.writer.write_all(framed.as_bytes())?;
-        self.writer.flush()?;
-        let mut response = String::new();
-        self.reader.read_line(&mut response)?;
-        if response.is_empty() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        let attempt = (|| {
+            writer.write_all(framed.as_bytes())?;
+            writer.flush()?;
+            let mut response = String::new();
+            reader.read_line(&mut response)?;
+            if response.is_empty() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            Ok(response.trim_end().to_string())
+        })();
+        if attempt.is_err() {
+            // The connection is in an unknown state: drop it so the next
+            // request (or retry) reconnects fresh.
+            self.conn = None;
         }
-        Ok(response.trim_end().to_string())
+        attempt
+    }
+
+    /// [`request`](Client::request) with bounded, jittered retry:
+    /// reconnects and retries on I/O errors, and backs off and retries on
+    /// `kind:"overloaded"` responses, honoring the server's
+    /// `retry_after_ms` hint. Retrying a write is only safe when the op
+    /// carries an idempotency `token` (the server dedups re-applied
+    /// batches); reads are always safe to retry.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<String> {
+        let mut jitter = JitterRng::new(self.addr.port() as u64 ^ std::process::id() as u64);
+        let mut last_err: Option<std::io::Error> = None;
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                let backoff = policy
+                    .base_backoff_ms
+                    .saturating_mul(1 << (attempt - 1).min(16))
+                    .min(policy.max_backoff_ms);
+                let hinted = last_err
+                    .as_ref()
+                    .and_then(|e| retry_after_hint(&e.to_string()))
+                    .unwrap_or(0);
+                // Full jitter over [base/2, base]: spreads synchronized
+                // retries without ever undercutting the server's hint.
+                let base = backoff.max(hinted).max(1);
+                let wait = base / 2 + jitter.below(base / 2 + 1);
+                std::thread::sleep(Duration::from_millis(wait));
+            }
+            match self.request(line) {
+                Ok(response) => {
+                    if let Some(hint) = overloaded_hint(&response) {
+                        last_err = Some(std::io::Error::other(format!(
+                            "overloaded (retry_after_ms {hint}): {response}"
+                        )));
+                        continue;
+                    }
+                    return Ok(response);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| std::io::Error::other("retries exhausted")))
+    }
+}
+
+/// Extracts `retry_after_ms` from an `overloaded` response, or `None`
+/// when the response is anything else.
+fn overloaded_hint(response: &str) -> Option<u64> {
+    let json = Json::parse(response).ok()?;
+    if json.get("kind").and_then(Json::as_str) != Some("overloaded") {
+        return None;
+    }
+    Some(
+        json.get("retry_after_ms")
+            .and_then(Json::as_f64)
+            .map_or(0, |ms| ms as u64),
+    )
+}
+
+/// Recovers the hint a prior overloaded response embedded in an error
+/// message (see `request_with_retry`).
+fn retry_after_hint(message: &str) -> Option<u64> {
+    let rest = message.strip_prefix("overloaded (retry_after_ms ")?;
+    let end = rest.find(')')?;
+    rest[..end].parse().ok()
+}
+
+/// Tiny xorshift PRNG for retry jitter — no `rand` dependency, and
+/// quality does not matter here, only de-synchronization.
+struct JitterRng(u64);
+
+impl JitterRng {
+    fn new(seed: u64) -> Self {
+        JitterRng(seed | 1)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0 % bound.max(1)
     }
 }
 

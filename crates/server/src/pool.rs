@@ -2,11 +2,15 @@
 //!
 //! The accept loop hands each incoming connection to the pool as a boxed
 //! job; `workers` connections are served concurrently and the rest queue.
+//! The queue depth is observable ([`WorkerPool::queued`]) and boundable
+//! ([`WorkerPool::try_execute`]) — the server's accept loop uses the
+//! bounded form to shed connections instead of queueing without limit.
 //! Shutdown is drop-driven: closing the sender ends the channel, each
 //! worker drains what it already received and exits, and
 //! [`WorkerPool::join`] waits for them.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,6 +21,10 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct WorkerPool {
     tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Jobs accepted but not yet started (connections waiting for a
+    /// worker). Incremented at enqueue, decremented when a worker picks
+    /// the job up.
+    queued: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -24,9 +32,11 @@ impl WorkerPool {
     pub fn new(name: &str, workers: usize) -> WorkerPool {
         let (tx, rx) = channel::<Job>();
         let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicU64::new(0));
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let queued = Arc::clone(&queued);
                 std::thread::Builder::new()
                     .name(format!("{name}-{i}"))
                     .spawn(move || loop {
@@ -36,6 +46,7 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => break, // sender dropped: shutdown
                         };
+                        queued.fetch_sub(1, Ordering::SeqCst);
                         job();
                     })
                     .expect("spawn worker thread")
@@ -44,15 +55,41 @@ impl WorkerPool {
         WorkerPool {
             tx: Some(tx),
             workers,
+            queued,
         }
+    }
+
+    /// Jobs enqueued but not yet picked up by a worker.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::SeqCst)
     }
 
     /// Enqueues a job; returns `false` after [`join`](Self::join).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.tx {
-            Some(tx) => tx.send(Box::new(job)).is_ok(),
+            Some(tx) => {
+                self.queued.fetch_add(1, Ordering::SeqCst);
+                if tx.send(Box::new(job)).is_ok() {
+                    true
+                } else {
+                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    false
+                }
+            }
             None => false,
         }
+    }
+
+    /// Bounded enqueue: refuses (without queueing) when `limit` jobs are
+    /// already waiting for a worker. `limit == 0` means unbounded. The
+    /// check-then-enqueue is advisory — racing producers can briefly
+    /// overshoot by the number of racers — but the server has a single
+    /// accept loop, so in practice the bound is exact.
+    pub fn try_execute(&self, limit: u64, job: impl FnOnce() + Send + 'static) -> bool {
+        if limit != 0 && self.queued() >= limit {
+            return false;
+        }
+        self.execute(job)
     }
 
     /// Closes the queue and waits for every worker to finish its current
@@ -90,5 +127,29 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 64);
         // After join the pool refuses further work.
         assert!(!pool.execute(|| {}));
+    }
+
+    #[test]
+    fn bounded_enqueue_refuses_past_the_limit() {
+        let mut pool = WorkerPool::new("bounded", 1);
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        // Occupy the single worker until the gate opens.
+        assert!(pool.execute(move || {
+            let _ = gate_rx.recv();
+        }));
+        // Wait for the worker to pick the blocker up (queued drops to 0).
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        // Two slots of queue allowed; the third enqueue is refused.
+        assert!(pool.try_execute(2, || {}));
+        assert!(pool.try_execute(2, || {}));
+        assert!(!pool.try_execute(2, || {}));
+        assert_eq!(pool.queued(), 2);
+        // Unbounded enqueue still works.
+        assert!(pool.try_execute(0, || {}));
+        gate_tx.send(()).unwrap();
+        pool.join();
+        assert_eq!(pool.queued(), 0);
     }
 }

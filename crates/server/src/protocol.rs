@@ -9,8 +9,8 @@
 //! | `create` | `session`, `csv`/`csv_path`, `dc`/`dc_path`, `mode?` | load a database + constraints into a named session |
 //! | `drop` | `session` | drop a session |
 //! | `sessions` | — | list live session names |
-//! | `op` | `session`, `ops` | apply repairing operations (`.ops` lines) through the writer path |
-//! | `measure` | `session`, `measures?`, `per_dc?` | read measures through the shared/exclusive read paths |
+//! | `op` | `session`, `ops`, `token?` | apply repairing operations (`.ops` lines) through the writer path; `token` makes the batch idempotent (a replayed token returns the recorded response instead of re-applying) |
+//! | `measure` | `session`, `measures?`, `per_dc?`, `deadline_ms?` | read measures through the shared/exclusive read paths; past the deadline, `I_R`/`I_R^lin` degrade to bounds tagged `partial:true` and lock-blocked reads degrade to the last served values tagged `stale:true` |
 //! | `stats` | `session?` | read/op counters, cache hit rates, durability/recovery stats |
 //! | `snapshot` | `session` | write a point-in-time snapshot (durable sessions only) |
 //! | `compact` | `session` | drop log records covered by the newest snapshot |
@@ -70,6 +70,10 @@ pub enum Request {
         session: String,
         /// One or more `.ops` lines.
         ops: String,
+        /// Idempotency token: a batch replayed with a token the session
+        /// has already applied returns the recorded response instead of
+        /// applying twice, which makes client-side retry safe.
+        token: Option<String>,
     },
     /// Read measures through the shared/exclusive read paths.
     Measure {
@@ -79,6 +83,10 @@ pub enum Request {
         measures: Vec<String>,
         /// Also report the per-constraint `I_MI^dc` drilldown.
         per_dc: bool,
+        /// Wall-clock budget for this read, in milliseconds. When it
+        /// expires the response degrades (partial/stale) instead of
+        /// blocking; see the module table.
+        deadline_ms: Option<u64>,
     },
     /// Counters for one session (or all sessions).
     Stats {
@@ -196,6 +204,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
         "op" => Ok(Request::Op {
             session: required_str(&json, "session")?,
             ops: required_str(&json, "ops")?,
+            token: json.get("token").and_then(Json::as_str).map(str::to_string),
         }),
         "measure" => {
             let measures: Vec<String> = match json.get("measures") {
@@ -222,10 +231,20 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
                     )));
                 }
             }
+            let deadline_ms = match json.get("deadline_ms") {
+                None => None,
+                Some(v) => {
+                    let ms = v.as_f64().filter(|ms| *ms >= 0.0).ok_or_else(|| {
+                        ServerError::Protocol("`deadline_ms` must be a non-negative number".into())
+                    })?;
+                    Some(ms as u64)
+                }
+            };
             Ok(Request::Measure {
                 session: required_str(&json, "session")?,
                 measures,
                 per_dc: json.get("per_dc").and_then(Json::as_bool).unwrap_or(false),
+                deadline_ms,
             })
         }
         "stats" => Ok(Request::Stats {
@@ -284,6 +303,25 @@ mod tests {
                 session: "s".into(),
                 measures: vec!["I_MI".into(), "I_MC".into()],
                 per_dc: true,
+                deadline_ms: None,
+            }
+        );
+        let deadline =
+            parse_request("{\"cmd\":\"measure\",\"session\":\"s\",\"deadline_ms\":250}").unwrap();
+        match deadline {
+            Request::Measure { deadline_ms, .. } => assert_eq!(deadline_ms, Some(250)),
+            other => panic!("{other:?}"),
+        }
+        let op = parse_request(
+            "{\"cmd\":\"op\",\"session\":\"s\",\"ops\":\"delete 1\",\"token\":\"c1-42\"}",
+        )
+        .unwrap();
+        assert_eq!(
+            op,
+            Request::Op {
+                session: "s".into(),
+                ops: "delete 1".into(),
+                token: Some("c1-42".into()),
             }
         );
         let default = parse_request("{\"cmd\":\"measure\",\"session\":\"s\"}").unwrap();
@@ -315,6 +353,14 @@ mod tests {
             (
                 "{\"cmd\":\"create\",\"session\":\"s\",\"csv\":\"a\",\"dc\":\"x\",\"mode\":\"warp\"}",
                 "`mode`",
+            ),
+            (
+                "{\"cmd\":\"measure\",\"session\":\"s\",\"deadline_ms\":-5}",
+                "`deadline_ms`",
+            ),
+            (
+                "{\"cmd\":\"measure\",\"session\":\"s\",\"deadline_ms\":\"soon\"}",
+                "`deadline_ms`",
             ),
         ] {
             let err = parse_request(line).unwrap_err();

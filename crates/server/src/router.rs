@@ -3,6 +3,18 @@
 //! The router is connection-agnostic (it sees text lines, not sockets),
 //! which makes the full protocol unit-testable without a listener and
 //! lets the CLI's `client` mode reuse it for loopback smoke tests.
+//!
+//! ## Admission control
+//!
+//! Work-carrying requests (`op`, `measure`, `create`, `snapshot`,
+//! `compact`) pass through [`Admission`] before touching a session: a
+//! global in-flight gauge (strict CAS acquire, so the bound is never
+//! exceeded) plus a per-session bound enforced by
+//! [`Session::admit`](crate::session::Session::admit). A shed request
+//! fails fast with `kind:"overloaded"` and a `retry_after_ms` hint —
+//! cheap control requests (`ping`, `sessions`, `stats`, `shutdown`,
+//! `quit`) are never shed, so the server stays observable and stoppable
+//! under overload.
 
 use crate::error::ServerError;
 use crate::protocol::{parse_request, Request};
@@ -29,6 +41,85 @@ pub struct ServerCounters {
     pub requests: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections dropped because their peer read too slowly (a write
+    /// timed out or failed with a full buffer).
+    pub slow_client_drops: AtomicU64,
+}
+
+/// Server-wide admission state: limits plus the global in-flight gauge.
+/// Limits of `0` mean unbounded (the default — admission is opt-in via
+/// the serve flags).
+#[derive(Debug)]
+pub struct Admission {
+    /// Global cap on concurrently executing work-carrying requests.
+    pub max_inflight: u64,
+    /// Per-session cap on concurrently executing requests.
+    pub session_inflight: u64,
+    /// Backoff hint attached to every shed response.
+    pub retry_after_ms: u64,
+    /// Work-carrying requests currently executing.
+    pub inflight: AtomicU64,
+    /// High-water mark of `inflight`.
+    pub inflight_high_water: AtomicU64,
+    /// Requests shed by the *global* bound.
+    pub shed: AtomicU64,
+}
+
+impl Default for Admission {
+    fn default() -> Self {
+        Admission::new(0, 0, 50)
+    }
+}
+
+impl Admission {
+    /// Builds admission state from the serve configuration.
+    pub fn new(max_inflight: u64, session_inflight: u64, retry_after_ms: u64) -> Self {
+        Admission {
+            max_inflight,
+            session_inflight,
+            retry_after_ms,
+            inflight: AtomicU64::new(0),
+            inflight_high_water: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires a global slot (strict CAS, never exceeds the bound) or
+    /// sheds with `kind:"overloaded"`.
+    fn acquire(&self) -> Result<AdmissionGuard<'_>, ServerError> {
+        let mut cur = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if self.max_inflight != 0 && cur >= self.max_inflight {
+                self.shed.fetch_add(1, Ordering::SeqCst);
+                return Err(ServerError::Overloaded {
+                    what: format!(
+                        "server is at its global in-flight limit ({})",
+                        self.max_inflight
+                    ),
+                    retry_after_ms: self.retry_after_ms,
+                });
+            }
+            match self
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        self.inflight_high_water
+            .fetch_max(cur + 1, Ordering::SeqCst);
+        Ok(AdmissionGuard(&self.inflight))
+    }
+}
+
+/// RAII release of one global admission slot.
+struct AdmissionGuard<'a>(&'a AtomicU64);
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Routes one request line to a response line (no trailing newline) plus
@@ -36,6 +127,7 @@ pub struct ServerCounters {
 pub fn route_line(
     registry: &Registry,
     counters: &ServerCounters,
+    admission: &Admission,
     opts: &MeasureOptions,
     line: &str,
 ) -> (String, Control) {
@@ -48,7 +140,7 @@ pub fn route_line(
                 Request::Quit => Control::Close,
                 _ => Control::Continue,
             };
-            match dispatch(registry, counters, opts, request) {
+            match dispatch(registry, counters, admission, opts, request) {
                 Ok(json) => (json, control),
                 Err(e) => (e.to_json(), control),
             }
@@ -64,6 +156,7 @@ fn ok() -> Json {
 fn dispatch(
     registry: &Registry,
     counters: &ServerCounters,
+    admission: &Admission,
     opts: &MeasureOptions,
     request: Request,
 ) -> Result<Json, ServerError> {
@@ -86,6 +179,7 @@ fn dispatch(
             dc,
             mode,
         } => {
+            let _global = admission.acquire()?;
             let s = registry.create(&session, &csv, &dc, mode)?;
             let mut summary = s.summary();
             if let Json::Obj(entries) = &mut summary {
@@ -97,14 +191,42 @@ fn dispatch(
             registry.drop_session(&session)?;
             Ok(ok())
         }
-        Request::Op { session, ops } => registry.get(&session)?.apply_ops(&ops),
-        Request::Snapshot { session } => registry.get(&session)?.snapshot(),
-        Request::Compact { session } => registry.get(&session)?.compact(),
+        Request::Op {
+            session,
+            ops,
+            token,
+        } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            s.apply_ops_token(&ops, token.as_deref())
+        }
+        Request::Snapshot { session } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            s.snapshot()
+        }
+        Request::Compact { session } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            s.compact()
+        }
         Request::Measure {
             session,
             measures,
             per_dc,
-        } => registry.get(&session)?.measure(&measures, per_dc, opts),
+            deadline_ms,
+        } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            match deadline_ms {
+                Some(ms) => s.measure_deadline(&measures, per_dc, opts, ms),
+                None => s.measure(&measures, per_dc, opts),
+            }
+        }
         Request::Stats { session } => match session {
             Some(name) => {
                 let mut stats = registry.get(&name)?.stats();
@@ -126,6 +248,34 @@ fn dispatch(
                             "connections",
                             Json::Num(counters.connections.load(Ordering::SeqCst) as f64),
                         ),
+                        (
+                            "slow_client_drops",
+                            Json::Num(counters.slow_client_drops.load(Ordering::SeqCst) as f64),
+                        ),
+                        (
+                            "admission",
+                            Json::obj([
+                                ("max_inflight", Json::Num(admission.max_inflight as f64)),
+                                (
+                                    "session_inflight",
+                                    Json::Num(admission.session_inflight as f64),
+                                ),
+                                (
+                                    "inflight",
+                                    Json::Num(admission.inflight.load(Ordering::SeqCst) as f64),
+                                ),
+                                (
+                                    "inflight_high_water",
+                                    Json::Num(
+                                        admission.inflight_high_water.load(Ordering::SeqCst) as f64
+                                    ),
+                                ),
+                                (
+                                    "shed",
+                                    Json::Num(admission.shed.load(Ordering::SeqCst) as f64),
+                                ),
+                            ]),
+                        ),
                     ]),
                 ),
                 (
@@ -146,7 +296,8 @@ mod tests {
 
     fn route(reg: &Registry, counters: &ServerCounters, line: &str) -> (Json, Control) {
         let opts = MeasureOptions::default();
-        let (resp, control) = route_line(reg, counters, &opts, line);
+        let admission = Admission::default();
+        let (resp, control) = route_line(reg, counters, &admission, &opts, line);
         (Json::parse(&resp).expect("response is valid JSON"), control)
     }
 

@@ -54,9 +54,13 @@ use inconsist_formats::dcfile::parse_dc_file;
 use inconsist_formats::durable::{write_snapshot, SnapshotMeta};
 use inconsist_formats::opsfile::{display_op, op_to_line, parse_ops_file};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Most recent op tokens remembered for idempotent-retry dedup.
+const TOKEN_CACHE_CAP: usize = 1024;
 
 /// Lock-free per-session instrumentation.
 #[derive(Debug, Default)]
@@ -74,6 +78,58 @@ pub struct SessionCounters {
     /// High-water mark of simultaneous shared readers — `> 1` proves
     /// clean-component reads did not serialize behind each other.
     pub max_concurrent_shared_reads: AtomicU64,
+    /// Requests currently admitted against this session.
+    pub inflight: AtomicU64,
+    /// High-water mark of `inflight`.
+    pub inflight_high_water: AtomicU64,
+    /// Requests shed by the per-session admission bound.
+    pub shed: AtomicU64,
+    /// Deadline reads answered from the last-served cache (`stale:true`).
+    pub stale_reads: AtomicU64,
+    /// Deadline reads answered with bounds (`partial:true`).
+    pub partial_reads: AtomicU64,
+    /// Op batches answered from the token cache instead of re-applied.
+    pub deduped_ops: AtomicU64,
+}
+
+/// RAII witness of one admitted request; dropping it releases the slot.
+#[derive(Debug)]
+pub struct InflightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The measure values most recently served by a *full* (non-partial)
+/// read, kept so deadline-bounded reads that cannot take a lock in time
+/// can degrade to a stale-but-coherent answer instead of failing.
+#[derive(Default)]
+struct LastServed {
+    /// Newest `op_seq` any recorded value was computed at.
+    seq: u64,
+    /// Measure name → (op_seq at computation, value).
+    values: HashMap<String, (u64, Json)>,
+    per_dc: Option<(u64, Json)>,
+}
+
+/// Appends entries to an object response (no-op on non-objects).
+fn push_entries(resp: Json, extra: Vec<(&'static str, Json)>) -> Json {
+    match resp {
+        Json::Obj(mut entries) => {
+            entries.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+            Json::Obj(entries)
+        }
+        other => other,
+    }
+}
+
+/// Bounded remember-the-response cache for idempotent op retries.
+#[derive(Default)]
+struct TokenCache {
+    map: HashMap<String, Json>,
+    order: VecDeque<String>,
 }
 
 /// One named live database: an incremental index plus everything needed
@@ -89,6 +145,12 @@ pub struct Session {
     /// Write-ahead log + snapshot store; `None` = in-memory only.
     /// Lock order: index write/read lock first, then this mutex.
     durable: Option<Mutex<Durability>>,
+    /// Stale-read fallback for deadline-bounded reads. Lock order: taken
+    /// only while holding no index lock, or after the index lock.
+    last_served: Mutex<LastServed>,
+    /// Op-token dedup cache. Taken only under the index write lock, which
+    /// serializes writers — so check-and-insert is race-free.
+    tokens: Mutex<TokenCache>,
 }
 
 fn mode_name(mode: ReadMode) -> &'static str {
@@ -153,6 +215,8 @@ impl Session {
             index: RwLock::new(index),
             counters: SessionCounters::default(),
             durable,
+            last_served: Mutex::new(LastServed::default()),
+            tokens: Mutex::new(TokenCache::default()),
         })
     }
 
@@ -231,6 +295,8 @@ impl Session {
             index: RwLock::new(index),
             counters,
             durable: Some(Mutex::new(durability)),
+            last_served: Mutex::new(LastServed::default()),
+            tokens: Mutex::new(TokenCache::default()),
         })
     }
 
@@ -242,6 +308,36 @@ impl Session {
     /// The instrumentation counters.
     pub fn counters(&self) -> &SessionCounters {
         &self.counters
+    }
+
+    /// Admits one request against the per-session in-flight bound
+    /// (`limit == 0` = unbounded). The acquire is a strict CAS loop, so
+    /// the bound is never exceeded even under racing connections; the
+    /// returned guard releases the slot on drop.
+    pub fn admit(&self, limit: u64, retry_after_ms: u64) -> Result<InflightGuard<'_>, ServerError> {
+        let c = &self.counters;
+        let mut cur = c.inflight.load(Ordering::SeqCst);
+        loop {
+            if limit != 0 && cur >= limit {
+                c.shed.fetch_add(1, Ordering::SeqCst);
+                return Err(ServerError::Overloaded {
+                    what: format!(
+                        "session `{}` is at its in-flight limit ({limit})",
+                        self.name
+                    ),
+                    retry_after_ms,
+                });
+            }
+            match c
+                .inflight
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        c.inflight_high_water.fetch_max(cur + 1, Ordering::SeqCst);
+        Ok(InflightGuard(&c.inflight))
     }
 
     /// Summary for `create`/`sessions` responses (takes the read lock).
@@ -265,11 +361,38 @@ impl Session {
     /// op is applied, and a failed append refuses the batch with nothing
     /// applied.
     pub fn apply_ops(&self, ops_text: &str) -> Result<Json, ServerError> {
+        self.apply_ops_token(ops_text, None)
+    }
+
+    /// [`apply_ops`](Self::apply_ops) with an optional idempotency token:
+    /// a batch whose token was already applied is *not* re-applied — the
+    /// remembered response (tagged `deduped:true`) is returned instead,
+    /// which is what makes client-side retry of a write safe when the
+    /// original response was lost (connection drop, write timeout). The
+    /// token check-and-insert happens under the index write lock, which
+    /// serializes writers, so two racing retries cannot both apply. The
+    /// cache remembers the most recent `TOKEN_CACHE_CAP` (1024) tokens.
+    pub fn apply_ops_token(
+        &self,
+        ops_text: &str,
+        token: Option<&str>,
+    ) -> Result<Json, ServerError> {
         let ops = parse_ops_file(&self.rel_schema, self.rel, ops_text).map_err(ServerError::Ops)?;
         let mut applied = 0u64;
         let mut echo = Vec::with_capacity(ops.len());
         {
             let mut idx = self.index.write();
+            if let Some(token) = token {
+                if let Some(prior) = self.tokens.lock().map.get(token) {
+                    self.counters.deduped_ops.fetch_add(1, Ordering::SeqCst);
+                    let mut entries = match prior.clone() {
+                        Json::Obj(entries) => entries,
+                        other => return Ok(other),
+                    };
+                    entries.push(("deduped".to_string(), Json::Bool(true)));
+                    return Ok(Json::Obj(entries));
+                }
+            }
             let seqs: Vec<u64> = ops
                 .iter()
                 .map(|_| self.counters.op_seq.fetch_add(1, Ordering::SeqCst) + 1)
@@ -314,14 +437,27 @@ impl Session {
                     }
                 }
             }
+            let response = Json::obj([
+                ("ok", Json::Bool(true)),
+                ("session", Json::str(self.name.clone())),
+                ("applied", Json::Num(applied as f64)),
+                ("noops", Json::Num((ops.len() as u64 - applied) as f64)),
+                ("ops", Json::Arr(echo)),
+            ]);
+            // Remember the token before the write lock drops, so a racing
+            // retry that enters right after us sees it.
+            if let Some(token) = token {
+                let mut cache = self.tokens.lock();
+                if cache.map.len() >= TOKEN_CACHE_CAP {
+                    if let Some(oldest) = cache.order.pop_front() {
+                        cache.map.remove(&oldest);
+                    }
+                }
+                cache.order.push_back(token.to_string());
+                cache.map.insert(token.to_string(), response.clone());
+            }
+            Ok(response)
         }
-        Ok(Json::obj([
-            ("ok", Json::Bool(true)),
-            ("session", Json::str(self.name.clone())),
-            ("applied", Json::Num(applied as f64)),
-            ("noops", Json::Num((ops.len() as u64 - applied) as f64)),
-            ("ops", Json::Arr(echo)),
-        ]))
     }
 
     /// Renders the snapshot text for the current state (`seq` = last
@@ -407,7 +543,12 @@ impl Session {
             let answer = self.try_shared(&idx, measures, per_dc, opts);
             self.counters.reads_in_flight.fetch_sub(1, Ordering::SeqCst);
             if let Some(values) = answer? {
+                // op_seq only advances under the write lock, so it is
+                // stable while we hold the read lock.
+                let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                drop(idx);
                 self.counters.shared_reads.fetch_add(1, Ordering::SeqCst);
+                self.record_last_served(seq, &values);
                 return Ok(self.measure_response("shared", values));
             }
         }
@@ -421,9 +562,170 @@ impl Session {
             let counts = idx.i_mi_by_dc();
             values.push(("per_dc".into(), per_dc_json(&idx, counts)));
         }
+        let seq = self.counters.op_seq.load(Ordering::SeqCst);
         drop(idx);
         self.counters.exclusive_reads.fetch_add(1, Ordering::SeqCst);
+        self.record_last_served(seq, &values);
         Ok(self.measure_response("exclusive", values))
+    }
+
+    /// Deadline-bounded reader path. Same answer as
+    /// [`measure`](Self::measure) when everything fits inside
+    /// `deadline_ms`; otherwise the response degrades instead of blocking
+    /// past the deadline:
+    ///
+    /// * expensive solves (`I_R`, `I_R^lin`) that cannot finish in time
+    ///   return their certified `[lower, upper]` bounds and the response
+    ///   is tagged `partial:true` with an `upper` sibling of `values`;
+    /// * when even the write lock cannot be had in time (a long writer or
+    ///   warm-up holds it), the last fully-served values are returned
+    ///   tagged `stale:true` with `as_of_seq`;
+    /// * only when there is no cached answer at all does the request fail
+    ///   with `kind:"deadline"`.
+    pub fn measure_deadline(
+        &self,
+        measures: &[String],
+        per_dc: bool,
+        opts: &MeasureOptions,
+        deadline_ms: u64,
+    ) -> Result<Json, ServerError> {
+        let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+        // Optimistic shared attempt, non-blocking: a held write lock
+        // sends us straight to the timed upgrade below.
+        if let Some(idx) = self.index.try_read() {
+            let in_flight = self.counters.reads_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.counters
+                .max_concurrent_shared_reads
+                .fetch_max(in_flight, Ordering::SeqCst);
+            let answer = self.try_shared(&idx, measures, per_dc, opts);
+            self.counters.reads_in_flight.fetch_sub(1, Ordering::SeqCst);
+            if let Some(values) = answer? {
+                let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                drop(idx);
+                self.counters.shared_reads.fetch_add(1, Ordering::SeqCst);
+                self.record_last_served(seq, &values);
+                return Ok(self.measure_response("shared", values));
+            }
+        }
+        // Timed upgrade: wait for the write lock only as long as the
+        // deadline allows.
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if let Some(mut idx) = self.index.try_write_for(remaining) {
+            let mut values: Vec<(String, Json)> = Vec::with_capacity(measures.len() + 1);
+            let mut upper: Vec<(String, Json)> = Vec::new();
+            for m in measures {
+                match m.as_str() {
+                    "I_R" => {
+                        let v = idx.i_r_anytime(opts, Some(deadline));
+                        values.push((m.clone(), Json::Num(v.value)));
+                        if v.partial {
+                            upper.push((m.clone(), Json::Num(v.upper)));
+                        }
+                    }
+                    "I_R^lin" => {
+                        let v = idx.i_r_lin_anytime(Some(deadline));
+                        values.push((m.clone(), Json::Num(v.value)));
+                        if v.partial {
+                            upper.push((m.clone(), Json::Num(v.upper)));
+                        }
+                    }
+                    _ => values.push((m.clone(), eval_exclusive(&mut idx, m, opts)?)),
+                }
+            }
+            if per_dc {
+                let counts = idx.i_mi_by_dc();
+                values.push(("per_dc".into(), per_dc_json(&idx, counts)));
+            }
+            let seq = self.counters.op_seq.load(Ordering::SeqCst);
+            drop(idx);
+            self.counters.exclusive_reads.fetch_add(1, Ordering::SeqCst);
+            let partial = !upper.is_empty();
+            if partial {
+                self.counters.partial_reads.fetch_add(1, Ordering::SeqCst);
+            } else {
+                // Partial lower bounds must never masquerade as served
+                // values, so only full reads refresh the stale cache.
+                self.record_last_served(seq, &values);
+            }
+            let mut resp = self.measure_response("exclusive", values);
+            if partial {
+                resp = push_entries(
+                    resp,
+                    vec![("partial", Json::Bool(true)), ("upper", Json::Obj(upper))],
+                );
+            }
+            return Ok(resp);
+        }
+        // The lock never came: serve the last fully-served values.
+        self.stale_fallback(measures, per_dc, deadline_ms)
+    }
+
+    /// Answers from the last-served cache (tagged `stale:true`) or fails
+    /// with `kind:"deadline"` when a requested measure was never served.
+    fn stale_fallback(
+        &self,
+        measures: &[String],
+        per_dc: bool,
+        deadline_ms: u64,
+    ) -> Result<Json, ServerError> {
+        let last = self.last_served.lock();
+        let mut values: Vec<(String, Json)> = Vec::with_capacity(measures.len() + 1);
+        let mut as_of = u64::MAX;
+        for m in measures {
+            match last.values.get(m) {
+                Some((seq, v)) => {
+                    as_of = as_of.min(*seq);
+                    values.push((m.clone(), v.clone()));
+                }
+                None => {
+                    return Err(ServerError::Deadline(format!(
+                        "`{}` busy past the {deadline_ms}ms deadline and `{m}` \
+                         has no previously served value",
+                        self.name
+                    )))
+                }
+            }
+        }
+        if per_dc {
+            match &last.per_dc {
+                Some((seq, d)) => {
+                    as_of = as_of.min(*seq);
+                    values.push(("per_dc".into(), d.clone()));
+                }
+                None => {
+                    return Err(ServerError::Deadline(format!(
+                        "`{}` busy past the {deadline_ms}ms deadline and per_dc \
+                         has no previously served value",
+                        self.name
+                    )))
+                }
+            }
+        }
+        drop(last);
+        self.counters.stale_reads.fetch_add(1, Ordering::SeqCst);
+        Ok(push_entries(
+            self.measure_response("stale", values),
+            vec![
+                ("stale", Json::Bool(true)),
+                ("as_of_seq", Json::Num(as_of as f64)),
+            ],
+        ))
+    }
+
+    /// Records fully-served measure values for the stale-read fallback.
+    /// Each value is tagged with the `op_seq` it was computed at;
+    /// [`stale_fallback`](Self::stale_fallback) reports the oldest
+    /// contributing seq as `as_of_seq`.
+    fn record_last_served(&self, seq: u64, values: &[(String, Json)]) {
+        let mut last = self.last_served.lock();
+        for (k, v) in values {
+            if k == "per_dc" {
+                last.per_dc = Some((seq, v.clone()));
+            } else {
+                last.values.insert(k.clone(), (seq, v.clone()));
+            }
+        }
+        last.seq = last.seq.max(seq);
     }
 
     /// Tries to answer every requested measure from caches alone
@@ -529,6 +831,15 @@ impl Session {
                     ("snapshot_seq", Json::Num(d.snapshot_seq as f64)),
                     ("snapshots_written", Json::Num(d.snapshots_written as f64)),
                     ("ops_since_snapshot", Json::Num(d.ops_since_snapshot as f64)),
+                    ("sealed_segments", Json::Num(d.sealed_segments as f64)),
+                    ("sealed_bytes", Json::Num(d.sealed_bytes as f64)),
+                    (
+                        "wedged",
+                        match d.wedged() {
+                            Some(why) => Json::str(why),
+                            None => Json::Null,
+                        },
+                    ),
                     ("recovery", recovery),
                 ])
             }
@@ -548,6 +859,32 @@ impl Session {
                 Json::Num(c.max_concurrent_shared_reads.load(Ordering::SeqCst) as f64),
             ),
             ("shared_read_rate", rate(shared, exclusive)),
+            (
+                "overload",
+                Json::obj([
+                    (
+                        "inflight",
+                        Json::Num(c.inflight.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "inflight_high_water",
+                        Json::Num(c.inflight_high_water.load(Ordering::SeqCst) as f64),
+                    ),
+                    ("shed", Json::Num(c.shed.load(Ordering::SeqCst) as f64)),
+                    (
+                        "stale_reads",
+                        Json::Num(c.stale_reads.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "partial_reads",
+                        Json::Num(c.partial_reads.load(Ordering::SeqCst) as f64),
+                    ),
+                    (
+                        "deduped_ops",
+                        Json::Num(c.deduped_ops.load(Ordering::SeqCst) as f64),
+                    ),
+                ]),
+            ),
             (
                 "read_stats",
                 Json::obj([
@@ -905,6 +1242,7 @@ mod tests {
             data_dir: dir,
             fsync: crate::durable::FsyncPolicy::Never,
             snapshot_every: None,
+            segment_bytes: None,
         }
     }
 
@@ -1072,5 +1410,114 @@ mod tests {
             .unwrap();
         assert_eq!(resp.get("path").and_then(Json::as_str), Some("shared"));
         assert_eq!(value(&resp, "I_MC"), 1.0); // 2 repairs − 1
+    }
+
+    #[test]
+    fn admission_sheds_at_the_session_limit_and_readmits_on_release() {
+        let (_reg, s) = registry_with_session();
+        let first = s.admit(2, 40).unwrap();
+        let _second = s.admit(2, 40).unwrap();
+        let err = s.admit(2, 40).unwrap_err();
+        assert_eq!(err.kind(), "overloaded");
+        let json = err.to_json();
+        assert_eq!(json.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            json.get("retry_after_ms").and_then(Json::as_f64),
+            Some(40.0)
+        );
+        drop(first); // a released slot readmits
+        let _third = s.admit(2, 40).unwrap();
+        let c = s.counters();
+        assert_eq!(c.inflight.load(Ordering::SeqCst), 2);
+        assert_eq!(c.inflight_high_water.load(Ordering::SeqCst), 2);
+        assert_eq!(c.shed.load(Ordering::SeqCst), 1);
+        // Limit 0 is unbounded.
+        let _fourth = s.admit(0, 40).unwrap();
+        assert_eq!(c.inflight_high_water.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn op_tokens_dedup_replayed_batches() {
+        let (_reg, s) = registry_with_session();
+        let first = s
+            .apply_ops_token("update 1 Pop 7\n", Some("tok-1"))
+            .unwrap();
+        assert!(first.get("deduped").is_none());
+        assert_eq!(first.get("applied").and_then(Json::as_f64), Some(1.0));
+        // A retried batch with the same token is not re-applied: the
+        // remembered response comes back, tagged.
+        let replay = s
+            .apply_ops_token("update 1 Pop 7\n", Some("tok-1"))
+            .unwrap();
+        assert_eq!(replay.get("deduped").and_then(Json::as_bool), Some(true));
+        assert_eq!(replay.get("applied").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(s.counters().op_seq.load(Ordering::SeqCst), 1);
+        assert_eq!(s.counters().deduped_ops.load(Ordering::SeqCst), 1);
+        // A different token applies normally.
+        s.apply_ops_token("update 1 Pop 8\n", Some("tok-2"))
+            .unwrap();
+        assert_eq!(s.counters().op_seq.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_cover_measures_to_certified_bounds() {
+        let (_reg, s) = registry_with_session();
+        let opts = MeasureOptions::default();
+        // Dirty the index so the shared path cannot answer, then read
+        // with an already-expired deadline: the solves must come back as
+        // [lower, upper] bounds instead of blocking on exact covers.
+        s.apply_ops("update 3 Country IT\n").unwrap();
+        let names: Vec<String> = vec!["I_R".to_string(), "I_R^lin".to_string()];
+        let resp = s.measure_deadline(&names, false, &opts, 0).unwrap();
+        assert_eq!(resp.get("partial").and_then(Json::as_bool), Some(true));
+        let lower = value(&resp, "I_R");
+        let upper = resp
+            .get("upper")
+            .and_then(|u| u.get("I_R"))
+            .and_then(Json::as_f64)
+            .expect("upper bound for the degraded I_R");
+        assert_eq!(s.counters().partial_reads.load(Ordering::SeqCst), 1);
+        // Partial bounds are never cached: the exact read still solves,
+        // and its value sits inside the certified interval.
+        let exact = value(
+            &s.measure(&["I_R".to_string()], false, &opts).unwrap(),
+            "I_R",
+        );
+        assert!(
+            lower <= exact && exact <= upper,
+            "want {lower} <= {exact} <= {upper}"
+        );
+        // A full-deadline read is exact and untagged.
+        let relaxed = s.measure_deadline(&names, false, &opts, 60_000).unwrap();
+        assert!(relaxed.get("partial").is_none());
+        assert_eq!(value(&relaxed, "I_R"), exact);
+    }
+
+    #[test]
+    fn contended_deadline_reads_fall_back_to_stale_aggregates() {
+        let (_reg, s) = registry_with_session();
+        let opts = MeasureOptions::default();
+        let names: Vec<String> = vec!["I_MI".to_string(), "raw".to_string()];
+        // Seed the last-served cache with one full read.
+        s.measure(&names, false, &opts).unwrap();
+        let seq = s.counters().op_seq.load(Ordering::SeqCst);
+        // A writer pins the index; a 1ms-deadline read cannot get in and
+        // must answer from the last fully-served values.
+        let _writer = s.index.write();
+        let resp = s.measure_deadline(&names, false, &opts, 1).unwrap();
+        assert_eq!(resp.get("path").and_then(Json::as_str), Some("stale"));
+        assert_eq!(resp.get("stale").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            resp.get("as_of_seq").and_then(Json::as_f64),
+            Some(seq as f64)
+        );
+        assert_eq!(value(&resp, "I_MI"), 1.0);
+        assert_eq!(s.counters().stale_reads.load(Ordering::SeqCst), 1);
+        // A measure that was never fully served has nothing to fall back
+        // to: fail loudly rather than invent a value.
+        let err = s
+            .measure_deadline(&["I_P".to_string()], false, &opts, 1)
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline");
     }
 }

@@ -1,0 +1,218 @@
+//! Admission-control properties: racing clients can never push a session
+//! past its in-flight bound, every shed is a well-formed wire response
+//! with `kind:"overloaded"` and a `retry_after_ms` hint, and a client
+//! retrying with backoff eventually gets through once load drains.
+
+use inconsist::incremental::ReadMode;
+use inconsist::measures::MeasureOptions;
+use inconsist_server::{serve, Client, Json, RetryPolicy, ServerConfig, Session};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CSV: &str = "City,Country,Pop\nParis,FR,1\nParis,DE,2\nLyon,FR,3\nLyon,FR,4\n";
+const DC: &str = "fd: t.City = t'.City & t.Country != t'.Country\n";
+
+fn session() -> Session {
+    Session::open(
+        "t",
+        CSV,
+        DC,
+        ReadMode::Component,
+        1,
+        MeasureOptions::default(),
+        None,
+    )
+    .unwrap()
+}
+
+/// Asserts an overloaded error serializes as well-formed wire JSON: the
+/// line parses, `kind` is `"overloaded"`, and the backoff hint is a
+/// machine-readable number.
+fn assert_overloaded_wire_shape(line: &str, retry_after_ms: f64) {
+    let json = Json::parse(line).expect("shed responses must parse");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{line}"
+    );
+    assert_eq!(
+        json.get("kind").and_then(Json::as_str),
+        Some("overloaded"),
+        "{line}"
+    );
+    assert_eq!(
+        json.get("retry_after_ms").and_then(Json::as_f64),
+        Some(retry_after_ms),
+        "{line}"
+    );
+    assert!(json.get("error").and_then(Json::as_str).is_some(), "{line}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Threads race `admit` against one session: the observed in-flight
+    /// high water never exceeds the limit, every refusal is a well-formed
+    /// `overloaded` wire object, and the gauge drains back to zero.
+    #[test]
+    fn racing_admits_never_exceed_the_limit(
+        limit in 1u64..4,
+        threads in 2usize..6,
+        rounds in 1usize..25,
+    ) {
+        let s = Arc::new(session());
+        let sheds_seen = Arc::new(AtomicU64::new(0));
+        let joins: Vec<_> = (0..threads)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                let sheds_seen = Arc::clone(&sheds_seen);
+                std::thread::spawn(move || {
+                    for _ in 0..rounds {
+                        match s.admit(limit, 25) {
+                            Ok(_guard) => std::thread::yield_now(),
+                            Err(e) => {
+                                sheds_seen.fetch_add(1, Ordering::SeqCst);
+                                assert_overloaded_wire_shape(&e.to_json().to_string(), 25.0);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for join in joins {
+            join.join().unwrap();
+        }
+        let c = s.counters();
+        let high_water = c.inflight_high_water.load(Ordering::SeqCst);
+        prop_assert!(high_water <= limit, "high water {high_water} > limit {limit}");
+        prop_assert_eq!(c.inflight.load(Ordering::SeqCst), 0u64);
+        prop_assert_eq!(c.shed.load(Ordering::SeqCst), sheds_seen.load(Ordering::SeqCst));
+    }
+}
+
+/// End-to-end queue shedding: with one worker and a one-deep queue, a
+/// third connection is refused at accept with a well-formed `overloaded`
+/// line and then closed — and a client retrying with backoff gets served
+/// once the earlier connections drain.
+#[test]
+fn full_connection_queue_sheds_then_a_retrying_client_gets_through() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_limit: 1,
+        retry_after_ms: 10,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    // A request/response round trip proves this connection owns the one
+    // worker (thread-per-connection: it keeps it until it disconnects).
+    let mut owner = Client::connect(&addr).unwrap();
+    owner.request("{\"cmd\":\"ping\"}").unwrap();
+
+    // Second connection fills the queue; third must be shed at accept.
+    // Loopback accept order follows connect order, and the single accept
+    // loop processes them in order.
+    let queued = TcpStream::connect(addr).unwrap();
+    let shed = TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut lines = BufReader::new(shed.try_clone().unwrap());
+    let mut line = String::new();
+    lines.read_line(&mut line).unwrap();
+    assert_overloaded_wire_shape(line.trim_end(), 10.0);
+    // After the shed line the server closes the connection.
+    line.clear();
+    assert_eq!(lines.read_line(&mut line).unwrap(), 0, "expected EOF");
+    drop(shed);
+
+    // A retrying client races the still-full queue; once the owner and
+    // the queued connection go away, a retry lands and is served.
+    let retry = std::thread::spawn(move || {
+        let mut client = Client::connect(&addr).ok()?;
+        let policy = RetryPolicy {
+            max_retries: 20,
+            base_backoff_ms: 5,
+            max_backoff_ms: 100,
+        };
+        client
+            .request_with_retry("{\"cmd\":\"ping\"}", &policy)
+            .ok()
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    drop(queued); // its handler sees EOF as soon as a worker picks it up
+    owner.request("{\"cmd\":\"quit\"}").unwrap(); // frees the worker
+    drop(owner);
+    let response = retry.join().unwrap().expect("retry should get through");
+    let json = Json::parse(&response).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
+
+    // The accept-loop sheds are visible in global stats.
+    let mut observer = Client::connect(&addr).unwrap();
+    let stats = Json::parse(&observer.request("{\"cmd\":\"stats\"}").unwrap()).unwrap();
+    let shed_count = stats
+        .get("server")
+        .and_then(|s| s.get("admission"))
+        .and_then(|a| a.get("shed"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(shed_count >= 1.0, "{stats}");
+
+    observer.request("{\"cmd\":\"shutdown\"}").unwrap();
+    handle.wait();
+}
+
+/// Idempotent write retry end-to-end: the same `op` + `token` sent twice
+/// applies once; the replay returns the remembered response tagged
+/// `deduped:true`.
+#[test]
+fn token_carrying_writes_are_idempotent_over_the_wire() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+    let mut client = Client::connect(&addr).unwrap();
+    let create = format!(
+        "{{\"cmd\":\"create\",\"session\":\"cities\",\"csv\":{},\"dc\":{}}}",
+        Json::str(CSV),
+        Json::str(DC)
+    );
+    client.request(&create).unwrap();
+
+    let op = "{\"cmd\":\"op\",\"session\":\"cities\",\
+              \"ops\":\"update 1 Pop 9\",\"token\":\"retry-1\"}";
+    let first = Json::parse(&client.request(op).unwrap()).unwrap();
+    assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(first.get("deduped").is_none());
+    let replay = Json::parse(&client.request(op).unwrap()).unwrap();
+    assert_eq!(replay.get("deduped").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        replay.get("applied").and_then(Json::as_f64),
+        first.get("applied").and_then(Json::as_f64)
+    );
+
+    let stats = Json::parse(
+        &client
+            .request("{\"cmd\":\"stats\",\"session\":\"cities\"}")
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(stats.get("op_seq").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(
+        stats
+            .get("overload")
+            .and_then(|o| o.get("deduped_ops"))
+            .and_then(Json::as_f64),
+        Some(1.0)
+    );
+    client.request("{\"cmd\":\"shutdown\"}").unwrap();
+    handle.wait();
+}

@@ -81,6 +81,7 @@ fn fresh_cfg() -> DurabilityConfig {
         )),
         fsync: FsyncPolicy::Never,
         snapshot_every: None,
+        segment_bytes: None,
     }
 }
 
@@ -205,6 +206,74 @@ proptest! {
         drop(recovered);
         std::fs::remove_dir_all(&cfg.data_dir).ok();
     }
+}
+
+/// Size-based segment rotation: a tiny threshold seals the active log
+/// after nearly every batch; recovery replays the sealed segments in
+/// order and lands bit-identically, and compaction retires the segments
+/// covered by a snapshot with plain unlinks.
+#[test]
+fn sealed_segments_recover_in_order_and_compact_by_unlink() {
+    let mut cfg = fresh_cfg();
+    cfg.segment_bytes = Some(1); // rotate after every batch
+    let csv = fixture_csv();
+    let session = Session::open(
+        "t",
+        &csv,
+        FIXTURE_DC,
+        ReadMode::Component,
+        1,
+        MeasureOptions::default(),
+        Some(&cfg),
+    )
+    .unwrap();
+    let ops: Vec<String> = (0..8).map(|i| format!("update {i} B {}", 90 + i)).collect();
+    for line in &ops {
+        session.apply_ops(line).unwrap();
+    }
+    let sealed = session
+        .stats()
+        .get("durability")
+        .and_then(|d| d.get("sealed_segments"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(
+        sealed >= 2.0,
+        "expected several sealed segments, got {sealed}"
+    );
+    let expected = measures(&session);
+    drop(session); // crash: no shutdown snapshot
+
+    let recovered = Session::recover(&cfg, "t", 1, MeasureOptions::default()).unwrap();
+    assert_eq!(
+        recovered.counters().op_seq.load(Ordering::SeqCst),
+        ops.len() as u64
+    );
+    assert_eq!(measures(&recovered), expected);
+    for mode in [ReadMode::Component, ReadMode::Global] {
+        assert_eq!(
+            measures(&recovered),
+            scratch_measures(&csv, &ops, ops.len() as u64, mode)
+        );
+    }
+
+    // A snapshot covers every sealed segment; compaction unlinks them.
+    recovered.snapshot().unwrap();
+    recovered.compact().unwrap();
+    let stats = recovered.stats();
+    let durability = stats.get("durability").unwrap();
+    assert_eq!(
+        durability.get("sealed_segments").and_then(Json::as_f64),
+        Some(0.0),
+        "{stats}"
+    );
+    assert_eq!(measures(&recovered), expected);
+    drop(recovered);
+    // And the compacted directory still recovers bit-identically.
+    let again = Session::recover(&cfg, "t", 1, MeasureOptions::default()).unwrap();
+    assert_eq!(measures(&again), expected);
+    drop(again);
+    std::fs::remove_dir_all(&cfg.data_dir).ok();
 }
 
 /// Startup recovery refuses a log corrupted anywhere but the tail — a

@@ -1,0 +1,225 @@
+//! Offline stand-in for the `fail` crate: named fault-injection sites.
+//!
+//! A *site* is a string name compiled into production code at an I/O
+//! boundary (e.g. `"wal.append.write"`). Tests arm a site with a fault
+//! spec; the instrumented code consults [`check`] and either proceeds,
+//! performs a deliberately short ("torn") write, or fails with an
+//! injected [`std::io::Error`].
+//!
+//! Without the `enabled` cargo feature every function is an inlined
+//! no-op, so release binaries carry zero overhead and cannot be armed.
+//! With the feature on, sites are armed programmatically via [`config`]
+//! or from the `FAILPOINTS` environment variable (parsed once, on first
+//! registry access) using the same `site=spec;site=spec` syntax as the
+//! upstream `fail` crate.
+//!
+//! Fault specs:
+//!
+//! | spec        | behaviour                                            |
+//! |-------------|------------------------------------------------------|
+//! | `err:MSG`   | fail with an injected I/O error carrying `MSG`       |
+//! | `err:MSG*N` | as above, but only for the next `N` hits, then disarm|
+//! | `enospc`    | shorthand for `err:ENOSPC (injected): no space left` |
+//! | `torn:N`    | write only the first `N` bytes, then fail            |
+//! | `off`       | disarm the site                                      |
+
+use std::io;
+
+/// What an armed site does when hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail with an injected I/O error carrying this message.
+    Error(String),
+    /// Write only this many bytes of the payload, then fail.
+    Torn(usize),
+}
+
+/// Outcome of consulting a site: proceed normally, or perform a torn
+/// write of the given prefix length (the caller must then surface the
+/// injected error). Injected outright failures arrive as `Err`.
+pub type Check = io::Result<Option<usize>>;
+
+#[cfg(feature = "enabled")]
+mod registry {
+    use super::Fault;
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Armed {
+        fault: Fault,
+        /// `Some(n)`: disarm after `n` more hits. `None`: stay armed.
+        remaining: Option<u64>,
+    }
+
+    fn table() -> &'static Mutex<HashMap<String, Armed>> {
+        static TABLE: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("FAILPOINTS") {
+                for part in spec.split(';').filter(|p| !p.trim().is_empty()) {
+                    let (site, spec) = part
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("FAILPOINTS entry without '=': {part:?}"));
+                    let armed =
+                        parse(spec.trim()).unwrap_or_else(|e| panic!("FAILPOINTS {site}: {e}"));
+                    if let Some(armed) = armed {
+                        map.insert(site.trim().to_string(), armed);
+                    }
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    /// `Ok(None)` means the spec was `off`.
+    fn parse(spec: &str) -> Result<Option<Armed>, String> {
+        if spec == "off" {
+            return Ok(None);
+        }
+        if spec == "enospc" {
+            return Ok(Some(Armed {
+                fault: Fault::Error("ENOSPC (injected): no space left on device".to_string()),
+                remaining: None,
+            }));
+        }
+        if let Some(rest) = spec.strip_prefix("err:") {
+            let (msg, remaining) = match rest.rsplit_once('*') {
+                Some((msg, n)) => {
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("bad hit count in {spec:?}"))?;
+                    (msg, Some(n))
+                }
+                None => (rest, None),
+            };
+            return Ok(Some(Armed {
+                fault: Fault::Error(msg.to_string()),
+                remaining,
+            }));
+        }
+        if let Some(n) = spec.strip_prefix("torn:") {
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("bad byte count in {spec:?}"))?;
+            return Ok(Some(Armed {
+                fault: Fault::Torn(n),
+                remaining: None,
+            }));
+        }
+        Err(format!("unknown fault spec {spec:?}"))
+    }
+
+    /// Arms (or with `"off"` disarms) `site`.
+    pub fn config(site: &str, spec: &str) -> Result<(), String> {
+        let mut table = table().lock().unwrap();
+        match parse(spec)? {
+            Some(armed) => {
+                table.insert(site.to_string(), armed);
+            }
+            None => {
+                table.remove(site);
+            }
+        }
+        Ok(())
+    }
+
+    /// Disarms every site.
+    pub fn clear_all() {
+        table().lock().unwrap().clear();
+    }
+
+    /// Consults `site`, consuming one hit if it is armed with a count.
+    pub fn check(site: &str) -> super::Check {
+        let mut table = table().lock().unwrap();
+        let Some(armed) = table.get_mut(site) else {
+            return Ok(None);
+        };
+        let fault = armed.fault.clone();
+        if let Some(n) = &mut armed.remaining {
+            *n -= 1;
+            if *n == 0 {
+                table.remove(site);
+            }
+        }
+        match fault {
+            Fault::Error(msg) => Err(io::Error::other(format!("failpoint {site}: {msg}"))),
+            Fault::Torn(n) => Ok(Some(n)),
+        }
+    }
+}
+
+/// Arms `site` with `spec` (see the crate docs for the spec grammar).
+/// No-op without the `enabled` feature.
+#[cfg(feature = "enabled")]
+pub fn config(site: &str, spec: &str) -> Result<(), String> {
+    registry::config(site, spec)
+}
+
+/// Arms `site` with `spec` (see the crate docs for the spec grammar).
+/// No-op without the `enabled` feature.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn config(_site: &str, _spec: &str) -> Result<(), String> {
+    Ok(())
+}
+
+/// Disarms every site. No-op without the `enabled` feature.
+#[cfg(feature = "enabled")]
+pub fn clear_all() {
+    registry::clear_all();
+}
+
+/// Disarms every site. No-op without the `enabled` feature.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn clear_all() {}
+
+/// Consults `site`: `Ok(None)` proceed, `Ok(Some(n))` torn-write `n`
+/// bytes, `Err` injected failure. Always `Ok(None)` without the
+/// `enabled` feature.
+#[cfg(feature = "enabled")]
+pub fn check(site: &str) -> Check {
+    registry::check(site)
+}
+
+/// Consults `site`: `Ok(None)` proceed, `Ok(Some(n))` torn-write `n`
+/// bytes, `Err` injected failure. Always `Ok(None)` without the
+/// `enabled` feature.
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn check(_site: &str) -> Check {
+    Ok(None)
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip() {
+        clear_all();
+        config("t.write", "err:boom*2").unwrap();
+        assert!(check("t.write").is_err());
+        assert!(check("t.write").is_err());
+        assert!(check("t.write").unwrap().is_none(), "disarmed after 2 hits");
+
+        config("t.torn", "torn:7").unwrap();
+        assert_eq!(check("t.torn").unwrap(), Some(7));
+        config("t.torn", "off").unwrap();
+        assert!(check("t.torn").unwrap().is_none());
+
+        config("t.full", "enospc").unwrap();
+        let err = check("t.full").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        clear_all();
+        assert!(check("t.full").unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(config("s", "torn:x").is_err());
+        assert!(config("s", "wat").is_err());
+        assert!(config("s", "err:m*no").is_err());
+    }
+}

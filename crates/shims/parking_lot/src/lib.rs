@@ -2,7 +2,8 @@
 //! primitives behind parking_lot's non-poisoning API (lock acquisition
 //! never returns a `Result`; a poisoned lock propagates the panic).
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard, TryLockError};
+use std::time::{Duration, Instant};
 
 /// Mutual exclusion (upstream: `parking_lot::Mutex`).
 #[derive(Debug, Default)]
@@ -53,6 +54,53 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Non-blocking shared access; `None` when a writer holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Non-blocking exclusive access; `None` when any lock is held.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Shared access with a bounded wait (upstream: `try_read_for`).
+    /// std's `RwLock` has no native timed acquire, so this spins with a
+    /// short parked sleep — acceptable for the rare contended fallback
+    /// paths it serves (deadline-bounded server reads).
+    pub fn try_read_for(&self, timeout: Duration) -> Option<RwLockReadGuard<'_, T>> {
+        timed(timeout, || self.try_read())
+    }
+
+    /// Exclusive access with a bounded wait (upstream: `try_write_for`).
+    pub fn try_write_for(&self, timeout: Duration) -> Option<RwLockWriteGuard<'_, T>> {
+        timed(timeout, || self.try_write())
+    }
+}
+
+/// Polls `attempt` until it yields or `timeout` elapses, sleeping briefly
+/// between probes (1ms, the scheduler's practical floor) so waiters do
+/// not burn a core.
+fn timed<G>(timeout: Duration, mut attempt: impl FnMut() -> Option<G>) -> Option<G> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(g) = attempt() {
+            return Some(g);
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +120,31 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_variants_refuse_held_locks() {
+        let l = RwLock::new(0);
+        let r = l.read();
+        assert!(l.try_read().is_some(), "readers share");
+        assert!(l.try_write().is_none(), "writer blocked by reader");
+        assert!(l.try_write_for(Duration::from_millis(5)).is_none());
+        drop(r);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn timed_read_waits_out_a_writer() {
+        use std::sync::Arc;
+        let l = Arc::new(RwLock::new(0));
+        let held = Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            let g = held.write();
+            std::thread::sleep(Duration::from_millis(20));
+            drop(g);
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(l.try_read_for(Duration::from_secs(2)).is_some());
+        h.join().unwrap();
     }
 }

@@ -1,0 +1,109 @@
+//! Step-and-deadline metering for the exponential solvers.
+//!
+//! Every exponential routine in this crate historically took a plain
+//! `u64` step budget. [`Budget`] generalizes that: it still counts
+//! branch-and-bound steps, but can additionally carry a wall-clock
+//! deadline so a server request with `deadline_ms` can interrupt a
+//! solve mid-search. Checking `Instant::now()` on every step would
+//! dominate the search loop, so the deadline is only polled every
+//! [`DEADLINE_STRIDE`] spends (including the very first, so an
+//! already-expired deadline aborts before any work).
+//!
+//! A deadline-free [`Budget::steps`] is bit-identical to the old `u64`
+//! path: the same number of steps is granted and no clock is read.
+
+use std::time::Instant;
+
+/// How many [`Budget::spend`] calls elapse between deadline polls.
+pub const DEADLINE_STRIDE: u32 = 1024;
+
+/// A metered allowance for an exponential solve: a step count and an
+/// optional wall-clock deadline.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    steps: u64,
+    deadline: Option<Instant>,
+    tick: u32,
+}
+
+impl Budget {
+    /// A pure step budget — behaves exactly like the historical `u64`
+    /// argument (no clock is ever consulted).
+    pub fn steps(steps: u64) -> Self {
+        Budget {
+            steps,
+            deadline: None,
+            tick: 0,
+        }
+    }
+
+    /// A step budget that additionally aborts once `deadline` passes.
+    pub fn with_deadline(steps: u64, deadline: Option<Instant>) -> Self {
+        Budget {
+            steps,
+            deadline,
+            tick: 0,
+        }
+    }
+
+    /// Consumes one step. Returns `None` when the budget is exhausted —
+    /// either the step count hit zero or the deadline passed (polled
+    /// every [`DEADLINE_STRIDE`] spends, including the first).
+    #[inline]
+    pub fn spend(&mut self) -> Option<()> {
+        if self.steps == 0 {
+            return None;
+        }
+        if self.deadline.is_some() && self.tick == 0 && self.expired() {
+            self.steps = 0;
+            return None;
+        }
+        self.tick = (self.tick + 1) % DEADLINE_STRIDE;
+        self.steps -= 1;
+        Some(())
+    }
+
+    /// Whether the deadline (if any) has passed. Reads the clock.
+    pub fn expired(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// Steps still available.
+    pub fn remaining_steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn step_budget_counts_down_exactly() {
+        let mut b = Budget::steps(3);
+        assert!(b.spend().is_some());
+        assert!(b.spend().is_some());
+        assert!(b.spend().is_some());
+        assert!(b.spend().is_none());
+        assert_eq!(b.remaining_steps(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_on_first_spend() {
+        let past = Instant::now() - Duration::from_millis(5);
+        let mut b = Budget::with_deadline(u64::MAX, Some(past));
+        assert!(b.spend().is_none());
+        assert_eq!(b.remaining_steps(), 0);
+    }
+
+    #[test]
+    fn far_deadline_does_not_interfere() {
+        let far = Instant::now() + Duration::from_secs(3600);
+        let mut b = Budget::with_deadline(10, Some(far));
+        for _ in 0..10 {
+            assert!(b.spend().is_some());
+        }
+        assert!(b.spend().is_none());
+    }
+}

@@ -12,15 +12,16 @@
 //! [`ConflictGraph`] built from that component's minimal violation sets
 //! plus the same sets translated to node indices (needed only on the
 //! hypergraph path). Plain-graph components route to the exact
-//! vertex-cover machinery ([`min_weight_vertex_cover`] /
+//! vertex-cover machinery ([`min_weight_vertex_cover_with`] /
 //! [`fractional_vertex_cover`]); components with hyperedges route to the
-//! exact hitting set ([`min_weight_hitting_set`]) and the covering LP
+//! exact hitting set ([`min_weight_hitting_set_with`]) and the covering LP
 //! ([`covering_lp`]).
 
-use crate::covering::min_weight_hitting_set;
+use crate::budget::Budget;
+use crate::covering::{greedy_hitting_set, min_weight_hitting_set_with};
 use crate::fvc::fractional_vertex_cover;
 use crate::simplex::covering_lp;
-use crate::vertex_cover::min_weight_vertex_cover;
+use crate::vertex_cover::{greedy_vertex_cover, min_weight_vertex_cover_with};
 use inconsist_graph::ConflictGraph;
 
 /// Translates violation sets (tuple ids) into node-index sets for `g`.
@@ -49,11 +50,41 @@ pub fn component_min_repair(
     node_sets: &[Vec<usize>],
     budget: u64,
 ) -> Option<f64> {
+    component_min_repair_with(g, node_sets, &mut Budget::steps(budget))
+}
+
+/// [`component_min_repair`] against a caller-held [`Budget`] — the entry
+/// point for deadline-bounded (anytime) reads, where a wall-clock expiry
+/// must interrupt the exact search mid-branch.
+pub fn component_min_repair_with(
+    g: &ConflictGraph,
+    node_sets: &[Vec<usize>],
+    budget: &mut Budget,
+) -> Option<f64> {
     if g.is_plain_graph() {
-        return min_weight_vertex_cover(g, budget).map(|vc| vc.weight);
+        return min_weight_vertex_cover_with(g, budget).map(|vc| vc.weight);
     }
     let weights: Vec<f64> = (0..g.n() as u32).map(|v| g.weight(v)).collect();
-    min_weight_hitting_set(&weights, node_sets, budget).map(|h| h.weight)
+    min_weight_hitting_set_with(&weights, node_sets, budget).map(|h| h.weight)
+}
+
+/// Cheap polynomial bounds on one component's `I_R`: the LP relaxation as
+/// a lower bound and the deterministic greedy repair as an upper bound.
+/// This is the degrade path when a deadline expires before the exact
+/// solve finishes — the caller reports `[lower, upper]` instead of a
+/// value. The lower bound falls back to `0.0` when the simplex fails
+/// (hypergraph path only); the upper bound is always finite.
+pub fn component_repair_bounds(g: &ConflictGraph, node_sets: &[Vec<usize>]) -> (f64, f64) {
+    let lower = component_min_repair_lin(g, node_sets).unwrap_or(0.0);
+    let upper = if g.is_plain_graph() {
+        greedy_vertex_cover(g).weight
+    } else {
+        let weights: Vec<f64> = (0..g.n() as u32).map(|v| g.weight(v)).collect();
+        greedy_hitting_set(&weights, node_sets).weight
+    };
+    // The LP bound can exceed the greedy value only through floating-point
+    // noise; clamp so callers always see a well-formed interval.
+    (lower.min(upper), upper)
 }
 
 /// `I_R^lin` restricted to one conflict component: the LP relaxation of

@@ -9,6 +9,8 @@
 //! incumbent. Step-budgeted like every exponential routine in the
 //! workspace.
 
+use crate::budget::Budget;
+
 /// Result of [`min_weight_hitting_set`].
 #[derive(Clone, Debug)]
 pub struct HittingSet {
@@ -26,6 +28,16 @@ pub fn min_weight_hitting_set(
     sets: &[Vec<usize>],
     budget: u64,
 ) -> Option<HittingSet> {
+    min_weight_hitting_set_with(weights, sets, &mut Budget::steps(budget))
+}
+
+/// [`min_weight_hitting_set`] against a caller-held [`Budget`], so a
+/// wall-clock deadline can interrupt the search mid-branch.
+pub fn min_weight_hitting_set_with(
+    weights: &[f64],
+    sets: &[Vec<usize>],
+    budget: &mut Budget,
+) -> Option<HittingSet> {
     debug_assert!(
         sets.iter().all(|s| !s.is_empty()),
         "empty set is unhittable"
@@ -34,14 +46,13 @@ pub fn min_weight_hitting_set(
     let mut best = incumbent;
     let mut chosen = vec![false; weights.len()];
     let mut stack_cost = 0.0;
-    let mut budget = budget;
     search(
         weights,
         sets,
         &mut chosen,
         &mut stack_cost,
         &mut best,
-        &mut budget,
+        budget,
     )?;
     Some(best)
 }
@@ -120,12 +131,9 @@ fn search(
     chosen: &mut Vec<bool>,
     cost: &mut f64,
     best: &mut HittingSet,
-    budget: &mut u64,
+    budget: &mut Budget,
 ) -> Option<()> {
-    if *budget == 0 {
-        return None;
-    }
-    *budget -= 1;
+    budget.spend()?;
     if *cost + disjoint_bound(weights, sets, chosen) >= best.weight - 1e-12 {
         return Some(());
     }

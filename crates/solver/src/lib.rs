@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod component;
 pub mod covering;
 pub mod flow;
@@ -32,12 +33,19 @@ pub mod matching;
 pub mod simplex;
 pub mod vertex_cover;
 
-pub use component::{component_min_repair, component_min_repair_lin, node_index_sets};
-pub use covering::{greedy_hitting_set, min_weight_hitting_set, HittingSet};
+pub use budget::Budget;
+pub use component::{
+    component_min_repair, component_min_repair_lin, component_min_repair_with,
+    component_repair_bounds, node_index_sets,
+};
+pub use covering::{
+    greedy_hitting_set, min_weight_hitting_set, min_weight_hitting_set_with, HittingSet,
+};
 pub use flow::{bipartite_min_weight_vertex_cover, FlowNetwork};
 pub use fvc::{fractional_vertex_cover, nt_partition, FractionalCover};
 pub use matching::{Bipartite, Matching};
 pub use simplex::{covering_lp, LinearProgram, LpCmp, LpError, LpSolution};
 pub use vertex_cover::{
-    greedy_vertex_cover, is_vertex_cover, min_weight_vertex_cover, VertexCover,
+    greedy_vertex_cover, is_vertex_cover, min_weight_vertex_cover, min_weight_vertex_cover_with,
+    VertexCover,
 };

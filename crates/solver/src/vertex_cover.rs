@@ -16,6 +16,7 @@
 //! All exponential work is metered by a step budget; exhaustion returns
 //! `None` (the measure reports a timeout, mirroring the paper's 24 h cap).
 
+use crate::budget::Budget;
 use crate::fvc::{fractional_vertex_cover, nt_partition};
 use inconsist_graph::{cotree, ConflictGraph, Cotree};
 
@@ -31,6 +32,13 @@ pub struct VertexCover {
 /// Computes a minimum-weight vertex cover of a plain conflict graph exactly.
 /// Returns `None` when `budget` branch-and-bound steps are exhausted.
 pub fn min_weight_vertex_cover(g: &ConflictGraph, budget: u64) -> Option<VertexCover> {
+    min_weight_vertex_cover_with(g, &mut Budget::steps(budget))
+}
+
+/// [`min_weight_vertex_cover`] against a caller-held [`Budget`], so a
+/// wall-clock deadline can interrupt the branch-and-bound mid-search and
+/// leftover steps are observable after the call.
+pub fn min_weight_vertex_cover_with(g: &ConflictGraph, budget: &mut Budget) -> Option<VertexCover> {
     assert!(
         g.is_plain_graph(),
         "min_weight_vertex_cover requires a plain graph; use hitting_set for hyperedges"
@@ -48,10 +56,9 @@ pub fn min_weight_vertex_cover(g: &ConflictGraph, budget: u64) -> Option<VertexC
     let free: Vec<u32> = (0..g.n() as u32).filter(|&v| !g.is_excluded(v)).collect();
     let (core, mapping) = g.induced(&free);
 
-    let mut budget = budget;
     for comp in core.components() {
         let (sub, sub_map) = core.induced(&comp);
-        let solved = solve_component(&sub, &mut budget)?;
+        let solved = solve_component(&sub, budget)?;
         weight += solved.weight;
         nodes.extend(
             solved
@@ -64,7 +71,7 @@ pub fn min_weight_vertex_cover(g: &ConflictGraph, budget: u64) -> Option<VertexC
     Some(VertexCover { weight, nodes })
 }
 
-fn solve_component(g: &ConflictGraph, budget: &mut u64) -> Option<VertexCover> {
+fn solve_component(g: &ConflictGraph, budget: &mut Budget) -> Option<VertexCover> {
     if g.edge_count() == 0 {
         return Some(VertexCover {
             weight: 0.0,
@@ -173,7 +180,7 @@ pub fn greedy_vertex_cover(g: &ConflictGraph) -> VertexCover {
 /// Branch and bound on an irreducible component: branch on a maximum-degree
 /// node (in-cover vs. all-neighbors-in-cover), bound with the fractional
 /// cover, seed with the greedy incumbent.
-fn branch_and_bound(g: &ConflictGraph, budget: &mut u64) -> Option<VertexCover> {
+fn branch_and_bound(g: &ConflictGraph, budget: &mut Budget) -> Option<VertexCover> {
     let incumbent = greedy_vertex_cover(g);
     let mut best = incumbent;
     let mut chosen: Vec<u32> = Vec::new();
@@ -188,12 +195,9 @@ fn bb(
     cost: f64,
     chosen: &mut Vec<u32>,
     best: &mut VertexCover,
-    budget: &mut u64,
+    budget: &mut Budget,
 ) -> Option<()> {
-    if *budget == 0 {
-        return None;
-    }
-    *budget -= 1;
+    budget.spend()?;
     if cost >= best.weight - 1e-12 {
         return Some(());
     }

@@ -1,0 +1,171 @@
+//! The scale-scenario grid: scale factor × violation ratio × DC-set ×
+//! seed over the deterministic `orders`/`lineitem` generator
+//! (`inconsist_data::scenario`), reporting per-cell measure values and
+//! throughput to `target/bench_scale.json` (or `BENCH_SCALE_JSON`).
+//!
+//! Each cell:
+//!
+//! 1. generates the scenario database for `(scale_factor, seed)` —
+//!    initially consistent under the cell's DC-set;
+//! 2. injects violations at the cell's ratio with ground-truth tracking;
+//! 3. builds an `IncrementalIndex` (component mode) over the dirty
+//!    database and reads `I_MI`, `I_P` and the per-tuple responsibility
+//!    scores through it;
+//! 4. **verifies** the served values against the injector's ground truth
+//!    (`I_P` = |dirty set|, Σ`cim` = `I_MI`, Σ`pim` = `I_P`, warm
+//!    `try_top_k_tuples` bit-identical to the exclusive read) — a cell
+//!    that lies about its measures panics rather than emitting numbers;
+//! 5. reports generation/build/read throughput plus the measure values.
+//!
+//! The JSON feeds two kinds of `ci/bench_baseline.json` metrics: measure
+//! *values* (deterministic — near-zero tolerance) and throughputs (wide
+//! tolerance). `BENCH_SMOKE=1` shrinks the grid to its first scale
+//! factor / middle ratio / first seed for the CI smoke job — same code
+//! paths, and cell ids are stable across modes so the gate's selectors
+//! work on both.
+
+use inconsist::incremental::IncrementalIndex;
+use inconsist_data::scenario::{generate_scenario, inject, DcSet, ScenarioSpec};
+use std::time::Instant;
+
+const SCALE_FACTORS: &[f64] = &[0.02, 0.05];
+const RATIOS: &[f64] = &[0.02, 0.05, 0.1];
+const SEEDS: &[u64] = &[1, 2, 3];
+/// Top-k cut reported per cell (and timed as the warm-read workload).
+const TOP_K: usize = 10;
+/// Warm `try_top_k_tuples` reads timed per cell.
+const WARM_READS: usize = 100;
+
+/// Whether the CI smoke mode is on (reduced grid, same code paths).
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Stable cell id, e.g. `core/sf0.02/r0.05/s1` — the `select` key the
+/// bench gate uses, identical in smoke and full mode.
+fn cell_id(dc_set: DcSet, sf: f64, ratio: f64, seed: u64) -> String {
+    format!("{}/sf{sf}/r{ratio}/s{seed}", dc_set.name())
+}
+
+/// Runs one grid cell and returns its JSON entry.
+fn run_cell(dc_set: DcSet, sf: f64, ratio: f64, seed: u64) -> String {
+    let spec = ScenarioSpec {
+        scale_factor: sf,
+        dc_set,
+        seed,
+    };
+    let started = Instant::now();
+    let mut sc = generate_scenario(&spec);
+    let gen_sec = started.elapsed().as_secs_f64();
+
+    let injection = inject(&mut sc, ratio, seed).expect("inject");
+    let injected = injection.dirty.len();
+    let tuples = sc.db.len();
+
+    let started = Instant::now();
+    let mut idx = IncrementalIndex::build(sc.db, sc.constraints).expect("build index");
+    let i_mi = idx.i_mi();
+    let i_p = idx.i_p();
+    let build_sec = started.elapsed().as_secs_f64();
+
+    let scores = idx.tuple_measures();
+    let cim_sum: f64 = scores.iter().map(|s| s.cim).sum();
+    let pim_sum: f64 = scores.iter().map(|s| s.pim).sum();
+    let top = idx.top_k_tuples(TOP_K);
+
+    // Ground truth: the injector's dirty set is exactly the problematic
+    // tuples, and the per-tuple scores must re-aggregate to I_MI / I_P.
+    assert_eq!(
+        i_p as usize,
+        injected,
+        "{}: I_P diverged from the injector's ground truth",
+        cell_id(dc_set, sf, ratio, seed)
+    );
+    assert!(
+        (cim_sum - i_mi).abs() < 1e-9 && pim_sum == i_p,
+        "{}: per-tuple scores do not re-aggregate (Σcim={cim_sum} vs I_MI={i_mi}, \
+         Σpim={pim_sum} vs I_P={i_p})",
+        cell_id(dc_set, sf, ratio, seed)
+    );
+
+    // Warm shared-path reads: the caches are filled, so `try_top_k_tuples`
+    // must answer — and bit-identically to the exclusive read above.
+    let started = Instant::now();
+    for _ in 0..WARM_READS {
+        let warm = idx.try_top_k_tuples(TOP_K).expect("warm cache answers");
+        assert_eq!(warm, top, "warm read diverged from exclusive read");
+    }
+    let read_sec = started.elapsed().as_secs_f64();
+
+    let top1_cbm = top.first().map_or(0.0, |s| s.cbm);
+    let cell = cell_id(dc_set, sf, ratio, seed);
+    println!(
+        "bench_scale/{cell:<22} {tuples:>5} tuples, {injected:>4} dirty, \
+         I_MI {i_mi:>6.0}, I_P {i_p:>6.0}, build {:>8.0} tuples/s, \
+         warm top-{TOP_K} {:>7.0} reads/s",
+        tuples as f64 / build_sec,
+        WARM_READS as f64 / read_sec,
+    );
+    format!(
+        "    {{\"cell\": \"{cell}\", \"dc_set\": \"{}\", \"sf\": {sf}, \"ratio\": {ratio}, \
+         \"seed\": {seed}, \"tuples\": {tuples}, \"injected\": {injected}, \
+         \"i_mi\": {i_mi}, \"i_p\": {i_p}, \"cim_sum\": {cim_sum:.6}, \
+         \"top1_cbm\": {top1_cbm}, \"gen_sec\": {gen_sec:.4}, \"build_sec\": {build_sec:.4}, \
+         \"build_tuples_per_sec\": {:.1}, \"warm_top_reads_per_sec\": {:.1}}}",
+        dc_set.name(),
+        tuples as f64 / build_sec,
+        WARM_READS as f64 / read_sec,
+    )
+}
+
+fn main() {
+    // Honor the same id filter as the criterion shim so filtered bench
+    // runs targeting another group skip the grid.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .or_else(|| std::env::var("BENCH_FILTER").ok());
+    if let Some(f) = filter {
+        if !"scale grid scenario".contains(f.as_str()) {
+            println!("bench_scale: skipped by filter `{f}`");
+            return;
+        }
+    }
+    // Smoke mode: one scale factor, the middle ratio, the first seed —
+    // both DC-sets so every code path (including the cross-relation FK
+    // denial) still runs.
+    let (sfs, ratios, seeds): (&[f64], &[f64], &[u64]) = if smoke() {
+        (&SCALE_FACTORS[..1], &RATIOS[1..2], &SEEDS[..1])
+    } else {
+        (SCALE_FACTORS, RATIOS, SEEDS)
+    };
+
+    let mut cells: Vec<String> = Vec::new();
+    for &dc_set in &DcSet::all() {
+        for &sf in sfs {
+            for &ratio in ratios {
+                for &seed in seeds {
+                    cells.push(run_cell(dc_set, sf, ratio, seed));
+                }
+            }
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"bench_scale\",\n  \"smoke\": {},\n  \
+         \"grid\": {{\"scale_factors\": {:?}, \"ratios\": {:?}, \"dc_sets\": [\"core\", \"full\"], \
+         \"seeds\": {:?}, \"cells\": {}}},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        smoke(),
+        sfs,
+        ratios,
+        seeds,
+        cells.len(),
+        cells.join(",\n"),
+    );
+    let path = std::env::var("BENCH_SCALE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench_scale.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote JSON summary to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}\n{json}"),
+    }
+}

@@ -38,7 +38,8 @@ USAGE:
                      [--snapshot-every N] [--segment-bytes N]
                      [--max-inflight N] [--session-inflight N] [--queue-limit N]
                      [--retry-after-ms N] [--read-poll-ms N] [--write-timeout-ms N]
-  inconsist client   <addr> [request-json | snapshot NAME | compact NAME ...]
+  inconsist client   <addr> [request-json | snapshot NAME | compact NAME |
+                     top NAME [K] ...]
 
 FILES:
   data.csv   header + rows; column types are inferred (int/float/str)
@@ -71,8 +72,9 @@ COMMANDS:
              --read-poll-ms / --write-timeout-ms bound slow clients
   client     send request lines to a running server (from the arguments,
              or stdin when none are given) and print the responses;
-             `snapshot NAME` / `compact NAME` are shorthand for the
-             corresponding JSON requests
+             `snapshot NAME` / `compact NAME` / `top NAME [K]` are
+             shorthand for the corresponding JSON requests (`top` asks
+             for the K most inconsistent tuples, default 10)
 ";
 
 /// Dispatches a parsed command line, returning the report to print.
@@ -470,8 +472,9 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
     ))
 }
 
-/// Expands the `client` shorthand verbs (`snapshot NAME`, `compact NAME`)
-/// into their JSON requests; raw JSON lines pass through untouched.
+/// Expands the `client` shorthand verbs (`snapshot NAME`, `compact NAME`,
+/// `top NAME [K]`) into their JSON requests; raw JSON lines pass through
+/// untouched.
 fn client_request_line(line: &str) -> Result<String, String> {
     let trimmed = line.trim();
     if trimmed.starts_with('{') {
@@ -483,9 +486,24 @@ fn client_request_line(line: &str) -> Result<String, String> {
             "{{\"cmd\":\"{verb}\",\"session\":{}}}",
             inconsist_server::Json::str(*name)
         )),
+        ["top", name] => Ok(format!(
+            "{{\"cmd\":\"tuple_measures\",\"session\":{}}}",
+            inconsist_server::Json::str(*name)
+        )),
+        ["top", name, k] => {
+            let k: usize = k
+                .parse()
+                .ok()
+                .filter(|k| *k >= 1)
+                .ok_or_else(|| format!("top {name} {k}: K must be a positive integer"))?;
+            Ok(format!(
+                "{{\"cmd\":\"tuple_measures\",\"session\":{},\"k\":{k}}}",
+                inconsist_server::Json::str(*name)
+            ))
+        }
         _ => Err(format!(
-            "client request `{trimmed}`: expected a JSON object, `snapshot NAME` \
-             or `compact NAME`"
+            "client request `{trimmed}`: expected a JSON object, `snapshot NAME`, \
+             `compact NAME` or `top NAME [K]`"
         )),
     }
 }
@@ -507,10 +525,20 @@ fn cmd_client(cli: &Cli) -> Result<String, String> {
         let mut lines = Vec::new();
         let mut args = cli.positional[1..].iter().peekable();
         while let Some(arg) = args.next() {
-            if matches!(arg.as_str(), "snapshot" | "compact")
+            if matches!(arg.as_str(), "snapshot" | "compact" | "top")
                 && args.peek().is_some_and(|next| !next.starts_with('{'))
             {
-                lines.push(format!("{arg} {}", args.next().expect("peeked")));
+                let mut line = format!("{arg} {}", args.next().expect("peeked"));
+                // `top NAME K`: the optional numeric k rides along too.
+                if arg == "top"
+                    && args
+                        .peek()
+                        .is_some_and(|next| next.chars().all(|c| c.is_ascii_digit()))
+                {
+                    line.push(' ');
+                    line.push_str(args.next().expect("peeked"));
+                }
+                lines.push(line);
             } else {
                 lines.push(arg.clone());
             }
@@ -861,6 +889,15 @@ mod tests {
             client_request_line("snapshot s").unwrap(),
             "{\"cmd\":\"snapshot\",\"session\":\"s\"}"
         );
+        assert_eq!(
+            client_request_line("top s").unwrap(),
+            "{\"cmd\":\"tuple_measures\",\"session\":\"s\"}"
+        );
+        assert_eq!(
+            client_request_line("top s 5").unwrap(),
+            "{\"cmd\":\"tuple_measures\",\"session\":\"s\",\"k\":5}"
+        );
+        assert!(client_request_line("top s zero").is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

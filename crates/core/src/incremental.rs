@@ -98,8 +98,10 @@ use inconsist_graph::{CompId, ConflictGraph, DynamicConflictGraph};
 use inconsist_relational::{AttrId, Database, Fact, RelationalError, TupleId, Value};
 use inconsist_solver::{
     component_min_repair, component_min_repair_lin, component_min_repair_with,
-    component_repair_bounds, node_index_sets, Budget,
+    component_repair_bounds, component_tuple_scores, node_index_sets, Budget,
 };
+
+pub use inconsist_solver::TupleScores;
 use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -506,31 +508,36 @@ impl IncrementalIndex {
     fn ensure_components(&mut self) -> Vec<CompId> {
         let ids = self.sorted_components();
         for &c in &ids {
-            if self.comp_cache.contains_key(&c) {
-                self.stats.filter_cache_hits += 1;
-                continue;
-            }
-            let sets: HashSet<ViolationSet> = self.graph.component_sets(c).into_iter().collect();
-            let minimal = engine::filter_minimal(sets);
-            self.stats.filter_runs += 1;
-            let tuple_count = {
-                let mut tuples: HashSet<TupleId> = HashSet::new();
-                for s in &minimal {
-                    tuples.extend(s.iter().copied());
-                }
-                tuples.len()
-            };
-            self.comp_cache.insert(
-                c,
-                CompCache {
-                    minimal,
-                    tuple_count,
-                    ir: None,
-                    ir_lin: None,
-                },
-            );
+            self.ensure_component(c);
         }
         ids
+    }
+
+    /// Fills one component's minimal-subset cache if dirty.
+    fn ensure_component(&mut self, c: CompId) {
+        if self.comp_cache.contains_key(&c) {
+            self.stats.filter_cache_hits += 1;
+            return;
+        }
+        let sets: HashSet<ViolationSet> = self.graph.component_sets(c).into_iter().collect();
+        let minimal = engine::filter_minimal(sets);
+        self.stats.filter_runs += 1;
+        let tuple_count = {
+            let mut tuples: HashSet<TupleId> = HashSet::new();
+            for s in &minimal {
+                tuples.extend(s.iter().copied());
+            }
+            tuples.len()
+        };
+        self.comp_cache.insert(
+            c,
+            CompCache {
+                minimal,
+                tuple_count,
+                ir: None,
+                ir_lin: None,
+            },
+        );
     }
 
     /// The global minimal inconsistent subsets `MI_Σ(D)` (cross-constraint
@@ -1092,6 +1099,133 @@ impl IncrementalIndex {
         counts
     }
 
+    // -- per-tuple responsibility measures ---------------------------------
+
+    /// Inconsistency ranking: `(cbm desc, cim desc, rim desc, tuple asc)`.
+    /// The scores are never NaN, so `total_cmp` makes this a total order
+    /// and the top-k cut below is deterministic.
+    fn rank_tuple_scores(scores: &mut [TupleScores]) {
+        scores.sort_by(|a, b| {
+            b.cbm
+                .total_cmp(&a.cbm)
+                .then(b.cim.total_cmp(&a.cim))
+                .then(b.rim.total_cmp(&a.rim))
+                .then(a.tuple.cmp(&b.tuple))
+        });
+    }
+
+    /// Per-tuple responsibility scores ([`TupleScores`]) of every tuple
+    /// appearing in some minimal inconsistent subset, sorted by tuple id.
+    /// Tuples outside every subset are omitted (their scores are all zero
+    /// — see [`tuple_measure`](Self::tuple_measure)).
+    ///
+    /// In [`ReadMode::Component`] the scores are computed component-locally
+    /// from the per-component minimal caches (dirty components are
+    /// re-filtered first); in [`ReadMode::Global`] from the memoized global
+    /// list. The kernel sums each tuple's subset-size reciprocals in a
+    /// canonical (ascending) order, so both modes agree bit-for-bit.
+    pub fn tuple_measures(&mut self) -> Vec<TupleScores> {
+        match self.mode {
+            ReadMode::Global => component_tuple_scores(self.minimal_subsets()),
+            ReadMode::Component => {
+                let ids = self.ensure_components();
+                let mut out: Vec<TupleScores> = Vec::new();
+                for c in &ids {
+                    out.extend(component_tuple_scores(&self.comp_cache[c].minimal));
+                }
+                // Components partition the scored tuples; one sort merges
+                // the per-component (already sorted) runs.
+                out.sort_by_key(|s| s.tuple);
+                out
+            }
+        }
+    }
+
+    /// The `k` most inconsistent tuples under the ranking
+    /// `(cbm desc, cim desc, rim desc, tuple asc)` — ties broken by tuple
+    /// id so the cut is stable across runs, modes and thread counts.
+    pub fn top_k_tuples(&mut self, k: usize) -> Vec<TupleScores> {
+        let mut all = self.tuple_measures();
+        Self::rank_tuple_scores(&mut all);
+        all.truncate(k);
+        all
+    }
+
+    /// [`tuple_measures`](Self::tuple_measures) from caches only: `Some`
+    /// iff no mutation dirtied state since the caches were last filled.
+    /// Bit-identical to the exclusive path.
+    pub fn try_tuple_measures(&self) -> Option<Vec<TupleScores>> {
+        match self.mode {
+            ReadMode::Global => self
+                .mi_cache
+                .as_ref()
+                .map(|subsets| component_tuple_scores(subsets)),
+            ReadMode::Component => self.components_clean().then(|| {
+                let ids = self.sorted_components();
+                let mut out: Vec<TupleScores> = Vec::new();
+                for c in &ids {
+                    out.extend(component_tuple_scores(&self.comp_cache[c].minimal));
+                }
+                out.sort_by_key(|s| s.tuple);
+                out
+            }),
+        }
+    }
+
+    /// [`top_k_tuples`](Self::top_k_tuples) from caches only.
+    pub fn try_top_k_tuples(&self, k: usize) -> Option<Vec<TupleScores>> {
+        let mut all = self.try_tuple_measures()?;
+        Self::rank_tuple_scores(&mut all);
+        all.truncate(k);
+        Some(all)
+    }
+
+    /// The responsibility scores of one tuple: `None` when the tuple is
+    /// not live in the database, all-zero when it participates in no
+    /// minimal inconsistent subset (a *free* tuple), its component-local
+    /// scores otherwise.
+    ///
+    /// In [`ReadMode::Component`] only the tuple's own component is
+    /// (re)filtered — the tuple→component lookup rides the maintained
+    /// conflict graph, so a point query stays local no matter how dirty
+    /// the rest of the index is.
+    pub fn tuple_measure(&mut self, t: TupleId) -> Option<TupleScores> {
+        self.db.fact(t)?;
+        let zero = TupleScores {
+            tuple: t,
+            cbm: 0.0,
+            cim: 0.0,
+            pim: 0.0,
+            rim: 0.0,
+        };
+        match self.mode {
+            ReadMode::Global => {
+                self.minimal_subsets();
+                let subsets = self.mi_cache.as_deref().expect("just filled");
+                Some(
+                    component_tuple_scores(subsets)
+                        .into_iter()
+                        .find(|s| s.tuple == t)
+                        .unwrap_or(zero),
+                )
+            }
+            ReadMode::Component => match self.graph.component_of(t) {
+                None => Some(zero),
+                Some(c) => {
+                    self.ensure_component(c);
+                    Some(
+                        component_tuple_scores(&self.comp_cache[&c].minimal)
+                            .into_iter()
+                            .find(|s| s.tuple == t)
+                            // In the graph but only via non-minimal sets:
+                            // still free at the minimal level.
+                            .unwrap_or(zero),
+                    )
+                }
+            },
+        }
+    }
+
     /// Internal consistency check used by tests: rebuilds from scratch and
     /// cross-validates the raw binding sets, the maintained component
     /// structure and every cached aggregate (per-component minimal sets,
@@ -1259,6 +1393,65 @@ mod tests {
         assert_eq!(idx.i_p(), 5.0);
         assert_eq!(idx.i_r(&MeasureOptions::default()).unwrap(), 3.0);
         assert!((idx.i_r_lin().unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tuple_measures_agree_across_modes_and_recover_aggregates() {
+        let (d1, cs) = crate::paper::airport_d1();
+        let mut idx = IncrementalIndex::build(d1, cs).unwrap();
+        let comp = idx.tuple_measures();
+        let mut global = idx.clone();
+        global.set_mode(ReadMode::Global);
+        // Bit-identical across read modes — PartialEq on f64 fields.
+        assert_eq!(global.tuple_measures(), comp);
+        // Σ cim recovers I_MI, Σ pim recovers I_P.
+        let cim: f64 = comp.iter().map(|s| s.cim).sum();
+        assert!((cim - idx.i_mi()).abs() < 1e-9);
+        assert_eq!(comp.iter().map(|s| s.pim).sum::<f64>(), idx.i_p());
+        // Top-k: ranked by cbm first, k-bounded, identical in both modes.
+        let top = idx.top_k_tuples(3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(global.top_k_tuples(3), top);
+        assert!(top.windows(2).all(|w| w[0].cbm >= w[1].cbm));
+        // Point queries agree with the bulk listing.
+        for s in &comp {
+            assert_eq!(idx.tuple_measure(s.tuple), Some(*s));
+            assert_eq!(global.tuple_measure(s.tuple), Some(*s));
+        }
+    }
+
+    #[test]
+    fn tuple_measure_point_queries_and_cache_riding() {
+        let (s, r) = setup();
+        let mut db = Database::new(Arc::clone(&s));
+        let a = db.insert(fact3(r, 1, 1, 0)).unwrap();
+        let b = db.insert(fact3(r, 1, 2, 0)).unwrap();
+        let free = db.insert(fact3(r, 7, 7, 7)).unwrap();
+        let mut idx = IncrementalIndex::build(db, two_fd_cs(&s, r)).unwrap();
+        // Fresh index, dirty component: the try paths refuse.
+        assert!(idx.try_tuple_measures().is_none());
+        assert!(idx.try_top_k_tuples(1).is_none());
+        // Point queries: the conflicting pair scores, the free tuple is
+        // all-zero, a dead id is None.
+        let sa = idx.tuple_measure(a).unwrap();
+        assert_eq!((sa.cbm, sa.cim, sa.pim, sa.rim), (1.0, 0.5, 1.0, 0.5));
+        let sf = idx.tuple_measure(free).unwrap();
+        assert_eq!((sf.cbm, sf.cim, sf.pim, sf.rim), (0.0, 0.0, 0.0, 0.0));
+        assert!(idx.tuple_measure(TupleId(999)).is_none());
+        // Free tuples are absent from the bulk listing.
+        let all = idx.tuple_measures();
+        assert_eq!(all.iter().map(|s| s.tuple).collect::<Vec<_>>(), vec![a, b]);
+        // The point query warmed the pair's component, so the try paths
+        // now answer, bit-identically to the exclusive paths...
+        assert_eq!(idx.try_tuple_measures().unwrap(), all);
+        assert_eq!(idx.try_top_k_tuples(1).unwrap(), idx.top_k_tuples(1));
+        // ...until the next mutation dirties the component again.
+        let c = idx.insert(fact3(r, 1, 3, 0)).unwrap();
+        assert!(idx.try_tuple_measures().is_none());
+        let sa = idx.tuple_measure(a).unwrap();
+        assert_eq!(sa.cbm, 2.0); // {a,b} and {a,c}
+        assert_eq!(idx.top_k_tuples(10).len(), 3);
+        let _ = c;
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | `sessions` | — | list live session names |
 //! | `op` | `session`, `ops`, `token?` | apply repairing operations (`.ops` lines) through the writer path; `token` makes the batch idempotent (a replayed token returns the recorded response instead of re-applying) |
 //! | `measure` | `session`, `measures?`, `per_dc?`, `deadline_ms?` | read measures through the shared/exclusive read paths; past the deadline, `I_R`/`I_R^lin` degrade to bounds tagged `partial:true` and lock-blocked reads degrade to the last served values tagged `stale:true` |
+//! | `tuple_measures` | `session`, `k?`, `deadline_ms?` | the `k` (default 10) most inconsistent tuples with their per-tuple responsibility scores (`cbm`/`cim`/`pim`/`rim`), ranked `(cbm, cim, rim) desc` with tuple-id tie-break; same deadline semantics as `measure` (lock-blocked reads degrade to the last served ranking tagged `stale:true`) |
 //! | `stats` | `session?` | read/op counters, cache hit rates, durability/recovery stats |
 //! | `snapshot` | `session` | write a point-in-time snapshot (durable sessions only) |
 //! | `compact` | `session` | drop log records covered by the newest snapshot |
@@ -88,6 +89,17 @@ pub enum Request {
         /// blocking; see the module table.
         deadline_ms: Option<u64>,
     },
+    /// Read the top-k most inconsistent tuples with their per-tuple
+    /// responsibility scores.
+    TupleMeasures {
+        /// Session name.
+        session: String,
+        /// How many tuples to return (ranking is total, so any `k` is
+        /// deterministic).
+        k: usize,
+        /// Wall-clock budget, same degradation ladder as `measure`.
+        deadline_ms: Option<u64>,
+    },
     /// Counters for one session (or all sessions).
     Stats {
         /// Session name; `None` reports every session plus server totals.
@@ -150,6 +162,18 @@ fn payload(json: &Json, inline_key: &str, path_key: &str) -> Result<Payload, Ser
         (None, None) => Err(ServerError::Protocol(format!(
             "one of `{inline_key}` or `{path_key}` is required"
         ))),
+    }
+}
+
+fn opt_deadline(json: &Json) -> Result<Option<u64>, ServerError> {
+    match json.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => {
+            let ms = v.as_f64().filter(|ms| *ms >= 0.0).ok_or_else(|| {
+                ServerError::Protocol("`deadline_ms` must be a non-negative number".into())
+            })?;
+            Ok(Some(ms as u64))
+        }
     }
 }
 
@@ -231,20 +255,27 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
                     )));
                 }
             }
-            let deadline_ms = match json.get("deadline_ms") {
-                None => None,
-                Some(v) => {
-                    let ms = v.as_f64().filter(|ms| *ms >= 0.0).ok_or_else(|| {
-                        ServerError::Protocol("`deadline_ms` must be a non-negative number".into())
-                    })?;
-                    Some(ms as u64)
-                }
-            };
             Ok(Request::Measure {
                 session: required_str(&json, "session")?,
                 measures,
                 per_dc: json.get("per_dc").and_then(Json::as_bool).unwrap_or(false),
-                deadline_ms,
+                deadline_ms: opt_deadline(&json)?,
+            })
+        }
+        "tuple_measures" => {
+            let k = match json.get("k") {
+                None => 10,
+                Some(v) => {
+                    let k = v.as_f64().filter(|k| *k >= 1.0).ok_or_else(|| {
+                        ServerError::Protocol("`k` must be a positive number".into())
+                    })?;
+                    k as usize
+                }
+            };
+            Ok(Request::TupleMeasures {
+                session: required_str(&json, "session")?,
+                k,
+                deadline_ms: opt_deadline(&json)?,
             })
         }
         "stats" => Ok(Request::Stats {
@@ -329,6 +360,25 @@ mod tests {
             Request::Measure { measures, .. } => assert_eq!(measures, DEFAULT_MEASURES),
             other => panic!("{other:?}"),
         }
+        assert_eq!(
+            parse_request("{\"cmd\":\"tuple_measures\",\"session\":\"s\"}").unwrap(),
+            Request::TupleMeasures {
+                session: "s".into(),
+                k: 10,
+                deadline_ms: None,
+            }
+        );
+        assert_eq!(
+            parse_request(
+                "{\"cmd\":\"tuple_measures\",\"session\":\"s\",\"k\":3,\"deadline_ms\":250}"
+            )
+            .unwrap(),
+            Request::TupleMeasures {
+                session: "s".into(),
+                k: 3,
+                deadline_ms: Some(250),
+            }
+        );
     }
 
     #[test]
@@ -360,6 +410,15 @@ mod tests {
             ),
             (
                 "{\"cmd\":\"measure\",\"session\":\"s\",\"deadline_ms\":\"soon\"}",
+                "`deadline_ms`",
+            ),
+            ("{\"cmd\":\"tuple_measures\"}", "`session`"),
+            (
+                "{\"cmd\":\"tuple_measures\",\"session\":\"s\",\"k\":0}",
+                "`k`",
+            ),
+            (
+                "{\"cmd\":\"tuple_measures\",\"session\":\"s\",\"deadline_ms\":-1}",
                 "`deadline_ms`",
             ),
         ] {

@@ -6,8 +6,9 @@
 //!
 //! ## Admission control
 //!
-//! Work-carrying requests (`op`, `measure`, `create`, `snapshot`,
-//! `compact`) pass through [`Admission`] before touching a session: a
+//! Work-carrying requests (`op`, `measure`, `tuple_measures`, `create`,
+//! `snapshot`, `compact`) pass through [`Admission`] before touching a
+//! session: a
 //! global in-flight gauge (strict CAS acquire, so the bound is never
 //! exceeded) plus a per-session bound enforced by
 //! [`Session::admit`](crate::session::Session::admit). A shed request
@@ -227,6 +228,16 @@ fn dispatch(
                 None => s.measure(&measures, per_dc, opts),
             }
         }
+        Request::TupleMeasures {
+            session,
+            k,
+            deadline_ms,
+        } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            s.tuple_measures(k, deadline_ms)
+        }
         Request::Stats { session } => match session {
             Some(name) => {
                 let mut stats = registry.get(&name)?.stats();
@@ -330,12 +341,38 @@ mod tests {
         assert_eq!(values.get("I_MI").and_then(Json::as_f64), Some(1.0));
         assert_eq!(values.get("I_R").and_then(Json::as_f64), Some(1.0));
 
+        // Tuple-level drilldown: the FD pair (tuples 0, 1) ranks ahead of
+        // the free tuple, and k bounds the cut.
+        let (top, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"tuple_measures\",\"session\":\"cities\",\"k\":1}",
+        );
+        assert_eq!(top.get("ok").and_then(Json::as_bool), Some(true), "{top}");
+        let tuples = top.get("tuples").and_then(Json::as_arr).unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].get("tuple").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(tuples[0].get("cbm").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(tuples[0].get("rim").and_then(Json::as_f64), Some(0.5));
+
         let (op, _) = route(
             &reg,
             &counters,
             "{\"cmd\":\"op\",\"session\":\"cities\",\"ops\":\"update 1 Country FR\"}",
         );
         assert_eq!(op.get("applied").and_then(Json::as_f64), Some(1.0));
+
+        // Repaired: no inconsistent tuples left to rank.
+        let (top, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"tuple_measures\",\"session\":\"cities\"}",
+        );
+        assert_eq!(
+            top.get("tuples").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0),
+            "{top}"
+        );
 
         let (stats, _) = route(
             &reg,

@@ -46,7 +46,7 @@ use crate::durable::{Durability, DurabilityConfig, RecoveryStats};
 use crate::error::ServerError;
 use crate::protocol::Payload;
 use crate::wire::Json;
-use inconsist::incremental::{IncrementalIndex, ReadMode};
+use inconsist::incremental::{IncrementalIndex, ReadMode, TupleScores};
 use inconsist::measures::{InconsistencyMeasure, MaximalConsistentSubsets, MeasureOptions};
 use inconsist::relational::{RelId, RelationSchema};
 use inconsist_formats::csv::load_csv;
@@ -660,6 +660,93 @@ impl Session {
         self.stale_fallback(measures, per_dc, deadline_ms)
     }
 
+    /// Tuple-level reader path: the `k` most inconsistent tuples with
+    /// their per-tuple responsibility scores (`cbm`/`cim`/`pim`/`rim`),
+    /// ranked `(cbm, cim, rim)` descending with tuple-id tie-break.
+    ///
+    /// Same lock ladder as [`measure`](Self::measure): optimistic shared
+    /// read from the component caches, exclusive upgrade on a miss. With
+    /// a deadline, the shared attempt is non-blocking, the upgrade waits
+    /// only as long as the deadline allows, and a lock that never comes
+    /// degrades to the last ranking served for the same `k` (tagged
+    /// `stale:true` with `as_of_seq`) — or fails with `kind:"deadline"`
+    /// when no top-`k` was ever served.
+    pub fn tuple_measures(&self, k: usize, deadline_ms: Option<u64>) -> Result<Json, ServerError> {
+        let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let key = format!("tuples@{k}");
+        // Shared attempt: cache-only `&self` read (non-blocking when a
+        // deadline is set — a held write lock goes straight to the
+        // upgrade below).
+        let shared = match deadline {
+            None => Some(self.index.read()),
+            Some(_) => self.index.try_read(),
+        };
+        if let Some(idx) = shared {
+            let in_flight = self.counters.reads_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            self.counters
+                .max_concurrent_shared_reads
+                .fetch_max(in_flight, Ordering::SeqCst);
+            let answer = idx.try_top_k_tuples(k);
+            self.counters.reads_in_flight.fetch_sub(1, Ordering::SeqCst);
+            if let Some(top) = answer {
+                let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                drop(idx);
+                self.counters.shared_reads.fetch_add(1, Ordering::SeqCst);
+                let tuples = tuple_scores_json(&top);
+                self.record_last_served(seq, &[(key, tuples.clone())]);
+                return Ok(self.tuple_response("shared", k, tuples));
+            }
+        }
+        // Exclusive upgrade (timed when a deadline is set).
+        let locked = match deadline {
+            None => Some(self.index.write()),
+            Some(d) => self
+                .index
+                .try_write_for(d.saturating_duration_since(Instant::now())),
+        };
+        if let Some(mut idx) = locked {
+            let top = idx.top_k_tuples(k);
+            let seq = self.counters.op_seq.load(Ordering::SeqCst);
+            drop(idx);
+            self.counters.exclusive_reads.fetch_add(1, Ordering::SeqCst);
+            let tuples = tuple_scores_json(&top);
+            self.record_last_served(seq, &[(key, tuples.clone())]);
+            return Ok(self.tuple_response("exclusive", k, tuples));
+        }
+        // The lock never came: serve the last ranking for this `k`.
+        let ms = deadline_ms.unwrap_or(0);
+        let last = self.last_served.lock();
+        match last.values.get(&key) {
+            Some((seq, v)) => {
+                let (seq, v) = (*seq, v.clone());
+                drop(last);
+                self.counters.stale_reads.fetch_add(1, Ordering::SeqCst);
+                Ok(push_entries(
+                    self.tuple_response("stale", k, v),
+                    vec![
+                        ("stale", Json::Bool(true)),
+                        ("as_of_seq", Json::Num(seq as f64)),
+                    ],
+                ))
+            }
+            None => Err(ServerError::Deadline(format!(
+                "`{}` busy past the {ms}ms deadline and a top-{k} tuple \
+                 ranking was never served",
+                self.name
+            ))),
+        }
+    }
+
+    fn tuple_response(&self, path: &'static str, k: usize, tuples: Json) -> Json {
+        Json::Obj(vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("session".to_string(), Json::str(self.name.clone())),
+            ("path".to_string(), Json::str(path)),
+            ("k".to_string(), Json::Num(k as f64)),
+            ("tuples".to_string(), tuples),
+        ])
+    }
+
     /// Answers from the last-served cache (tagged `stale:true`) or fails
     /// with `kind:"deadline"` when a requested measure was never served.
     fn stale_fallback(
@@ -987,6 +1074,23 @@ fn per_dc_json(idx: &IncrementalIndex, counts: Vec<usize>) -> Json {
             .iter()
             .zip(counts)
             .map(|(dc, n)| (dc.name.clone(), Json::Num(n as f64)))
+            .collect(),
+    )
+}
+
+/// One ranked tuple-score list as wire JSON.
+fn tuple_scores_json(top: &[TupleScores]) -> Json {
+    Json::Arr(
+        top.iter()
+            .map(|s| {
+                Json::obj([
+                    ("tuple", Json::Num(s.tuple.0 as f64)),
+                    ("cbm", Json::Num(s.cbm)),
+                    ("cim", Json::Num(s.cim)),
+                    ("pim", Json::Num(s.pim)),
+                    ("rim", Json::Num(s.rim)),
+                ])
+            })
             .collect(),
     )
 }

@@ -1,0 +1,187 @@
+//! Integration test for the `tuple_measures` request: serve a generated
+//! scale scenario (`inconsist_data::scenario`, `DcSet::Core` — the
+//! single-relation constraint roster built for CSV + `.dc` sessions),
+//! and check the top-k per-tuple responsibility ranking over the wire
+//! against the injector's ground truth:
+//!
+//! * the full listing names exactly the injector's dirty tuples;
+//! * scores are bit-identical to a locally built `IncrementalIndex`
+//!   (the wire's f64 Display/parse roundtrip is exact);
+//! * `k` bounds the cut and ties break deterministically (repeat
+//!   requests serve the identical ranking);
+//! * a snapshot + restart recovers the session to a bit-identical
+//!   ranking.
+
+use inconsist::incremental::IncrementalIndex;
+use inconsist::relational::TupleId;
+use inconsist_data::scenario::{generate_scenario, inject, DcSet, ScenarioSpec};
+use inconsist_formats::csv::write_csv;
+use inconsist_formats::dcfile::write_dc_file;
+use inconsist_server::durable::{DurabilityConfig, FsyncPolicy};
+use inconsist_server::{serve, Client, Json, ServerConfig, ServerHandle};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+fn ok(response: &str) -> Json {
+    let json = Json::parse(response).expect("valid JSON response");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{response}"
+    );
+    json
+}
+
+/// The `tuples` array of a `tuple_measures` response.
+fn tuples(json: &Json) -> Vec<Json> {
+    json.get("tuples")
+        .and_then(Json::as_arr)
+        .expect("tuples array")
+        .to_vec()
+}
+
+fn field(entry: &Json, key: &str) -> f64 {
+    entry.get(key).and_then(Json::as_f64).expect("score field")
+}
+
+fn start(dir: &Path) -> ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        durability: Some(DurabilityConfig {
+            data_dir: dir.to_path_buf(),
+            fsync: FsyncPolicy::Never,
+            snapshot_every: None,
+            segment_bytes: None,
+        }),
+        ..ServerConfig::default()
+    })
+    .expect("bind")
+}
+
+#[test]
+fn top_k_over_the_wire_matches_ground_truth_and_survives_recovery() {
+    // A small Core scenario: ~60 orders, a few hundred lineitems, 8%
+    // of all tuples dirtied with exact ground-truth tracking.
+    let spec = ScenarioSpec {
+        scale_factor: 0.004,
+        dc_set: DcSet::Core,
+        seed: 42,
+    };
+    let mut sc = generate_scenario(&spec);
+    let injection = inject(&mut sc, 0.08, 7).expect("inject");
+    assert!(!injection.dirty.is_empty());
+
+    // The session loads the exported lineitem rows in dense-scan order,
+    // assigning TupleId 0.. per CSV row — a map that must preserve
+    // relative order for the server's ascending-id tie-break to rank the
+    // same tuples in the same slots as the local index below.
+    let export_order = sc.db.ids_of(sc.lineitem).to_vec();
+    assert!(export_order.windows(2).all(|w| w[0] < w[1]));
+    let pos: BTreeMap<TupleId, f64> = export_order
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| (t, i as f64))
+        .collect();
+    // Core shapes only ever dirty lineitems, so the ground truth maps
+    // fully into the served relation.
+    assert!(injection.dirty.iter().all(|t| pos.contains_key(t)));
+    let dirty_pos: BTreeSet<u64> = injection.dirty.iter().map(|t| pos[t] as u64).collect();
+
+    let csv = write_csv(&sc.db, sc.lineitem);
+    let dc = write_dc_file(sc.constraints.dcs(), sc.db.schema(), "scenario");
+
+    // Expected scores from a locally built index over the scenario. The
+    // Core constraints touch only lineitem, so the violation structure —
+    // hence every per-tuple score — coincides with the session's
+    // single-relation view of the same rows.
+    let mut idx =
+        IncrementalIndex::build(sc.db.clone(), sc.constraints.clone()).expect("local index");
+    let expected: Vec<(f64, f64, f64, f64, f64)> = idx
+        .top_k_tuples(usize::MAX)
+        .iter()
+        .map(|s| (pos[&s.tuple], s.cbm, s.cim, s.pim, s.rim))
+        .collect();
+    assert_eq!(expected.len(), injection.dirty.len());
+
+    let dir = std::env::temp_dir().join(format!("inconsist-tuple-measures-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let handle = start(&dir);
+    let mut client = Client::connect(&handle.addr()).unwrap();
+    let create = format!(
+        "{{\"cmd\":\"create\",\"session\":\"scenario\",\"csv\":{},\"dc\":{}}}",
+        Json::str(csv.as_str()),
+        Json::str(dc.as_str())
+    );
+    let created = ok(&client.request(&create).unwrap());
+    assert_eq!(
+        created.get("tuples").and_then(Json::as_f64),
+        Some(export_order.len() as f64)
+    );
+
+    let check_cut = |entries: &[Json], k: usize| {
+        assert_eq!(entries.len(), expected.len().min(k));
+        for (entry, want) in entries.iter().zip(&expected) {
+            assert_eq!(field(entry, "tuple"), want.0);
+            assert_eq!(field(entry, "cbm"), want.1, "cbm of tuple {}", want.0);
+            assert_eq!(field(entry, "cim"), want.2, "cim of tuple {}", want.0);
+            assert_eq!(field(entry, "pim"), want.3, "pim of tuple {}", want.0);
+            assert_eq!(field(entry, "rim"), want.4, "rim of tuple {}", want.0);
+        }
+    };
+
+    // Default cut: k = 10, and the response echoes it.
+    let top10 = ok(&client
+        .request("{\"cmd\":\"tuple_measures\",\"session\":\"scenario\"}")
+        .unwrap());
+    assert_eq!(top10.get("k").and_then(Json::as_f64), Some(10.0));
+    check_cut(&tuples(&top10), 10);
+
+    // A tighter k bounds the cut to a prefix of the same ranking.
+    let top3 = ok(&client
+        .request("{\"cmd\":\"tuple_measures\",\"session\":\"scenario\",\"k\":3}")
+        .unwrap());
+    check_cut(&tuples(&top3), 3);
+    assert_eq!(tuples(&top3)[..], tuples(&top10)[..3]);
+
+    // An oversized k serves the full listing: exactly the injector's
+    // dirty set, every score bit-identical to the local index.
+    let all_line = "{\"cmd\":\"tuple_measures\",\"session\":\"scenario\",\"k\":100000}";
+    let all = ok(&client.request(all_line).unwrap());
+    let listing = tuples(&all);
+    check_cut(&listing, usize::MAX);
+    let served: BTreeSet<u64> = listing.iter().map(|e| field(e, "tuple") as u64).collect();
+    assert_eq!(served, dirty_pos, "listing != injector ground truth");
+    let pim_sum: f64 = listing.iter().map(|e| field(e, "pim")).sum();
+    assert_eq!(pim_sum, injection.dirty.len() as f64);
+
+    // Ties break deterministically: a repeat request (now answered on
+    // the warm shared path) serves the identical ranking.
+    let again = ok(&client.request(all_line).unwrap());
+    assert_eq!(tuples(&again), listing);
+
+    // Snapshot, stop, recover over the same directory: the ranking the
+    // recovered session serves is bit-identical.
+    ok(&client
+        .request("{\"cmd\":\"snapshot\",\"session\":\"scenario\"}")
+        .unwrap());
+    drop(client);
+    handle.stop();
+
+    let handle = start(&dir);
+    let mut client = Client::connect(&handle.addr()).unwrap();
+    let recovered = ok(&client.request(all_line).unwrap());
+    assert_eq!(
+        tuples(&recovered),
+        listing,
+        "recovered ranking diverged from the pre-restart session"
+    );
+    let recovered10 = ok(&client
+        .request("{\"cmd\":\"tuple_measures\",\"session\":\"scenario\"}")
+        .unwrap());
+    assert_eq!(tuples(&recovered10), tuples(&top10)[..]);
+    drop(client);
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

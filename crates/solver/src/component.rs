@@ -42,6 +42,68 @@ pub fn node_index_sets<S: AsRef<[inconsist_relational::TupleId]>>(
         .collect()
 }
 
+/// Per-tuple responsibility scores of one component, derived from its
+/// minimal inconsistent subsets — the {CBM, CIM, PIM, RIM}-style menu of
+/// Parisi & Grant's tuple-level inconsistency measures:
+///
+/// * `cbm` — how many minimal inconsistent subsets contain the tuple
+///   (the cardinality-based measure);
+/// * `cim` — `Σ 1/|S|` over those subsets (the contribution measure:
+///   summed over all tuples it recovers `I_MI` exactly);
+/// * `pim` — 1 iff the tuple lies in any minimal subset (the problematic
+///   indicator: summed over all tuples it recovers `I_P`);
+/// * `rim` — `1/min|S|` (the responsibility measure: causal
+///   responsibility of the tuple for its tightest conflict).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TupleScores {
+    /// The scored tuple.
+    pub tuple: inconsist_relational::TupleId,
+    /// Minimal inconsistent subsets containing the tuple.
+    pub cbm: f64,
+    /// `Σ 1/|S|` over those subsets.
+    pub cim: f64,
+    /// 1.0 iff the tuple is problematic.
+    pub pim: f64,
+    /// `1/min|S|`.
+    pub rim: f64,
+}
+
+/// Scores every tuple appearing in `minimal` (one component's — or one
+/// database's — minimal inconsistent subsets). Tuples in no subset are
+/// absent; callers report them as all-zero.
+///
+/// The computation is **canonical**: per tuple, the subset sizes are
+/// collected, sorted ascending and summed in that order. The result is
+/// therefore bit-identical no matter how `minimal` is ordered — which is
+/// what lets component-mode reads (per-component lists) and global-mode
+/// reads (one concatenated list) agree float-for-float. Output is sorted
+/// by tuple id.
+pub fn component_tuple_scores<S: AsRef<[inconsist_relational::TupleId]>>(
+    minimal: &[S],
+) -> Vec<TupleScores> {
+    use std::collections::BTreeMap;
+    let mut sizes: BTreeMap<inconsist_relational::TupleId, Vec<usize>> = BTreeMap::new();
+    for s in minimal {
+        let s = s.as_ref();
+        for &t in s {
+            sizes.entry(t).or_default().push(s.len());
+        }
+    }
+    sizes
+        .into_iter()
+        .map(|(tuple, mut ks)| {
+            ks.sort_unstable();
+            TupleScores {
+                tuple,
+                cbm: ks.len() as f64,
+                cim: ks.iter().fold(0.0, |acc, &k| acc + 1.0 / k as f64),
+                pim: 1.0,
+                rim: 1.0 / ks[0] as f64,
+            }
+        })
+        .collect()
+}
+
 /// `I_R` (deletions) restricted to one conflict component: the exact
 /// minimum deletion cost resolving every violation of the component.
 /// Returns `None` when the step `budget` is exhausted.
@@ -153,6 +215,32 @@ mod tests {
         let g = ConflictGraph::from_subsets(&db(5), &subsets);
         let sets = node_index_sets(&g, &subsets);
         assert_eq!(component_min_repair(&g, &sets, 0), None);
+    }
+
+    #[test]
+    fn tuple_scores_are_canonical_and_recover_aggregates() {
+        // {0,1}, {1,2}, {1} — after minimality filtering callers would
+        // drop the pairs containing 1; here we score the raw list to
+        // exercise mixed sizes.
+        let subsets = vec![set(&[0, 1]), set(&[1, 2]), set(&[1])];
+        let scores = component_tuple_scores(&subsets);
+        assert_eq!(scores.len(), 3);
+        let of = |t: u32| scores.iter().find(|s| s.tuple == TupleId(t)).unwrap();
+        assert_eq!(of(1).cbm, 3.0);
+        assert_eq!(of(1).rim, 1.0); // min |S| = 1
+        assert_eq!(of(1).cim, 1.0 + 0.5 + 0.5);
+        assert_eq!(of(0).cbm, 1.0);
+        assert_eq!(of(0).rim, 0.5);
+        // Σ cim = Σ_S |S|·(1/|S|) = number of subsets; Σ pim = tuple count.
+        let cim_sum: f64 = scores.iter().map(|s| s.cim).sum();
+        assert!((cim_sum - 3.0).abs() < 1e-12);
+        assert_eq!(scores.iter().map(|s| s.pim).sum::<f64>(), 3.0);
+        // Canonical: any input order yields bit-identical scores.
+        let reordered = vec![set(&[1]), set(&[1, 2]), set(&[0, 1])];
+        assert_eq!(component_tuple_scores(&reordered), scores);
+        // Output sorted by tuple id.
+        assert!(scores.windows(2).all(|w| w[0].tuple < w[1].tuple));
+        assert!(component_tuple_scores::<Box<[TupleId]>>(&[]).is_empty());
     }
 
     #[test]

@@ -324,6 +324,69 @@ fn ir_matches_subset_minimization_with_costs() {
 }
 
 #[test]
+fn tuple_measures_match_naive_mi_oracle() {
+    use inconsist::incremental::{IncrementalIndex, ReadMode};
+    use std::collections::BTreeMap;
+    for seed in 0..60 {
+        let inst = random_instance(seed);
+        let mis = naive_mi(&inst.db, &inst.cs);
+        // Oracle scores straight from the MIS listing, folding each
+        // tuple's subset sizes in ascending order — the same canonical
+        // order the kernel uses, so float comparisons are bit-exact.
+        let mut sizes: BTreeMap<TupleId, Vec<usize>> = BTreeMap::new();
+        for s in &mis {
+            for &t in s {
+                sizes.entry(t).or_default().push(s.len());
+            }
+        }
+        for ks in sizes.values_mut() {
+            ks.sort_unstable();
+        }
+
+        let mut comp = IncrementalIndex::build(inst.db, inst.cs).unwrap();
+        let inst2 = random_instance(seed);
+        let mut glob = IncrementalIndex::build(inst2.db, inst2.cs).unwrap();
+        glob.set_mode(ReadMode::Global);
+
+        let scores = comp.tuple_measures();
+        // The two read modes must agree bit for bit.
+        assert_eq!(scores, glob.tuple_measures(), "seed {seed}: mode skew");
+
+        // Exactly the problematic tuples appear, each matching the oracle.
+        assert_eq!(scores.len(), sizes.len(), "seed {seed}");
+        if mis.is_empty() {
+            assert!(scores.is_empty(), "seed {seed}: consistent yet scored");
+        }
+        for sc in &scores {
+            let ks = &sizes[&sc.tuple];
+            assert_eq!(sc.cbm, ks.len() as f64, "seed {seed} cbm");
+            let cim = ks.iter().fold(0.0, |acc, &k| acc + 1.0 / k as f64);
+            assert_eq!(sc.cim, cim, "seed {seed} cim");
+            assert_eq!(sc.pim, 1.0, "seed {seed} pim");
+            assert_eq!(sc.rim, 1.0 / ks[0] as f64, "seed {seed} rim");
+        }
+
+        // Tuples outside every MIS carry exactly zero responsibility.
+        let free: Vec<TupleId> = comp.db().ids().filter(|t| !sizes.contains_key(t)).collect();
+        for t in free {
+            let z = comp.tuple_measure(t).unwrap();
+            assert_eq!((z.cbm, z.cim, z.pim, z.rim), (0.0, 0.0, 0.0, 0.0));
+        }
+
+        // The scores re-aggregate to the whole-database measures.
+        let cim_sum: f64 = scores.iter().map(|s| s.cim).sum();
+        let pim_sum: f64 = scores.iter().map(|s| s.pim).sum();
+        assert!(
+            (cim_sum - comp.i_mi()).abs() < 1e-9,
+            "seed {seed}: Σcim = {cim_sum} vs I_MI = {}",
+            comp.i_mi()
+        );
+        assert_eq!(pim_sum, comp.i_p(), "seed {seed}: Σpim vs I_P");
+        assert_eq!(comp.i_mi(), mis.len() as f64, "seed {seed}");
+    }
+}
+
+#[test]
 fn incremental_index_matches_oracle_after_random_ops() {
     use inconsist::incremental::IncrementalIndex;
     for seed in 100..130 {

@@ -198,6 +198,112 @@ fn theorem1_dichotomy_and_reduction() {
     assert_eq!(ir, inst.expected_ir(4));
 }
 
+/// Tuple-level rationality postulates for the per-tuple responsibility
+/// scores (CBM/CIM/PIM/RIM shapes of Parisi & Grant), checked on a small
+/// injected scenario grid:
+///
+/// * **free-tuple invariance** — inserting a tuple that violates nothing
+///   leaves every existing score bit-identical and itself scores zero;
+/// * **monotonicity** — inserting a violating tuple never *decreases* any
+///   existing tuple's score (DCs are anti-monotonic, so old minimal
+///   violation sets survive; new ones only add), and strictly raises its
+///   direct victim's.
+#[test]
+fn tuple_scores_satisfy_free_invariance_and_monotonicity() {
+    use inconsist::incremental::{IncrementalIndex, TupleScores};
+    use inconsist::relational::{Fact, TupleId, Value};
+    use inconsist_data::scenario::{
+        generate_scenario, inject, lineitem_attr as li, DcSet, ScenarioSpec,
+    };
+    use std::collections::BTreeMap;
+
+    for dc_set in DcSet::all() {
+        for seed in [1u64, 2] {
+            let mut sc = generate_scenario(&ScenarioSpec {
+                scale_factor: 0.002,
+                dc_set,
+                seed,
+            });
+            let injection = inject(&mut sc, 0.06, seed).unwrap();
+            let lineitem = sc.lineitem;
+            // A clean lineitem with a unique (OrderKey, LineNo) key: only
+            // FD victims carry duplicated keys, so any clean tuple works.
+            let partner: TupleId = sc
+                .db
+                .ids_of(lineitem)
+                .iter()
+                .copied()
+                .find(|t| !injection.dirty.contains(t))
+                .expect("a clean lineitem survives a 6% injection");
+            let partner_row: Vec<Value> = sc.db.fact(partner).unwrap().values.to_vec();
+
+            let mut idx = IncrementalIndex::build(sc.db, sc.constraints).unwrap();
+            let before: BTreeMap<TupleId, TupleScores> = idx
+                .tuple_measures()
+                .into_iter()
+                .map(|s| (s.tuple, s))
+                .collect();
+            let i_mi_before = idx.i_mi();
+            assert!(!before.contains_key(&partner));
+
+            // Free-tuple invariance: an orphan lineitem (no parent order,
+            // fresh key, sane ship window) violates nothing.
+            let free = idx
+                .insert(Fact::new(
+                    lineitem,
+                    [
+                        Value::int(999_999),
+                        Value::int(1),
+                        Value::int(1),
+                        Value::int(1),
+                        Value::float(1.0),
+                        Value::int(5_000),
+                        Value::int(5_001),
+                    ],
+                ))
+                .unwrap();
+            let after_free: BTreeMap<TupleId, TupleScores> = idx
+                .tuple_measures()
+                .into_iter()
+                .map(|s| (s.tuple, s))
+                .collect();
+            assert_eq!(
+                before, after_free,
+                "{dc_set:?}/{seed}: free insert moved scores"
+            );
+            let z = idx.tuple_measure(free).unwrap();
+            assert_eq!((z.cbm, z.cim, z.pim, z.rim), (0.0, 0.0, 0.0, 0.0));
+
+            // Monotonicity: a duplicate of the clean partner's key with a
+            // different part violates the FD against it. Copying the rest
+            // of the row keeps the new tuple clean elsewhere.
+            let mut dup = partner_row;
+            dup[li::PART_KEY.idx()] = Value::int(-42);
+            let added = idx.insert(Fact::new(lineitem, dup)).unwrap();
+            let after: BTreeMap<TupleId, TupleScores> = idx
+                .tuple_measures()
+                .into_iter()
+                .map(|s| (s.tuple, s))
+                .collect();
+            assert!(idx.i_mi() > i_mi_before, "{dc_set:?}/{seed}");
+            for (t, old) in &before {
+                let new = &after[t];
+                assert!(
+                    new.cbm >= old.cbm
+                        && new.cim >= old.cim
+                        && new.pim >= old.pim
+                        && new.rim >= old.rim,
+                    "{dc_set:?}/{seed}: adding a violating tuple lowered {t:?}"
+                );
+            }
+            // The direct victim and the new tuple both become problematic.
+            let victim = &after[&partner];
+            assert!(victim.cbm >= 1.0 && victim.pim == 1.0);
+            assert_eq!(after[&added].pim, 1.0);
+        }
+    }
+}
+
 #[test]
 fn theorem2_lin_is_rational_and_cheap_on_d1() {
     // Positivity, monotonicity, progression of I_R^lin on the running

@@ -1,0 +1,101 @@
+//! Property-based tests for the scale-scenario suite
+//! (`inconsist_data::scenario`): generator determinism, injector ratio
+//! accuracy, and exactness of the reported ground-truth dirty set.
+
+use inconsist::incremental::IncrementalIndex;
+use inconsist::measures::MeasureOptions;
+use inconsist_data::scenario::{
+    enumerate_dirty, generate_scenario, inject, DcSet, ScenarioSpec, Shape,
+};
+use proptest::prelude::*;
+
+fn spec(sf_millis: u8, dc_set: DcSet, seed: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        // 0.004..0.02 — 60 to 300 orders, a few hundred to ~1500 tuples.
+        scale_factor: 0.004 + f64::from(sf_millis % 17) * 0.001,
+        dc_set,
+        seed,
+    }
+}
+
+fn dc_set(flag: bool) -> DcSet {
+    if flag {
+        DcSet::Full
+    } else {
+        DcSet::Core
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ bit-identical database, independent of how many times
+    /// the generator runs and of the reader's `solve_threads` setting
+    /// (generation is a single sequential RNG stream; the thread budget
+    /// only fans out *solves*, never generation).
+    #[test]
+    fn generator_is_deterministic(sf in 0u8..64, full_sel in 0u8..2, seed in 0u64..1000) {
+        let full = full_sel == 1;
+        let s = spec(sf, dc_set(full), seed);
+        let a = generate_scenario(&s);
+        let b = generate_scenario(&s);
+        prop_assert!(a.db.same_as(&b.db), "same spec produced different databases");
+        prop_assert_eq!(a.db.len(), b.db.len());
+        // A different seed moves at least some cell (cheap sanity that
+        // the seed actually feeds the stream).
+        let c = generate_scenario(&ScenarioSpec { seed: seed + 1, ..s });
+        prop_assert!(!a.db.same_as(&c.db), "seed had no effect");
+
+        // Thread-count invariance of the measures read over it: inject
+        // some noise, then read through 1 and 4 solve threads.
+        let mut sc1 = a;
+        let mut sc4 = b;
+        inject(&mut sc1, 0.05, seed).unwrap();
+        inject(&mut sc4, 0.05, seed).unwrap();
+        prop_assert!(sc1.db.same_as(&sc4.db), "same-seed injections diverged");
+        let opts = MeasureOptions::default();
+        let mut idx1 = IncrementalIndex::build(sc1.db, sc1.constraints).unwrap();
+        let mut idx4 = IncrementalIndex::build(sc4.db, sc4.constraints).unwrap();
+        idx1.set_solve_threads(1);
+        idx4.set_solve_threads(4);
+        prop_assert_eq!(idx1.i_mi(), idx4.i_mi());
+        prop_assert_eq!(idx1.i_p(), idx4.i_p());
+        prop_assert_eq!(idx1.i_r(&opts).unwrap(), idx4.i_r(&opts).unwrap());
+        prop_assert_eq!(idx1.tuple_measures(), idx4.tuple_measures());
+    }
+
+    /// The injector lands within ±1 tuple of `ratio × |db|`, and the
+    /// dirty set it reports is *exactly* the set of tuples a from-scratch
+    /// violation enumeration finds problematic.
+    #[test]
+    fn injector_ratio_and_ground_truth_are_exact(
+        sf in 0u8..64,
+        full_sel in 0u8..2,
+        seed in 0u64..1000,
+        ratio_pct in 1u8..12,
+    ) {
+        let ratio = f64::from(ratio_pct) / 100.0;
+        let full = full_sel == 1;
+        let mut sc = generate_scenario(&spec(sf, dc_set(full), seed));
+        let total = sc.db.len();
+        let injection = inject(&mut sc, ratio, seed ^ 0xD1CE).unwrap();
+        let target = (ratio * total as f64).round();
+        prop_assert!(
+            (injection.dirty.len() as f64 - target).abs() <= 1.0,
+            "asked for {target} dirty tuples, got {}",
+            injection.dirty.len()
+        );
+        let enumerated = enumerate_dirty(&sc.db, &sc.constraints);
+        prop_assert_eq!(&injection.dirty, &enumerated);
+        // Per-shape counts account for every edit batch the injector made.
+        let shapes: usize = injection.per_shape.iter().map(|(_, n)| n).sum();
+        prop_assert!(shapes > 0);
+        // The Fk shape only appears when the DC-set can express it.
+        if !full {
+            prop_assert!(injection
+                .per_shape
+                .iter()
+                .all(|(s, _)| *s != Shape::Fk));
+        }
+    }
+}

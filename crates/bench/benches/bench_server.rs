@@ -350,6 +350,124 @@ fn overload_run(csv: &str, requests: usize) -> String {
     )
 }
 
+/// Resident set size of this process in kB (0 when /proc is missing).
+fn vm_rss_kb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+        })
+        .unwrap_or(0.0)
+}
+
+/// Front-end phases on their own server (2 event threads): a pipelined
+/// burst of reads down one connection (`pipelined_reqs_per_s`), then a
+/// big fleet of idle connections held open while an active client keeps
+/// getting served (`idle_conn_kb` = RSS growth per held connection).
+/// The full-size run holds >1000 connections — the multiplexed front
+/// end's headline claim; the smoke run shrinks the fleet, same paths.
+fn frontend_run(csv: &str) -> (String, String) {
+    let (n_idle, batch) = if smoke() { (150, 400) } else { (1100, 4000) };
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        solve_threads: 1,
+        event_threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind front-end server");
+    let addr = handle.addr();
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    let create = format!(
+        "{{\"cmd\":\"create\",\"session\":\"fe\",\"csv\":{},\"dc\":{}}}",
+        Json::str(csv.to_string()),
+        Json::str(DC)
+    );
+    let created = Json::parse(&admin.request(&create).expect("create")).unwrap();
+    assert_eq!(created.get("ok").and_then(Json::as_bool), Some(true));
+    let read = "{\"cmd\":\"measure\",\"session\":\"fe\",\"measures\":[\"I_MI\"]}";
+    admin.request(read).expect("warm the caches");
+
+    // Pipelined: one connection, `batch` requests written ahead of the
+    // reads (a writer thread keeps the burst flowing once the server's
+    // pipeline bound applies read backpressure).
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).expect("connect pipelined");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let burst: String = std::iter::repeat(format!("{read}\n")).take(batch).collect();
+    let started = Instant::now();
+    let writer = std::thread::spawn(move || {
+        (&stream).write_all(burst.as_bytes()).expect("burst write");
+        stream
+    });
+    let mut line = String::new();
+    for i in 0..batch {
+        line.clear();
+        reader.read_line(&mut line).expect("pipelined response");
+        assert!(line.contains("\"ok\":true"), "request {i}: {line}");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    drop(writer.join().expect("burst writer"));
+    let pipelined_rps = batch as f64 / elapsed;
+    println!(
+        "bench_server/pipelined  1 connection, {batch} requests in flight: \
+         {pipelined_rps:.0} req/s"
+    );
+    let pipelined_entry = format!(
+        "    {{\"phase\": \"pipelined\", \"requests\": {batch}, \
+         \"elapsed_sec\": {elapsed:.3}, \"pipelined_reqs_per_s\": {pipelined_rps:.1}}}"
+    );
+
+    // Idle fleet: every connection proves liveness with one ping, then
+    // just sits there while the admin keeps issuing real reads.
+    let rss_before = vm_rss_kb();
+    let idle: Vec<Client> = (0..n_idle)
+        .map(|i| {
+            let mut c = Client::connect(&addr).unwrap_or_else(|e| panic!("idle connect #{i}: {e}"));
+            let pong = c.request("{\"cmd\":\"ping\"}").expect("idle ping");
+            assert!(pong.contains("\"pong\":true"), "{pong}");
+            c
+        })
+        .collect();
+    let rss_after = vm_rss_kb();
+    let idle_conn_kb = (rss_after - rss_before).max(0.0) / n_idle as f64;
+
+    let active_requests = if smoke() { 60 } else { 400 };
+    let mut active_us: Vec<f64> = Vec::with_capacity(active_requests);
+    for _ in 0..active_requests {
+        let sent = Instant::now();
+        let response = admin.request(read).expect("active read");
+        active_us.push(sent.elapsed().as_secs_f64() * 1e6);
+        assert!(response.contains("\"ok\":true"), "{response}");
+    }
+    active_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+
+    let stats = Json::parse(&admin.request("{\"cmd\":\"stats\"}").expect("stats")).unwrap();
+    let open = stat_f64(&stats, &["server", "open_connections"]);
+    assert!(
+        open >= n_idle as f64,
+        "only {open} connections concurrently open, expected >= {n_idle}"
+    );
+    drop(idle);
+    admin.request("{\"cmd\":\"shutdown\"}").expect("shutdown");
+    handle.wait();
+    println!(
+        "bench_server/idle_fleet {n_idle} held connections ({open:.0} open), \
+         {idle_conn_kb:.1} kB each, active p99 {:.0}µs",
+        percentile(&active_us, 0.99),
+    );
+    let idle_entry = format!(
+        "    {{\"phase\": \"many_idle_clients\", \"connections\": {n_idle}, \
+         \"open_connections\": {open}, \"idle_conn_kb\": {idle_conn_kb:.2}, \
+         \"active_p50_us\": {:.1}, \"active_p99_us\": {:.1}}}",
+        percentile(&active_us, 0.50),
+        percentile(&active_us, 0.99),
+    );
+    (pipelined_entry, idle_entry)
+}
+
 /// One durability run: write-only op stream through a durable session
 /// under `fsync`, midpoint snapshot, simulated crash, timed recovery,
 /// bit-identity assert. Returns the JSON entry.
@@ -454,7 +572,7 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .or_else(|| std::env::var("BENCH_FILTER").ok());
     if let Some(f) = filter {
-        if !"server_load durability overload".contains(f.as_str()) {
+        if !"server_load durability overload frontend pipelined idle".contains(f.as_str()) {
             println!("bench_server: skipped by filter `{f}`");
             return;
         }
@@ -613,12 +731,16 @@ fn main() {
     let overload_requests = if smoke() { 60 } else { 250 };
     let overload_entry = overload_run(&csv, overload_requests);
 
+    // Front end: pipelining throughput and the held-open idle fleet.
+    let (pipelined_entry, idle_entry) = frontend_run(&csv);
+
     let json = format!(
         "{{\n  \"bench\": \"bench_server\",\n  \"workload\": {{\"blocks\": {BLOCKS}, \
          \"tuples\": {}, \"clients\": {clients}, \"requests_per_client\": {requests}}},\n  \
          \"phases\": [\n{phase_entries}\n  ],\n  \"replay\": {{\"ops\": {}, \
          \"identical\": true}},\n  \"durability\": [\n{durability_entries}\n  ],\n  \
-         \"overload\": [\n{overload_entry}\n  ]\n}}\n",
+         \"overload\": [\n{overload_entry}\n  ],\n  \
+         \"frontend\": [\n{pipelined_entry},\n{idle_entry}\n  ]\n}}\n",
         BLOCKS * ROWS_PER_BLOCK,
         all_ops.len()
     );

@@ -38,8 +38,9 @@ USAGE:
                      [--snapshot-every N] [--segment-bytes N]
                      [--max-inflight N] [--session-inflight N] [--queue-limit N]
                      [--retry-after-ms N] [--read-poll-ms N] [--write-timeout-ms N]
+                     [--event-threads N] [--max-pipeline N] [--write-buffer-kb N]
   inconsist client   <addr> [request-json | snapshot NAME | compact NAME |
-                     top NAME [K] ...]
+                     top NAME [K] | options NAME key=value... ...]
 
 FILES:
   data.csv   header + rows; column types are inferred (int/float/str)
@@ -69,12 +70,20 @@ COMMANDS:
              --max-inflight / --session-inflight / --queue-limit bound
              concurrent work (0 = unlimited; excess requests are shed
              with kind:\"overloaded\" and a --retry-after-ms hint), and
-             --read-poll-ms / --write-timeout-ms bound slow clients
+             --read-poll-ms / --write-timeout-ms bound slow clients;
+             connections are multiplexed onto --event-threads readiness
+             loops (requests on one connection pipeline up to
+             --max-pipeline deep, responses always in request order, and
+             a peer whose responses back up past --write-buffer-kb stops
+             being read until it drains)
   client     send request lines to a running server (from the arguments,
              or stdin when none are given) and print the responses;
-             `snapshot NAME` / `compact NAME` / `top NAME [K]` are
-             shorthand for the corresponding JSON requests (`top` asks
-             for the K most inconsistent tuples, default 10)
+             `snapshot NAME` / `compact NAME` / `top NAME [K]` /
+             `options NAME key=value...` are shorthand for the
+             corresponding JSON requests (`top` asks for the K most
+             inconsistent tuples, default 10; `options` overrides a
+             session's measure options — keys violation_limit (a count
+             or `none`), mis_budget, vc_budget)
 ";
 
 /// Dispatches a parsed command line, returning the report to print.
@@ -439,6 +448,9 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         retry_after_ms: cli.opt("retry-after-ms", defaults.retry_after_ms)?,
         read_poll_ms: cli.opt("read-poll-ms", defaults.read_poll_ms)?,
         write_timeout_ms: cli.opt("write-timeout-ms", defaults.write_timeout_ms)?,
+        event_threads: cli.opt("event-threads", defaults.event_threads)?,
+        max_pipeline: cli.opt("max-pipeline", defaults.max_pipeline)?,
+        write_buffer_bytes: cli.opt("write-buffer-kb", defaults.write_buffer_bytes / 1024)? * 1024,
         ..Default::default()
     };
     let handle = inconsist_server::serve(config).map_err(|e| e.to_string())?;
@@ -501,9 +513,38 @@ fn client_request_line(line: &str) -> Result<String, String> {
                 inconsist_server::Json::str(*name)
             ))
         }
+        ["options", name, pairs @ ..] if !pairs.is_empty() => {
+            let mut fields = String::new();
+            for pair in pairs {
+                let (key, value) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("options {name}: expected key=value, got `{pair}`"))?;
+                if !matches!(key, "violation_limit" | "mis_budget" | "vc_budget") {
+                    return Err(format!(
+                        "options {name}: unknown key `{key}` (expected \
+                         violation_limit, mis_budget or vc_budget)"
+                    ));
+                }
+                let rendered = if key == "violation_limit" && matches!(value, "none" | "null") {
+                    "null".to_string()
+                } else {
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("options {name}: {key} must be a positive integer"))?
+                        .to_string()
+                };
+                fields.push_str(&format!(",\"{key}\":{rendered}"));
+            }
+            Ok(format!(
+                "{{\"cmd\":\"set_options\",\"session\":{}{fields}}}",
+                inconsist_server::Json::str(*name)
+            ))
+        }
         _ => Err(format!(
             "client request `{trimmed}`: expected a JSON object, `snapshot NAME`, \
-             `compact NAME` or `top NAME [K]`"
+             `compact NAME`, `top NAME [K]` or `options NAME key=value...`"
         )),
     }
 }
@@ -525,7 +566,7 @@ fn cmd_client(cli: &Cli) -> Result<String, String> {
         let mut lines = Vec::new();
         let mut args = cli.positional[1..].iter().peekable();
         while let Some(arg) = args.next() {
-            if matches!(arg.as_str(), "snapshot" | "compact" | "top")
+            if matches!(arg.as_str(), "snapshot" | "compact" | "top" | "options")
                 && args.peek().is_some_and(|next| !next.starts_with('{'))
             {
                 let mut line = format!("{arg} {}", args.next().expect("peeked"));
@@ -537,6 +578,13 @@ fn cmd_client(cli: &Cli) -> Result<String, String> {
                 {
                     line.push(' ');
                     line.push_str(args.next().expect("peeked"));
+                }
+                // `options NAME key=value...`: every key=value rides along.
+                if arg == "options" {
+                    while args.peek().is_some_and(|next| next.contains('=')) {
+                        line.push(' ');
+                        line.push_str(args.next().expect("peeked"));
+                    }
                 }
                 lines.push(line);
             } else {
@@ -898,6 +946,18 @@ mod tests {
             "{\"cmd\":\"tuple_measures\",\"session\":\"s\",\"k\":5}"
         );
         assert!(client_request_line("top s zero").is_err());
+        assert_eq!(
+            client_request_line("options s violation_limit=none mis_budget=5000").unwrap(),
+            "{\"cmd\":\"set_options\",\"session\":\"s\",\
+             \"violation_limit\":null,\"mis_budget\":5000}"
+        );
+        assert_eq!(
+            client_request_line("options s vc_budget=9").unwrap(),
+            "{\"cmd\":\"set_options\",\"session\":\"s\",\"vc_budget\":9}"
+        );
+        assert!(client_request_line("options s").is_err());
+        assert!(client_request_line("options s budget=1").is_err());
+        assert!(client_request_line("options s mis_budget=zero").is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,11 +12,12 @@
 //! Line-delimited JSON over TCP: one request object per line, one
 //! response object per line (see [`protocol`] for the command table).
 //! A hand-rolled [`wire`] codec keeps the workspace inside the offline
-//! dependency roster — no serde, no tokio: blocking sockets and a fixed
-//! [`pool::WorkerPool`] of connection handlers (the thread-per-core
-//! shape Thimm's large-scale measurement argument calls for at this
-//! scale; an async reactor would change the I/O layer only, the
-//! session/router layers are connection-agnostic).
+//! dependency roster — no serde, no tokio: a readiness-driven event loop
+//! (epoll via the in-tree `mio` shim, `poll(2)` fallback) multiplexes
+//! thousands of nonblocking connections per thread, and a fixed
+//! [`pool::WorkerPool`] runs the actual session work. Clients may
+//! pipeline: any number of requests written ahead on one connection
+//! execute serially and come back in order.
 //!
 //! ```text
 //! $ printf '%s\n' '{"cmd":"ping"}' | nc 127.0.0.1 7878
@@ -25,20 +26,23 @@
 //!
 //! ## Shape
 //!
-//! * [`wire`] — JSON parse/serialize;
+//! * [`wire`] — JSON parse/serialize and incremental line framing;
 //! * [`protocol`] — typed requests, the command table;
 //! * [`error`] — the error taxonomy every response can carry;
 //! * [`session`] — the registry and the reader/writer lock discipline;
 //! * [`durable`] — the write-ahead op log, snapshot store and recovery
 //!   (`serve --data-dir`);
 //! * [`router`] — request dispatch (connection-agnostic);
-//! * [`pool`] — the worker threads connections run on;
-//! * [`serve`] / [`ServerHandle`] — the TCP front end.
+//! * `event_loop` — the nonblocking front end (sockets, framing,
+//!   pipelining, backpressure);
+//! * [`pool`] — the worker threads requests run on;
+//! * [`serve`] / [`ServerHandle`] — wiring and lifecycle.
 
 #![warn(missing_docs)]
 
 pub mod durable;
 pub mod error;
+mod event_loop;
 pub mod pool;
 pub mod protocol;
 pub mod router;
@@ -51,10 +55,11 @@ pub use router::{Admission, Control, ServerCounters};
 pub use session::{Registry, Session};
 pub use wire::Json;
 
+use event_loop::{completion_channel, EventThread, Peer};
 use inconsist::incremental::ReadMode;
 use inconsist::measures::MeasureOptions;
+use mio::{Poll, Waker};
 use parking_lot::Mutex;
-use router::route_line;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,8 +72,21 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (the handle reports it).
     pub addr: String,
-    /// Connection-handler threads (also the max concurrent connections).
+    /// Worker threads executing requests. Connections are multiplexed on
+    /// the event threads and no longer tie up a worker each; this bounds
+    /// concurrently *executing* requests, not concurrent connections.
     pub workers: usize,
+    /// Event (readiness-polling) threads multiplexing the connections.
+    /// One thread comfortably serves thousands of mostly idle
+    /// connections; more spread the read/write/framing CPU.
+    pub event_threads: usize,
+    /// Max requests a single connection may have queued server-side
+    /// (pipelining depth). Past it the server stops reading that
+    /// connection until responses drain, pushing backpressure into TCP.
+    pub max_pipeline: usize,
+    /// Per-connection response backlog (bytes) above which the server
+    /// stops reading more requests from that connection.
+    pub write_buffer_bytes: usize,
     /// Read mode for sessions created through the protocol.
     pub mode: ReadMode,
     /// Thread budget for dirty-component solves inside each session.
@@ -86,19 +104,20 @@ pub struct ServerConfig {
     pub max_inflight: u64,
     /// Per-session cap on concurrently executing requests; 0 = unbounded.
     pub session_inflight: u64,
-    /// Cap on connections queued for a free worker; 0 = unbounded. A
-    /// connection arriving past the cap receives one `kind:"overloaded"`
-    /// response and is closed instead of queueing without limit.
+    /// Cap on work-carrying requests queued for a free worker; 0 =
+    /// unbounded. A request arriving past the cap receives a
+    /// `kind:"overloaded"` response (the connection stays open) instead
+    /// of queueing without limit.
     pub queue_limit: u64,
     /// Backoff hint (milliseconds) attached to every shed response.
     pub retry_after_ms: u64,
-    /// How often (milliseconds) a blocked connection read wakes to check
-    /// the stop flag; bounds shutdown latency behind idle connections.
+    /// The event loop's poll tick (milliseconds); bounds how stale the
+    /// stop flag and write-timeout sweeps can get when nothing is ready.
     pub read_poll_ms: u64,
-    /// Per-response write timeout (milliseconds); 0 = none. A connection
-    /// whose peer reads too slowly to absorb a response within it is
-    /// dropped (slow-client protection: a stalled reader cannot pin a
-    /// worker thread forever).
+    /// Write-stall timeout (milliseconds); 0 = none. A connection whose
+    /// peer absorbs no response bytes for this long is dropped
+    /// (slow-client protection: a stalled reader cannot pin buffers
+    /// forever, and never stalls other connections).
     pub write_timeout_ms: u64,
 }
 
@@ -107,6 +126,9 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7878".to_string(),
             workers: 8,
+            event_threads: 1,
+            max_pipeline: 128,
+            write_buffer_bytes: 256 * 1024,
             mode: ReadMode::Component,
             solve_threads: 1,
             options: MeasureOptions::default(),
@@ -121,21 +143,26 @@ impl Default for ServerConfig {
     }
 }
 
-struct Shared {
-    registry: Registry,
-    counters: ServerCounters,
-    admission: Admission,
-    options: MeasureOptions,
-    stop: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) registry: Registry,
+    pub(crate) counters: ServerCounters,
+    pub(crate) admission: Admission,
+    pub(crate) stop: AtomicBool,
     addr: SocketAddr,
-    read_poll: Duration,
-    write_timeout: Option<Duration>,
+    pub(crate) read_poll: Duration,
+    pub(crate) write_timeout: Option<Duration>,
+    pub(crate) queue_limit: u64,
+    pub(crate) max_pipeline: usize,
+    pub(crate) write_buffer_bytes: usize,
+    /// Every event thread's waker: any thread can interrupt any poll
+    /// (stop, completion hand-back, connection hand-off).
+    pub(crate) wakers: Vec<Arc<Waker>>,
 }
 
 /// A handle to a running server: its bound address and a way to stop it.
 pub struct ServerHandle {
     shared: Arc<Shared>,
-    accept: Mutex<Option<JoinHandle<()>>>,
+    front: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ServerHandle {
@@ -151,22 +178,23 @@ impl ServerHandle {
 
     /// Blocks until the server stops — either a client sent `shutdown` or
     /// [`stop`](Self::stop) was called — then drains the worker pool.
-    /// Requests in flight when the listener stops are allowed to finish;
-    /// idle connections notice the stop flag within one read-poll tick
-    /// (~250ms) and close, so shutdown cannot hang behind them.
+    /// Requests in flight when the stop flag rises are allowed to finish
+    /// and their responses flush; idle connections drop immediately (the
+    /// wakers cut every poll short), so shutdown cannot hang behind them.
     pub fn wait(&self) {
-        let handle = self.accept.lock().take();
+        let handle = self.front.lock().take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
     }
 
-    /// Stops the server from the owning process: unblocks the accept
-    /// loop, then waits like [`wait`](Self::wait).
+    /// Stops the server from the owning process: raises the stop flag,
+    /// wakes every event thread, then waits like [`wait`](Self::wait).
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Unblock the blocking `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.shared.addr);
+        for waker in &self.shared.wakers {
+            waker.wake();
+        }
         self.wait();
     }
 
@@ -176,7 +204,7 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener and spawns the accept loop plus the worker pool.
+/// Binds the listener and spawns the event threads plus the worker pool.
 ///
 /// Returns immediately; use [`ServerHandle::wait`] to block until a
 /// `shutdown` request arrives.
@@ -200,7 +228,26 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         }
     }
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+
+    // Selectors and wakers exist before `Shared` so the waker roster can
+    // live inside it (any thread wakes any event thread).
+    let event_threads = config.event_threads.max(1);
+    let mut polls = Vec::with_capacity(event_threads);
+    let mut wakers = Vec::with_capacity(event_threads);
+    for _ in 0..event_threads {
+        let poll = Poll::new()?;
+        let waker = Arc::new(Waker::new(&poll, event_loop::WAKER_TOKEN)?);
+        polls.push(poll);
+        wakers.push(waker);
+    }
+    polls[0].register(
+        &listener,
+        event_loop::LISTENER_TOKEN,
+        mio::Interest::READABLE,
+    )?;
+
     let shared = Arc::new(Shared {
         registry,
         counters: ServerCounters::default(),
@@ -209,49 +256,81 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
             config.session_inflight,
             config.retry_after_ms,
         ),
-        options: config.options,
         stop: AtomicBool::new(false),
         addr,
         read_poll: Duration::from_millis(config.read_poll_ms.max(1)),
         write_timeout: (config.write_timeout_ms > 0)
             .then(|| Duration::from_millis(config.write_timeout_ms)),
+        queue_limit: config.queue_limit,
+        max_pipeline: config.max_pipeline.max(1),
+        write_buffer_bytes: config.write_buffer_bytes.max(4096),
+        wakers,
     });
-    let accept_shared = Arc::clone(&shared);
-    let workers = config.workers;
-    let queue_limit = config.queue_limit;
-    let accept = std::thread::Builder::new()
-        .name("inconsist-accept".to_string())
+    let pool = Arc::new(pool::WorkerPool::new("inconsist-worker", config.workers));
+
+    // Connection hand-off channels: thread 0 accepts and deals sockets
+    // round-robin to every event thread (itself included).
+    let mut handoff_txs = Vec::with_capacity(event_threads);
+    let mut handoff_rxs = Vec::with_capacity(event_threads);
+    for _ in 0..event_threads {
+        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+        handoff_txs.push(tx);
+        handoff_rxs.push(rx);
+    }
+    let mut event_handles = Vec::with_capacity(event_threads);
+    let mut listener = Some(listener);
+    for (index, (poll, handoff_rx)) in polls.into_iter().zip(handoff_rxs).enumerate() {
+        let (completions_tx, completions_rx) = completion_channel();
+        let peers = if index == 0 {
+            handoff_txs
+                .iter()
+                .zip(&shared.wakers)
+                .map(|(tx, waker)| Peer {
+                    tx: tx.clone(),
+                    waker: Arc::clone(waker),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let thread = EventThread {
+            shared: Arc::clone(&shared),
+            pool: Arc::clone(&pool),
+            poll,
+            waker: Arc::clone(&shared.wakers[index]),
+            completions_tx,
+            completions_rx,
+            handoff_rx,
+            listener: listener.take(),
+            peers,
+            index,
+        };
+        event_handles.push(
+            std::thread::Builder::new()
+                .name(format!("inconsist-event-{index}"))
+                .spawn(move || thread.run())?,
+        );
+    }
+    drop(handoff_txs);
+
+    // The front thread supervises shutdown: event threads drain their
+    // connections, the pool finishes queued work, then durable sessions
+    // snapshot so restart recovery replays an empty log tail.
+    let front_shared = Arc::clone(&shared);
+    let front = std::thread::Builder::new()
+        .name("inconsist-front".to_string())
         .spawn(move || {
-            let mut pool = pool::WorkerPool::new("inconsist-conn", workers);
-            for stream in listener.incoming() {
-                if accept_shared.stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                accept_shared
-                    .counters
-                    .connections
-                    .fetch_add(1, Ordering::SeqCst);
-                // Queue bound: a connection arriving while `queue_limit`
-                // others already wait for a worker is shed with one
-                // well-formed overloaded response, not queued forever.
-                if queue_limit != 0 && pool.queued() >= queue_limit {
-                    accept_shared.admission.shed.fetch_add(1, Ordering::SeqCst);
-                    shed_connection(stream, accept_shared.admission.retry_after_ms);
-                    continue;
-                }
-                let conn_shared = Arc::clone(&accept_shared);
-                pool.execute(move || handle_connection(&conn_shared, stream));
+            for handle in event_handles {
+                let _ = handle.join();
             }
-            // Dropping the pool joins the workers: every connection that
-            // was already accepted finishes before `wait` returns.
-            pool.join();
-            // Clean shutdown: snapshot every durable session so restart
-            // recovery replays an empty log tail. Failures are reported,
-            // not fatal — the write-ahead log alone already recovers the
-            // exact same state, just more slowly.
-            if accept_shared.registry.durability().is_some() {
-                for session in accept_shared.registry.all() {
+            match Arc::try_unwrap(pool) {
+                Ok(mut pool) => pool.join(),
+                Err(_) => eprintln!("worker pool still referenced at shutdown"),
+            }
+            // Snapshot failures are reported, not fatal — the write-ahead
+            // log alone already recovers the exact same state, slower.
+            if front_shared.registry.durability().is_some() {
+                for session in front_shared.registry.all() {
                     match session.shutdown_snapshot() {
                         Ok(Some(seq)) => {
                             eprintln!("snapshotted `{}` at seq {seq}", session.name());
@@ -266,153 +345,13 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         })?;
     Ok(ServerHandle {
         shared,
-        accept: Mutex::new(Some(accept)),
+        front: Mutex::new(Some(front)),
     })
 }
 
 /// Hard cap on one request line; a connection exceeding it is dropped
-/// rather than letting `read_line` grow the buffer without bound.
-const MAX_REQUEST_BYTES: usize = 8 << 20;
-
-/// Sheds one connection at accept time: writes a single `overloaded`
-/// response line (under a short write timeout, so a non-reading peer
-/// cannot stall the accept loop) and closes the socket.
-fn shed_connection(mut stream: TcpStream, retry_after_ms: u64) {
-    stream
-        .set_write_timeout(Some(Duration::from_millis(250)))
-        .ok();
-    let mut line = ServerError::Overloaded {
-        what: "connection queue is full".to_string(),
-        retry_after_ms,
-    }
-    .to_json()
-    .to_string();
-    line.push('\n');
-    let _ = stream.write_all(line.as_bytes());
-}
-
-/// Reads one newline-terminated line into `line`, which may already hold
-/// the partial prefix of a previous timed-out attempt. Returns `Ok(true)`
-/// when a full line is buffered, `Ok(false)` on EOF; a read timeout
-/// surfaces as `Err(WouldBlock/TimedOut)` with the partial data kept in
-/// `line`.
-fn read_bounded_line(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<bool> {
-    loop {
-        let buf = reader.fill_buf()?;
-        if buf.is_empty() {
-            return Ok(false); // EOF
-        }
-        match buf.iter().position(|&b| b == b'\n') {
-            Some(i) => {
-                line.push_str(&String::from_utf8_lossy(&buf[..i]));
-                reader.consume(i + 1);
-                return Ok(true);
-            }
-            None => {
-                let n = buf.len();
-                line.push_str(&String::from_utf8_lossy(buf));
-                reader.consume(n);
-            }
-        }
-        if line.len() > MAX_REQUEST_BYTES {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "request line exceeds the size cap",
-            ));
-        }
-    }
-}
-
-/// Serves one connection until EOF, `quit`, `shutdown`, or an I/O error.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    // One write per response + TCP_NODELAY: without both, Nagle on this
-    // side and delayed ACKs on the client's turn every request into a
-    // ~40ms round trip.
-    stream.set_nodelay(true).ok();
-    // The poll-read timeout is load-bearing (shutdown latency depends on
-    // it), so a socket that cannot take one is dropped, not served with
-    // a blocking read that would pin its worker past shutdown.
-    if let Err(e) = stream.set_read_timeout(Some(shared.read_poll)) {
-        eprintln!("dropping connection: set_read_timeout failed: {e}");
-        return;
-    }
-    if let Some(timeout) = shared.write_timeout {
-        if let Err(e) = stream.set_write_timeout(Some(timeout)) {
-            eprintln!("dropping connection: set_write_timeout failed: {e}");
-            return;
-        }
-    }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // Poll-read so an idle connection notices a server shutdown.
-        let got_line = loop {
-            match read_bounded_line(&mut reader, &mut line) {
-                Ok(got) => break got,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if shared.stop.load(Ordering::SeqCst) {
-                        return;
-                    }
-                }
-                Err(_) => return, // broken pipe / oversized line
-            }
-        };
-        if !got_line {
-            return; // EOF
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (mut response, control) = route_line(
-            &shared.registry,
-            &shared.counters,
-            &shared.admission,
-            &shared.options,
-            line.trim(),
-        );
-        response.push('\n');
-        if let Err(e) = writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.flush())
-        {
-            // A peer that stops reading fills the socket buffer until our
-            // bounded write times out; drop it rather than pin a worker.
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) {
-                shared
-                    .counters
-                    .slow_client_drops
-                    .fetch_add(1, Ordering::SeqCst);
-            }
-            return;
-        }
-        match control {
-            Control::Continue => {}
-            Control::Close => return,
-            Control::Shutdown => {
-                shared.stop.store(true, Ordering::SeqCst);
-                // Unblock the accept loop so the listener actually stops.
-                let _ = TcpStream::connect(shared.addr);
-                return;
-            }
-        }
-    }
-}
+/// rather than letting the framer grow its buffer without bound.
+pub(crate) const MAX_REQUEST_BYTES: usize = 8 << 20;
 
 /// A tiny blocking client for tests, benches and the CLI `client` mode:
 /// one connection, send a line, read a line. Remembers its address so

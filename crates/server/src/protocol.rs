@@ -12,6 +12,7 @@
 //! | `op` | `session`, `ops`, `token?` | apply repairing operations (`.ops` lines) through the writer path; `token` makes the batch idempotent (a replayed token returns the recorded response instead of re-applying) |
 //! | `measure` | `session`, `measures?`, `per_dc?`, `deadline_ms?` | read measures through the shared/exclusive read paths; past the deadline, `I_R`/`I_R^lin` degrade to bounds tagged `partial:true` and lock-blocked reads degrade to the last served values tagged `stale:true` |
 //! | `tuple_measures` | `session`, `k?`, `deadline_ms?` | the `k` (default 10) most inconsistent tuples with their per-tuple responsibility scores (`cbm`/`cim`/`pim`/`rim`), ranked `(cbm, cim, rim) desc` with tuple-id tie-break; same deadline semantics as `measure` (lock-blocked reads degrade to the last served ranking tagged `stale:true`) |
+//! | `set_options` | `session`, `violation_limit?`, `mis_budget?`, `vc_budget?` | override the session's measure budgets/caps; omitted fields keep their value, `violation_limit` accepts a number or `null`/`"none"` to lift the cap; durable sessions persist the new options through recovery |
 //! | `stats` | `session?` | read/op counters, cache hit rates, durability/recovery stats |
 //! | `snapshot` | `session` | write a point-in-time snapshot (durable sessions only) |
 //! | `compact` | `session` | drop log records covered by the newest snapshot |
@@ -99,6 +100,19 @@ pub enum Request {
         k: usize,
         /// Wall-clock budget, same degradation ladder as `measure`.
         deadline_ms: Option<u64>,
+    },
+    /// Override a session's measure options. Each field is a partial
+    /// update: `None` keeps the current value.
+    SetOptions {
+        /// Session name.
+        session: String,
+        /// New violation cap: `Some(Some(n))` caps at `n`,
+        /// `Some(None)` lifts the cap, `None` keeps the current cap.
+        violation_limit: Option<Option<usize>>,
+        /// New MIS enumeration budget.
+        mis_budget: Option<u64>,
+        /// New vertex-cover solver budget.
+        vc_budget: Option<u64>,
     },
     /// Counters for one session (or all sessions).
     Stats {
@@ -278,6 +292,53 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
                 deadline_ms: opt_deadline(&json)?,
             })
         }
+        "set_options" => {
+            let violation_limit = match json.get("violation_limit") {
+                None => None,
+                Some(Json::Null) => Some(None),
+                Some(v) if v.as_str() == Some("none") => Some(None),
+                Some(v) => {
+                    let n = v.as_f64().filter(|n| *n >= 1.0).ok_or_else(|| {
+                        ServerError::Protocol(
+                            "`violation_limit` must be a positive number, `null`, or `\"none\"`"
+                                .into(),
+                        )
+                    })?;
+                    Some(Some(n as usize))
+                }
+            };
+            let budget = |key: &str| -> Result<Option<u64>, ServerError> {
+                match json.get(key) {
+                    None => Ok(None),
+                    Some(v) => {
+                        let n = v.as_f64().filter(|n| *n >= 1.0).ok_or_else(|| {
+                            ServerError::Protocol(format!("`{key}` must be a positive number"))
+                        })?;
+                        Ok(Some(n as u64))
+                    }
+                }
+            };
+            let req = Request::SetOptions {
+                session: required_str(&json, "session")?,
+                violation_limit,
+                mis_budget: budget("mis_budget")?,
+                vc_budget: budget("vc_budget")?,
+            };
+            if let Request::SetOptions {
+                violation_limit: None,
+                mis_budget: None,
+                vc_budget: None,
+                ..
+            } = req
+            {
+                return Err(ServerError::Protocol(
+                    "`set_options` needs at least one of `violation_limit`, `mis_budget`, \
+                     `vc_budget`"
+                        .into(),
+                ));
+            }
+            Ok(req)
+        }
         "stats" => Ok(Request::Stats {
             session: json
                 .get("session")
@@ -382,6 +443,48 @@ mod tests {
     }
 
     #[test]
+    fn parses_set_options_partial_updates() {
+        assert_eq!(
+            parse_request("{\"cmd\":\"set_options\",\"session\":\"s\",\"mis_budget\":1000}")
+                .unwrap(),
+            Request::SetOptions {
+                session: "s".into(),
+                violation_limit: None,
+                mis_budget: Some(1000),
+                vc_budget: None,
+            }
+        );
+        // `violation_limit` lifts the cap with either `null` or `"none"`.
+        for lift in ["null", "\"none\""] {
+            assert_eq!(
+                parse_request(&format!(
+                    "{{\"cmd\":\"set_options\",\"session\":\"s\",\"violation_limit\":{lift}}}"
+                ))
+                .unwrap(),
+                Request::SetOptions {
+                    session: "s".into(),
+                    violation_limit: Some(None),
+                    mis_budget: None,
+                    vc_budget: None,
+                }
+            );
+        }
+        assert_eq!(
+            parse_request(
+                "{\"cmd\":\"set_options\",\"session\":\"s\",\"violation_limit\":500,\
+                 \"vc_budget\":2000}"
+            )
+            .unwrap(),
+            Request::SetOptions {
+                session: "s".into(),
+                violation_limit: Some(Some(500)),
+                mis_budget: None,
+                vc_budget: Some(2000),
+            }
+        );
+    }
+
+    #[test]
     fn rejects_bad_requests() {
         for (line, needle) in [
             ("nonsense", "bad request"),
@@ -413,6 +516,18 @@ mod tests {
                 "`deadline_ms`",
             ),
             ("{\"cmd\":\"tuple_measures\"}", "`session`"),
+            (
+                "{\"cmd\":\"set_options\",\"session\":\"s\"}",
+                "at least one",
+            ),
+            (
+                "{\"cmd\":\"set_options\",\"session\":\"s\",\"violation_limit\":-1}",
+                "`violation_limit`",
+            ),
+            (
+                "{\"cmd\":\"set_options\",\"session\":\"s\",\"mis_budget\":\"lots\"}",
+                "`mis_budget`",
+            ),
             (
                 "{\"cmd\":\"tuple_measures\",\"session\":\"s\",\"k\":0}",
                 "`k`",

@@ -21,7 +21,6 @@ use crate::error::ServerError;
 use crate::protocol::{parse_request, Request};
 use crate::session::Registry;
 use crate::wire::Json;
-use inconsist::measures::MeasureOptions;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What the connection loop should do after writing the response.
@@ -42,6 +41,8 @@ pub struct ServerCounters {
     pub requests: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections currently open (gauge).
+    pub open_connections: AtomicU64,
     /// Connections dropped because their peer read too slowly (a write
     /// timed out or failed with a full buffer).
     pub slow_client_drops: AtomicU64,
@@ -123,17 +124,58 @@ impl Drop for AdmissionGuard<'_> {
     }
 }
 
-/// Routes one request line to a response line (no trailing newline) plus
+/// A unit of routable work: either a raw request line (parse cost paid by
+/// whoever runs it, usually a pool worker) or a request the event thread
+/// already parsed to classify it.
+#[derive(Clone, Debug)]
+pub(crate) enum Work {
+    /// An unparsed request line.
+    Raw(String),
+    /// A request parsed up front (short lines, see [`classify`]).
+    Parsed(Request),
+}
+
+/// Where the event loop should run a parsed request, and whether backlog
+/// shedding applies to it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Class {
+    /// Lock-free (or brief registry-map lock only): execute on the event
+    /// thread itself. Keeps the server responsive and stoppable no matter
+    /// how deep the worker queue is.
+    Inline,
+    /// Must go to the pool (may block on a session lock) but is never
+    /// backlog-shed: `stats` keeps the server observable under overload
+    /// and `drop` is how an operator relieves it.
+    NeverShed,
+    /// Ordinary work-carrying request: sheddable when the queue is full.
+    Work,
+}
+
+/// Classifies a parsed request for the event loop. `stats` is *not*
+/// inline: a session `stats` takes the index read lock, which can block
+/// behind a writer — nothing the event thread may wait on.
+pub(crate) fn classify(request: &Request) -> Class {
+    match request {
+        Request::Ping | Request::Quit | Request::Shutdown | Request::Sessions => Class::Inline,
+        Request::Stats { .. } | Request::Drop { .. } => Class::NeverShed,
+        _ => Class::Work,
+    }
+}
+
+/// Routes one unit of work to a response line (no trailing newline) plus
 /// a connection-control verdict.
-pub fn route_line(
+pub(crate) fn respond(
     registry: &Registry,
     counters: &ServerCounters,
     admission: &Admission,
-    opts: &MeasureOptions,
-    line: &str,
+    work: Work,
 ) -> (String, Control) {
     counters.requests.fetch_add(1, Ordering::SeqCst);
-    let (response, control) = match parse_request(line) {
+    let parsed = match work {
+        Work::Parsed(request) => Ok(request),
+        Work::Raw(line) => parse_request(&line),
+    };
+    let (response, control) = match parsed {
         Err(e) => (e.to_json(), Control::Continue),
         Ok(request) => {
             let control = match request {
@@ -141,13 +183,24 @@ pub fn route_line(
                 Request::Quit => Control::Close,
                 _ => Control::Continue,
             };
-            match dispatch(registry, counters, admission, opts, request) {
+            match dispatch(registry, counters, admission, request) {
                 Ok(json) => (json, control),
                 Err(e) => (e.to_json(), control),
             }
         }
     };
     (response.to_string(), control)
+}
+
+/// Routes one request line to a response line (no trailing newline) plus
+/// a connection-control verdict.
+pub fn route_line(
+    registry: &Registry,
+    counters: &ServerCounters,
+    admission: &Admission,
+    line: &str,
+) -> (String, Control) {
+    respond(registry, counters, admission, Work::Raw(line.to_string()))
 }
 
 fn ok() -> Json {
@@ -158,7 +211,6 @@ fn dispatch(
     registry: &Registry,
     counters: &ServerCounters,
     admission: &Admission,
-    opts: &MeasureOptions,
     request: Request,
 ) -> Result<Json, ServerError> {
     match request {
@@ -223,9 +275,10 @@ fn dispatch(
             let _global = admission.acquire()?;
             let s = registry.get(&session)?;
             let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            let opts = s.options();
             match deadline_ms {
-                Some(ms) => s.measure_deadline(&measures, per_dc, opts, ms),
-                None => s.measure(&measures, per_dc, opts),
+                Some(ms) => s.measure_deadline(&measures, per_dc, &opts, ms),
+                None => s.measure(&measures, per_dc, &opts),
             }
         }
         Request::TupleMeasures {
@@ -237,6 +290,17 @@ fn dispatch(
             let s = registry.get(&session)?;
             let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
             s.tuple_measures(k, deadline_ms)
+        }
+        Request::SetOptions {
+            session,
+            violation_limit,
+            mis_budget,
+            vc_budget,
+        } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            s.set_options(violation_limit, mis_budget, vc_budget)
         }
         Request::Stats { session } => match session {
             Some(name) => {
@@ -258,6 +322,10 @@ fn dispatch(
                         (
                             "connections",
                             Json::Num(counters.connections.load(Ordering::SeqCst) as f64),
+                        ),
+                        (
+                            "open_connections",
+                            Json::Num(counters.open_connections.load(Ordering::SeqCst) as f64),
                         ),
                         (
                             "slow_client_drops",
@@ -306,9 +374,8 @@ mod tests {
     const DC: &str = "fd: t.City = t'.City & t.Country != t'.Country\\n";
 
     fn route(reg: &Registry, counters: &ServerCounters, line: &str) -> (Json, Control) {
-        let opts = MeasureOptions::default();
         let admission = Admission::default();
-        let (resp, control) = route_line(reg, counters, &admission, &opts, line);
+        let (resp, control) = route_line(reg, counters, &admission, line);
         (Json::parse(&resp).expect("response is valid JSON"), control)
     }
 
@@ -417,6 +484,58 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!(served >= 9.0, "{served}");
+    }
+
+    #[test]
+    fn set_options_overrides_stick_and_show_in_stats() {
+        let reg = Registry::new(1);
+        let counters = ServerCounters::default();
+        let create = format!(
+            "{{\"cmd\":\"create\",\"session\":\"cities\",\"csv\":\"{CSV}\",\"dc\":\"{DC}\"}}"
+        );
+        let (created, _) = route(&reg, &counters, &create);
+        assert_eq!(created.get("ok").and_then(Json::as_bool), Some(true));
+
+        // Partial update: lift the violation cap, shrink one budget.
+        let (set, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"set_options\",\"session\":\"cities\",\
+             \"violation_limit\":null,\"mis_budget\":1234}",
+        );
+        assert_eq!(set.get("ok").and_then(Json::as_bool), Some(true), "{set}");
+        // Not durable, so nothing was persisted.
+        assert_eq!(set.get("persisted").and_then(Json::as_bool), Some(false));
+        let opts = set.get("options").expect("options");
+        assert_eq!(opts.get("violation_limit"), Some(&Json::Null));
+        assert_eq!(opts.get("mis_budget").and_then(Json::as_f64), Some(1234.0));
+        // The untouched field kept its default.
+        assert_eq!(
+            opts.get("vc_budget").and_then(Json::as_f64),
+            Some(inconsist::measures::MeasureOptions::default().vc_budget as f64)
+        );
+
+        // The override is visible in stats and used by measure.
+        let (stats, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"stats\",\"session\":\"cities\"}",
+        );
+        let opts = stats.get("options").expect("options in stats");
+        assert_eq!(opts.get("mis_budget").and_then(Json::as_f64), Some(1234.0));
+        let (measured, _) = route(
+            &reg,
+            &counters,
+            "{\"cmd\":\"measure\",\"session\":\"cities\",\"measures\":[\"I_MI\"]}",
+        );
+        assert_eq!(
+            measured
+                .get("values")
+                .and_then(|v| v.get("I_MI"))
+                .and_then(Json::as_f64),
+            Some(1.0),
+            "{measured}"
+        );
     }
 
     #[test]

@@ -139,7 +139,12 @@ pub struct Session {
     rel: RelId,
     rel_schema: Arc<RelationSchema>,
     mode: ReadMode,
-    options: MeasureOptions,
+    /// Per-session measure budgets/caps: seeded from the server-wide
+    /// defaults, overridable at runtime through `set_options`, and (for
+    /// durable sessions) persisted in the snapshot meta so recovery
+    /// restores them. Caches computed under an older budget stay valid —
+    /// budgets only cap *future* work; completed solves are exact.
+    options: RwLock<MeasureOptions>,
     index: RwLock<IncrementalIndex>,
     counters: SessionCounters,
     /// Write-ahead log + snapshot store; `None` = in-memory only.
@@ -211,7 +216,7 @@ impl Session {
             rel: loaded.rel,
             rel_schema,
             mode,
-            options,
+            options: RwLock::new(options),
             index: RwLock::new(index),
             counters: SessionCounters::default(),
             durable,
@@ -241,18 +246,13 @@ impl Session {
             )));
         }
         let mode = parse_mode(&snap.meta.mode);
-        // Serving options are server-wide (per-session overrides are a
-        // ROADMAP follow-up), so the persisted options validate rather
-        // than configure: a mismatch means budget-sensitive measures may
-        // not reproduce the pre-crash values.
+        // The snapshotted options win over the server-wide defaults: a
+        // session that overrode its budgets via `set_options` keeps them
+        // across restarts, and budget-sensitive measures reproduce the
+        // pre-crash values exactly. `options_changed` records that the
+        // persisted options differ from the defaults (informational).
         let options_changed = snap.meta.options != options;
-        if options_changed {
-            eprintln!(
-                "warning: session `{name}` was snapshotted under different measure \
-                 options ({:?}) than the server now runs with ({options:?})",
-                snap.meta.options
-            );
-        }
+        let options = snap.meta.options;
         let dcs = parse_dc_file(snap.db.schema(), name, &snap.dc_text)
             .map_err(|e| ServerError::Io(format!("snapshot dc section: {e}")))?;
         let mut cs = inconsist::constraints::ConstraintSet::new(Arc::clone(snap.db.schema()));
@@ -291,7 +291,7 @@ impl Session {
             rel: snap.rel,
             rel_schema,
             mode,
-            options,
+            options: RwLock::new(options),
             index: RwLock::new(index),
             counters,
             durable: Some(Mutex::new(durability)),
@@ -308,6 +308,58 @@ impl Session {
     /// The instrumentation counters.
     pub fn counters(&self) -> &SessionCounters {
         &self.counters
+    }
+
+    /// The current per-session measure options (the server-wide defaults
+    /// until a `set_options` request overrides them).
+    pub fn options(&self) -> MeasureOptions {
+        *self.options.read()
+    }
+
+    /// Applies a partial measure-options override (`None` fields keep
+    /// their current value; `violation_limit` takes `Some(None)` to lift
+    /// the cap entirely). Durable sessions persist the new options by
+    /// writing a snapshot — the snapshot meta is where options live in
+    /// the on-disk format — so recovery restores them. Values already
+    /// cached under the old budgets remain correct (a budget caps future
+    /// work; a solve that completed within any budget is exact).
+    pub fn set_options(
+        &self,
+        violation_limit: Option<Option<usize>>,
+        mis_budget: Option<u64>,
+        vc_budget: Option<u64>,
+    ) -> Result<Json, ServerError> {
+        // The index read lock keeps writers out, so the sequence number,
+        // database dump and new options in the persisted snapshot are
+        // mutually consistent.
+        let idx = self.index.read();
+        {
+            let mut opts = self.options.write();
+            if let Some(limit) = violation_limit {
+                opts.violation_limit = limit;
+            }
+            if let Some(budget) = mis_budget {
+                opts.mis_budget = budget;
+            }
+            if let Some(budget) = vc_budget {
+                opts.vc_budget = budget;
+            }
+        }
+        let options = *self.options.read();
+        let mut persisted = false;
+        if let Some(durable) = &self.durable {
+            let seq = self.counters.op_seq.load(Ordering::SeqCst);
+            let text = self.snapshot_text(&idx, seq);
+            durable.lock().write_snapshot(seq, &text)?;
+            persisted = true;
+        }
+        drop(idx);
+        Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("session", Json::str(self.name.clone())),
+            ("options", options_json(&options)),
+            ("persisted", Json::Bool(persisted)),
+        ]))
     }
 
     /// Admits one request against the per-session in-flight bound
@@ -468,7 +520,7 @@ impl Session {
             seq,
             applied: self.counters.ops_applied.load(Ordering::SeqCst),
             mode: mode_name(self.mode).to_string(),
-            options: self.options,
+            options: *self.options.read(),
         };
         write_snapshot(&meta, idx.db(), self.rel, idx.constraints().dcs())
     }
@@ -1009,9 +1061,26 @@ impl Session {
                     ),
                 ]),
             ),
+            ("options", options_json(&self.options())),
             ("durability", durability),
         ])
     }
+}
+
+/// The wire form of [`MeasureOptions`]: `violation_limit` is a number or
+/// `null` (no cap), the budgets are numbers.
+pub(crate) fn options_json(opts: &MeasureOptions) -> Json {
+    Json::obj([
+        (
+            "violation_limit",
+            match opts.violation_limit {
+                Some(n) => Json::Num(n as f64),
+                None => Json::Null,
+            },
+        ),
+        ("mis_budget", Json::Num(opts.mis_budget as f64)),
+        ("vc_budget", Json::Num(opts.vc_budget as f64)),
+    ])
 }
 
 /// Evaluates one measure from caches only (`Ok(None)` = dirty, upgrade).
@@ -1406,6 +1475,33 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert_eq!(seq, live_seq as f64 + 1.0);
+        std::fs::remove_dir_all(&cfg.data_dir).ok();
+    }
+
+    /// `set_options` on a durable session persists immediately (its own
+    /// snapshot), and recovery adopts the snapshotted options over the
+    /// server-level defaults passed to `recover`.
+    #[test]
+    fn set_options_survive_recovery() {
+        let cfg = durable_cfg("options");
+        let live = open_durable(&cfg);
+        live.apply_ops("update 1 Country FR\n").unwrap();
+        let resp = live
+            .set_options(Some(None), Some(1234), None)
+            .expect("set_options");
+        assert_eq!(resp.get("persisted").and_then(Json::as_bool), Some(true));
+        let expected = measures_of(&live);
+        drop(live); // crash: the options snapshot is the newest state
+        let recovered = Session::recover(&cfg, "cities", 1, MeasureOptions::default()).unwrap();
+        let opts = recovered.options();
+        assert_eq!(opts.violation_limit, None);
+        assert_eq!(opts.mis_budget, 1234);
+        assert_eq!(
+            opts.vc_budget,
+            MeasureOptions::default().vc_budget,
+            "untouched field keeps its value"
+        );
+        assert_eq!(measures_of(&recovered), expected);
         std::fs::remove_dir_all(&cfg.data_dir).ok();
     }
 

@@ -10,8 +10,107 @@
 //! Writing is deterministic: object entries are emitted in insertion
 //! order, and numbers that hold integral values within `i64` range print
 //! without a decimal point (so `I_MI = 4` wires as `4`, not `4.0`).
+//!
+//! The module also owns the *incremental* side of the codec:
+//! [`LineFramer`] reassembles newline-delimited request lines from
+//! arbitrary read chunks (the event loop reads whatever the socket has,
+//! which can split a line — or a multi-byte UTF-8 character — anywhere).
 
 use std::fmt;
+
+/// Reassembles newline-delimited lines from arbitrary byte chunks.
+///
+/// The event loop feeds whatever each nonblocking read returned through
+/// [`push`](LineFramer::push) and then drains complete lines with
+/// [`next_line`](LineFramer::next_line). Lines are split on `\n` at the
+/// *byte* level and converted to text per complete line, so a multi-byte
+/// UTF-8 character torn across reads decodes exactly as it would have in
+/// a single read (the old per-chunk lossy conversion mangled those).
+///
+/// A line that grows past `max_line` bytes without a newline is an
+/// error; the connection feeding it must be dropped, because the framer
+/// cannot resynchronize mid-line.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted once it grows).
+    start: usize,
+    /// Absolute index up to which `buf` has been scanned for `\n`.
+    scanned: usize,
+    max_line: usize,
+}
+
+/// The framing error: a single line exceeded the size cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineTooLong {
+    /// The cap that was exceeded.
+    pub max_line: usize,
+}
+
+impl fmt::Display for LineTooLong {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request line exceeds the {}-byte cap", self.max_line)
+    }
+}
+
+impl std::error::Error for LineTooLong {}
+
+impl LineFramer {
+    /// A framer enforcing `max_line` bytes per line (newline excluded).
+    pub fn new(max_line: usize) -> LineFramer {
+        LineFramer {
+            buf: Vec::new(),
+            start: 0,
+            scanned: 0,
+            max_line,
+        }
+    }
+
+    /// Appends one read's worth of bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as lines.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The next complete line (without its `\n`, with a trailing `\r`
+    /// stripped), or `None` when the buffered bytes hold no full line
+    /// yet. Invalid UTF-8 decodes lossily, per complete line.
+    pub fn next_line(&mut self) -> Result<Option<String>, LineTooLong> {
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(off) => {
+                let end = self.scanned + off;
+                let mut line_bytes = &self.buf[self.start..end];
+                if line_bytes.last() == Some(&b'\r') {
+                    line_bytes = &line_bytes[..line_bytes.len() - 1];
+                }
+                let line = String::from_utf8_lossy(line_bytes).into_owned();
+                self.start = end + 1;
+                self.scanned = self.start;
+                // Compact once the consumed prefix dominates, so a
+                // long-lived connection does not grow the buffer forever.
+                if self.start > 4096 && self.start * 2 > self.buf.len() {
+                    self.buf.drain(..self.start);
+                    self.scanned -= self.start;
+                    self.start = 0;
+                }
+                Ok(Some(line))
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buffered() > self.max_line {
+                    return Err(LineTooLong {
+                        max_line: self.max_line,
+                    });
+                }
+                Ok(None)
+            }
+        }
+    }
+}
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -422,5 +521,63 @@ mod tests {
     fn duplicate_keys_last_write_wins() {
         let obj = Json::parse("{\"a\":1,\"a\":2}").unwrap();
         assert_eq!(obj.get("a").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn framer_reassembles_lines_across_chunk_boundaries() {
+        let mut f = LineFramer::new(1024);
+        f.push(b"{\"cmd\":\"pi");
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(b"ng\"}\n{\"a\":1}\r\n{");
+        assert_eq!(
+            f.next_line().unwrap().as_deref(),
+            Some("{\"cmd\":\"ping\"}")
+        );
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(b"}\n");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("{}"));
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn framer_decodes_utf8_torn_across_chunks() {
+        // The crab emoji is 4 UTF-8 bytes; split it 2+2 across pushes.
+        let bytes = "\"🦀\"\n".as_bytes();
+        let mut f = LineFramer::new(64);
+        f.push(&bytes[..3]);
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(&bytes[3..]);
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("\"🦀\""));
+    }
+
+    #[test]
+    fn framer_rejects_oversized_lines() {
+        let mut f = LineFramer::new(8);
+        f.push(b"123456789");
+        assert!(f.next_line().is_err());
+        // A line exactly at the cap is fine.
+        let mut f = LineFramer::new(8);
+        f.push(b"12345678\n");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("12345678"));
+    }
+
+    #[test]
+    fn framer_compacts_without_losing_partial_lines() {
+        let mut f = LineFramer::new(1 << 20);
+        for i in 0..200 {
+            f.push(format!("line-{i}-{}\n", "x".repeat(64)).as_bytes());
+        }
+        f.push(b"tail-without-newline");
+        for i in 0..200 {
+            let line = f.next_line().unwrap().unwrap();
+            assert!(line.starts_with(&format!("line-{i}-")), "{line}");
+        }
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(b"-end\n");
+        assert_eq!(
+            f.next_line().unwrap().as_deref(),
+            Some("tail-without-newline-end")
+        );
     }
 }

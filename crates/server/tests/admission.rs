@@ -7,7 +7,6 @@ use inconsist::incremental::ReadMode;
 use inconsist::measures::MeasureOptions;
 use inconsist_server::{serve, Client, Json, RetryPolicy, ServerConfig, Session};
 use proptest::prelude::*;
-use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -95,11 +94,12 @@ proptest! {
 }
 
 /// End-to-end queue shedding: with one worker and a one-deep queue, a
-/// third connection is refused at accept with a well-formed `overloaded`
-/// line and then closed — and a client retrying with backoff gets served
-/// once the earlier connections drain.
+/// third work request is shed with a well-formed `overloaded` line — but
+/// the connection *stays open* (shedding is per-request now, not
+/// per-connection), control requests still answer, and a client retrying
+/// with backoff gets served once the queue drains.
 #[test]
-fn full_connection_queue_sheds_then_a_retrying_client_gets_through() {
+fn full_request_queue_sheds_then_a_retrying_client_gets_through() {
     let handle = serve(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
@@ -110,51 +110,71 @@ fn full_connection_queue_sheds_then_a_retrying_client_gets_through() {
     .expect("bind");
     let addr = handle.addr();
 
-    // A request/response round trip proves this connection owns the one
-    // worker (thread-per-connection: it keeps it until it disconnects).
-    let mut owner = Client::connect(&addr).unwrap();
-    owner.request("{\"cmd\":\"ping\"}").unwrap();
+    // Occupy the single worker with a deliberately heavy `create`: a
+    // 30k-row CSV takes long enough to parse and index that the
+    // subsequent dispatches below land while it is still running.
+    let mut csv = String::from("City,Country,Pop\n");
+    for i in 0..30_000 {
+        csv.push_str(&format!("C{i},X,1\n"));
+    }
+    let owner = std::thread::spawn(move || {
+        let mut owner = Client::connect(&addr).unwrap();
+        let create = format!(
+            "{{\"cmd\":\"create\",\"session\":\"t\",\"csv\":{},\"dc\":{}}}",
+            Json::str(csv.as_str()),
+            Json::str(DC)
+        );
+        let created = Json::parse(&owner.request(&create).unwrap()).unwrap();
+        assert_eq!(created.get("ok").and_then(Json::as_bool), Some(true));
+    });
+    std::thread::sleep(Duration::from_millis(50));
 
-    // Second connection fills the queue; third must be shed at accept.
-    // Loopback accept order follows connect order, and the single accept
-    // loop processes them in order.
-    let queued = TcpStream::connect(addr).unwrap();
-    let shed = TcpStream::connect(addr).unwrap();
-    shed.set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    let mut lines = BufReader::new(shed.try_clone().unwrap());
-    let mut line = String::new();
-    lines.read_line(&mut line).unwrap();
-    assert_overloaded_wire_shape(line.trim_end(), 10.0);
-    // After the shed line the server closes the connection.
-    line.clear();
-    assert_eq!(lines.read_line(&mut line).unwrap(), 0, "expected EOF");
-    drop(shed);
-
-    // A retrying client races the still-full queue; once the owner and
-    // the queued connection go away, a retry lands and is served.
-    let retry = std::thread::spawn(move || {
-        let mut client = Client::connect(&addr).ok()?;
-        let policy = RetryPolicy {
-            max_retries: 20,
-            base_backoff_ms: 5,
-            max_backoff_ms: 100,
-        };
-        client
-            .request_with_retry("{\"cmd\":\"ping\"}", &policy)
-            .ok()
+    // Second connection's work request fills the one-deep queue...
+    let mut queued = Client::connect(&addr).unwrap();
+    let queued_request = std::thread::spawn(move || {
+        queued
+            .request("{\"cmd\":\"measure\",\"session\":\"t\",\"measures\":[\"I_MI\"]}")
+            .unwrap()
     });
     std::thread::sleep(Duration::from_millis(30));
-    drop(queued); // its handler sees EOF as soon as a worker picks it up
-    owner.request("{\"cmd\":\"quit\"}").unwrap(); // frees the worker
-    drop(owner);
-    let response = retry.join().unwrap().expect("retry should get through");
-    let json = Json::parse(&response).unwrap();
-    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true));
 
-    // The accept-loop sheds are visible in global stats.
-    let mut observer = Client::connect(&addr).unwrap();
-    let stats = Json::parse(&observer.request("{\"cmd\":\"stats\"}").unwrap()).unwrap();
+    // ...so a third connection's work request is shed. The response is a
+    // well-formed overloaded line and the connection survives it: a ping
+    // on the same connection still answers (it runs on the event thread,
+    // not the saturated pool).
+    let mut shed = Client::connect(&addr).unwrap();
+    let line = shed
+        .request("{\"cmd\":\"measure\",\"session\":\"t\",\"measures\":[\"I_MI\"]}")
+        .unwrap();
+    assert_overloaded_wire_shape(&line, 10.0);
+    let pong = shed.request("{\"cmd\":\"ping\"}").unwrap();
+    assert!(pong.contains("\"pong\":true"), "{pong}");
+
+    // A retrying client backs off through the busy window and is served
+    // once the create finishes and the queue drains.
+    let mut retry = Client::connect(&addr).unwrap();
+    let policy = RetryPolicy {
+        max_retries: 120,
+        base_backoff_ms: 20,
+        max_backoff_ms: 500,
+    };
+    let response = retry
+        .request_with_retry(
+            "{\"cmd\":\"measure\",\"session\":\"t\",\"measures\":[\"I_MI\"]}",
+            &policy,
+        )
+        .expect("retry should get through");
+    let json = Json::parse(&response).unwrap();
+    assert_eq!(json.get("ok").and_then(Json::as_bool), Some(true), "{json}");
+    owner.join().unwrap();
+    let queued_response = queued_request.join().unwrap();
+    assert!(
+        queued_response.contains("\"ok\":"),
+        "queued request got a response: {queued_response}"
+    );
+
+    // The request sheds are visible in global stats.
+    let stats = Json::parse(&retry.request("{\"cmd\":\"stats\"}").unwrap()).unwrap();
     let shed_count = stats
         .get("server")
         .and_then(|s| s.get("admission"))
@@ -163,7 +183,82 @@ fn full_connection_queue_sheds_then_a_retrying_client_gets_through() {
         .unwrap();
     assert!(shed_count >= 1.0, "{stats}");
 
-    observer.request("{\"cmd\":\"shutdown\"}").unwrap();
+    retry.request("{\"cmd\":\"shutdown\"}").unwrap();
+    handle.wait();
+}
+
+/// Slow-client protection end-to-end: a peer that never reads its
+/// responses trips the write-stall timeout and is dropped — without
+/// stalling requests on any other connection.
+#[test]
+fn a_client_that_never_reads_is_dropped_without_stalling_others() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        write_timeout_ms: 150,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = handle.addr();
+
+    // A session with enough inconsistent tuples that `tuple_measures`
+    // responses are tens of kilobytes: pipelining many of them overflows
+    // the dead peer's socket buffers for sure.
+    let mut csv = String::from("City,Country,Pop\n");
+    for i in 0..800 {
+        csv.push_str(&format!(
+            "P{},A{},1\nP{},B{},2\n",
+            i / 2,
+            i % 2,
+            i / 2,
+            i % 2
+        ));
+    }
+    let mut live = Client::connect(&addr).unwrap();
+    let create = format!(
+        "{{\"cmd\":\"create\",\"session\":\"t\",\"csv\":{},\"dc\":{}}}",
+        Json::str(csv.as_str()),
+        Json::str(DC)
+    );
+    let created = Json::parse(&live.request(&create).unwrap()).unwrap();
+    assert_eq!(
+        created.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{created}"
+    );
+
+    // The dead client pipelines a pile of big reads and never reads a
+    // byte back.
+    let mut dead = TcpStream::connect(addr).unwrap();
+    let burst: String =
+        std::iter::repeat("{\"cmd\":\"tuple_measures\",\"session\":\"t\",\"k\":1600}\n")
+            .take(100)
+            .collect();
+    use std::io::Write;
+    dead.write_all(burst.as_bytes()).unwrap();
+
+    // Meanwhile this connection keeps getting served promptly.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let dropped = loop {
+        let pong = live.request("{\"cmd\":\"ping\"}").unwrap();
+        assert!(pong.contains("\"pong\":true"), "{pong}");
+        let stats = Json::parse(&live.request("{\"cmd\":\"stats\"}").unwrap()).unwrap();
+        let drops = stats
+            .get("server")
+            .and_then(|s| s.get("slow_client_drops"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        if drops >= 1.0 {
+            break true;
+        }
+        if std::time::Instant::now() > deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(dropped, "the never-reading client was not dropped");
+
+    live.request("{\"cmd\":\"shutdown\"}").unwrap();
     handle.wait();
 }
 

@@ -164,12 +164,34 @@ fn run_phase(
     (started.elapsed().as_secs_f64(), runs)
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return f64::NAN;
+/// Folds a latency sample set (µs) into the shared log2-bucket histogram
+/// and returns its (p50, p99) — the same quantile code path the server's
+/// `metrics` endpoint serves, so bench numbers and scrape numbers can
+/// never drift apart. Cross-checks the histogram p50 against the exact
+/// sorted p50: nearest-rank over log2 buckets never underestimates and
+/// stays within one bucket.
+fn hist_quantiles(latencies_us: &[f64]) -> (f64, f64) {
+    let h = inconsist_obs::Histogram::new();
+    for &v in latencies_us {
+        h.record(v as u64);
     }
-    let idx = ((sorted.len() as f64 * p).floor() as usize).min(sorted.len() - 1);
-    sorted[idx]
+    let snap = h.snapshot();
+    let (p50, p99) = (snap.quantile(0.50), snap.quantile(0.99));
+    let mut sorted: Vec<u64> = latencies_us.iter().map(|&v| v as u64).collect();
+    sorted.sort_unstable();
+    if let Some(&exact) =
+        sorted.get(((0.5 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len().max(1)) - 1)
+    {
+        assert!(
+            p50 >= exact,
+            "histogram p50 {p50}µs underestimates the exact sorted p50 {exact}µs"
+        );
+        assert!(
+            inconsist_obs::bucket_index(p50).abs_diff(inconsist_obs::bucket_index(exact)) <= 1,
+            "histogram p50 {p50}µs more than one log2 bucket from the exact p50 {exact}µs"
+        );
+    }
+    (p50 as f64, p99 as f64)
 }
 
 fn session_stat(client: &mut Client, key: &str) -> f64 {
@@ -311,7 +333,7 @@ fn overload_run(csv: &str, requests: usize) -> String {
         shed += s;
     }
     let elapsed = started.elapsed().as_secs_f64();
-    admitted_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let (admitted_p50, admitted_p99) = hist_quantiles(&admitted_us);
 
     let stats = Json::parse(&admin.request("{\"cmd\":\"stats\"}").expect("stats")).unwrap();
     let high_water = stat_f64(&stats, &["server", "admission", "inflight_high_water"]);
@@ -334,8 +356,8 @@ fn overload_run(csv: &str, requests: usize) -> String {
          {attempts} attempts, {shed} shed ({:.0}%), admitted p50 {:.0}µs p99 {:.0}µs, \
          high water {high_water:.0}",
         shed_rate * 100.0,
-        percentile(&admitted_us, 0.50),
-        percentile(&admitted_us, 0.99),
+        admitted_p50,
+        admitted_p99,
     );
     format!(
         "    {{\"phase\": \"overload\", \"clients\": {clients}, \"max_inflight\": {MAX_INFLIGHT}, \
@@ -345,8 +367,8 @@ fn overload_run(csv: &str, requests: usize) -> String {
          \"inflight_high_water\": {high_water}}}",
         admitted_us.len(),
         admitted_us.len() as f64 / elapsed,
-        percentile(&admitted_us, 0.50),
-        percentile(&admitted_us, 0.99),
+        admitted_p50,
+        admitted_p99,
     )
 }
 
@@ -396,7 +418,7 @@ fn frontend_run(csv: &str) -> (String, String) {
     use std::io::{BufRead, BufReader, Write};
     let stream = std::net::TcpStream::connect(addr).expect("connect pipelined");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-    let burst: String = std::iter::repeat(format!("{read}\n")).take(batch).collect();
+    let burst = format!("{read}\n").repeat(batch);
     let started = Instant::now();
     let writer = std::thread::spawn(move || {
         (&stream).write_all(burst.as_bytes()).expect("burst write");
@@ -442,7 +464,7 @@ fn frontend_run(csv: &str) -> (String, String) {
         active_us.push(sent.elapsed().as_secs_f64() * 1e6);
         assert!(response.contains("\"ok\":true"), "{response}");
     }
-    active_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let (active_p50, active_p99) = hist_quantiles(&active_us);
 
     let stats = Json::parse(&admin.request("{\"cmd\":\"stats\"}").expect("stats")).unwrap();
     let open = stat_f64(&stats, &["server", "open_connections"]);
@@ -455,15 +477,12 @@ fn frontend_run(csv: &str) -> (String, String) {
     handle.wait();
     println!(
         "bench_server/idle_fleet {n_idle} held connections ({open:.0} open), \
-         {idle_conn_kb:.1} kB each, active p99 {:.0}µs",
-        percentile(&active_us, 0.99),
+         {idle_conn_kb:.1} kB each, active p99 {active_p99:.0}µs",
     );
     let idle_entry = format!(
         "    {{\"phase\": \"many_idle_clients\", \"connections\": {n_idle}, \
          \"open_connections\": {open}, \"idle_conn_kb\": {idle_conn_kb:.2}, \
-         \"active_p50_us\": {:.1}, \"active_p99_us\": {:.1}}}",
-        percentile(&active_us, 0.50),
-        percentile(&active_us, 0.99),
+         \"active_p50_us\": {active_p50:.1}, \"active_p99_us\": {active_p99:.1}}}",
     );
     (pipelined_entry, idle_entry)
 }
@@ -520,7 +539,7 @@ fn durability_run(csv: &str, fsync: FsyncPolicy, ops_count: usize, seed: u64) ->
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let (p50_us, p99_us) = hist_quantiles(&latencies);
     let stats = session.stats();
     let log_bytes = stat_f64(&stats, &["durability", "appended_bytes"]);
     let logical_bytes = stat_f64(&stats, &["durability", "logical_bytes"]);
@@ -548,19 +567,17 @@ fn durability_run(csv: &str, fsync: FsyncPolicy, ops_count: usize, seed: u64) ->
          ({replayed:.0} replayed over snapshot seq {snapshot_seq:.0})",
         fsync.name(),
         ops_count as f64 / elapsed,
-        percentile(&latencies, 0.99),
+        p99_us,
         amplification,
     );
     format!(
         "    {{\"fsync\": \"{}\", \"ops\": {ops_count}, \"ops_per_sec\": {:.1}, \
-         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"log_bytes\": {log_bytes}, \
+         \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \"log_bytes\": {log_bytes}, \
          \"logical_bytes\": {logical_bytes}, \"write_amplification\": {amplification:.4}, \
          \"snapshot_seq\": {snapshot_seq}, \"replayed\": {replayed}, \
          \"recovery_ms\": {recover_ms:.2}, \"identical\": true}}",
         fsync.name(),
         ops_count as f64 / elapsed,
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.99),
     )
 }
 
@@ -622,7 +639,7 @@ fn main() {
             latencies.extend_from_slice(&run.latencies_us);
             all_ops.extend(run.ops);
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+        let (p50_us, p99_us) = hist_quantiles(&latencies);
         let total = latencies.len();
         let shared = session_stat(&mut admin, "shared_reads");
         let exclusive = session_stat(&mut admin, "exclusive_reads");
@@ -633,12 +650,10 @@ fn main() {
         phase_entries.push_str(&format!(
             "    {{\"phase\": \"{phase}\", \"write_pct\": {write_pct}, \"requests\": {total}, \
              \"elapsed_sec\": {elapsed:.3}, \"throughput_rps\": {:.1}, \
-             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \
              \"shared_reads\": {}, \"exclusive_reads\": {}, \
              \"max_concurrent_shared_reads\": {}}}",
             total as f64 / elapsed,
-            percentile(&latencies, 0.50),
-            percentile(&latencies, 0.99),
             shared - prev_shared,
             exclusive - prev_exclusive,
             high_water,
@@ -647,10 +662,8 @@ fn main() {
         prev_exclusive = exclusive;
         println!(
             "bench_server/{phase:<10} {clients} clients, {total} reqs, \
-             {:.0} req/s, p50 {:.0}µs, p99 {:.0}µs, shared {} / exclusive {}",
+             {:.0} req/s, p50 {p50_us:.0}µs, p99 {p99_us:.0}µs, shared {} / exclusive {}",
             total as f64 / elapsed,
-            percentile(&latencies, 0.50),
-            percentile(&latencies, 0.99),
             shared,
             exclusive,
         );
@@ -680,6 +693,39 @@ fn main() {
             .collect(),
         other => panic!("no values: {other:?}"),
     };
+    // Observability: the gate's read-ladder and solve-latency numbers
+    // come from the same `metrics` endpoint operators scrape, not from a
+    // private tally.
+    let metrics = Json::parse(&admin.request("{\"cmd\":\"metrics\"}").expect("metrics")).unwrap();
+    let m = metrics.get("metrics").expect("metrics body");
+    let rung = |r: &str| {
+        m.get(&format!(
+            "session_read_rung_total{{session=\"bench\",rung=\"{r}\"}}"
+        ))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0)
+    };
+    let cache_hits = rung("cache_hit");
+    let ladder_reads = cache_hits + rung("warm") + rung("partial") + rung("stale");
+    let cache_hit_ratio = if ladder_reads > 0.0 {
+        cache_hits / ladder_reads
+    } else {
+        0.0
+    };
+    let solve_p99_us = m
+        .get("solve.dirty_component")
+        .and_then(|h| h.get("p99"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    println!(
+        "bench_server/obs        read-ladder cache-hit ratio {cache_hit_ratio:.3} \
+         ({cache_hits:.0}/{ladder_reads:.0}), dirty-component solve p99 {solve_p99_us:.0}µs"
+    );
+    let observability_entry = format!(
+        "    {{\"scope\": \"run\", \"read_ladder_cache_hit_ratio\": {cache_hit_ratio:.4}, \
+         \"solve_p99_us\": {solve_p99_us:.1}}}"
+    );
+
     admin.request("{\"cmd\":\"shutdown\"}").expect("shutdown");
     handle.wait();
 
@@ -740,7 +786,8 @@ fn main() {
          \"phases\": [\n{phase_entries}\n  ],\n  \"replay\": {{\"ops\": {}, \
          \"identical\": true}},\n  \"durability\": [\n{durability_entries}\n  ],\n  \
          \"overload\": [\n{overload_entry}\n  ],\n  \
-         \"frontend\": [\n{pipelined_entry},\n{idle_entry}\n  ]\n}}\n",
+         \"frontend\": [\n{pipelined_entry},\n{idle_entry}\n  ],\n  \
+         \"observability\": [\n{observability_entry}\n  ]\n}}\n",
         BLOCKS * ROWS_PER_BLOCK,
         all_ops.len()
     );

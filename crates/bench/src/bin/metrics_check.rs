@@ -1,0 +1,194 @@
+//! Offline validator for Prometheus text-exposition scrapes (the CI
+//! half of the observability layer; the scrape itself comes from
+//! `ci/metrics_scrape.sh`). Fully offline and dependency-free — the
+//! validation logic lives here, in the workspace, not in CI YAML.
+//!
+//! ```text
+//! metrics_check scrape1.txt [scrape2.txt]
+//! ```
+//!
+//! Checks, in order:
+//!
+//! 1. **Grammar** — every non-empty line is either `# TYPE <name>
+//!    <counter|gauge|histogram>` or `<series> <value>`; metric names
+//!    stay inside `[a-zA-Z0-9_:]`, label blocks are balanced
+//!    `{k="v",...}`, values parse as finite numbers, and no series
+//!    repeats within one scrape.
+//! 2. **Required names** — the metric families the server always
+//!    exposes (front end, admission, pool, per-kind requests, the
+//!    session read ladder, durability latencies) must be present.
+//! 3. **Monotonicity** — with a second scrape taken later from the same
+//!    server, every counter series and every histogram `_bucket` /
+//!    `_count` series must be ≥ its first-scrape value. Gauges are
+//!    exempt. A counter going backwards means two code paths disagree
+//!    about who owns the cell — exactly the bug the unified registry
+//!    exists to prevent.
+//!
+//! Exit status 0 on success; 1 with one line per violation otherwise.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Metric families every server scrape must contain, durable servers
+/// included (the CI workload runs with `--data-dir`). Names are matched
+/// against the series *base* (labels and histogram suffixes stripped).
+const REQUIRED: &[&str] = &[
+    "server_requests_handled_total",
+    "server_requests_total",
+    "server_request_us",
+    "server_connections_total",
+    "server_open_connections",
+    "server_frames_total",
+    "admission_inflight",
+    "admission_shed_total",
+    "pool_backlog",
+    "session_read_rung_total",
+    "session_ops_applied_total",
+    "durable_fsync_us",
+    "durable_append_us",
+];
+
+struct Scrape {
+    /// Full series (`name{labels}` / suffixed histogram line) -> value.
+    series: HashMap<String, f64>,
+    /// Base metric name -> declared `# TYPE`.
+    types: HashMap<String, String>,
+}
+
+fn base_of(series: &str) -> &str {
+    let no_labels = series.split('{').next().unwrap_or(series);
+    for suffix in ["_bucket", "_sum", "_count", "_high_water"] {
+        if let Some(stripped) = no_labels.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    no_labels
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse(path: &str, text: &str, errors: &mut Vec<String>) -> Scrape {
+    let mut series = HashMap::new();
+    let mut types = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let at = format!("{path}:{}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let fields: Vec<&str> = comment.split_whitespace().collect();
+            match fields.as_slice() {
+                ["TYPE", name, ty] if valid_name(name) => {
+                    if !["counter", "gauge", "histogram"].contains(ty) {
+                        errors.push(format!("{at}: unknown metric type `{ty}`"));
+                    }
+                    types.insert((*name).to_string(), (*ty).to_string());
+                }
+                _ => errors.push(format!("{at}: malformed comment line: {line}")),
+            }
+            continue;
+        }
+        let Some((name, value)) = line.rsplit_once(' ') else {
+            errors.push(format!("{at}: expected `series value`: {line}"));
+            continue;
+        };
+        let labels_ok = match name.find('{') {
+            None => valid_name(name),
+            Some(open) => valid_name(&name[..open]) && name.ends_with('}'),
+        };
+        if !labels_ok {
+            errors.push(format!("{at}: invalid series name: {name}"));
+            continue;
+        }
+        match value.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                if series.insert(name.to_string(), v).is_some() {
+                    errors.push(format!("{at}: duplicate series: {name}"));
+                }
+            }
+            _ => errors.push(format!("{at}: non-numeric sample value: {line}")),
+        }
+    }
+    Scrape { series, types }
+}
+
+/// A series whose value must never decrease across scrapes of one
+/// server: counters, the cumulative parts of histograms, and gauge
+/// high-water marks (fetch-max only ever rises).
+fn monotone(scrape: &Scrape, series: &str) -> bool {
+    let no_labels = series.split('{').next().unwrap_or(series);
+    match scrape.types.get(base_of(series)).map(String::as_str) {
+        Some("counter") => true,
+        Some("histogram") => no_labels.ends_with("_bucket") || no_labels.ends_with("_count"),
+        Some("gauge") => no_labels.ends_with("_high_water"),
+        _ => false,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 2 {
+        eprintln!("metrics_check: usage: metrics_check <scrape1> [scrape2]");
+        return ExitCode::FAILURE;
+    }
+    let mut errors = Vec::new();
+    let scrapes: Vec<(String, Scrape)> = args
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                errors.push(format!("{path}: unreadable: {e}"));
+                String::new()
+            });
+            (path.clone(), parse(path, &text, &mut errors))
+        })
+        .collect();
+
+    for (path, scrape) in &scrapes {
+        for required in REQUIRED {
+            if !scrape.series.keys().any(|s| base_of(s) == *required) {
+                errors.push(format!("{path}: required metric `{required}` missing"));
+            }
+        }
+    }
+
+    if let [(first_path, first), (second_path, second)] = scrapes.as_slice() {
+        let mut names: Vec<&String> = first.series.keys().collect();
+        names.sort();
+        for series in names {
+            if !monotone(first, series) {
+                continue;
+            }
+            let before = first.series[series];
+            match second.series.get(series) {
+                None => errors.push(format!(
+                    "{second_path}: series `{series}` vanished between scrapes"
+                )),
+                Some(after) if *after < before => errors.push(format!(
+                    "counter `{series}` went backwards: {before} ({first_path}) \
+                     -> {after} ({second_path})"
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        let checked: usize = scrapes.iter().map(|(_, s)| s.series.len()).sum();
+        println!(
+            "metrics_check: ok ({} scrape(s), {checked} series)",
+            scrapes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("metrics_check: {e}");
+        }
+        eprintln!("metrics_check: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

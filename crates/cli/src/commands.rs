@@ -39,8 +39,10 @@ USAGE:
                      [--max-inflight N] [--session-inflight N] [--queue-limit N]
                      [--retry-after-ms N] [--read-poll-ms N] [--write-timeout-ms N]
                      [--event-threads N] [--max-pipeline N] [--write-buffer-kb N]
+                     [--metrics-addr HOST:PORT] [--slow-request-ms N]
   inconsist client   <addr> [request-json | snapshot NAME | compact NAME |
-                     top NAME [K] | options NAME key=value... ...]
+                     top NAME [K] | options NAME key=value... |
+                     metrics [prom] ...]
 
 FILES:
   data.csv   header + rows; column types are inferred (int/float/str)
@@ -75,15 +77,19 @@ COMMANDS:
              loops (requests on one connection pipeline up to
              --max-pipeline deep, responses always in request order, and
              a peer whose responses back up past --write-buffer-kb stops
-             being read until it drains)
+             being read until it drains); observability: --metrics-addr
+             binds a plaintext Prometheus exposition listener (one scrape
+             per connection) and --slow-request-ms logs any slower
+             request to stderr with its per-stage span breakdown
   client     send request lines to a running server (from the arguments,
              or stdin when none are given) and print the responses;
              `snapshot NAME` / `compact NAME` / `top NAME [K]` /
-             `options NAME key=value...` are shorthand for the
-             corresponding JSON requests (`top` asks for the K most
-             inconsistent tuples, default 10; `options` overrides a
+             `options NAME key=value...` / `metrics [prom]` are shorthand
+             for the corresponding JSON requests (`top` asks for the K
+             most inconsistent tuples, default 10; `options` overrides a
              session's measure options — keys violation_limit (a count
-             or `none`), mis_budget, vc_budget)
+             or `none`), mis_budget, vc_budget; `metrics` dumps the
+             metric registry, `metrics prom` as Prometheus text)
 ";
 
 /// Dispatches a parsed command line, returning the report to print.
@@ -451,6 +457,8 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
         event_threads: cli.opt("event-threads", defaults.event_threads)?,
         max_pipeline: cli.opt("max-pipeline", defaults.max_pipeline)?,
         write_buffer_bytes: cli.opt("write-buffer-kb", defaults.write_buffer_bytes / 1024)? * 1024,
+        metrics_addr: cli.opt_str("metrics-addr").map(str::to_string),
+        slow_request_ms: cli.opt("slow-request-ms", defaults.slow_request_ms)?,
         ..Default::default()
     };
     let handle = inconsist_server::serve(config).map_err(|e| e.to_string())?;
@@ -494,6 +502,8 @@ fn client_request_line(line: &str) -> Result<String, String> {
     }
     let tokens: Vec<&str> = trimmed.split_whitespace().collect();
     match tokens.as_slice() {
+        ["metrics"] => Ok("{\"cmd\":\"metrics\"}".to_string()),
+        ["metrics", "prom"] => Ok("{\"cmd\":\"metrics\",\"format\":\"prom\"}".to_string()),
         [verb @ ("snapshot" | "compact"), name] => Ok(format!(
             "{{\"cmd\":\"{verb}\",\"session\":{}}}",
             inconsist_server::Json::str(*name)
@@ -566,6 +576,19 @@ fn cmd_client(cli: &Cli) -> Result<String, String> {
         let mut lines = Vec::new();
         let mut args = cli.positional[1..].iter().peekable();
         while let Some(arg) = args.next() {
+            if arg == "metrics" {
+                // `metrics [prom]` / `metrics --prom`: server-wide, no
+                // session name.
+                if cli.has("prom") || args.peek().is_some_and(|next| next.as_str() == "prom") {
+                    if args.peek().is_some_and(|next| next.as_str() == "prom") {
+                        args.next();
+                    }
+                    lines.push("metrics prom".to_string());
+                } else {
+                    lines.push("metrics".to_string());
+                }
+                continue;
+            }
             if matches!(arg.as_str(), "snapshot" | "compact" | "top" | "options")
                 && args.peek().is_some_and(|next| !next.starts_with('{'))
             {
@@ -603,8 +626,26 @@ fn cmd_client(cli: &Cli) -> Result<String, String> {
     let mut out = String::new();
     for line in lines.iter().filter(|l| !l.trim().is_empty()) {
         let request = client_request_line(line)?;
-        out.push_str(&client.request(&request).map_err(|e| e.to_string())?);
-        out.push('\n');
+        let response = client.request(&request).map_err(|e| e.to_string())?;
+        // A Prometheus-format metrics response is unwrapped to its text
+        // payload, so `client ADDR metrics prom` pipes straight into any
+        // exposition-format consumer.
+        let prom_text = inconsist_server::Json::parse(&response).ok().and_then(|j| {
+            if j.get("format").and_then(inconsist_server::Json::as_str) == Some("prometheus") {
+                j.get("text")
+                    .and_then(inconsist_server::Json::as_str)
+                    .map(str::to_string)
+            } else {
+                None
+            }
+        });
+        match prom_text {
+            Some(text) => out.push_str(&text),
+            None => {
+                out.push_str(&response);
+                out.push('\n');
+            }
+        }
     }
     Ok(out)
 }

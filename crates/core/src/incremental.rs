@@ -471,6 +471,7 @@ impl IncrementalIndex {
     /// Applies a [`RepairOp`], keeping the index in sync. Returns `true`
     /// when the database changed.
     pub fn apply(&mut self, op: &RepairOp) -> bool {
+        let _span = inconsist_obs::span!("index.delta_apply");
         match op {
             RepairOp::Delete(id) => self.delete(*id).is_some(),
             RepairOp::Insert(f) => self.insert(f.clone()).is_ok(),
@@ -519,6 +520,7 @@ impl IncrementalIndex {
             self.stats.filter_cache_hits += 1;
             return;
         }
+        let _span = inconsist_obs::span!("index.filter_minimal");
         let sets: HashSet<ViolationSet> = self.graph.component_sets(c).into_iter().collect();
         let minimal = engine::filter_minimal(sets);
         self.stats.filter_runs += 1;
@@ -700,6 +702,7 @@ impl IncrementalIndex {
         if dirty.is_empty() {
             return Ok(());
         }
+        let _span = inconsist_obs::span!("solve.dirty_component");
         // Borrow the cached minimal sets in place — the scoped workers
         // (and the sequential path) never need owned copies.
         let values = {
@@ -729,6 +732,7 @@ impl IncrementalIndex {
         if dirty.is_empty() {
             return Ok(());
         }
+        let _span = inconsist_obs::span!("solve.lp");
         let values = {
             let jobs: Vec<&[ViolationSet]> = dirty
                 .iter()

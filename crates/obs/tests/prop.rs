@@ -1,0 +1,78 @@
+//! Property tests for the metric primitives: racing writers lose no
+//! updates, and the log2 bucket boundaries are exact at powers of two.
+
+use inconsist_obs::{bucket_index, bucket_upper, Histogram, Registry};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// N racing threads each apply `per_thread` counter increments and
+    /// histogram records; nothing is lost: the counter equals the exact
+    /// total, the histogram count equals the exact total, and the
+    /// histogram sum equals the exact sum of recorded values.
+    #[test]
+    fn racing_threads_lose_no_updates(
+        threads in 2usize..8,
+        per_thread in 1u64..2_000,
+        stride in 1u64..5_000,
+    ) {
+        let reg = Arc::new(Registry::new());
+        let c = reg.counter("prop_total");
+        let h = reg.histogram("prop_us");
+        std::thread::scope(|s| {
+            for t in 0..threads as u64 {
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record(t.wrapping_mul(stride).wrapping_add(i));
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * per_thread;
+        prop_assert_eq!(c.get(), total);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), total);
+        let expect_sum: u64 = (0..threads as u64)
+            .flat_map(|t| (0..per_thread).map(move |i| t.wrapping_mul(stride).wrapping_add(i)))
+            .fold(0u64, |a, v| a.wrapping_add(v));
+        prop_assert_eq!(snap.sum, expect_sum);
+    }
+
+    /// Bucket boundaries are exact at powers of two: `2^k` is the first
+    /// value of bucket `k+1`, `2^k - 1` the last of bucket `k`, and a
+    /// histogram fed only `2^k` reports quantiles in bucket `k+1`.
+    #[test]
+    fn power_of_two_boundaries_are_exact(k in 1u32..63) {
+        let p = 1u64 << k;
+        prop_assert_eq!(bucket_index(p), k as usize + 1);
+        prop_assert_eq!(bucket_index(p - 1), k as usize);
+        prop_assert_eq!(bucket_upper(k as usize), p - 1);
+        let h = Histogram::new();
+        h.record(p);
+        prop_assert_eq!(h.quantile(0.5), bucket_upper(k as usize + 1));
+    }
+
+    /// The histogram quantile never underestimates the exact sorted
+    /// quantile and stays within one log2 bucket of it.
+    #[test]
+    fn quantile_within_one_bucket(
+        values in proptest::collection::vec(0u64..1_000_000, 1..400),
+        qi in 0usize..3,
+    ) {
+        let mut values = values;
+        let q = [0.5, 0.95, 0.99][qi];
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let approx = h.quantile(q);
+        prop_assert!(approx >= exact);
+        prop_assert!(bucket_index(approx).abs_diff(bucket_index(exact)) <= 1);
+    }
+}

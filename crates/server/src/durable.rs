@@ -46,9 +46,33 @@
 
 use crate::error::ServerError;
 use inconsist_formats::durable::{encode_log_record, parse_log, parse_snapshot, Snapshot};
+use inconsist_obs::{Counter, Histogram};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Lock-free durability instrumentation. The [`Durability`] state lives
+/// behind the session's mutex, but these cells are shared out as an
+/// `Arc` so `stats`, the metrics collector, and the slow-request log can
+/// read latency histograms without contending for that mutex — and all
+/// of them read the *same* cells the I/O path wrote, so the exposition
+/// paths cannot disagree.
+#[derive(Debug, Default)]
+pub struct DurableMetrics {
+    /// Whole-append latency (encode + write + fsync), microseconds.
+    pub append_us: Histogram,
+    /// The fsync portion alone, microseconds.
+    pub fsync_us: Histogram,
+    /// Snapshot write latency, microseconds.
+    pub snapshot_us: Histogram,
+    /// Compaction latency, microseconds.
+    pub compact_us: Histogram,
+    /// Times a failure wedged the log (append rollback, stranded
+    /// rotation, unrecoverable compaction).
+    pub wedge_events: Counter,
+}
 
 /// When the log (and snapshot) writes reach the disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,6 +175,8 @@ pub struct Durability {
     /// handle can no longer extend safely; every later append refuses
     /// with this message until the session is recovered from disk.
     wedged: Option<String>,
+    /// Shared latency/wedge instrumentation (see [`DurableMetrics`]).
+    pub metrics: Arc<DurableMetrics>,
 }
 
 fn io_err(what: &str, path: &Path, e: std::io::Error) -> ServerError {
@@ -283,7 +309,14 @@ impl Durability {
             sealed_bytes: 0,
             recovery: None,
             wedged: None,
+            metrics: Arc::new(DurableMetrics::default()),
         })
+    }
+
+    /// Marks the handle wedged and counts the event.
+    fn wedge(&mut self, why: String) {
+        self.metrics.wedge_events.inc();
+        self.wedged = Some(why);
     }
 
     /// Appends one batch of already-sequenced op lines, write-ahead. On
@@ -297,6 +330,7 @@ impl Durability {
                 log_path(&self.dir).display()
             )));
         }
+        let started = Instant::now();
         let before = self.log_bytes;
         let mut buf = String::new();
         let mut logical = 0u64;
@@ -307,11 +341,18 @@ impl Durability {
         let result = faulty_write("wal.append.write", &mut self.log, buf.as_bytes()).and_then(
             |()| match self.fsync {
                 FsyncPolicy::Always => {
-                    failpoints::check("wal.append.fsync").and_then(|_| self.log.sync_data())
+                    let sync_started = Instant::now();
+                    let synced =
+                        failpoints::check("wal.append.fsync").and_then(|_| self.log.sync_data());
+                    self.metrics
+                        .fsync_us
+                        .record_duration(sync_started.elapsed());
+                    synced
                 }
                 FsyncPolicy::Never => Ok(()),
             },
         );
+        self.metrics.append_us.record_duration(started.elapsed());
         match result {
             Ok(()) => {
                 self.log_bytes += buf.len() as u64;
@@ -331,7 +372,7 @@ impl Durability {
                 let rollback =
                     failpoints::check("wal.append.truncate").and_then(|_| self.log.set_len(before));
                 if let Err(trunc) = rollback {
-                    self.wedged = Some(format!("append failed ({e}), rollback failed ({trunc})"));
+                    self.wedge(format!("append failed ({e}), rollback failed ({trunc})"));
                 }
                 Err(io_err("append to", &log_path(&self.dir), e))
             }
@@ -379,7 +420,7 @@ impl Durability {
                 // be opened. Appending through the old handle would grow
                 // the *sealed* file past the seq in its name — compaction
                 // could then unlink acknowledged records — so wedge.
-                self.wedged = Some(format!("log rotation stranded the active log ({e})"));
+                self.wedge(format!("log rotation stranded the active log ({e})"));
             }
         }
     }
@@ -387,6 +428,7 @@ impl Durability {
     /// Writes snapshot text for `seq` atomically and records it as the
     /// newest. Returns the final path.
     pub fn write_snapshot(&mut self, seq: u64, text: &str) -> Result<PathBuf, ServerError> {
+        let started = Instant::now();
         let path = snapshot_path(&self.dir, seq);
         let tmp = path.with_extension("tmp");
         let fsync = self.fsync;
@@ -413,6 +455,7 @@ impl Durability {
             // only scans `*.snap`, but the leftover would linger forever.
             let _ = std::fs::remove_file(&tmp);
         }
+        self.metrics.snapshot_us.record_duration(started.elapsed());
         result.map_err(|e| io_err("write snapshot", &path, e))?;
         self.snapshot_seq = self.snapshot_seq.max(seq);
         self.snapshots_written += 1;
@@ -427,6 +470,13 @@ impl Durability {
     /// records as dropped only in aggregate byte terms — they are not
     /// re-parsed).
     pub fn compact(&mut self) -> Result<(u64, u64), ServerError> {
+        let started = Instant::now();
+        let result = self.compact_inner();
+        self.metrics.compact_us.record_duration(started.elapsed());
+        result
+    }
+
+    fn compact_inner(&mut self) -> Result<(u64, u64), ServerError> {
         let cutoff = self.snapshot_seq;
         // Retire sealed segments first: they are immutable, so "compacting"
         // one is a single unlink — no stop-the-world rewrite of old data.
@@ -490,8 +540,7 @@ impl Durability {
                         self.log = log;
                     }
                     Err(reopen) => {
-                        self.wedged =
-                            Some(format!("compact failed ({e}), reopen failed ({reopen})"));
+                        self.wedge(format!("compact failed ({e}), reopen failed ({reopen})"));
                     }
                 }
                 Err(io_err("compact", &path, e))
@@ -654,6 +703,7 @@ pub fn recover_dir(cfg: &DurabilityConfig, name: &str) -> Result<Recovered, Serv
         sealed_bytes,
         recovery: None,
         wedged: None,
+        metrics: Arc::new(DurableMetrics::default()),
     };
     Ok(Recovered {
         snapshot,

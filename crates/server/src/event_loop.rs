@@ -237,10 +237,7 @@ impl EventThread {
             };
             match listener.accept() {
                 Ok((stream, _)) => {
-                    self.shared
-                        .counters
-                        .connections
-                        .fetch_add(1, Ordering::SeqCst);
+                    self.shared.counters.connections.inc();
                     if self.shared.stop.load(Ordering::SeqCst) {
                         continue; // drain mode: accept-and-close
                     }
@@ -285,10 +282,7 @@ impl EventThread {
         {
             return;
         }
-        self.shared
-            .counters
-            .open_connections
-            .fetch_add(1, Ordering::SeqCst);
+        self.shared.counters.open_connections.inc();
         conns.insert(token, Conn::new(stream, crate::MAX_REQUEST_BYTES));
     }
 
@@ -321,6 +315,7 @@ impl EventThread {
                             Ok(Some(line)) => {
                                 let line = line.trim();
                                 if !line.is_empty() {
+                                    self.shared.counters.frames.inc();
                                     conn.pending.push_back(line.to_string());
                                 }
                             }
@@ -363,10 +358,7 @@ impl EventThread {
             || (stopping && finished_out && !conn.inflight);
         if remove {
             self.poll.deregister(&conn.stream).ok();
-            self.shared
-                .counters
-                .open_connections
-                .fetch_sub(1, Ordering::SeqCst);
+            self.shared.counters.open_connections.dec();
             return; // dropping `conn` closes the socket
         }
         let mut desired = Interest::NONE;
@@ -388,10 +380,7 @@ impl EventThread {
                 .is_err()
             {
                 self.poll.deregister(&conn.stream).ok();
-                self.shared
-                    .counters
-                    .open_connections
-                    .fetch_sub(1, Ordering::SeqCst);
+                self.shared.counters.open_connections.dec();
                 return;
             }
             conn.interest = desired;
@@ -476,8 +465,8 @@ impl EventThread {
     /// Sheds one request: a well-formed `overloaded` response on a
     /// connection that stays open.
     fn shed(&self, conn: &mut Conn) {
-        self.shared.counters.requests.fetch_add(1, Ordering::SeqCst);
-        self.shared.admission.shed.fetch_add(1, Ordering::SeqCst);
+        self.shared.counters.requests.inc();
+        self.shared.admission.shed.inc();
         let response = ServerError::Overloaded {
             what: "request queue is full".to_string(),
             retry_after_ms: self.shared.admission.retry_after_ms,
@@ -552,7 +541,12 @@ impl EventThread {
                     conn.write_blocked_since = None;
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    conn.write_blocked_since.get_or_insert_with(Instant::now);
+                    if conn.write_blocked_since.is_none() {
+                        // Count stall *episodes*, not retries: one per
+                        // transition from writable to blocked.
+                        self.shared.counters.write_stalls.inc();
+                        conn.write_blocked_since = Some(Instant::now());
+                    }
                     break;
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -586,14 +580,8 @@ impl EventThread {
             .collect();
         for token in expired {
             if let Some(conn) = conns.remove(&token) {
-                self.shared
-                    .counters
-                    .slow_client_drops
-                    .fetch_add(1, Ordering::SeqCst);
-                self.shared
-                    .counters
-                    .open_connections
-                    .fetch_sub(1, Ordering::SeqCst);
+                self.shared.counters.slow_client_drops.inc();
+                self.shared.counters.open_connections.dec();
                 self.poll.deregister(&conn.stream).ok();
             }
         }

@@ -119,6 +119,14 @@ pub struct ServerConfig {
     /// (slow-client protection: a stalled reader cannot pin buffers
     /// forever, and never stalls other connections).
     pub write_timeout_ms: u64,
+    /// When set, a plaintext Prometheus exposition listener binds here:
+    /// each accepted connection receives one full scrape of the metric
+    /// registry and is closed. Kept off the request port so scraping
+    /// works even when the protocol path is saturated.
+    pub metrics_addr: Option<String>,
+    /// Requests slower than this (milliseconds) log a structured line to
+    /// stderr with their per-stage span breakdown; 0 disables the log.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -139,14 +147,16 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             read_poll_ms: 250,
             write_timeout_ms: 5000,
+            metrics_addr: None,
+            slow_request_ms: 0,
         }
     }
 }
 
 pub(crate) struct Shared {
     pub(crate) registry: Registry,
-    pub(crate) counters: ServerCounters,
-    pub(crate) admission: Admission,
+    pub(crate) counters: Arc<ServerCounters>,
+    pub(crate) admission: Arc<Admission>,
     pub(crate) stop: AtomicBool,
     addr: SocketAddr,
     pub(crate) read_poll: Duration,
@@ -162,6 +172,7 @@ pub(crate) struct Shared {
 /// A handle to a running server: its bound address and a way to stop it.
 pub struct ServerHandle {
     shared: Arc<Shared>,
+    metrics_addr: Option<SocketAddr>,
     front: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -169,6 +180,12 @@ impl ServerHandle {
     /// The address the listener actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The address the Prometheus exposition listener bound, when
+    /// `metrics_addr` was configured (resolves port 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// The session registry (for in-process inspection in tests/benches).
@@ -200,7 +217,7 @@ impl ServerHandle {
 
     /// Requests served so far (including error responses).
     pub fn requests_served(&self) -> u64 {
-        self.shared.counters.requests.load(Ordering::SeqCst)
+        self.shared.counters.requests.get()
     }
 }
 
@@ -248,14 +265,16 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         mio::Interest::READABLE,
     )?;
 
+    let counters = Arc::new(ServerCounters::default());
+    let admission = Arc::new(Admission::new(
+        config.max_inflight,
+        config.session_inflight,
+        config.retry_after_ms,
+    ));
     let shared = Arc::new(Shared {
         registry,
-        counters: ServerCounters::default(),
-        admission: Admission::new(
-            config.max_inflight,
-            config.session_inflight,
-            config.retry_after_ms,
-        ),
+        counters: Arc::clone(&counters),
+        admission: Arc::clone(&admission),
         stop: AtomicBool::new(false),
         addr,
         read_poll: Duration::from_millis(config.read_poll_ms.max(1)),
@@ -267,6 +286,24 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         wakers,
     });
     let pool = Arc::new(pool::WorkerPool::new("inconsist-worker", config.workers));
+    shared.registry.set_slow_request_ms(config.slow_request_ms);
+    // Front-end metrics are views over the very cells the event loop and
+    // admission gate mutate: the collector re-reads them at snapshot
+    // time, so `stats` and `metrics` cannot disagree. Captured by Arc
+    // (not through `Shared`) so the registry->collector edge does not
+    // cycle back into the shared state.
+    {
+        let counters = Arc::clone(&counters);
+        let admission = Arc::clone(&admission);
+        let backlog = pool.backlog_gauge();
+        shared.registry.obs().register_collector(move |out| {
+            router::collect_server_samples(&counters, &admission, &backlog, out);
+        });
+    }
+    let metrics_addr = match &config.metrics_addr {
+        Some(addr) => Some(spawn_metrics_listener(addr, Arc::clone(&shared))?),
+        None => None,
+    };
 
     // Connection hand-off channels: thread 0 accepts and deals sockets
     // round-robin to every event thread (itself included).
@@ -345,8 +382,42 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         })?;
     Ok(ServerHandle {
         shared,
+        metrics_addr,
         front: Mutex::new(Some(front)),
     })
+}
+
+/// Binds the plaintext Prometheus exposition listener: every accepted
+/// connection gets one full scrape and is closed (curl-/nc-friendly; no
+/// HTTP framing, by design — the exposition format itself is plain text).
+/// Nonblocking accept polled against the stop flag, so the listener dies
+/// with the server instead of pinning the process.
+fn spawn_metrics_listener(addr: &str, shared: Arc<Shared>) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    eprintln!("metrics listener on {bound}");
+    std::thread::Builder::new()
+        .name("inconsist-metrics".to_string())
+        .spawn(move || {
+            while !shared.stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        let text = inconsist_obs::prometheus(&shared.registry.metrics_samples());
+                        let _ = stream.write_all(text.as_bytes());
+                        // Dropping the stream closes the scrape.
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::Interrupted =>
+                    {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+        })?;
+    Ok(bound)
 }
 
 /// Hard cap on one request line; a connection exceeding it is dropped

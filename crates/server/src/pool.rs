@@ -9,8 +9,8 @@
 //! worker drains what it already received and exits, and
 //! [`WorkerPool::join`] waits for them.
 
+use inconsist_obs::Gauge;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,8 +23,9 @@ pub struct WorkerPool {
     workers: Vec<JoinHandle<()>>,
     /// Jobs accepted but not yet started (connections waiting for a
     /// worker). Incremented at enqueue, decremented when a worker picks
-    /// the job up.
-    queued: Arc<AtomicU64>,
+    /// the job up; the gauge's high-water mark is the deepest backlog
+    /// the pool has seen.
+    queued: Arc<Gauge>,
 }
 
 impl WorkerPool {
@@ -32,7 +33,7 @@ impl WorkerPool {
     pub fn new(name: &str, workers: usize) -> WorkerPool {
         let (tx, rx) = channel::<Job>();
         let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
-        let queued = Arc::new(AtomicU64::new(0));
+        let queued = Arc::new(Gauge::new());
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
@@ -46,7 +47,7 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => break, // sender dropped: shutdown
                         };
-                        queued.fetch_sub(1, Ordering::SeqCst);
+                        queued.dec();
                         job();
                     })
                     .expect("spawn worker thread")
@@ -61,18 +62,24 @@ impl WorkerPool {
 
     /// Jobs enqueued but not yet picked up by a worker.
     pub fn queued(&self) -> u64 {
-        self.queued.load(Ordering::SeqCst)
+        self.queued.get()
+    }
+
+    /// The backlog gauge itself, for wiring into a metric registry
+    /// (current depth plus its high-water mark).
+    pub fn backlog_gauge(&self) -> Arc<Gauge> {
+        Arc::clone(&self.queued)
     }
 
     /// Enqueues a job; returns `false` after [`join`](Self::join).
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
         match &self.tx {
             Some(tx) => {
-                self.queued.fetch_add(1, Ordering::SeqCst);
+                self.queued.inc();
                 if tx.send(Box::new(job)).is_ok() {
                     true
                 } else {
-                    self.queued.fetch_sub(1, Ordering::SeqCst);
+                    self.queued.dec();
                     false
                 }
             }

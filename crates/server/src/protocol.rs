@@ -14,6 +14,7 @@
 //! | `tuple_measures` | `session`, `k?`, `deadline_ms?` | the `k` (default 10) most inconsistent tuples with their per-tuple responsibility scores (`cbm`/`cim`/`pim`/`rim`), ranked `(cbm, cim, rim) desc` with tuple-id tie-break; same deadline semantics as `measure` (lock-blocked reads degrade to the last served ranking tagged `stale:true`) |
 //! | `set_options` | `session`, `violation_limit?`, `mis_budget?`, `vc_budget?` | override the session's measure budgets/caps; omitted fields keep their value, `violation_limit` accepts a number or `null`/`"none"` to lift the cap; durable sessions persist the new options through recovery |
 //! | `stats` | `session?` | read/op counters, cache hit rates, durability/recovery stats |
+//! | `metrics` | `format?` | full metric registry snapshot; `"format":"prom"` (or `"prom":true`) returns Prometheus text exposition instead of JSON |
 //! | `snapshot` | `session` | write a point-in-time snapshot (durable sessions only) |
 //! | `compact` | `session` | drop log records covered by the newest snapshot |
 //! | `shutdown` | — | stop accepting and drain |
@@ -119,6 +120,11 @@ pub enum Request {
         /// Session name; `None` reports every session plus server totals.
         session: Option<String>,
     },
+    /// Full metric registry snapshot (counters, gauges, histograms).
+    Metrics {
+        /// Return Prometheus text exposition instead of structured JSON.
+        prom: bool,
+    },
     /// Write a point-in-time snapshot of a durable session.
     Snapshot {
         /// Session name.
@@ -133,6 +139,49 @@ pub enum Request {
     Shutdown,
     /// Close this connection.
     Quit,
+}
+
+impl Request {
+    /// The request's command name, used to label per-kind metrics
+    /// (`server_requests_total{kind=...}`, `server_request_us{kind=...}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Create { .. } => "create",
+            Request::Drop { .. } => "drop",
+            Request::Sessions => "sessions",
+            Request::Op { .. } => "op",
+            Request::Measure { .. } => "measure",
+            Request::TupleMeasures { .. } => "tuple_measures",
+            Request::SetOptions { .. } => "set_options",
+            Request::Stats { .. } => "stats",
+            Request::Metrics { .. } => "metrics",
+            Request::Snapshot { .. } => "snapshot",
+            Request::Compact { .. } => "compact",
+            Request::Shutdown => "shutdown",
+            Request::Quit => "quit",
+        }
+    }
+
+    /// The session the request targets, when it targets one.
+    pub fn session_name(&self) -> Option<&str> {
+        match self {
+            Request::Create { session, .. }
+            | Request::Drop { session }
+            | Request::Op { session, .. }
+            | Request::Measure { session, .. }
+            | Request::TupleMeasures { session, .. }
+            | Request::SetOptions { session, .. }
+            | Request::Snapshot { session }
+            | Request::Compact { session } => Some(session),
+            Request::Stats { session } => session.as_deref(),
+            Request::Ping
+            | Request::Sessions
+            | Request::Metrics { .. }
+            | Request::Shutdown
+            | Request::Quit => None,
+        }
+    }
 }
 
 /// An inline-or-path payload of a `create` request.
@@ -345,6 +394,24 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
                 .and_then(Json::as_str)
                 .map(str::to_string),
         }),
+        "metrics" => {
+            let prom = match (json.get("format"), json.get("prom")) {
+                (Some(v), _) => match v.as_str() {
+                    Some("prom") | Some("prometheus") => true,
+                    Some("json") => false,
+                    _ => {
+                        return Err(ServerError::Protocol(
+                            "`format` must be `json`, `prom`, or `prometheus`".into(),
+                        ))
+                    }
+                },
+                (None, Some(v)) => v
+                    .as_bool()
+                    .ok_or_else(|| ServerError::Protocol("`prom` must be a boolean".into()))?,
+                (None, None) => false,
+            };
+            Ok(Request::Metrics { prom })
+        }
         "snapshot" => Ok(Request::Snapshot {
             session: required_str(&json, "session")?,
         }),
@@ -439,6 +506,34 @@ mod tests {
                 k: 3,
                 deadline_ms: Some(250),
             }
+        );
+    }
+
+    #[test]
+    fn parses_metrics_formats() {
+        assert_eq!(
+            parse_request("{\"cmd\":\"metrics\"}").unwrap(),
+            Request::Metrics { prom: false }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"metrics\",\"format\":\"prom\"}").unwrap(),
+            Request::Metrics { prom: true }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"metrics\",\"prom\":true}").unwrap(),
+            Request::Metrics { prom: true }
+        );
+        assert!(parse_request("{\"cmd\":\"metrics\",\"format\":\"xml\"}").is_err());
+        assert!(parse_request("{\"cmd\":\"metrics\",\"prom\":\"yes\"}").is_err());
+        // kind()/session_name() cover every variant.
+        assert_eq!(Request::Metrics { prom: false }.kind(), "metrics");
+        assert_eq!(Request::Ping.session_name(), None);
+        assert_eq!(
+            Request::Drop {
+                session: "s".into()
+            }
+            .session_name(),
+            Some("s")
         );
     }
 

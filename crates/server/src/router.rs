@@ -21,7 +21,8 @@ use crate::error::ServerError;
 use crate::protocol::{parse_request, Request};
 use crate::session::Registry;
 use crate::wire::Json;
-use std::sync::atomic::{AtomicU64, Ordering};
+use inconsist_obs::{Counter, Gauge, Sample, Value};
+use std::time::Instant;
 
 /// What the connection loop should do after writing the response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,18 +35,25 @@ pub enum Control {
     Shutdown,
 }
 
-/// Server-wide counters shared by every connection.
+/// Server-wide counters shared by every connection. Built from
+/// `inconsist-obs` cells: `stats` and the metrics collector read the
+/// same atomics, so the two endpoints agree by construction.
 #[derive(Debug, Default)]
 pub struct ServerCounters {
     /// Requests served (including errors).
-    pub requests: AtomicU64,
+    pub requests: Counter,
     /// Connections accepted.
-    pub connections: AtomicU64,
-    /// Connections currently open (gauge).
-    pub open_connections: AtomicU64,
+    pub connections: Counter,
+    /// Connections currently open.
+    pub open_connections: Gauge,
     /// Connections dropped because their peer read too slowly (a write
     /// timed out or failed with a full buffer).
-    pub slow_client_drops: AtomicU64,
+    pub slow_client_drops: Counter,
+    /// Request lines framed off sockets by the event loop.
+    pub frames: Counter,
+    /// Times a response write hit `WouldBlock` and parked the connection
+    /// on writability (a slow or stalled client).
+    pub write_stalls: Counter,
 }
 
 /// Server-wide admission state: limits plus the global in-flight gauge.
@@ -59,12 +67,11 @@ pub struct Admission {
     pub session_inflight: u64,
     /// Backoff hint attached to every shed response.
     pub retry_after_ms: u64,
-    /// Work-carrying requests currently executing.
-    pub inflight: AtomicU64,
-    /// High-water mark of `inflight`.
-    pub inflight_high_water: AtomicU64,
+    /// Work-carrying requests currently executing (high-water on the
+    /// gauge).
+    pub inflight: Gauge,
     /// Requests shed by the *global* bound.
-    pub shed: AtomicU64,
+    pub shed: Counter,
 }
 
 impl Default for Admission {
@@ -80,48 +87,89 @@ impl Admission {
             max_inflight,
             session_inflight,
             retry_after_ms,
-            inflight: AtomicU64::new(0),
-            inflight_high_water: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
+            inflight: Gauge::new(),
+            shed: Counter::new(),
         }
     }
 
-    /// Acquires a global slot (strict CAS, never exceeds the bound) or
-    /// sheds with `kind:"overloaded"`.
+    /// Acquires a global slot ([`Gauge::try_inc_below`] is a strict CAS,
+    /// so the bound is never exceeded) or sheds with `kind:"overloaded"`.
     fn acquire(&self) -> Result<AdmissionGuard<'_>, ServerError> {
-        let mut cur = self.inflight.load(Ordering::SeqCst);
-        loop {
-            if self.max_inflight != 0 && cur >= self.max_inflight {
-                self.shed.fetch_add(1, Ordering::SeqCst);
-                return Err(ServerError::Overloaded {
+        match self.inflight.try_inc_below(self.max_inflight) {
+            Ok(_) => Ok(AdmissionGuard(&self.inflight)),
+            Err(_) => {
+                self.shed.inc();
+                Err(ServerError::Overloaded {
                     what: format!(
                         "server is at its global in-flight limit ({})",
                         self.max_inflight
                     ),
                     retry_after_ms: self.retry_after_ms,
-                });
-            }
-            match self
-                .inflight
-                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
-            {
-                Ok(_) => break,
-                Err(now) => cur = now,
+                })
             }
         }
-        self.inflight_high_water
-            .fetch_max(cur + 1, Ordering::SeqCst);
-        Ok(AdmissionGuard(&self.inflight))
     }
 }
 
 /// RAII release of one global admission slot.
-struct AdmissionGuard<'a>(&'a AtomicU64);
+struct AdmissionGuard<'a>(&'a Gauge);
 
 impl Drop for AdmissionGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.dec();
     }
+}
+
+/// Emits the front-end counters as metric samples: the event loop's
+/// connection/framing cells, the admission gate, and the worker-pool
+/// backlog gauge. Registered as a collector on the server's metric
+/// registry, so every snapshot re-reads the live atomics.
+pub(crate) fn collect_server_samples(
+    counters: &ServerCounters,
+    admission: &Admission,
+    backlog: &Gauge,
+    out: &mut Vec<Sample>,
+) {
+    let gauge = |g: &Gauge| Value::Gauge {
+        value: g.get(),
+        high_water: g.high_water(),
+    };
+    out.push(Sample {
+        name: "server_requests_handled_total".to_string(),
+        value: Value::Counter(counters.requests.get()),
+    });
+    out.push(Sample {
+        name: "server_connections_total".to_string(),
+        value: Value::Counter(counters.connections.get()),
+    });
+    out.push(Sample {
+        name: "server_open_connections".to_string(),
+        value: gauge(&counters.open_connections),
+    });
+    out.push(Sample {
+        name: "server_frames_total".to_string(),
+        value: Value::Counter(counters.frames.get()),
+    });
+    out.push(Sample {
+        name: "server_write_stalls_total".to_string(),
+        value: Value::Counter(counters.write_stalls.get()),
+    });
+    out.push(Sample {
+        name: "server_slow_client_drops_total".to_string(),
+        value: Value::Counter(counters.slow_client_drops.get()),
+    });
+    out.push(Sample {
+        name: "admission_inflight".to_string(),
+        value: gauge(&admission.inflight),
+    });
+    out.push(Sample {
+        name: "admission_shed_total".to_string(),
+        value: Value::Counter(admission.shed.get()),
+    });
+    out.push(Sample {
+        name: "pool_backlog".to_string(),
+        value: gauge(backlog),
+    });
 }
 
 /// A unit of routable work: either a raw request line (parse cost paid by
@@ -157,7 +205,10 @@ pub(crate) enum Class {
 pub(crate) fn classify(request: &Request) -> Class {
     match request {
         Request::Ping | Request::Quit | Request::Shutdown | Request::Sessions => Class::Inline,
-        Request::Stats { .. } | Request::Drop { .. } => Class::NeverShed,
+        // `metrics` snapshots per-session index stats (try_read) and the
+        // registry mutex — pool work, but never shed: like `stats`, it is
+        // how an operator sees an overloaded server.
+        Request::Stats { .. } | Request::Metrics { .. } | Request::Drop { .. } => Class::NeverShed,
         _ => Class::Work,
     }
 }
@@ -170,7 +221,7 @@ pub(crate) fn respond(
     admission: &Admission,
     work: Work,
 ) -> (String, Control) {
-    counters.requests.fetch_add(1, Ordering::SeqCst);
+    counters.requests.inc();
     let parsed = match work {
         Work::Parsed(request) => Ok(request),
         Work::Raw(line) => parse_request(&line),
@@ -183,13 +234,68 @@ pub(crate) fn respond(
                 Request::Quit => Control::Close,
                 _ => Control::Continue,
             };
-            match dispatch(registry, counters, admission, request) {
+            let kind = request.kind();
+            let session = request.session_name().unwrap_or("").to_string();
+            inconsist_obs::trace_begin();
+            let started = Instant::now();
+            let result = dispatch(registry, counters, admission, request);
+            let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            let stages = inconsist_obs::trace_take();
+            registry.observe_request(
+                kind,
+                &session,
+                response_seq(&result),
+                latency_us,
+                outcome_tag(&result),
+                stages,
+            );
+            match result {
                 Ok(json) => (json, control),
                 Err(e) => (e.to_json(), control),
             }
         }
     };
     (response.to_string(), control)
+}
+
+/// The event-ring outcome tag for a handled request: `ok`, a degraded
+/// tag the response carries (`deduped` / `stale` / `partial`), `shed`
+/// for an admission refusal, or the error kind.
+fn outcome_tag(result: &Result<Json, ServerError>) -> &'static str {
+    match result {
+        Ok(json) => {
+            for tag in ["deduped", "stale", "partial"] {
+                if json.get(tag).and_then(Json::as_bool) == Some(true) {
+                    return match tag {
+                        "deduped" => "deduped",
+                        "stale" => "stale",
+                        _ => "partial",
+                    };
+                }
+            }
+            "ok"
+        }
+        Err(e) => match e.kind() {
+            "overloaded" => "shed",
+            kind => kind,
+        },
+    }
+}
+
+/// Best-effort sequence number for the event ring: a top-level `seq`
+/// (snapshot/compact) or the last applied op's.
+fn response_seq(result: &Result<Json, ServerError>) -> u64 {
+    let Ok(json) = result else { return 0 };
+    if let Some(seq) = json.get("seq").and_then(Json::as_f64) {
+        return seq as u64;
+    }
+    json.get("ops")
+        .and_then(Json::as_arr)
+        .and_then(<[Json]>::last)
+        .and_then(|op| op.get("seq"))
+        .and_then(Json::as_f64)
+        .map(|s| s as u64)
+        .unwrap_or(0)
 }
 
 /// Routes one request line to a response line (no trailing newline) plus
@@ -205,6 +311,47 @@ pub fn route_line(
 
 fn ok() -> Json {
     Json::obj([("ok", Json::Bool(true))])
+}
+
+/// Renders a metric snapshot as the `metrics` JSON response body: one
+/// key per (possibly labeled) metric name. Counters are plain numbers,
+/// gauges carry their high-water mark, histograms report count/sum plus
+/// the log2-bucket p50/p95/p99 — the same numbers the Prometheus
+/// exposition derives from the same [`Sample`] vector.
+fn samples_json(samples: &[Sample]) -> Json {
+    Json::Obj(
+        samples
+            .iter()
+            .map(|s| {
+                let value = match &s.value {
+                    Value::Counter(v) => Json::Num(*v as f64),
+                    Value::Gauge { value, high_water } => Json::obj([
+                        ("value", Json::Num(*value as f64)),
+                        ("high_water", Json::Num(*high_water as f64)),
+                    ]),
+                    Value::Histogram(h) => Json::obj([
+                        ("count", Json::Num(h.count() as f64)),
+                        ("sum", Json::Num(h.sum as f64)),
+                        ("p50", Json::Num(h.quantile(0.50) as f64)),
+                        ("p95", Json::Num(h.quantile(0.95) as f64)),
+                        ("p99", Json::Num(h.quantile(0.99) as f64)),
+                        (
+                            "buckets",
+                            Json::Arr(
+                                h.nonzero()
+                                    .into_iter()
+                                    .map(|(le, n)| {
+                                        Json::Arr(vec![Json::Num(le as f64), Json::Num(n as f64)])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                };
+                (s.name.clone(), value)
+            })
+            .collect(),
+    )
 }
 
 fn dispatch(
@@ -302,6 +449,21 @@ fn dispatch(
             let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
             s.set_options(violation_limit, mis_budget, vc_budget)
         }
+        Request::Metrics { prom } => {
+            let samples = registry.metrics_samples();
+            if prom {
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("format", Json::str("prometheus")),
+                    ("text", Json::str(inconsist_obs::prometheus(&samples))),
+                ]))
+            } else {
+                Ok(Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("metrics", samples_json(&samples)),
+                ]))
+            }
+        }
         Request::Stats { session } => match session {
             Some(name) => {
                 let mut stats = registry.get(&name)?.stats();
@@ -315,21 +477,20 @@ fn dispatch(
                 (
                     "server",
                     Json::obj([
-                        (
-                            "requests",
-                            Json::Num(counters.requests.load(Ordering::SeqCst) as f64),
-                        ),
-                        (
-                            "connections",
-                            Json::Num(counters.connections.load(Ordering::SeqCst) as f64),
-                        ),
+                        ("requests", Json::Num(counters.requests.get() as f64)),
+                        ("connections", Json::Num(counters.connections.get() as f64)),
                         (
                             "open_connections",
-                            Json::Num(counters.open_connections.load(Ordering::SeqCst) as f64),
+                            Json::Num(counters.open_connections.get() as f64),
                         ),
                         (
                             "slow_client_drops",
-                            Json::Num(counters.slow_client_drops.load(Ordering::SeqCst) as f64),
+                            Json::Num(counters.slow_client_drops.get() as f64),
+                        ),
+                        ("frames", Json::Num(counters.frames.get() as f64)),
+                        (
+                            "write_stalls",
+                            Json::Num(counters.write_stalls.get() as f64),
                         ),
                         (
                             "admission",
@@ -339,20 +500,12 @@ fn dispatch(
                                     "session_inflight",
                                     Json::Num(admission.session_inflight as f64),
                                 ),
-                                (
-                                    "inflight",
-                                    Json::Num(admission.inflight.load(Ordering::SeqCst) as f64),
-                                ),
+                                ("inflight", Json::Num(admission.inflight.get() as f64)),
                                 (
                                     "inflight_high_water",
-                                    Json::Num(
-                                        admission.inflight_high_water.load(Ordering::SeqCst) as f64
-                                    ),
+                                    Json::Num(admission.inflight.high_water() as f64),
                                 ),
-                                (
-                                    "shed",
-                                    Json::Num(admission.shed.load(Ordering::SeqCst) as f64),
-                                ),
+                                ("shed", Json::Num(admission.shed.get() as f64)),
                             ]),
                         ),
                     ]),

@@ -9,9 +9,9 @@
 //!   the index's `try_*` cache-only accessors. When every touched
 //!   component is clean this succeeds, so measure reads from many
 //!   connections run concurrently — the shared path never blocks another
-//!   reader. A counter pair ([`SessionCounters::shared_reads`] /
-//!   [`SessionCounters::max_concurrent_shared_reads`]) witnesses both the
-//!   hit rate and the actual overlap.
+//!   reader. A counter/gauge pair ([`SessionCounters::shared_reads`] /
+//!   the high-water mark of [`SessionCounters::reads_in_flight`])
+//!   witnesses both the hit rate and the actual overlap.
 //! * on a cache miss (some component was dirtied since the last warm
 //!   read) the reader upgrades: it drops the read lock, takes the
 //!   **write** lock, [`IncrementalIndex::warm`]s the precise dirty set
@@ -53,6 +53,7 @@ use inconsist_formats::csv::load_csv;
 use inconsist_formats::dcfile::parse_dc_file;
 use inconsist_formats::durable::{write_snapshot, SnapshotMeta};
 use inconsist_formats::opsfile::{display_op, op_to_line, parse_ops_file};
+use inconsist_obs::{Counter, Event, EventRing, Gauge, Sample, Value};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -62,43 +63,49 @@ use std::time::{Duration, Instant};
 /// Most recent op tokens remembered for idempotent-retry dedup.
 const TOKEN_CACHE_CAP: usize = 1024;
 
-/// Lock-free per-session instrumentation.
+/// Lock-free per-session instrumentation, built from `inconsist-obs`
+/// primitives. These cells are the *single* source of truth: the `stats`
+/// request reads them directly and the registry's metrics collector
+/// emits them as samples, so the two exposition paths can never
+/// disagree. The old hand-maintained `max_concurrent_shared_reads` /
+/// `inflight_high_water` fields are gone — gauges carry their own
+/// fetch-max high-water marks.
 #[derive(Debug, Default)]
 pub struct SessionCounters {
     /// Operations applied (no-ops excluded).
-    pub ops_applied: AtomicU64,
+    pub ops_applied: Counter,
     /// Next op sequence number (equals total ops attempted).
-    pub op_seq: AtomicU64,
-    /// Measure requests answered entirely under the read lock.
-    pub shared_reads: AtomicU64,
-    /// Measure requests that had to upgrade to the write lock.
-    pub exclusive_reads: AtomicU64,
-    /// Readers currently inside the shared critical section.
-    pub reads_in_flight: AtomicU64,
-    /// High-water mark of simultaneous shared readers — `> 1` proves
-    /// clean-component reads did not serialize behind each other.
-    pub max_concurrent_shared_reads: AtomicU64,
-    /// Requests currently admitted against this session.
-    pub inflight: AtomicU64,
-    /// High-water mark of `inflight`.
-    pub inflight_high_water: AtomicU64,
+    pub op_seq: Gauge,
+    /// Measure requests answered entirely under the read lock (the
+    /// cache-hit rung of the read ladder).
+    pub shared_reads: Counter,
+    /// Measure requests that had to upgrade to the write lock (the warm
+    /// rung).
+    pub exclusive_reads: Counter,
+    /// Readers currently inside the shared critical section; the
+    /// high-water mark (`> 1`) proves clean-component reads did not
+    /// serialize behind each other.
+    pub reads_in_flight: Gauge,
+    /// Requests currently admitted against this session (high-water on
+    /// the gauge).
+    pub inflight: Gauge,
     /// Requests shed by the per-session admission bound.
-    pub shed: AtomicU64,
+    pub shed: Counter,
     /// Deadline reads answered from the last-served cache (`stale:true`).
-    pub stale_reads: AtomicU64,
+    pub stale_reads: Counter,
     /// Deadline reads answered with bounds (`partial:true`).
-    pub partial_reads: AtomicU64,
+    pub partial_reads: Counter,
     /// Op batches answered from the token cache instead of re-applied.
-    pub deduped_ops: AtomicU64,
+    pub deduped_ops: Counter,
 }
 
 /// RAII witness of one admitted request; dropping it releases the slot.
 #[derive(Debug)]
-pub struct InflightGuard<'a>(&'a AtomicU64);
+pub struct InflightGuard<'a>(&'a Gauge);
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.dec();
     }
 }
 
@@ -150,6 +157,10 @@ pub struct Session {
     /// Write-ahead log + snapshot store; `None` = in-memory only.
     /// Lock order: index write/read lock first, then this mutex.
     durable: Option<Mutex<Durability>>,
+    /// Lock-free view of the durability latency histograms (shared with
+    /// the `Durability` behind the mutex), so `stats` and the metrics
+    /// collector read them without contending for the I/O path.
+    durable_metrics: Option<Arc<crate::durable::DurableMetrics>>,
     /// Stale-read fallback for deadline-bounded reads. Lock order: taken
     /// only while holding no index lock, or after the index lock.
     last_served: Mutex<LastServed>,
@@ -211,6 +222,7 @@ impl Session {
             }
             None => None,
         };
+        let durable_metrics = durable.as_ref().map(|d| Arc::clone(&d.lock().metrics));
         Ok(Session {
             name: name.to_string(),
             rel: loaded.rel,
@@ -220,6 +232,7 @@ impl Session {
             index: RwLock::new(index),
             counters: SessionCounters::default(),
             durable,
+            durable_metrics,
             last_served: Mutex::new(LastServed::default()),
             tokens: Mutex::new(TokenCache::default()),
         })
@@ -274,10 +287,8 @@ impl Session {
             last_seq = *seq;
         }
         let counters = SessionCounters::default();
-        counters.op_seq.store(last_seq, Ordering::SeqCst);
-        counters
-            .ops_applied
-            .store(snap.meta.applied + replay_applied, Ordering::SeqCst);
+        counters.op_seq.set(last_seq);
+        counters.ops_applied.add(snap.meta.applied + replay_applied);
         let mut durability = recovered.durability;
         durability.recovery = Some(RecoveryStats {
             snapshot_seq: snap.meta.seq,
@@ -286,6 +297,7 @@ impl Session {
             options_changed,
             recover_ms: started.elapsed().as_secs_f64() * 1e3,
         });
+        let durable_metrics = Some(Arc::clone(&durability.metrics));
         Ok(Session {
             name: name.to_string(),
             rel: snap.rel,
@@ -295,6 +307,7 @@ impl Session {
             index: RwLock::new(index),
             counters,
             durable: Some(Mutex::new(durability)),
+            durable_metrics,
             last_served: Mutex::new(LastServed::default()),
             tokens: Mutex::new(TokenCache::default()),
         })
@@ -348,7 +361,7 @@ impl Session {
         let options = *self.options.read();
         let mut persisted = false;
         if let Some(durable) = &self.durable {
-            let seq = self.counters.op_seq.load(Ordering::SeqCst);
+            let seq = self.counters.op_seq.get();
             let text = self.snapshot_text(&idx, seq);
             durable.lock().write_snapshot(seq, &text)?;
             persisted = true;
@@ -363,33 +376,24 @@ impl Session {
     }
 
     /// Admits one request against the per-session in-flight bound
-    /// (`limit == 0` = unbounded). The acquire is a strict CAS loop, so
-    /// the bound is never exceeded even under racing connections; the
-    /// returned guard releases the slot on drop.
+    /// (`limit == 0` = unbounded). [`Gauge::try_inc_below`] is a strict
+    /// CAS loop, so the bound is never exceeded even under racing
+    /// connections; the returned guard releases the slot on drop.
     pub fn admit(&self, limit: u64, retry_after_ms: u64) -> Result<InflightGuard<'_>, ServerError> {
         let c = &self.counters;
-        let mut cur = c.inflight.load(Ordering::SeqCst);
-        loop {
-            if limit != 0 && cur >= limit {
-                c.shed.fetch_add(1, Ordering::SeqCst);
-                return Err(ServerError::Overloaded {
+        match c.inflight.try_inc_below(limit) {
+            Ok(_) => Ok(InflightGuard(&c.inflight)),
+            Err(_) => {
+                c.shed.inc();
+                Err(ServerError::Overloaded {
                     what: format!(
                         "session `{}` is at its in-flight limit ({limit})",
                         self.name
                     ),
                     retry_after_ms,
-                });
-            }
-            match c
-                .inflight
-                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
-            {
-                Ok(_) => break,
-                Err(now) => cur = now,
+                })
             }
         }
-        c.inflight_high_water.fetch_max(cur + 1, Ordering::SeqCst);
-        Ok(InflightGuard(&c.inflight))
     }
 
     /// Summary for `create`/`sessions` responses (takes the read lock).
@@ -436,7 +440,7 @@ impl Session {
             let mut idx = self.index.write();
             if let Some(token) = token {
                 if let Some(prior) = self.tokens.lock().map.get(token) {
-                    self.counters.deduped_ops.fetch_add(1, Ordering::SeqCst);
+                    self.counters.deduped_ops.inc();
                     let mut entries = match prior.clone() {
                         Json::Obj(entries) => entries,
                         other => return Ok(other),
@@ -445,10 +449,7 @@ impl Session {
                     return Ok(Json::Obj(entries));
                 }
             }
-            let seqs: Vec<u64> = ops
-                .iter()
-                .map(|_| self.counters.op_seq.fetch_add(1, Ordering::SeqCst) + 1)
-                .collect();
+            let seqs: Vec<u64> = ops.iter().map(|_| self.counters.op_seq.inc()).collect();
             if let Some(durable) = &self.durable {
                 let records: Vec<(u64, String)> = ops
                     .iter()
@@ -466,9 +467,7 @@ impl Session {
                     ("applied", Json::Bool(did)),
                 ]));
             }
-            self.counters
-                .ops_applied
-                .fetch_add(applied, Ordering::SeqCst);
+            self.counters.ops_applied.add(applied);
             if let Some(durable) = &self.durable {
                 let mut d = durable.lock();
                 d.ops_since_snapshot += ops.len() as u64;
@@ -480,7 +479,7 @@ impl Session {
                         // would report an applied batch as failed and
                         // invite a double-applying retry. The log alone
                         // recovers the same state, just more slowly.
-                        let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                        let seq = self.counters.op_seq.get();
                         let text = self.snapshot_text(&idx, seq);
                         let result = d.write_snapshot(seq, &text).and_then(|_| d.compact());
                         if let Err(e) = result {
@@ -518,7 +517,7 @@ impl Session {
         let meta = SnapshotMeta {
             session: self.name.clone(),
             seq,
-            applied: self.counters.ops_applied.load(Ordering::SeqCst),
+            applied: self.counters.ops_applied.get(),
             mode: mode_name(self.mode).to_string(),
             options: *self.options.read(),
         };
@@ -534,7 +533,7 @@ impl Session {
             .as_ref()
             .ok_or_else(|| ServerError::NotDurable(self.name.clone()))?;
         let idx = self.index.read();
-        let seq = self.counters.op_seq.load(Ordering::SeqCst);
+        let seq = self.counters.op_seq.get();
         let text = self.snapshot_text(&idx, seq);
         let path = durable.lock().write_snapshot(seq, &text)?;
         Ok(Json::obj([
@@ -588,18 +587,15 @@ impl Session {
         // Shared attempt: `&self` reads under the read lock.
         {
             let idx = self.index.read();
-            let in_flight = self.counters.reads_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-            self.counters
-                .max_concurrent_shared_reads
-                .fetch_max(in_flight, Ordering::SeqCst);
+            self.counters.reads_in_flight.inc();
             let answer = self.try_shared(&idx, measures, per_dc, opts);
-            self.counters.reads_in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.counters.reads_in_flight.dec();
             if let Some(values) = answer? {
                 // op_seq only advances under the write lock, so it is
                 // stable while we hold the read lock.
-                let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                let seq = self.counters.op_seq.get();
                 drop(idx);
-                self.counters.shared_reads.fetch_add(1, Ordering::SeqCst);
+                self.counters.shared_reads.inc();
                 self.record_last_served(seq, &values);
                 return Ok(self.measure_response("shared", values));
             }
@@ -614,9 +610,9 @@ impl Session {
             let counts = idx.i_mi_by_dc();
             values.push(("per_dc".into(), per_dc_json(&idx, counts)));
         }
-        let seq = self.counters.op_seq.load(Ordering::SeqCst);
+        let seq = self.counters.op_seq.get();
         drop(idx);
-        self.counters.exclusive_reads.fetch_add(1, Ordering::SeqCst);
+        self.counters.exclusive_reads.inc();
         self.record_last_served(seq, &values);
         Ok(self.measure_response("exclusive", values))
     }
@@ -645,16 +641,13 @@ impl Session {
         // Optimistic shared attempt, non-blocking: a held write lock
         // sends us straight to the timed upgrade below.
         if let Some(idx) = self.index.try_read() {
-            let in_flight = self.counters.reads_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-            self.counters
-                .max_concurrent_shared_reads
-                .fetch_max(in_flight, Ordering::SeqCst);
+            self.counters.reads_in_flight.inc();
             let answer = self.try_shared(&idx, measures, per_dc, opts);
-            self.counters.reads_in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.counters.reads_in_flight.dec();
             if let Some(values) = answer? {
-                let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                let seq = self.counters.op_seq.get();
                 drop(idx);
-                self.counters.shared_reads.fetch_add(1, Ordering::SeqCst);
+                self.counters.shared_reads.inc();
                 self.record_last_served(seq, &values);
                 return Ok(self.measure_response("shared", values));
             }
@@ -688,12 +681,12 @@ impl Session {
                 let counts = idx.i_mi_by_dc();
                 values.push(("per_dc".into(), per_dc_json(&idx, counts)));
             }
-            let seq = self.counters.op_seq.load(Ordering::SeqCst);
+            let seq = self.counters.op_seq.get();
             drop(idx);
-            self.counters.exclusive_reads.fetch_add(1, Ordering::SeqCst);
+            self.counters.exclusive_reads.inc();
             let partial = !upper.is_empty();
             if partial {
-                self.counters.partial_reads.fetch_add(1, Ordering::SeqCst);
+                self.counters.partial_reads.inc();
             } else {
                 // Partial lower bounds must never masquerade as served
                 // values, so only full reads refresh the stale cache.
@@ -734,16 +727,13 @@ impl Session {
             Some(_) => self.index.try_read(),
         };
         if let Some(idx) = shared {
-            let in_flight = self.counters.reads_in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-            self.counters
-                .max_concurrent_shared_reads
-                .fetch_max(in_flight, Ordering::SeqCst);
+            self.counters.reads_in_flight.inc();
             let answer = idx.try_top_k_tuples(k);
-            self.counters.reads_in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.counters.reads_in_flight.dec();
             if let Some(top) = answer {
-                let seq = self.counters.op_seq.load(Ordering::SeqCst);
+                let seq = self.counters.op_seq.get();
                 drop(idx);
-                self.counters.shared_reads.fetch_add(1, Ordering::SeqCst);
+                self.counters.shared_reads.inc();
                 let tuples = tuple_scores_json(&top);
                 self.record_last_served(seq, &[(key, tuples.clone())]);
                 return Ok(self.tuple_response("shared", k, tuples));
@@ -758,9 +748,9 @@ impl Session {
         };
         if let Some(mut idx) = locked {
             let top = idx.top_k_tuples(k);
-            let seq = self.counters.op_seq.load(Ordering::SeqCst);
+            let seq = self.counters.op_seq.get();
             drop(idx);
-            self.counters.exclusive_reads.fetch_add(1, Ordering::SeqCst);
+            self.counters.exclusive_reads.inc();
             let tuples = tuple_scores_json(&top);
             self.record_last_served(seq, &[(key, tuples.clone())]);
             return Ok(self.tuple_response("exclusive", k, tuples));
@@ -772,7 +762,7 @@ impl Session {
             Some((seq, v)) => {
                 let (seq, v) = (*seq, v.clone());
                 drop(last);
-                self.counters.stale_reads.fetch_add(1, Ordering::SeqCst);
+                self.counters.stale_reads.inc();
                 Ok(push_entries(
                     self.tuple_response("stale", k, v),
                     vec![
@@ -841,7 +831,7 @@ impl Session {
             }
         }
         drop(last);
-        self.counters.stale_reads.fetch_add(1, Ordering::SeqCst);
+        self.counters.stale_reads.inc();
         Ok(push_entries(
             self.measure_response("stale", values),
             vec![
@@ -937,8 +927,8 @@ impl Session {
             }
         };
         let c = &self.counters;
-        let shared = c.shared_reads.load(Ordering::SeqCst);
-        let exclusive = c.exclusive_reads.load(Ordering::SeqCst);
+        let shared = c.shared_reads.get();
+        let exclusive = c.exclusive_reads.get();
         let durability = match &self.durable {
             None => Json::Null,
             Some(durable) => {
@@ -953,8 +943,19 @@ impl Session {
                         ("recover_ms", Json::Num(r.recover_ms)),
                     ]),
                 };
+                let m = &d.metrics;
+                let fsync_snap = m.fsync_us.snapshot();
+                let append_snap = m.append_us.snapshot();
                 Json::obj([
                     ("fsync", Json::str(d.fsync.name())),
+                    ("fsync_count", Json::Num(fsync_snap.count() as f64)),
+                    ("fsync_p50_us", Json::Num(fsync_snap.quantile(0.50) as f64)),
+                    ("fsync_p99_us", Json::Num(fsync_snap.quantile(0.99) as f64)),
+                    (
+                        "append_p99_us",
+                        Json::Num(append_snap.quantile(0.99) as f64),
+                    ),
+                    ("wedge_events", Json::Num(m.wedge_events.get() as f64)),
                     ("log_records", Json::Num(d.log_records as f64)),
                     ("log_bytes", Json::Num(d.log_bytes as f64)),
                     ("appended_bytes", Json::Num(d.appended_bytes as f64)),
@@ -986,42 +987,27 @@ impl Session {
         Json::obj([
             ("session", Json::str(self.name.clone())),
             ("live", live),
-            (
-                "ops_applied",
-                Json::Num(c.ops_applied.load(Ordering::SeqCst) as f64),
-            ),
-            ("op_seq", Json::Num(c.op_seq.load(Ordering::SeqCst) as f64)),
+            ("ops_applied", Json::Num(c.ops_applied.get() as f64)),
+            ("op_seq", Json::Num(c.op_seq.get() as f64)),
             ("shared_reads", Json::Num(shared as f64)),
             ("exclusive_reads", Json::Num(exclusive as f64)),
             (
                 "max_concurrent_shared_reads",
-                Json::Num(c.max_concurrent_shared_reads.load(Ordering::SeqCst) as f64),
+                Json::Num(c.reads_in_flight.high_water() as f64),
             ),
             ("shared_read_rate", rate(shared, exclusive)),
             (
                 "overload",
                 Json::obj([
-                    (
-                        "inflight",
-                        Json::Num(c.inflight.load(Ordering::SeqCst) as f64),
-                    ),
+                    ("inflight", Json::Num(c.inflight.get() as f64)),
                     (
                         "inflight_high_water",
-                        Json::Num(c.inflight_high_water.load(Ordering::SeqCst) as f64),
+                        Json::Num(c.inflight.high_water() as f64),
                     ),
-                    ("shed", Json::Num(c.shed.load(Ordering::SeqCst) as f64)),
-                    (
-                        "stale_reads",
-                        Json::Num(c.stale_reads.load(Ordering::SeqCst) as f64),
-                    ),
-                    (
-                        "partial_reads",
-                        Json::Num(c.partial_reads.load(Ordering::SeqCst) as f64),
-                    ),
-                    (
-                        "deduped_ops",
-                        Json::Num(c.deduped_ops.load(Ordering::SeqCst) as f64),
-                    ),
+                    ("shed", Json::Num(c.shed.get() as f64)),
+                    ("stale_reads", Json::Num(c.stale_reads.get() as f64)),
+                    ("partial_reads", Json::Num(c.partial_reads.get() as f64)),
+                    ("deduped_ops", Json::Num(c.deduped_ops.get() as f64)),
                 ]),
             ),
             (
@@ -1164,12 +1150,24 @@ fn tuple_scores_json(top: &[TupleScores]) -> Json {
     )
 }
 
-/// The named-session registry.
+/// How many recent request events the registry's ring remembers.
+const EVENT_RING_CAP: usize = 256;
+
+/// The named-session registry. It also owns this server's observability
+/// state: a per-instance [`inconsist_obs::Registry`] (tests run many
+/// servers per process, so server metrics must not share process
+/// globals), the recent-request [`EventRing`], and the slow-request
+/// threshold. The metrics collector registered here walks the live
+/// sessions and samples the *same* counter cells `stats` reads.
 pub struct Registry {
-    sessions: RwLock<HashMap<String, Arc<Session>>>,
+    sessions: Arc<RwLock<HashMap<String, Arc<Session>>>>,
     solve_threads: usize,
     options: MeasureOptions,
     durability: Option<DurabilityConfig>,
+    obs: Arc<inconsist_obs::Registry>,
+    ring: Arc<EventRing>,
+    /// Slow-request threshold in microseconds; 0 disables the slow log.
+    slow_request_us: AtomicU64,
 }
 
 impl Registry {
@@ -1187,17 +1185,114 @@ impl Registry {
         options: MeasureOptions,
         durability: Option<DurabilityConfig>,
     ) -> Registry {
+        let sessions: Arc<RwLock<HashMap<String, Arc<Session>>>> =
+            Arc::new(RwLock::new(HashMap::new()));
+        let obs = Arc::new(inconsist_obs::Registry::new());
+        let for_collector = Arc::clone(&sessions);
+        obs.register_collector(move |out| collect_session_samples(&for_collector, out));
         Registry {
-            sessions: RwLock::new(HashMap::new()),
+            sessions,
             solve_threads: solve_threads.max(1),
             options,
             durability,
+            obs,
+            ring: Arc::new(EventRing::new(EVENT_RING_CAP)),
+            slow_request_us: AtomicU64::new(0),
         }
     }
 
     /// The durability configuration, when the registry persists sessions.
     pub fn durability(&self) -> Option<&DurabilityConfig> {
         self.durability.as_ref()
+    }
+
+    /// This server's metric registry (counters registered here are
+    /// per-server, not process-global).
+    pub fn obs(&self) -> &inconsist_obs::Registry {
+        &self.obs
+    }
+
+    /// The recent-request event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Sets the slow-request log threshold (0 = off).
+    pub fn set_slow_request_ms(&self, ms: u64) {
+        self.slow_request_us
+            .store(ms.saturating_mul(1000), Ordering::Relaxed);
+    }
+
+    /// Records one handled request: per-kind counter + latency histogram
+    /// in the metric registry, a structured event in the ring, and a
+    /// stderr line with the per-stage span breakdown when the request ran
+    /// past the slow threshold.
+    pub(crate) fn observe_request(
+        &self,
+        kind: &str,
+        session: &str,
+        seq: u64,
+        latency_us: u64,
+        outcome: &str,
+        stages: Vec<(&'static str, u64)>,
+    ) {
+        self.obs
+            .counter(&inconsist_obs::labeled(
+                "server_requests_total",
+                &[("kind", kind)],
+            ))
+            .inc();
+        self.obs
+            .histogram(&inconsist_obs::labeled(
+                "server_request_us",
+                &[("kind", kind)],
+            ))
+            .record(latency_us);
+        if outcome != "ok" {
+            self.obs
+                .counter(&inconsist_obs::labeled(
+                    "server_requests_degraded_total",
+                    &[("outcome", outcome)],
+                ))
+                .inc();
+        }
+        let stages: Vec<(String, u64)> = stages
+            .into_iter()
+            .map(|(name, us)| (name.to_string(), us))
+            .collect();
+        let threshold = self.slow_request_us.load(Ordering::Relaxed);
+        if threshold != 0 && latency_us >= threshold {
+            let breakdown = stages
+                .iter()
+                .map(|(name, us)| format!("{name}={us}us"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            eprintln!(
+                "slow-request: kind={kind} session={session} seq={seq} \
+                 latency={latency_us}us outcome={outcome} stages=[{breakdown}]"
+            );
+        }
+        self.ring.push(Event {
+            index: 0, // the ring assigns the real index
+            kind: kind.to_string(),
+            session: session.to_string(),
+            seq,
+            latency_us,
+            outcome: outcome.to_string(),
+            stages,
+        });
+    }
+
+    /// Every metric visible from this server: the per-server registry
+    /// (sessions, admission, pool, event loop, durability) merged with
+    /// the process-global one (core/solver span histograms), sorted by
+    /// name. Both the `metrics` JSON response and the Prometheus
+    /// exposition render exactly this vector.
+    pub fn metrics_samples(&self) -> Vec<Sample> {
+        let mut samples = self.obs.snapshot();
+        samples.extend(inconsist_obs::global().snapshot());
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        samples
     }
 
     /// Creates a session; the expensive load runs outside the map lock.
@@ -1290,6 +1385,97 @@ impl Registry {
     }
 }
 
+/// The sessions collector: emits one labeled sample per session metric,
+/// reading the *same* [`SessionCounters`] / [`DurableMetrics`] cells the
+/// `stats` request renders — unified by construction, the two endpoints
+/// cannot disagree. Runs at snapshot time only; the request hot path
+/// never touches it.
+fn collect_session_samples(
+    sessions: &RwLock<HashMap<String, Arc<Session>>>,
+    out: &mut Vec<Sample>,
+) {
+    let mut all: Vec<Arc<Session>> = sessions.read().values().cloned().collect();
+    all.sort_by(|a, b| a.name().cmp(b.name()));
+    for s in &all {
+        let name = s.name();
+        let c = s.counters();
+        let counter = |metric: &str, labels: &[(&str, &str)], v: u64| Sample {
+            name: inconsist_obs::labeled(metric, labels),
+            value: Value::Counter(v),
+        };
+        let gauge = |metric: &str, labels: &[(&str, &str)], g: &Gauge| Sample {
+            name: inconsist_obs::labeled(metric, labels),
+            value: Value::Gauge {
+                value: g.get(),
+                high_water: g.high_water(),
+            },
+        };
+        // The read ladder: which rung answered.
+        for (rung, n) in [
+            ("cache_hit", c.shared_reads.get()),
+            ("warm", c.exclusive_reads.get()),
+            ("partial", c.partial_reads.get()),
+            ("stale", c.stale_reads.get()),
+        ] {
+            out.push(counter(
+                "session_read_rung_total",
+                &[("session", name), ("rung", rung)],
+                n,
+            ));
+        }
+        let l = [("session", name)];
+        out.push(counter(
+            "session_ops_applied_total",
+            &l,
+            c.ops_applied.get(),
+        ));
+        out.push(counter("session_shed_total", &l, c.shed.get()));
+        out.push(counter(
+            "session_deduped_ops_total",
+            &l,
+            c.deduped_ops.get(),
+        ));
+        out.push(gauge("session_op_seq", &l, &c.op_seq));
+        out.push(gauge("session_inflight", &l, &c.inflight));
+        out.push(gauge("session_reads_in_flight", &l, &c.reads_in_flight));
+        if let Some(m) = &s.durable_metrics {
+            for (metric, hist) in [
+                ("durable_fsync_us", &m.fsync_us),
+                ("durable_append_us", &m.append_us),
+                ("durable_snapshot_us", &m.snapshot_us),
+                ("durable_compact_us", &m.compact_us),
+            ] {
+                out.push(Sample {
+                    name: inconsist_obs::labeled(metric, &l),
+                    value: Value::Histogram(Box::new(hist.snapshot())),
+                });
+            }
+            out.push(counter(
+                "durable_wedge_events_total",
+                &l,
+                m.wedge_events.get(),
+            ));
+        }
+        // Index read-path counters (filter/cover/LP cache effectiveness):
+        // sampled under try_read so a long exclusive solve can never make
+        // the metrics endpoint block behind the write lock.
+        if let Some(idx) = s.index.try_read() {
+            let rs = idx.stats();
+            drop(idx);
+            for (metric, n) in [
+                ("index_filter_runs_total", rs.filter_runs),
+                ("index_filter_cache_hits_total", rs.filter_cache_hits),
+                ("index_cover_solves_total", rs.cover_solves),
+                ("index_cover_cache_hits_total", rs.cover_cache_hits),
+                ("index_lin_solves_total", rs.lin_solves),
+                ("index_lin_cache_hits_total", rs.lin_cache_hits),
+            ] {
+                out.push(counter(metric, &l, n));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1355,9 +1541,9 @@ mod tests {
         assert_eq!(fourth.get("path").and_then(Json::as_str), Some("exclusive"));
         assert_eq!(value(&fourth, "I_MI"), 1.0);
         let c = s.counters();
-        assert_eq!(c.shared_reads.load(Ordering::SeqCst), 2);
-        assert_eq!(c.exclusive_reads.load(Ordering::SeqCst), 2);
-        assert_eq!(c.ops_applied.load(Ordering::SeqCst), 2);
+        assert_eq!(c.shared_reads.get(), 2);
+        assert_eq!(c.exclusive_reads.get(), 2);
+        assert_eq!(c.ops_applied.get(), 2);
     }
 
     #[test]
@@ -1372,7 +1558,7 @@ mod tests {
         let opts = MeasureOptions::default();
         let resp = s.measure(&["raw".to_string()], false, &opts).unwrap();
         assert_eq!(value(&resp, "raw"), 1.0);
-        assert_eq!(s.counters().op_seq.load(Ordering::SeqCst), 0);
+        assert_eq!(s.counters().op_seq.get(), 0);
     }
 
     #[test]
@@ -1449,11 +1635,11 @@ mod tests {
             .unwrap();
         live.apply_ops("insert Nancy,FR,9\ndelete 0\n").unwrap();
         let expected = measures_of(&live);
-        let live_seq = live.counters().op_seq.load(Ordering::SeqCst);
+        let live_seq = live.counters().op_seq.get();
         drop(live); // crash: no snapshot beyond the initial seq-0 one
         let recovered = Session::recover(&cfg, "cities", 1, MeasureOptions::default()).unwrap();
         assert_eq!(measures_of(&recovered), expected);
-        assert_eq!(recovered.counters().op_seq.load(Ordering::SeqCst), live_seq);
+        assert_eq!(recovered.counters().op_seq.get(), live_seq);
         // The recovery stats report the replayed tail.
         let stats = recovered.stats();
         let durability = stats.get("durability").unwrap();
@@ -1551,7 +1737,7 @@ mod tests {
         let recovered = Session::recover(&cfg, "cities", 1, MeasureOptions::default()).unwrap();
         // Only the intact first record replays; the torn second is gone.
         assert_eq!(measures_of(&recovered), expected);
-        assert_eq!(recovered.counters().op_seq.load(Ordering::SeqCst), 1);
+        assert_eq!(recovered.counters().op_seq.get(), 1);
         let stats = recovered.stats();
         let recovery = stats
             .get("durability")
@@ -1628,12 +1814,12 @@ mod tests {
         drop(first); // a released slot readmits
         let _third = s.admit(2, 40).unwrap();
         let c = s.counters();
-        assert_eq!(c.inflight.load(Ordering::SeqCst), 2);
-        assert_eq!(c.inflight_high_water.load(Ordering::SeqCst), 2);
-        assert_eq!(c.shed.load(Ordering::SeqCst), 1);
+        assert_eq!(c.inflight.get(), 2);
+        assert_eq!(c.inflight.high_water(), 2);
+        assert_eq!(c.shed.get(), 1);
         // Limit 0 is unbounded.
         let _fourth = s.admit(0, 40).unwrap();
-        assert_eq!(c.inflight_high_water.load(Ordering::SeqCst), 3);
+        assert_eq!(c.inflight.high_water(), 3);
     }
 
     #[test]
@@ -1651,12 +1837,12 @@ mod tests {
             .unwrap();
         assert_eq!(replay.get("deduped").and_then(Json::as_bool), Some(true));
         assert_eq!(replay.get("applied").and_then(Json::as_f64), Some(1.0));
-        assert_eq!(s.counters().op_seq.load(Ordering::SeqCst), 1);
-        assert_eq!(s.counters().deduped_ops.load(Ordering::SeqCst), 1);
+        assert_eq!(s.counters().op_seq.get(), 1);
+        assert_eq!(s.counters().deduped_ops.get(), 1);
         // A different token applies normally.
         s.apply_ops_token("update 1 Pop 8\n", Some("tok-2"))
             .unwrap();
-        assert_eq!(s.counters().op_seq.load(Ordering::SeqCst), 2);
+        assert_eq!(s.counters().op_seq.get(), 2);
     }
 
     #[test]
@@ -1676,7 +1862,7 @@ mod tests {
             .and_then(|u| u.get("I_R"))
             .and_then(Json::as_f64)
             .expect("upper bound for the degraded I_R");
-        assert_eq!(s.counters().partial_reads.load(Ordering::SeqCst), 1);
+        assert_eq!(s.counters().partial_reads.get(), 1);
         // Partial bounds are never cached: the exact read still solves,
         // and its value sits inside the certified interval.
         let exact = value(
@@ -1700,7 +1886,7 @@ mod tests {
         let names: Vec<String> = vec!["I_MI".to_string(), "raw".to_string()];
         // Seed the last-served cache with one full read.
         s.measure(&names, false, &opts).unwrap();
-        let seq = s.counters().op_seq.load(Ordering::SeqCst);
+        let seq = s.counters().op_seq.get();
         // A writer pins the index; a 1ms-deadline read cannot get in and
         // must answer from the last fully-served values.
         let _writer = s.index.write();
@@ -1712,7 +1898,7 @@ mod tests {
             Some(seq as f64)
         );
         assert_eq!(value(&resp, "I_MI"), 1.0);
-        assert_eq!(s.counters().stale_reads.load(Ordering::SeqCst), 1);
+        assert_eq!(s.counters().stale_reads.get(), 1);
         // A measure that was never fully served has nothing to fall back
         // to: fail loudly rather than invent a value.
         let err = s

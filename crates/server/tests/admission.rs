@@ -86,10 +86,10 @@ proptest! {
             join.join().unwrap();
         }
         let c = s.counters();
-        let high_water = c.inflight_high_water.load(Ordering::SeqCst);
+        let high_water = c.inflight.high_water();
         prop_assert!(high_water <= limit, "high water {high_water} > limit {limit}");
-        prop_assert_eq!(c.inflight.load(Ordering::SeqCst), 0u64);
-        prop_assert_eq!(c.shed.load(Ordering::SeqCst), sheds_seen.load(Ordering::SeqCst));
+        prop_assert_eq!(c.inflight.get(), 0u64);
+        prop_assert_eq!(c.shed.get(), sheds_seen.load(Ordering::SeqCst));
     }
 }
 
@@ -230,10 +230,7 @@ fn a_client_that_never_reads_is_dropped_without_stalling_others() {
     // The dead client pipelines a pile of big reads and never reads a
     // byte back.
     let mut dead = TcpStream::connect(addr).unwrap();
-    let burst: String =
-        std::iter::repeat("{\"cmd\":\"tuple_measures\",\"session\":\"t\",\"k\":1600}\n")
-            .take(100)
-            .collect();
+    let burst = "{\"cmd\":\"tuple_measures\",\"session\":\"t\",\"k\":1600}\n".repeat(100);
     use std::io::Write;
     dead.write_all(burst.as_bytes()).unwrap();
 

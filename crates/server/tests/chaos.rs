@@ -233,10 +233,7 @@ fn failed_rollback_wedges_and_recovery_drops_the_torn_tail() {
             .and_then(|r| r.get("torn_tail_dropped"))
             .and_then(Json::as_bool);
         assert_eq!(torn, Some(true), "recovery should report the torn tail");
-        assert_eq!(
-            recovered.counters().op_seq.load(Ordering::SeqCst),
-            acked.len() as u64
-        );
+        assert_eq!(recovered.counters().op_seq.get(), acked.len() as u64);
         drop(recovered);
         assert_recovers_to(&cfg, &acked);
         std::fs::remove_dir_all(&cfg.data_dir).ok();

@@ -198,7 +198,7 @@ proptest! {
 
         let recovered = Session::recover(&cfg, "t", 1, MeasureOptions::default()).unwrap();
         let got = measures(&recovered);
-        prop_assert_eq!(recovered.counters().op_seq.load(Ordering::SeqCst), k);
+        prop_assert_eq!(recovered.counters().op_seq.get(), k);
         for scratch_mode in [ReadMode::Component, ReadMode::Global] {
             let want = scratch_measures(&csv, &ops, k, scratch_mode);
             prop_assert_eq!(&got, &want);
@@ -245,10 +245,7 @@ fn sealed_segments_recover_in_order_and_compact_by_unlink() {
     drop(session); // crash: no shutdown snapshot
 
     let recovered = Session::recover(&cfg, "t", 1, MeasureOptions::default()).unwrap();
-    assert_eq!(
-        recovered.counters().op_seq.load(Ordering::SeqCst),
-        ops.len() as u64
-    );
+    assert_eq!(recovered.counters().op_seq.get(), ops.len() as u64);
     assert_eq!(measures(&recovered), expected);
     for mode in [ReadMode::Component, ReadMode::Global] {
         assert_eq!(

@@ -86,6 +86,8 @@ impl LinearProgram {
 
     /// Solves the LP with a two-phase dense simplex.
     pub fn minimize(&self) -> Result<LpSolution, LpError> {
+        let _span = inconsist_obs::span!("solver.simplex");
+        inconsist_obs::counter!("solver_lp_solves_total").inc();
         let m = self.rows.len();
         let n = self.n;
         if m == 0 {

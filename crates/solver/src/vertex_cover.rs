@@ -43,6 +43,17 @@ pub fn min_weight_vertex_cover_with(g: &ConflictGraph, budget: &mut Budget) -> O
         g.is_plain_graph(),
         "min_weight_vertex_cover requires a plain graph; use hitting_set for hyperedges"
     );
+    let _span = inconsist_obs::span!("solver.vertex_cover");
+    let steps_before = budget.remaining_steps();
+    let result = vertex_cover_inner(g, budget);
+    // One add per solve, not per node: the search loop stays free of
+    // shared-cache traffic.
+    inconsist_obs::counter!("solver_bb_nodes_total")
+        .add(steps_before.saturating_sub(budget.remaining_steps()));
+    result
+}
+
+fn vertex_cover_inner(g: &ConflictGraph, budget: &mut Budget) -> Option<VertexCover> {
     let mut weight = 0.0;
     let mut nodes: Vec<u32> = Vec::new();
 

@@ -29,6 +29,11 @@
 //! write amplification (log bytes ÷ logical op bytes), append
 //! throughput/latency and recovery time.
 //!
+//! A **sharded** phase runs a coordinator over two local worker shards:
+//! it first asserts the `measure_all` aggregate is bit-identical to a
+//! single process fed the same op stream, then measures aggregated read
+//! throughput and scatter/gather latency through the coordinator.
+//!
 //! Environment knobs: `BENCH_SERVER_CLIENTS` (default 8),
 //! `BENCH_SERVER_REQUESTS` (per client per phase, default 250),
 //! `BENCH_SERVER_DURABLE_OPS` (default 600). `BENCH_SMOKE=1` shrinks all
@@ -372,6 +377,172 @@ fn overload_run(csv: &str, requests: usize) -> String {
     )
 }
 
+/// Sharded phase: a coordinator fronting two local worker shards, every
+/// leg over real TCP. The same sessions and the same deterministic op
+/// stream are applied to a single-process reference and to the sharded
+/// topology, and the `measure_all` aggregate must be **bit-identical**
+/// across the two before any load runs (the ascending-name 0.0-seeded
+/// fold contract). Then `clients` threads drive an aggregated read
+/// workload through the coordinator — 3/4 per-session forwards, 1/4
+/// scatter/gather `measure_all` — reporting aggregated read throughput
+/// and the scatter/gather latency distribution, plus the coordinator's
+/// own `coord_scatter_gather_us` histogram p99 from its metrics
+/// endpoint. Returns the JSON entry.
+fn sharded_run(csv: &str, clients: usize, requests: usize) -> String {
+    use inconsist::incremental::ReadMode;
+    use inconsist_server::{ClientBuilder, CoordinatorConfig};
+    const SESSIONS: [&str; 4] = ["s0", "s1", "s2", "s3"];
+    const AGG: [&str; 4] = ["I_MI", "I_P", "I_R", "I_R^lin"];
+    let worker_config = || ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        solve_threads: 1,
+        ..ServerConfig::default()
+    };
+    let single = serve(worker_config()).expect("bind single reference");
+    let worker0 = serve(worker_config()).expect("bind worker 0");
+    let worker1 = serve(worker_config()).expect("bind worker 1");
+    let coordinator = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients + 2,
+        coordinator: Some(CoordinatorConfig::new(vec![worker0.addr(), worker1.addr()])),
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator");
+    let coord_addr = coordinator.addr();
+    let mut single_client = ClientBuilder::new(single.addr())
+        .connect()
+        .expect("connect single");
+    let mut coord_client = ClientBuilder::new(coord_addr)
+        .connect()
+        .expect("connect coordinator");
+    assert_eq!(
+        coord_client.negotiated().expect("handshake").role,
+        "coordinator"
+    );
+    for name in SESSIONS {
+        single_client
+            .create(name, csv, DC, ReadMode::Component)
+            .expect("create single");
+        coord_client
+            .create(name, csv, DC, ReadMode::Component)
+            .expect("create sharded");
+    }
+    let mut rng = StdRng::seed_from_u64(0x5AAD);
+    let max_id = (BLOCKS * ROWS_PER_BLOCK) as u32;
+    for _ in 0..requests.min(200) {
+        let name = SESSIONS[rng.gen_range(0..SESSIONS.len())];
+        let op = format!(
+            "update {} B {}",
+            rng.gen_range(0..max_id),
+            rng.gen_range(0..10_000)
+        );
+        single_client
+            .session(name)
+            .apply_ops(&op, None)
+            .expect("single op");
+        coord_client
+            .session(name)
+            .apply_ops(&op, None)
+            .expect("sharded op");
+    }
+    // 1-process vs sharded bit-identity: the rendered `values` objects
+    // are equal strings iff the f64 bits are equal.
+    let want = single_client
+        .measure_all(&AGG, false)
+        .expect("single measure_all");
+    let got = coord_client
+        .measure_all(&AGG, false)
+        .expect("sharded measure_all");
+    assert_eq!(
+        want.get("values").expect("values").to_string(),
+        got.get("values").expect("values").to_string(),
+        "sharded aggregate diverged from the single process"
+    );
+
+    let started = Instant::now();
+    let joins: Vec<_> = (0..clients)
+        .map(|who| {
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5C4772 + who as u64);
+                let mut client = ClientBuilder::new(coord_addr)
+                    .handshake(false)
+                    .connect()
+                    .expect("connect load client");
+                let mut scatter_us: Vec<f64> = Vec::new();
+                let mut forward_us: Vec<f64> = Vec::new();
+                for i in 0..requests {
+                    let sent = Instant::now();
+                    if i % 4 == 0 {
+                        let json = client.measure_all(&AGG, false).expect("measure_all");
+                        assert_eq!(
+                            json.get("sessions").and_then(Json::as_f64),
+                            Some(SESSIONS.len() as f64)
+                        );
+                        scatter_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                    } else {
+                        let name = SESSIONS[rng.gen_range(0..SESSIONS.len())];
+                        client
+                            .session(name)
+                            .measure(&["I_MI", "I_P"])
+                            .expect("forwarded measure");
+                        forward_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                    }
+                }
+                (scatter_us, forward_us)
+            })
+        })
+        .collect();
+    let mut scatter_us: Vec<f64> = Vec::new();
+    let mut forward_us: Vec<f64> = Vec::new();
+    for join in joins {
+        let (s, f) = join.join().expect("sharded load client");
+        scatter_us.extend(s);
+        forward_us.extend(f);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total = scatter_us.len() + forward_us.len();
+    let aggregated_rps = total as f64 / elapsed;
+    let (scatter_p50, scatter_p99) = hist_quantiles(&scatter_us);
+    let (forward_p50, forward_p99) = hist_quantiles(&forward_us);
+
+    // The coordinator's own scatter/gather histogram, from the same
+    // metrics endpoint operators scrape.
+    let metrics = coord_client
+        .call_line("{\"cmd\":\"metrics\"}")
+        .expect("metrics");
+    let coord_sg_p99 = metrics
+        .get("metrics")
+        .and_then(|m| m.get("coord_scatter_gather_us"))
+        .and_then(|h| h.get("p99"))
+        .and_then(Json::as_f64)
+        .expect("coord_scatter_gather_us histogram");
+
+    coord_client
+        .call_line("{\"cmd\":\"shutdown\"}")
+        .expect("coordinator shutdown");
+    coordinator.wait();
+    for handle in [single, worker0, worker1] {
+        handle.stop();
+    }
+    println!(
+        "bench_server/sharded    {clients} clients over 2 shards: {total} reqs, \
+         {aggregated_rps:.0} req/s, forward p99 {forward_p99:.0}µs, \
+         scatter/gather p99 {scatter_p99:.0}µs (coordinator-side {coord_sg_p99:.0}µs), \
+         aggregate bit-identical"
+    );
+    format!(
+        "    {{\"phase\": \"sharded\", \"shards\": 2, \"sessions\": {}, \
+         \"clients\": {clients}, \"requests\": {total}, \"elapsed_sec\": {elapsed:.3}, \
+         \"aggregated_read_rps\": {aggregated_rps:.1}, \
+         \"forward_p50_us\": {forward_p50:.1}, \"forward_p99_us\": {forward_p99:.1}, \
+         \"scatter_gather_p50_us\": {scatter_p50:.1}, \
+         \"scatter_gather_p99_us\": {scatter_p99:.1}, \
+         \"coord_scatter_gather_p99_us\": {coord_sg_p99:.1}, \"identical\": true}}",
+        SESSIONS.len()
+    )
+}
+
 /// Resident set size of this process in kB (0 when /proc is missing).
 fn vm_rss_kb() -> f64 {
     std::fs::read_to_string("/proc/self/status")
@@ -589,7 +760,7 @@ fn main() {
         .find(|a| !a.starts_with('-'))
         .or_else(|| std::env::var("BENCH_FILTER").ok());
     if let Some(f) = filter {
-        if !"server_load durability overload frontend pipelined idle".contains(f.as_str()) {
+        if !"server_load durability overload frontend pipelined idle sharded".contains(f.as_str()) {
             println!("bench_server: skipped by filter `{f}`");
             return;
         }
@@ -780,6 +951,11 @@ fn main() {
     // Front end: pipelining throughput and the held-open idle fleet.
     let (pipelined_entry, idle_entry) = frontend_run(&csv);
 
+    // Scale-out: coordinator + 2 local worker shards, aggregate
+    // bit-identity asserted before the load runs.
+    let sharded_requests = if smoke() { 40 } else { 200 };
+    let sharded_entry = sharded_run(&csv, clients.min(6), sharded_requests);
+
     let json = format!(
         "{{\n  \"bench\": \"bench_server\",\n  \"workload\": {{\"blocks\": {BLOCKS}, \
          \"tuples\": {}, \"clients\": {clients}, \"requests_per_client\": {requests}}},\n  \
@@ -787,6 +963,7 @@ fn main() {
          \"identical\": true}},\n  \"durability\": [\n{durability_entries}\n  ],\n  \
          \"overload\": [\n{overload_entry}\n  ],\n  \
          \"frontend\": [\n{pipelined_entry},\n{idle_entry}\n  ],\n  \
+         \"sharded\": [\n{sharded_entry}\n  ],\n  \
          \"observability\": [\n{observability_entry}\n  ]\n}}\n",
         BLOCKS * ROWS_PER_BLOCK,
         all_ops.len()

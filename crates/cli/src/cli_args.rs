@@ -6,7 +6,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["all", "normalize", "help", "quiet"];
+const SWITCHES: &[&str] = &["all", "normalize", "help", "quiet", "coordinator"];
 
 /// A parsed command line.
 #[derive(Clone, Debug, Default)]
@@ -30,17 +30,30 @@ impl Cli {
             command,
             ..Default::default()
         };
+        // Repeating an option accumulates its values comma-joined, so
+        // list-valued flags (`--shard-addr A --shard-addr B`) work
+        // without a second parsing mode; `--shard-addr A,B` is the same.
+        let mut push = |key: &str, value: String| match cli.options.entry(key.to_string()) {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let joined = e.get_mut();
+                joined.push(',');
+                joined.push_str(&value);
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(value);
+            }
+        };
         while let Some(arg) = it.next() {
             if let Some(flag) = arg.strip_prefix("--") {
                 if let Some((k, v)) = flag.split_once('=') {
-                    cli.options.insert(k.to_string(), v.to_string());
+                    push(k, v.to_string());
                 } else if SWITCHES.contains(&flag) {
                     cli.switches.insert(flag.to_string());
                 } else {
                     let v = it
                         .next()
                         .ok_or_else(|| format!("--{flag} expects a value"))?;
-                    cli.options.insert(flag.to_string(), v);
+                    push(flag, v);
                 }
             } else {
                 cli.positional.push(arg);

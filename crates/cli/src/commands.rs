@@ -40,6 +40,8 @@ USAGE:
                      [--retry-after-ms N] [--read-poll-ms N] [--write-timeout-ms N]
                      [--event-threads N] [--max-pipeline N] [--write-buffer-kb N]
                      [--metrics-addr HOST:PORT] [--slow-request-ms N]
+                     [--coordinator] [--shards N] [--shard-addr HOST:PORT[,..]]
+                     [--join ADDR]
   inconsist client   <addr> [request-json | snapshot NAME | compact NAME |
                      top NAME [K] | options NAME key=value... |
                      metrics [prom] ...]
@@ -80,7 +82,16 @@ COMMANDS:
              being read until it drains); observability: --metrics-addr
              binds a plaintext Prometheus exposition listener (one scrape
              per connection) and --slow-request-ms logs any slower
-             request to stderr with its per-stage span breakdown
+             request to stderr with its per-stage span breakdown;
+             scale-out: --coordinator turns the process into a
+             session-routing coordinator that forwards every
+             session-scoped request to the worker shard owning the
+             session — --shards N spawns and supervises N local workers
+             (a dead worker is respawned on its original port; with
+             --data-dir each worker owns <dir>/shard-N), --shard-addr
+             lists externally managed workers (repeatable or
+             comma-separated), and a worker started with --join ADDR
+             announces itself to the coordinator at ADDR
   client     send request lines to a running server (from the arguments,
              or stdin when none are given) and print the responses;
              `snapshot NAME` / `compact NAME` / `top NAME [K]` /
@@ -407,6 +418,15 @@ fn cmd_progress(cli: &Cli) -> Result<String, String> {
     Ok(out)
 }
 
+/// Resolves `host:port` to the first matching socket address.
+fn resolve_addr(spec: &str) -> Result<std::net::SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    spec.to_socket_addrs()
+        .map_err(|e| format!("{spec}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{spec}: no address"))
+}
+
 /// `serve`: run the measure server until a client sends `shutdown`.
 fn cmd_serve(cli: &Cli) -> Result<String, String> {
     let mode = match cli.opt_str("mode").unwrap_or("component") {
@@ -441,13 +461,95 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
             })
         }
     };
+    // Scale-out topology flags (see ARCHITECTURE.md "Scale-out").
+    let coordinator_mode = cli.has("coordinator");
+    let shards: usize = cli.opt("shards", 0)?;
+    let shard_addr = cli.opt_str("shard-addr");
+    if !coordinator_mode && (shards > 0 || shard_addr.is_some()) {
+        return Err("--shards/--shard-addr require --coordinator".into());
+    }
+    let join = match cli.opt_str("join") {
+        None => None,
+        Some(_) if coordinator_mode => {
+            return Err("--join cannot be combined with --coordinator".into())
+        }
+        Some(spec) => Some(resolve_addr(spec)?),
+    };
+    if coordinator_mode && cli.opt_str("preload").is_some() {
+        return Err(
+            "--preload cannot be combined with --coordinator (preload a worker instead, \
+             or create the session through a client — the coordinator will route it)"
+                .into(),
+        );
+    }
+    if coordinator_mode && durability.is_some() && shards == 0 {
+        return Err(
+            "--data-dir with --coordinator requires --shards N (each spawned worker \
+             owns <data-dir>/shard-N; externally managed workers own their own dirs)"
+                .into(),
+        );
+    }
+    let mut shard_addrs: Vec<std::net::SocketAddr> = Vec::new();
+    for spec in shard_addr.iter().flat_map(|s| s.split(',')) {
+        shard_addrs.push(resolve_addr(spec.trim())?);
+    }
+    let mut fleet = if shards > 0 {
+        let mut per_worker = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let mut extra: Vec<String> = [
+                "--workers",
+                &cli.opt("workers", 8usize)?.to_string(),
+                "--solve-threads",
+                &cli.opt("solve-threads", 1usize)?.to_string(),
+                "--mode",
+                cli.opt_str("mode").unwrap_or("component"),
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            if let Some(d) = &durability {
+                extra.push("--data-dir".to_string());
+                extra.push(
+                    d.data_dir
+                        .join(format!("shard-{i}"))
+                        .to_string_lossy()
+                        .into_owned(),
+                );
+                extra.push("--fsync".to_string());
+                extra.push(cli.opt_str("fsync").unwrap_or("always").to_string());
+                for flag in ["snapshot-every", "segment-bytes"] {
+                    if let Some(v) = cli.opt_str(flag) {
+                        extra.push(format!("--{flag}"));
+                        extra.push(v.to_string());
+                    }
+                }
+            }
+            per_worker.push(extra);
+        }
+        let fleet = crate::spawn::WorkerFleet::spawn(&per_worker)?;
+        shard_addrs.extend(fleet.addrs());
+        Some(fleet)
+    } else {
+        None
+    };
     let defaults = inconsist_server::ServerConfig::default();
+    let coordinator = coordinator_mode.then(|| {
+        let mut cfg = inconsist_server::CoordinatorConfig::new(shard_addrs.clone());
+        cfg.retry_after_ms = cli
+            .opt("retry-after-ms", defaults.retry_after_ms)
+            .unwrap_or(defaults.retry_after_ms);
+        cfg
+    });
     let config = inconsist_server::ServerConfig {
         addr: cli.opt_str("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: cli.opt("workers", 8)?,
         solve_threads: cli.opt("solve-threads", 1)?,
         mode,
-        durability,
+        // A coordinator holds no sessions of its own: with spawned
+        // shards the per-worker subdirs carry the state, and recovering
+        // the parent dir here would shadow the shards' sessions.
+        durability: if coordinator_mode { None } else { durability },
+        coordinator,
         max_inflight: cli.opt("max-inflight", defaults.max_inflight)?,
         session_inflight: cli.opt("session-inflight", defaults.session_inflight)?,
         queue_limit: cli.opt("queue-limit", defaults.queue_limit)?,
@@ -484,8 +586,45 @@ fn cmd_serve(cli: &Cli) -> Result<String, String> {
     if let Some(path) = cli.opt_str("addr-file") {
         std::fs::write(path, addr.to_string()).map_err(|e| format!("{path}: {e}"))?;
     }
-    eprintln!("inconsist-server listening on {addr}");
+    if let Some(fleet) = &mut fleet {
+        fleet.supervise();
+    }
+    if let Some(coordinator_addr) = join {
+        // Announce this worker to its coordinator. Retried in the
+        // background: the natural start order ("workers first") must not
+        // deadlock on the coordinator not listening yet, and vice versa.
+        let announce = inconsist_server::protocol::Request::Join {
+            addr: addr.to_string(),
+        }
+        .to_json()
+        .to_string();
+        std::thread::spawn(move || {
+            for attempt in 0..150 {
+                let sent = inconsist_server::Client::connect(&coordinator_addr)
+                    .and_then(|mut c| c.request(&announce));
+                match sent {
+                    Ok(response) => {
+                        eprintln!("joined coordinator {coordinator_addr}: {response}");
+                        return;
+                    }
+                    Err(e) if attempt == 149 => {
+                        eprintln!("join {coordinator_addr}: giving up: {e}");
+                    }
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(200)),
+                }
+            }
+        });
+    }
+    let role = if coordinator_mode {
+        format!("coordinator ({} shards)", shard_addrs.len())
+    } else {
+        "server".to_string()
+    };
+    eprintln!("inconsist-{role} listening on {addr}");
     handle.wait();
+    if let Some(fleet) = &mut fleet {
+        fleet.shutdown();
+    }
     Ok(format!(
         "server stopped after {} requests\n",
         handle.requests_served()
@@ -999,6 +1138,81 @@ mod tests {
         assert!(client_request_line("options s").is_err());
         assert!(client_request_line("options s budget=1").is_err());
         assert!(client_request_line("options s mis_budget=zero").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_coordinator_routes_and_aggregates() {
+        let dir = temp_dir("coord");
+        let data = temp_file(&dir, "cities.csv", DATA);
+        let rules = temp_file(&dir, "rules.dc", RULES);
+        // Two plain workers, then a coordinator fronting them (external
+        // workers via --shard-addr; the spawn-and-supervise path needs a
+        // real binary and is exercised by ci/shard_matrix.sh).
+        let (w1, s1) = spawn_server(&dir, "w1", &[]);
+        let (w2, s2) = spawn_server(&dir, "w2", &[]);
+        let coord_extra: Vec<String> = [
+            "--coordinator".to_string(),
+            "--shard-addr".to_string(),
+            format!("{w1},{w2}"),
+        ]
+        .to_vec();
+        let (caddr, cserver) = spawn_server(&dir, "coord", &coord_extra);
+        let create = |name: &str| {
+            format!(
+                "{{\"cmd\":\"create\",\"session\":\"{name}\",\"csv_path\":{},\"dc_path\":{}}}",
+                inconsist_server::Json::str(&data),
+                inconsist_server::Json::str(&rules)
+            )
+        };
+        let out = run(&cli(&[
+            "client",
+            &caddr,
+            &create("alpha"),
+            &create("beta"),
+            "{\"cmd\":\"sessions\"}",
+            "{\"cmd\":\"shards\"}",
+            "{\"cmd\":\"measure\",\"session\":\"alpha\",\"measures\":[\"I_MI\"]}",
+            "{\"cmd\":\"measure_all\"}",
+            "{\"cmd\":\"drop\",\"session\":\"beta\"}",
+            "{\"cmd\":\"shutdown\"}",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"sessions\":[\"alpha\",\"beta\"]"), "{out}");
+        assert!(out.contains("\"role\":\"coordinator\""), "{out}");
+        assert!(out.contains("\"I_MI\":1"), "{out}");
+        // measure_all folds across both shards: 1 violating pair each.
+        assert!(out.contains("\"I_MI\":2"), "{out}");
+        assert!(out.contains("\"sessions\":2"), "{out}");
+        cserver.join().unwrap().unwrap();
+        for addr in [&w1, &w2] {
+            run(&cli(&["client", addr, "{\"cmd\":\"shutdown\"}"])).unwrap();
+        }
+        s1.join().unwrap().unwrap();
+        s2.join().unwrap().unwrap();
+        // Topology flag validation.
+        let err = run(&cli(&["serve", "--shards", "2"])).unwrap_err();
+        assert!(err.contains("--coordinator"), "{err}");
+        let err = run(&cli(&["serve", "--shard-addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--coordinator"), "{err}");
+        let err = run(&cli(&["serve", "--coordinator", "--join", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--join"), "{err}");
+        let err = run(&cli(&[
+            "serve",
+            "--coordinator",
+            "--preload",
+            "x=a.csv,b.dc",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--preload"), "{err}");
+        let err = run(&cli(&[
+            "serve",
+            "--coordinator",
+            "--data-dir",
+            &dir.to_string_lossy(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

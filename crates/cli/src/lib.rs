@@ -21,6 +21,7 @@
 
 pub mod cli_args;
 pub mod commands;
+pub mod spawn;
 
 pub use inconsist_formats::{csv, dcfile, opsfile};
 

@@ -1,0 +1,184 @@
+//! Spawn-and-supervise for local worker shards (`serve --coordinator
+//! --shards N`).
+//!
+//! Each worker is a fresh `inconsist serve` process launched from the
+//! current executable on an ephemeral port; its bound address is read
+//! back through `--addr-file`. A supervisor thread respawns any worker
+//! that dies — pinned to the *same* address it originally bound, so the
+//! coordinator's lazy reconnect redirects traffic to the replacement
+//! without a topology change (durable sessions recover from the worker's
+//! own data dir before it listens again).
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One supervised worker process.
+struct Worker {
+    child: Child,
+    addr: SocketAddr,
+    /// Respawn argv — the original launch argv with the address pinned
+    /// to the port the first incarnation bound.
+    args: Vec<String>,
+}
+
+/// A set of locally spawned worker shards plus their supervisor thread.
+pub struct WorkerFleet {
+    exe: PathBuf,
+    workers: Arc<Mutex<Vec<Worker>>>,
+    shutting_down: Arc<AtomicBool>,
+    supervisor: Option<JoinHandle<()>>,
+    done: bool,
+}
+
+impl WorkerFleet {
+    /// Spawns one worker per entry of `per_worker_args` (the extra argv
+    /// after `serve --addr 127.0.0.1:0 --addr-file …`) and waits until
+    /// every worker has written its bound address.
+    pub fn spawn(per_worker_args: &[Vec<String>]) -> Result<WorkerFleet, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let tmp = std::env::temp_dir();
+        let mut workers = Vec::with_capacity(per_worker_args.len());
+        for (i, extra) in per_worker_args.iter().enumerate() {
+            let addr_file = tmp.join(format!("inconsist-shard-{}-{i}.addr", std::process::id()));
+            let _ = std::fs::remove_file(&addr_file);
+            let mut args: Vec<String> = vec![
+                "serve".to_string(),
+                "--addr".to_string(),
+                "127.0.0.1:0".to_string(),
+                "--addr-file".to_string(),
+                addr_file.to_string_lossy().into_owned(),
+            ];
+            args.extend(extra.iter().cloned());
+            let child = Command::new(&exe)
+                .args(&args)
+                .stdout(Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawn shard {i}: {e}"))?;
+            let mut worker = Worker {
+                child,
+                addr: "0.0.0.0:0".parse().expect("literal addr"),
+                args,
+            };
+            let mut tries = 0;
+            let addr: SocketAddr = loop {
+                match std::fs::read_to_string(&addr_file) {
+                    Ok(s) if !s.is_empty() => {
+                        break s
+                            .trim()
+                            .parse()
+                            .map_err(|e| format!("shard {i} addr `{}`: {e}", s.trim()))?
+                    }
+                    _ => {
+                        tries += 1;
+                        if tries >= 1000 {
+                            let _ = worker.child.kill();
+                            return Err(format!("shard {i} never wrote its addr file"));
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            };
+            worker.addr = addr;
+            // Pin the respawn argv to the bound port so the replacement
+            // comes back where the coordinator expects it.
+            worker.args[2] = addr.to_string();
+            workers.push(worker);
+        }
+        Ok(WorkerFleet {
+            exe,
+            workers: Arc::new(Mutex::new(workers)),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            supervisor: None,
+            done: false,
+        })
+    }
+
+    /// The workers' bound addresses, in spawn order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.workers
+            .lock()
+            .expect("fleet lock")
+            .iter()
+            .map(|w| w.addr)
+            .collect()
+    }
+
+    /// Starts the supervisor thread: any worker found dead is respawned
+    /// on its original address (retried every tick until the spawn
+    /// sticks).
+    pub fn supervise(&mut self) {
+        let exe = self.exe.clone();
+        let workers = Arc::clone(&self.workers);
+        let shutting_down = Arc::clone(&self.shutting_down);
+        self.supervisor = Some(std::thread::spawn(move || loop {
+            if shutting_down.load(Ordering::Relaxed) {
+                return;
+            }
+            {
+                let mut workers = workers.lock().expect("fleet lock");
+                for worker in workers.iter_mut() {
+                    if shutting_down.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Ok(Some(status)) = worker.child.try_wait() {
+                        eprintln!("shard {} exited ({status}); respawning", worker.addr);
+                        match Command::new(&exe)
+                            .args(&worker.args)
+                            .stdout(Stdio::null())
+                            .spawn()
+                        {
+                            Ok(child) => worker.child = child,
+                            Err(e) => eprintln!("shard {}: respawn failed: {e}", worker.addr),
+                        }
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }));
+    }
+
+    /// Stops supervising, asks every worker to shut down over its own
+    /// protocol socket, and reaps the processes (killing any worker that
+    /// will not exit). Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.shutting_down.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        let mut workers = self.workers.lock().expect("fleet lock");
+        for worker in workers.iter_mut() {
+            let graceful = TcpStream::connect_timeout(&worker.addr, Duration::from_millis(500))
+                .and_then(|mut stream| {
+                    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+                    stream.write_all(b"{\"cmd\":\"shutdown\"}\n")
+                });
+            if graceful.is_err() {
+                let _ = worker.child.kill();
+            }
+            for _ in 0..200 {
+                match worker.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    _ => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+            let _ = worker.child.kill();
+            let _ = worker.child.wait();
+        }
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

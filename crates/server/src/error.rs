@@ -44,6 +44,16 @@ pub enum ServerError {
     /// The request's `deadline_ms` expired before an answer — even a
     /// partial or stale one — could be produced.
     Deadline(String),
+    /// A sharded request could not reach the worker that owns the
+    /// session (worker dead or unreachable). The session's state is
+    /// durable on that shard — retry after the worker returns; like
+    /// `overloaded`, the response carries a `retry_after_ms` hint.
+    Unavailable {
+        /// What could not be reached (for the human-readable message).
+        what: String,
+        /// Advisory client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl ServerError {
@@ -60,6 +70,7 @@ impl ServerError {
             ServerError::NotDurable(_) => "not_durable",
             ServerError::Overloaded { .. } => "overloaded",
             ServerError::Deadline(_) => "deadline",
+            ServerError::Unavailable { .. } => "unavailable",
         }
     }
 
@@ -71,7 +82,9 @@ impl ServerError {
             ("kind", Json::str(self.kind())),
             ("error", Json::str(self.to_string())),
         ];
-        if let ServerError::Overloaded { retry_after_ms, .. } = self {
+        if let ServerError::Overloaded { retry_after_ms, .. }
+        | ServerError::Unavailable { retry_after_ms, .. } = self
+        {
             members.push(("retry_after_ms", Json::Num(*retry_after_ms as f64)));
         }
         Json::obj(members)
@@ -97,6 +110,10 @@ impl fmt::Display for ServerError {
                 retry_after_ms,
             } => write!(f, "overloaded: {what}; retry after {retry_after_ms}ms"),
             ServerError::Deadline(msg) => write!(f, "deadline expired: {msg}"),
+            ServerError::Unavailable {
+                what,
+                retry_after_ms,
+            } => write!(f, "unavailable: {what}; retry after {retry_after_ms}ms"),
         }
     }
 }

@@ -404,7 +404,7 @@ impl EventThread {
                         self.finish_inline(conn, response, control);
                         continue;
                     }
-                    Ok(request) => match classify(&request) {
+                    Ok(request) => match classify(&request, self.shared.coordinator.is_some()) {
                         Class::Inline => {
                             let (response, control) = self.respond_here(Work::Parsed(request));
                             self.finish_inline(conn, response, control);
@@ -434,8 +434,13 @@ impl EventThread {
             let waker = Arc::clone(&self.waker);
             conn.inflight = true;
             let dispatched = self.pool.execute(move || {
-                let (response, control) =
-                    respond(&shared.registry, &shared.counters, &shared.admission, work);
+                let (response, control) = respond(
+                    &shared.registry,
+                    &shared.counters,
+                    &shared.admission,
+                    shared.coordinator.as_deref(),
+                    work,
+                );
                 // The event thread may have dropped the connection (or be
                 // gone entirely, late in shutdown); either way the send
                 // failing is fine.
@@ -483,6 +488,7 @@ impl EventThread {
             &self.shared.registry,
             &self.shared.counters,
             &self.shared.admission,
+            self.shared.coordinator.as_deref(),
             work,
         )
     }

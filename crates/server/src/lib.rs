@@ -40,6 +40,8 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
+pub mod coordinator;
 pub mod durable;
 pub mod error;
 mod event_loop;
@@ -47,12 +49,20 @@ pub mod pool;
 pub mod protocol;
 pub mod router;
 pub mod session;
+pub mod shard;
 pub mod wire;
 
+pub use client::{
+    ClientBuilder, ClientError, HelloInfo, Measures, OpsApplied, SessionHandle, TupleScore,
+    TypedClient,
+};
+pub use coordinator::{Coordinator, CoordinatorConfig};
 pub use durable::{DurabilityConfig, FsyncPolicy};
 pub use error::ServerError;
+pub use protocol::{PROTO_VERSION, SERVER_FEATURES};
 pub use router::{Admission, Control, ServerCounters};
 pub use session::{Registry, Session};
+pub use shard::Follower;
 pub use wire::Json;
 
 use event_loop::{completion_channel, EventThread, Peer};
@@ -127,6 +137,11 @@ pub struct ServerConfig {
     /// Requests slower than this (milliseconds) log a structured line to
     /// stderr with their per-stage span breakdown; 0 disables the log.
     pub slow_request_ms: u64,
+    /// When set, this process runs as a **coordinator**: session-scoped
+    /// requests are forwarded to the worker shards listed here instead
+    /// of a local registry (see [`coordinator`]). The front end, the
+    /// admission gate and the metrics surface are unchanged.
+    pub coordinator: Option<CoordinatorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +164,7 @@ impl Default for ServerConfig {
             write_timeout_ms: 5000,
             metrics_addr: None,
             slow_request_ms: 0,
+            coordinator: None,
         }
     }
 }
@@ -164,6 +180,8 @@ pub(crate) struct Shared {
     pub(crate) queue_limit: u64,
     pub(crate) max_pipeline: usize,
     pub(crate) write_buffer_bytes: usize,
+    /// Set when this process routes as a coordinator (see [`coordinator`]).
+    pub(crate) coordinator: Option<Arc<Coordinator>>,
     /// Every event thread's waker: any thread can interrupt any poll
     /// (stop, completion hand-back, connection hand-off).
     pub(crate) wakers: Vec<Arc<Waker>>,
@@ -271,6 +289,9 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         config.session_inflight,
         config.retry_after_ms,
     ));
+    let coordinator = config
+        .coordinator
+        .map(|cfg| Arc::new(Coordinator::new(cfg)));
     let shared = Arc::new(Shared {
         registry,
         counters: Arc::clone(&counters),
@@ -283,10 +304,18 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         queue_limit: config.queue_limit,
         max_pipeline: config.max_pipeline.max(1),
         write_buffer_bytes: config.write_buffer_bytes.max(4096),
+        coordinator,
         wakers,
     });
     let pool = Arc::new(pool::WorkerPool::new("inconsist-worker", config.workers));
     shared.registry.set_slow_request_ms(config.slow_request_ms);
+    // A coordinator re-learns the session → shard directory from the
+    // workers before the listener serves its first request, so recovered
+    // sessions route correctly from request one. Unreachable shards are
+    // tolerated (marked dead; they redirect on return).
+    if let Some(coordinator) = &shared.coordinator {
+        coordinator.bootstrap(&shared.registry);
+    }
     // Front-end metrics are views over the very cells the event loop and
     // admission gate mutate: the collector re-reads them at snapshot
     // time, so `stats` and `metrics` cannot disagree. Captured by Arc
@@ -424,11 +453,19 @@ fn spawn_metrics_listener(addr: &str, shared: Arc<Shared>) -> std::io::Result<So
 /// rather than letting the framer grow its buffer without bound.
 pub(crate) const MAX_REQUEST_BYTES: usize = 8 << 20;
 
-/// A tiny blocking client for tests, benches and the CLI `client` mode:
-/// one connection, send a line, read a line. Remembers its address so
+/// A tiny blocking client: one connection, send a line, read a line.
+/// Remembers its address so
 /// [`request_with_retry`](Client::request_with_retry) can reconnect after
 /// the server drops the connection (shed at accept, slow-client drop,
 /// restart).
+///
+/// **Deprecated in favor of the typed client.** New code should build a
+/// [`TypedClient`] via [`ClientBuilder`] and use [`SessionHandle`]'s
+/// typed methods instead of hand-assembling request strings — the typed
+/// path serializes through [`protocol::Request::to_json`], the single
+/// wire-shape definition, and decodes error kinds for you. This
+/// free-form shim stays for raw-line tooling (the CLI `client` mode,
+/// protocol tests) and as the transport under the typed client.
 pub struct Client {
     addr: SocketAddr,
     conn: Option<(BufReader<TcpStream>, TcpStream)>,

@@ -17,12 +17,24 @@
 //! | `metrics` | `format?` | full metric registry snapshot; `"format":"prom"` (or `"prom":true`) returns Prometheus text exposition instead of JSON |
 //! | `snapshot` | `session` | write a point-in-time snapshot (durable sessions only) |
 //! | `compact` | `session` | drop log records covered by the newest snapshot |
+//! | `hello` | `proto_version?`, `features?` | version/feature negotiation; the server answers with its protocol version, the intersection of the offered and supported feature sets, and its role |
+//! | `measure_all` | `measures?`, `detail?` | aggregate summable measures over *every* live session, folded in ascending session-name order seeded from 0.0 (the canonical fold a coordinator reproduces bit-identically) |
+//! | `fetch_wal` | `session`, `from_seq?` | ship op-log records with `seq > from_seq` (durable sessions only) — the follower-replication feed |
+//! | `fetch_snapshot` | `session` | the session's current snapshot text, for follower bootstrap |
+//! | `join` | `addr` | register a worker with a coordinator (coordinator-only) |
+//! | `shards` | — | shard topology and liveness (coordinator-only) |
 //! | `shutdown` | — | stop accepting and drain |
 //! | `quit` | — | close this connection only |
 //!
 //! `measures` defaults to `["I_d","I_MI","I_P","I_R","I_R^lin"]`; the full
 //! roster adds `I_MI^dc`, `I_MC`, `raw` (raw falsifying bindings) and
 //! `components` (live conflict components).
+//!
+//! Parsing is **unknown-field-tolerant** by construction: every arm reads
+//! only the keys it knows, so a newer client may attach fields an older
+//! server has never heard of and the request still parses (regression-
+//! tested below). `docs/PROTOCOL.md` is the normative reference for the
+//! full request/response/error surface.
 
 use crate::error::ServerError;
 use crate::wire::Json;
@@ -43,6 +55,26 @@ pub const KNOWN_MEASURES: &[&str] = &[
 
 /// Measures answered when a `measure` request names none.
 pub const DEFAULT_MEASURES: &[&str] = &["I_d", "I_MI", "I_P", "I_R", "I_R^lin"];
+
+/// The protocol version this server speaks. Version 2 added `hello`,
+/// `measure_all`, the WAL-shipping pair (`fetch_wal`/`fetch_snapshot`)
+/// and the coordinator commands (`join`/`shards`); version 1 is the
+/// pre-handshake protocol, which v2 servers still accept unchanged.
+pub const PROTO_VERSION: u64 = 2;
+
+/// Feature flags this server advertises in the `hello` negotiation. A
+/// client offers the set it understands; the response carries the
+/// intersection, so both sides know exactly what the other supports.
+pub const SERVER_FEATURES: &[&str] = &["shard-aware", "prom-metrics", "deadlines"];
+
+/// Measures `measure_all` may aggregate: the ones that decompose as a
+/// sum over sessions (and, inside a session, over conflict-graph
+/// components). `I_d` and `I_MC` are deliberately absent — neither is
+/// meaningful as a cross-database sum.
+pub const AGG_MEASURES: &[&str] = &["I_MI", "I_P", "I_R", "I_R^lin", "raw", "components"];
+
+/// Measures aggregated when a `measure_all` request names none.
+pub const DEFAULT_AGG_MEASURES: &[&str] = &["I_MI", "I_P", "I_R", "I_R^lin"];
 
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq)]
@@ -135,6 +167,41 @@ pub enum Request {
         /// Session name.
         session: String,
     },
+    /// Version/feature negotiation.
+    Hello {
+        /// The protocol version the client speaks (defaults to 1, the
+        /// pre-handshake protocol, when absent).
+        proto_version: u64,
+        /// The feature flags the client understands.
+        features: Vec<String>,
+    },
+    /// Aggregate summable measures over every live session (ascending
+    /// session-name fold seeded from 0.0 — see `docs/PROTOCOL.md`).
+    MeasureAll {
+        /// Measure names (validated against [`AGG_MEASURES`]).
+        measures: Vec<String>,
+        /// Also return the per-session values the fold consumed.
+        detail: bool,
+    },
+    /// Ship op-log records newer than `from_seq` (durable sessions only).
+    FetchWal {
+        /// Session name.
+        session: String,
+        /// Ship records with `seq` strictly greater than this.
+        from_seq: u64,
+    },
+    /// The session's current snapshot text (follower bootstrap).
+    FetchSnapshot {
+        /// Session name.
+        session: String,
+    },
+    /// Register a worker with a coordinator.
+    Join {
+        /// The worker's protocol address, `host:port`.
+        addr: String,
+    },
+    /// Shard topology and liveness (coordinator-only).
+    Shards,
     /// Stop the server.
     Shutdown,
     /// Close this connection.
@@ -158,6 +225,12 @@ impl Request {
             Request::Metrics { .. } => "metrics",
             Request::Snapshot { .. } => "snapshot",
             Request::Compact { .. } => "compact",
+            Request::Hello { .. } => "hello",
+            Request::MeasureAll { .. } => "measure_all",
+            Request::FetchWal { .. } => "fetch_wal",
+            Request::FetchSnapshot { .. } => "fetch_snapshot",
+            Request::Join { .. } => "join",
+            Request::Shards => "shards",
             Request::Shutdown => "shutdown",
             Request::Quit => "quit",
         }
@@ -173,14 +246,160 @@ impl Request {
             | Request::TupleMeasures { session, .. }
             | Request::SetOptions { session, .. }
             | Request::Snapshot { session }
-            | Request::Compact { session } => Some(session),
+            | Request::Compact { session }
+            | Request::FetchWal { session, .. }
+            | Request::FetchSnapshot { session } => Some(session),
             Request::Stats { session } => session.as_deref(),
             Request::Ping
             | Request::Sessions
             | Request::Metrics { .. }
+            | Request::Hello { .. }
+            | Request::MeasureAll { .. }
+            | Request::Join { .. }
+            | Request::Shards
             | Request::Shutdown
             | Request::Quit => None,
         }
+    }
+
+    /// Serializes the request back to its wire object — the inverse of
+    /// [`parse_request`] (`parse_request(req.to_json().to_string())`
+    /// round-trips). This is what the typed client and the
+    /// coordinator→worker forwarding leg put on the wire, so requests are
+    /// assembled in exactly one place instead of by string concatenation.
+    pub fn to_json(&self) -> Json {
+        let mut m: Vec<(&str, Json)> = vec![("cmd", Json::str(self.kind()))];
+        let payload = |m: &mut Vec<(&str, Json)>, p: &Payload, inline: &'static str| match p {
+            Payload::Inline(text) => m.push((inline, Json::str(text.clone()))),
+            Payload::Path(path) => match inline {
+                "csv" => m.push(("csv_path", Json::str(path.clone()))),
+                _ => m.push(("dc_path", Json::str(path.clone()))),
+            },
+        };
+        match self {
+            Request::Ping
+            | Request::Sessions
+            | Request::Shards
+            | Request::Shutdown
+            | Request::Quit => {}
+            Request::Create {
+                session,
+                csv,
+                dc,
+                mode,
+            } => {
+                m.push(("session", Json::str(session.clone())));
+                payload(&mut m, csv, "csv");
+                payload(&mut m, dc, "dc");
+                let name = match mode {
+                    ReadMode::Component => "component",
+                    ReadMode::Global => "global",
+                };
+                m.push(("mode", Json::str(name)));
+            }
+            Request::Drop { session }
+            | Request::Snapshot { session }
+            | Request::Compact { session }
+            | Request::FetchSnapshot { session } => {
+                m.push(("session", Json::str(session.clone())));
+            }
+            Request::Op {
+                session,
+                ops,
+                token,
+            } => {
+                m.push(("session", Json::str(session.clone())));
+                m.push(("ops", Json::str(ops.clone())));
+                if let Some(token) = token {
+                    m.push(("token", Json::str(token.clone())));
+                }
+            }
+            Request::Measure {
+                session,
+                measures,
+                per_dc,
+                deadline_ms,
+            } => {
+                m.push(("session", Json::str(session.clone())));
+                m.push((
+                    "measures",
+                    Json::Arr(measures.iter().cloned().map(Json::Str).collect()),
+                ));
+                if *per_dc {
+                    m.push(("per_dc", Json::Bool(true)));
+                }
+                if let Some(ms) = deadline_ms {
+                    m.push(("deadline_ms", Json::Num(*ms as f64)));
+                }
+            }
+            Request::TupleMeasures {
+                session,
+                k,
+                deadline_ms,
+            } => {
+                m.push(("session", Json::str(session.clone())));
+                m.push(("k", Json::Num(*k as f64)));
+                if let Some(ms) = deadline_ms {
+                    m.push(("deadline_ms", Json::Num(*ms as f64)));
+                }
+            }
+            Request::SetOptions {
+                session,
+                violation_limit,
+                mis_budget,
+                vc_budget,
+            } => {
+                m.push(("session", Json::str(session.clone())));
+                match violation_limit {
+                    None => {}
+                    Some(None) => m.push(("violation_limit", Json::Null)),
+                    Some(Some(n)) => m.push(("violation_limit", Json::Num(*n as f64))),
+                }
+                if let Some(n) = mis_budget {
+                    m.push(("mis_budget", Json::Num(*n as f64)));
+                }
+                if let Some(n) = vc_budget {
+                    m.push(("vc_budget", Json::Num(*n as f64)));
+                }
+            }
+            Request::Stats { session } => {
+                if let Some(session) = session {
+                    m.push(("session", Json::str(session.clone())));
+                }
+            }
+            Request::Metrics { prom } => {
+                if *prom {
+                    m.push(("prom", Json::Bool(true)));
+                }
+            }
+            Request::Hello {
+                proto_version,
+                features,
+            } => {
+                m.push(("proto_version", Json::Num(*proto_version as f64)));
+                m.push((
+                    "features",
+                    Json::Arr(features.iter().cloned().map(Json::Str).collect()),
+                ));
+            }
+            Request::MeasureAll { measures, detail } => {
+                m.push((
+                    "measures",
+                    Json::Arr(measures.iter().cloned().map(Json::Str).collect()),
+                ));
+                if *detail {
+                    m.push(("detail", Json::Bool(true)));
+                }
+            }
+            Request::FetchWal { session, from_seq } => {
+                m.push(("session", Json::str(session.clone())));
+                m.push(("from_seq", Json::Num(*from_seq as f64)));
+            }
+            Request::Join { addr } => {
+                m.push(("addr", Json::str(addr.clone())));
+            }
+        }
+        Json::obj(m)
     }
 }
 
@@ -418,6 +637,91 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
         "compact" => Ok(Request::Compact {
             session: required_str(&json, "session")?,
         }),
+        "hello" => {
+            let proto_version = match json.get("proto_version") {
+                // A pre-handshake client that somehow sends `hello`
+                // without a version is treated as v1.
+                None => 1,
+                Some(v) => {
+                    let n = v.as_f64().filter(|n| *n >= 1.0).ok_or_else(|| {
+                        ServerError::Protocol("`proto_version` must be a positive number".into())
+                    })?;
+                    n as u64
+                }
+            };
+            let features = match json.get("features") {
+                None => Vec::new(),
+                Some(list) => {
+                    let items = list.as_arr().ok_or_else(|| {
+                        ServerError::Protocol("`features` must be an array".into())
+                    })?;
+                    items
+                        .iter()
+                        .map(|f| {
+                            f.as_str().map(str::to_string).ok_or_else(|| {
+                                ServerError::Protocol("`features` entries must be strings".into())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+            };
+            Ok(Request::Hello {
+                proto_version,
+                features,
+            })
+        }
+        "measure_all" => {
+            let measures: Vec<String> = match json.get("measures") {
+                None => DEFAULT_AGG_MEASURES.iter().map(|s| s.to_string()).collect(),
+                Some(list) => {
+                    let items = list.as_arr().ok_or_else(|| {
+                        ServerError::Protocol("`measures` must be an array".into())
+                    })?;
+                    items
+                        .iter()
+                        .map(|m| {
+                            m.as_str().map(str::to_string).ok_or_else(|| {
+                                ServerError::Protocol("`measures` entries must be strings".into())
+                            })
+                        })
+                        .collect::<Result<_, _>>()?
+                }
+            };
+            for m in &measures {
+                if !AGG_MEASURES.contains(&m.as_str()) {
+                    return Err(ServerError::Protocol(format!(
+                        "measure `{m}` is not summable across sessions (aggregatable: {})",
+                        AGG_MEASURES.join(", ")
+                    )));
+                }
+            }
+            Ok(Request::MeasureAll {
+                measures,
+                detail: json.get("detail").and_then(Json::as_bool).unwrap_or(false),
+            })
+        }
+        "fetch_wal" => {
+            let from_seq = match json.get("from_seq") {
+                None => 0,
+                Some(v) => {
+                    let n = v.as_f64().filter(|n| *n >= 0.0).ok_or_else(|| {
+                        ServerError::Protocol("`from_seq` must be a non-negative number".into())
+                    })?;
+                    n as u64
+                }
+            };
+            Ok(Request::FetchWal {
+                session: required_str(&json, "session")?,
+                from_seq,
+            })
+        }
+        "fetch_snapshot" => Ok(Request::FetchSnapshot {
+            session: required_str(&json, "session")?,
+        }),
+        "join" => Ok(Request::Join {
+            addr: required_str(&json, "addr")?,
+        }),
+        "shards" => Ok(Request::Shards),
         other => Err(ServerError::Protocol(format!("unknown cmd `{other}`"))),
     }
 }
@@ -634,6 +938,213 @@ mod tests {
         ] {
             let err = parse_request(line).unwrap_err();
             assert!(err.to_string().contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn parses_v2_commands() {
+        assert_eq!(
+            parse_request("{\"cmd\":\"hello\",\"proto_version\":2,\"features\":[\"shard-aware\"]}")
+                .unwrap(),
+            Request::Hello {
+                proto_version: 2,
+                features: vec!["shard-aware".into()],
+            }
+        );
+        // A bare `hello` is a v1 client probing.
+        assert_eq!(
+            parse_request("{\"cmd\":\"hello\"}").unwrap(),
+            Request::Hello {
+                proto_version: 1,
+                features: vec![],
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"measure_all\"}").unwrap(),
+            Request::MeasureAll {
+                measures: DEFAULT_AGG_MEASURES.iter().map(|s| s.to_string()).collect(),
+                detail: false,
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"measure_all\",\"measures\":[\"I_MI\"],\"detail\":true}")
+                .unwrap(),
+            Request::MeasureAll {
+                measures: vec!["I_MI".into()],
+                detail: true,
+            }
+        );
+        // Non-summable measures are refused up front.
+        assert!(
+            parse_request("{\"cmd\":\"measure_all\",\"measures\":[\"I_d\"]}")
+                .unwrap_err()
+                .to_string()
+                .contains("not summable")
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"fetch_wal\",\"session\":\"s\",\"from_seq\":7}").unwrap(),
+            Request::FetchWal {
+                session: "s".into(),
+                from_seq: 7,
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"fetch_wal\",\"session\":\"s\"}").unwrap(),
+            Request::FetchWal {
+                session: "s".into(),
+                from_seq: 0,
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"fetch_snapshot\",\"session\":\"s\"}").unwrap(),
+            Request::FetchSnapshot {
+                session: "s".into()
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"join\",\"addr\":\"127.0.0.1:9\"}").unwrap(),
+            Request::Join {
+                addr: "127.0.0.1:9".into()
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"shards\"}").unwrap(),
+            Request::Shards
+        );
+        assert!(parse_request("{\"cmd\":\"hello\",\"proto_version\":0}").is_err());
+        assert!(
+            parse_request("{\"cmd\":\"fetch_wal\",\"session\":\"s\",\"from_seq\":-1}").is_err()
+        );
+        assert!(parse_request("{\"cmd\":\"join\"}").is_err());
+    }
+
+    /// Regression: parsing must tolerate fields it has never heard of, so
+    /// newer clients can talk to older servers (and a coordinator can
+    /// attach routing metadata without breaking workers). Every arm reads
+    /// only known keys — an unknown sibling changes nothing.
+    #[test]
+    fn unknown_fields_are_tolerated_everywhere() {
+        for (line, want_kind) in [
+            ("{\"cmd\":\"ping\",\"future\":{\"x\":[1,2]}}", "ping"),
+            (
+                "{\"cmd\":\"measure\",\"session\":\"s\",\"shard_hint\":3,\"trace_id\":\"abc\"}",
+                "measure",
+            ),
+            (
+                "{\"cmd\":\"op\",\"session\":\"s\",\"ops\":\"delete 1\",\"origin\":\"coord\"}",
+                "op",
+            ),
+            (
+                "{\"cmd\":\"hello\",\"proto_version\":99,\"features\":[],\"extensions\":null}",
+                "hello",
+            ),
+            (
+                "{\"cmd\":\"measure_all\",\"priority\":\"low\"}",
+                "measure_all",
+            ),
+            (
+                "{\"cmd\":\"tuple_measures\",\"session\":\"s\",\"unknown\":true}",
+                "tuple_measures",
+            ),
+        ] {
+            let parsed = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed.kind(), want_kind, "{line}");
+        }
+    }
+
+    /// `to_json` is the inverse of `parse_request`: the typed client and
+    /// the coordinator forwarding leg both rely on the round trip.
+    #[test]
+    fn to_json_round_trips_through_parse() {
+        let requests = vec![
+            Request::Ping,
+            Request::Sessions,
+            Request::Shards,
+            Request::Shutdown,
+            Request::Quit,
+            Request::Create {
+                session: "s".into(),
+                csv: Payload::Inline("A\n1\n".into()),
+                dc: Payload::Inline("t.A < 0".into()),
+                mode: ReadMode::Global,
+            },
+            Request::Create {
+                session: "s".into(),
+                csv: Payload::Path("/tmp/x.csv".into()),
+                dc: Payload::Path("/tmp/x.dc".into()),
+                mode: ReadMode::Component,
+            },
+            Request::Drop {
+                session: "s".into(),
+            },
+            Request::Op {
+                session: "s".into(),
+                ops: "delete 1\nupdate 2 A 5".into(),
+                token: Some("t-1".into()),
+            },
+            Request::Op {
+                session: "s".into(),
+                ops: "delete 1".into(),
+                token: None,
+            },
+            Request::Measure {
+                session: "s".into(),
+                measures: vec!["I_MI".into(), "I_R^lin".into()],
+                per_dc: true,
+                deadline_ms: Some(250),
+            },
+            Request::TupleMeasures {
+                session: "s".into(),
+                k: 3,
+                deadline_ms: None,
+            },
+            Request::SetOptions {
+                session: "s".into(),
+                violation_limit: Some(None),
+                mis_budget: Some(10),
+                vc_budget: None,
+            },
+            Request::SetOptions {
+                session: "s".into(),
+                violation_limit: Some(Some(7)),
+                mis_budget: None,
+                vc_budget: Some(9),
+            },
+            Request::Stats { session: None },
+            Request::Stats {
+                session: Some("s".into()),
+            },
+            Request::Metrics { prom: true },
+            Request::Metrics { prom: false },
+            Request::Snapshot {
+                session: "s".into(),
+            },
+            Request::Compact {
+                session: "s".into(),
+            },
+            Request::Hello {
+                proto_version: 2,
+                features: vec!["deadlines".into()],
+            },
+            Request::MeasureAll {
+                measures: vec!["I_MI".into()],
+                detail: true,
+            },
+            Request::FetchWal {
+                session: "s".into(),
+                from_seq: 42,
+            },
+            Request::FetchSnapshot {
+                session: "s".into(),
+            },
+            Request::Join {
+                addr: "127.0.0.1:7878".into(),
+            },
+        ];
+        for req in requests {
+            let line = req.to_json().to_string();
+            let reparsed = parse_request(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(reparsed, req, "{line}");
         }
     }
 

@@ -17,8 +17,9 @@
 //! `quit`) are never shed, so the server stays observable and stoppable
 //! under overload.
 
+use crate::coordinator::Coordinator;
 use crate::error::ServerError;
-use crate::protocol::{parse_request, Request};
+use crate::protocol::{parse_request, Request, PROTO_VERSION, SERVER_FEATURES};
 use crate::session::Registry;
 use crate::wire::Json;
 use inconsist_obs::{Counter, Gauge, Sample, Value};
@@ -202,13 +203,26 @@ pub(crate) enum Class {
 /// Classifies a parsed request for the event loop. `stats` is *not*
 /// inline: a session `stats` takes the index read lock, which can block
 /// behind a writer — nothing the event thread may wait on.
-pub(crate) fn classify(request: &Request) -> Class {
+pub(crate) fn classify(request: &Request, coordinator_mode: bool) -> Class {
     match request {
-        Request::Ping | Request::Quit | Request::Shutdown | Request::Sessions => Class::Inline,
+        // On a coordinator, `sessions` scatters over the network — pool
+        // work (but never shed: it is how operators see the cluster).
+        Request::Sessions if coordinator_mode => Class::NeverShed,
+        Request::Ping
+        | Request::Quit
+        | Request::Shutdown
+        | Request::Sessions
+        | Request::Hello { .. } => Class::Inline,
         // `metrics` snapshots per-session index stats (try_read) and the
         // registry mutex — pool work, but never shed: like `stats`, it is
-        // how an operator sees an overloaded server.
-        Request::Stats { .. } | Request::Metrics { .. } | Request::Drop { .. } => Class::NeverShed,
+        // how an operator sees an overloaded server. `join`/`shards` are
+        // how a coordinator's shard set heals, so they must land even
+        // under overload — but they may touch the network, so pool work.
+        Request::Stats { .. }
+        | Request::Metrics { .. }
+        | Request::Drop { .. }
+        | Request::Join { .. }
+        | Request::Shards => Class::NeverShed,
         _ => Class::Work,
     }
 }
@@ -219,6 +233,7 @@ pub(crate) fn respond(
     registry: &Registry,
     counters: &ServerCounters,
     admission: &Admission,
+    coordinator: Option<&Coordinator>,
     work: Work,
 ) -> (String, Control) {
     counters.requests.inc();
@@ -238,7 +253,7 @@ pub(crate) fn respond(
             let session = request.session_name().unwrap_or("").to_string();
             inconsist_obs::trace_begin();
             let started = Instant::now();
-            let result = dispatch(registry, counters, admission, request);
+            let result = dispatch(registry, counters, admission, coordinator, request);
             let latency_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
             let stages = inconsist_obs::trace_take();
             registry.observe_request(
@@ -299,14 +314,22 @@ fn response_seq(result: &Result<Json, ServerError>) -> u64 {
 }
 
 /// Routes one request line to a response line (no trailing newline) plus
-/// a connection-control verdict.
+/// a connection-control verdict. Always routes against the local
+/// registry (the loopback/test path); coordinator forwarding only
+/// happens on the serving path.
 pub fn route_line(
     registry: &Registry,
     counters: &ServerCounters,
     admission: &Admission,
     line: &str,
 ) -> (String, Control) {
-    respond(registry, counters, admission, Work::Raw(line.to_string()))
+    respond(
+        registry,
+        counters,
+        admission,
+        None,
+        Work::Raw(line.to_string()),
+    )
 }
 
 fn ok() -> Json {
@@ -358,9 +381,105 @@ fn dispatch(
     registry: &Registry,
     counters: &ServerCounters,
     admission: &Admission,
+    coordinator: Option<&Coordinator>,
     request: Request,
 ) -> Result<Json, ServerError> {
+    if let Some(coord) = coordinator {
+        if Coordinator::intercepts(&request) {
+            // A forward occupies a worker thread while it blocks on the
+            // shard, so work-carrying kinds pass the same admission gate
+            // local execution would.
+            let _global = match &request {
+                Request::Create { .. }
+                | Request::Op { .. }
+                | Request::Measure { .. }
+                | Request::TupleMeasures { .. }
+                | Request::SetOptions { .. }
+                | Request::Snapshot { .. }
+                | Request::Compact { .. }
+                | Request::MeasureAll { .. }
+                | Request::FetchWal { .. }
+                | Request::FetchSnapshot { .. } => Some(admission.acquire()?),
+                _ => None,
+            };
+            return coord.dispatch(registry, request);
+        }
+    }
     match request {
+        Request::Hello {
+            proto_version,
+            features,
+        } => {
+            let negotiated: Vec<Json> = SERVER_FEATURES
+                .iter()
+                .filter(|f| features.iter().any(|offered| offered == *f))
+                .map(|f| Json::str(*f))
+                .collect();
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                (
+                    "proto_version",
+                    Json::Num(proto_version.min(PROTO_VERSION) as f64),
+                ),
+                ("features", Json::Arr(negotiated)),
+                (
+                    "role",
+                    Json::str(if coordinator.is_some() {
+                        "coordinator"
+                    } else {
+                        "server"
+                    }),
+                ),
+            ]))
+        }
+        Request::MeasureAll { measures, detail } => {
+            let _global = admission.acquire()?;
+            crate::shard::measure_all_local(registry, &measures, detail)
+        }
+        Request::FetchWal { session, from_seq } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            let records = s.wal_since(from_seq)?;
+            let last_seq = records.last().map(|(seq, _)| *seq).unwrap_or(from_seq);
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("session", Json::str(session)),
+                ("from_seq", Json::Num(from_seq as f64)),
+                (
+                    "records",
+                    Json::Arr(
+                        records
+                            .into_iter()
+                            .map(|(seq, op)| {
+                                Json::obj([("seq", Json::Num(seq as f64)), ("op", Json::Str(op))])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("last_seq", Json::Num(last_seq as f64)),
+            ]))
+        }
+        Request::FetchSnapshot { session } => {
+            let _global = admission.acquire()?;
+            let s = registry.get(&session)?;
+            let _slot = s.admit(admission.session_inflight, admission.retry_after_ms)?;
+            let (seq, text) = s.snapshot_payload();
+            Ok(Json::obj([
+                ("ok", Json::Bool(true)),
+                ("session", Json::str(session)),
+                ("seq", Json::Num(seq as f64)),
+                ("snapshot", Json::Str(text)),
+            ]))
+        }
+        Request::Join { .. } => Err(ServerError::Protocol(
+            "join: this server is not a coordinator (start it with --coordinator)".to_string(),
+        )),
+        Request::Shards => Ok(Json::obj([
+            ("ok", Json::Bool(true)),
+            ("role", Json::str("server")),
+            ("shards", Json::Arr(Vec::new())),
+        ])),
         Request::Ping => Ok(Json::obj([
             ("ok", Json::Bool(true)),
             ("pong", Json::Bool(true)),

@@ -563,6 +563,36 @@ impl Session {
         ]))
     }
 
+    /// WAL shipping (the `fetch_wal` request): every intact log record
+    /// with `seq > from_seq`, in order. A follower appends these verbatim
+    /// (via [`inconsist_formats::durable::encode_log_record`]) to its own
+    /// copy of the session directory and replays them — sealed segments
+    /// plus the active tail in one stream.
+    pub fn wal_since(&self, from_seq: u64) -> Result<Vec<(u64, String)>, ServerError> {
+        let durable = self
+            .durable
+            .as_ref()
+            .ok_or_else(|| ServerError::NotDurable(self.name.clone()))?;
+        // The index read lock keeps writers (who append under the write
+        // lock) out, so the scan never races a half-written batch.
+        let _idx = self.index.read();
+        durable.lock().records_since(from_seq)
+    }
+
+    /// Snapshot *text* for the current state (the `fetch_snapshot`
+    /// request): `(covered_seq, snapshot_text)`. Unlike
+    /// [`snapshot`](Self::snapshot) nothing is written locally — the
+    /// caller (a follower bootstrapping its copy) writes the text
+    /// verbatim as `snapshot-<seq>.snap` on its side. Works for
+    /// in-memory sessions too, which is also how a follower can seed
+    /// from a non-durable primary.
+    pub fn snapshot_payload(&self) -> (u64, String) {
+        let idx = self.index.read();
+        let seq = self.counters.op_seq.get();
+        let text = self.snapshot_text(&idx, seq);
+        (seq, text)
+    }
+
     /// Clean-shutdown snapshot: a no-op for in-memory sessions, else a
     /// point-in-time snapshot so restart recovery replays an empty tail.
     pub fn shutdown_snapshot(&self) -> Result<Option<u64>, ServerError> {
@@ -1352,6 +1382,17 @@ impl Registry {
 
     /// Drops a session (in-flight requests holding its `Arc` finish
     /// normally).
+    ///
+    /// **Sharding contract:** dropping *forgets*, it does not *destroy*.
+    /// A durable session's directory is left fully intact on disk — no
+    /// file is unlinked — so under a coordinator every shard that ever
+    /// owned the session remains recoverable: restarting a worker (or
+    /// pointing a new one at the data dir) brings the session back via
+    /// [`Registry::recover_all`]. A coordinator's `drop` therefore
+    /// forwards to the owning shard and only un-routes the name after the
+    /// shard acknowledged; if that shard is unreachable the drop fails
+    /// with `kind:"unavailable"` rather than half-forgetting it. Pinned
+    /// by `drop_leaves_every_shard_recoverable` in `tests/sharding.rs`.
     pub fn drop_session(&self, name: &str) -> Result<(), ServerError> {
         self.sessions
             .write()
